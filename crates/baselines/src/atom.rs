@@ -1,0 +1,151 @@
+//! The Atom baseline: uniform per-token group quantization.
+
+use crate::policy::{CachePolicy, PolicyContext, PolicyError, PolicyReport, SearchGranularity};
+use cocktail_kvcache::ChunkedLayerCache;
+use cocktail_quant::{Bitwidth, QuantAxis, QuantConfig};
+
+/// Uniform group quantization of the whole context KV cache, the behaviour
+/// of Atom's KV-cache path (the paper disables Atom's weight/activation
+/// quantization for a fair comparison and quantizes the KV cache to INT4).
+///
+/// # Example
+///
+/// ```
+/// use cocktail_baselines::{AtomPolicy, CachePolicy, PolicyContext};
+/// use cocktail_kvcache::{ChunkSegmentation, ChunkedLayerCache};
+/// use cocktail_quant::Bitwidth;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let k = cocktail_tensor::rng::gaussian_matrix(64, 16, 1.0, 1);
+/// let v = cocktail_tensor::rng::gaussian_matrix(64, 16, 1.0, 2);
+/// let seg = ChunkSegmentation::new(64, 32)?;
+/// let mut cache = ChunkedLayerCache::from_prefill(&k, &v, &seg)?;
+/// AtomPolicy::default().apply_layer(&mut cache, &PolicyContext::empty())?;
+/// assert!(cache.chunks().iter().all(|c| c.bitwidth() == Bitwidth::Int4));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AtomPolicy {
+    bitwidth: Bitwidth,
+    group_size: usize,
+}
+
+impl AtomPolicy {
+    /// Creates the policy with an explicit bitwidth and group size.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PolicyError::InvalidInput`] if the bitwidth is FP16 or the
+    /// group size is zero.
+    pub fn new(bitwidth: Bitwidth, group_size: usize) -> Result<Self, PolicyError> {
+        if bitwidth.is_float() {
+            return Err(PolicyError::InvalidInput(
+                "uniform quantization requires an integer bitwidth".into(),
+            ));
+        }
+        if group_size == 0 {
+            return Err(PolicyError::InvalidInput("group size must be nonzero".into()));
+        }
+        Ok(Self {
+            bitwidth,
+            group_size,
+        })
+    }
+
+    /// The quantization bitwidth.
+    pub fn bitwidth(&self) -> Bitwidth {
+        self.bitwidth
+    }
+
+    /// The quantization group size.
+    pub fn group_size(&self) -> usize {
+        self.group_size
+    }
+}
+
+impl Default for AtomPolicy {
+    /// The paper's configuration: INT4 with the default group size.
+    fn default() -> Self {
+        Self {
+            bitwidth: Bitwidth::Int4,
+            group_size: QuantConfig::DEFAULT_GROUP_SIZE,
+        }
+    }
+}
+
+impl CachePolicy for AtomPolicy {
+    fn name(&self) -> &'static str {
+        "Atom"
+    }
+
+    fn apply_layer(
+        &self,
+        cache: &mut ChunkedLayerCache,
+        _ctx: &PolicyContext,
+    ) -> Result<PolicyReport, PolicyError> {
+        cache.quantize_all(
+            self.bitwidth,
+            QuantAxis::PerToken,
+            QuantAxis::PerToken,
+            self.group_size,
+        )?;
+        let mut report = PolicyReport::new(self.name(), SearchGranularity::None);
+        report.record_chunks(self.bitwidth, cache.chunk_count());
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cocktail_kvcache::ChunkSegmentation;
+    use cocktail_tensor::rng;
+
+    fn cache(tokens: usize, chunk: usize) -> ChunkedLayerCache {
+        let k = rng::gaussian_matrix(tokens, 16, 1.0, 3);
+        let v = rng::gaussian_matrix(tokens, 16, 1.0, 4);
+        let seg = ChunkSegmentation::new(tokens, chunk).unwrap();
+        ChunkedLayerCache::from_prefill(&k, &v, &seg).unwrap()
+    }
+
+    #[test]
+    fn quantizes_every_chunk_uniformly() {
+        let mut c = cache(96, 32);
+        let report = AtomPolicy::default()
+            .apply_layer(&mut c, &PolicyContext::empty())
+            .unwrap();
+        assert!(c.chunks().iter().all(|ch| ch.bitwidth() == Bitwidth::Int4));
+        assert_eq!(report.chunks_at(Bitwidth::Int4), 3);
+        assert_eq!(report.outlier_tokens, 0);
+    }
+
+    #[test]
+    fn compression_is_close_to_4x_on_chunked_portion() {
+        // Use a realistic head dimension (64) so the per-group parameter
+        // overhead is small relative to the payload.
+        let k = rng::gaussian_matrix(128, 64, 1.0, 30);
+        let v = rng::gaussian_matrix(128, 64, 1.0, 31);
+        let seg = ChunkSegmentation::new(128, 32).unwrap(); // no remainder
+        let mut c = ChunkedLayerCache::from_prefill(&k, &v, &seg).unwrap();
+        AtomPolicy::default()
+            .apply_layer(&mut c, &PolicyContext::empty())
+            .unwrap();
+        let ratio = c.fp16_reference_bytes() as f64 / c.storage_bytes() as f64;
+        assert!(ratio > 3.0 && ratio < 4.5, "ratio = {ratio}");
+    }
+
+    #[test]
+    fn rejects_invalid_configuration() {
+        assert!(AtomPolicy::new(Bitwidth::Fp16, 32).is_err());
+        assert!(AtomPolicy::new(Bitwidth::Int4, 0).is_err());
+        let custom = AtomPolicy::new(Bitwidth::Int8, 64).unwrap();
+        assert_eq!(custom.bitwidth(), Bitwidth::Int8);
+        assert_eq!(custom.group_size(), 64);
+    }
+
+    #[test]
+    fn name_matches_paper() {
+        assert_eq!(AtomPolicy::default().name(), "Atom");
+    }
+}

@@ -1,0 +1,75 @@
+//! The uncompressed FP16 baseline.
+
+use crate::policy::{CachePolicy, PolicyContext, PolicyError, PolicyReport, SearchGranularity};
+use cocktail_kvcache::ChunkedLayerCache;
+use cocktail_quant::Bitwidth;
+
+/// Leaves the KV cache in FP16 — the "FP16" row of every table in the
+/// paper, and the accuracy/memory/latency reference all methods are
+/// compared against.
+///
+/// # Example
+///
+/// ```
+/// use cocktail_baselines::{CachePolicy, Fp16Policy, PolicyContext};
+/// use cocktail_kvcache::{ChunkSegmentation, ChunkedLayerCache};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let k = cocktail_tensor::rng::gaussian_matrix(32, 8, 1.0, 1);
+/// let v = cocktail_tensor::rng::gaussian_matrix(32, 8, 1.0, 2);
+/// let seg = ChunkSegmentation::new(32, 16)?;
+/// let mut cache = ChunkedLayerCache::from_prefill(&k, &v, &seg)?;
+/// let before = cache.storage_bytes();
+/// Fp16Policy::new().apply_layer(&mut cache, &PolicyContext::empty())?;
+/// assert_eq!(cache.storage_bytes(), before);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Fp16Policy;
+
+impl Fp16Policy {
+    /// Creates the policy.
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl CachePolicy for Fp16Policy {
+    fn name(&self) -> &'static str {
+        "FP16"
+    }
+
+    fn apply_layer(
+        &self,
+        cache: &mut ChunkedLayerCache,
+        _ctx: &PolicyContext,
+    ) -> Result<PolicyReport, PolicyError> {
+        let mut report = PolicyReport::new(self.name(), SearchGranularity::None);
+        report.record_chunks(Bitwidth::Fp16, cache.chunk_count());
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cocktail_kvcache::ChunkSegmentation;
+    use cocktail_tensor::rng;
+
+    #[test]
+    fn fp16_policy_is_a_noop() {
+        let k = rng::gaussian_matrix(48, 8, 1.0, 1);
+        let v = rng::gaussian_matrix(48, 8, 1.0, 2);
+        let seg = ChunkSegmentation::new(48, 16).unwrap();
+        let mut cache = ChunkedLayerCache::from_prefill(&k, &v, &seg).unwrap();
+        let reference = cache.clone();
+        let report = Fp16Policy::new()
+            .apply_layer(&mut cache, &PolicyContext::empty())
+            .unwrap();
+        assert_eq!(cache, reference);
+        assert_eq!(report.chunks_at(Bitwidth::Fp16), 3);
+        assert_eq!(report.search, SearchGranularity::None);
+        assert_eq!(report.policy, "FP16");
+    }
+}

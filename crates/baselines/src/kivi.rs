@@ -1,0 +1,185 @@
+//! The KIVI baseline: per-channel key / per-token value quantization.
+
+use crate::policy::{CachePolicy, PolicyContext, PolicyError, PolicyReport, SearchGranularity};
+use cocktail_kvcache::ChunkedLayerCache;
+use cocktail_quant::{Bitwidth, QuantAxis, QuantConfig};
+
+/// KIVI observes that key-cache outliers concentrate in a few channels
+/// while value-cache magnitudes vary per token, and therefore quantizes the
+/// key cache *per channel* and the value cache *per token*. The paper's
+/// comparison runs KIVI at INT4.
+///
+/// # Example
+///
+/// ```
+/// use cocktail_baselines::{CachePolicy, KiviPolicy, PolicyContext};
+/// use cocktail_kvcache::{ChunkSegmentation, ChunkedLayerCache};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let k = cocktail_tensor::rng::gaussian_matrix(64, 16, 1.0, 1);
+/// let v = cocktail_tensor::rng::gaussian_matrix(64, 16, 1.0, 2);
+/// let seg = ChunkSegmentation::new(64, 32)?;
+/// let mut cache = ChunkedLayerCache::from_prefill(&k, &v, &seg)?;
+/// let report = KiviPolicy::default().apply_layer(&mut cache, &PolicyContext::empty())?;
+/// assert_eq!(report.total_chunks(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KiviPolicy {
+    bitwidth: Bitwidth,
+    group_size: usize,
+}
+
+impl KiviPolicy {
+    /// Creates the policy with an explicit bitwidth and group size.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PolicyError::InvalidInput`] if the bitwidth is FP16 or the
+    /// group size is zero.
+    pub fn new(bitwidth: Bitwidth, group_size: usize) -> Result<Self, PolicyError> {
+        if bitwidth.is_float() {
+            return Err(PolicyError::InvalidInput(
+                "KIVI requires an integer bitwidth".into(),
+            ));
+        }
+        if group_size == 0 {
+            return Err(PolicyError::InvalidInput("group size must be nonzero".into()));
+        }
+        Ok(Self {
+            bitwidth,
+            group_size,
+        })
+    }
+
+    /// The quantization bitwidth.
+    pub fn bitwidth(&self) -> Bitwidth {
+        self.bitwidth
+    }
+
+    /// The quantization group size.
+    pub fn group_size(&self) -> usize {
+        self.group_size
+    }
+}
+
+impl Default for KiviPolicy {
+    /// The paper's configuration: INT4 with the default group size.
+    fn default() -> Self {
+        Self {
+            bitwidth: Bitwidth::Int4,
+            group_size: QuantConfig::DEFAULT_GROUP_SIZE,
+        }
+    }
+}
+
+impl CachePolicy for KiviPolicy {
+    fn name(&self) -> &'static str {
+        "KIVI"
+    }
+
+    fn apply_layer(
+        &self,
+        cache: &mut ChunkedLayerCache,
+        _ctx: &PolicyContext,
+    ) -> Result<PolicyReport, PolicyError> {
+        cache.quantize_all(
+            self.bitwidth,
+            QuantAxis::PerChannel,
+            QuantAxis::PerToken,
+            self.group_size,
+        )?;
+        let mut report = PolicyReport::new(self.name(), SearchGranularity::None);
+        report.record_chunks(self.bitwidth, cache.chunk_count());
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cocktail_kvcache::ChunkSegmentation;
+    use cocktail_tensor::{rng, Matrix};
+
+    fn cache_from(k: &Matrix, v: &Matrix, chunk: usize) -> ChunkedLayerCache {
+        let seg = ChunkSegmentation::new(k.rows(), chunk).unwrap();
+        ChunkedLayerCache::from_prefill(k, v, &seg).unwrap()
+    }
+
+    #[test]
+    fn quantizes_all_chunks_to_int4() {
+        let k = rng::gaussian_matrix(64, 16, 1.0, 1);
+        let v = rng::gaussian_matrix(64, 16, 1.0, 2);
+        let mut cache = cache_from(&k, &v, 16);
+        KiviPolicy::default()
+            .apply_layer(&mut cache, &PolicyContext::empty())
+            .unwrap();
+        assert!(cache.chunks().iter().all(|c| c.bitwidth() == Bitwidth::Int4));
+    }
+
+    #[test]
+    fn per_channel_keys_beat_atom_on_channel_outliers() {
+        // Construct keys with strong per-channel scale differences (the
+        // pattern KIVI is designed for) and values without structure.
+        let rows = 64usize;
+        let dim = 16usize;
+        let mut k = rng::gaussian_matrix(rows, dim, 1.0, 7);
+        for r in 0..rows {
+            for c in 0..dim {
+                let boost = if c < 2 { 50.0 } else { 1.0 };
+                k.set(r, c, k.get(r, c) * boost);
+            }
+        }
+        let v = rng::gaussian_matrix(rows, dim, 1.0, 8);
+
+        let mut kivi_cache = cache_from(&k, &v, 32);
+        KiviPolicy::default()
+            .apply_layer(&mut kivi_cache, &PolicyContext::empty())
+            .unwrap();
+        let mut atom_cache = cache_from(&k, &v, 32);
+        crate::AtomPolicy::default()
+            .apply_layer(&mut atom_cache, &PolicyContext::empty())
+            .unwrap();
+
+        let kivi_err: f32 = kivi_cache
+            .chunks()
+            .iter()
+            .map(|c| {
+                let reference = k.slice_rows(
+                    c.logical_index() * 32,
+                    c.logical_index() * 32 + c.token_len(),
+                );
+                c.key_matrix().mse(&reference).unwrap()
+            })
+            .sum();
+        let atom_err: f32 = atom_cache
+            .chunks()
+            .iter()
+            .map(|c| {
+                let reference = k.slice_rows(
+                    c.logical_index() * 32,
+                    c.logical_index() * 32 + c.token_len(),
+                );
+                c.key_matrix().mse(&reference).unwrap()
+            })
+            .sum();
+        assert!(
+            kivi_err < atom_err,
+            "per-channel key quantization ({kivi_err}) should beat per-token ({atom_err}) on channel-outlier keys"
+        );
+    }
+
+    #[test]
+    fn rejects_invalid_configuration() {
+        assert!(KiviPolicy::new(Bitwidth::Fp16, 32).is_err());
+        assert!(KiviPolicy::new(Bitwidth::Int2, 0).is_err());
+        assert_eq!(KiviPolicy::new(Bitwidth::Int2, 16).unwrap().bitwidth(), Bitwidth::Int2);
+    }
+
+    #[test]
+    fn name_matches_paper() {
+        assert_eq!(KiviPolicy::default().name(), "KIVI");
+        assert_eq!(KiviPolicy::default().group_size(), 32);
+    }
+}

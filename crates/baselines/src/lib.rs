@@ -1,0 +1,49 @@
+//! Baseline KV-cache quantization policies.
+//!
+//! The Cocktail paper compares against three representative state-of-the-art
+//! quantization methods plus the uncompressed FP16 cache. This crate
+//! implements all four behind a common [`CachePolicy`] trait so they plug
+//! into the same inference pipeline as Cocktail itself (which implements
+//! the trait in `cocktail-core`):
+//!
+//! | Policy | Paper baseline | Behaviour |
+//! |---|---|---|
+//! | [`Fp16Policy`] | FP16 | keeps the cache untouched |
+//! | [`AtomPolicy`] | Atom | uniform per-token group quantization to INT4 |
+//! | [`KiviPolicy`] | KIVI | per-channel key / per-token value INT4 |
+//! | [`KvQuantPolicy`] | KVQuant | token-level mixed precision: ~1 % outlier tokens stay FP16, the rest INT4 |
+//!
+//! # Example
+//!
+//! ```
+//! use cocktail_baselines::{AtomPolicy, CachePolicy, PolicyContext};
+//! use cocktail_kvcache::{ChunkSegmentation, ChunkedLayerCache};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let k = cocktail_tensor::rng::gaussian_matrix(64, 16, 1.0, 1);
+//! let v = cocktail_tensor::rng::gaussian_matrix(64, 16, 1.0, 2);
+//! let seg = ChunkSegmentation::new(64, 32)?;
+//! let mut cache = ChunkedLayerCache::from_prefill(&k, &v, &seg)?;
+//!
+//! let policy = AtomPolicy::default();
+//! let report = policy.apply_layer(&mut cache, &PolicyContext::empty())?;
+//! assert_eq!(report.chunks_at(cocktail_quant::Bitwidth::Int4), 2);
+//! assert!(cache.storage_bytes() < cache.fp16_reference_bytes());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod atom;
+mod fp16;
+mod kivi;
+mod kvquant;
+mod policy;
+
+pub use atom::AtomPolicy;
+pub use fp16::Fp16Policy;
+pub use kivi::KiviPolicy;
+pub use kvquant::KvQuantPolicy;
+pub use policy::{CachePolicy, PolicyContext, PolicyError, PolicyReport, SearchGranularity};

@@ -1,0 +1,77 @@
+//! Criterion benchmarks of decode-phase attention over chunked KV caches:
+//! per-chunk generic attention versus the block-wise grouped computation of
+//! Algorithm 1, at each uniform precision and with the Cocktail mix,
+//! reordered and interleaved.
+
+use cocktail_core::attention::grouped_attend;
+use cocktail_core::reorder::apply_plan;
+use cocktail_core::{ChunkQuantSearch, CocktailConfig};
+use cocktail_kvcache::{ChunkSegmentation, ChunkedLayerCache};
+use cocktail_quant::{Bitwidth, QuantAxis};
+use cocktail_tensor::rng;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+const TOKENS: usize = 1024;
+const DIM: usize = 64;
+const CHUNK: usize = 32;
+
+fn build_cache() -> ChunkedLayerCache {
+    let k = rng::gaussian_matrix(TOKENS, DIM, 1.0, 11);
+    let v = rng::gaussian_matrix(TOKENS, DIM, 1.0, 12);
+    let seg = ChunkSegmentation::new(TOKENS, CHUNK).unwrap();
+    ChunkedLayerCache::from_prefill(&k, &v, &seg).unwrap()
+}
+
+fn cocktail_scores() -> Vec<f32> {
+    // A relevance pattern with a few high-scoring chunks, like Figure 1.
+    (0..TOKENS / CHUNK)
+        .map(|i| if i % 11 == 3 { 0.95 } else { 0.1 + (i % 7) as f32 * 0.05 })
+        .collect()
+}
+
+fn bench_uniform_precisions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("decode_attention_uniform");
+    let q = rng::gaussian_matrix(1, DIM, 1.0, 13);
+    let scale = 1.0 / (DIM as f32).sqrt();
+    for bw in [Bitwidth::Fp16, Bitwidth::Int8, Bitwidth::Int4, Bitwidth::Int2] {
+        let mut cache = build_cache();
+        if bw != Bitwidth::Fp16 {
+            cache
+                .quantize_all(bw, QuantAxis::PerToken, QuantAxis::PerToken, 32)
+                .unwrap();
+        }
+        group.bench_with_input(BenchmarkId::from_parameter(bw), &cache, |b, cache| {
+            b.iter(|| cache.attend(black_box(&q), scale).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_grouped_vs_generic(c: &mut Criterion) {
+    let mut group = c.benchmark_group("decode_attention_cocktail_mix");
+    let q = rng::gaussian_matrix(1, DIM, 1.0, 17);
+    let scale = 1.0 / (DIM as f32).sqrt();
+    let plan = ChunkQuantSearch::new(CocktailConfig::default())
+        .plan_from_scores(&cocktail_scores())
+        .unwrap();
+
+    let mut reordered = build_cache();
+    apply_plan(&mut reordered, &plan, 32, true).unwrap();
+    let mut interleaved = build_cache();
+    apply_plan(&mut interleaved, &plan, 32, false).unwrap();
+
+    group.bench_function("grouped_blockwise_reordered", |b| {
+        b.iter(|| grouped_attend(black_box(&reordered), black_box(&q), scale).unwrap());
+    });
+    group.bench_function("grouped_blockwise_interleaved", |b| {
+        b.iter(|| grouped_attend(black_box(&interleaved), black_box(&q), scale).unwrap());
+    });
+    group.bench_function("per_chunk_generic", |b| {
+        b.iter(|| interleaved.attend(black_box(&q), scale).unwrap());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_uniform_precisions, bench_grouped_vs_generic);
+criterion_main!(benches);

@@ -1,0 +1,89 @@
+//! Criterion benchmarks of the end-to-end pipeline on the simulated model:
+//! prefill, cache compression under each policy, and decode over the
+//! compressed cache.
+
+use cocktail_baselines::{AtomPolicy, CachePolicy, Fp16Policy, KvQuantPolicy, PolicyContext};
+use cocktail_core::{CocktailConfig, CocktailPolicy};
+use cocktail_model::{InferenceEngine, ModelProfile};
+use cocktail_retrieval::chunking;
+use cocktail_workloads::{TaskGenerator, TaskKind, WorkloadConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+const CHUNK_SIZE: usize = 32;
+
+fn setup() -> (InferenceEngine, Vec<u32>, Vec<String>, String) {
+    let engine = InferenceEngine::new(ModelProfile::llama2_7b_sim()).unwrap();
+    let task = TaskGenerator::new(TaskKind::QmSum, WorkloadConfig::small()).generate(5);
+    let mut prompt = engine.tokenizer().encode(&task.context);
+    prompt.extend(engine.tokenizer().encode(&task.query));
+    let chunk_texts = chunking::chunk_words(&task.context, CHUNK_SIZE);
+    (engine, prompt, chunk_texts, task.query)
+}
+
+fn bench_prefill(c: &mut Criterion) {
+    let (engine, prompt, _, _) = setup();
+    c.bench_function("prefill_sim_model", |b| {
+        b.iter(|| engine.prefill(black_box(&prompt)).unwrap());
+    });
+}
+
+fn bench_policy_application(c: &mut Criterion) {
+    let (engine, prompt, chunk_texts, query) = setup();
+    let prefill = engine.prefill(&prompt).unwrap();
+    let ctx = PolicyContext::new(chunk_texts, query);
+    let policies: Vec<(&str, Box<dyn CachePolicy>)> = vec![
+        ("fp16", Box::new(Fp16Policy::new())),
+        ("atom_int4", Box::new(AtomPolicy::default())),
+        ("kvquant", Box::new(KvQuantPolicy::default())),
+        (
+            "cocktail",
+            Box::new(CocktailPolicy::new(CocktailConfig::default()).unwrap()),
+        ),
+    ];
+    let mut group = c.benchmark_group("cache_compression");
+    for (name, policy) in &policies {
+        group.bench_with_input(BenchmarkId::from_parameter(*name), policy, |b, policy| {
+            b.iter_batched(
+                || engine.build_cache(&prefill, CHUNK_SIZE).unwrap(),
+                |mut cache| policy.apply(&mut cache, &ctx).unwrap(),
+                criterion::BatchSize::LargeInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_decode_step(c: &mut Criterion) {
+    let (engine, prompt, chunk_texts, query) = setup();
+    let prefill = engine.prefill(&prompt).unwrap();
+    let ctx = PolicyContext::new(chunk_texts, query);
+    let mut group = c.benchmark_group("decode_step");
+    let variants: Vec<(&str, Box<dyn CachePolicy>)> = vec![
+        ("fp16_cache", Box::new(Fp16Policy::new())),
+        ("atom_int4_cache", Box::new(AtomPolicy::default())),
+        (
+            "cocktail_cache",
+            Box::new(CocktailPolicy::new(CocktailConfig::default()).unwrap()),
+        ),
+    ];
+    for (name, policy) in &variants {
+        let mut cache = engine.build_cache(&prefill, CHUNK_SIZE).unwrap();
+        policy.apply(&mut cache, &ctx).unwrap();
+        group.bench_function(*name, |b| {
+            b.iter_batched(
+                || cache.clone(),
+                |mut cache| {
+                    engine
+                        .decode_step(black_box(7), prompt.len(), &mut cache)
+                        .unwrap()
+                },
+                criterion::BatchSize::LargeInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_prefill, bench_policy_application, bench_decode_step);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Criterion benchmarks of the quantization kernels: quantize, dequantize,
+//! fused FP×quantized GEMM versus dequantize-then-GEMM, and the group-size
+//! sweep called out in DESIGN.md.
+
+use cocktail_quant::{gemm, Bitwidth, QuantAxis, QuantConfig, QuantizedMatrix};
+use cocktail_tensor::rng;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_quantize(c: &mut Criterion) {
+    let mut group = c.benchmark_group("quantize_kv_chunk");
+    let m = rng::gaussian_matrix(32, 128, 1.0, 1);
+    for bw in [Bitwidth::Int2, Bitwidth::Int4, Bitwidth::Int8] {
+        let cfg = QuantConfig::new(bw, QuantAxis::PerToken, 32).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(bw), &cfg, |b, cfg| {
+            b.iter(|| QuantizedMatrix::quantize(black_box(&m), cfg).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_dequantize(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dequantize_kv_chunk");
+    let m = rng::gaussian_matrix(32, 128, 1.0, 2);
+    for bw in [Bitwidth::Int2, Bitwidth::Int4, Bitwidth::Int8] {
+        let cfg = QuantConfig::new(bw, QuantAxis::PerToken, 32).unwrap();
+        let q = QuantizedMatrix::quantize(&m, &cfg).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(bw), &q, |b, q| {
+            b.iter(|| black_box(q.dequantize()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_fused_vs_reference_gemm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fp_x_quant_gemm");
+    let q_vec = rng::gaussian_matrix(1, 128, 1.0, 3);
+    let k = rng::gaussian_matrix(512, 128, 1.0, 4);
+    let cfg = QuantConfig::new(Bitwidth::Int4, QuantAxis::PerToken, 32).unwrap();
+    let kq = QuantizedMatrix::quantize(&k, &cfg).unwrap();
+    group.bench_function("fused", |b| {
+        b.iter(|| gemm::fp_matmul_quant_transposed(black_box(&q_vec), black_box(&kq)).unwrap());
+    });
+    group.bench_function("dequantize_then_gemm", |b| {
+        b.iter(|| {
+            gemm::fp_matmul_quant_transposed_reference(black_box(&q_vec), black_box(&kq)).unwrap()
+        });
+    });
+    group.finish();
+}
+
+fn bench_group_size_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("group_size_sweep_int4");
+    let m = rng::gaussian_matrix(256, 128, 1.0, 5);
+    for group_size in [16usize, 32, 64, 128] {
+        let cfg = QuantConfig::new(Bitwidth::Int4, QuantAxis::PerToken, group_size).unwrap();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(group_size),
+            &cfg,
+            |b, cfg| b.iter(|| QuantizedMatrix::quantize(black_box(&m), cfg).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_quantize,
+    bench_dequantize,
+    bench_fused_vs_reference_gemm,
+    bench_group_size_sweep
+);
+criterion_main!(benches);

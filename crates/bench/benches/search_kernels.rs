@@ -1,0 +1,83 @@
+//! Criterion benchmarks of the quantization-search path: encoder scoring of
+//! context chunks (chunk-level search), KVQuant's token-level outlier scan,
+//! and the threshold/assignment step — the cost comparison behind the
+//! paper's throughput discussion.
+
+use cocktail_baselines::{CachePolicy, KvQuantPolicy, PolicyContext};
+use cocktail_core::{ChunkQuantSearch, CocktailConfig};
+use cocktail_kvcache::{ChunkSegmentation, ChunkedLayerCache};
+use cocktail_retrieval::EncoderKind;
+use cocktail_tensor::rng;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn synthetic_chunks(count: usize) -> Vec<String> {
+    (0..count)
+        .map(|i| {
+            format!(
+                "chunk {i} routine description of supplies logistics maintenance staffing \
+                 rotation and inspection results for sector {i}"
+            )
+        })
+        .collect()
+}
+
+fn bench_encoder_scoring(c: &mut Criterion) {
+    let mut group = c.benchmark_group("chunk_scoring_64_chunks");
+    let chunks = synthetic_chunks(64);
+    let query = "what were the inspection results for sector 17 ?";
+    for kind in EncoderKind::ALL {
+        let scorer = kind.build();
+        group.bench_with_input(BenchmarkId::from_parameter(kind), &scorer, |b, scorer| {
+            b.iter(|| scorer.score(black_box(query), black_box(&chunks)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_chunk_count_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("contriever_scaling");
+    let query = "what were the inspection results for sector 3 ?";
+    for count in [16usize, 64, 256] {
+        let chunks = synthetic_chunks(count);
+        let scorer = EncoderKind::Contriever.build();
+        group.bench_with_input(BenchmarkId::from_parameter(count), &chunks, |b, chunks| {
+            b.iter(|| scorer.score(black_box(query), black_box(chunks)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_plan_from_scores(c: &mut Criterion) {
+    let search = ChunkQuantSearch::new(CocktailConfig::default());
+    let scores: Vec<f32> = (0..256).map(|i| (i % 17) as f32 / 17.0).collect();
+    c.bench_function("threshold_assignment_256_chunks", |b| {
+        b.iter(|| search.plan_from_scores(black_box(&scores)).unwrap());
+    });
+}
+
+fn bench_token_level_search(c: &mut Criterion) {
+    // KVQuant's per-token outlier scan over a 1024-token single-head cache,
+    // the cost Cocktail's chunk-level search avoids.
+    let k = rng::gaussian_matrix(1024, 64, 1.0, 21);
+    let v = rng::gaussian_matrix(1024, 64, 1.0, 22);
+    let seg = ChunkSegmentation::new(1024, 32).unwrap();
+    let cache = ChunkedLayerCache::from_prefill(&k, &v, &seg).unwrap();
+    let policy = KvQuantPolicy::default();
+    c.bench_function("kvquant_token_level_search_1024_tokens", |b| {
+        b.iter_batched(
+            || cache.clone(),
+            |mut cache| policy.apply_layer(&mut cache, &PolicyContext::empty()).unwrap(),
+            criterion::BatchSize::LargeInput,
+        );
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_encoder_scoring,
+    bench_chunk_count_scaling,
+    bench_plan_from_scores,
+    bench_token_level_search
+);
+criterion_main!(benches);

@@ -1,0 +1,18 @@
+//! Runs every table and figure of the paper in sequence and writes the
+//! machine-readable records under `results/`.
+use cocktail_bench::experiments;
+use cocktail_bench::INSTANCES_PER_CELL;
+
+fn main() {
+    println!("Reproducing every table and figure of the Cocktail paper...");
+    experiments::fig1_heatmap();
+    experiments::table2_accuracy(INSTANCES_PER_CELL);
+    experiments::table3_chunk_size(INSTANCES_PER_CELL);
+    experiments::table4_encoders(INSTANCES_PER_CELL);
+    experiments::table5_ablation(INSTANCES_PER_CELL);
+    experiments::fig4_memory();
+    experiments::fig5_tpot();
+    experiments::fig6_throughput();
+    experiments::fig7_alpha_beta(INSTANCES_PER_CELL);
+    println!("\nAll experiments complete; JSON records are under results/.");
+}

@@ -1,0 +1,4 @@
+//! Regenerates Figure 1: the query × chunk similarity heatmap.
+fn main() {
+    cocktail_bench::experiments::fig1_heatmap();
+}

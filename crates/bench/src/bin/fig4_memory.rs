@@ -1,0 +1,4 @@
+//! Regenerates Figure 4: GPU memory per method and model.
+fn main() {
+    cocktail_bench::experiments::fig4_memory();
+}

@@ -1,0 +1,4 @@
+//! Regenerates Figure 5: time per output token per method and model.
+fn main() {
+    cocktail_bench::experiments::fig5_tpot();
+}

@@ -1,0 +1,4 @@
+//! Regenerates Figure 6: throughput versus batch size with OOM cutoffs.
+fn main() {
+    cocktail_bench::experiments::fig6_throughput();
+}

@@ -1,0 +1,4 @@
+//! Regenerates Figure 7: the alpha / beta sensitivity sweeps.
+fn main() {
+    cocktail_bench::experiments::fig7_alpha_beta(cocktail_bench::INSTANCES_PER_CELL);
+}

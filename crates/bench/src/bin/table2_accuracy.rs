@@ -1,0 +1,5 @@
+//! Regenerates Table II: the accuracy comparison across methods, datasets
+//! and model profiles.
+fn main() {
+    cocktail_bench::experiments::table2_accuracy(cocktail_bench::INSTANCES_PER_CELL);
+}

@@ -1,0 +1,4 @@
+//! Regenerates Table III: the chunk-size sweep.
+fn main() {
+    cocktail_bench::experiments::table3_chunk_size(cocktail_bench::INSTANCES_PER_CELL);
+}

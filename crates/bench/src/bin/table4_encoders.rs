@@ -1,0 +1,4 @@
+//! Regenerates Table IV: the encoder comparison.
+fn main() {
+    cocktail_bench::experiments::table4_encoders(cocktail_bench::INSTANCES_PER_CELL);
+}

@@ -1,0 +1,4 @@
+//! Regenerates Table V: the two-module ablation study.
+fn main() {
+    cocktail_bench::experiments::table5_ablation(cocktail_bench::INSTANCES_PER_CELL);
+}

@@ -1,0 +1,728 @@
+//! One function per table/figure of the paper.
+//!
+//! Each function runs the experiment, prints a human-readable table,
+//! writes a machine-readable record under `results/` and returns the rows
+//! so tests (and the `all_experiments` binary) can inspect them.
+
+use crate::{
+    accuracy_cell, build_hw_profile, method_names, model_suite, print_table, write_record,
+    ExperimentRecord,
+};
+use cocktail_core::CocktailConfig;
+use cocktail_hwsim::{AcceleratorSpec, DeploymentModel, RequestShape};
+use cocktail_model::ModelProfile;
+use cocktail_retrieval::{similarity_matrix, ContrieverSim, EncoderKind};
+use cocktail_workloads::TaskKind;
+use serde::Serialize;
+
+/// Output length used by the hardware experiments (the paper's setting).
+pub const OUTPUT_LEN: usize = 128;
+/// Batch size used for the TPOT comparison (Figure 5); the paper does not
+/// state its batch size, so a moderately loaded decode step is assumed.
+pub const TPOT_BATCH: usize = 16;
+
+fn hw_context_len(model: &ModelProfile) -> usize {
+    model.full().max_context - OUTPUT_LEN
+}
+
+fn deployment_for(model: &ModelProfile) -> DeploymentModel {
+    DeploymentModel::new(
+        AcceleratorSpec::a800(),
+        model.full().clone(),
+        RequestShape::new(hw_context_len(model), OUTPUT_LEN),
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Figure 1 — similarity heatmap
+// ---------------------------------------------------------------------------
+
+/// One row of the Figure 1 reproduction.
+#[derive(Debug, Clone, Serialize)]
+pub struct HeatmapRow {
+    /// Query index.
+    pub query: usize,
+    /// Similarity score of every chunk for this query.
+    pub scores: Vec<f32>,
+    /// Fraction of chunks scoring in the top 20 % of the query's range.
+    pub highly_relevant_fraction: f64,
+}
+
+/// Figure 1: similarity heatmap between one long passage (89 chunks) and 10
+/// queries; most chunks are irrelevant to any given query.
+pub fn fig1_heatmap() -> Vec<HeatmapRow> {
+    let chunk_count = 89;
+    let queries = 10;
+    let chunks: Vec<String> = (0..chunk_count)
+        .map(|i| {
+            format!(
+                "section {i} of the chronicle describes settlement {i} its harvest records \
+                 trade caravans seasonal festivals and the families living near landmark {i}"
+            )
+        })
+        .collect();
+    let query_texts: Vec<String> = (0..queries)
+        .map(|q| {
+            let target = q * 8 + 3;
+            format!("what do the harvest records say about settlement {target} near landmark {target} ?")
+        })
+        .collect();
+    let matrix = similarity_matrix(&query_texts, &chunks, &ContrieverSim::new());
+
+    let mut rows = Vec::new();
+    for q in 0..queries {
+        let scores: Vec<f32> = matrix.row(q).to_vec();
+        let max = scores.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let min = scores.iter().cloned().fold(f32::INFINITY, f32::min);
+        let threshold = min + 0.8 * (max - min);
+        let highly = scores.iter().filter(|&&s| s >= threshold).count();
+        rows.push(HeatmapRow {
+            query: q,
+            scores,
+            highly_relevant_fraction: highly as f64 / chunk_count as f64,
+        });
+    }
+
+    // ASCII rendering: one character per chunk, darker = more similar.
+    println!("\n=== Figure 1: query x chunk similarity heatmap (89 chunks, 10 queries) ===");
+    for row in &rows {
+        let max = row.scores.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let min = row.scores.iter().cloned().fold(f32::INFINITY, f32::min);
+        let line: String = row
+            .scores
+            .iter()
+            .map(|&s| {
+                let level = if max > min { (s - min) / (max - min) } else { 0.0 };
+                match (level * 4.0) as u32 {
+                    0 => ' ',
+                    1 => '.',
+                    2 => ':',
+                    3 => '+',
+                    _ => '#',
+                }
+            })
+            .collect();
+        println!(
+            "query {:>2} |{line}| highly relevant: {:>4.1} % of chunks",
+            row.query,
+            row.highly_relevant_fraction * 100.0
+        );
+    }
+
+    let record = ExperimentRecord {
+        id: "fig1_heatmap".to_string(),
+        title: "Figure 1: similarity heatmap between a long passage and 10 queries".to_string(),
+        note: "89 synthetic passage chunks scored by the contriever-sim encoder".to_string(),
+        rows: &rows,
+    };
+    let path = write_record(&record);
+    println!("(written to {})", path.display());
+    rows
+}
+
+// ---------------------------------------------------------------------------
+// Table II — accuracy comparison
+// ---------------------------------------------------------------------------
+
+/// One (model, method) row of Table II.
+#[derive(Debug, Clone, Serialize)]
+pub struct AccuracyRow {
+    /// Model name.
+    pub model: String,
+    /// Method name.
+    pub method: String,
+    /// Score per dataset, in the order of [`TaskKind::ALL`].
+    pub scores: Vec<f64>,
+    /// Average over the eight datasets.
+    pub average: f64,
+}
+
+/// Table II: accuracy of FP16 / Atom / KIVI / KVQuant / Cocktail on the
+/// eight task families for the four model profiles.
+pub fn table2_accuracy(instances: usize) -> Vec<AccuracyRow> {
+    let config = CocktailConfig::default();
+    let mut rows = Vec::new();
+    for model in model_suite() {
+        for method in method_names() {
+            let scores: Vec<f64> = TaskKind::ALL
+                .iter()
+                .map(|&kind| accuracy_cell(&model, kind, method, &config, instances))
+                .collect();
+            let average = scores.iter().sum::<f64>() / scores.len() as f64;
+            rows.push(AccuracyRow {
+                model: model.name().to_string(),
+                method: method.to_string(),
+                scores,
+                average,
+            });
+        }
+    }
+
+    for model in model_suite() {
+        let mut table_rows = Vec::new();
+        for row in rows.iter().filter(|r| r.model == model.name()) {
+            let mut cells = vec![row.method.clone()];
+            cells.extend(row.scores.iter().map(|s| format!("{s:.2}")));
+            cells.push(format!("{:.2}", row.average));
+            table_rows.push(cells);
+        }
+        let mut headers = vec!["Method"];
+        headers.extend(TaskKind::ALL.iter().map(|k| k.name()));
+        headers.push("Average");
+        print_table(
+            &format!("Table II ({}): accuracy per dataset", model.name()),
+            &headers,
+            &table_rows,
+        );
+    }
+
+    let record = ExperimentRecord {
+        id: "table2_accuracy".to_string(),
+        title: "Table II: accuracy comparison of KV cache quantization methods".to_string(),
+        note: format!(
+            "synthetic LongBench-style tasks, {instances} instances per cell, alpha=0.6 beta=0.1 chunk=32"
+        ),
+        rows: &rows,
+    };
+    let path = write_record(&record);
+    println!("(written to {})", path.display());
+    rows
+}
+
+// ---------------------------------------------------------------------------
+// Table III — chunk size sweep
+// ---------------------------------------------------------------------------
+
+/// One chunk-size point of Table III.
+#[derive(Debug, Clone, Serialize)]
+pub struct ChunkSizeRow {
+    /// Chunk size in tokens.
+    pub chunk_size: usize,
+    /// ROUGE score of Cocktail on the QMSum-like task.
+    pub rouge: f64,
+}
+
+/// Table III: the impact of the chunk size on Cocktail's accuracy
+/// (QMSum-like summarization, Llama2-7B profile).
+pub fn table3_chunk_size(instances: usize) -> Vec<ChunkSizeRow> {
+    let model = ModelProfile::llama2_7b_sim();
+    let mut rows = Vec::new();
+    for &chunk_size in &[8usize, 16, 32, 64, 128, 256] {
+        let config = CocktailConfig::default()
+            .with_chunk_size(chunk_size)
+            .expect("chunk size is valid");
+        let rouge = accuracy_cell(&model, TaskKind::QmSum, "Cocktail", &config, instances);
+        rows.push(ChunkSizeRow { chunk_size, rouge });
+    }
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| vec![r.chunk_size.to_string(), format!("{:.2}", r.rouge)])
+        .collect();
+    print_table(
+        "Table III: impact of chunk size on model performance (QMSum, Cocktail)",
+        &["Chunk Size", "Rouge Score"],
+        &table,
+    );
+    let record = ExperimentRecord {
+        id: "table3_chunk_size".to_string(),
+        title: "Table III: the impact of different chunk size on model performance".to_string(),
+        note: format!("{instances} instances per point, Llama2-7B profile"),
+        rows: &rows,
+    };
+    let path = write_record(&record);
+    println!("(written to {})", path.display());
+    rows
+}
+
+// ---------------------------------------------------------------------------
+// Table IV — encoder comparison
+// ---------------------------------------------------------------------------
+
+/// One encoder row of Table IV.
+#[derive(Debug, Clone, Serialize)]
+pub struct EncoderRow {
+    /// Encoder name (or "Baseline (FP16)").
+    pub encoder: String,
+    /// Scores on Qasper, SAMSum, TriviaQA and RepoBench-P.
+    pub scores: Vec<f64>,
+}
+
+/// Table IV: Cocktail's accuracy with different context/query encoders on
+/// four datasets, plus the FP16 baseline row.
+pub fn table4_encoders(instances: usize) -> Vec<EncoderRow> {
+    let model = ModelProfile::llama2_7b_sim();
+    let datasets = [
+        TaskKind::Qasper,
+        TaskKind::SamSum,
+        TaskKind::TriviaQa,
+        TaskKind::RepoBenchP,
+    ];
+    let mut rows = Vec::new();
+
+    let baseline: Vec<f64> = datasets
+        .iter()
+        .map(|&kind| accuracy_cell(&model, kind, "FP16", &CocktailConfig::default(), instances))
+        .collect();
+    rows.push(EncoderRow {
+        encoder: "Baseline (FP16)".to_string(),
+        scores: baseline,
+    });
+
+    for encoder in EncoderKind::ALL {
+        let config = CocktailConfig::default().with_encoder(encoder);
+        let scores: Vec<f64> = datasets
+            .iter()
+            .map(|&kind| accuracy_cell(&model, kind, "Cocktail", &config, instances))
+            .collect();
+        rows.push(EncoderRow {
+            encoder: encoder.name().to_string(),
+            scores,
+        });
+    }
+
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            let mut cells = vec![r.encoder.clone()];
+            cells.extend(r.scores.iter().map(|s| format!("{s:.2}")));
+            cells
+        })
+        .collect();
+    print_table(
+        "Table IV: Cocktail accuracy with different context/query encoders (Llama2-7B)",
+        &["Method", "Qasper", "SAMSum", "TriviaQA", "RepoBench-P"],
+        &table,
+    );
+    let record = ExperimentRecord {
+        id: "table4_encoders".to_string(),
+        title: "Table IV: performance comparison of different context and query encoders"
+            .to_string(),
+        note: format!("{instances} instances per cell"),
+        rows: &rows,
+    };
+    let path = write_record(&record);
+    println!("(written to {})", path.display());
+    rows
+}
+
+// ---------------------------------------------------------------------------
+// Table V — ablation study
+// ---------------------------------------------------------------------------
+
+/// One ablation row of Table V.
+#[derive(Debug, Clone, Serialize)]
+pub struct AblationRow {
+    /// Variant name.
+    pub variant: String,
+    /// Accuracy (ROUGE on the QMSum-like task).
+    pub accuracy: f64,
+    /// Estimated GPU memory in GiB (Llama2-7B, batch 1).
+    pub gpu_memory_gib: f64,
+    /// Estimated TPOT in microseconds.
+    pub tpot_us: f64,
+}
+
+/// Table V: the two-module ablation — accuracy from the extraction harness,
+/// memory and TPOT from the hardware model.
+pub fn table5_ablation(instances: usize) -> Vec<AblationRow> {
+    let model = ModelProfile::llama2_7b_sim();
+    let deployment = deployment_for(&model);
+    let variants: Vec<(&str, &str, &str)> = vec![
+        // (display, accuracy policy behaviour, hardware profile)
+        ("Baseline (FP16)", "FP16", "FP16"),
+        ("w/o Module I", "CocktailNoSearch", "Cocktail w/o Module I"),
+        ("w/o Module II", "CocktailNoReorder", "Cocktail w/o Module II"),
+        ("Cocktail", "Cocktail", "Cocktail"),
+    ];
+
+    let mut rows = Vec::new();
+    for (display, accuracy_variant, hw_variant) in variants {
+        let config = match accuracy_variant {
+            "CocktailNoSearch" => CocktailConfig::default().with_search(false),
+            "CocktailNoReorder" => CocktailConfig::default().with_reorder(false),
+            _ => CocktailConfig::default(),
+        };
+        let method = if accuracy_variant == "FP16" { "FP16" } else { "Cocktail" };
+        let accuracy = accuracy_cell(&model, TaskKind::QmSum, method, &config, instances);
+        let profile = build_hw_profile(hw_variant);
+        let gpu_memory_gib = deployment.gpu_memory_gib(&profile, 1);
+        let tpot_us = deployment.tpot(&profile, TPOT_BATCH).total_us();
+        rows.push(AblationRow {
+            variant: display.to_string(),
+            accuracy,
+            gpu_memory_gib,
+            tpot_us,
+        });
+    }
+
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.variant.clone(),
+                format!("{:.2}", r.accuracy),
+                format!("{:.2}", r.gpu_memory_gib),
+                format!("{:.0}", r.tpot_us),
+            ]
+        })
+        .collect();
+    print_table(
+        "Table V: impact of chunk-level quantization search (I) and KV cache computation (II)",
+        &["Method", "Score (QMSum)", "GPU Memory (GiB)", "TPOT (us)"],
+        &table,
+    );
+    let record = ExperimentRecord {
+        id: "table5_ablation".to_string(),
+        title: "Table V: ablation of the two Cocktail modules".to_string(),
+        note: format!(
+            "accuracy from the extraction harness ({instances} instances), memory/TPOT from the A800 hardware model at batch {TPOT_BATCH}"
+        ),
+        rows: &rows,
+    };
+    let path = write_record(&record);
+    println!("(written to {})", path.display());
+    rows
+}
+
+// ---------------------------------------------------------------------------
+// Figure 4 — GPU memory
+// ---------------------------------------------------------------------------
+
+/// One (model, method) memory point of Figure 4.
+#[derive(Debug, Clone, Serialize)]
+pub struct MemoryRow {
+    /// Model name.
+    pub model: String,
+    /// Method name.
+    pub method: String,
+    /// Estimated GPU memory in GiB.
+    pub gpu_memory_gib: f64,
+}
+
+/// Figure 4: GPU memory of the five methods on the four models (QMSum-like
+/// request filling the model's context window, batch 1).
+pub fn fig4_memory() -> Vec<MemoryRow> {
+    let mut rows = Vec::new();
+    for model in model_suite() {
+        let deployment = deployment_for(&model);
+        for method in method_names() {
+            let profile = build_hw_profile(method);
+            rows.push(MemoryRow {
+                model: model.name().to_string(),
+                method: method.to_string(),
+                gpu_memory_gib: deployment.gpu_memory_gib(&profile, 1),
+            });
+        }
+    }
+    let table: Vec<Vec<String>> = model_suite()
+        .iter()
+        .map(|m| {
+            let mut cells = vec![m.name().to_string()];
+            for method in method_names() {
+                let value = rows
+                    .iter()
+                    .find(|r| r.model == m.name() && r.method == method)
+                    .map(|r| r.gpu_memory_gib)
+                    .unwrap_or(f64::NAN);
+                cells.push(format!("{value:.2}"));
+            }
+            cells
+        })
+        .collect();
+    let mut headers = vec!["Model"];
+    headers.extend(method_names());
+    print_table("Figure 4: GPU memory (GiB) of different models", &headers, &table);
+    let record = ExperimentRecord {
+        id: "fig4_memory".to_string(),
+        title: "Figure 4: GPU memory of different models".to_string(),
+        note: format!("analytic A800 model, context = max_context - {OUTPUT_LEN}, batch 1"),
+        rows: &rows,
+    };
+    let path = write_record(&record);
+    println!("(written to {})", path.display());
+    rows
+}
+
+// ---------------------------------------------------------------------------
+// Figure 5 — TPOT
+// ---------------------------------------------------------------------------
+
+/// One (model, method) TPOT point of Figure 5.
+#[derive(Debug, Clone, Serialize)]
+pub struct TpotRow {
+    /// Model name.
+    pub model: String,
+    /// Method name.
+    pub method: String,
+    /// Estimated time per output token in microseconds.
+    pub tpot_us: f64,
+}
+
+/// Figure 5: time per output token of the five methods on the four models.
+pub fn fig5_tpot() -> Vec<TpotRow> {
+    let mut rows = Vec::new();
+    for model in model_suite() {
+        let deployment = deployment_for(&model);
+        for method in method_names() {
+            let profile = build_hw_profile(method);
+            rows.push(TpotRow {
+                model: model.name().to_string(),
+                method: method.to_string(),
+                tpot_us: deployment.tpot(&profile, TPOT_BATCH).total_us(),
+            });
+        }
+    }
+    let table: Vec<Vec<String>> = model_suite()
+        .iter()
+        .map(|m| {
+            let mut cells = vec![m.name().to_string()];
+            for method in method_names() {
+                let value = rows
+                    .iter()
+                    .find(|r| r.model == m.name() && r.method == method)
+                    .map(|r| r.tpot_us)
+                    .unwrap_or(f64::NAN);
+                cells.push(format!("{value:.0}"));
+            }
+            cells
+        })
+        .collect();
+    let mut headers = vec!["Model"];
+    headers.extend(method_names());
+    print_table(
+        &format!("Figure 5: time per output token (us) at batch {TPOT_BATCH}"),
+        &headers,
+        &table,
+    );
+    let record = ExperimentRecord {
+        id: "fig5_tpot".to_string(),
+        title: "Figure 5: time per output token (TPOT) of different models".to_string(),
+        note: format!("analytic A800 model, batch {TPOT_BATCH}"),
+        rows: &rows,
+    };
+    let path = write_record(&record);
+    println!("(written to {})", path.display());
+    rows
+}
+
+// ---------------------------------------------------------------------------
+// Figure 6 — throughput versus batch size
+// ---------------------------------------------------------------------------
+
+/// One (method, batch) throughput point of Figure 6.
+#[derive(Debug, Clone, Serialize)]
+pub struct ThroughputRow {
+    /// Method name.
+    pub method: String,
+    /// Batch size.
+    pub batch: usize,
+    /// Tokens per second, or `None` past the OOM point.
+    pub tokens_per_s: Option<f64>,
+}
+
+/// Figure 6: throughput of the five methods as the batch size grows, with
+/// OOM cutoffs (Llama2-7B profile).
+pub fn fig6_throughput() -> Vec<ThroughputRow> {
+    let model = ModelProfile::llama2_7b_sim();
+    let deployment = deployment_for(&model);
+    let batches: Vec<usize> = vec![1, 2, 4, 8, 16, 32, 64, 100, 150, 200, 250, 300, 350, 400];
+    let mut rows = Vec::new();
+    for method in method_names() {
+        let profile = build_hw_profile(method);
+        for point in deployment.throughput_sweep(&profile, &batches) {
+            rows.push(ThroughputRow {
+                method: method.to_string(),
+                batch: point.batch,
+                tokens_per_s: point.tokens_per_s,
+            });
+        }
+    }
+    let table: Vec<Vec<String>> = batches
+        .iter()
+        .map(|&b| {
+            let mut cells = vec![b.to_string()];
+            for method in method_names() {
+                let value = rows
+                    .iter()
+                    .find(|r| r.method == method && r.batch == b)
+                    .and_then(|r| r.tokens_per_s);
+                cells.push(match value {
+                    Some(v) => format!("{v:.0}"),
+                    None => "OOM".to_string(),
+                });
+            }
+            cells
+        })
+        .collect();
+    let mut headers = vec!["Batch"];
+    headers.extend(method_names());
+    print_table(
+        "Figure 6: throughput (tokens/s) versus batch size (Llama2-7B)",
+        &headers,
+        &table,
+    );
+    let record = ExperimentRecord {
+        id: "fig6_throughput".to_string(),
+        title: "Figure 6: throughput of different methods with different batch sizes".to_string(),
+        note: "analytic A800 model; OOM entries correspond to the interrupted lines of the figure"
+            .to_string(),
+        rows: &rows,
+    };
+    let path = write_record(&record);
+    println!("(written to {})", path.display());
+    rows
+}
+
+// ---------------------------------------------------------------------------
+// Figure 7 — α / β sensitivity
+// ---------------------------------------------------------------------------
+
+/// One (α, β) accuracy point of Figure 7.
+#[derive(Debug, Clone, Serialize)]
+pub struct AlphaBetaRow {
+    /// The α value of this point.
+    pub alpha: f32,
+    /// The β value of this point.
+    pub beta: f32,
+    /// Accuracy (ROUGE on the QMSum-like task).
+    pub score: f64,
+}
+
+/// Figure 7: the impact of α and β on accuracy (QMSum-like task,
+/// Llama2-7B profile). Returns the α sweep (β = 0.1) followed by the β
+/// sweep (α = 0.6).
+pub fn fig7_alpha_beta(instances: usize) -> Vec<AlphaBetaRow> {
+    let model = ModelProfile::llama2_7b_sim();
+    let mut rows = Vec::new();
+    for &alpha in &[0.1f32, 0.3, 0.5, 0.6, 0.7, 0.8, 0.9] {
+        let config = CocktailConfig::default().with_alpha(alpha).expect("valid alpha");
+        let score = accuracy_cell(&model, TaskKind::QmSum, "Cocktail", &config, instances);
+        rows.push(AlphaBetaRow {
+            alpha,
+            beta: config.beta,
+            score,
+        });
+    }
+    for &beta in &[0.0f32, 0.05, 0.1, 0.2, 0.3, 0.4] {
+        let config = CocktailConfig::default().with_beta(beta).expect("valid beta");
+        let score = accuracy_cell(&model, TaskKind::QmSum, "Cocktail", &config, instances);
+        rows.push(AlphaBetaRow {
+            alpha: config.alpha,
+            beta,
+            score,
+        });
+    }
+
+    let alpha_rows: Vec<Vec<String>> = rows
+        .iter()
+        .take(7)
+        .map(|r| vec![format!("{:.2}", r.alpha), format!("{:.2}", r.score)])
+        .collect();
+    print_table(
+        "Figure 7a: accuracy versus alpha (beta = 0.1)",
+        &["alpha", "Score"],
+        &alpha_rows,
+    );
+    let beta_rows: Vec<Vec<String>> = rows
+        .iter()
+        .skip(7)
+        .map(|r| vec![format!("{:.2}", r.beta), format!("{:.2}", r.score)])
+        .collect();
+    print_table(
+        "Figure 7b: accuracy versus beta (alpha = 0.6)",
+        &["beta", "Score"],
+        &beta_rows,
+    );
+    let record = ExperimentRecord {
+        id: "fig7_alpha_beta".to_string(),
+        title: "Figure 7: the impact of alpha and beta on model performance".to_string(),
+        note: format!("{instances} instances per point, QMSum-like task"),
+        rows: &rows,
+    };
+    let path = write_record(&record);
+    println!("(written to {})", path.display());
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig1_most_chunks_are_irrelevant() {
+        let rows = fig1_heatmap();
+        assert_eq!(rows.len(), 10);
+        for row in &rows {
+            assert_eq!(row.scores.len(), 89);
+            assert!(
+                row.highly_relevant_fraction < 0.25,
+                "query {} has {}% highly relevant chunks",
+                row.query,
+                row.highly_relevant_fraction * 100.0
+            );
+        }
+    }
+
+    #[test]
+    fn fig4_cocktail_always_below_fp16() {
+        let rows = fig4_memory();
+        for model in model_suite() {
+            let get = |method: &str| {
+                rows.iter()
+                    .find(|r| r.model == model.name() && r.method == method)
+                    .unwrap()
+                    .gpu_memory_gib
+            };
+            assert!(get("Cocktail") < get("FP16"), "{}", model.name());
+            assert!(get("Atom") < get("FP16"));
+        }
+    }
+
+    #[test]
+    fn fig5_cocktail_has_lowest_tpot() {
+        let rows = fig5_tpot();
+        for model in model_suite() {
+            let model_rows: Vec<&TpotRow> =
+                rows.iter().filter(|r| r.model == model.name()).collect();
+            let cocktail = model_rows
+                .iter()
+                .find(|r| r.method == "Cocktail")
+                .unwrap()
+                .tpot_us;
+            for row in &model_rows {
+                assert!(
+                    cocktail <= row.tpot_us + 1e-9,
+                    "{}: {} has lower TPOT than Cocktail",
+                    model.name(),
+                    row.method
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fig6_has_oom_points_and_crossover() {
+        let rows = fig6_throughput();
+        let oom_fp16 = rows
+            .iter()
+            .filter(|r| r.method == "FP16" && r.tokens_per_s.is_none())
+            .count();
+        assert!(oom_fp16 > 0, "FP16 must hit OOM somewhere in the sweep");
+        let at = |method: &str, batch: usize| {
+            rows.iter()
+                .find(|r| r.method == method && r.batch == batch)
+                .and_then(|r| r.tokens_per_s)
+        };
+        // Small batch: Cocktail at or below the uniform methods.
+        assert!(at("Cocktail", 1).unwrap() <= at("Atom", 1).unwrap() + 1e-9);
+        // Large batch (both still in memory): Cocktail ahead.
+        let batch = 64;
+        assert!(at("Cocktail", batch).unwrap() > at("Atom", batch).unwrap());
+        // KVQuant never overtakes Cocktail.
+        for b in [1usize, 8, 64] {
+            if let (Some(c), Some(k)) = (at("Cocktail", b), at("KVQuant", b)) {
+                assert!(c > k, "batch {b}");
+            }
+        }
+    }
+}

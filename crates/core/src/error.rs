@@ -1,0 +1,89 @@
+//! Error type for the Cocktail method.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error raised by the Cocktail search, reordering, attention or pipeline
+/// code.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CocktailError {
+    /// The configuration is invalid (e.g. α or β out of range).
+    InvalidConfig(String),
+    /// The inputs to the search or attention do not line up.
+    InvalidInput(String),
+    /// An underlying cache, model or quantization operation failed.
+    Substrate(String),
+}
+
+impl fmt::Display for CocktailError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CocktailError::InvalidConfig(d) => write!(f, "invalid cocktail configuration: {d}"),
+            CocktailError::InvalidInput(d) => write!(f, "invalid cocktail input: {d}"),
+            CocktailError::Substrate(d) => write!(f, "substrate operation failed: {d}"),
+        }
+    }
+}
+
+impl Error for CocktailError {}
+
+impl From<cocktail_kvcache::KvCacheError> for CocktailError {
+    fn from(err: cocktail_kvcache::KvCacheError) -> Self {
+        CocktailError::Substrate(err.to_string())
+    }
+}
+
+impl From<cocktail_tensor::ShapeError> for CocktailError {
+    fn from(err: cocktail_tensor::ShapeError) -> Self {
+        CocktailError::Substrate(err.to_string())
+    }
+}
+
+impl From<cocktail_quant::QuantError> for CocktailError {
+    fn from(err: cocktail_quant::QuantError) -> Self {
+        CocktailError::Substrate(err.to_string())
+    }
+}
+
+impl From<cocktail_model::ModelError> for CocktailError {
+    fn from(err: cocktail_model::ModelError) -> Self {
+        CocktailError::Substrate(err.to_string())
+    }
+}
+
+impl From<cocktail_baselines::PolicyError> for CocktailError {
+    fn from(err: cocktail_baselines::PolicyError) -> Self {
+        CocktailError::Substrate(err.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(CocktailError::InvalidConfig("alpha".into())
+            .to_string()
+            .contains("alpha"));
+        assert!(CocktailError::InvalidInput("chunks".into())
+            .to_string()
+            .contains("chunks"));
+    }
+
+    #[test]
+    fn conversions_from_substrates() {
+        let e: CocktailError = cocktail_kvcache::KvCacheError::ZeroChunkSize.into();
+        assert!(matches!(e, CocktailError::Substrate(_)));
+        let e: CocktailError = cocktail_quant::QuantError::ZeroGroupSize.into();
+        assert!(matches!(e, CocktailError::Substrate(_)));
+        let e: CocktailError = cocktail_model::ModelError::InvalidPrompt("x".into()).into();
+        assert!(matches!(e, CocktailError::Substrate(_)));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CocktailError>();
+    }
+}

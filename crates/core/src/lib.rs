@@ -1,0 +1,62 @@
+//! The Cocktail method: chunk-adaptive mixed-precision KV-cache
+//! quantization for long-context LLM inference.
+//!
+//! This crate implements the paper's two modules and wires them into an
+//! end-to-end pipeline:
+//!
+//! * **Module I — chunk-level quantization search** ([`search`]): the query
+//!   and every context chunk are embedded by a retrieval encoder, cosine
+//!   similarities are compared against two thresholds derived from the
+//!   score range with hyper-parameters α and β (Eq. 2/3), and every chunk
+//!   is assigned FP16, INT4 or INT2.
+//! * **Module II — chunk-level KV cache computation** ([`reorder`],
+//!   [`attention`]): KV chunks are reordered so chunks of equal bitwidth
+//!   are physically contiguous, quantized according to the plan, and
+//!   decode-phase attention is computed block-wise — one fused quantized
+//!   GEMM per precision group plus one FP16 GEMM — exactly as in the
+//!   paper's Algorithm 1. The output is mathematically identical to
+//!   unpermuted attention (the paper's Eq. 4/5), which the property tests
+//!   in this crate verify.
+//! * [`CocktailPolicy`] exposes the method through the same
+//!   [`CachePolicy`](cocktail_baselines::CachePolicy) interface as the
+//!   baselines, and [`CocktailPipeline`] runs the whole flow
+//!   (tokenize → prefill → search → reorder+quantize → decode) on a
+//!   simulated model.
+//!
+//! # Example
+//!
+//! ```
+//! use cocktail_core::{CocktailConfig, ChunkQuantSearch};
+//! use cocktail_quant::Bitwidth;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let chunks = vec![
+//!     "the weather report for tuesday says light rain".to_string(),
+//!     "the vault combination is nine four seven two".to_string(),
+//!     "lunch options include soup salad and sandwiches".to_string(),
+//! ];
+//! let config = CocktailConfig::default();
+//! let search = ChunkQuantSearch::new(config.clone());
+//! let plan = search.plan("what is the vault combination?", &chunks)?;
+//! assert_eq!(plan.assignments().len(), 3);
+//! assert_eq!(plan.assignments()[1], Bitwidth::Fp16); // the relevant chunk keeps full precision
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod attention;
+mod config;
+mod error;
+mod pipeline;
+mod policy;
+pub mod reorder;
+pub mod search;
+
+pub use config::CocktailConfig;
+pub use error::CocktailError;
+pub use pipeline::{CocktailOutcome, CocktailPipeline, PipelineTimings};
+pub use policy::CocktailPolicy;
+pub use search::{BitwidthPlan, ChunkQuantSearch};

@@ -1,0 +1,346 @@
+//! The end-to-end Cocktail inference pipeline.
+//!
+//! The pipeline follows Figure 2 of the paper: the context is chunked, the
+//! chunk-level quantization search scores the chunks against the query, the
+//! model prefills the prompt, the context KV cache is reordered and
+//! quantized according to the plan (the query's own KV stays FP16, as do
+//! the decode-phase output tokens), and the model decodes the answer over
+//! the compressed cache.
+
+use crate::config::CocktailConfig;
+use crate::error::CocktailError;
+use crate::policy::CocktailPolicy;
+use crate::search::BitwidthPlan;
+use cocktail_baselines::{CachePolicy, PolicyContext, PolicyReport};
+use cocktail_kvcache::{ChunkSegmentation, ChunkedKvCache, ChunkedLayerCache};
+use cocktail_model::{InferenceEngine, ModelProfile, PrefillOutput};
+use cocktail_retrieval::chunking;
+use std::time::Instant;
+
+/// Wall-clock timings of one pipeline run, in microseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PipelineTimings {
+    /// Prefill phase (full-precision attention over the prompt).
+    pub prefill_us: u128,
+    /// Chunk-level quantization search plus cache rewriting.
+    pub compress_us: u128,
+    /// Decode phase (token generation over the compressed cache).
+    pub decode_us: u128,
+}
+
+impl PipelineTimings {
+    /// Total time across the measured phases.
+    pub fn total_us(&self) -> u128 {
+        self.prefill_us + self.compress_us + self.decode_us
+    }
+}
+
+/// Everything one pipeline run produces.
+#[derive(Debug, Clone)]
+pub struct CocktailOutcome {
+    /// The decoded answer text.
+    pub answer: String,
+    /// The generated token ids.
+    pub generated_tokens: Vec<u32>,
+    /// What the cache policy did.
+    pub report: PolicyReport,
+    /// The bitwidth plan (absent when the policy was not Cocktail or
+    /// Module I was disabled).
+    pub plan: Option<BitwidthPlan>,
+    /// KV-cache bytes after compression (all layers and heads, including
+    /// the FP16 query/remainder/output tokens).
+    pub cache_bytes: usize,
+    /// KV-cache bytes the same request would need at FP16.
+    pub fp16_cache_bytes: usize,
+    /// Wall-clock timings.
+    pub timings: PipelineTimings,
+}
+
+impl CocktailOutcome {
+    /// Measured KV-cache compression ratio (>1 means smaller than FP16).
+    pub fn compression_ratio(&self) -> f64 {
+        if self.cache_bytes == 0 {
+            return 1.0;
+        }
+        self.fp16_cache_bytes as f64 / self.cache_bytes as f64
+    }
+}
+
+/// The end-to-end pipeline: simulated model + Cocktail policy.
+///
+/// # Example
+///
+/// ```
+/// use cocktail_core::{CocktailConfig, CocktailPipeline};
+/// use cocktail_model::ModelProfile;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let config = CocktailConfig::default().with_chunk_size(8)?;
+/// let pipeline = CocktailPipeline::new(ModelProfile::tiny(), config)?;
+/// let context = "the cargo manifest lists forty crates of oranges. \
+///                the harbour master signs off every shipment at dawn. \
+///                the access word for the customs office is bluebird.";
+/// let outcome = pipeline.run(context, "what is the access word?", 8)?;
+/// assert!(!outcome.answer.is_empty());
+/// assert!(outcome.compression_ratio() >= 1.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct CocktailPipeline {
+    engine: InferenceEngine,
+    config: CocktailConfig,
+}
+
+impl CocktailPipeline {
+    /// Builds a pipeline for a model profile.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CocktailError`] if the profile or configuration is invalid.
+    pub fn new(profile: ModelProfile, config: CocktailConfig) -> Result<Self, CocktailError> {
+        config.validate()?;
+        let engine = InferenceEngine::new(profile)?;
+        Ok(Self { engine, config })
+    }
+
+    /// Builds a pipeline around an existing engine.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CocktailError::InvalidConfig`] if the configuration is
+    /// invalid.
+    pub fn with_engine(
+        engine: InferenceEngine,
+        config: CocktailConfig,
+    ) -> Result<Self, CocktailError> {
+        config.validate()?;
+        Ok(Self { engine, config })
+    }
+
+    /// The underlying inference engine.
+    pub fn engine(&self) -> &InferenceEngine {
+        &self.engine
+    }
+
+    /// The Cocktail configuration.
+    pub fn config(&self) -> &CocktailConfig {
+        &self.config
+    }
+
+    /// Builds the chunked cache for a prompt whose first `context_len`
+    /// tokens are the context: the context portion is segmented into chunks
+    /// while the query tokens are appended to the FP16 tail (they are never
+    /// quantized, mirroring the paper's treatment of the query and of
+    /// decode-phase outputs).
+    fn build_context_cache(
+        &self,
+        prefill: &PrefillOutput,
+        context_len: usize,
+    ) -> Result<ChunkedKvCache, CocktailError> {
+        let config = self.engine.config();
+        let seg = ChunkSegmentation::new(context_len, self.config.chunk_size)?;
+        let mut cache = ChunkedKvCache::new(config.n_layers, config.n_kv_heads);
+        for (layer, heads) in prefill.kv.iter().enumerate() {
+            for (head, raw) in heads.iter().enumerate() {
+                let k_ctx = raw.k.slice_rows(0, context_len);
+                let v_ctx = raw.v.slice_rows(0, context_len);
+                let mut layer_cache = ChunkedLayerCache::from_prefill(&k_ctx, &v_ctx, &seg)?;
+                for row in context_len..raw.k.rows() {
+                    layer_cache.append_decode_token(raw.k.row(row), raw.v.row(row))?;
+                }
+                cache.set(layer, head, layer_cache);
+            }
+        }
+        Ok(cache)
+    }
+
+    /// Runs the full pipeline with the Cocktail policy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CocktailError`] if the prompt is invalid for the model or
+    /// any substrate operation fails.
+    pub fn run(
+        &self,
+        context: &str,
+        query: &str,
+        max_new_tokens: usize,
+    ) -> Result<CocktailOutcome, CocktailError> {
+        let policy = CocktailPolicy::new(self.config.clone())?;
+        self.run_with_policy(context, query, &policy, max_new_tokens)
+    }
+
+    /// Runs the pipeline with an arbitrary cache policy (FP16, Atom, KIVI,
+    /// KVQuant or Cocktail), so methods can be compared on identical
+    /// requests.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CocktailError`] if the prompt is invalid for the model or
+    /// any substrate operation fails.
+    pub fn run_with_policy(
+        &self,
+        context: &str,
+        query: &str,
+        policy: &dyn CachePolicy,
+        max_new_tokens: usize,
+    ) -> Result<CocktailOutcome, CocktailError> {
+        let tokenizer = self.engine.tokenizer();
+        let context_tokens = tokenizer.encode(context);
+        let query_tokens = tokenizer.encode(query);
+        if context_tokens.is_empty() || query_tokens.is_empty() {
+            return Err(CocktailError::InvalidInput(
+                "context and query must both be non-empty".into(),
+            ));
+        }
+        let mut prompt = context_tokens.clone();
+        prompt.extend_from_slice(&query_tokens);
+
+        let chunk_texts = chunking::chunk_words(context, self.config.chunk_size);
+
+        let start = Instant::now();
+        let prefill = self.engine.prefill(&prompt)?;
+        let prefill_us = start.elapsed().as_micros();
+
+        let compress_start = Instant::now();
+        let mut cache = self.build_context_cache(&prefill, context_tokens.len())?;
+        let fp16_cache_bytes = cache.total_fp16_reference_bytes();
+        let ctx = PolicyContext::new(chunk_texts.clone(), query);
+        let report = policy.apply(&mut cache, &ctx)?;
+        let compress_us = compress_start.elapsed().as_micros();
+        let cache_bytes = cache.total_storage_bytes();
+
+        let plan = if policy.name() == "Cocktail" && self.config.enable_search {
+            let cocktail = CocktailPolicy::new(self.config.clone())?;
+            Some(
+                cocktail
+                    .plan_for(&ctx, chunk_texts.len())
+                    .map_err(|e| CocktailError::Substrate(e.to_string()))?,
+            )
+        } else {
+            None
+        };
+
+        let decode_start = Instant::now();
+        let generated_tokens =
+            self.engine
+                .generate_with_cache(&prefill, &mut cache, max_new_tokens)?;
+        let decode_us = decode_start.elapsed().as_micros();
+
+        Ok(CocktailOutcome {
+            answer: tokenizer.decode(&generated_tokens),
+            generated_tokens,
+            report,
+            plan,
+            cache_bytes,
+            fp16_cache_bytes,
+            timings: PipelineTimings {
+                prefill_us,
+                compress_us,
+                decode_us,
+            },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cocktail_baselines::{AtomPolicy, Fp16Policy};
+    use cocktail_quant::Bitwidth;
+
+    fn pipeline(chunk_size: usize) -> CocktailPipeline {
+        CocktailPipeline::new(
+            ModelProfile::tiny(),
+            CocktailConfig::default()
+                .with_chunk_size(chunk_size)
+                .unwrap(),
+        )
+        .unwrap()
+    }
+
+    fn sample_context() -> String {
+        let mut parts: Vec<String> = (0..10)
+            .map(|i| format!("daily log {i} covers weather supplies and morale nothing unusual reported"))
+            .collect();
+        parts[6] = "important notice the evacuation signal phrase is amber lantern".to_string();
+        parts.join(" . ")
+    }
+
+    #[test]
+    fn end_to_end_run_produces_answer_and_compression() {
+        let pipeline = pipeline(16);
+        let outcome = pipeline
+            .run(&sample_context(), "what is the evacuation signal phrase?", 6)
+            .unwrap();
+        assert_eq!(outcome.generated_tokens.len(), 6);
+        assert!(!outcome.answer.is_empty());
+        assert!(outcome.compression_ratio() > 1.0);
+        assert!(outcome.cache_bytes < outcome.fp16_cache_bytes);
+        assert!(outcome.plan.is_some());
+        let plan = outcome.plan.as_ref().unwrap();
+        assert!(plan.count(Bitwidth::Int2) > 0);
+    }
+
+    #[test]
+    fn fp16_policy_run_has_ratio_one() {
+        let pipeline = pipeline(16);
+        let outcome = pipeline
+            .run_with_policy(&sample_context(), "what about morale?", &Fp16Policy::new(), 4)
+            .unwrap();
+        assert!((outcome.compression_ratio() - 1.0).abs() < 1e-9);
+        assert!(outcome.plan.is_none());
+    }
+
+    #[test]
+    fn atom_policy_compresses_more_uniformly_than_cocktail_keeps_relevant() {
+        let pipeline = pipeline(16);
+        let cocktail = pipeline
+            .run(&sample_context(), "what is the evacuation signal phrase?", 4)
+            .unwrap();
+        let atom = pipeline
+            .run_with_policy(
+                &sample_context(),
+                "what is the evacuation signal phrase?",
+                &AtomPolicy::default(),
+                4,
+            )
+            .unwrap();
+        // Cocktail keeps some chunks FP16, so it compresses less than pure
+        // INT4 Atom but still well below FP16.
+        assert!(cocktail.cache_bytes < cocktail.fp16_cache_bytes);
+        assert!(atom.cache_bytes < cocktail.fp16_cache_bytes);
+        assert_eq!(atom.report.chunks_at(Bitwidth::Fp16), 0);
+        assert!(cocktail.report.chunks_at(Bitwidth::Fp16) > 0);
+    }
+
+    #[test]
+    fn rejects_empty_inputs() {
+        let pipeline = pipeline(16);
+        assert!(pipeline.run("", "question", 4).is_err());
+        assert!(pipeline.run("some context", "", 4).is_err());
+    }
+
+    #[test]
+    fn timings_are_populated() {
+        let pipeline = pipeline(16);
+        let outcome = pipeline
+            .run(&sample_context(), "what supplies are mentioned?", 3)
+            .unwrap();
+        assert!(outcome.timings.prefill_us > 0);
+        assert!(outcome.timings.total_us() >= outcome.timings.prefill_us);
+    }
+
+    #[test]
+    fn short_context_with_no_full_chunk_still_runs() {
+        let pipeline = pipeline(64);
+        // Fewer than 64 context words: zero chunks, everything in FP16
+        // remainder, the policy has nothing to do.
+        let outcome = pipeline
+            .run("tiny context with a handful of words only", "what is this?", 3)
+            .unwrap();
+        assert_eq!(outcome.report.total_chunks(), 0);
+        assert!((outcome.compression_ratio() - 1.0).abs() < 1e-9);
+    }
+}

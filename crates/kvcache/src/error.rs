@@ -1,0 +1,87 @@
+//! Error type for KV-cache operations.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error raised by KV-cache construction, segmentation, permutation or
+/// attention operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KvCacheError {
+    /// The chunk size was zero.
+    ZeroChunkSize,
+    /// A chunk index was out of range.
+    ChunkIndexOutOfRange {
+        /// The offending index.
+        index: usize,
+        /// Number of chunks available.
+        len: usize,
+    },
+    /// The supplied order is not a valid permutation of `0..len`.
+    InvalidPermutation(String),
+    /// Tensor shapes are inconsistent with the cache configuration.
+    ShapeMismatch(String),
+    /// A quantization kernel reported an error.
+    Quant(String),
+}
+
+impl fmt::Display for KvCacheError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KvCacheError::ZeroChunkSize => write!(f, "chunk size must be nonzero"),
+            KvCacheError::ChunkIndexOutOfRange { index, len } => {
+                write!(f, "chunk index {index} out of range for {len} chunks")
+            }
+            KvCacheError::InvalidPermutation(detail) => {
+                write!(f, "invalid chunk permutation: {detail}")
+            }
+            KvCacheError::ShapeMismatch(detail) => write!(f, "kv cache shape mismatch: {detail}"),
+            KvCacheError::Quant(detail) => write!(f, "kv cache quantization failed: {detail}"),
+        }
+    }
+}
+
+impl Error for KvCacheError {}
+
+impl From<cocktail_quant::QuantError> for KvCacheError {
+    fn from(err: cocktail_quant::QuantError) -> Self {
+        KvCacheError::Quant(err.to_string())
+    }
+}
+
+impl From<cocktail_tensor::ShapeError> for KvCacheError {
+    fn from(err: cocktail_tensor::ShapeError) -> Self {
+        KvCacheError::ShapeMismatch(err.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        assert!(KvCacheError::ZeroChunkSize.to_string().contains("chunk size"));
+        assert!(KvCacheError::ChunkIndexOutOfRange { index: 5, len: 3 }
+            .to_string()
+            .contains('5'));
+        assert!(KvCacheError::InvalidPermutation("dup".into())
+            .to_string()
+            .contains("dup"));
+    }
+
+    #[test]
+    fn conversions_from_substrate_errors() {
+        let qe = cocktail_quant::QuantError::ZeroGroupSize;
+        let err: KvCacheError = qe.into();
+        assert!(matches!(err, KvCacheError::Quant(_)));
+        let se = cocktail_tensor::ShapeError::new("matmul", "bad");
+        let err: KvCacheError = se.into();
+        assert!(matches!(err, KvCacheError::ShapeMismatch(_)));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<KvCacheError>();
+    }
+}

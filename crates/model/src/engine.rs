@@ -1,0 +1,553 @@
+//! The inference engine: prefill and decode phases over a chunked KV cache.
+
+use crate::config::ModelConfig;
+use crate::error::ModelError;
+use crate::profile::ModelProfile;
+use crate::tokenizer::Tokenizer;
+use crate::weights::ModelWeights;
+use cocktail_kvcache::{ChunkSegmentation, ChunkedKvCache, ChunkedLayerCache};
+use cocktail_tensor::ops::{causal_mask, rms_norm_rows, rope_rows, silu};
+use cocktail_tensor::Matrix;
+
+/// Raw (unquantized) key/value tensors of one (layer, KV-head) pair
+/// produced by the prefill phase, shape `(tokens, head_dim)` each.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RawKv {
+    /// Key tensor after rotary position embedding.
+    pub k: Matrix,
+    /// Value tensor.
+    pub v: Matrix,
+}
+
+/// Everything the prefill phase produces.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PrefillOutput {
+    /// Raw per-layer, per-KV-head key/value tensors (`[layer][kv_head]`).
+    pub kv: Vec<Vec<RawKv>>,
+    /// Final-norm hidden states of every prompt token, `(tokens, hidden)`.
+    pub hidden: Matrix,
+    /// Logits of the token following the prompt.
+    pub last_logits: Vec<f32>,
+}
+
+impl PrefillOutput {
+    /// Greedy next token after the prompt.
+    pub fn next_token(&self) -> u32 {
+        argmax(&self.last_logits)
+    }
+}
+
+/// Result of a single decode step.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecodeStep {
+    /// Logits over the vocabulary for the next position.
+    pub logits: Vec<f32>,
+    /// Greedy argmax of the logits.
+    pub next_token: u32,
+}
+
+/// A decoder-only transformer inference engine with deterministic seeded
+/// weights and a pluggable chunked KV cache.
+///
+/// The engine separates the two phases exactly as the paper describes:
+/// [`InferenceEngine::prefill`] runs full causal attention over the prompt
+/// in FP32 and returns the raw per-layer KV tensors;
+/// [`InferenceEngine::build_cache`] segments those tensors into a
+/// [`ChunkedKvCache`]; a quantization policy (baseline or Cocktail) then
+/// rewrites the cache in place; and [`InferenceEngine::decode_step`] /
+/// [`InferenceEngine::generate_with_cache`] run decode-phase attention over
+/// the (possibly quantized, possibly reordered) cache.
+///
+/// # Example
+///
+/// ```
+/// use cocktail_model::{InferenceEngine, ModelProfile};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let engine = InferenceEngine::new(ModelProfile::tiny())?;
+/// let prompt = engine.tokenizer().encode("alpha beta gamma delta epsilon zeta");
+/// let prefill = engine.prefill(&prompt)?;
+/// let mut cache = engine.build_cache(&prefill, 2)?;
+/// let generated = engine.generate_with_cache(&prefill, &mut cache, 4)?;
+/// assert_eq!(generated.len(), 4);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct InferenceEngine {
+    config: ModelConfig,
+    weights: ModelWeights,
+    tokenizer: Tokenizer,
+}
+
+impl InferenceEngine {
+    /// Builds an engine from a [`ModelProfile`], using its simulated
+    /// configuration and weight seed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidConfig`] if the profile's configuration
+    /// fails validation.
+    pub fn new(profile: ModelProfile) -> Result<Self, ModelError> {
+        Self::from_config(profile.sim().clone(), profile.seed())
+    }
+
+    /// Builds an engine from an explicit configuration and weight seed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidConfig`] if the configuration fails
+    /// validation.
+    pub fn from_config(config: ModelConfig, seed: u64) -> Result<Self, ModelError> {
+        config.validate()?;
+        let weights = ModelWeights::seeded(&config, seed);
+        let tokenizer = Tokenizer::new(config.vocab_size);
+        Ok(Self {
+            config,
+            weights,
+            tokenizer,
+        })
+    }
+
+    /// The model configuration.
+    pub fn config(&self) -> &ModelConfig {
+        &self.config
+    }
+
+    /// The engine's tokenizer.
+    pub fn tokenizer(&self) -> &Tokenizer {
+        &self.tokenizer
+    }
+
+    /// The engine's weights (read-only).
+    pub fn weights(&self) -> &ModelWeights {
+        &self.weights
+    }
+
+    fn embed(&self, tokens: &[u32]) -> Result<Matrix, ModelError> {
+        let vocab = self.config.vocab_size;
+        for &t in tokens {
+            if t as usize >= vocab {
+                return Err(ModelError::InvalidPrompt(format!(
+                    "token id {t} exceeds vocabulary size {vocab}"
+                )));
+            }
+        }
+        let indices: Vec<usize> = tokens.iter().map(|&t| t as usize).collect();
+        Ok(self.weights.embedding.gather_rows(&indices))
+    }
+
+    fn attention_scale(&self) -> f32 {
+        1.0 / (self.config.head_dim() as f32).sqrt()
+    }
+
+    /// Runs the prefill phase over `tokens` (full causal attention in FP32)
+    /// and returns the raw KV tensors, hidden states and next-token logits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidPrompt`] if the prompt is empty, longer
+    /// than the model's maximum context, or contains out-of-vocabulary ids.
+    pub fn prefill(&self, tokens: &[u32]) -> Result<PrefillOutput, ModelError> {
+        if tokens.is_empty() {
+            return Err(ModelError::InvalidPrompt("prompt is empty".into()));
+        }
+        if tokens.len() > self.config.max_context {
+            return Err(ModelError::InvalidPrompt(format!(
+                "prompt of {} tokens exceeds max context {}",
+                tokens.len(),
+                self.config.max_context
+            )));
+        }
+        let head = self.config.head_dim();
+        let scale = self.attention_scale();
+        let t = tokens.len();
+        let mask = causal_mask(t, t);
+
+        let mut x = self.embed(tokens)?;
+        let mut kv: Vec<Vec<RawKv>> = Vec::with_capacity(self.config.n_layers);
+
+        for layer in &self.weights.layers {
+            // Attention block.
+            let mut normed = x.clone();
+            rms_norm_rows(&mut normed, &layer.attn_norm, self.config.rms_eps);
+            let q_all = normed.matmul(&layer.wq)?;
+            let k_all = normed.matmul(&layer.wk)?;
+            let v_all = normed.matmul(&layer.wv)?;
+
+            // Per-KV-head K/V with RoPE applied to keys.
+            let mut layer_kv = Vec::with_capacity(self.config.n_kv_heads);
+            for j in 0..self.config.n_kv_heads {
+                let mut k_j = k_all.slice_cols(j * head, (j + 1) * head);
+                rope_rows(&mut k_j, 0, self.config.rope_theta);
+                let v_j = v_all.slice_cols(j * head, (j + 1) * head);
+                layer_kv.push(RawKv { k: k_j, v: v_j });
+            }
+
+            // Per-query-head attention.
+            let mut head_outputs = Vec::with_capacity(self.config.n_heads);
+            for h in 0..self.config.n_heads {
+                let mut q_h = q_all.slice_cols(h * head, (h + 1) * head);
+                rope_rows(&mut q_h, 0, self.config.rope_theta);
+                let kv_h = &layer_kv[h / self.config.gqa_group_size()];
+                let mut scores = q_h.matmul_transposed(&kv_h.k)?;
+                scores.scale_in_place(scale);
+                let probs = scores.masked_softmax(&mask)?;
+                head_outputs.push(probs.matmul(&kv_h.v)?);
+            }
+            let head_refs: Vec<&Matrix> = head_outputs.iter().collect();
+            let attn = Matrix::concat_cols(&head_refs)?;
+            let attn_proj = attn.matmul(&layer.wo)?;
+            x.add_assign(&attn_proj)?;
+
+            // MLP block (SwiGLU).
+            let mut normed2 = x.clone();
+            rms_norm_rows(&mut normed2, &layer.mlp_norm, self.config.rms_eps);
+            let gate = normed2.matmul(&layer.w_gate)?;
+            let up = normed2.matmul(&layer.w_up)?;
+            let mut fused = gate;
+            for (g, u) in fused.as_mut_slice().iter_mut().zip(up.as_slice()) {
+                *g = silu(*g) * u;
+            }
+            let down = fused.matmul(&layer.w_down)?;
+            x.add_assign(&down)?;
+
+            kv.push(layer_kv);
+        }
+
+        let mut hidden = x;
+        rms_norm_rows(&mut hidden, &self.weights.final_norm, self.config.rms_eps);
+        let last_hidden = hidden.slice_rows(t - 1, t);
+        let logits = last_hidden.matmul(&self.weights.lm_head)?;
+        Ok(PrefillOutput {
+            kv,
+            last_logits: logits.row(0).to_vec(),
+            hidden,
+        })
+    }
+
+    /// Segments the prefill KV tensors into a [`ChunkedKvCache`] with the
+    /// given chunk size. All chunks start in FP16; a quantization policy is
+    /// applied afterwards.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::CacheMismatch`] if the chunk size is zero.
+    pub fn build_cache(
+        &self,
+        prefill: &PrefillOutput,
+        chunk_size: usize,
+    ) -> Result<ChunkedKvCache, ModelError> {
+        let context_len = prefill
+            .kv
+            .first()
+            .and_then(|heads| heads.first())
+            .map(|kv| kv.k.rows())
+            .unwrap_or(0);
+        let seg = ChunkSegmentation::new(context_len, chunk_size)?;
+        let mut cache = ChunkedKvCache::new(self.config.n_layers, self.config.n_kv_heads);
+        for (layer, heads) in prefill.kv.iter().enumerate() {
+            for (head, raw) in heads.iter().enumerate() {
+                cache.set(
+                    layer,
+                    head,
+                    ChunkedLayerCache::from_prefill(&raw.k, &raw.v, &seg)?,
+                );
+            }
+        }
+        Ok(cache)
+    }
+
+    /// Runs one decode step: processes `token` at absolute position `pos`,
+    /// appends its KV to the cache tail and returns the next-token logits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::CacheMismatch`] if the cache layout does not
+    /// match the model, or [`ModelError::InvalidPrompt`] for an
+    /// out-of-vocabulary token.
+    pub fn decode_step(
+        &self,
+        token: u32,
+        pos: usize,
+        cache: &mut ChunkedKvCache,
+    ) -> Result<DecodeStep, ModelError> {
+        if cache.layers() != self.config.n_layers || cache.kv_heads() != self.config.n_kv_heads {
+            return Err(ModelError::CacheMismatch(format!(
+                "cache has {}x{} slots, model needs {}x{}",
+                cache.layers(),
+                cache.kv_heads(),
+                self.config.n_layers,
+                self.config.n_kv_heads
+            )));
+        }
+        let head = self.config.head_dim();
+        let scale = self.attention_scale();
+        let mut x = self.embed(&[token])?;
+
+        for (layer_idx, layer) in self.weights.layers.iter().enumerate() {
+            let mut normed = x.clone();
+            rms_norm_rows(&mut normed, &layer.attn_norm, self.config.rms_eps);
+            let q_all = normed.matmul(&layer.wq)?;
+            let k_all = normed.matmul(&layer.wk)?;
+            let v_all = normed.matmul(&layer.wv)?;
+
+            // Append this token's KV to every KV-head cache first so that the
+            // token attends to itself, as in standard causal decoding.
+            for j in 0..self.config.n_kv_heads {
+                let mut k_j = k_all.slice_cols(j * head, (j + 1) * head);
+                rope_rows(&mut k_j, pos, self.config.rope_theta);
+                let v_j = v_all.slice_cols(j * head, (j + 1) * head);
+                let slot = cache.get_mut(layer_idx, j).ok_or_else(|| {
+                    ModelError::CacheMismatch(format!(
+                        "cache slot (layer {layer_idx}, head {j}) is not populated"
+                    ))
+                })?;
+                slot.append_decode_token(k_j.row(0), v_j.row(0))?;
+            }
+
+            let mut head_outputs = Vec::with_capacity(self.config.n_heads);
+            for h in 0..self.config.n_heads {
+                let mut q_h = q_all.slice_cols(h * head, (h + 1) * head);
+                rope_rows(&mut q_h, pos, self.config.rope_theta);
+                let kv_head = h / self.config.gqa_group_size();
+                let slot = cache.get(layer_idx, kv_head).ok_or_else(|| {
+                    ModelError::CacheMismatch(format!(
+                        "cache slot (layer {layer_idx}, head {kv_head}) is not populated"
+                    ))
+                })?;
+                let attn = slot.attend(&q_h, scale)?;
+                head_outputs.push(attn.output);
+            }
+            let head_refs: Vec<&Matrix> = head_outputs.iter().collect();
+            let attn = Matrix::concat_cols(&head_refs)?;
+            x.add_assign(&attn.matmul(&layer.wo)?)?;
+
+            let mut normed2 = x.clone();
+            rms_norm_rows(&mut normed2, &layer.mlp_norm, self.config.rms_eps);
+            let gate = normed2.matmul(&layer.w_gate)?;
+            let up = normed2.matmul(&layer.w_up)?;
+            let mut fused = gate;
+            for (g, u) in fused.as_mut_slice().iter_mut().zip(up.as_slice()) {
+                *g = silu(*g) * u;
+            }
+            x.add_assign(&fused.matmul(&layer.w_down)?)?;
+        }
+
+        rms_norm_rows(&mut x, &self.weights.final_norm, self.config.rms_eps);
+        let logits = x.matmul(&self.weights.lm_head)?;
+        let logits_vec = logits.row(0).to_vec();
+        let next_token = argmax(&logits_vec);
+        Ok(DecodeStep {
+            logits: logits_vec,
+            next_token,
+        })
+    }
+
+    /// Greedy generation of `max_new_tokens` tokens after the prompt, using
+    /// the supplied cache (which has usually been rewritten by a
+    /// quantization policy between [`InferenceEngine::build_cache`] and this
+    /// call).
+    ///
+    /// # Errors
+    ///
+    /// Propagates any error from [`InferenceEngine::decode_step`].
+    pub fn generate_with_cache(
+        &self,
+        prefill: &PrefillOutput,
+        cache: &mut ChunkedKvCache,
+        max_new_tokens: usize,
+    ) -> Result<Vec<u32>, ModelError> {
+        let mut generated = Vec::with_capacity(max_new_tokens);
+        let prompt_len = prefill.hidden.rows();
+        let mut token = prefill.next_token();
+        for step in 0..max_new_tokens {
+            generated.push(token);
+            if step + 1 == max_new_tokens {
+                break;
+            }
+            let out = self.decode_step(token, prompt_len + step, cache)?;
+            token = out.next_token;
+        }
+        Ok(generated)
+    }
+}
+
+fn argmax(values: &[f32]) -> u32 {
+    let mut best = 0usize;
+    let mut best_val = f32::NEG_INFINITY;
+    for (i, &v) in values.iter().enumerate() {
+        if v > best_val {
+            best_val = v;
+            best = i;
+        }
+    }
+    best as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cocktail_quant::{Bitwidth, QuantAxis};
+
+    fn tiny_engine() -> InferenceEngine {
+        InferenceEngine::new(ModelProfile::tiny()).unwrap()
+    }
+
+    fn sample_prompt(engine: &InferenceEngine, words: usize) -> Vec<u32> {
+        let text: Vec<String> = (0..words).map(|i| format!("word{i}")).collect();
+        engine.tokenizer().encode(&text.join(" "))
+    }
+
+    #[test]
+    fn prefill_produces_kv_of_expected_shapes() {
+        let engine = tiny_engine();
+        let prompt = sample_prompt(&engine, 12);
+        let out = engine.prefill(&prompt).unwrap();
+        assert_eq!(out.kv.len(), engine.config().n_layers);
+        assert_eq!(out.kv[0].len(), engine.config().n_kv_heads);
+        assert_eq!(out.kv[0][0].k.shape(), (12, engine.config().head_dim()));
+        assert_eq!(out.hidden.shape(), (12, engine.config().hidden_dim));
+        assert_eq!(out.last_logits.len(), engine.config().vocab_size);
+        assert!(out.last_logits.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn prefill_rejects_empty_and_oversized_prompts() {
+        let engine = tiny_engine();
+        assert!(engine.prefill(&[]).is_err());
+        let too_long = vec![2u32; engine.config().max_context + 1];
+        assert!(engine.prefill(&too_long).is_err());
+    }
+
+    #[test]
+    fn prefill_rejects_out_of_vocab_tokens() {
+        let engine = tiny_engine();
+        let bad = vec![engine.config().vocab_size as u32 + 5];
+        assert!(engine.prefill(&bad).is_err());
+    }
+
+    #[test]
+    fn prefill_is_deterministic() {
+        let engine = tiny_engine();
+        let prompt = sample_prompt(&engine, 8);
+        let a = engine.prefill(&prompt).unwrap();
+        let b = engine.prefill(&prompt).unwrap();
+        assert_eq!(a.last_logits, b.last_logits);
+        assert_eq!(a.kv[0][0].k, b.kv[0][0].k);
+    }
+
+    #[test]
+    fn prefill_is_causal() {
+        // Logits for the first tokens must not change when more tokens are
+        // appended to the prompt.
+        let engine = tiny_engine();
+        let long = sample_prompt(&engine, 10);
+        let short = long[..6].to_vec();
+        let out_short = engine.prefill(&short).unwrap();
+        let out_long = engine.prefill(&long).unwrap();
+        // Hidden state of position 5 must be identical in both runs.
+        let h_short = out_short.hidden.row(5);
+        let h_long = out_long.hidden.row(5);
+        for (a, b) in h_short.iter().zip(h_long.iter()) {
+            assert!((a - b).abs() < 1e-4, "causality violated: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn build_cache_has_one_slot_per_layer_and_head() {
+        let engine = tiny_engine();
+        let prompt = sample_prompt(&engine, 10);
+        let prefill = engine.prefill(&prompt).unwrap();
+        let cache = engine.build_cache(&prefill, 4).unwrap();
+        assert_eq!(cache.layers(), engine.config().n_layers);
+        assert_eq!(cache.kv_heads(), engine.config().n_kv_heads);
+        let layer0 = cache.get(0, 0).unwrap();
+        assert_eq!(layer0.chunk_count(), 2); // 10 tokens, chunk 4 -> 2 chunks + 2 remainder
+        assert_eq!(layer0.remainder_len(), 2);
+    }
+
+    #[test]
+    fn decode_step_appends_to_cache_and_returns_valid_token() {
+        let engine = tiny_engine();
+        let prompt = sample_prompt(&engine, 8);
+        let prefill = engine.prefill(&prompt).unwrap();
+        let mut cache = engine.build_cache(&prefill, 4).unwrap();
+        let before = cache.get(0, 0).unwrap().total_tokens();
+        let step = engine.decode_step(3, prompt.len(), &mut cache).unwrap();
+        assert!((step.next_token as usize) < engine.config().vocab_size);
+        assert_eq!(cache.get(0, 0).unwrap().total_tokens(), before + 1);
+        assert_eq!(step.logits.len(), engine.config().vocab_size);
+    }
+
+    #[test]
+    fn decode_with_quantized_cache_stays_close_to_fp16() {
+        let engine = tiny_engine();
+        let prompt = sample_prompt(&engine, 16);
+        let prefill = engine.prefill(&prompt).unwrap();
+
+        let mut fp16_cache = engine.build_cache(&prefill, 4).unwrap();
+        let fp16_step = engine.decode_step(5, prompt.len(), &mut fp16_cache).unwrap();
+
+        let mut int8_cache = engine.build_cache(&prefill, 4).unwrap();
+        int8_cache
+            .try_for_each_mut(|_, _, layer| {
+                layer.quantize_all(Bitwidth::Int8, QuantAxis::PerToken, QuantAxis::PerToken, 16)
+            })
+            .unwrap();
+        let int8_step = engine.decode_step(5, prompt.len(), &mut int8_cache).unwrap();
+
+        let max_diff = fp16_step
+            .logits
+            .iter()
+            .zip(int8_step.logits.iter())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f32, f32::max);
+        let scale = fp16_step
+            .logits
+            .iter()
+            .map(|v| v.abs())
+            .fold(0.0f32, f32::max)
+            .max(1e-3);
+        assert!(
+            max_diff / scale < 0.1,
+            "int8 cache changed logits too much: {max_diff} vs scale {scale}"
+        );
+    }
+
+    #[test]
+    fn decode_step_rejects_mismatched_cache() {
+        let engine = tiny_engine();
+        let mut wrong = ChunkedKvCache::new(1, 1);
+        assert!(engine.decode_step(0, 0, &mut wrong).is_err());
+    }
+
+    #[test]
+    fn generate_emits_requested_number_of_tokens() {
+        let engine = tiny_engine();
+        let prompt = sample_prompt(&engine, 8);
+        let prefill = engine.prefill(&prompt).unwrap();
+        let mut cache = engine.build_cache(&prefill, 4).unwrap();
+        let out = engine.generate_with_cache(&prefill, &mut cache, 5).unwrap();
+        assert_eq!(out.len(), 5);
+        assert!(out.iter().all(|&t| (t as usize) < engine.config().vocab_size));
+    }
+
+    #[test]
+    fn gqa_engine_runs_end_to_end() {
+        let profile = ModelProfile::mistral_7b_sim();
+        let engine = InferenceEngine::new(profile).unwrap();
+        assert!(engine.config().gqa_group_size() > 1);
+        let prompt = sample_prompt(&engine, 12);
+        let prefill = engine.prefill(&prompt).unwrap();
+        let mut cache = engine.build_cache(&prefill, 4).unwrap();
+        let out = engine.generate_with_cache(&prefill, &mut cache, 3).unwrap();
+        assert_eq!(out.len(), 3);
+    }
+
+    #[test]
+    fn argmax_picks_largest() {
+        assert_eq!(argmax(&[0.1, 3.0, -2.0]), 1);
+        assert_eq!(argmax(&[-5.0]), 0);
+    }
+}

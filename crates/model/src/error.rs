@@ -1,0 +1,79 @@
+//! Error type for the inference engine.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error raised by model construction or inference.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModelError {
+    /// The model configuration is internally inconsistent.
+    InvalidConfig(String),
+    /// The prompt is empty or exceeds the model's maximum context length.
+    InvalidPrompt(String),
+    /// The KV cache does not match the model (layer/head/shape mismatch).
+    CacheMismatch(String),
+    /// An underlying tensor or quantization operation failed.
+    Numeric(String),
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::InvalidConfig(d) => write!(f, "invalid model configuration: {d}"),
+            ModelError::InvalidPrompt(d) => write!(f, "invalid prompt: {d}"),
+            ModelError::CacheMismatch(d) => write!(f, "kv cache does not match model: {d}"),
+            ModelError::Numeric(d) => write!(f, "numeric operation failed: {d}"),
+        }
+    }
+}
+
+impl Error for ModelError {}
+
+impl From<cocktail_tensor::ShapeError> for ModelError {
+    fn from(err: cocktail_tensor::ShapeError) -> Self {
+        ModelError::Numeric(err.to_string())
+    }
+}
+
+impl From<cocktail_kvcache::KvCacheError> for ModelError {
+    fn from(err: cocktail_kvcache::KvCacheError) -> Self {
+        ModelError::CacheMismatch(err.to_string())
+    }
+}
+
+impl From<cocktail_quant::QuantError> for ModelError {
+    fn from(err: cocktail_quant::QuantError) -> Self {
+        ModelError::Numeric(err.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(ModelError::InvalidConfig("hidden".into())
+            .to_string()
+            .contains("hidden"));
+        assert!(ModelError::InvalidPrompt("empty".into())
+            .to_string()
+            .contains("empty"));
+    }
+
+    #[test]
+    fn conversions_work() {
+        let err: ModelError = cocktail_tensor::ShapeError::new("matmul", "2x3").into();
+        assert!(matches!(err, ModelError::Numeric(_)));
+        let err: ModelError = cocktail_kvcache::KvCacheError::ZeroChunkSize.into();
+        assert!(matches!(err, ModelError::CacheMismatch(_)));
+        let err: ModelError = cocktail_quant::QuantError::ZeroGroupSize.into();
+        assert!(matches!(err, ModelError::Numeric(_)));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ModelError>();
+    }
+}

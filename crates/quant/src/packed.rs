@@ -1,0 +1,209 @@
+//! Bit-packed storage for 2/4/8-bit integer codes.
+
+use crate::bitwidth::Bitwidth;
+use serde::{Deserialize, Serialize};
+
+/// A sequence of unsigned integer codes packed `bits`-per-value into bytes.
+///
+/// INT2 stores four codes per byte, INT4 two and INT8 one, little-endian
+/// within the byte (the first logical value occupies the least-significant
+/// bits). This is the physical representation whose size the hardware model
+/// accounts for.
+///
+/// # Example
+///
+/// ```
+/// use cocktail_quant::{Bitwidth, PackedInts};
+///
+/// let packed = PackedInts::pack(&[3, 0, 1, 2, 3], Bitwidth::Int2);
+/// assert_eq!(packed.len(), 5);
+/// assert_eq!(packed.byte_len(), 2);
+/// assert_eq!(packed.get(0), 3);
+/// assert_eq!(packed.unpack(), vec![3, 0, 1, 2, 3]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PackedInts {
+    bitwidth: Bitwidth,
+    len: usize,
+    bytes: Vec<u8>,
+}
+
+impl PackedInts {
+    /// Packs a slice of codes at the given integer bitwidth.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bitwidth` is [`Bitwidth::Fp16`] or any code exceeds
+    /// [`Bitwidth::max_code`].
+    pub fn pack(codes: &[u32], bitwidth: Bitwidth) -> Self {
+        assert!(
+            bitwidth.is_integer(),
+            "packed storage requires an integer bitwidth"
+        );
+        let max = bitwidth.max_code();
+        let per_byte = bitwidth.values_per_byte();
+        let bits = bitwidth.bits();
+        let mut bytes = vec![0u8; codes.len().div_ceil(per_byte)];
+        for (i, &code) in codes.iter().enumerate() {
+            assert!(code <= max, "code {code} exceeds max {max} for {bitwidth}");
+            let byte = i / per_byte;
+            let slot = (i % per_byte) as u32;
+            bytes[byte] |= (code as u8) << (slot * bits);
+        }
+        Self {
+            bitwidth,
+            len: codes.len(),
+            bytes,
+        }
+    }
+
+    /// Creates an empty container for the given bitwidth.
+    pub fn empty(bitwidth: Bitwidth) -> Self {
+        Self::pack(&[], bitwidth)
+    }
+
+    /// Number of logical values stored.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` if no values are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of bytes of payload storage.
+    pub fn byte_len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// The bitwidth the values are packed at.
+    pub fn bitwidth(&self) -> Bitwidth {
+        self.bitwidth
+    }
+
+    /// Raw packed bytes.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Returns the `i`-th logical value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    #[inline]
+    pub fn get(&self, i: usize) -> u32 {
+        assert!(i < self.len, "packed index out of bounds");
+        let per_byte = self.bitwidth.values_per_byte();
+        let bits = self.bitwidth.bits();
+        let byte = self.bytes[i / per_byte];
+        let slot = (i % per_byte) as u32;
+        let mask = self.bitwidth.max_code() as u8;
+        u32::from((byte >> (slot * bits)) & mask)
+    }
+
+    /// Unpacks every value into a `Vec<u32>`.
+    pub fn unpack(&self) -> Vec<u32> {
+        (0..self.len).map(|i| self.get(i)).collect()
+    }
+
+    /// Iterator over the logical values.
+    pub fn iter(&self) -> impl Iterator<Item = u32> + '_ {
+        (0..self.len).map(move |i| self.get(i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn int2_packs_four_per_byte() {
+        let p = PackedInts::pack(&[0, 1, 2, 3, 3, 2, 1, 0], Bitwidth::Int2);
+        assert_eq!(p.byte_len(), 2);
+        assert_eq!(p.unpack(), vec![0, 1, 2, 3, 3, 2, 1, 0]);
+    }
+
+    #[test]
+    fn int4_packs_two_per_byte() {
+        let p = PackedInts::pack(&[15, 0, 7], Bitwidth::Int4);
+        assert_eq!(p.byte_len(), 2);
+        assert_eq!(p.unpack(), vec![15, 0, 7]);
+        assert_eq!(p.as_bytes()[0], 0x0F);
+    }
+
+    #[test]
+    fn int8_is_one_per_byte() {
+        let p = PackedInts::pack(&[255, 128, 0], Bitwidth::Int8);
+        assert_eq!(p.byte_len(), 3);
+        assert_eq!(p.unpack(), vec![255, 128, 0]);
+    }
+
+    #[test]
+    fn empty_has_no_bytes() {
+        let p = PackedInts::empty(Bitwidth::Int2);
+        assert!(p.is_empty());
+        assert_eq!(p.byte_len(), 0);
+        assert_eq!(p.unpack(), Vec::<u32>::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds max")]
+    fn pack_rejects_out_of_range_code() {
+        PackedInts::pack(&[4], Bitwidth::Int2);
+    }
+
+    #[test]
+    #[should_panic(expected = "integer bitwidth")]
+    fn pack_rejects_fp16() {
+        PackedInts::pack(&[0], Bitwidth::Fp16);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn get_out_of_bounds_panics() {
+        let p = PackedInts::pack(&[1, 2], Bitwidth::Int4);
+        p.get(2);
+    }
+
+    #[test]
+    fn iter_matches_unpack() {
+        let codes = vec![1u32, 3, 0, 2, 1];
+        let p = PackedInts::pack(&codes, Bitwidth::Int2);
+        let collected: Vec<u32> = p.iter().collect();
+        assert_eq!(collected, codes);
+    }
+
+    #[test]
+    fn byte_len_matches_bitwidth_formula() {
+        for bw in [Bitwidth::Int2, Bitwidth::Int4, Bitwidth::Int8] {
+            for n in 0..20 {
+                let codes: Vec<u32> = (0..n).map(|i| i as u32 % bw.levels()).collect();
+                let p = PackedInts::pack(&codes, bw);
+                assert_eq!(p.byte_len(), bw.payload_bytes(n), "{bw} n={n}");
+            }
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn pack_unpack_round_trip_int2(codes in proptest::collection::vec(0u32..4, 0..128)) {
+            let p = PackedInts::pack(&codes, Bitwidth::Int2);
+            prop_assert_eq!(p.unpack(), codes);
+        }
+
+        #[test]
+        fn pack_unpack_round_trip_int4(codes in proptest::collection::vec(0u32..16, 0..128)) {
+            let p = PackedInts::pack(&codes, Bitwidth::Int4);
+            prop_assert_eq!(p.unpack(), codes);
+        }
+
+        #[test]
+        fn pack_unpack_round_trip_int8(codes in proptest::collection::vec(0u32..256, 0..128)) {
+            let p = PackedInts::pack(&codes, Bitwidth::Int8);
+            prop_assert_eq!(p.unpack(), codes);
+        }
+    }
+}

@@ -1,0 +1,436 @@
+//! Asymmetric uniform group quantization of a dense matrix.
+
+use crate::bitwidth::Bitwidth;
+use crate::config::{QuantAxis, QuantConfig, QuantError};
+use crate::packed::PackedInts;
+use cocktail_tensor::{Matrix, F16};
+use serde::{Deserialize, Serialize};
+
+/// A matrix stored as bit-packed integer codes plus per-group scale and
+/// zero-point parameters.
+///
+/// Quantization is *asymmetric uniform*: for each group the code of value
+/// `x` is `round((x − zero) / scale)` clamped to the representable range,
+/// with `zero = min(group)` and `scale = (max(group) − min(group)) / max_code`.
+/// Quantization parameters are themselves rounded to FP16, which is how
+/// real KV-cache quantization kernels store them.
+///
+/// The group layout follows [`QuantAxis`]: per-token groups run along rows
+/// (one token's head dimensions), per-channel groups run down columns.
+///
+/// # Example
+///
+/// ```
+/// use cocktail_quant::{Bitwidth, QuantAxis, QuantConfig, QuantizedMatrix};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let m = cocktail_tensor::rng::gaussian_matrix(16, 64, 1.0, 3);
+/// let cfg = QuantConfig::new(Bitwidth::Int8, QuantAxis::PerToken, 32)?;
+/// let q = QuantizedMatrix::quantize(&m, &cfg)?;
+/// assert_eq!(q.shape(), (16, 64));
+/// assert!(q.dequantize().max_abs_diff(&m)? < 0.05);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QuantizedMatrix {
+    rows: usize,
+    cols: usize,
+    config: QuantConfig,
+    codes: PackedInts,
+    scales: Vec<f32>,
+    zeros: Vec<f32>,
+}
+
+impl QuantizedMatrix {
+    /// Quantizes a matrix according to `config`.
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible for any non-degenerate configuration, but kept
+    /// fallible so future layouts (e.g. NUQ codebooks) can report
+    /// incompatibilities; the error type is [`QuantError`].
+    pub fn quantize(matrix: &Matrix, config: &QuantConfig) -> Result<Self, QuantError> {
+        let (rows, cols) = matrix.shape();
+        let group = config.group_size();
+        let max_code = config.bitwidth().max_code() as f32;
+
+        let (group_count, elems) = match config.axis() {
+            QuantAxis::PerToken => {
+                let per_row = cols.div_ceil(group);
+                (rows * per_row, rows * cols)
+            }
+            QuantAxis::PerChannel => {
+                let per_col = rows.div_ceil(group);
+                (cols * per_col, rows * cols)
+            }
+        };
+
+        let mut scales = vec![1.0f32; group_count];
+        let mut zeros = vec![0.0f32; group_count];
+        let mut codes = vec![0u32; elems];
+
+        // First pass: group statistics.
+        let mut mins = vec![f32::INFINITY; group_count];
+        let mut maxs = vec![f32::NEG_INFINITY; group_count];
+        for r in 0..rows {
+            for c in 0..cols {
+                let g = Self::group_index_for(config, rows, cols, r, c);
+                let v = matrix.get(r, c);
+                if v < mins[g] {
+                    mins[g] = v;
+                }
+                if v > maxs[g] {
+                    maxs[g] = v;
+                }
+            }
+        }
+        for g in 0..group_count {
+            if !mins[g].is_finite() {
+                // Empty group (possible only when the matrix has zero rows
+                // or columns); leave the identity parameters.
+                mins[g] = 0.0;
+                maxs[g] = 0.0;
+            }
+            let range = maxs[g] - mins[g];
+            let scale = if range > 0.0 && max_code > 0.0 {
+                range / max_code
+            } else {
+                1.0
+            };
+            // Quantization parameters are stored in FP16 by real kernels.
+            scales[g] = F16::round_trip(scale).max(f32::MIN_POSITIVE);
+            zeros[g] = F16::round_trip(mins[g]);
+        }
+
+        // Second pass: encode.
+        for r in 0..rows {
+            for c in 0..cols {
+                let g = Self::group_index_for(config, rows, cols, r, c);
+                let v = matrix.get(r, c);
+                let code = ((v - zeros[g]) / scales[g]).round();
+                let code = code.clamp(0.0, max_code) as u32;
+                codes[r * cols + c] = code;
+            }
+        }
+
+        Ok(Self {
+            rows,
+            cols,
+            config: *config,
+            codes: PackedInts::pack(&codes, config.bitwidth()),
+            scales,
+            zeros,
+        })
+    }
+
+    #[inline]
+    fn group_index_for(
+        config: &QuantConfig,
+        rows: usize,
+        cols: usize,
+        r: usize,
+        c: usize,
+    ) -> usize {
+        let group = config.group_size();
+        match config.axis() {
+            QuantAxis::PerToken => {
+                let per_row = cols.div_ceil(group);
+                r * per_row + c / group
+            }
+            QuantAxis::PerChannel => {
+                let per_col = rows.div_ceil(group);
+                c * per_col + r / group
+            }
+        }
+    }
+
+    /// Number of rows of the original matrix.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns of the original matrix.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)` of the original matrix.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// The configuration this matrix was quantized with.
+    pub fn config(&self) -> &QuantConfig {
+        &self.config
+    }
+
+    /// The storage bitwidth.
+    pub fn bitwidth(&self) -> Bitwidth {
+        self.config.bitwidth()
+    }
+
+    /// Number of (scale, zero-point) groups.
+    pub fn group_count(&self) -> usize {
+        self.scales.len()
+    }
+
+    /// Reconstructs element `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of bounds.
+    #[inline]
+    pub fn dequantize_element(&self, row: usize, col: usize) -> f32 {
+        assert!(row < self.rows && col < self.cols, "index out of bounds");
+        let g = Self::group_index_for(&self.config, self.rows, self.cols, row, col);
+        let code = self.codes.get(row * self.cols + col) as f32;
+        code * self.scales[g] + self.zeros[g]
+    }
+
+    /// Reconstructs one row into the provided buffer.
+    ///
+    /// This is the inner primitive of the fused GEMM kernels in
+    /// [`crate::gemm`]: a row (or a group of rows) is reconstructed into a
+    /// small scratch buffer instead of materialising the whole matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row >= rows()` or `out.len() != cols()`.
+    pub fn dequantize_row_into(&self, row: usize, out: &mut [f32]) {
+        assert!(row < self.rows, "row out of bounds");
+        assert_eq!(out.len(), self.cols, "output buffer length mismatch");
+        for (c, slot) in out.iter_mut().enumerate() {
+            *slot = self.dequantize_element(row, c);
+        }
+    }
+
+    /// Reconstructs the full matrix.
+    pub fn dequantize(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, self.cols);
+        for r in 0..self.rows {
+            self.dequantize_row_into(r, out.row_mut(r));
+        }
+        out
+    }
+
+    /// Exact number of bytes occupied by the packed codes.
+    pub fn payload_bytes(&self) -> usize {
+        self.codes.byte_len()
+    }
+
+    /// Exact number of bytes occupied by quantization parameters (scale and
+    /// zero-point stored as FP16 each).
+    pub fn param_bytes(&self) -> usize {
+        self.scales.len() * 2 + self.zeros.len() * 2
+    }
+
+    /// Total storage footprint in bytes (payload + parameters).
+    pub fn storage_bytes(&self) -> usize {
+        self.payload_bytes() + self.param_bytes()
+    }
+
+    /// Storage footprint of the same matrix kept in FP16, for comparison.
+    pub fn fp16_reference_bytes(&self) -> usize {
+        self.rows * self.cols * 2
+    }
+
+    /// Achieved compression ratio versus FP16 storage (>1 means smaller).
+    pub fn compression_ratio(&self) -> f64 {
+        if self.storage_bytes() == 0 {
+            return 1.0;
+        }
+        self.fp16_reference_bytes() as f64 / self.storage_bytes() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cocktail_tensor::rng;
+    use proptest::prelude::*;
+
+    fn cfg(bw: Bitwidth, axis: QuantAxis, group: usize) -> QuantConfig {
+        QuantConfig::new(bw, axis, group).expect("valid test config")
+    }
+
+    #[test]
+    fn int8_reconstruction_error_is_small() {
+        let m = rng::gaussian_matrix(32, 64, 1.0, 1);
+        let q = QuantizedMatrix::quantize(&m, &cfg(Bitwidth::Int8, QuantAxis::PerToken, 32))
+            .unwrap();
+        let err = q.dequantize().max_abs_diff(&m).unwrap();
+        assert!(err < 0.05, "int8 max error {err}");
+    }
+
+    #[test]
+    fn error_grows_as_bits_shrink() {
+        let m = rng::gaussian_matrix(32, 64, 1.0, 2);
+        let mut errors = Vec::new();
+        for bw in [Bitwidth::Int8, Bitwidth::Int4, Bitwidth::Int2] {
+            let q =
+                QuantizedMatrix::quantize(&m, &cfg(bw, QuantAxis::PerToken, 32)).unwrap();
+            errors.push(q.dequantize().mse(&m).unwrap());
+        }
+        assert!(errors[0] < errors[1], "int8 {} < int4 {}", errors[0], errors[1]);
+        assert!(errors[1] < errors[2], "int4 {} < int2 {}", errors[1], errors[2]);
+    }
+
+    #[test]
+    fn constant_matrix_is_exact() {
+        let m = Matrix::filled(8, 8, 3.25);
+        let q =
+            QuantizedMatrix::quantize(&m, &cfg(Bitwidth::Int2, QuantAxis::PerToken, 4)).unwrap();
+        assert_eq!(q.dequantize().max_abs_diff(&m).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn group_extremes_are_exactly_representable() {
+        // Min and max of every group must round-trip exactly (up to the FP16
+        // rounding of the parameters themselves).
+        let m = Matrix::from_rows(&[vec![-1.0, 0.5, 2.0, 4.0]]).unwrap();
+        let q =
+            QuantizedMatrix::quantize(&m, &cfg(Bitwidth::Int4, QuantAxis::PerToken, 4)).unwrap();
+        let d = q.dequantize();
+        assert!((d.get(0, 0) - -1.0).abs() < 1e-3);
+        assert!((d.get(0, 3) - 4.0).abs() < 2e-3);
+    }
+
+    #[test]
+    fn per_channel_groups_follow_columns() {
+        // Build a matrix where each column has a wildly different scale; the
+        // per-channel layout should adapt per column and beat per-token.
+        let mut m = Matrix::zeros(16, 4);
+        for r in 0..16 {
+            for c in 0..4 {
+                let scale = 10f32.powi(c as i32);
+                m.set(r, c, (r as f32 / 16.0) * scale);
+            }
+        }
+        let per_channel =
+            QuantizedMatrix::quantize(&m, &cfg(Bitwidth::Int4, QuantAxis::PerChannel, 16))
+                .unwrap();
+        let per_token =
+            QuantizedMatrix::quantize(&m, &cfg(Bitwidth::Int4, QuantAxis::PerToken, 4)).unwrap();
+        let err_channel = per_channel.dequantize().mse(&m).unwrap();
+        let err_token = per_token.dequantize().mse(&m).unwrap();
+        assert!(
+            err_channel < err_token,
+            "per-channel {err_channel} should beat per-token {err_token} on channel-scaled data"
+        );
+    }
+
+    #[test]
+    fn storage_bytes_accounting() {
+        let m = rng::uniform_matrix(64, 128, 1.0, 5);
+        let q = QuantizedMatrix::quantize(&m, &cfg(Bitwidth::Int4, QuantAxis::PerToken, 32))
+            .unwrap();
+        // 64*128 values at 4 bits = 4096 bytes payload.
+        assert_eq!(q.payload_bytes(), 64 * 128 / 2);
+        // 128/32 = 4 groups per row, 64 rows = 256 groups, 4 bytes each.
+        assert_eq!(q.param_bytes(), 256 * 4);
+        assert_eq!(q.storage_bytes(), 4096 + 1024);
+        assert!(q.compression_ratio() > 3.0);
+    }
+
+    #[test]
+    fn ragged_group_sizes_are_handled() {
+        // cols = 10 with group 4 → groups of 4, 4, 2 per row.
+        let m = rng::uniform_matrix(3, 10, 1.0, 9);
+        let q =
+            QuantizedMatrix::quantize(&m, &cfg(Bitwidth::Int4, QuantAxis::PerToken, 4)).unwrap();
+        assert_eq!(q.group_count(), 3 * 3);
+        let err = q.dequantize().max_abs_diff(&m).unwrap();
+        assert!(err < 0.2);
+    }
+
+    #[test]
+    fn empty_matrix_quantizes_to_empty() {
+        let m = Matrix::zeros(0, 0);
+        let q =
+            QuantizedMatrix::quantize(&m, &cfg(Bitwidth::Int2, QuantAxis::PerToken, 32)).unwrap();
+        assert_eq!(q.shape(), (0, 0));
+        assert_eq!(q.storage_bytes(), 0);
+        assert_eq!(q.dequantize().shape(), (0, 0));
+    }
+
+    #[test]
+    fn dequantize_element_matches_full_dequantize() {
+        let m = rng::gaussian_matrix(8, 16, 2.0, 11);
+        let q = QuantizedMatrix::quantize(&m, &cfg(Bitwidth::Int4, QuantAxis::PerChannel, 4))
+            .unwrap();
+        let full = q.dequantize();
+        for r in 0..8 {
+            for c in 0..16 {
+                assert_eq!(q.dequantize_element(r, c), full.get(r, c));
+            }
+        }
+    }
+
+    #[test]
+    fn compression_ratio_tracks_bitwidth() {
+        let m = rng::uniform_matrix(128, 128, 1.0, 13);
+        let r2 = QuantizedMatrix::quantize(&m, &cfg(Bitwidth::Int2, QuantAxis::PerToken, 32))
+            .unwrap()
+            .compression_ratio();
+        let r4 = QuantizedMatrix::quantize(&m, &cfg(Bitwidth::Int4, QuantAxis::PerToken, 32))
+            .unwrap()
+            .compression_ratio();
+        let r8 = QuantizedMatrix::quantize(&m, &cfg(Bitwidth::Int8, QuantAxis::PerToken, 32))
+            .unwrap()
+            .compression_ratio();
+        assert!(r2 > r4 && r4 > r8 && r8 > 1.5, "r2={r2} r4={r4} r8={r8}");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn reconstruction_error_is_bounded_by_group_range(
+            rows in 1usize..12,
+            cols in 1usize..24,
+            seed in 0u64..500,
+            group in 1usize..16,
+        ) {
+            let m = rng::uniform_matrix(rows, cols, 3.0, seed);
+            let config = cfg(Bitwidth::Int4, QuantAxis::PerToken, group);
+            let q = QuantizedMatrix::quantize(&m, &config).unwrap();
+            let d = q.dequantize();
+            // For asymmetric uniform quantization the max error is half a
+            // step: (range / max_code) / 2, range ≤ 6.0 here. Allow slack for
+            // the FP16 rounding of the parameters.
+            let bound = 6.0 / 15.0 / 2.0 + 0.02;
+            prop_assert!(d.max_abs_diff(&m).unwrap() <= bound);
+        }
+
+        #[test]
+        fn quantization_is_deterministic(
+            rows in 1usize..8,
+            cols in 1usize..16,
+            seed in 0u64..100,
+        ) {
+            let m = rng::gaussian_matrix(rows, cols, 1.0, seed);
+            let config = cfg(Bitwidth::Int2, QuantAxis::PerToken, 8);
+            let a = QuantizedMatrix::quantize(&m, &config).unwrap();
+            let b = QuantizedMatrix::quantize(&m, &config).unwrap();
+            prop_assert_eq!(a, b);
+        }
+
+        #[test]
+        fn dequantized_values_stay_within_group_bounds(
+            rows in 1usize..8,
+            cols in 1usize..16,
+            seed in 0u64..100,
+        ) {
+            let m = rng::uniform_matrix(rows, cols, 5.0, seed);
+            let config = cfg(Bitwidth::Int4, QuantAxis::PerToken, 4);
+            let q = QuantizedMatrix::quantize(&m, &config).unwrap();
+            let d = q.dequantize();
+            let lo = m.as_slice().iter().cloned().fold(f32::INFINITY, f32::min);
+            let hi = m.as_slice().iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+            for v in d.as_slice() {
+                prop_assert!(*v >= lo - 0.05 && *v <= hi + 0.05, "v={v} lo={lo} hi={hi}");
+            }
+        }
+    }
+}

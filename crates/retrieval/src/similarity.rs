@@ -1,0 +1,116 @@
+//! Query × chunk similarity matrices (the paper's Figure 1).
+
+use crate::scorer::ChunkScorer;
+use cocktail_tensor::Matrix;
+
+/// Computes the full similarity matrix between a list of queries and a list
+/// of context chunks: entry `(i, j)` is the score of chunk `j` for query
+/// `i`.
+///
+/// This is the object plotted as a heatmap in Figure 1 of the paper, which
+/// motivates the whole method: for any single query only a few chunks score
+/// highly.
+///
+/// # Example
+///
+/// ```
+/// use cocktail_retrieval::{similarity_matrix, ContrieverSim};
+///
+/// let chunks = vec![
+///     "the eiffel tower is in paris".to_string(),
+///     "whales are marine mammals".to_string(),
+/// ];
+/// let queries = vec!["where is the eiffel tower?".to_string()];
+/// let m = similarity_matrix(&queries, &chunks, &ContrieverSim::new());
+/// assert_eq!(m.shape(), (1, 2));
+/// assert!(m.get(0, 0) > m.get(0, 1));
+/// ```
+pub fn similarity_matrix<S: ChunkScorer + ?Sized>(
+    queries: &[String],
+    chunks: &[String],
+    scorer: &S,
+) -> Matrix {
+    let mut m = Matrix::zeros(queries.len(), chunks.len());
+    for (i, q) in queries.iter().enumerate() {
+        let scores = scorer.score(q, chunks);
+        for (j, s) in scores.into_iter().enumerate() {
+            m.set(i, j, s);
+        }
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dense::ContrieverSim;
+
+    fn passage_chunks(n: usize) -> Vec<String> {
+        (0..n)
+            .map(|i| {
+                format!(
+                    "paragraph {i} discusses the history of settlement {i} including trade \
+                     routes agriculture and seasonal festivals unique to settlement {i}"
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn matrix_shape_matches_inputs() {
+        let chunks = passage_chunks(8);
+        let queries: Vec<String> = (0..3)
+            .map(|q| format!("tell me about the festivals of settlement {q}"))
+            .collect();
+        let m = similarity_matrix(&queries, &chunks, &ContrieverSim::new());
+        assert_eq!(m.shape(), (3, 8));
+    }
+
+    #[test]
+    fn each_query_peaks_on_its_own_chunk() {
+        let chunks = passage_chunks(10);
+        let queries: Vec<String> = (0..10)
+            .map(|q| format!("what trade routes did settlement {q} use?"))
+            .collect();
+        let m = similarity_matrix(&queries, &chunks, &ContrieverSim::new());
+        for q in 0..10 {
+            let row = m.row(q);
+            let best = row
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.total_cmp(b.1))
+                .unwrap()
+                .0;
+            assert_eq!(best, q, "query {q} should peak on chunk {q}");
+        }
+    }
+
+    #[test]
+    fn most_chunks_are_irrelevant_for_each_query() {
+        // The motivating observation of Figure 1: for each query only a small
+        // fraction of chunks score near the per-query maximum.
+        let chunks = passage_chunks(40);
+        let queries: Vec<String> = (0..5)
+            .map(|q| format!("describe the agriculture of settlement {q}"))
+            .collect();
+        let m = similarity_matrix(&queries, &chunks, &ContrieverSim::new());
+        for q in 0..5 {
+            let row = m.row(q);
+            let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+            let min = row.iter().cloned().fold(f32::INFINITY, f32::min);
+            let threshold = min + 0.8 * (max - min);
+            let highly_relevant = row.iter().filter(|&&s| s >= threshold).count();
+            assert!(
+                highly_relevant <= chunks.len() / 4,
+                "query {q}: {highly_relevant} of {} chunks are near-max",
+                chunks.len()
+            );
+        }
+    }
+
+    #[test]
+    fn empty_inputs_give_empty_matrix() {
+        let m = similarity_matrix(&[], &[], &ContrieverSim::new());
+        assert_eq!(m.shape(), (0, 0));
+    }
+}

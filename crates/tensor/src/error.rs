@@ -1,0 +1,78 @@
+//! Error type for shape mismatches in tensor operations.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when the shapes of two tensors are incompatible for the
+/// requested operation, or when raw data does not match a declared shape.
+///
+/// # Example
+///
+/// ```
+/// use cocktail_tensor::{Matrix, ShapeError};
+///
+/// let a = Matrix::zeros(2, 3);
+/// let b = Matrix::zeros(2, 3);
+/// let err: ShapeError = a.matmul(&b).unwrap_err();
+/// assert!(err.to_string().contains("matmul"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShapeError {
+    op: &'static str,
+    detail: String,
+}
+
+impl ShapeError {
+    /// Creates a new shape error for operation `op` with a human-readable
+    /// description of the mismatch.
+    pub fn new(op: &'static str, detail: impl Into<String>) -> Self {
+        Self {
+            op,
+            detail: detail.into(),
+        }
+    }
+
+    /// Name of the operation that failed (e.g. `"matmul"`).
+    pub fn op(&self) -> &'static str {
+        self.op
+    }
+
+    /// Human-readable description of the shape mismatch.
+    pub fn detail(&self) -> &str {
+        &self.detail
+    }
+}
+
+impl fmt::Display for ShapeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "shape mismatch in {}: {}", self.op, self.detail)
+    }
+}
+
+impl Error for ShapeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_contains_op_and_detail() {
+        let err = ShapeError::new("matmul", "2x3 * 2x3");
+        let text = err.to_string();
+        assert!(text.contains("matmul"));
+        assert!(text.contains("2x3 * 2x3"));
+    }
+
+    #[test]
+    fn accessors_round_trip() {
+        let err = ShapeError::new("softmax", "empty row");
+        assert_eq!(err.op(), "softmax");
+        assert_eq!(err.detail(), "empty row");
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ShapeError>();
+    }
+}

@@ -1,0 +1,394 @@
+//! Transformer-specific element-wise and normalisation operations.
+//!
+//! These free functions implement the non-GEMM math a Llama-family decoder
+//! block needs: RMS normalisation, rotary position embeddings (RoPE), the
+//! SiLU activation used by SwiGLU MLPs, and FP16 rounding helpers.
+
+use crate::f16::round_slice_to_f16;
+use crate::matrix::Matrix;
+
+/// Applies RMS normalisation to a single vector in place.
+///
+/// `x_i ← x_i / sqrt(mean(x²) + eps) * weight_i`, the normalisation used by
+/// Llama-style models (no mean subtraction, no bias).
+///
+/// # Panics
+///
+/// Panics if `weight.len() != x.len()`.
+///
+/// # Example
+///
+/// ```
+/// let mut x = vec![3.0f32, 4.0];
+/// let w = vec![1.0f32, 1.0];
+/// cocktail_tensor::ops::rms_norm(&mut x, &w, 1e-6);
+/// let rms: f32 = (x.iter().map(|v| v * v).sum::<f32>() / 2.0).sqrt();
+/// assert!((rms - 1.0).abs() < 1e-4);
+/// ```
+pub fn rms_norm(x: &mut [f32], weight: &[f32], eps: f32) {
+    assert_eq!(x.len(), weight.len(), "rms_norm weight length mismatch");
+    if x.is_empty() {
+        return;
+    }
+    let mean_sq: f32 = x.iter().map(|v| v * v).sum::<f32>() / x.len() as f32;
+    let inv = 1.0 / (mean_sq + eps).sqrt();
+    for (v, w) in x.iter_mut().zip(weight.iter()) {
+        *v = *v * inv * w;
+    }
+}
+
+/// Applies RMS normalisation to every row of a matrix in place.
+///
+/// # Panics
+///
+/// Panics if `weight.len() != m.cols()`.
+pub fn rms_norm_rows(m: &mut Matrix, weight: &[f32], eps: f32) {
+    assert_eq!(m.cols(), weight.len(), "rms_norm_rows weight length mismatch");
+    for r in 0..m.rows() {
+        rms_norm(m.row_mut(r), weight, eps);
+    }
+}
+
+/// The SiLU (a.k.a. swish) activation: `x * sigmoid(x)`.
+///
+/// # Example
+///
+/// ```
+/// assert_eq!(cocktail_tensor::ops::silu(0.0), 0.0);
+/// assert!(cocktail_tensor::ops::silu(10.0) > 9.9);
+/// ```
+pub fn silu(x: f32) -> f32 {
+    x / (1.0 + (-x).exp())
+}
+
+/// Applies SiLU element-wise in place.
+pub fn silu_in_place(xs: &mut [f32]) {
+    for x in xs.iter_mut() {
+        *x = silu(*x);
+    }
+}
+
+/// Applies rotary position embeddings (RoPE) to a single head vector in
+/// place, for absolute position `pos`.
+///
+/// The vector is interpreted as `dim/2` complex pairs `(x[2i], x[2i+1])`,
+/// each rotated by angle `pos · θ⁻²ⁱ/ᵈ` with base `theta` (10 000.0 for
+/// Llama-family models).
+///
+/// # Panics
+///
+/// Panics if the vector length is odd.
+///
+/// # Example
+///
+/// ```
+/// let mut v = vec![1.0f32, 0.0];
+/// cocktail_tensor::ops::rope_in_place(&mut v, 0, 10_000.0);
+/// assert_eq!(v, vec![1.0, 0.0]); // position 0 is a no-op rotation
+/// ```
+pub fn rope_in_place(x: &mut [f32], pos: usize, theta: f32) {
+    assert!(x.len() % 2 == 0, "RoPE requires an even head dimension");
+    let dim = x.len();
+    for i in 0..dim / 2 {
+        let freq = 1.0 / theta.powf(2.0 * i as f32 / dim as f32);
+        let angle = pos as f32 * freq;
+        let (sin, cos) = angle.sin_cos();
+        let a = x[2 * i];
+        let b = x[2 * i + 1];
+        x[2 * i] = a * cos - b * sin;
+        x[2 * i + 1] = a * sin + b * cos;
+    }
+}
+
+/// Applies RoPE to every row of a matrix, where row `r` sits at absolute
+/// position `start_pos + r`.
+///
+/// # Panics
+///
+/// Panics if the column count is odd.
+pub fn rope_rows(m: &mut Matrix, start_pos: usize, theta: f32) {
+    for r in 0..m.rows() {
+        rope_in_place(m.row_mut(r), start_pos + r, theta);
+    }
+}
+
+/// Builds the additive causal attention mask for a query block of
+/// `q_len` tokens attending over `kv_len` cached tokens.
+///
+/// Query row `i` corresponds to absolute position `kv_len - q_len + i`; it
+/// may attend to every key at position `<=` its own, and is blocked
+/// (`-inf`) from later keys. During decode (`q_len == 1`) the mask is all
+/// zeros, matching the paper's Algorithm 1 where the single query token
+/// attends to the whole context cache.
+///
+/// # Example
+///
+/// ```
+/// let mask = cocktail_tensor::ops::causal_mask(2, 4);
+/// assert_eq!(mask.get(0, 3), f32::NEG_INFINITY); // first query cannot see the last key
+/// assert_eq!(mask.get(1, 3), 0.0); // last query sees everything
+/// ```
+pub fn causal_mask(q_len: usize, kv_len: usize) -> Matrix {
+    let mut mask = Matrix::zeros(q_len, kv_len);
+    let offset = kv_len.saturating_sub(q_len);
+    for i in 0..q_len {
+        for j in 0..kv_len {
+            if j > offset + i {
+                mask.set(i, j, f32::NEG_INFINITY);
+            }
+        }
+    }
+    mask
+}
+
+/// Permutes the columns of an additive attention mask.
+///
+/// When KV-cache chunks are reordered (Module II of the paper), the mask
+/// columns must follow the same permutation so that each logical token keeps
+/// its visibility; `col_order[new] = old`.
+///
+/// # Panics
+///
+/// Panics if `col_order.len() != mask.cols()` or any index is out of range.
+pub fn permute_mask_columns(mask: &Matrix, col_order: &[usize]) -> Matrix {
+    assert_eq!(col_order.len(), mask.cols(), "mask permutation length mismatch");
+    let mut out = Matrix::zeros(mask.rows(), mask.cols());
+    for r in 0..mask.rows() {
+        for (new_c, &old_c) in col_order.iter().enumerate() {
+            assert!(old_c < mask.cols(), "mask permutation index out of range");
+            out.set(r, new_c, mask.get(r, old_c));
+        }
+    }
+    out
+}
+
+/// Rounds a slice of `f32` values through FP16 precision in place.
+///
+/// See [`crate::F16::round_trip`] for the rounding behaviour.
+pub fn round_to_f16(values: &mut [f32]) {
+    round_slice_to_f16(values);
+}
+
+/// Numerically stable softmax over a slice, in place.
+///
+/// Fully `-inf` inputs become all zeros (the fully-masked convention used by
+/// [`Matrix::softmax_rows`]).
+pub fn softmax_in_place(xs: &mut [f32]) {
+    let max = xs.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+    if max == f32::NEG_INFINITY {
+        for x in xs.iter_mut() {
+            *x = 0.0;
+        }
+        return;
+    }
+    let mut sum = 0.0;
+    for x in xs.iter_mut() {
+        *x = (*x - max).exp();
+        sum += *x;
+    }
+    if sum > 0.0 {
+        for x in xs.iter_mut() {
+            *x /= sum;
+        }
+    }
+}
+
+/// Mean of a slice; `0.0` for an empty slice.
+pub fn mean(xs: &[f32]) -> f32 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f32>() / xs.len() as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn rms_norm_produces_unit_rms_with_unit_weight() {
+        let mut x = vec![1.0f32, 2.0, 3.0, 4.0];
+        let w = vec![1.0f32; 4];
+        rms_norm(&mut x, &w, 1e-6);
+        let rms = (x.iter().map(|v| v * v).sum::<f32>() / 4.0).sqrt();
+        assert!((rms - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn rms_norm_applies_weight() {
+        let mut x = vec![1.0f32, 1.0];
+        let w = vec![2.0f32, 0.5];
+        rms_norm(&mut x, &w, 1e-6);
+        assert!((x[0] / x[1] - 4.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn rms_norm_empty_is_noop() {
+        let mut x: Vec<f32> = vec![];
+        rms_norm(&mut x, &[], 1e-6);
+        assert!(x.is_empty());
+    }
+
+    #[test]
+    fn rms_norm_rows_normalises_each_row_independently() {
+        let mut m = Matrix::from_rows(&[vec![10.0, 0.0], vec![0.0, 0.1]]).unwrap();
+        let w = vec![1.0f32, 1.0];
+        rms_norm_rows(&mut m, &w, 1e-6);
+        for r in 0..2 {
+            let rms = (m.row(r).iter().map(|v| v * v).sum::<f32>() / 2.0).sqrt();
+            assert!((rms - 1.0).abs() < 1e-2, "row {r} rms {rms}");
+        }
+    }
+
+    #[test]
+    fn silu_known_values() {
+        assert_eq!(silu(0.0), 0.0);
+        assert!((silu(1.0) - 0.731_058_6).abs() < 1e-5);
+        assert!(silu(-20.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn silu_in_place_matches_scalar() {
+        let mut xs = vec![-1.0f32, 0.0, 2.0];
+        let expected: Vec<f32> = xs.iter().map(|&x| silu(x)).collect();
+        silu_in_place(&mut xs);
+        assert_eq!(xs, expected);
+    }
+
+    #[test]
+    fn rope_at_position_zero_is_identity() {
+        let mut v = vec![0.3f32, -1.0, 2.0, 0.5];
+        let original = v.clone();
+        rope_in_place(&mut v, 0, 10_000.0);
+        for (a, b) in v.iter().zip(original.iter()) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn rope_preserves_norm() {
+        let mut v = vec![1.0f32, 2.0, -0.5, 0.7, 3.0, -1.0];
+        let norm_before = crate::l2_norm(&v);
+        rope_in_place(&mut v, 17, 10_000.0);
+        let norm_after = crate::l2_norm(&v);
+        assert!((norm_before - norm_after).abs() < 1e-4);
+    }
+
+    #[test]
+    fn rope_relative_rotation_property() {
+        // The inner product of two RoPE-rotated vectors depends only on the
+        // relative distance between their positions.
+        let q = vec![0.5f32, 1.0, -0.3, 0.8];
+        let k = vec![1.0f32, -0.2, 0.6, 0.4];
+        let score_at = |pq: usize, pk: usize| {
+            let mut qr = q.clone();
+            let mut kr = k.clone();
+            rope_in_place(&mut qr, pq, 10_000.0);
+            rope_in_place(&mut kr, pk, 10_000.0);
+            crate::dot(&qr, &kr)
+        };
+        let a = score_at(5, 2);
+        let b = score_at(105, 102);
+        assert!((a - b).abs() < 1e-3, "a={a} b={b}");
+    }
+
+    #[test]
+    #[should_panic(expected = "even head dimension")]
+    fn rope_panics_on_odd_dim() {
+        let mut v = vec![1.0f32, 2.0, 3.0];
+        rope_in_place(&mut v, 1, 10_000.0);
+    }
+
+    #[test]
+    fn causal_mask_decode_step_is_all_zero() {
+        let mask = causal_mask(1, 10);
+        assert!(mask.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn causal_mask_prefill_blocks_future() {
+        let mask = causal_mask(3, 3);
+        assert_eq!(mask.get(0, 1), f32::NEG_INFINITY);
+        assert_eq!(mask.get(0, 0), 0.0);
+        assert_eq!(mask.get(2, 2), 0.0);
+        assert_eq!(mask.get(1, 2), f32::NEG_INFINITY);
+    }
+
+    #[test]
+    fn permute_mask_columns_moves_blocks() {
+        let mask = causal_mask(2, 4);
+        let perm = vec![3, 2, 1, 0];
+        let permuted = permute_mask_columns(&mask, &perm);
+        for r in 0..2 {
+            for (new_c, &old_c) in perm.iter().enumerate() {
+                assert_eq!(permuted.get(r, new_c), mask.get(r, old_c));
+            }
+        }
+    }
+
+    #[test]
+    fn softmax_in_place_sums_to_one() {
+        let mut xs = vec![1.0f32, 2.0, 3.0];
+        softmax_in_place(&mut xs);
+        assert!((xs.iter().sum::<f32>() - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn softmax_all_masked_is_zero() {
+        let mut xs = vec![f32::NEG_INFINITY; 3];
+        softmax_in_place(&mut xs);
+        assert_eq!(xs, vec![0.0; 3]);
+    }
+
+    #[test]
+    fn mean_of_empty_is_zero() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+    }
+
+    proptest! {
+        #[test]
+        fn rope_is_norm_preserving_for_any_position(
+            pos in 0usize..4096,
+            v in proptest::collection::vec(-10.0f32..10.0, 2..16)
+        ) {
+            let mut v = v;
+            if v.len() % 2 == 1 {
+                v.pop();
+            }
+            prop_assume!(!v.is_empty());
+            let before = crate::l2_norm(&v);
+            rope_in_place(&mut v, pos, 10_000.0);
+            let after = crate::l2_norm(&v);
+            prop_assert!((before - after).abs() < 1e-2 * before.max(1.0));
+        }
+
+        #[test]
+        fn rms_norm_output_is_finite(
+            v in proptest::collection::vec(-1000.0f32..1000.0, 1..32)
+        ) {
+            let mut v = v;
+            let w = vec![1.0f32; v.len()];
+            rms_norm(&mut v, &w, 1e-6);
+            prop_assert!(v.iter().all(|x| x.is_finite()));
+        }
+
+        #[test]
+        fn causal_mask_is_lower_triangular_band(q in 1usize..8, extra in 0usize..8) {
+            let kv = q + extra;
+            let mask = causal_mask(q, kv);
+            for i in 0..q {
+                for j in 0..kv {
+                    let visible = j <= extra + i;
+                    if visible {
+                        prop_assert_eq!(mask.get(i, j), 0.0);
+                    } else {
+                        prop_assert_eq!(mask.get(i, j), f32::NEG_INFINITY);
+                    }
+                }
+            }
+        }
+    }
+}

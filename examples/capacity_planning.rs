@@ -1,0 +1,63 @@
+//! Capacity planning with the analytic hardware model: how much GPU memory
+//! a 32K-context serving deployment needs under each KV-cache quantization
+//! method, how the decode latency compares, and where each method runs out
+//! of memory as the batch grows (the Figure 4/5/6 machinery as a library).
+//!
+//! ```bash
+//! cargo run --release --example capacity_planning
+//! ```
+
+use cocktail::prelude::*;
+
+fn main() {
+    let model = ModelProfile::longchat_7b_sim();
+    let deployment = DeploymentModel::new(
+        AcceleratorSpec::a800(),
+        model.full().clone(),
+        RequestShape::with_context(32 * 1024 - 128),
+    );
+
+    let methods = [
+        ("FP16", KvCacheProfile::fp16()),
+        ("Atom", KvCacheProfile::atom_int4()),
+        ("KVQuant", KvCacheProfile::kvquant_default()),
+        ("Cocktail", KvCacheProfile::cocktail_default()),
+    ];
+
+    println!(
+        "Serving {} with a 32K context on an {}\n",
+        model.name(),
+        deployment.spec().name
+    );
+    println!(
+        "{:<10} {:>14} {:>14} {:>12}",
+        "method", "memory @ b=1", "TPOT @ b=8", "max batch"
+    );
+    for (name, profile) in &methods {
+        let memory = deployment.gpu_memory_gib(profile, 1);
+        let tpot_ms = deployment.tpot(profile, 8).total_s() * 1e3;
+        let max_batch = deployment.max_batch(profile, 512);
+        println!(
+            "{:<10} {:>11.1} GiB {:>11.1} ms {:>12}",
+            name, memory, tpot_ms, max_batch
+        );
+    }
+
+    println!("\nThroughput sweep (tokens/s, OOM marked with '-'):");
+    print!("{:<10}", "batch");
+    let batches = [1usize, 2, 4, 8, 16, 32];
+    for b in batches {
+        print!("{b:>10}");
+    }
+    println!();
+    for (name, profile) in &methods {
+        print!("{name:<10}");
+        for b in batches {
+            match deployment.throughput(profile, b).tokens_per_s {
+                Some(v) => print!("{v:>10.0}"),
+                None => print!("{:>10}", "-"),
+            }
+        }
+        println!();
+    }
+}

@@ -1,0 +1,105 @@
+//! Integration tests tying the measured pipeline behaviour to the analytic
+//! hardware model: the compression the policies actually achieve on the
+//! simulated model must agree with what the deployment model assumes.
+
+use cocktail::hwsim::SearchKind;
+use cocktail::prelude::*;
+
+#[test]
+fn measured_cocktail_mix_feeds_the_hardware_model() {
+    // Run Cocktail on a real (simulated-model) request, convert the measured
+    // chunk mix into a hardware profile and check the projected memory sits
+    // between Atom and FP16, as in Figure 4.
+    let task = TaskGenerator::qmsum(WorkloadConfig::small()).generate(5);
+    let pipeline = CocktailPipeline::new(ModelProfile::llama2_7b_sim(), CocktailConfig::default())
+        .unwrap();
+    let outcome = pipeline.run(&task.context, &task.query, 2).unwrap();
+
+    let profile = KvCacheProfile::from_chunk_counts(
+        "Cocktail (measured)",
+        &outcome.report.chunk_bitwidths,
+        0.0,
+        32,
+        true,
+        SearchKind::ChunkLevel,
+    );
+    let deployment = DeploymentModel::new(
+        AcceleratorSpec::a800(),
+        ModelProfile::llama2_7b_sim().full().clone(),
+        RequestShape::with_context(3968),
+    );
+    let fp16 = deployment.gpu_memory_bytes(&KvCacheProfile::fp16(), 1);
+    let atom = deployment.gpu_memory_bytes(&KvCacheProfile::atom_int4(), 1);
+    let measured = deployment.gpu_memory_bytes(&profile, 1);
+    assert!(measured < fp16, "cocktail must project below FP16");
+    // Depending on how many chunks the search keeps at FP16, the measured
+    // mix can land on either side of uniform INT4, but never far below the
+    // pure-INT2 floor.
+    let int2_floor =
+        deployment.gpu_memory_bytes(&KvCacheProfile::new(
+            "int2-floor",
+            &[(Bitwidth::Int2, 1.0)],
+            0.0,
+            32,
+            true,
+            SearchKind::None,
+        ), 1);
+    assert!(measured >= int2_floor);
+    assert!(atom < fp16);
+}
+
+#[test]
+fn measured_compression_ratio_matches_analytic_bytes_per_value() {
+    // The compression measured on the real chunked cache (for a context
+    // that divides evenly into chunks) should be close to the analytic
+    // bytes-per-value model for the same mix.
+    let evaluator = Evaluator::new(EvalConfig::new(32));
+    let task = TaskGenerator::qasper(WorkloadConfig::paper_scale()).generate(17);
+    let policy = CocktailPolicy::new(CocktailConfig::default()).unwrap();
+    let outcome = evaluator.evaluate(&task, &policy).unwrap();
+
+    let profile = KvCacheProfile::from_chunk_counts(
+        "measured",
+        &outcome.report.chunk_bitwidths,
+        0.0,
+        32,
+        true,
+        SearchKind::ChunkLevel,
+    );
+    let measured_ratio = outcome.fp16_cache_bytes as f64 / outcome.cache_bytes as f64;
+    let analytic_ratio = 2.0 / profile.bytes_per_value();
+    let relative_gap = (measured_ratio - analytic_ratio).abs() / analytic_ratio;
+    assert!(
+        relative_gap < 0.35,
+        "measured {measured_ratio:.2}x vs analytic {analytic_ratio:.2}x"
+    );
+}
+
+#[test]
+fn oom_ordering_is_consistent_across_models() {
+    // For every model profile the admissible batch ordering must be
+    // FP16 <= KVQuant <= Atom, with Cocktail in between Atom and FP16.
+    for model in ModelProfile::paper_suite() {
+        let deployment = DeploymentModel::new(
+            AcceleratorSpec::a800(),
+            model.full().clone(),
+            RequestShape::with_context(model.full().max_context - 128),
+        );
+        let max = |p: &KvCacheProfile| deployment.max_batch(p, 1024);
+        let fp16 = max(&KvCacheProfile::fp16());
+        let atom = max(&KvCacheProfile::atom_int4());
+        let kvq = max(&KvCacheProfile::kvquant_default());
+        let cocktail = max(&KvCacheProfile::cocktail_default());
+        assert!(fp16 <= kvq && kvq <= atom, "{}", model.name());
+        // Every quantized method admits at least as many requests as FP16;
+        // Cocktail's default mix (INT2-heavy) sits near Atom on either side.
+        assert!(fp16 <= cocktail, "{}", model.name());
+        assert!(
+            cocktail * 10 >= atom * 7,
+            "{}: cocktail {} vs atom {}",
+            model.name(),
+            cocktail,
+            atom
+        );
+    }
+}

@@ -1,0 +1,170 @@
+//! Cross-crate integration tests: the full pipeline on the simulated model,
+//! all policies on the same request, and the equivalence guarantees the
+//! paper relies on.
+
+use cocktail::prelude::*;
+
+fn sample_task() -> TaskInstance {
+    TaskGenerator::qasper(WorkloadConfig::small()).generate(314)
+}
+
+fn small_pipeline() -> CocktailPipeline {
+    CocktailPipeline::new(
+        ModelProfile::llama2_7b_sim(),
+        CocktailConfig::default().with_chunk_size(32).unwrap(),
+    )
+    .unwrap()
+}
+
+#[test]
+fn cocktail_pipeline_runs_end_to_end_on_every_model_profile() {
+    let task = sample_task();
+    for profile in ModelProfile::paper_suite() {
+        let pipeline = CocktailPipeline::new(profile, CocktailConfig::default()).unwrap();
+        let outcome = pipeline.run(&task.context, &task.query, 4).unwrap();
+        assert_eq!(outcome.generated_tokens.len(), 4);
+        assert!(outcome.compression_ratio() > 1.0);
+        assert!(outcome.report.total_chunks() > 0);
+    }
+}
+
+#[test]
+fn all_policies_run_on_the_same_request_and_compress_as_expected() {
+    let task = sample_task();
+    let pipeline = small_pipeline();
+    let policies: Vec<(&str, Box<dyn CachePolicy>)> = vec![
+        ("FP16", Box::new(Fp16Policy::new())),
+        ("Atom", Box::new(AtomPolicy::default())),
+        ("KIVI", Box::new(KiviPolicy::default())),
+        ("KVQuant", Box::new(KvQuantPolicy::default())),
+        (
+            "Cocktail",
+            Box::new(CocktailPolicy::new(CocktailConfig::default()).unwrap()),
+        ),
+    ];
+    let mut cache_bytes = std::collections::HashMap::new();
+    for (name, policy) in &policies {
+        let outcome = pipeline
+            .run_with_policy(&task.context, &task.query, policy.as_ref(), 3)
+            .unwrap();
+        assert_eq!(outcome.generated_tokens.len(), 3, "{name}");
+        cache_bytes.insert(*name, outcome.cache_bytes);
+    }
+    // Every quantization method shrinks the cache; Atom (pure INT4) is the
+    // smallest, KVQuant adds outlier overhead on top of Atom, Cocktail sits
+    // between Atom and FP16 because it keeps relevant chunks at FP16.
+    assert!(cache_bytes["Atom"] < cache_bytes["FP16"]);
+    assert!(cache_bytes["KIVI"] < cache_bytes["FP16"]);
+    assert!(cache_bytes["KVQuant"] >= cache_bytes["Atom"]);
+    assert!(cache_bytes["KVQuant"] < cache_bytes["FP16"]);
+    // Cocktail's footprint depends on how many chunks the search keeps at
+    // FP16: INT2-heavy mixes land below Atom, FP16-heavy mixes above it,
+    // but it always compresses relative to FP16.
+    assert!(cache_bytes["Cocktail"] < cache_bytes["FP16"]);
+}
+
+#[test]
+fn reordering_does_not_change_generated_tokens() {
+    // The paper's Module II equivalence (Eq. 4/5), checked through the full
+    // decode loop: with identical per-chunk precisions, generation over the
+    // reordered cache matches generation over the logically ordered cache.
+    let task = sample_task();
+    let with_reorder = CocktailPipeline::new(
+        ModelProfile::llama2_7b_sim(),
+        CocktailConfig::default().with_reorder(true),
+    )
+    .unwrap();
+    let without_reorder = CocktailPipeline::new(
+        ModelProfile::llama2_7b_sim(),
+        CocktailConfig::default().with_reorder(false),
+    )
+    .unwrap();
+    let a = with_reorder.run(&task.context, &task.query, 6).unwrap();
+    let b = without_reorder.run(&task.context, &task.query, 6).unwrap();
+    assert_eq!(a.generated_tokens, b.generated_tokens);
+    assert_eq!(a.cache_bytes, b.cache_bytes);
+}
+
+#[test]
+fn cocktail_keeps_the_ground_truth_relevant_chunks_at_high_precision() {
+    let task = sample_task();
+    let pipeline = small_pipeline();
+    let outcome = pipeline.run(&task.context, &task.query, 2).unwrap();
+    let plan = outcome.plan.expect("cocktail produces a plan");
+    // The chunk containing each needle's anchor (where the retrieval signal
+    // lives) must never be crushed to INT2; a needle whose answer span
+    // spills into the following chunk may leave that continuation chunk at
+    // low precision, which the search cannot know about.
+    for needle in &task.needles {
+        let chunk = needle.word_offset / pipeline.config().chunk_size;
+        if chunk < plan.assignments().len() {
+            assert_ne!(
+                plan.assignments()[chunk],
+                Bitwidth::Int2,
+                "the anchor-bearing chunk must not be crushed to INT2"
+            );
+        }
+    }
+    // And most chunks are still aggressively compressed.
+    assert!(plan.count(Bitwidth::Int2) * 2 > plan.assignments().len());
+}
+
+#[test]
+fn int8_uniform_cache_preserves_greedy_generation_of_the_sim_model() {
+    // A fidelity check through the real transformer: INT8-quantizing the
+    // whole cache should rarely change the greedy continuation.
+    let engine = InferenceEngine::new(ModelProfile::tiny()).unwrap();
+    let prompt = engine.tokenizer().encode(
+        "the quick brown fox jumps over the lazy dog while the calm river flows north",
+    );
+    let prefill = engine.prefill(&prompt).unwrap();
+
+    let mut fp16_cache = engine.build_cache(&prefill, 4).unwrap();
+    let fp16_tokens = engine
+        .generate_with_cache(&prefill, &mut fp16_cache, 5)
+        .unwrap();
+
+    let mut int8_cache = engine.build_cache(&prefill, 4).unwrap();
+    int8_cache
+        .try_for_each_mut(|_, _, layer| {
+            layer.quantize_all(Bitwidth::Int8, QuantAxis::PerToken, QuantAxis::PerToken, 16)
+        })
+        .unwrap();
+    let int8_tokens = engine
+        .generate_with_cache(&prefill, &mut int8_cache, 5)
+        .unwrap();
+
+    let matching = fp16_tokens
+        .iter()
+        .zip(int8_tokens.iter())
+        .filter(|(a, b)| a == b)
+        .count();
+    assert!(
+        matching >= 4,
+        "INT8 cache diverged too much: {fp16_tokens:?} vs {int8_tokens:?}"
+    );
+}
+
+#[test]
+fn accuracy_harness_ranks_cocktail_with_fp16_and_above_uniform_int2() {
+    let evaluator = Evaluator::new(EvalConfig::new(32));
+    let tasks = TaskGenerator::qasper(WorkloadConfig::paper_scale()).generate_batch(99, 4);
+    let fp16 = evaluator.mean_score(&tasks, &Fp16Policy::new()).unwrap();
+    let cocktail = evaluator
+        .mean_score(
+            &tasks,
+            &CocktailPolicy::new(CocktailConfig::default()).unwrap(),
+        )
+        .unwrap();
+    let int2 = evaluator
+        .mean_score(&tasks, &AtomPolicy::new(Bitwidth::Int2, 32).unwrap())
+        .unwrap();
+    assert!(
+        cocktail >= fp16 - 10.0,
+        "cocktail ({cocktail:.1}) should track FP16 ({fp16:.1})"
+    );
+    assert!(
+        cocktail > int2 + 10.0,
+        "cocktail ({cocktail:.1}) should clearly beat uniform INT2 ({int2:.1})"
+    );
+}
