@@ -45,7 +45,9 @@ impl AtomPolicy {
             ));
         }
         if group_size == 0 {
-            return Err(PolicyError::InvalidInput("group size must be nonzero".into()));
+            return Err(PolicyError::InvalidInput(
+                "group size must be nonzero".into(),
+            ));
         }
         Ok(Self {
             bitwidth,

@@ -45,7 +45,9 @@ impl KiviPolicy {
             ));
         }
         if group_size == 0 {
-            return Err(PolicyError::InvalidInput("group size must be nonzero".into()));
+            return Err(PolicyError::InvalidInput(
+                "group size must be nonzero".into(),
+            ));
         }
         Ok(Self {
             bitwidth,
@@ -115,7 +117,10 @@ mod tests {
         KiviPolicy::default()
             .apply_layer(&mut cache, &PolicyContext::empty())
             .unwrap();
-        assert!(cache.chunks().iter().all(|c| c.bitwidth() == Bitwidth::Int4));
+        assert!(cache
+            .chunks()
+            .iter()
+            .all(|c| c.bitwidth() == Bitwidth::Int4));
     }
 
     #[test]
@@ -174,7 +179,10 @@ mod tests {
     fn rejects_invalid_configuration() {
         assert!(KiviPolicy::new(Bitwidth::Fp16, 32).is_err());
         assert!(KiviPolicy::new(Bitwidth::Int2, 0).is_err());
-        assert_eq!(KiviPolicy::new(Bitwidth::Int2, 16).unwrap().bitwidth(), Bitwidth::Int2);
+        assert_eq!(
+            KiviPolicy::new(Bitwidth::Int2, 16).unwrap().bitwidth(),
+            Bitwidth::Int2
+        );
     }
 
     #[test]

@@ -59,7 +59,9 @@ impl KvQuantPolicy {
             ));
         }
         if group_size == 0 {
-            return Err(PolicyError::InvalidInput("group size must be nonzero".into()));
+            return Err(PolicyError::InvalidInput(
+                "group size must be nonzero".into(),
+            ));
         }
         if !(0.0..=1.0).contains(&outlier_fraction) {
             return Err(PolicyError::InvalidInput(format!(
@@ -103,7 +105,8 @@ impl KvQuantPolicy {
             }
         }
         let total_tokens = scored.len();
-        let keep = ((total_tokens as f32 * self.outlier_fraction).ceil() as usize).min(total_tokens);
+        let keep =
+            ((total_tokens as f32 * self.outlier_fraction).ceil() as usize).min(total_tokens);
         scored.sort_by(|a, b| b.0.total_cmp(&a.0));
         let mut per_chunk = vec![Vec::new(); chunk_count];
         for &(_, chunk_idx, row) in scored.iter().take(keep) {
@@ -188,7 +191,9 @@ mod tests {
         let seg = ChunkSegmentation::new(64, 32).unwrap();
         let mut cache = ChunkedLayerCache::from_prefill(&k, &v, &seg).unwrap();
         let policy = KvQuantPolicy::new(Bitwidth::Int4, 32, 0.02).unwrap();
-        policy.apply_layer(&mut cache, &PolicyContext::empty()).unwrap();
+        policy
+            .apply_layer(&mut cache, &PolicyContext::empty())
+            .unwrap();
         // Token 17 lives in chunk 0, row 17; it must be in the outlier patch.
         let chunk0 = &cache.chunks()[0];
         assert!(chunk0.outliers().unwrap().rows.contains(&17));

@@ -246,7 +246,9 @@ mod tests {
 
     #[test]
     fn policy_error_display() {
-        assert!(PolicyError::Cache("boom".into()).to_string().contains("boom"));
+        assert!(PolicyError::Cache("boom".into())
+            .to_string()
+            .contains("boom"));
         assert!(PolicyError::InvalidInput("alpha".into())
             .to_string()
             .contains("alpha"));

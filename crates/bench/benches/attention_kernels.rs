@@ -26,7 +26,13 @@ fn build_cache() -> ChunkedLayerCache {
 fn cocktail_scores() -> Vec<f32> {
     // A relevance pattern with a few high-scoring chunks, like Figure 1.
     (0..TOKENS / CHUNK)
-        .map(|i| if i % 11 == 3 { 0.95 } else { 0.1 + (i % 7) as f32 * 0.05 })
+        .map(|i| {
+            if i % 11 == 3 {
+                0.95
+            } else {
+                0.1 + (i % 7) as f32 * 0.05
+            }
+        })
         .collect()
 }
 
@@ -34,7 +40,12 @@ fn bench_uniform_precisions(c: &mut Criterion) {
     let mut group = c.benchmark_group("decode_attention_uniform");
     let q = rng::gaussian_matrix(1, DIM, 1.0, 13);
     let scale = 1.0 / (DIM as f32).sqrt();
-    for bw in [Bitwidth::Fp16, Bitwidth::Int8, Bitwidth::Int4, Bitwidth::Int2] {
+    for bw in [
+        Bitwidth::Fp16,
+        Bitwidth::Int8,
+        Bitwidth::Int4,
+        Bitwidth::Int2,
+    ] {
         let mut cache = build_cache();
         if bw != Bitwidth::Fp16 {
             cache

@@ -85,5 +85,10 @@ fn bench_decode_step(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_prefill, bench_policy_application, bench_decode_step);
+criterion_group!(
+    benches,
+    bench_prefill,
+    bench_policy_application,
+    bench_decode_step
+);
 criterion_main!(benches);

@@ -54,11 +54,9 @@ fn bench_group_size_sweep(c: &mut Criterion) {
     let m = rng::gaussian_matrix(256, 128, 1.0, 5);
     for group_size in [16usize, 32, 64, 128] {
         let cfg = QuantConfig::new(Bitwidth::Int4, QuantAxis::PerToken, group_size).unwrap();
-        group.bench_with_input(
-            BenchmarkId::from_parameter(group_size),
-            &cfg,
-            |b, cfg| b.iter(|| QuantizedMatrix::quantize(black_box(&m), cfg).unwrap()),
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(group_size), &cfg, |b, cfg| {
+            b.iter(|| QuantizedMatrix::quantize(black_box(&m), cfg).unwrap())
+        });
     }
     group.finish();
 }

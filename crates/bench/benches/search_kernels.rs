@@ -67,7 +67,11 @@ fn bench_token_level_search(c: &mut Criterion) {
     c.bench_function("kvquant_token_level_search_1024_tokens", |b| {
         b.iter_batched(
             || cache.clone(),
-            |mut cache| policy.apply_layer(&mut cache, &PolicyContext::empty()).unwrap(),
+            |mut cache| {
+                policy
+                    .apply_layer(&mut cache, &PolicyContext::empty())
+                    .unwrap()
+            },
             criterion::BatchSize::LargeInput,
         );
     });

@@ -92,7 +92,11 @@ pub fn fig1_heatmap() -> Vec<HeatmapRow> {
             .scores
             .iter()
             .map(|&s| {
-                let level = if max > min { (s - min) / (max - min) } else { 0.0 };
+                let level = if max > min {
+                    (s - min) / (max - min)
+                } else {
+                    0.0
+                };
                 match (level * 4.0) as u32 {
                     0 => ' ',
                     1 => '.',
@@ -331,7 +335,11 @@ pub fn table5_ablation(instances: usize) -> Vec<AblationRow> {
         // (display, accuracy policy behaviour, hardware profile)
         ("Baseline (FP16)", "FP16", "FP16"),
         ("w/o Module I", "CocktailNoSearch", "Cocktail w/o Module I"),
-        ("w/o Module II", "CocktailNoReorder", "Cocktail w/o Module II"),
+        (
+            "w/o Module II",
+            "CocktailNoReorder",
+            "Cocktail w/o Module II",
+        ),
         ("Cocktail", "Cocktail", "Cocktail"),
     ];
 
@@ -342,7 +350,11 @@ pub fn table5_ablation(instances: usize) -> Vec<AblationRow> {
             "CocktailNoReorder" => CocktailConfig::default().with_reorder(false),
             _ => CocktailConfig::default(),
         };
-        let method = if accuracy_variant == "FP16" { "FP16" } else { "Cocktail" };
+        let method = if accuracy_variant == "FP16" {
+            "FP16"
+        } else {
+            "Cocktail"
+        };
         let accuracy = accuracy_cell(&model, TaskKind::QmSum, method, &config, instances);
         let profile = build_hw_profile(hw_variant);
         let gpu_memory_gib = deployment.gpu_memory_gib(&profile, 1);
@@ -431,7 +443,11 @@ pub fn fig4_memory() -> Vec<MemoryRow> {
         .collect();
     let mut headers = vec!["Model"];
     headers.extend(method_names());
-    print_table("Figure 4: GPU memory (GiB) of different models", &headers, &table);
+    print_table(
+        "Figure 4: GPU memory (GiB) of different models",
+        &headers,
+        &table,
+    );
     let record = ExperimentRecord {
         id: "fig4_memory".to_string(),
         title: "Figure 4: GPU memory of different models".to_string(),
@@ -595,7 +611,9 @@ pub fn fig7_alpha_beta(instances: usize) -> Vec<AlphaBetaRow> {
     let model = ModelProfile::llama2_7b_sim();
     let mut rows = Vec::new();
     for &alpha in &[0.1f32, 0.3, 0.5, 0.6, 0.7, 0.8, 0.9] {
-        let config = CocktailConfig::default().with_alpha(alpha).expect("valid alpha");
+        let config = CocktailConfig::default()
+            .with_alpha(alpha)
+            .expect("valid alpha");
         let score = accuracy_cell(&model, TaskKind::QmSum, "Cocktail", &config, instances);
         rows.push(AlphaBetaRow {
             alpha,
@@ -604,7 +622,9 @@ pub fn fig7_alpha_beta(instances: usize) -> Vec<AlphaBetaRow> {
         });
     }
     for &beta in &[0.0f32, 0.05, 0.1, 0.2, 0.3, 0.4] {
-        let config = CocktailConfig::default().with_beta(beta).expect("valid beta");
+        let config = CocktailConfig::default()
+            .with_beta(beta)
+            .expect("valid beta");
         let score = accuracy_cell(&model, TaskKind::QmSum, "Cocktail", &config, instances);
         rows.push(AlphaBetaRow {
             alpha: config.alpha,

@@ -209,8 +209,8 @@ mod tests {
     #[test]
     fn grouped_attention_matches_generic_attention() {
         let mut cache = build_cache(130, 32, 1); // 4 chunks + remainder of 2
-        // alpha = 0.6, beta = 0.1 over range [0.05, 0.9]: T_low = 0.56,
-        // T_high = 0.815, so the assignment is [Int2, Fp16, Int4, Int2].
+                                                 // alpha = 0.6, beta = 0.1 over range [0.05, 0.9]: T_low = 0.56,
+                                                 // T_high = 0.815, so the assignment is [Int2, Fp16, Int4, Int2].
         let plan = plan_from(&[0.05, 0.9, 0.6, 0.1]);
         apply_plan(&mut cache, &plan, 32, true).unwrap();
         cache.append_decode_token(&[0.1; 16], &[0.2; 16]).unwrap();

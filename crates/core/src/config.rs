@@ -85,10 +85,14 @@ impl CocktailConfig {
             )));
         }
         if self.chunk_size == 0 {
-            return Err(CocktailError::InvalidConfig("chunk size must be nonzero".into()));
+            return Err(CocktailError::InvalidConfig(
+                "chunk size must be nonzero".into(),
+            ));
         }
         if self.group_size == 0 {
-            return Err(CocktailError::InvalidConfig("group size must be nonzero".into()));
+            return Err(CocktailError::InvalidConfig(
+                "group size must be nonzero".into(),
+            ));
         }
         Ok(())
     }

@@ -262,7 +262,9 @@ mod tests {
 
     fn sample_context() -> String {
         let mut parts: Vec<String> = (0..10)
-            .map(|i| format!("daily log {i} covers weather supplies and morale nothing unusual reported"))
+            .map(|i| {
+                format!("daily log {i} covers weather supplies and morale nothing unusual reported")
+            })
             .collect();
         parts[6] = "important notice the evacuation signal phrase is amber lantern".to_string();
         parts.join(" . ")
@@ -272,7 +274,11 @@ mod tests {
     fn end_to_end_run_produces_answer_and_compression() {
         let pipeline = pipeline(16);
         let outcome = pipeline
-            .run(&sample_context(), "what is the evacuation signal phrase?", 6)
+            .run(
+                &sample_context(),
+                "what is the evacuation signal phrase?",
+                6,
+            )
             .unwrap();
         assert_eq!(outcome.generated_tokens.len(), 6);
         assert!(!outcome.answer.is_empty());
@@ -287,7 +293,12 @@ mod tests {
     fn fp16_policy_run_has_ratio_one() {
         let pipeline = pipeline(16);
         let outcome = pipeline
-            .run_with_policy(&sample_context(), "what about morale?", &Fp16Policy::new(), 4)
+            .run_with_policy(
+                &sample_context(),
+                "what about morale?",
+                &Fp16Policy::new(),
+                4,
+            )
             .unwrap();
         assert!((outcome.compression_ratio() - 1.0).abs() < 1e-9);
         assert!(outcome.plan.is_none());
@@ -297,7 +308,11 @@ mod tests {
     fn atom_policy_compresses_more_uniformly_than_cocktail_keeps_relevant() {
         let pipeline = pipeline(16);
         let cocktail = pipeline
-            .run(&sample_context(), "what is the evacuation signal phrase?", 4)
+            .run(
+                &sample_context(),
+                "what is the evacuation signal phrase?",
+                4,
+            )
             .unwrap();
         let atom = pipeline
             .run_with_policy(
@@ -338,7 +353,11 @@ mod tests {
         // Fewer than 64 context words: zero chunks, everything in FP16
         // remainder, the policy has nothing to do.
         let outcome = pipeline
-            .run("tiny context with a handful of words only", "what is this?", 3)
+            .run(
+                "tiny context with a handful of words only",
+                "what is this?",
+                3,
+            )
             .unwrap();
         assert_eq!(outcome.report.total_chunks(), 0);
         assert!((outcome.compression_ratio() - 1.0).abs() < 1e-9);

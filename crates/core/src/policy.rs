@@ -134,7 +134,12 @@ impl CachePolicy for CocktailPolicy {
         ctx: &PolicyContext,
     ) -> Result<PolicyReport, PolicyError> {
         let plan = self.plan_for(ctx, cache.chunk_count())?;
-        apply_plan(cache, &plan, self.config.group_size, self.config.enable_reorder)?;
+        apply_plan(
+            cache,
+            &plan,
+            self.config.group_size,
+            self.config.enable_reorder,
+        )?;
         Ok(self.report_for(&plan))
     }
 
@@ -253,8 +258,7 @@ mod tests {
     fn without_reorder_logical_order_is_preserved() {
         let mut cache = layer_cache(6 * 32, 32, 5);
         let (texts, query) = needle_context(6, 0);
-        let policy =
-            CocktailPolicy::new(CocktailConfig::default().with_reorder(false)).unwrap();
+        let policy = CocktailPolicy::new(CocktailConfig::default().with_reorder(false)).unwrap();
         policy
             .apply_layer(&mut cache, &PolicyContext::new(texts, query))
             .unwrap();
@@ -311,7 +315,11 @@ mod tests {
         let mut cache = ChunkedKvCache::new(2, 2);
         for layer in 0..2 {
             for head in 0..2 {
-                cache.set(layer, head, layer_cache(6 * 32, 32, (layer * 2 + head) as u64));
+                cache.set(
+                    layer,
+                    head,
+                    layer_cache(6 * 32, 32, (layer * 2 + head) as u64),
+                );
             }
         }
         let (texts, query) = needle_context(6, 4);

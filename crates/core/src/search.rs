@@ -273,9 +273,14 @@ mod tests {
                 }
             })
             .collect();
-        let plan = search.plan("what is the launch password?", &chunks).unwrap();
+        let plan = search
+            .plan("what is the launch password?", &chunks)
+            .unwrap();
         assert_eq!(plan.assignments()[7], Bitwidth::Fp16);
-        assert!(plan.count(Bitwidth::Int2) >= 6, "most chunks should be INT2");
+        assert!(
+            plan.count(Bitwidth::Int2) >= 6,
+            "most chunks should be INT2"
+        );
     }
 
     #[test]

@@ -255,8 +255,7 @@ impl DeploymentModel {
 
         // Sparse outlier patches require a gather pass over their tokens.
         let outlier_values = values * profile.outlier_fraction;
-        let outlier_gather_s =
-            batch as f64 * outlier_values * 4.0 / self.spec.dequant_elems_per_s;
+        let outlier_gather_s = batch as f64 * outlier_values * 4.0 / self.spec.dequant_elems_per_s;
 
         LatencyBreakdown {
             weight_read_s,
@@ -269,9 +268,7 @@ impl DeploymentModel {
 
     /// Prefill latency estimate (compute-bound): `2 · params · tokens / FLOPs`.
     pub fn prefill_latency_s(&self, batch: usize) -> f64 {
-        2.0 * self.model.parameter_count() as f64
-            * self.request.context_len as f64
-            * batch as f64
+        2.0 * self.model.parameter_count() as f64 * self.request.context_len as f64 * batch as f64
             / self.spec.fp16_flops_per_s
     }
 
@@ -306,7 +303,10 @@ impl DeploymentModel {
         profile: &KvCacheProfile,
         batches: &[usize],
     ) -> Vec<ThroughputPoint> {
-        batches.iter().map(|&b| self.throughput(profile, b)).collect()
+        batches
+            .iter()
+            .map(|&b| self.throughput(profile, b))
+            .collect()
     }
 
     /// Convenience: GPU memory in GiB.
@@ -412,11 +412,17 @@ mod tests {
         let token = m.search_latency_s(&KvCacheProfile::kvquant_default(), 1);
         assert_eq!(none, 0.0);
         assert!(chunk > 0.0);
-        assert!(token > chunk, "token-level search must cost more than chunk-level");
+        assert!(
+            token > chunk,
+            "token-level search must cost more than chunk-level"
+        );
         // Chunk-level search amortizes with the batch; token-level does not.
         let chunk_64 = m.search_latency_s(&KvCacheProfile::cocktail_default(), 64);
         let token_64 = m.search_latency_s(&KvCacheProfile::kvquant_default(), 64);
-        assert!(chunk_64 / 64.0 < chunk, "per-request chunk search must shrink with batch");
+        assert!(
+            chunk_64 / 64.0 < chunk,
+            "per-request chunk search must shrink with batch"
+        );
         assert!((token_64 / 64.0 - token).abs() / token < 1e-6);
     }
 
@@ -430,12 +436,18 @@ mod tests {
         let atom = KvCacheProfile::atom_int4();
         let small_c = m.throughput(&cocktail, 1).tokens_per_s.unwrap();
         let small_a = m.throughput(&atom, 1).tokens_per_s.unwrap();
-        assert!(small_c <= small_a, "at batch 1: cocktail {small_c} vs atom {small_a}");
+        assert!(
+            small_c <= small_a,
+            "at batch 1: cocktail {small_c} vs atom {small_a}"
+        );
         let big_batch = m.max_batch(&cocktail, 512).min(m.max_batch(&atom, 512));
         assert!(big_batch > 8);
         let big_c = m.throughput(&cocktail, big_batch).tokens_per_s.unwrap();
         let big_a = m.throughput(&atom, big_batch).tokens_per_s.unwrap();
-        assert!(big_c > big_a, "at batch {big_batch}: cocktail {big_c} vs atom {big_a}");
+        assert!(
+            big_c > big_a,
+            "at batch {big_batch}: cocktail {big_c} vs atom {big_a}"
+        );
     }
 
     #[test]

@@ -71,7 +71,10 @@ impl KvCacheProfile {
             (total - 1.0).abs() < 1e-6,
             "bitwidth fractions must sum to 1, got {total}"
         );
-        assert!(map.values().all(|&f| f >= 0.0), "fractions must be non-negative");
+        assert!(
+            map.values().all(|&f| f >= 0.0),
+            "fractions must be non-negative"
+        );
         assert!((0.0..=1.0).contains(&outlier_fraction));
         Self {
             method: method.into(),
@@ -85,17 +88,38 @@ impl KvCacheProfile {
 
     /// The uncompressed FP16 cache.
     pub fn fp16() -> Self {
-        Self::new("FP16", &[(Bitwidth::Fp16, 1.0)], 0.0, 32, true, SearchKind::None)
+        Self::new(
+            "FP16",
+            &[(Bitwidth::Fp16, 1.0)],
+            0.0,
+            32,
+            true,
+            SearchKind::None,
+        )
     }
 
     /// Atom: uniform INT4, contiguous by construction.
     pub fn atom_int4() -> Self {
-        Self::new("Atom", &[(Bitwidth::Int4, 1.0)], 0.0, 32, true, SearchKind::None)
+        Self::new(
+            "Atom",
+            &[(Bitwidth::Int4, 1.0)],
+            0.0,
+            32,
+            true,
+            SearchKind::None,
+        )
     }
 
     /// KIVI: uniform INT4 (per-channel keys change error, not footprint).
     pub fn kivi_int4() -> Self {
-        Self::new("KIVI", &[(Bitwidth::Int4, 1.0)], 0.0, 32, true, SearchKind::None)
+        Self::new(
+            "KIVI",
+            &[(Bitwidth::Int4, 1.0)],
+            0.0,
+            32,
+            true,
+            SearchKind::None,
+        )
     }
 
     /// KVQuant: INT4 with 1 % FP16 outliers and a token-level search.
@@ -227,7 +251,11 @@ impl KvCacheProfile {
                 // value occupies an FP16 container slot.
                 2.0
             };
-            let params = if bw.is_float() { 0.0 } else { param_bytes_per_value };
+            let params = if bw.is_float() {
+                0.0
+            } else {
+                param_bytes_per_value
+            };
             total += fraction * (payload + params);
         }
         // Outlier tokens keep an FP16 copy (plus a 4-byte index per token,
@@ -257,7 +285,14 @@ mod tests {
     #[test]
     #[should_panic(expected = "sum to 1")]
     fn bad_fractions_panic() {
-        KvCacheProfile::new("x", &[(Bitwidth::Int2, 0.5)], 0.0, 32, true, SearchKind::None);
+        KvCacheProfile::new(
+            "x",
+            &[(Bitwidth::Int2, 0.5)],
+            0.0,
+            32,
+            true,
+            SearchKind::None,
+        );
     }
 
     #[test]

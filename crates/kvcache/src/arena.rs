@@ -56,7 +56,8 @@ pub struct LayoutStats {
 impl LayoutStats {
     /// Extra cache lines read relative to the ideal contiguous layout.
     pub fn wasted_cache_lines(&self) -> usize {
-        self.cache_lines_touched.saturating_sub(self.cache_lines_ideal)
+        self.cache_lines_touched
+            .saturating_sub(self.cache_lines_ideal)
     }
 
     /// Fraction of read traffic that is overhead (0.0 for a perfect layout).
@@ -282,7 +283,11 @@ mod tests {
     #[test]
     fn from_sizes_matches_manual_offsets() {
         let layout = MemoryLayout::from_sizes(
-            &[(Bitwidth::Int2, 100), (Bitwidth::Fp16, 200), (Bitwidth::Int2, 50)],
+            &[
+                (Bitwidth::Int2, 100),
+                (Bitwidth::Fp16, 200),
+                (Bitwidth::Int2, 50),
+            ],
             128,
         );
         assert_eq!(layout.regions()[1].offset, 100);
@@ -294,7 +299,11 @@ mod tests {
     #[test]
     fn wasted_lines_is_touched_minus_ideal() {
         let layout = MemoryLayout::from_sizes(
-            &[(Bitwidth::Int2, 64), (Bitwidth::Fp16, 64), (Bitwidth::Int2, 64)],
+            &[
+                (Bitwidth::Int2, 64),
+                (Bitwidth::Fp16, 64),
+                (Bitwidth::Int2, 64),
+            ],
             128,
         );
         let stats = layout.stats();

@@ -317,7 +317,11 @@ impl ChunkedLayerCache {
     ///
     /// Returns [`KvCacheError::ShapeMismatch`] if the vectors do not have
     /// `head_dim` elements.
-    pub fn append_decode_token(&mut self, k_row: &[f32], v_row: &[f32]) -> Result<(), KvCacheError> {
+    pub fn append_decode_token(
+        &mut self,
+        k_row: &[f32],
+        v_row: &[f32],
+    ) -> Result<(), KvCacheError> {
         if k_row.len() != self.head_dim || v_row.len() != self.head_dim {
             return Err(KvCacheError::ShapeMismatch(format!(
                 "decode token dim {} / {} vs head_dim {}",
@@ -330,10 +334,8 @@ impl ChunkedLayerCache {
         let mut v_round = v_row.to_vec();
         cocktail_tensor::ops::round_to_f16(&mut k_round);
         cocktail_tensor::ops::round_to_f16(&mut v_round);
-        let k_new = Matrix::from_vec(1, self.head_dim, k_round)
-            .expect("row has head_dim elements");
-        let v_new = Matrix::from_vec(1, self.head_dim, v_round)
-            .expect("row has head_dim elements");
+        let k_new = Matrix::from_vec(1, self.head_dim, k_round).expect("row has head_dim elements");
+        let v_new = Matrix::from_vec(1, self.head_dim, v_round).expect("row has head_dim elements");
         self.tail_k = Matrix::concat_rows(&[&self.tail_k, &k_new])?;
         self.tail_v = Matrix::concat_rows(&[&self.tail_v, &v_new])?;
         Ok(())
@@ -342,9 +344,11 @@ impl ChunkedLayerCache {
     /// Exact storage footprint of the cache in bytes.
     pub fn storage_bytes(&self) -> usize {
         let chunk_bytes: usize = self.chunks.iter().map(KvChunk::storage_bytes).sum();
-        let fp16_bytes =
-            (self.remainder_k.len() + self.remainder_v.len() + self.tail_k.len() + self.tail_v.len())
-                * 2;
+        let fp16_bytes = (self.remainder_k.len()
+            + self.remainder_v.len()
+            + self.tail_k.len()
+            + self.tail_v.len())
+            * 2;
         chunk_bytes + fp16_bytes
     }
 
@@ -508,7 +512,10 @@ impl ChunkedKvCache {
     }
 
     fn index(&self, layer: usize, head: usize) -> usize {
-        assert!(layer < self.layers && head < self.kv_heads, "cache slot out of range");
+        assert!(
+            layer < self.layers && head < self.kv_heads,
+            "cache slot out of range"
+        );
         layer * self.kv_heads + head
     }
 
@@ -679,9 +686,7 @@ mod tests {
             .unwrap();
         assert_eq!(cache.tail_len(), 2);
         assert_eq!(cache.total_tokens(), 34);
-        assert!(cache
-            .append_decode_token(&[1.0, 2.0], &[0.5, 0.5])
-            .is_err());
+        assert!(cache.append_decode_token(&[1.0, 2.0], &[0.5, 0.5]).is_err());
     }
 
     #[test]
@@ -756,7 +761,11 @@ mod tests {
             for head in 0..2 {
                 let k = rng::gaussian_matrix(32, 4, 1.0, (layer * 2 + head) as u64);
                 let v = rng::gaussian_matrix(32, 4, 1.0, 50 + (layer * 2 + head) as u64);
-                cache.set(layer, head, ChunkedLayerCache::from_prefill(&k, &v, &seg).unwrap());
+                cache.set(
+                    layer,
+                    head,
+                    ChunkedLayerCache::from_prefill(&k, &v, &seg).unwrap(),
+                );
             }
         }
         assert_eq!(cache.iter().count(), 4);
@@ -775,9 +784,7 @@ mod tests {
         let mut cache = build_cache(20, 4, 16, 12); // 1 chunk of 16, remainder 4
         let base = cache.storage_bytes();
         assert_eq!(base, 2 * 20 * 4 * 2);
-        cache
-            .append_decode_token(&[0.0; 4], &[0.0; 4])
-            .unwrap();
+        cache.append_decode_token(&[0.0; 4], &[0.0; 4]).unwrap();
         assert_eq!(cache.storage_bytes(), base + 2 * 4 * 2);
     }
 }

@@ -119,7 +119,12 @@ impl KvChunk {
     /// Returns [`KvCacheError::Quant`] if the quantization kernel rejects
     /// the configuration (e.g. zero group size).
     pub fn quantized(self, bitwidth: Bitwidth, group_size: usize) -> Result<Self, KvCacheError> {
-        self.quantized_with_axis(bitwidth, QuantAxis::PerToken, QuantAxis::PerToken, group_size)
+        self.quantized_with_axis(
+            bitwidth,
+            QuantAxis::PerToken,
+            QuantAxis::PerToken,
+            group_size,
+        )
     }
 
     /// Returns a copy quantized with separate grouping axes for keys and
@@ -185,7 +190,11 @@ impl KvChunk {
         let mut v_rows = v.gather_rows(&rows);
         k_rows.round_to_f16();
         v_rows.round_to_f16();
-        chunk.outliers = Some(OutlierPatch { rows, k_rows, v_rows });
+        chunk.outliers = Some(OutlierPatch {
+            rows,
+            k_rows,
+            v_rows,
+        });
         Ok(chunk)
     }
 
@@ -269,7 +278,10 @@ impl KvChunk {
             ChunkStorage::Fp16 { k, v } => (k.len() + v.len()) * 2,
             ChunkStorage::Quantized { k, v } => k.storage_bytes() + v.storage_bytes(),
         };
-        base + self.outliers.as_ref().map_or(0, OutlierPatch::storage_bytes)
+        base + self
+            .outliers
+            .as_ref()
+            .map_or(0, OutlierPatch::storage_bytes)
     }
 
     /// Storage the chunk would need if kept entirely in FP16.
@@ -358,7 +370,12 @@ mod tests {
     fn per_channel_key_axis_is_supported() {
         let chunk = sample_chunk(32, 16, 4);
         let kivi_style = chunk
-            .quantized_with_axis(Bitwidth::Int4, QuantAxis::PerChannel, QuantAxis::PerToken, 32)
+            .quantized_with_axis(
+                Bitwidth::Int4,
+                QuantAxis::PerChannel,
+                QuantAxis::PerToken,
+                32,
+            )
             .unwrap();
         assert_eq!(kivi_style.bitwidth(), Bitwidth::Int4);
         assert_eq!(kivi_style.key_matrix().shape(), (32, 16));
@@ -415,7 +432,9 @@ mod tests {
     #[test]
     fn empty_outlier_list_is_plain_quantization() {
         let chunk = sample_chunk(8, 8, 8);
-        let q = chunk.quantized_with_outliers(Bitwidth::Int4, 8, &[]).unwrap();
+        let q = chunk
+            .quantized_with_outliers(Bitwidth::Int4, 8, &[])
+            .unwrap();
         assert_eq!(q.outlier_count(), 0);
         assert!(q.outliers().is_none());
     }

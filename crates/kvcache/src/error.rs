@@ -60,7 +60,9 @@ mod tests {
 
     #[test]
     fn display_messages_are_informative() {
-        assert!(KvCacheError::ZeroChunkSize.to_string().contains("chunk size"));
+        assert!(KvCacheError::ZeroChunkSize
+            .to_string()
+            .contains("chunk size"));
         assert!(KvCacheError::ChunkIndexOutOfRange { index: 5, len: 3 }
             .to_string()
             .contains('5'));

@@ -134,7 +134,10 @@ impl ChunkPermutation {
     ///
     /// Returns [`KvCacheError::InvalidPermutation`] if the permutation
     /// length does not match the segmentation's chunk count.
-    pub fn token_order(&self, segmentation: &ChunkSegmentation) -> Result<Vec<usize>, KvCacheError> {
+    pub fn token_order(
+        &self,
+        segmentation: &ChunkSegmentation,
+    ) -> Result<Vec<usize>, KvCacheError> {
         if self.order.len() != segmentation.chunk_count() {
             return Err(KvCacheError::InvalidPermutation(format!(
                 "permutation of {} chunks does not match segmentation with {} chunks",

@@ -487,7 +487,9 @@ mod tests {
         let prefill = engine.prefill(&prompt).unwrap();
 
         let mut fp16_cache = engine.build_cache(&prefill, 4).unwrap();
-        let fp16_step = engine.decode_step(5, prompt.len(), &mut fp16_cache).unwrap();
+        let fp16_step = engine
+            .decode_step(5, prompt.len(), &mut fp16_cache)
+            .unwrap();
 
         let mut int8_cache = engine.build_cache(&prefill, 4).unwrap();
         int8_cache
@@ -495,7 +497,9 @@ mod tests {
                 layer.quantize_all(Bitwidth::Int8, QuantAxis::PerToken, QuantAxis::PerToken, 16)
             })
             .unwrap();
-        let int8_step = engine.decode_step(5, prompt.len(), &mut int8_cache).unwrap();
+        let int8_step = engine
+            .decode_step(5, prompt.len(), &mut int8_cache)
+            .unwrap();
 
         let max_diff = fp16_step
             .logits
@@ -530,7 +534,9 @@ mod tests {
         let mut cache = engine.build_cache(&prefill, 4).unwrap();
         let out = engine.generate_with_cache(&prefill, &mut cache, 5).unwrap();
         assert_eq!(out.len(), 5);
-        assert!(out.iter().all(|&t| (t as usize) < engine.config().vocab_size));
+        assert!(out
+            .iter()
+            .all(|&t| (t as usize) < engine.config().vocab_size));
     }
 
     #[test]

@@ -43,7 +43,7 @@ impl ModelProfile {
                 .expect("profile config is valid"),
             full: ModelConfig::new("llama2-7b", 4096, 32, 32, 32, 11008, 32000, 4096)
                 .expect("profile config is valid"),
-            seed: 0x11a_a2_07,
+            seed: 0x011A_A207,
         }
     }
 
@@ -54,7 +54,7 @@ impl ModelProfile {
                 .expect("profile config is valid"),
             full: ModelConfig::new("llama2-13b", 5120, 40, 40, 40, 13824, 32000, 4096)
                 .expect("profile config is valid"),
-            seed: 0x11a_a2_13,
+            seed: 0x011A_A213,
         }
     }
 
@@ -66,7 +66,7 @@ impl ModelProfile {
                 .expect("profile config is valid"),
             full: ModelConfig::new("mistral-7b", 4096, 32, 32, 8, 14336, 32000, 32 * 1024)
                 .expect("profile config is valid"),
-            seed: 0x715_07,
+            seed: 0x0007_1507,
         }
     }
 
@@ -165,13 +165,19 @@ mod tests {
 
     #[test]
     fn long_context_models_report_32k() {
-        assert_eq!(ModelProfile::longchat_7b_sim().full().max_context, 32 * 1024);
+        assert_eq!(
+            ModelProfile::longchat_7b_sim().full().max_context,
+            32 * 1024
+        );
         assert_eq!(ModelProfile::llama2_7b_sim().full().max_context, 4096);
     }
 
     #[test]
     fn seeds_differ_between_profiles() {
-        let seeds: Vec<u64> = ModelProfile::paper_suite().iter().map(|p| p.seed()).collect();
+        let seeds: Vec<u64> = ModelProfile::paper_suite()
+            .iter()
+            .map(|p| p.seed())
+            .collect();
         let mut unique = seeds.clone();
         unique.sort_unstable();
         unique.dedup();

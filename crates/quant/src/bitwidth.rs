@@ -22,9 +22,7 @@ use std::fmt;
 /// assert!(Bitwidth::Fp16.is_float());
 /// assert!(Bitwidth::Int2 < Bitwidth::Fp16); // ordered by fidelity
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum Bitwidth {
     /// 2-bit integers, 4 values per byte. Used for query-irrelevant chunks.
     Int2,

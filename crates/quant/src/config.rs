@@ -106,11 +106,7 @@ impl QuantConfig {
     /// [`QuantError::FloatBitwidth`] if `bitwidth` is [`Bitwidth::Fp16`]
     /// (FP16 chunks are stored unquantized and never go through a
     /// `QuantConfig`).
-    pub fn new(
-        bitwidth: Bitwidth,
-        axis: QuantAxis,
-        group_size: usize,
-    ) -> Result<Self, QuantError> {
+    pub fn new(bitwidth: Bitwidth, axis: QuantAxis, group_size: usize) -> Result<Self, QuantError> {
         if group_size == 0 {
             return Err(QuantError::ZeroGroupSize);
         }

@@ -36,10 +36,7 @@ use cocktail_tensor::Matrix;
 /// # Ok(())
 /// # }
 /// ```
-pub fn fp_matmul_quant_transposed(
-    a: &Matrix,
-    bq: &QuantizedMatrix,
-) -> Result<Matrix, QuantError> {
+pub fn fp_matmul_quant_transposed(a: &Matrix, bq: &QuantizedMatrix) -> Result<Matrix, QuantError> {
     if a.cols() != bq.cols() {
         return Err(QuantError::Incompatible(format!(
             "fp ({}x{}) x quantized^T ({}x{})",
@@ -131,10 +128,7 @@ pub fn fp_matmul_quant_transposed_reference(
 /// # Errors
 ///
 /// Returns [`QuantError::Incompatible`] if the inner dimensions differ.
-pub fn fp_matmul_quant_reference(
-    a: &Matrix,
-    bq: &QuantizedMatrix,
-) -> Result<Matrix, QuantError> {
+pub fn fp_matmul_quant_reference(a: &Matrix, bq: &QuantizedMatrix) -> Result<Matrix, QuantError> {
     let dense = bq.dequantize();
     a.matmul(&dense)
         .map_err(|e| QuantError::Incompatible(e.to_string()))

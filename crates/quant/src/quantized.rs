@@ -257,8 +257,8 @@ mod tests {
     #[test]
     fn int8_reconstruction_error_is_small() {
         let m = rng::gaussian_matrix(32, 64, 1.0, 1);
-        let q = QuantizedMatrix::quantize(&m, &cfg(Bitwidth::Int8, QuantAxis::PerToken, 32))
-            .unwrap();
+        let q =
+            QuantizedMatrix::quantize(&m, &cfg(Bitwidth::Int8, QuantAxis::PerToken, 32)).unwrap();
         let err = q.dequantize().max_abs_diff(&m).unwrap();
         assert!(err < 0.05, "int8 max error {err}");
     }
@@ -268,12 +268,21 @@ mod tests {
         let m = rng::gaussian_matrix(32, 64, 1.0, 2);
         let mut errors = Vec::new();
         for bw in [Bitwidth::Int8, Bitwidth::Int4, Bitwidth::Int2] {
-            let q =
-                QuantizedMatrix::quantize(&m, &cfg(bw, QuantAxis::PerToken, 32)).unwrap();
+            let q = QuantizedMatrix::quantize(&m, &cfg(bw, QuantAxis::PerToken, 32)).unwrap();
             errors.push(q.dequantize().mse(&m).unwrap());
         }
-        assert!(errors[0] < errors[1], "int8 {} < int4 {}", errors[0], errors[1]);
-        assert!(errors[1] < errors[2], "int4 {} < int2 {}", errors[1], errors[2]);
+        assert!(
+            errors[0] < errors[1],
+            "int8 {} < int4 {}",
+            errors[0],
+            errors[1]
+        );
+        assert!(
+            errors[1] < errors[2],
+            "int4 {} < int2 {}",
+            errors[1],
+            errors[2]
+        );
     }
 
     #[test]
@@ -308,8 +317,7 @@ mod tests {
             }
         }
         let per_channel =
-            QuantizedMatrix::quantize(&m, &cfg(Bitwidth::Int4, QuantAxis::PerChannel, 16))
-                .unwrap();
+            QuantizedMatrix::quantize(&m, &cfg(Bitwidth::Int4, QuantAxis::PerChannel, 16)).unwrap();
         let per_token =
             QuantizedMatrix::quantize(&m, &cfg(Bitwidth::Int4, QuantAxis::PerToken, 4)).unwrap();
         let err_channel = per_channel.dequantize().mse(&m).unwrap();
@@ -323,8 +331,8 @@ mod tests {
     #[test]
     fn storage_bytes_accounting() {
         let m = rng::uniform_matrix(64, 128, 1.0, 5);
-        let q = QuantizedMatrix::quantize(&m, &cfg(Bitwidth::Int4, QuantAxis::PerToken, 32))
-            .unwrap();
+        let q =
+            QuantizedMatrix::quantize(&m, &cfg(Bitwidth::Int4, QuantAxis::PerToken, 32)).unwrap();
         // 64*128 values at 4 bits = 4096 bytes payload.
         assert_eq!(q.payload_bytes(), 64 * 128 / 2);
         // 128/32 = 4 groups per row, 64 rows = 256 groups, 4 bytes each.
@@ -357,8 +365,8 @@ mod tests {
     #[test]
     fn dequantize_element_matches_full_dequantize() {
         let m = rng::gaussian_matrix(8, 16, 2.0, 11);
-        let q = QuantizedMatrix::quantize(&m, &cfg(Bitwidth::Int4, QuantAxis::PerChannel, 4))
-            .unwrap();
+        let q =
+            QuantizedMatrix::quantize(&m, &cfg(Bitwidth::Int4, QuantAxis::PerChannel, 4)).unwrap();
         let full = q.dequantize();
         for r in 0..8 {
             for c in 0..16 {

@@ -114,7 +114,10 @@ mod tests {
 
     #[test]
     fn chunk_count_matches_word_count() {
-        let text = (0..100).map(|i| format!("w{i}")).collect::<Vec<_>>().join(" ");
+        let text = (0..100)
+            .map(|i| format!("w{i}"))
+            .collect::<Vec<_>>()
+            .join(" ");
         assert_eq!(chunk_words(&text, 32).len(), 3);
         assert_eq!(chunk_words(&text, 10).len(), 10);
     }

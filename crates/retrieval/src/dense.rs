@@ -82,16 +82,36 @@ impl DenseEncoder {
         self.dim
     }
 
-    fn hash_feature(&self, feature: &str) -> (usize, f32) {
-        // FNV-1a; low bits pick the bucket, one higher bit picks the sign
-        // (signed hashing reduces collision bias).
+    /// Number of independent hash rows per feature (count-sketch style).
+    /// With a single row, one unlucky bucket collision between a rare
+    /// query-defining term and an opposite-signed rare term can cancel the
+    /// whole retrieval signal for a chunk; spreading each feature over four
+    /// independently hashed buckets bounds the damage of any single
+    /// collision to a quarter of the feature's energy.
+    const HASH_ROWS: u64 = 4;
+
+    /// One FNV-1a pass over the feature bytes; the per-row buckets are
+    /// derived from this digest so the string is hashed only once.
+    fn feature_digest(&self, feature: &str) -> u64 {
         let mut hash: u64 = 0xcbf2_9ce4_8422_2325 ^ self.seed;
         for b in feature.as_bytes() {
             hash ^= u64::from(*b);
             hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
         }
-        let bucket = (hash % self.dim as u64) as usize;
-        let sign = if (hash >> 32) & 1 == 0 { 1.0 } else { -1.0 };
+        hash
+    }
+
+    /// Bucket and sign for one count-sketch row: a SplitMix64 finalizer over
+    /// the row-salted digest gives independently mixed bits per row; low
+    /// bits pick the bucket, one higher bit picks the sign (signed hashing
+    /// reduces collision bias).
+    fn row_bucket(&self, digest: u64, row: u64) -> (usize, f32) {
+        let mut z = digest ^ row.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        let bucket = (z % self.dim as u64) as usize;
+        let sign = if (z >> 32) & 1 == 0 { 1.0 } else { -1.0 };
         (bucket, sign)
     }
 
@@ -116,21 +136,44 @@ impl DenseEncoder {
     /// empty map to fall back to uniform weights).
     pub fn embed_with_idf(&self, text: &str, idf: &HashMap<String, f32>) -> Vec<f32> {
         let mut v = vec![0.0f32; self.dim];
+        // Aggregate term frequencies first (in first-occurrence order, so
+        // accumulation order stays deterministic) so each unique feature is
+        // hashed and scattered once, however often it repeats.
+        let mut counts: Vec<(String, f32)> = Vec::new();
+        let mut index: HashMap<String, usize> = HashMap::new();
         for feat in self.features(text) {
+            match index.entry(feat) {
+                std::collections::hash_map::Entry::Occupied(e) => counts[*e.get()].1 += 1.0,
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    counts.push((e.key().clone(), 1.0));
+                    e.insert(counts.len() - 1);
+                }
+            }
+        }
+        for (feat, count) in counts {
             let weight = if self.use_idf {
                 *idf.get(&feat).unwrap_or(&1.0)
             } else {
                 1.0
             };
-            let (bucket, sign) = self.hash_feature(&feat);
-            v[bucket] += sign * weight;
+            // Normalising by sqrt(rows) keeps a feature's total energy (and
+            // therefore matched-feature dot products) identical to the
+            // single-row scheme.
+            let row_weight = count * weight / (Self::HASH_ROWS as f32).sqrt();
+            let digest = self.feature_digest(&feat);
+            for row in 0..Self::HASH_ROWS {
+                let (bucket, sign) = self.row_bucket(digest, row);
+                v[bucket] += sign * row_weight;
+            }
         }
         if self.noise > 0.0 {
             // Deterministic pseudo-noise derived from the text so repeated
             // calls stay reproducible.
             let mut h: u64 = self.seed;
             for b in text.as_bytes() {
-                h = h.wrapping_mul(6364136223846793005).wrapping_add(u64::from(*b));
+                h = h
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(u64::from(*b));
             }
             for (i, slot) in v.iter_mut().enumerate() {
                 h = h.wrapping_mul(6364136223846793005).wrapping_add(i as u64);
@@ -204,7 +247,14 @@ pub struct ContrieverSim(DenseEncoder);
 impl ContrieverSim {
     /// Creates the encoder with its standard parameters.
     pub fn new() -> Self {
-        Self(DenseEncoder::new("contriever-sim", 1024, true, false, 0.0, 0xC04))
+        Self(DenseEncoder::new(
+            "contriever-sim",
+            1024,
+            true,
+            false,
+            0.0,
+            0xC04,
+        ))
     }
 
     /// Access to the underlying dense encoder (for embedding inspection).
@@ -236,7 +286,14 @@ pub struct LlmEmbedderSim(DenseEncoder);
 impl LlmEmbedderSim {
     /// Creates the encoder with its standard parameters.
     pub fn new() -> Self {
-        Self(DenseEncoder::new("llm-embedder-sim", 256, true, false, 0.02, 0x11E))
+        Self(DenseEncoder::new(
+            "llm-embedder-sim",
+            256,
+            true,
+            false,
+            0.02,
+            0x11E,
+        ))
     }
 }
 
@@ -264,7 +321,14 @@ pub struct AdaSim(DenseEncoder);
 impl AdaSim {
     /// Creates the encoder with its standard parameters.
     pub fn new() -> Self {
-        Self(DenseEncoder::new("ada-002-sim", 96, false, false, 0.05, 0xADA))
+        Self(DenseEncoder::new(
+            "ada-002-sim",
+            96,
+            false,
+            false,
+            0.05,
+            0xADA,
+        ))
     }
 }
 
@@ -380,7 +444,11 @@ mod tests {
             .map(|q| {
                 let code = format!("secret-token-{q}");
                 let needle = format!("classified entry: the access phrase for gate {q} is {code}");
-                (q, format!("what is the access phrase for gate {q}?"), needle)
+                (
+                    q,
+                    format!("what is the access phrase for gate {q}?"),
+                    needle,
+                )
             })
             .collect();
 
@@ -390,7 +458,10 @@ mod tests {
             let needle_pos = q % filler.len();
             chunks[needle_pos] = needle.clone();
             for (name, scorer) in [
-                ("contriever", Box::new(ContrieverSim::new()) as Box<dyn ChunkScorer>),
+                (
+                    "contriever",
+                    Box::new(ContrieverSim::new()) as Box<dyn ChunkScorer>,
+                ),
                 ("llm-embedder", Box::new(LlmEmbedderSim::new())),
                 ("ada", Box::new(AdaSim::new())),
             ] {
@@ -414,6 +485,9 @@ mod tests {
             contriever >= ada,
             "contriever-sim ({contriever}) should be at least as good as ada-sim ({ada})"
         );
-        assert!(contriever >= 10, "contriever-sim should almost always find the needle");
+        assert!(
+            contriever >= 10,
+            "contriever-sim should almost always find the needle"
+        );
     }
 }

@@ -450,11 +450,13 @@ impl Matrix {
     ///
     /// Panics if `start > end` or `end > cols()`.
     pub fn slice_cols(&self, start: usize, end: usize) -> Matrix {
-        assert!(start <= end && end <= self.cols, "column slice out of bounds");
+        assert!(
+            start <= end && end <= self.cols,
+            "column slice out of bounds"
+        );
         let mut out = Matrix::zeros(self.rows, end - start);
         for r in 0..self.rows {
-            out.row_mut(r)
-                .copy_from_slice(&self.row(r)[start..end]);
+            out.row_mut(r).copy_from_slice(&self.row(r)[start..end]);
         }
         out
     }
@@ -634,8 +636,12 @@ mod tests {
     #[test]
     fn matmul_transposed_matches_explicit_transpose() {
         let a = Matrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![0.5, -1.0, 2.0]]).unwrap();
-        let b = Matrix::from_rows(&[vec![2.0, 0.0, 1.0], vec![1.0, 1.0, 1.0], vec![0.0, 3.0, -1.0]])
-            .unwrap();
+        let b = Matrix::from_rows(&[
+            vec![2.0, 0.0, 1.0],
+            vec![1.0, 1.0, 1.0],
+            vec![0.0, 3.0, -1.0],
+        ])
+        .unwrap();
         let via_t = a.matmul(&b.transpose()).unwrap();
         let fused = a.matmul_transposed(&b).unwrap();
         assert_eq!(via_t.shape(), fused.shape());
@@ -698,8 +704,7 @@ mod tests {
 
     #[test]
     fn softmax_fully_masked_row_is_zero() {
-        let mut m =
-            Matrix::from_rows(&[vec![f32::NEG_INFINITY, f32::NEG_INFINITY]]).unwrap();
+        let mut m = Matrix::from_rows(&[vec![f32::NEG_INFINITY, f32::NEG_INFINITY]]).unwrap();
         m.softmax_rows();
         assert_eq!(m.as_slice(), &[0.0, 0.0]);
     }
@@ -707,8 +712,7 @@ mod tests {
     #[test]
     fn masked_softmax_respects_mask() {
         let scores = Matrix::from_rows(&[vec![5.0, 5.0, 5.0]]).unwrap();
-        let mask =
-            Matrix::from_rows(&[vec![0.0, f32::NEG_INFINITY, 0.0]]).unwrap();
+        let mask = Matrix::from_rows(&[vec![0.0, f32::NEG_INFINITY, 0.0]]).unwrap();
         let out = scores.masked_softmax(&mask).unwrap();
         assert!(approx_eq(out.get(0, 0), 0.5, 1e-5));
         assert_eq!(out.get(0, 1), 0.0);

@@ -43,7 +43,11 @@ pub fn rms_norm(x: &mut [f32], weight: &[f32], eps: f32) {
 ///
 /// Panics if `weight.len() != m.cols()`.
 pub fn rms_norm_rows(m: &mut Matrix, weight: &[f32], eps: f32) {
-    assert_eq!(m.cols(), weight.len(), "rms_norm_rows weight length mismatch");
+    assert_eq!(
+        m.cols(),
+        weight.len(),
+        "rms_norm_rows weight length mismatch"
+    );
     for r in 0..m.rows() {
         rms_norm(m.row_mut(r), weight, eps);
     }
@@ -151,7 +155,11 @@ pub fn causal_mask(q_len: usize, kv_len: usize) -> Matrix {
 ///
 /// Panics if `col_order.len() != mask.cols()` or any index is out of range.
 pub fn permute_mask_columns(mask: &Matrix, col_order: &[usize]) -> Matrix {
-    assert_eq!(col_order.len(), mask.cols(), "mask permutation length mismatch");
+    assert_eq!(
+        col_order.len(),
+        mask.cols(),
+        "mask permutation length mismatch"
+    );
     let mut out = Matrix::zeros(mask.rows(), mask.cols());
     for r in 0..mask.rows() {
         for (new_c, &old_c) in col_order.iter().enumerate() {

@@ -71,7 +71,7 @@ impl EvalConfig {
             embed_dim: 16,
             sharpness: 20.0,
             confidence_threshold: 0.93,
-            embedding_seed: 0xE37A_11,
+            embedding_seed: 0x00E3_7A11,
         }
     }
 }
@@ -157,7 +157,11 @@ impl Evaluator {
         let mut k = Matrix::zeros(n, dim);
         let mut v = Matrix::zeros(n, dim);
         for i in 0..n {
-            let prev = if i == 0 { "<bos>" } else { &context_words[i - 1] };
+            let prev = if i == 0 {
+                "<bos>"
+            } else {
+                &context_words[i - 1]
+            };
             k.row_mut(i).copy_from_slice(&self.word_embedding(prev));
             v.row_mut(i)
                 .copy_from_slice(&self.word_embedding(&context_words[i]));

@@ -226,10 +226,9 @@ impl TaskGenerator {
                 "decision recorded for {} {} approved .",
                 spec.anchor, answers
             ),
-            TaskKind::MultiNews => format!(
-                "breaking update on {} {} confirmed .",
-                spec.anchor, answers
-            ),
+            TaskKind::MultiNews => {
+                format!("breaking update on {} {} confirmed .", spec.anchor, answers)
+            }
             TaskKind::SamSum => format!("alice : remember the {} {} .", spec.anchor, answers),
             _ => format!("note that the {} {} .", spec.anchor, answers),
         }
@@ -265,7 +264,9 @@ impl TaskGenerator {
                 let anchor_offset = words.len()
                     + line_words
                         .iter()
-                        .position(|w| w.trim_end_matches(|c: char| !c.is_alphanumeric()) == spec.anchor)
+                        .position(|w| {
+                            w.trim_end_matches(|c: char| !c.is_alphanumeric()) == spec.anchor
+                        })
                         .unwrap_or(0);
                 planted.push(Needle {
                     word_offset: anchor_offset,
@@ -369,7 +370,11 @@ mod tests {
                     .split_whitespace()
                     .filter(|w| w.trim_end_matches(|c: char| !c.is_alphanumeric()) == needle.anchor)
                     .count();
-                assert_eq!(context_hits, 1, "{kind}: anchor {} not unique", needle.anchor);
+                assert_eq!(
+                    context_hits, 1,
+                    "{kind}: anchor {} not unique",
+                    needle.anchor
+                );
                 assert!(
                     task.query.contains(&needle.anchor),
                     "{kind}: query must mention the anchor"
@@ -384,8 +389,8 @@ mod tests {
             let task = TaskGenerator::new(kind, WorkloadConfig::small()).generate(13);
             let words: Vec<&str> = task.context.split_whitespace().collect();
             for needle in &task.needles {
-                let word = words[needle.word_offset]
-                    .trim_end_matches(|c: char| !c.is_alphanumeric());
+                let word =
+                    words[needle.word_offset].trim_end_matches(|c: char| !c.is_alphanumeric());
                 assert_eq!(word, needle.anchor, "{kind}: wrong anchor offset");
             }
         }
@@ -435,7 +440,10 @@ mod tests {
     fn summarization_tasks_have_multiple_needles() {
         for kind in [TaskKind::QmSum, TaskKind::MultiNews, TaskKind::SamSum] {
             let task = TaskGenerator::new(kind, WorkloadConfig::small()).generate(29);
-            assert!(task.needles.len() >= 2, "{kind} should plant several needles");
+            assert!(
+                task.needles.len() >= 2,
+                "{kind} should plant several needles"
+            );
         }
     }
 

@@ -232,7 +232,10 @@ mod tests {
     #[test]
     fn classification_uses_first_token() {
         assert_eq!(classification_score("Location", "location"), 1.0);
-        assert_eq!(classification_score("location of the city", "location"), 1.0);
+        assert_eq!(
+            classification_score("location of the city", "location"),
+            1.0
+        );
         assert_eq!(classification_score("number", "location"), 0.0);
     }
 

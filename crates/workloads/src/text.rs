@@ -62,17 +62,53 @@ pub const FILLER_TAILS: &[&str] = &[
 /// Distinctive answer words. These never appear in filler text, so a
 /// correct extraction is unambiguous and an incorrect one scores zero.
 pub const ANSWER_WORDS: &[&str] = &[
-    "crimson", "falcon", "zenith", "harbor", "willow", "ember", "quartz", "lagoon", "saffron",
-    "onyx", "meridian", "juniper", "cobalt", "sparrow", "aurora", "basalt", "tundra", "velvet",
-    "cascade", "marigold", "obsidian", "pelican", "sierra", "topaz", "verdant", "walnut",
-    "yonder", "zephyr", "beacon", "cinder", "drift", "evergreen",
+    "crimson",
+    "falcon",
+    "zenith",
+    "harbor",
+    "willow",
+    "ember",
+    "quartz",
+    "lagoon",
+    "saffron",
+    "onyx",
+    "meridian",
+    "juniper",
+    "cobalt",
+    "sparrow",
+    "aurora",
+    "basalt",
+    "tundra",
+    "velvet",
+    "cascade",
+    "marigold",
+    "obsidian",
+    "pelican",
+    "sierra",
+    "topaz",
+    "verdant",
+    "walnut",
+    "yonder",
+    "zephyr",
+    "beacon",
+    "cinder",
+    "drift",
+    "evergreen",
 ];
 
 /// Anchor stems: combined with an index they form the unique cue word that
 /// precedes an answer span (e.g. `"passphrase-3"`).
 pub const ANCHOR_STEMS: &[&str] = &[
-    "passphrase", "override", "directive", "clearance", "manifest", "protocol", "codeword",
-    "waypoint", "ledger", "cipher",
+    "passphrase",
+    "override",
+    "directive",
+    "clearance",
+    "manifest",
+    "protocol",
+    "codeword",
+    "waypoint",
+    "ledger",
+    "cipher",
 ];
 
 /// TREC-style classification labels.
@@ -162,7 +198,11 @@ pub fn draw_answer_words(rng: &mut ChaCha8Rng, count: usize) -> Vec<String> {
     // variants so the words stay unique.
     while out.len() < count {
         let idx = out.len();
-        out.push(format!("{}-{}", ANSWER_WORDS[idx % ANSWER_WORDS.len()], idx));
+        out.push(format!(
+            "{}-{}",
+            ANSWER_WORDS[idx % ANSWER_WORDS.len()],
+            idx
+        ));
     }
     out
 }
@@ -212,7 +252,10 @@ mod tests {
             FILLER_TAILS.join(" ")
         );
         for w in &words {
-            assert!(!filler.contains(w), "answer word {w} appears in filler text");
+            assert!(
+                !filler.contains(w),
+                "answer word {w} appears in filler text"
+            );
         }
     }
 

@@ -19,7 +19,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ("FP16", Box::new(Fp16Policy::new())),
         ("Atom (INT4)", Box::new(AtomPolicy::default())),
         ("KIVI (INT4)", Box::new(KiviPolicy::default())),
-        ("KVQuant (INT4 + outliers)", Box::new(KvQuantPolicy::default())),
+        (
+            "KVQuant (INT4 + outliers)",
+            Box::new(KvQuantPolicy::default()),
+        ),
         (
             "Cocktail (chunk-adaptive)",
             Box::new(CocktailPolicy::new(CocktailConfig::default())?),
@@ -31,7 +34,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         tasks.len(),
         tasks[0].context.split_whitespace().count()
     );
-    println!("{:<28} {:>10} {:>16}", "method", "F1 score", "cache vs FP16");
+    println!(
+        "{:<28} {:>10} {:>16}",
+        "method", "F1 score", "cache vs FP16"
+    );
     for (name, policy) in &methods {
         let mut total_score = 0.0;
         let mut total_ratio = 0.0;

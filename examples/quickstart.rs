@@ -30,9 +30,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // extraction harness instead (see the long_document_qa example).
     println!("generated tokens:  {:?}", outcome.generated_tokens);
     println!(
-        "kv cache:          {} bytes ({}x smaller than FP16)",
+        "kv cache:          {} bytes ({:.2}x smaller than FP16)",
         outcome.cache_bytes,
-        format!("{:.2}", outcome.compression_ratio())
+        outcome.compression_ratio()
     );
     if let Some(plan) = &outcome.plan {
         println!(

@@ -13,8 +13,16 @@ use cocktail::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let task = TaskGenerator::new(TaskKind::RepoBenchP, WorkloadConfig::small()).generate(11);
-    println!("repository context ({} words):", task.context.split_whitespace().count());
-    let preview: String = task.context.split_whitespace().take(24).collect::<Vec<_>>().join(" ");
+    println!(
+        "repository context ({} words):",
+        task.context.split_whitespace().count()
+    );
+    let preview: String = task
+        .context
+        .split_whitespace()
+        .take(24)
+        .collect::<Vec<_>>()
+        .join(" ");
     println!("  {preview} ...");
     println!("completion query: {}\n", task.query);
 
@@ -32,7 +40,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     println!(
         "{:<22} {:>13.2}x {:>13.2}x",
-        "compression", cocktail.compression_ratio(), atom.compression_ratio()
+        "compression",
+        cocktail.compression_ratio(),
+        atom.compression_ratio()
     );
     println!(
         "{:<22} {:>14} {:>14}",

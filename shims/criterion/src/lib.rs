@@ -1,0 +1,284 @@
+//! A minimal stand-in for the `criterion` benchmark harness, used because
+//! this workspace builds without network access to crates.io.
+//!
+//! It implements the API subset the workspace's benches use — `Criterion`,
+//! `benchmark_group`, `bench_function`, `bench_with_input`, `BenchmarkId`,
+//! `Bencher::{iter, iter_batched}`, `BatchSize`, `black_box`, and the
+//! `criterion_group!` / `criterion_main!` macros — and really measures:
+//! each benchmark is warmed up, then timed over an adaptive number of
+//! iterations, and a mean ns/iter is printed. There is no statistical
+//! analysis, HTML report, or saved baseline; swap in the real criterion via
+//! the root `Cargo.toml` when network access is available.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`], criterion's optimizer barrier.
+pub use std::hint::black_box;
+
+/// Target wall-clock time spent measuring each benchmark.
+const MEASURE_BUDGET: Duration = Duration::from_millis(200);
+/// Target wall-clock time spent warming up each benchmark.
+const WARMUP_BUDGET: Duration = Duration::from_millis(50);
+
+/// The benchmark driver handed to every `criterion_group!` target.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Runs a single benchmark under `id`.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(id, &mut f);
+        self
+    }
+
+    /// Runs a single benchmark with a borrowed input.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(&id.render(), &mut |b| f(b, input));
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// A named collection of benchmarks, mirroring criterion's `BenchmarkGroup`.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs a benchmark inside this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_one(&format!("{}/{}", self.name, id.render()), &mut f);
+        self
+    }
+
+    /// Runs a benchmark with a borrowed input inside this group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(&format!("{}/{}", self.name, id.render()), &mut |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Finishes the group. (The shim keeps no per-group state.)
+    pub fn finish(self) {}
+}
+
+/// Identifier of one benchmark, optionally parameterized.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function_name: Option<String>,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter value.
+    pub fn new<P: Display>(function_name: &str, parameter: P) -> Self {
+        Self {
+            function_name: Some(function_name.to_string()),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    /// An id made of a parameter value only (the group supplies the name).
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        Self {
+            function_name: None,
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    fn render(&self) -> String {
+        match (&self.function_name, &self.parameter) {
+            (Some(f), Some(p)) => format!("{f}/{p}"),
+            (Some(f), None) => f.clone(),
+            (None, Some(p)) => p.clone(),
+            (None, None) => "benchmark".to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        Self {
+            function_name: Some(name.to_string()),
+            parameter: None,
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> Self {
+        Self {
+            function_name: Some(name),
+            parameter: None,
+        }
+    }
+}
+
+/// How `iter_batched` amortizes setup cost; the shim runs one setup per
+/// iteration regardless, so the variants only document intent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration state.
+    SmallInput,
+    /// Large per-iteration state (e.g. a cloned KV cache).
+    LargeInput,
+    /// Exactly one setup per iteration.
+    PerIteration,
+}
+
+/// Times closures; handed to every benchmark body.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` over the bencher's iteration budget.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Times `routine` over fresh inputs produced by `setup`; only the
+    /// routine is timed.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        let mut elapsed = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            elapsed += start.elapsed();
+        }
+        self.elapsed = elapsed;
+    }
+
+    /// Like [`Bencher::iter_batched`] but the routine borrows the input.
+    pub fn iter_batched_ref<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(&mut I) -> O,
+    {
+        let mut elapsed = Duration::ZERO;
+        for _ in 0..self.iters {
+            let mut input = setup();
+            let start = Instant::now();
+            black_box(routine(&mut input));
+            elapsed += start.elapsed();
+        }
+        self.elapsed = elapsed;
+    }
+}
+
+fn run_one(id: &str, f: &mut dyn FnMut(&mut Bencher)) {
+    // Warm up with single iterations until the warmup budget is spent, and
+    // use the observed cost to size the measurement run.
+    let warmup_start = Instant::now();
+    let mut warmup_iters: u64 = 0;
+    let mut bencher = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    while warmup_start.elapsed() < WARMUP_BUDGET && warmup_iters < 1_000 {
+        f(&mut bencher);
+        warmup_iters += 1;
+    }
+    let per_iter = warmup_start.elapsed().as_nanos().max(1) / u128::from(warmup_iters.max(1));
+    let iters = (MEASURE_BUDGET.as_nanos() / per_iter).clamp(1, 100_000) as u64;
+
+    let mut bencher = Bencher {
+        iters,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut bencher);
+    let total = bencher.elapsed.as_nanos().max(1);
+    let mean_ns = total as f64 / iters as f64;
+    println!("{id:<60} {mean_ns:>14.1} ns/iter  ({iters} iters)");
+}
+
+/// Declares a benchmark group function, mirroring `criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group_name:ident, $($target:path),+ $(,)?) => {
+        pub fn $group_name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark `main` function, mirroring `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_times() {
+        let mut c = Criterion::default();
+        let mut calls = 0u64;
+        c.bench_function("noop", |b| b.iter(|| calls += 1));
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn iter_batched_sets_up_per_iteration() {
+        let mut c = Criterion::default();
+        c.bench_with_input(BenchmarkId::new("sum", 8), &8u64, |b, n| {
+            b.iter_batched(
+                || (0..*n).collect::<Vec<u64>>(),
+                |v| v.into_iter().sum::<u64>(),
+                BatchSize::LargeInput,
+            );
+        });
+    }
+
+    #[test]
+    fn benchmark_ids_render() {
+        assert_eq!(BenchmarkId::new("f", 4).render(), "f/4");
+        assert_eq!(BenchmarkId::from_parameter("int4").render(), "int4");
+        assert_eq!(BenchmarkId::from("name").render(), "name");
+    }
+}

@@ -1,0 +1,45 @@
+//! Collection strategies: the `vec` combinator.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::ops::Range;
+
+/// Ranges of collection sizes accepted by [`vec()`].
+pub trait SizeRange {
+    /// Draws a size from the range.
+    fn pick(&self, rng: &mut TestRng) -> usize;
+}
+
+impl SizeRange for Range<usize> {
+    fn pick(&self, rng: &mut TestRng) -> usize {
+        assert!(self.start < self.end, "empty size range");
+        self.start + rng.below((self.end - self.start) as u64) as usize
+    }
+}
+
+impl SizeRange for usize {
+    fn pick(&self, _rng: &mut TestRng) -> usize {
+        *self
+    }
+}
+
+/// A strategy producing `Vec`s whose elements come from `element` and whose
+/// length comes from `size`.
+pub struct VecStrategy<S, R> {
+    element: S,
+    size: R,
+}
+
+/// Creates a `Vec` strategy, mirroring `proptest::collection::vec`.
+pub fn vec<S: Strategy, R: SizeRange>(element: S, size: R) -> VecStrategy<S, R> {
+    VecStrategy { element, size }
+}
+
+impl<S: Strategy, R: SizeRange> Strategy for VecStrategy<S, R> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        let len = self.size.pick(rng);
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}

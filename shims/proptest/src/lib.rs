@@ -1,0 +1,143 @@
+//! A minimal, dependency-free stand-in for the `proptest` crate, used
+//! because this workspace builds without network access to crates.io.
+//!
+//! The [`proptest!`] macro really runs each property as a loop of randomly
+//! generated cases (64 by default, or whatever
+//! `ProptestConfig::with_cases(n)` requests) with inputs drawn from the
+//! strategy expressions. Supported strategies — the ones this workspace's
+//! tests use:
+//!
+//! * numeric ranges (`0u64..200`, `-60000.0f32..60000.0`, `1usize..=30`),
+//! * `proptest::collection::vec(strategy, size_range)`,
+//! * string literals holding a simple regex (character classes, groups and
+//!   `{m,n}` repetition, e.g. `"[a-d ]{0,40}"`).
+//!
+//! Differences from real proptest: no shrinking (failures report the
+//! generated inputs via the assertion message instead), no persistence of
+//! failing cases, and the case RNG is seeded from the property's name, so
+//! runs are fully deterministic.
+
+pub mod collection;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+/// Everything a `use proptest::prelude::*;` in a test module needs.
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Runs property-style tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` looping over generated cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::test_runner::Config::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`]: a recursive muncher over the
+/// property functions.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($config:expr) ) => {};
+    ( ($config:expr)
+      $(#[$meta:meta])*
+      fn $name:ident ( $( $arg:ident in $strat:expr ),* $(,)? ) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::Config = $config;
+            let mut rng = $crate::test_runner::TestRng::for_property(stringify!($name));
+            // `prop_assume!` rejections `continue` past the completed-case
+            // increment, so rejected draws are replaced (up to a 10x
+            // attempt budget) rather than silently consuming cases.
+            let mut __completed: u32 = 0;
+            let mut __attempts: u32 = 0;
+            while __completed < config.cases && __attempts < config.cases.saturating_mul(10) {
+                __attempts += 1;
+                $( let $arg = $crate::strategy::Strategy::generate(&$strat, &mut rng); )*
+                $body
+                __completed += 1;
+            }
+        }
+        $crate::__proptest_impl! { ($config) $($rest)* }
+    };
+}
+
+/// Rejects the current draw when its precondition does not hold: the case
+/// loop re-draws a replacement (bounded by a 10x attempt budget). Must
+/// appear directly inside the property body (it `continue`s the case loop).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(, $($rest:tt)*)?) => {
+        if !($cond) {
+            continue;
+        }
+    };
+}
+
+/// Asserts a condition inside a property (no shrinking; panics like
+/// `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(n in 3usize..17, x in -2.0f32..2.0) {
+            prop_assert!((3..17).contains(&n));
+            prop_assert!((-2.0..2.0).contains(&x));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(10))]
+
+        #[test]
+        fn vec_strategy_respects_len(v in crate::collection::vec(0u8..4, 2..6)) {
+            prop_assert!((2..6).contains(&v.len()));
+            prop_assert!(v.iter().all(|&b| b < 4));
+        }
+
+        #[test]
+        fn string_strategy_matches_class(s in "[a-c ]{0,20}") {
+            prop_assert!(s.len() <= 20);
+            prop_assert!(s.chars().all(|c| matches!(c, 'a'..='c' | ' ')));
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic_per_property() {
+        let mut a = crate::test_runner::TestRng::for_property("p");
+        let mut b = crate::test_runner::TestRng::for_property("p");
+        let strat = 0u64..1_000_000;
+        for _ in 0..10 {
+            assert_eq!(strat.generate(&mut a), strat.generate(&mut b));
+        }
+    }
+}

@@ -1,0 +1,143 @@
+//! Generation of strings from the simple regex subset the workspace's
+//! property tests use: literal characters, character classes with ranges
+//! (`[a-d ]`), groups (`(...)`), and bounded repetition (`{m,n}`).
+
+use crate::test_runner::TestRng;
+
+#[derive(Debug, Clone)]
+enum Atom {
+    Literal(char),
+    Class(Vec<char>),
+    Group(Vec<(Atom, Repeat)>),
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Repeat {
+    min: usize,
+    max: usize,
+}
+
+const ONCE: Repeat = Repeat { min: 1, max: 1 };
+
+/// Generates one random string matching `pattern`.
+///
+/// # Panics
+///
+/// Panics if the pattern uses regex features outside the supported subset.
+pub fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let atoms = parse_sequence(&mut pattern.chars().collect::<Vec<_>>().as_slice());
+    let mut out = String::new();
+    emit_sequence(&atoms, rng, &mut out);
+    out
+}
+
+fn emit_sequence(atoms: &[(Atom, Repeat)], rng: &mut TestRng, out: &mut String) {
+    for (atom, repeat) in atoms {
+        let span = repeat.max - repeat.min + 1;
+        let times = repeat.min + rng.below(span as u64) as usize;
+        for _ in 0..times {
+            match atom {
+                Atom::Literal(c) => out.push(*c),
+                Atom::Class(choices) => {
+                    let idx = rng.below(choices.len() as u64) as usize;
+                    out.push(choices[idx]);
+                }
+                Atom::Group(inner) => emit_sequence(inner, rng, out),
+            }
+        }
+    }
+}
+
+/// Parses a sequence of atoms, consuming `chars` until it is empty or a
+/// closing `)` is reached (which is left for the caller).
+fn parse_sequence(chars: &mut &[char]) -> Vec<(Atom, Repeat)> {
+    let mut atoms = Vec::new();
+    while let Some(&c) = chars.first() {
+        let atom = match c {
+            ')' => break,
+            '[' => {
+                *chars = &chars[1..];
+                Atom::Class(parse_class(chars))
+            }
+            '(' => {
+                *chars = &chars[1..];
+                let inner = parse_sequence(chars);
+                assert_eq!(chars.first(), Some(&')'), "unclosed group in pattern");
+                *chars = &chars[1..];
+                Atom::Group(inner)
+            }
+            '\\' => {
+                *chars = &chars[1..];
+                let escaped = *chars.first().expect("dangling escape in pattern");
+                *chars = &chars[1..];
+                Atom::Literal(escaped)
+            }
+            c => {
+                assert!(
+                    !"{}*+?|.^$".contains(c),
+                    "unsupported regex feature `{c}` in shim proptest pattern"
+                );
+                *chars = &chars[1..];
+                Atom::Literal(c)
+            }
+        };
+        let repeat = parse_repeat(chars);
+        atoms.push((atom, repeat));
+    }
+    atoms
+}
+
+fn parse_class(chars: &mut &[char]) -> Vec<char> {
+    let mut choices = Vec::new();
+    loop {
+        match chars.first() {
+            None => panic!("unclosed character class in pattern"),
+            Some(']') => {
+                *chars = &chars[1..];
+                break;
+            }
+            Some(&lo) => {
+                *chars = &chars[1..];
+                if chars.first() == Some(&'-') && chars.get(1).is_some_and(|&c| c != ']') {
+                    let hi = chars[1];
+                    *chars = &chars[2..];
+                    assert!(lo <= hi, "inverted range in character class");
+                    choices.extend(lo..=hi);
+                } else {
+                    choices.push(lo);
+                }
+            }
+        }
+    }
+    assert!(!choices.is_empty(), "empty character class in pattern");
+    choices
+}
+
+fn parse_repeat(chars: &mut &[char]) -> Repeat {
+    if chars.first() != Some(&'{') {
+        return ONCE;
+    }
+    *chars = &chars[1..];
+    let mut min_digits = String::new();
+    while chars.first().is_some_and(|c| c.is_ascii_digit()) {
+        min_digits.push(chars[0]);
+        *chars = &chars[1..];
+    }
+    let min: usize = min_digits.parse().expect("malformed {m,n} repetition");
+    let max = match chars.first() {
+        Some(',') => {
+            *chars = &chars[1..];
+            let mut max_digits = String::new();
+            while chars.first().is_some_and(|c| c.is_ascii_digit()) {
+                max_digits.push(chars[0]);
+                *chars = &chars[1..];
+            }
+            max_digits.parse().expect("malformed {m,n} repetition")
+        }
+        _ => min,
+    };
+    assert_eq!(chars.first(), Some(&'}'), "unclosed {{m,n}} repetition");
+    *chars = &chars[1..];
+    assert!(min <= max, "inverted {{m,n}} repetition");
+    Repeat { min, max }
+}

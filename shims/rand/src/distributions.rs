@@ -1,0 +1,111 @@
+//! Distributions: the `Standard` and `Uniform` subset of
+//! `rand::distributions`.
+
+use crate::RngCore;
+
+pub mod uniform;
+
+pub use uniform::{SampleRange, SampleUniform};
+
+/// A distribution over values of type `T`.
+pub trait Distribution<T> {
+    /// Draws one sample using `rng`.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// The "natural" distribution for a type: full integer range for integers,
+/// the half-open unit interval `[0, 1)` for floats, fair coin for `bool`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Standard;
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl Distribution<$t> for Standard {
+            fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Distribution<u128> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u128 {
+        (u128::from(rng.next_u64()) << 64) | u128::from(rng.next_u64())
+    }
+}
+
+impl Distribution<i128> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> i128 {
+        Distribution::<u128>::sample(self, rng) as i128
+    }
+}
+
+impl Distribution<bool> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Distribution<f32> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+        // 24 high bits -> [0, 1) with full f32 mantissa precision.
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Distribution<f64> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        // 53 high bits -> [0, 1) with full f64 mantissa precision.
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// A uniform distribution over a fixed interval, mirroring
+/// `rand::distributions::Uniform`.
+#[derive(Debug, Clone, Copy)]
+pub struct Uniform<X: SampleUniform> {
+    low: X,
+    high: X,
+    inclusive: bool,
+}
+
+impl<X: SampleUniform> Uniform<X> {
+    /// Uniform distribution over the half-open interval `[low, high)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `low >= high`.
+    pub fn new(low: X, high: X) -> Self {
+        assert!(low < high, "Uniform::new called with empty range");
+        Self {
+            low,
+            high,
+            inclusive: false,
+        }
+    }
+
+    /// Uniform distribution over the closed interval `[low, high]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `low > high`.
+    pub fn new_inclusive(low: X, high: X) -> Self {
+        assert!(
+            low <= high,
+            "Uniform::new_inclusive called with empty range"
+        );
+        Self {
+            low,
+            high,
+            inclusive: true,
+        }
+    }
+}
+
+impl<X: SampleUniform> Distribution<X> for Uniform<X> {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> X {
+        X::sample_uniform(self.low, self.high, self.inclusive, rng)
+    }
+}

@@ -1,0 +1,89 @@
+//! Uniform-sampling support traits mirroring `rand::distributions::uniform`.
+
+use crate::RngCore;
+use std::ops::{Range, RangeInclusive};
+
+/// Types that can be sampled uniformly from an interval.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Draws one sample from `[low, high)` (or `[low, high]` when
+    /// `inclusive`).
+    fn sample_uniform<R: RngCore + ?Sized>(
+        low: Self,
+        high: Self,
+        inclusive: bool,
+        rng: &mut R,
+    ) -> Self;
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_uniform<R: RngCore + ?Sized>(
+                low: Self,
+                high: Self,
+                inclusive: bool,
+                rng: &mut R,
+            ) -> Self {
+                let low_wide = low as i128;
+                let high_wide = high as i128;
+                let span = (high_wide - low_wide + if inclusive { 1 } else { 0 }) as u128;
+                assert!(span > 0, "cannot sample from an empty integer range");
+                // Modulo reduction over 64 random bits; the bias is at most
+                // span / 2^64, which is negligible for the span sizes this
+                // workspace uses (all far below 2^32).
+                let offset = (u128::from(rng.next_u64()) % span) as i128;
+                (low_wide + offset) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleUniform for f32 {
+    fn sample_uniform<R: RngCore + ?Sized>(
+        low: Self,
+        high: Self,
+        _inclusive: bool,
+        rng: &mut R,
+    ) -> Self {
+        // For floats the closed/half-open distinction is immaterial at
+        // uniform density; rand's implementation is also lossy here.
+        let unit = (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32);
+        low + (high - low) * unit
+    }
+}
+
+impl SampleUniform for f64 {
+    fn sample_uniform<R: RngCore + ?Sized>(
+        low: Self,
+        high: Self,
+        _inclusive: bool,
+        rng: &mut R,
+    ) -> Self {
+        let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        low + (high - low) * unit
+    }
+}
+
+/// Ranges that can be sampled from directly, mirroring
+/// `rand::distributions::uniform::SampleRange`.
+pub trait SampleRange<T> {
+    /// Draws one sample from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "cannot sample from empty range");
+        T::sample_uniform(self.start, self.end, false, rng)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (start, end) = self.into_inner();
+        assert!(start <= end, "cannot sample from empty range");
+        T::sample_uniform(start, end, true, rng)
+    }
+}

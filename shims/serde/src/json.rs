@@ -1,0 +1,195 @@
+//! The JSON value tree produced by the shim [`Serialize`](crate::Serialize)
+//! trait, together with compact and pretty writers.
+
+use std::fmt;
+
+/// A JSON value.
+///
+/// `Object` preserves insertion order (derive output lists fields in
+/// declaration order, matching serde_json's default behaviour for structs).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any integer (stored widened; JSON has a single number type).
+    Int(i128),
+    /// A floating-point number. Non-finite values print as `null`, matching
+    /// serde_json's lossy behaviour.
+    Float(f64),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object as an ordered list of key/value pairs.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Renders the value as pretty-printed JSON with two-space indentation,
+    /// matching `serde_json::to_string_pretty`.
+    pub fn to_string_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, Some(0));
+        out
+    }
+
+    /// Renders the value as compact single-line JSON.
+    pub fn to_string_compact(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, None);
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: Option<usize>) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::Int(i) => out.push_str(&i.to_string()),
+            Value::Float(f) => {
+                if f.is_finite() {
+                    // Keep integral floats distinguishable from integers,
+                    // like serde_json (`1.0` rather than `1`).
+                    if f.fract() == 0.0 && f.abs() < 1e15 {
+                        out.push_str(&format!("{f:.1}"));
+                    } else {
+                        out.push_str(&f.to_string());
+                    }
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Value::String(s) => write_escaped(out, s),
+            Value::Array(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    next_line(out, indent);
+                    item.write(out, indent.map(|n| n + 1));
+                }
+                close_line(out, indent);
+                out.push(']');
+            }
+            Value::Object(entries) => {
+                if entries.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (key, value)) in entries.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    next_line(out, indent);
+                    write_escaped(out, key);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    value.write(out, indent.map(|n| n + 1));
+                }
+                close_line(out, indent);
+                out.push('}');
+            }
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_string_compact())
+    }
+}
+
+/// Renders a value destined for an object key position. JSON keys must be
+/// strings, so string values are used verbatim and anything else falls back
+/// to its compact rendering (e.g. `Bitwidth::Int4` maps serialize with
+/// `"Int4"` keys).
+pub fn key_string(value: &Value) -> String {
+    match value {
+        Value::String(s) => s.clone(),
+        other => other.to_string_compact(),
+    }
+}
+
+fn next_line(out: &mut String, indent: Option<usize>) {
+    if let Some(level) = indent {
+        out.push('\n');
+        for _ in 0..=level {
+            out.push_str("  ");
+        }
+    }
+}
+
+fn close_line(out: &mut String, indent: Option<usize>) {
+    if let Some(level) = indent {
+        out.push('\n');
+        for _ in 0..level {
+            out.push_str("  ");
+        }
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pretty_printing_matches_serde_json_shape() {
+        let v = Value::Object(vec![
+            ("id".to_string(), Value::String("table2".to_string())),
+            ("n".to_string(), Value::Int(3)),
+            (
+                "rows".to_string(),
+                Value::Array(vec![Value::Float(1.5), Value::Float(2.0)]),
+            ),
+        ]);
+        assert_eq!(
+            v.to_string_pretty(),
+            "{\n  \"id\": \"table2\",\n  \"n\": 3,\n  \"rows\": [\n    1.5,\n    2.0\n  ]\n}"
+        );
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let v = Value::String("a\"b\\c\nd".to_string());
+        assert_eq!(v.to_string_compact(), "\"a\\\"b\\\\c\\nd\"");
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        assert_eq!(Value::Float(f64::NAN).to_string_compact(), "null");
+        assert_eq!(Value::Float(f64::INFINITY).to_string_compact(), "null");
+    }
+
+    #[test]
+    fn empty_containers_stay_compact() {
+        assert_eq!(Value::Array(vec![]).to_string_pretty(), "[]");
+        assert_eq!(Value::Object(vec![]).to_string_pretty(), "{}");
+    }
+}

@@ -1,0 +1,169 @@
+//! A minimal, dependency-free stand-in for the `serde` crate, used because
+//! this workspace builds without network access to crates.io.
+//!
+//! The real serde's visitor architecture is replaced by a single-method
+//! [`Serialize`] trait producing a [`json::Value`]; the derive macros in the
+//! sibling `serde_derive` shim generate implementations of it. This covers
+//! everything the workspace needs — `#[derive(Serialize, Deserialize)]`,
+//! `#[serde(skip)]`, trait bounds like `T: Serialize`, and real JSON output
+//! through the `serde_json` shim. Deserialization is never exercised in this
+//! workspace, so [`Deserialize`] is a marker trait with a blanket
+//! implementation.
+//!
+//! Swapping this shim for the real serde is a one-line change in the root
+//! `Cargo.toml` `[workspace.dependencies]` table.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub mod json;
+
+/// Types that can be serialized to a [`json::Value`].
+///
+/// This is the shim's replacement for serde's `Serialize`; it is object-safe
+/// and implemented for the common standard-library types plus everything
+/// that derives `Serialize`.
+pub trait Serialize {
+    /// Converts `self` into a JSON value tree.
+    fn to_value(&self) -> json::Value;
+}
+
+/// Marker trait standing in for serde's `Deserialize`.
+///
+/// Nothing in this workspace deserializes, so a blanket implementation keeps
+/// `#[derive(Deserialize)]` and `T: Deserialize` bounds compiling without
+/// generating any code.
+pub trait Deserialize<'de> {}
+
+impl<'de, T> Deserialize<'de> for T {}
+
+macro_rules! impl_serialize_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> json::Value {
+                json::Value::Int(*self as i128)
+            }
+        }
+    )*};
+}
+
+// u128 is deliberately absent: `Value::Int` holds an i128, so u128 values
+// above `i128::MAX` would silently wrap; a compile error is better.
+impl_serialize_int!(i8, i16, i32, i64, i128, isize, u8, u16, u32, u64, usize);
+
+impl Serialize for bool {
+    fn to_value(&self) -> json::Value {
+        json::Value::Bool(*self)
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> json::Value {
+        json::Value::Float(f64::from(*self))
+    }
+}
+
+impl Serialize for f64 {
+    fn to_value(&self) -> json::Value {
+        json::Value::Float(*self)
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> json::Value {
+        json::Value::String(self.to_string())
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> json::Value {
+        json::Value::String(self.to_string())
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> json::Value {
+        json::Value::String(self.clone())
+    }
+}
+
+impl Serialize for std::path::PathBuf {
+    fn to_value(&self) -> json::Value {
+        json::Value::String(self.display().to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> json::Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> json::Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> json::Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => json::Value::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> json::Value {
+        json::Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> json::Value {
+        self.as_slice().to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> json::Value {
+        self.as_slice().to_value()
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_value(&self) -> json::Value {
+        json::Value::Array(vec![self.0.to_value(), self.1.to_value()])
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn to_value(&self) -> json::Value {
+        json::Value::Array(vec![
+            self.0.to_value(),
+            self.1.to_value(),
+            self.2.to_value(),
+        ])
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn to_value(&self) -> json::Value {
+        json::Value::Object(
+            self.iter()
+                .map(|(k, v)| (json::key_string(&k.to_value()), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<K: Serialize, V: Serialize, S> Serialize for std::collections::HashMap<K, V, S> {
+    fn to_value(&self) -> json::Value {
+        let mut entries: Vec<(String, json::Value)> = self
+            .iter()
+            .map(|(k, v)| (json::key_string(&k.to_value()), v.to_value()))
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        json::Value::Object(entries)
+    }
+}

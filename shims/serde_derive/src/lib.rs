@@ -1,0 +1,488 @@
+//! A minimal, dependency-free stand-in for the `serde_derive` proc-macro
+//! crate, used because this workspace builds without network access to
+//! crates.io.
+//!
+//! `#[derive(Serialize)]` generates an implementation of the shim
+//! `serde::Serialize` trait (a single `to_value(&self) -> serde::json::Value`
+//! method). Supported shapes — the ones that occur in this workspace:
+//!
+//! * structs with named fields (serialized as a JSON object),
+//! * newtype structs (serialized as the inner value),
+//! * tuple structs with 2+ fields (serialized as a JSON array),
+//! * enums with unit variants (serialized as the variant name),
+//! * enums with struct/tuple variants (externally tagged, like serde),
+//! * generic types — the item's own generic parameter list and `where`
+//!   clause are copied onto the impl verbatim,
+//! * the `#[serde(skip)]` field attribute.
+//!
+//! `#[derive(Deserialize)]` expands to nothing: the shim `serde` crate
+//! provides a blanket implementation of its marker `Deserialize` trait, and
+//! nothing in this workspace actually deserializes.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives the shim `serde::Serialize` trait.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => generate_serialize_impl(&item)
+            .parse()
+            .expect("serde_derive shim generated invalid Rust"),
+        Err(msg) => format!("compile_error!({msg:?});")
+            .parse()
+            .expect("compile_error! literal"),
+    }
+}
+
+/// Accepts (and ignores) the derive so that `#[derive(Deserialize)]` and
+/// `#[serde(...)]` attributes compile; the shim `serde` crate provides a
+/// blanket `Deserialize` implementation.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+enum ItemKind {
+    NamedStruct(Vec<Field>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+enum VariantShape {
+    Unit,
+    Named(Vec<Field>),
+    Tuple(usize),
+}
+
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+struct Item {
+    name: String,
+    /// Generic parameter list with bounds, e.g. `<T: Serialize>`; empty if none.
+    impl_generics: String,
+    /// Generic arguments for the type position, e.g. `<T>`; empty if none.
+    ty_generics: String,
+    /// `where` clause (including the keyword) or empty.
+    where_clause: String,
+    kind: ItemKind,
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let mut tokens = input.into_iter().peekable();
+
+    // Skip outer attributes (including doc comments) and visibility.
+    let kind_kw = loop {
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                if let Some(TokenTree::Group(g)) = tokens.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        tokens.next(); // pub(crate) / pub(super)
+                    }
+                }
+            }
+            Some(TokenTree::Ident(id)) => {
+                let s = id.to_string();
+                if s == "struct" || s == "enum" {
+                    break s;
+                }
+                return Err(format!("serde shim derive: unsupported item keyword `{s}`"));
+            }
+            Some(_) => {}
+            None => return Err("serde shim derive: ran out of tokens".to_string()),
+        }
+    };
+
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => {
+            return Err(format!(
+                "serde shim derive: expected item name, got {other:?}"
+            ))
+        }
+    };
+
+    // Optional generic parameter list.
+    let mut impl_generics = String::new();
+    let mut ty_generics = String::new();
+    if matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        tokens.next();
+        let mut depth = 1usize;
+        let mut params: Vec<TokenTree> = Vec::new();
+        for tt in tokens.by_ref() {
+            if let TokenTree::Punct(p) = &tt {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            params.push(tt);
+        }
+        let rendered = params.iter().cloned().collect::<TokenStream>().to_string();
+        impl_generics = format!("<{rendered}>");
+        ty_generics = format!("<{}>", generic_argument_names(&params).join(", "));
+    }
+
+    // Optional where clause and the body. A brace body ends the item; a
+    // tuple struct's paren body may be followed by a where clause and `;`
+    // (`struct W<T>(T) where T: Bound;`), so scanning continues after it.
+    let mut in_where = false;
+    let mut where_tokens: Vec<TokenTree> = Vec::new();
+    let mut body: Option<TokenTree> = None;
+    for tt in tokens.by_ref() {
+        match &tt {
+            TokenTree::Ident(id) if id.to_string() == "where" => {
+                in_where = true;
+            }
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+                body = Some(tt);
+                break;
+            }
+            TokenTree::Group(g)
+                if g.delimiter() == Delimiter::Parenthesis && body.is_none() && !in_where =>
+            {
+                body = Some(tt);
+            }
+            TokenTree::Punct(p) if p.as_char() == ';' => break,
+            _ => {
+                if in_where {
+                    where_tokens.push(tt);
+                }
+            }
+        }
+    }
+    let where_clause = if where_tokens.is_empty() {
+        String::new()
+    } else {
+        let rendered = where_tokens
+            .into_iter()
+            .collect::<TokenStream>()
+            .to_string();
+        format!("where {rendered}")
+    };
+
+    let kind = match (&kind_kw[..], body) {
+        ("struct", None) => ItemKind::UnitStruct,
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Parenthesis => {
+            ItemKind::TupleStruct(count_tuple_fields(g.stream()))
+        }
+        ("struct", Some(TokenTree::Group(g))) => ItemKind::NamedStruct(parse_fields(g.stream())?),
+        ("enum", Some(TokenTree::Group(g))) => ItemKind::Enum(parse_variants(g.stream())?),
+        ("enum", None) => return Err("serde shim derive: enum without a body".to_string()),
+        _ => unreachable!("kind_kw is struct or enum"),
+    };
+
+    Ok(Item {
+        name,
+        impl_generics,
+        ty_generics,
+        where_clause,
+        kind,
+    })
+}
+
+/// Extracts the bare argument names (`T`, `'a`, const `N`) from a generic
+/// parameter list for use in the type position of the impl.
+fn generic_argument_names(params: &[TokenTree]) -> Vec<String> {
+    let mut names = Vec::new();
+    let mut depth = 0usize;
+    let mut at_param_start = true;
+    let mut prev_was_lifetime_tick = false;
+    for tt in params {
+        match tt {
+            TokenTree::Punct(p) => match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth = depth.saturating_sub(1),
+                ',' if depth == 0 => {
+                    at_param_start = true;
+                    prev_was_lifetime_tick = false;
+                }
+                '\'' if at_param_start => prev_was_lifetime_tick = true,
+                _ => {}
+            },
+            TokenTree::Ident(id) if at_param_start => {
+                let s = id.to_string();
+                if s == "const" {
+                    // `const N: usize` — stay at the parameter start so the
+                    // following ident is taken as the name.
+                } else if prev_was_lifetime_tick {
+                    names.push(format!("'{s}"));
+                    at_param_start = false;
+                } else {
+                    names.push(s);
+                    at_param_start = false;
+                }
+            }
+            _ => {}
+        }
+    }
+    names
+}
+
+/// Counts the fields of a tuple struct by splitting on top-level commas
+/// (tolerating a trailing comma).
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut count = 0usize;
+    let mut segment_has_tokens = false;
+    let mut angle_depth = 0usize;
+    let mut prev_dash = false;
+    for tt in stream {
+        match &tt {
+            TokenTree::Punct(p) => {
+                let c = p.as_char();
+                match c {
+                    '<' => angle_depth += 1,
+                    '>' if !prev_dash => angle_depth = angle_depth.saturating_sub(1),
+                    ',' if angle_depth == 0 => {
+                        if segment_has_tokens {
+                            count += 1;
+                        }
+                        segment_has_tokens = false;
+                        prev_dash = false;
+                        continue;
+                    }
+                    _ => {}
+                }
+                prev_dash = c == '-';
+                segment_has_tokens = true;
+            }
+            _ => {
+                prev_dash = false;
+                segment_has_tokens = true;
+            }
+        }
+    }
+    if segment_has_tokens {
+        count += 1;
+    }
+    count
+}
+
+/// Parses the named fields of a struct body, honouring `#[serde(skip)]`.
+fn parse_fields(stream: TokenStream) -> Result<Vec<Field>, String> {
+    let mut fields = Vec::new();
+    let mut tokens = stream.into_iter().peekable();
+    'fields: loop {
+        let mut skip = false;
+        // Leading attributes.
+        loop {
+            match tokens.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    tokens.next();
+                    if let Some(TokenTree::Group(g)) = tokens.next() {
+                        if attr_is_serde_skip(g.stream()) {
+                            skip = true;
+                        }
+                    }
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    tokens.next();
+                    if let Some(TokenTree::Group(g)) = tokens.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            tokens.next();
+                        }
+                    }
+                }
+                Some(_) => break,
+                None => break 'fields,
+            }
+        }
+        let name = match tokens.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => {
+                return Err(format!(
+                    "serde shim derive: expected field name, got {other:?}"
+                ))
+            }
+        };
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => return Err(format!("serde shim derive: expected `:`, got {other:?}")),
+        }
+        // Skip the type, up to a top-level comma. `<`/`>` depth must be
+        // tracked by hand; `->` inside fn-pointer types must not close an
+        // angle bracket.
+        let mut angle_depth = 0usize;
+        let mut prev_dash = false;
+        for tt in tokens.by_ref() {
+            if let TokenTree::Punct(p) = &tt {
+                let c = p.as_char();
+                match c {
+                    '<' => angle_depth += 1,
+                    '>' if !prev_dash => angle_depth = angle_depth.saturating_sub(1),
+                    ',' if angle_depth == 0 => break,
+                    _ => {}
+                }
+                prev_dash = c == '-';
+            } else {
+                prev_dash = false;
+            }
+        }
+        fields.push(Field { name, skip });
+    }
+    Ok(fields)
+}
+
+/// Recognises `#[serde(skip)]` (and `serde(skip, ...)`) attribute bodies.
+fn attr_is_serde_skip(stream: TokenStream) -> bool {
+    let mut tokens = stream.into_iter();
+    match tokens.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return false,
+    }
+    match tokens.next() {
+        Some(TokenTree::Group(g)) => g
+            .stream()
+            .into_iter()
+            .any(|tt| matches!(&tt, TokenTree::Ident(id) if id.to_string() == "skip")),
+        _ => false,
+    }
+}
+
+/// Parses enum variants: unit, tuple, or struct-shaped.
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut variants = Vec::new();
+    let mut tokens = stream.into_iter().peekable();
+    'variants: loop {
+        // Leading attributes.
+        loop {
+            match tokens.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    tokens.next();
+                    tokens.next();
+                }
+                Some(_) => break,
+                None => break 'variants,
+            }
+        }
+        let name = match tokens.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => {
+                return Err(format!(
+                    "serde shim derive: expected variant name, got {other:?}"
+                ))
+            }
+        };
+        let shape = match tokens.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_fields(g.stream())?;
+                tokens.next();
+                VariantShape::Named(fields)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                tokens.next();
+                VariantShape::Tuple(n)
+            }
+            _ => VariantShape::Unit,
+        };
+        // Skip an explicit discriminant and the trailing comma.
+        for tt in tokens.by_ref() {
+            if matches!(&tt, TokenTree::Punct(p) if p.as_char() == ',') {
+                break;
+            }
+        }
+        variants.push(Variant { name, shape });
+    }
+    Ok(variants)
+}
+
+fn generate_serialize_impl(item: &Item) -> String {
+    let body = match &item.kind {
+        ItemKind::UnitStruct => "::serde::json::Value::Null".to_string(),
+        ItemKind::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        ItemKind::TupleStruct(n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::json::Value::Array(vec![{}])", elems.join(", "))
+        }
+        ItemKind::NamedStruct(fields) => named_fields_object(fields, "self."),
+        ItemKind::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.shape {
+                        VariantShape::Unit => format!(
+                            "Self::{vname} => ::serde::json::Value::String(\"{vname}\".to_string()),"
+                        ),
+                        VariantShape::Named(fields) => {
+                            let binders: Vec<String> =
+                                fields.iter().map(|f| f.name.clone()).collect();
+                            let object = named_fields_object(fields, "");
+                            format!(
+                                "Self::{vname} {{ {} }} => ::serde::json::Value::Object(vec![(\"{vname}\".to_string(), {object})]),",
+                                binders.join(", ")
+                            )
+                        }
+                        VariantShape::Tuple(n) => {
+                            let binders: Vec<String> =
+                                (0..*n).map(|i| format!("f{i}")).collect();
+                            let elems: Vec<String> = binders
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            let inner = if *n == 1 {
+                                elems[0].clone()
+                            } else {
+                                format!("::serde::json::Value::Array(vec![{}])", elems.join(", "))
+                            };
+                            format!(
+                                "Self::{vname}({}) => ::serde::json::Value::Object(vec![(\"{vname}\".to_string(), {inner})]),",
+                                binders.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl {impl_generics} ::serde::Serialize for {name} {ty_generics} {where_clause} {{\n\
+             fn to_value(&self) -> ::serde::json::Value {{ {body} }}\n\
+         }}",
+        impl_generics = item.impl_generics,
+        name = item.name,
+        ty_generics = item.ty_generics,
+        where_clause = item.where_clause,
+    )
+}
+
+/// Renders the `Value::Object(...)` expression for a set of named fields.
+/// `access` prefixes each field name (`"self."` for structs, `""` for
+/// destructured enum variants).
+fn named_fields_object(fields: &[Field], access: &str) -> String {
+    let entries: Vec<String> = fields
+        .iter()
+        .filter(|f| !f.skip)
+        .map(|f| {
+            format!(
+                "(\"{name}\".to_string(), ::serde::Serialize::to_value(&{access}{name}))",
+                name = f.name
+            )
+        })
+        .collect();
+    format!("::serde::json::Value::Object(vec![{}])", entries.join(", "))
+}

@@ -1,0 +1,147 @@
+//! A minimal, dependency-free stand-in for the `serde_json` crate, used
+//! because this workspace builds without network access to crates.io.
+//!
+//! Only the serialization half is provided — [`to_string`],
+//! [`to_string_pretty`], and the [`Value`] re-export — which is all the
+//! workspace uses (the experiment harness writes JSON records under
+//! `results/`).
+
+pub use serde::json::Value;
+
+/// Serialization error. The shim's writer is infallible, so this is only
+/// here to keep `serde_json`-shaped signatures; it is never constructed.
+#[derive(Debug)]
+pub struct Error(());
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("serde_json shim serialization error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Result alias matching `serde_json::Result`.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Serializes a value as compact single-line JSON.
+pub fn to_string<T>(value: &T) -> Result<String>
+where
+    T: ?Sized + serde::Serialize,
+{
+    Ok(value.to_value().to_string_compact())
+}
+
+/// Serializes a value as pretty-printed JSON with two-space indentation.
+pub fn to_string_pretty<T>(value: &T) -> Result<String>
+where
+    T: ?Sized + serde::Serialize,
+{
+    Ok(value.to_value().to_string_pretty())
+}
+
+/// Converts a value to a [`Value`] tree.
+pub fn to_value<T>(value: &T) -> Result<Value>
+where
+    T: ?Sized + serde::Serialize,
+{
+    Ok(value.to_value())
+}
+
+#[cfg(test)]
+mod tests {
+    use serde::Serialize;
+
+    #[derive(Serialize)]
+    struct Record {
+        id: String,
+        score: f64,
+        tags: Vec<&'static str>,
+    }
+
+    #[test]
+    fn derived_struct_serializes_to_json() {
+        let r = Record {
+            id: "fig5".to_string(),
+            score: 0.25,
+            tags: vec!["tpot", "latency"],
+        };
+        let json = super::to_string(&r).unwrap();
+        assert_eq!(
+            json,
+            "{\"id\":\"fig5\",\"score\":0.25,\"tags\":[\"tpot\",\"latency\"]}"
+        );
+    }
+
+    #[derive(Serialize)]
+    enum Kind {
+        Unit,
+        Payload { n: usize },
+    }
+
+    #[test]
+    fn derived_enum_uses_external_tagging() {
+        assert_eq!(super::to_string(&Kind::Unit).unwrap(), "\"Unit\"");
+        assert_eq!(
+            super::to_string(&Kind::Payload { n: 4 }).unwrap(),
+            "{\"Payload\":{\"n\":4}}"
+        );
+    }
+
+    #[derive(Serialize)]
+    struct Newtype(u16);
+
+    #[test]
+    fn newtype_structs_serialize_transparently() {
+        assert_eq!(super::to_string(&Newtype(7)).unwrap(), "7");
+    }
+
+    #[derive(Serialize)]
+    struct Generic<T: serde::Serialize> {
+        rows: T,
+    }
+
+    #[test]
+    fn generic_structs_serialize() {
+        let g = Generic {
+            rows: vec![1u32, 2, 3],
+        };
+        assert_eq!(super::to_string(&g).unwrap(), "{\"rows\":[1,2,3]}");
+    }
+
+    #[rustfmt::skip]
+    #[derive(Serialize)]
+    struct TrailingComma(u32, u32,);
+
+    #[test]
+    fn tuple_struct_with_trailing_comma_counts_fields_correctly() {
+        assert_eq!(super::to_string(&TrailingComma(1, 2)).unwrap(), "[1,2]");
+    }
+
+    #[derive(Serialize)]
+    struct WhereBound<T>(T)
+    where
+        T: serde::Serialize;
+
+    #[test]
+    fn tuple_struct_where_clause_is_kept_on_the_impl() {
+        assert_eq!(super::to_string(&WhereBound(9u8)).unwrap(), "9");
+    }
+
+    #[derive(Serialize)]
+    struct Skipped {
+        kept: bool,
+        #[serde(skip)]
+        gone: Vec<u8>,
+    }
+
+    #[test]
+    fn serde_skip_omits_the_field() {
+        let s = Skipped {
+            kept: true,
+            gone: vec![1],
+        };
+        assert_eq!(s.gone.len(), 1);
+        assert_eq!(super::to_string(&s).unwrap(), "{\"kept\":true}");
+    }
+}

@@ -52,8 +52,7 @@ pub use cocktail_workloads as workloads;
 /// Commonly used items, re-exported for convenience.
 pub mod prelude {
     pub use cocktail_baselines::{
-        AtomPolicy, CachePolicy, Fp16Policy, KiviPolicy, KvQuantPolicy, PolicyContext,
-        PolicyReport,
+        AtomPolicy, CachePolicy, Fp16Policy, KiviPolicy, KvQuantPolicy, PolicyContext, PolicyReport,
     };
     pub use cocktail_core::{
         BitwidthPlan, ChunkQuantSearch, CocktailConfig, CocktailOutcome, CocktailPipeline,

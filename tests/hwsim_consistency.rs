@@ -11,8 +11,8 @@ fn measured_cocktail_mix_feeds_the_hardware_model() {
     // chunk mix into a hardware profile and check the projected memory sits
     // between Atom and FP16, as in Figure 4.
     let task = TaskGenerator::qmsum(WorkloadConfig::small()).generate(5);
-    let pipeline = CocktailPipeline::new(ModelProfile::llama2_7b_sim(), CocktailConfig::default())
-        .unwrap();
+    let pipeline =
+        CocktailPipeline::new(ModelProfile::llama2_7b_sim(), CocktailConfig::default()).unwrap();
     let outcome = pipeline.run(&task.context, &task.query, 2).unwrap();
 
     let profile = KvCacheProfile::from_chunk_counts(
@@ -35,15 +35,17 @@ fn measured_cocktail_mix_feeds_the_hardware_model() {
     // Depending on how many chunks the search keeps at FP16, the measured
     // mix can land on either side of uniform INT4, but never far below the
     // pure-INT2 floor.
-    let int2_floor =
-        deployment.gpu_memory_bytes(&KvCacheProfile::new(
+    let int2_floor = deployment.gpu_memory_bytes(
+        &KvCacheProfile::new(
             "int2-floor",
             &[(Bitwidth::Int2, 1.0)],
             0.0,
             32,
             true,
             SearchKind::None,
-        ), 1);
+        ),
+        1,
+    );
     assert!(measured >= int2_floor);
     assert!(atom < fp16);
 }

@@ -114,9 +114,9 @@ fn int8_uniform_cache_preserves_greedy_generation_of_the_sim_model() {
     // A fidelity check through the real transformer: INT8-quantizing the
     // whole cache should rarely change the greedy continuation.
     let engine = InferenceEngine::new(ModelProfile::tiny()).unwrap();
-    let prompt = engine.tokenizer().encode(
-        "the quick brown fox jumps over the lazy dog while the calm river flows north",
-    );
+    let prompt = engine
+        .tokenizer()
+        .encode("the quick brown fox jumps over the lazy dog while the calm river flows north");
     let prefill = engine.prefill(&prompt).unwrap();
 
     let mut fp16_cache = engine.build_cache(&prefill, 4).unwrap();
