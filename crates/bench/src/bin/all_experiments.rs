@@ -14,5 +14,6 @@ fn main() {
     experiments::fig5_tpot();
     experiments::fig6_throughput();
     experiments::fig7_alpha_beta(INSTANCES_PER_CELL);
+    experiments::serving_throughput();
     println!("\nAll experiments complete; JSON records are under results/.");
 }

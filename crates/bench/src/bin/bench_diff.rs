@@ -1,0 +1,216 @@
+//! `bench-diff`: compares two `results/` directories metric by metric.
+//!
+//! ```bash
+//! bench-diff <baseline_dir> <candidate_dir> [--threshold 0.05]
+//! bench-diff --self-test
+//! ```
+//!
+//! Every numeric leaf of every record present in both directories is
+//! compared; deltas above the threshold are listed and make the process
+//! exit with status 1, so a CI job can gate on perf/accuracy regressions.
+//! `--self-test` exercises the parse/flatten/diff machinery on synthetic
+//! records in a temporary directory and exits 0 on success.
+
+use cocktail_bench::diff::{diff_dirs, DirDiff};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// Default relative-delta threshold (5 %).
+const DEFAULT_THRESHOLD: f64 = 0.05;
+/// Maximum number of offending metrics printed per file.
+const MAX_PRINTED: usize = 10;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: bench-diff <baseline_dir> <candidate_dir> [--threshold REL]");
+    eprintln!("       bench-diff --self-test");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--self-test") {
+        return self_test();
+    }
+    let mut dirs: Vec<PathBuf> = Vec::new();
+    let mut threshold = DEFAULT_THRESHOLD;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        if arg == "--threshold" {
+            let Some(value) = iter.next() else {
+                return usage();
+            };
+            match value.parse::<f64>() {
+                Ok(t) if t >= 0.0 => threshold = t,
+                _ => return usage(),
+            }
+        } else if arg.starts_with("--") {
+            return usage();
+        } else {
+            dirs.push(PathBuf::from(arg));
+        }
+    }
+    if dirs.len() != 2 {
+        return usage();
+    }
+
+    match diff_dirs(&dirs[0], &dirs[1]) {
+        Ok(diff) => report(&diff, threshold),
+        Err(err) => {
+            eprintln!("bench-diff: {err}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// Prints the comparison and converts it into an exit status.
+fn report(diff: &DirDiff, threshold: f64) -> ExitCode {
+    for name in &diff.missing_in_candidate {
+        println!("! {name}: MISSING from candidate (record lost — fails the gate)");
+    }
+    for name in &diff.missing_in_baseline {
+        println!("~ {name}: only in candidate (new experiment)");
+    }
+    let mut offending = 0usize;
+    for file in &diff.files {
+        let status = if file.max_abs_rel_delta() > threshold {
+            "!"
+        } else if file.deltas.is_empty() {
+            "="
+        } else {
+            "."
+        };
+        println!(
+            "{status} {}: {} metrics compared, {} changed, max |delta| {:.2}%",
+            file.file,
+            file.compared,
+            file.deltas.len(),
+            file.max_abs_rel_delta() * 100.0
+        );
+        if file.only_in_baseline > 0 {
+            println!(
+                "    {} metric path(s) lost from the candidate (fails the gate)",
+                file.only_in_baseline
+            );
+        }
+        for delta in file.deltas.iter().take(MAX_PRINTED) {
+            if delta.rel_delta.abs() <= threshold {
+                break; // sorted by |delta|: the rest are under threshold
+            }
+            offending += 1;
+            println!(
+                "    {:<50} {:>14.4} -> {:>14.4}  ({:+.2}%)",
+                delta.path,
+                delta.before,
+                delta.after,
+                delta.rel_delta * 100.0
+            );
+        }
+        let hidden = file
+            .deltas
+            .iter()
+            .skip(MAX_PRINTED)
+            .filter(|d| d.rel_delta.abs() > threshold)
+            .count();
+        if hidden > 0 {
+            offending += hidden;
+            println!("    ... and {hidden} more above threshold");
+        }
+    }
+    if diff.has_regressions(threshold) {
+        if diff.has_losses() {
+            println!("\nFAIL: the candidate lost record files or metric paths the baseline had");
+        } else {
+            println!(
+                "\nFAIL: {offending} metric(s) moved more than {:.2}% (max {:.2}%)",
+                threshold * 100.0,
+                diff.max_abs_rel_delta() * 100.0
+            );
+        }
+        ExitCode::from(1)
+    } else {
+        println!(
+            "\nOK: no metric moved more than {:.2}% across {} file(s)",
+            threshold * 100.0,
+            diff.files.len()
+        );
+        ExitCode::SUCCESS
+    }
+}
+
+/// Builds two synthetic result directories and checks the diff verdicts.
+fn self_test() -> ExitCode {
+    let root = std::env::temp_dir().join(format!("bench-diff-self-test-{}", std::process::id()));
+    let baseline = root.join("baseline");
+    let candidate = root.join("candidate");
+    let result = run_self_test(&baseline, &candidate);
+    let _ = std::fs::remove_dir_all(&root);
+    match result {
+        Ok(()) => {
+            println!("bench-diff self-test ok");
+            ExitCode::SUCCESS
+        }
+        Err(message) => {
+            eprintln!("bench-diff self-test FAILED: {message}");
+            ExitCode::from(1)
+        }
+    }
+}
+
+fn run_self_test(baseline: &Path, candidate: &Path) -> Result<(), String> {
+    let write = |dir: &Path, name: &str, body: &str| -> Result<(), String> {
+        std::fs::create_dir_all(dir).map_err(|e| e.to_string())?;
+        std::fs::write(dir.join(name), body).map_err(|e| e.to_string())
+    };
+    write(
+        baseline,
+        "fig5_tpot.json",
+        r#"{"id":"fig5","rows":[{"method":"Cocktail","tpot_us":100.0},{"method":"FP16","tpot_us":200.0}]}"#,
+    )?;
+    write(
+        candidate,
+        "fig5_tpot.json",
+        r#"{"id":"fig5","rows":[{"method":"Cocktail","tpot_us":103.0},{"method":"FP16","tpot_us":200.0}]}"#,
+    )?;
+    // New-on-candidate files are additions and never fail the gate.
+    write(candidate, "new_only.json", r#"{"id":"new","rows":[]}"#)?;
+
+    let diff = diff_dirs(baseline, candidate).map_err(|e| e.to_string())?;
+    if diff.files.len() != 1 {
+        return Err(format!("expected 1 shared file, got {}", diff.files.len()));
+    }
+    if !diff.missing_in_candidate.is_empty()
+        || diff.missing_in_baseline != vec!["new_only.json".to_string()]
+    {
+        return Err("missing-file bookkeeping is wrong".to_string());
+    }
+    let max = diff.max_abs_rel_delta();
+    if (max - 0.03).abs() > 1e-9 {
+        return Err(format!("expected max delta 3%, got {:.4}%", max * 100.0));
+    }
+    // 3 % moves: fails a 1 % gate, passes a 5 % gate.
+    if !diff.has_regressions(0.01) {
+        return Err("a 3% move must exceed a 1% threshold".to_string());
+    }
+    if diff.has_regressions(0.05) {
+        return Err("a 3% move must pass a 5% threshold".to_string());
+    }
+    // The report path must agree with the verdicts.
+    if report(&diff, 0.01) != ExitCode::from(1) {
+        return Err("report should fail at the 1% threshold".to_string());
+    }
+    if report(&diff, 0.05) != ExitCode::SUCCESS {
+        return Err("report should pass at the 5% threshold".to_string());
+    }
+
+    // A record file lost from the candidate must fail regardless of the
+    // threshold.
+    write(baseline, "lost.json", r#"{"id":"lost","rows":[{"v":1.0}]}"#)?;
+    let diff = diff_dirs(baseline, candidate).map_err(|e| e.to_string())?;
+    if !diff.has_losses() {
+        return Err("a record missing from the candidate must count as a loss".to_string());
+    }
+    if report(&diff, f64::INFINITY) != ExitCode::from(1) {
+        return Err("report should fail when a record file disappeared".to_string());
+    }
+    Ok(())
+}

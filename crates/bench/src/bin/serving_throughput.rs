@@ -1,0 +1,26 @@
+//! Measures batched-serving throughput against sequential pipeline runs
+//! and the hwsim batch-throughput prediction, and *enforces* the serving
+//! redesign's acceptance criterion: batched tokens/s must meet or beat
+//! sequential tokens/s at every batch size >= 2. Exits non-zero when the
+//! criterion fails, so CI catches batching regressions.
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let report = cocktail_bench::experiments::serving_throughput();
+    let mut ok = true;
+    for row in &report.rows {
+        if row.batch >= 2 && row.batched_tokens_per_s < row.sequential_tokens_per_s {
+            eprintln!(
+                "FAIL: batch {} reached {:.1} tok/s, below the sequential {:.1} tok/s",
+                row.batch, row.batched_tokens_per_s, row.sequential_tokens_per_s
+            );
+            ok = false;
+        }
+    }
+    if ok {
+        println!("OK: batched serving met or beat sequential throughput at every batch >= 2");
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

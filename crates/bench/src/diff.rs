@@ -1,0 +1,319 @@
+//! Comparison of two `results/` directories: per-metric deltas between the
+//! machine-readable experiment records, for catching perf/accuracy
+//! regressions in review.
+//!
+//! Every numeric leaf of a record is addressed by a dotted path
+//! (`rows.3.tpot_us`), compared between the two runs, and summarized as a
+//! relative delta. The `bench-diff` binary is a thin CLI over this module.
+
+use serde_json::Value;
+use std::collections::BTreeMap;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// One numeric metric that differs between the two runs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricDelta {
+    /// Dotted path of the metric inside the record.
+    pub path: String,
+    /// Value in the baseline directory.
+    pub before: f64,
+    /// Value in the candidate directory.
+    pub after: f64,
+    /// `(after - before) / |before|`; infinite when a zero baseline became
+    /// non-zero.
+    pub rel_delta: f64,
+}
+
+/// Comparison of one record file present in both directories.
+#[derive(Debug, Clone)]
+pub struct FileDiff {
+    /// File name (e.g. `fig5_tpot.json`).
+    pub file: String,
+    /// Number of numeric metrics compared.
+    pub compared: usize,
+    /// Metrics whose value changed, sorted by descending `|rel_delta|`.
+    pub deltas: Vec<MetricDelta>,
+    /// Metric paths present only in the baseline.
+    pub only_in_baseline: usize,
+    /// Metric paths present only in the candidate.
+    pub only_in_candidate: usize,
+}
+
+impl FileDiff {
+    /// The largest absolute relative delta in this file (0 when identical).
+    pub fn max_abs_rel_delta(&self) -> f64 {
+        self.deltas
+            .first()
+            .map(|d| d.rel_delta.abs())
+            .unwrap_or(0.0)
+    }
+}
+
+/// Comparison of two whole `results/` directories.
+#[derive(Debug, Clone, Default)]
+pub struct DirDiff {
+    /// Per-file comparisons for files present on both sides.
+    pub files: Vec<FileDiff>,
+    /// Record files present only in the baseline directory.
+    pub missing_in_candidate: Vec<String>,
+    /// Record files present only in the candidate directory.
+    pub missing_in_baseline: Vec<String>,
+}
+
+impl DirDiff {
+    /// The largest absolute relative delta across all files.
+    pub fn max_abs_rel_delta(&self) -> f64 {
+        self.files
+            .iter()
+            .map(FileDiff::max_abs_rel_delta)
+            .fold(0.0, f64::max)
+    }
+
+    /// Whether any metric moved by more than `threshold` (relative).
+    pub fn exceeds(&self, threshold: f64) -> bool {
+        self.max_abs_rel_delta() > threshold
+    }
+
+    /// Whether the candidate *lost* anything the baseline had: record files
+    /// missing from the candidate directory, or metric paths present only
+    /// in the baseline. New files/metrics on the candidate side are fine
+    /// (experiments grow), but disappearances are regressions — a binary
+    /// that stopped emitting its record must not pass a CI gate.
+    pub fn has_losses(&self) -> bool {
+        !self.missing_in_candidate.is_empty() || self.files.iter().any(|f| f.only_in_baseline > 0)
+    }
+
+    /// The overall gate: metric movement above `threshold` or any loss.
+    pub fn has_regressions(&self, threshold: f64) -> bool {
+        self.exceeds(threshold) || self.has_losses()
+    }
+}
+
+/// Flattens the numeric leaves of a JSON value into dotted paths.
+/// Booleans count as 0/1 (so a flipped `fits` flag shows up as a delta);
+/// strings and nulls are ignored.
+pub fn flatten_numeric(value: &Value, prefix: &str, out: &mut BTreeMap<String, f64>) {
+    match value {
+        Value::Int(i) => {
+            out.insert(prefix.to_string(), *i as f64);
+        }
+        Value::Float(f) => {
+            out.insert(prefix.to_string(), *f);
+        }
+        Value::Bool(b) => {
+            out.insert(prefix.to_string(), f64::from(u8::from(*b)));
+        }
+        Value::Array(items) => {
+            for (i, item) in items.iter().enumerate() {
+                flatten_numeric(item, &format!("{prefix}.{i}"), out);
+            }
+        }
+        Value::Object(entries) => {
+            for (key, item) in entries {
+                let child = if prefix.is_empty() {
+                    key.clone()
+                } else {
+                    format!("{prefix}.{key}")
+                };
+                flatten_numeric(item, &child, out);
+            }
+        }
+        Value::Null | Value::String(_) => {}
+    }
+}
+
+/// Compares the numeric leaves of two parsed records.
+pub fn diff_values(file: &str, baseline: &Value, candidate: &Value) -> FileDiff {
+    let mut before = BTreeMap::new();
+    let mut after = BTreeMap::new();
+    flatten_numeric(baseline, "", &mut before);
+    flatten_numeric(candidate, "", &mut after);
+
+    let mut deltas = Vec::new();
+    let mut compared = 0usize;
+    for (path, &b) in &before {
+        let Some(&a) = after.get(path) else { continue };
+        compared += 1;
+        if a == b {
+            continue;
+        }
+        let rel_delta = if b == 0.0 {
+            f64::INFINITY * (a - b).signum()
+        } else {
+            (a - b) / b.abs()
+        };
+        deltas.push(MetricDelta {
+            path: path.clone(),
+            before: b,
+            after: a,
+            rel_delta,
+        });
+    }
+    deltas.sort_by(|x, y| {
+        y.rel_delta
+            .abs()
+            .partial_cmp(&x.rel_delta.abs())
+            .expect("deltas are not NaN")
+    });
+    let only_in_baseline = before.keys().filter(|k| !after.contains_key(*k)).count();
+    let only_in_candidate = after.keys().filter(|k| !before.contains_key(*k)).count();
+    FileDiff {
+        file: file.to_string(),
+        compared,
+        deltas,
+        only_in_baseline,
+        only_in_candidate,
+    }
+}
+
+fn record_files(dir: &Path) -> io::Result<Vec<String>> {
+    let mut names = Vec::new();
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if name.ends_with(".json") {
+            names.push(name);
+        }
+    }
+    names.sort();
+    Ok(names)
+}
+
+/// Compares every `*.json` record present in both directories.
+///
+/// # Errors
+///
+/// Returns an [`io::Error`] when a directory cannot be read, a record
+/// cannot be opened, or a record fails to parse.
+pub fn diff_dirs(baseline: &Path, candidate: &Path) -> io::Result<DirDiff> {
+    let before_files = record_files(baseline)?;
+    let after_files = record_files(candidate)?;
+    let mut diff = DirDiff::default();
+    for name in &before_files {
+        if !after_files.contains(name) {
+            diff.missing_in_candidate.push(name.clone());
+        }
+    }
+    for name in &after_files {
+        if !before_files.contains(name) {
+            diff.missing_in_baseline.push(name.clone());
+        }
+    }
+    for name in before_files.iter().filter(|n| after_files.contains(*n)) {
+        let parse = |path: &Path| -> io::Result<Value> {
+            let text = fs::read_to_string(path)?;
+            serde_json::from_str(&text)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+        };
+        let b = parse(&baseline.join(name))?;
+        let a = parse(&candidate.join(name))?;
+        diff.files.push(diff_values(name, &b, &a));
+    }
+    Ok(diff)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(tpot: f64, batch: i64) -> Value {
+        Value::Object(vec![
+            ("id".to_string(), Value::String("fig5".into())),
+            (
+                "rows".to_string(),
+                Value::Array(vec![Value::Object(vec![
+                    ("tpot_us".to_string(), Value::Float(tpot)),
+                    ("batch".to_string(), Value::Int(batch as i128)),
+                ])]),
+            ),
+        ])
+    }
+
+    #[test]
+    fn identical_records_have_no_deltas() {
+        let d = diff_values("fig5.json", &record(100.0, 16), &record(100.0, 16));
+        assert_eq!(d.compared, 2);
+        assert!(d.deltas.is_empty());
+        assert_eq!(d.max_abs_rel_delta(), 0.0);
+    }
+
+    #[test]
+    fn changed_metric_is_reported_with_relative_delta() {
+        let d = diff_values("fig5.json", &record(100.0, 16), &record(110.0, 16));
+        assert_eq!(d.deltas.len(), 1);
+        let delta = &d.deltas[0];
+        assert_eq!(delta.path, "rows.0.tpot_us");
+        assert!((delta.rel_delta - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn losses_fail_the_gate_but_additions_do_not() {
+        let base = Value::Object(vec![
+            ("a".to_string(), Value::Int(1)),
+            ("b".to_string(), Value::Int(2)),
+        ]);
+        let shrunk = Value::Object(vec![("a".to_string(), Value::Int(1))]);
+        let lost_metric = DirDiff {
+            files: vec![diff_values("x.json", &base, &shrunk)],
+            ..DirDiff::default()
+        };
+        assert!(lost_metric.has_losses());
+        assert!(lost_metric.has_regressions(1.0));
+
+        let lost_file = DirDiff {
+            missing_in_candidate: vec!["gone.json".to_string()],
+            ..DirDiff::default()
+        };
+        assert!(lost_file.has_regressions(f64::INFINITY));
+
+        let grown = DirDiff {
+            files: vec![diff_values("x.json", &shrunk, &base)],
+            missing_in_baseline: vec!["new.json".to_string()],
+            ..DirDiff::default()
+        };
+        assert!(!grown.has_losses());
+        assert!(!grown.has_regressions(0.01));
+    }
+
+    #[test]
+    fn zero_baseline_going_nonzero_is_infinite_delta() {
+        let d = diff_values("x.json", &record(0.0, 1), &record(5.0, 1));
+        assert!(d.deltas[0].rel_delta.is_infinite());
+        let dir = DirDiff {
+            files: vec![d],
+            ..DirDiff::default()
+        };
+        assert!(dir.exceeds(1e12));
+    }
+
+    #[test]
+    fn missing_paths_are_counted_not_compared() {
+        let extra = Value::Object(vec![
+            ("a".to_string(), Value::Int(1)),
+            ("b".to_string(), Value::Int(2)),
+        ]);
+        let base = Value::Object(vec![("a".to_string(), Value::Int(1))]);
+        let d = diff_values("x.json", &base, &extra);
+        assert_eq!(d.compared, 1);
+        assert_eq!(d.only_in_candidate, 1);
+        assert_eq!(d.only_in_baseline, 0);
+    }
+
+    #[test]
+    fn strings_are_ignored_and_bools_compared() {
+        let a = Value::Object(vec![
+            ("note".to_string(), Value::String("x".into())),
+            ("fits".to_string(), Value::Bool(true)),
+        ]);
+        let b = Value::Object(vec![
+            ("note".to_string(), Value::String("y".into())),
+            ("fits".to_string(), Value::Bool(false)),
+        ]);
+        let d = diff_values("x.json", &a, &b);
+        assert_eq!(d.compared, 1);
+        assert_eq!(d.deltas.len(), 1);
+        assert_eq!(d.deltas[0].path, "fits");
+    }
+}

@@ -8,12 +8,16 @@ use crate::{
     accuracy_cell, build_hw_profile, method_names, model_suite, print_table, write_record,
     ExperimentRecord,
 };
-use cocktail_core::CocktailConfig;
-use cocktail_hwsim::{AcceleratorSpec, DeploymentModel, RequestShape};
+use cocktail_core::{
+    CocktailConfig, CocktailOutcome, CocktailPipeline, SchedulerConfig, ServeRequest,
+    ServingEngine, ServingStats,
+};
+use cocktail_hwsim::{AcceleratorSpec, DeploymentModel, KvCacheProfile, RequestShape};
 use cocktail_model::ModelProfile;
 use cocktail_retrieval::{similarity_matrix, ContrieverSim, EncoderKind};
-use cocktail_workloads::TaskKind;
+use cocktail_workloads::{TaskKind, TrafficConfig, TrafficGenerator, WorkloadConfig};
 use serde::Serialize;
+use std::time::Instant;
 
 /// Output length used by the hardware experiments (the paper's setting).
 pub const OUTPUT_LEN: usize = 128;
@@ -664,6 +668,228 @@ pub fn fig7_alpha_beta(instances: usize) -> Vec<AlphaBetaRow> {
     rows
 }
 
+// ---------------------------------------------------------------------------
+// Serving throughput — batched versus sequential serving
+// ---------------------------------------------------------------------------
+
+/// One batch-size point of the serving-throughput experiment.
+#[derive(Debug, Clone, Serialize)]
+pub struct ServingThroughputRow {
+    /// Batch cap of the serving engine for this point.
+    pub batch: usize,
+    /// Number of requests served.
+    pub requests: usize,
+    /// Total tokens generated across the requests.
+    pub generated_tokens: usize,
+    /// Measured end-to-end tokens/s of the batched serving engine.
+    pub batched_tokens_per_s: f64,
+    /// Measured tokens/s of the same requests run sequentially through
+    /// `CocktailPipeline::run` (identical for every row; repeated so each
+    /// row is self-contained).
+    pub sequential_tokens_per_s: f64,
+    /// `batched_tokens_per_s / sequential_tokens_per_s`.
+    pub measured_speedup: f64,
+    /// The hwsim A800 prediction (Cocktail profile, Llama2-7B, 3968-token
+    /// context) at this batch size, tokens/s.
+    pub hwsim_tokens_per_s: Option<f64>,
+    /// hwsim's predicted speedup of this batch size over batch 1.
+    pub hwsim_speedup_vs_batch1: Option<f64>,
+}
+
+/// Full payload of the serving-throughput record: the sweep rows plus the
+/// per-request serving statistics of the largest-batch run (timing
+/// breakdowns per request, not just aggregates).
+#[derive(Debug, Clone, Serialize)]
+pub struct ServingThroughputReport {
+    /// The batch sweep.
+    pub rows: Vec<ServingThroughputRow>,
+    /// Per-request stats (cache bytes, admission/finish steps, phase
+    /// timings) from the run at the largest batch size.
+    pub request_stats: Vec<ServingStats>,
+}
+
+/// Serving throughput with the default measurement settings: best-of-3
+/// timing, record written to `results/serving_throughput.json`.
+///
+/// # Panics
+///
+/// Panics if serving fails or if a batched answer differs from its
+/// sequential counterpart (the determinism guarantee).
+pub fn serving_throughput() -> ServingThroughputReport {
+    serving_throughput_with(3, true)
+}
+
+/// Serving throughput: the same mixed-family traffic served sequentially
+/// (one `CocktailPipeline::run` per request) and through the batched
+/// `ServingEngine` at growing batch caps. Batching amortizes the decode
+/// phase's weight streaming — and, on multi-core hosts, runs the
+/// per-request attention in parallel — so batched tokens/s meets or beats
+/// sequential from batch 2 up: the measured counterpart of the hwsim
+/// batch-throughput curve (Figure 6), whose prediction is recorded
+/// alongside.
+///
+/// Each mode is timed `repetitions` times and the best (minimum) wall
+/// time is kept, the standard defence against scheduler noise; an untimed
+/// warm-up pass precedes the measurements.
+///
+/// # Panics
+///
+/// Panics if serving fails or if a batched answer differs from its
+/// sequential counterpart (the determinism guarantee).
+pub fn serving_throughput_with(repetitions: usize, write: bool) -> ServingThroughputReport {
+    let repetitions = repetitions.max(1);
+    let requests = 4usize;
+    let batches = [1usize, 2, requests];
+    let config = CocktailConfig::default()
+        .with_chunk_size(16)
+        .expect("chunk size is valid");
+    // Short contexts with long generations: the decode phase (where
+    // batching pays off) dominates the runtime, as in a serving steady
+    // state.
+    let traffic = TrafficGenerator::new(
+        TrafficConfig {
+            requests,
+            arrival_window_steps: 0,
+            max_new_tokens: 32,
+            workload: WorkloadConfig::tiny().with_context_words(96),
+            kinds: vec![TaskKind::Qasper, TaskKind::QmSum, TaskKind::TriviaQa],
+        },
+        0xC0C_7A11,
+    )
+    .generate();
+
+    let profile = ModelProfile::llama2_7b_sim;
+    let pipeline =
+        CocktailPipeline::new(profile(), config.clone()).expect("pipeline config is valid");
+    let run_sequential = || -> Vec<CocktailOutcome> {
+        traffic
+            .iter()
+            .map(|r| {
+                pipeline
+                    .run(&r.task.context, &r.task.query, r.max_new_tokens)
+                    .expect("sequential run succeeds")
+            })
+            .collect()
+    };
+
+    // Untimed warm-up (cold caches, lazy page faults), then the reference
+    // outcomes and the best-of-N sequential timing.
+    let sequential = run_sequential();
+    let generated_tokens: usize = sequential.iter().map(|o| o.generated_tokens.len()).sum();
+    let mut seq_elapsed = f64::INFINITY;
+    for _ in 0..repetitions {
+        let start = Instant::now();
+        let outcomes = run_sequential();
+        seq_elapsed = seq_elapsed.min(start.elapsed().as_secs_f64().max(1e-9));
+        assert_eq!(outcomes.len(), sequential.len());
+    }
+    let sequential_tokens_per_s = generated_tokens as f64 / seq_elapsed;
+
+    // hwsim prediction for the same batch sizes (A800, Llama2-7B profile).
+    let deployment = DeploymentModel::new(
+        AcceleratorSpec::a800(),
+        profile().full().clone(),
+        RequestShape::with_context(3968),
+    );
+    let cocktail_profile = KvCacheProfile::cocktail_default();
+    let hwsim_batch1 = deployment.throughput(&cocktail_profile, 1).tokens_per_s;
+
+    let mut rows = Vec::new();
+    let mut request_stats = Vec::new();
+    for batch in batches {
+        let mut elapsed = f64::INFINITY;
+        let mut last_outcomes = Vec::new();
+        for _ in 0..repetitions {
+            let mut engine = ServingEngine::new(profile(), config.clone())
+                .expect("serving config is valid")
+                .with_scheduler_config(SchedulerConfig::default().with_max_batch(batch));
+            let start = Instant::now();
+            for request in &traffic {
+                engine.submit(ServeRequest::new(
+                    request.task.context.clone(),
+                    request.task.query.clone(),
+                    request.max_new_tokens,
+                ));
+            }
+            let outcomes = engine.run_until_idle().expect("batched serving succeeds");
+            elapsed = elapsed.min(start.elapsed().as_secs_f64().max(1e-9));
+            assert_eq!(outcomes.len(), sequential.len());
+            for (outcome, seq) in outcomes.iter().zip(&sequential) {
+                assert_eq!(
+                    outcome.outcome.generated_tokens, seq.generated_tokens,
+                    "batched serving must be byte-identical to sequential runs"
+                );
+            }
+            last_outcomes = outcomes;
+        }
+        let hwsim_point = deployment.throughput(&cocktail_profile, batch).tokens_per_s;
+        rows.push(ServingThroughputRow {
+            batch,
+            requests,
+            generated_tokens,
+            batched_tokens_per_s: generated_tokens as f64 / elapsed,
+            sequential_tokens_per_s,
+            measured_speedup: (generated_tokens as f64 / elapsed) / sequential_tokens_per_s,
+            hwsim_tokens_per_s: hwsim_point,
+            hwsim_speedup_vs_batch1: match (hwsim_point, hwsim_batch1) {
+                (Some(p), Some(b)) if b > 0.0 => Some(p / b),
+                _ => None,
+            },
+        });
+        if batch == requests {
+            request_stats = last_outcomes.into_iter().map(|o| o.stats).collect();
+        }
+    }
+
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.batch.to_string(),
+                format!("{:.1}", r.batched_tokens_per_s),
+                format!("{:.1}", r.sequential_tokens_per_s),
+                format!("{:.2}x", r.measured_speedup),
+                r.hwsim_speedup_vs_batch1
+                    .map(|s| format!("{s:.2}x"))
+                    .unwrap_or_else(|| "-".to_string()),
+            ]
+        })
+        .collect();
+    print_table(
+        "Serving throughput: batched ServingEngine vs sequential pipeline (Llama2-7B sim)",
+        &[
+            "Batch",
+            "Batched tok/s",
+            "Sequential tok/s",
+            "Speedup",
+            "hwsim speedup",
+        ],
+        &table,
+    );
+
+    let report = ServingThroughputReport {
+        rows,
+        request_stats,
+    };
+    if write {
+        let record = ExperimentRecord {
+            id: "serving_throughput".to_string(),
+            title: "Serving throughput: continuous batching vs sequential single-request runs"
+                .to_string(),
+            note: format!(
+                "{requests} mixed-family requests (32 new tokens each) on the Llama2-7B sim \
+                 profile, best of {repetitions} timed runs per mode; absolute tokens/s are \
+                 CPU-simulation numbers, the hwsim columns give the analytic A800 prediction \
+                 for the same batch sizes"
+            ),
+            rows: &report,
+        };
+        let path = write_record(&record);
+        println!("(written to {})", path.display());
+    }
+    report
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -717,6 +943,38 @@ mod tests {
                     row.method
                 );
             }
+        }
+    }
+
+    #[test]
+    fn serving_throughput_batched_meets_or_beats_sequential() {
+        // Two repetitions keep the tier-1 suite fast; no record is written
+        // (the release-mode binary owns `results/serving_throughput.json`).
+        let report = serving_throughput_with(2, false);
+        assert_eq!(report.rows.len(), 3);
+        for row in &report.rows {
+            assert!(row.batched_tokens_per_s > 0.0);
+            assert!(row.sequential_tokens_per_s > 0.0);
+            assert!(row.hwsim_tokens_per_s.is_some());
+            if row.batch >= 2 {
+                // The strict batched >= sequential comparison lives in the
+                // release-mode `serving_throughput` binary (run by CI);
+                // asserting wall-clock ratios in the debug test suite would
+                // make tier-1 hostage to scheduler noise on loaded runners.
+                // The analytic prediction, by contrast, is deterministic.
+                assert!(
+                    row.hwsim_speedup_vs_batch1.unwrap() > 1.0,
+                    "hwsim must predict a batching gain"
+                );
+            }
+        }
+        // Per-request stats carry the timing breakdown into the JSON.
+        assert_eq!(report.request_stats.len(), 4);
+        for stats in &report.request_stats {
+            assert!(stats.timings.prefill_us > 0);
+            assert!(stats.cache_bytes > 0);
+            assert!(stats.admitted_step.is_some());
+            assert!(stats.finished_step.is_some());
         }
     }
 

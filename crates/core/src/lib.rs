@@ -22,6 +22,13 @@
 //!   baselines, and [`CocktailPipeline`] runs the whole flow
 //!   (tokenize → prefill → search → reorder+quantize → decode) on a
 //!   simulated model.
+//! * The **serving layer** ([`ServingEngine`], [`BatchScheduler`]) answers
+//!   many requests concurrently with continuous batching: a FIFO scheduler
+//!   admits requests under a KV-memory budget measured in *compressed*
+//!   bytes (so Cocktail's compression buys batch capacity), and every
+//!   engine step decodes one token for the whole running batch through a
+//!   single batched decode call. Batched serving is byte-identical to
+//!   running the same requests sequentially through [`CocktailPipeline`].
 //!
 //! # Example
 //!
@@ -53,10 +60,14 @@ mod error;
 mod pipeline;
 mod policy;
 pub mod reorder;
+mod scheduler;
 pub mod search;
+mod serving;
 
 pub use config::CocktailConfig;
 pub use error::CocktailError;
 pub use pipeline::{CocktailOutcome, CocktailPipeline, PipelineTimings};
 pub use policy::CocktailPolicy;
+pub use scheduler::{AdmitDecision, BatchScheduler, RequestId, SchedulerConfig};
 pub use search::{BitwidthPlan, ChunkQuantSearch};
+pub use serving::{RequestOutcome, RequestState, ServeRequest, ServingEngine, ServingStats};

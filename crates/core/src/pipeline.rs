@@ -11,26 +11,26 @@ use crate::config::CocktailConfig;
 use crate::error::CocktailError;
 use crate::policy::CocktailPolicy;
 use crate::search::BitwidthPlan;
-use cocktail_baselines::{CachePolicy, PolicyContext, PolicyReport};
-use cocktail_kvcache::{ChunkSegmentation, ChunkedKvCache, ChunkedLayerCache};
-use cocktail_model::{InferenceEngine, ModelProfile, PrefillOutput};
-use cocktail_retrieval::chunking;
+use crate::serving::RequestTask;
+use cocktail_baselines::{CachePolicy, PolicyReport};
+use cocktail_model::{InferenceEngine, ModelProfile};
+use serde::{Deserialize, Serialize};
 use std::time::Instant;
 
 /// Wall-clock timings of one pipeline run, in microseconds.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub struct PipelineTimings {
     /// Prefill phase (full-precision attention over the prompt).
-    pub prefill_us: u128,
+    pub prefill_us: u64,
     /// Chunk-level quantization search plus cache rewriting.
-    pub compress_us: u128,
+    pub compress_us: u64,
     /// Decode phase (token generation over the compressed cache).
-    pub decode_us: u128,
+    pub decode_us: u64,
 }
 
 impl PipelineTimings {
     /// Total time across the measured phases.
-    pub fn total_us(&self) -> u128 {
+    pub fn total_us(&self) -> u64 {
         self.prefill_us + self.compress_us + self.decode_us
     }
 }
@@ -128,33 +128,6 @@ impl CocktailPipeline {
         &self.config
     }
 
-    /// Builds the chunked cache for a prompt whose first `context_len`
-    /// tokens are the context: the context portion is segmented into chunks
-    /// while the query tokens are appended to the FP16 tail (they are never
-    /// quantized, mirroring the paper's treatment of the query and of
-    /// decode-phase outputs).
-    fn build_context_cache(
-        &self,
-        prefill: &PrefillOutput,
-        context_len: usize,
-    ) -> Result<ChunkedKvCache, CocktailError> {
-        let config = self.engine.config();
-        let seg = ChunkSegmentation::new(context_len, self.config.chunk_size)?;
-        let mut cache = ChunkedKvCache::new(config.n_layers, config.n_kv_heads);
-        for (layer, heads) in prefill.kv.iter().enumerate() {
-            for (head, raw) in heads.iter().enumerate() {
-                let k_ctx = raw.k.slice_rows(0, context_len);
-                let v_ctx = raw.v.slice_rows(0, context_len);
-                let mut layer_cache = ChunkedLayerCache::from_prefill(&k_ctx, &v_ctx, &seg)?;
-                for row in context_len..raw.k.rows() {
-                    layer_cache.append_decode_token(raw.k.row(row), raw.v.row(row))?;
-                }
-                cache.set(layer, head, layer_cache);
-            }
-        }
-        Ok(cache)
-    }
-
     /// Runs the full pipeline with the Cocktail policy.
     ///
     /// # Errors
@@ -175,6 +148,12 @@ impl CocktailPipeline {
     /// KVQuant or Cocktail), so methods can be compared on identical
     /// requests.
     ///
+    /// This is a thin single-request wrapper over the serving machinery:
+    /// the same `RequestTask` state machine the batched
+    /// [`ServingEngine`](crate::ServingEngine) drives, run to completion
+    /// here one decode step at a time. That shared path is what makes
+    /// batched serving byte-identical to sequential pipeline runs.
+    ///
     /// # Errors
     ///
     /// Returns [`CocktailError`] if the prompt is invalid for the model or
@@ -186,61 +165,18 @@ impl CocktailPipeline {
         policy: &dyn CachePolicy,
         max_new_tokens: usize,
     ) -> Result<CocktailOutcome, CocktailError> {
-        let tokenizer = self.engine.tokenizer();
-        let context_tokens = tokenizer.encode(context);
-        let query_tokens = tokenizer.encode(query);
-        if context_tokens.is_empty() || query_tokens.is_empty() {
-            return Err(CocktailError::InvalidInput(
-                "context and query must both be non-empty".into(),
-            ));
-        }
-        let mut prompt = context_tokens.clone();
-        prompt.extend_from_slice(&query_tokens);
-
-        let chunk_texts = chunking::chunk_words(context, self.config.chunk_size);
-
-        let start = Instant::now();
-        let prefill = self.engine.prefill(&prompt)?;
-        let prefill_us = start.elapsed().as_micros();
-
-        let compress_start = Instant::now();
-        let mut cache = self.build_context_cache(&prefill, context_tokens.len())?;
-        let fp16_cache_bytes = cache.total_fp16_reference_bytes();
-        let ctx = PolicyContext::new(chunk_texts.clone(), query);
-        let report = policy.apply(&mut cache, &ctx)?;
-        let compress_us = compress_start.elapsed().as_micros();
-        let cache_bytes = cache.total_storage_bytes();
-
-        let plan = if policy.name() == "Cocktail" && self.config.enable_search {
-            let cocktail = CocktailPolicy::new(self.config.clone())?;
-            Some(
-                cocktail
-                    .plan_for(&ctx, chunk_texts.len())
-                    .map_err(|e| CocktailError::Substrate(e.to_string()))?,
-            )
-        } else {
-            None
-        };
-
+        let mut task = RequestTask::prepare(
+            &self.engine,
+            &self.config,
+            context,
+            query,
+            policy,
+            max_new_tokens,
+        )?;
         let decode_start = Instant::now();
-        let generated_tokens =
-            self.engine
-                .generate_with_cache(&prefill, &mut cache, max_new_tokens)?;
-        let decode_us = decode_start.elapsed().as_micros();
-
-        Ok(CocktailOutcome {
-            answer: tokenizer.decode(&generated_tokens),
-            generated_tokens,
-            report,
-            plan,
-            cache_bytes,
-            fp16_cache_bytes,
-            timings: PipelineTimings {
-                prefill_us,
-                compress_us,
-                decode_us,
-            },
-        })
+        while !task.generate_next(&self.engine)? {}
+        task.add_decode_us(decode_start.elapsed().as_micros() as u64);
+        Ok(task.into_outcome(&self.engine))
     }
 }
 

@@ -1,0 +1,989 @@
+//! The batched serving engine: many concurrent requests over one model.
+//!
+//! [`CocktailPipeline`](crate::CocktailPipeline) runs one request at a time;
+//! this module is the multi-request serving surface built on the same
+//! machinery. A [`ServingEngine`] owns the model engine plus one
+//! [`ChunkedKvCache`] per in-flight request, and a
+//! [`BatchScheduler`](crate::BatchScheduler) admits queued requests under a
+//! KV-memory budget measured in *compressed* bytes — so Cocktail's
+//! quantization directly buys batch capacity, exactly the economics of the
+//! paper's Figure 6.
+//!
+//! Scheduling is continuous batching: each [`ServingEngine::step`] first
+//! admits (and prefills) whatever fits from the queue head, then runs one
+//! decode round in which every running request produces one token through a
+//! single [`decode_step_batch`](cocktail_model::InferenceEngine::decode_step_batch)
+//! call. Requests therefore join and leave the batch while others are
+//! mid-decode. Because the batched decode is row-wise bit-identical to
+//! single-request decode, batched serving returns byte-identical answers to
+//! running the same requests sequentially — only faster, since the weight
+//! streaming of each decode step is amortized over the batch.
+
+use crate::config::CocktailConfig;
+use crate::error::CocktailError;
+use crate::pipeline::{CocktailOutcome, PipelineTimings};
+use crate::policy::CocktailPolicy;
+use crate::scheduler::{AdmitDecision, BatchScheduler, RequestId, SchedulerConfig};
+use crate::search::BitwidthPlan;
+use cocktail_baselines::{CachePolicy, PolicyContext, PolicyReport};
+use cocktail_kvcache::{ChunkSegmentation, ChunkedKvCache, ChunkedLayerCache};
+use cocktail_model::{DecodeSlot, DecodeStep, InferenceEngine, ModelProfile, PrefillOutput};
+use cocktail_retrieval::chunking;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::time::Instant;
+
+/// One serving request: a context, a query and a generation budget.
+///
+/// By default the request is compressed with the engine's Cocktail policy;
+/// [`ServeRequest::with_policy`] substitutes any other
+/// [`CachePolicy`] (e.g. a baseline) for A/B comparisons under load.
+pub struct ServeRequest {
+    /// The long context to answer from.
+    pub context: String,
+    /// The user query.
+    pub query: String,
+    /// Maximum number of tokens to generate.
+    pub max_new_tokens: usize,
+    policy: Option<Box<dyn CachePolicy>>,
+}
+
+impl ServeRequest {
+    /// Creates a request served with the engine's default (Cocktail)
+    /// policy.
+    pub fn new(
+        context: impl Into<String>,
+        query: impl Into<String>,
+        max_new_tokens: usize,
+    ) -> Self {
+        Self {
+            context: context.into(),
+            query: query.into(),
+            max_new_tokens,
+            policy: None,
+        }
+    }
+
+    /// Returns a copy of this request served with an explicit cache policy
+    /// instead of the engine default.
+    pub fn with_policy(mut self, policy: Box<dyn CachePolicy>) -> Self {
+        self.policy = Some(policy);
+        self
+    }
+}
+
+impl fmt::Debug for ServeRequest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ServeRequest")
+            .field("context_chars", &self.context.len())
+            .field("query", &self.query)
+            .field("max_new_tokens", &self.max_new_tokens)
+            .field(
+                "policy",
+                &self.policy.as_ref().map_or("engine default", |p| p.name()),
+            )
+            .finish()
+    }
+}
+
+/// Lifecycle state of a serving request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RequestState {
+    /// Submitted but not yet admitted by the scheduler (it may already be
+    /// prefilled and waiting for memory).
+    Queued,
+    /// Admitted: its compressed cache is charged against the budget and it
+    /// decodes one token per engine step.
+    Running,
+    /// Finished; its outcome is available.
+    Completed,
+    /// Terminally failed (e.g. it can never fit the memory budget).
+    Failed,
+}
+
+/// Per-request serving statistics, serializable into `results/*.json`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ServingStats {
+    /// The request id.
+    pub id: RequestId,
+    /// Number of context tokens.
+    pub context_tokens: usize,
+    /// Number of query tokens.
+    pub query_tokens: usize,
+    /// The generation budget.
+    pub max_new_tokens: usize,
+    /// Tokens actually generated.
+    pub generated_tokens: usize,
+    /// Compressed KV-cache bytes measured right after the policy ran.
+    pub cache_bytes: usize,
+    /// KV-cache bytes the same request would need at FP16.
+    pub fp16_cache_bytes: usize,
+    /// Bytes reserved up front for the FP16 decode tail.
+    pub reserved_tail_bytes: usize,
+    /// Engine step at which the request was submitted.
+    pub submitted_step: usize,
+    /// Engine step at which the scheduler admitted it (None while queued).
+    pub admitted_step: Option<usize>,
+    /// Engine step at which it completed or failed (None while in flight).
+    pub finished_step: Option<usize>,
+    /// Wall-clock phase timings.
+    pub timings: PipelineTimings,
+}
+
+/// Everything a completed request produced.
+#[derive(Debug, Clone)]
+pub struct RequestOutcome {
+    /// The request id.
+    pub id: RequestId,
+    /// The pipeline outcome (answer, tokens, policy report, plan, bytes,
+    /// timings) — identical to what [`CocktailPipeline::run`] returns for
+    /// the same request.
+    ///
+    /// [`CocktailPipeline::run`]: crate::CocktailPipeline::run
+    pub outcome: CocktailOutcome,
+    /// Scheduling statistics.
+    pub stats: ServingStats,
+}
+
+/// What one generation round asks of the engine.
+enum RoundAction {
+    /// The request has generated all its tokens.
+    Completed,
+    /// The request needs one decode step for `token` at `pos`.
+    Decode { token: u32, pos: usize },
+}
+
+/// The per-request state machine shared by the single-request pipeline and
+/// the batched serving engine: a prefilled, policy-compressed cache plus the
+/// greedy-decoding cursor.
+pub(crate) struct RequestTask {
+    prompt_len: usize,
+    context_tokens: usize,
+    query_tokens: usize,
+    /// Interned-vocabulary size right after this request's prompt was
+    /// encoded: decoding against this horizon makes the rendered answer
+    /// independent of which other requests share the engine's tokenizer.
+    vocab_horizon: usize,
+    max_new_tokens: usize,
+    cache: ChunkedKvCache,
+    generated: Vec<u32>,
+    next_token: u32,
+    report: PolicyReport,
+    plan: Option<BitwidthPlan>,
+    cache_bytes: usize,
+    fp16_cache_bytes: usize,
+    timings: PipelineTimings,
+}
+
+impl RequestTask {
+    /// Tokenizes, prefills and compresses one request — the exact
+    /// pre-decode half of the original `CocktailPipeline::run_with_policy`.
+    pub(crate) fn prepare(
+        engine: &InferenceEngine,
+        config: &CocktailConfig,
+        context: &str,
+        query: &str,
+        policy: &dyn CachePolicy,
+        max_new_tokens: usize,
+    ) -> Result<Self, CocktailError> {
+        let tokenizer = engine.tokenizer();
+        let context_tokens = tokenizer.encode(context);
+        let query_tokens = tokenizer.encode(query);
+        let vocab_horizon = tokenizer.interned_words();
+        if context_tokens.is_empty() || query_tokens.is_empty() {
+            return Err(CocktailError::InvalidInput(
+                "context and query must both be non-empty".into(),
+            ));
+        }
+        let mut prompt = context_tokens.clone();
+        prompt.extend_from_slice(&query_tokens);
+
+        let chunk_texts = chunking::chunk_words(context, config.chunk_size);
+
+        let start = Instant::now();
+        let prefill = engine.prefill(&prompt)?;
+        let prefill_us = start.elapsed().as_micros() as u64;
+
+        let compress_start = Instant::now();
+        let mut cache = build_context_cache(engine, config, &prefill, context_tokens.len())?;
+        let fp16_cache_bytes = cache.total_fp16_reference_bytes();
+        let ctx = PolicyContext::new(chunk_texts.clone(), query);
+        let report = policy.apply(&mut cache, &ctx)?;
+        let compress_us = compress_start.elapsed().as_micros() as u64;
+        let cache_bytes = cache.total_storage_bytes();
+
+        let plan = if policy.name() == "Cocktail" && config.enable_search {
+            let cocktail = CocktailPolicy::new(config.clone())?;
+            Some(
+                cocktail
+                    .plan_for(&ctx, chunk_texts.len())
+                    .map_err(|e| CocktailError::Substrate(e.to_string()))?,
+            )
+        } else {
+            None
+        };
+
+        Ok(Self {
+            prompt_len: prompt.len(),
+            context_tokens: context_tokens.len(),
+            query_tokens: query_tokens.len(),
+            vocab_horizon,
+            max_new_tokens,
+            cache,
+            generated: Vec::with_capacity(max_new_tokens),
+            next_token: prefill.next_token(),
+            report,
+            plan,
+            cache_bytes,
+            fp16_cache_bytes,
+            timings: PipelineTimings {
+                prefill_us,
+                compress_us,
+                decode_us: 0,
+            },
+        })
+    }
+
+    /// Commits the pending token and reports what this round needs: either
+    /// the request is complete, or one decode step. Mirrors one iteration
+    /// of the sequential greedy-decoding loop, so batched and sequential
+    /// serving walk identical token sequences.
+    fn begin_round(&mut self) -> RoundAction {
+        if self.generated.len() >= self.max_new_tokens {
+            return RoundAction::Completed;
+        }
+        self.generated.push(self.next_token);
+        if self.generated.len() == self.max_new_tokens {
+            return RoundAction::Completed;
+        }
+        RoundAction::Decode {
+            token: self.next_token,
+            pos: self.prompt_len + self.generated.len() - 1,
+        }
+    }
+
+    /// Stores the decode result of this round.
+    fn finish_round(&mut self, step: DecodeStep) {
+        self.next_token = step.next_token;
+    }
+
+    /// Runs one sequential generation round; returns `true` once complete.
+    pub(crate) fn generate_next(
+        &mut self,
+        engine: &InferenceEngine,
+    ) -> Result<bool, CocktailError> {
+        match self.begin_round() {
+            RoundAction::Completed => Ok(true),
+            RoundAction::Decode { token, pos } => {
+                let step = engine.decode_step(token, pos, &mut self.cache)?;
+                self.finish_round(step);
+                Ok(false)
+            }
+        }
+    }
+
+    /// Adds decode wall-clock time to the timings.
+    pub(crate) fn add_decode_us(&mut self, micros: u64) {
+        self.timings.decode_us += micros;
+    }
+
+    /// Compressed cache footprint measured after the policy ran.
+    pub(crate) fn cache_bytes(&self) -> usize {
+        self.cache_bytes
+    }
+
+    /// Converts the finished task into a pipeline outcome. The answer is
+    /// rendered against the request's own vocabulary horizon, so batched
+    /// and sequential serving produce byte-identical text.
+    pub(crate) fn into_outcome(self, engine: &InferenceEngine) -> CocktailOutcome {
+        CocktailOutcome {
+            answer: engine
+                .tokenizer()
+                .decode_with_horizon(&self.generated, self.vocab_horizon),
+            generated_tokens: self.generated,
+            report: self.report,
+            plan: self.plan,
+            cache_bytes: self.cache_bytes,
+            fp16_cache_bytes: self.fp16_cache_bytes,
+            timings: self.timings,
+        }
+    }
+}
+
+/// Builds the chunked cache for a prompt whose first `context_len` tokens
+/// are the context: the context portion is segmented into chunks while the
+/// query tokens are appended to the FP16 tail (they are never quantized,
+/// mirroring the paper's treatment of the query and of decode-phase
+/// outputs).
+fn build_context_cache(
+    engine: &InferenceEngine,
+    config: &CocktailConfig,
+    prefill: &PrefillOutput,
+    context_len: usize,
+) -> Result<ChunkedKvCache, CocktailError> {
+    let model = engine.config();
+    let seg = ChunkSegmentation::new(context_len, config.chunk_size)?;
+    let mut cache = ChunkedKvCache::new(model.n_layers, model.n_kv_heads);
+    for (layer, heads) in prefill.kv.iter().enumerate() {
+        for (head, raw) in heads.iter().enumerate() {
+            let k_ctx = raw.k.slice_rows(0, context_len);
+            let v_ctx = raw.v.slice_rows(0, context_len);
+            let mut layer_cache = ChunkedLayerCache::from_prefill(&k_ctx, &v_ctx, &seg)?;
+            for row in context_len..raw.k.rows() {
+                layer_cache.append_decode_token(raw.k.row(row), raw.v.row(row))?;
+            }
+            cache.set(layer, head, layer_cache);
+        }
+    }
+    Ok(cache)
+}
+
+/// Where a request currently is in the serving lifecycle.
+enum Phase {
+    /// Submitted, not yet prefilled.
+    Queued(ServeRequest),
+    /// Prefilled and compressed, waiting for the scheduler to admit it.
+    Prepared(Box<RequestTask>),
+    /// Admitted and decoding.
+    Running(Box<RequestTask>),
+    /// Finished successfully.
+    Completed(Box<CocktailOutcome>),
+    /// Terminally failed.
+    Failed(String),
+}
+
+struct Slot {
+    stats: ServingStats,
+    phase: Phase,
+}
+
+/// The multi-request serving engine: continuous batching over one model.
+///
+/// # Example
+///
+/// ```
+/// use cocktail_core::{CocktailConfig, ServeRequest, ServingEngine};
+/// use cocktail_model::ModelProfile;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let config = CocktailConfig::default().with_chunk_size(8)?;
+/// let mut engine = ServingEngine::new(ModelProfile::tiny(), config)?;
+/// let context = "the cargo manifest lists forty crates of oranges. \
+///                the access word for the customs office is bluebird.";
+/// let a = engine.submit(ServeRequest::new(context, "what is the access word?", 6));
+/// let b = engine.submit(ServeRequest::new(context, "what does the manifest list?", 6));
+/// let outcomes = engine.run_until_idle()?;
+/// assert_eq!(outcomes.len(), 2);
+/// assert_eq!(outcomes[0].id, a);
+/// assert_eq!(outcomes[1].id, b);
+/// assert!(!outcomes[0].outcome.answer.is_empty());
+/// # Ok(())
+/// # }
+/// ```
+pub struct ServingEngine {
+    engine: InferenceEngine,
+    config: CocktailConfig,
+    scheduler: BatchScheduler,
+    slots: BTreeMap<RequestId, Slot>,
+    next_id: u64,
+    clock: usize,
+}
+
+impl fmt::Debug for ServingEngine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ServingEngine")
+            .field("model", &self.engine.config().name)
+            .field("queued", &self.scheduler.queued_len())
+            .field("running", &self.scheduler.running_len())
+            .field("kv_bytes_in_use", &self.scheduler.used_bytes())
+            .field("clock", &self.clock)
+            .finish()
+    }
+}
+
+impl ServingEngine {
+    /// Builds a serving engine for a model profile with an unlimited
+    /// scheduler.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CocktailError`] if the profile or configuration is
+    /// invalid.
+    pub fn new(profile: ModelProfile, config: CocktailConfig) -> Result<Self, CocktailError> {
+        let engine = InferenceEngine::new(profile)?;
+        Self::with_engine(engine, config)
+    }
+
+    /// Builds a serving engine around an existing inference engine.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CocktailError::InvalidConfig`] if the configuration is
+    /// invalid.
+    pub fn with_engine(
+        engine: InferenceEngine,
+        config: CocktailConfig,
+    ) -> Result<Self, CocktailError> {
+        config.validate()?;
+        Ok(Self {
+            engine,
+            config,
+            scheduler: BatchScheduler::new(SchedulerConfig::default()),
+            slots: BTreeMap::new(),
+            next_id: 0,
+            clock: 0,
+        })
+    }
+
+    /// Replaces the scheduler configuration (budget and batch cap).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any request has already been submitted: replacing the
+    /// scheduler would silently drop its queue and budget accounting, so
+    /// the configuration must be chosen before traffic arrives.
+    pub fn with_scheduler_config(mut self, scheduler: SchedulerConfig) -> Self {
+        assert!(
+            self.slots.is_empty() && self.scheduler.is_idle(),
+            "scheduler configuration must be set before submitting requests"
+        );
+        self.scheduler = BatchScheduler::new(scheduler);
+        self
+    }
+
+    /// The underlying inference engine.
+    pub fn engine(&self) -> &InferenceEngine {
+        &self.engine
+    }
+
+    /// The Cocktail configuration.
+    pub fn config(&self) -> &CocktailConfig {
+        &self.config
+    }
+
+    /// The scheduler (budget accounting, queue/batch occupancy).
+    pub fn scheduler(&self) -> &BatchScheduler {
+        &self.scheduler
+    }
+
+    /// KV-cache bytes currently charged against the memory budget.
+    pub fn kv_bytes_in_use(&self) -> usize {
+        self.scheduler.used_bytes()
+    }
+
+    /// Engine steps executed so far (the logical serving clock).
+    pub fn clock(&self) -> usize {
+        self.clock
+    }
+
+    /// Submits a request; it joins the scheduler queue and will be admitted
+    /// by a later [`ServingEngine::step`].
+    pub fn submit(&mut self, request: ServeRequest) -> RequestId {
+        let id = RequestId::new(self.next_id);
+        self.next_id += 1;
+        let stats = ServingStats {
+            id,
+            context_tokens: 0,
+            query_tokens: 0,
+            max_new_tokens: request.max_new_tokens,
+            generated_tokens: 0,
+            cache_bytes: 0,
+            fp16_cache_bytes: 0,
+            reserved_tail_bytes: 0,
+            submitted_step: self.clock,
+            admitted_step: None,
+            finished_step: None,
+            timings: PipelineTimings::default(),
+        };
+        self.slots.insert(
+            id,
+            Slot {
+                stats,
+                phase: Phase::Queued(request),
+            },
+        );
+        self.scheduler.enqueue(id);
+        id
+    }
+
+    /// Current lifecycle state of a request.
+    pub fn state(&self, id: RequestId) -> Option<RequestState> {
+        self.slots.get(&id).map(|slot| match slot.phase {
+            Phase::Queued(_) | Phase::Prepared(_) => RequestState::Queued,
+            Phase::Running(_) => RequestState::Running,
+            Phase::Completed(_) => RequestState::Completed,
+            Phase::Failed(_) => RequestState::Failed,
+        })
+    }
+
+    /// Serving statistics of a request (live; fields fill in as the request
+    /// progresses).
+    pub fn stats(&self, id: RequestId) -> Option<&ServingStats> {
+        self.slots.get(&id).map(|slot| &slot.stats)
+    }
+
+    /// The failure message of a failed request.
+    pub fn failure(&self, id: RequestId) -> Option<&str> {
+        match &self.slots.get(&id)?.phase {
+            Phase::Failed(message) => Some(message),
+            _ => None,
+        }
+    }
+
+    /// Removes and returns the outcome of a completed request.
+    pub fn take_outcome(&mut self, id: RequestId) -> Option<RequestOutcome> {
+        if !matches!(self.slots.get(&id)?.phase, Phase::Completed(_)) {
+            return None;
+        }
+        let slot = self.slots.remove(&id)?;
+        match slot.phase {
+            Phase::Completed(outcome) => Some(RequestOutcome {
+                id,
+                outcome: *outcome,
+                stats: slot.stats,
+            }),
+            _ => unreachable!("phase checked above"),
+        }
+    }
+
+    /// Removes a failed request and returns its failure message and stats.
+    ///
+    /// Terminal slots are retained until collected so callers can inspect
+    /// them; a long-running engine should drain failures with this method
+    /// (as it drains completions with [`ServingEngine::take_outcome`]) to
+    /// keep the slot table from growing without bound.
+    pub fn take_failure(&mut self, id: RequestId) -> Option<(String, ServingStats)> {
+        if !matches!(self.slots.get(&id)?.phase, Phase::Failed(_)) {
+            return None;
+        }
+        let slot = self.slots.remove(&id)?;
+        match slot.phase {
+            Phase::Failed(message) => Some((message, slot.stats)),
+            _ => unreachable!("phase checked above"),
+        }
+    }
+
+    /// Returns `true` when no request is queued or running (nothing left
+    /// for [`ServingEngine::step`] to do).
+    pub fn is_idle(&self) -> bool {
+        self.scheduler.is_idle()
+    }
+
+    /// Compressed KV bytes held by a prepared-but-not-yet-admitted queue
+    /// head, if any. These bytes are *not* part of
+    /// [`ServingEngine::kv_bytes_in_use`]: the budget governs admitted
+    /// requests, while the head's prefilled cache is kept across deferrals
+    /// so its prefill is never repeated. Operators sizing real memory
+    /// should add this to the budget headroom.
+    pub fn prepared_kv_bytes(&self) -> usize {
+        self.scheduler
+            .head()
+            .and_then(|id| self.slots.get(&id))
+            .map(|slot| match &slot.phase {
+                Phase::Prepared(task) => task.cache_bytes(),
+                _ => 0,
+            })
+            .unwrap_or(0)
+    }
+
+    /// Runs one engine step: admit whatever fits from the queue head
+    /// (prefilling newly admitted requests), then one decode round in which
+    /// every running request generates one token via a single batched
+    /// decode call. Returns the ids of requests that finished this step.
+    ///
+    /// Note that the queue head is prepared (prefilled + compressed) before
+    /// its budget check, so up to one deferred request's compressed cache
+    /// can be resident beyond the budget — see
+    /// [`ServingEngine::prepared_kv_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CocktailError`] only for engine-level failures; a request
+    /// that cannot be served (invalid input, oversized for the budget)
+    /// transitions to [`RequestState::Failed`] instead of poisoning the
+    /// engine.
+    pub fn step(&mut self) -> Result<Vec<RequestId>, CocktailError> {
+        self.clock += 1;
+        let now = self.clock;
+        self.admit(now)?;
+        self.decode_round(now)
+    }
+
+    /// FIFO admission: prepare and admit queue-head requests until one no
+    /// longer fits.
+    fn admit(&mut self, now: usize) -> Result<(), CocktailError> {
+        while let Some(head) = self.scheduler.head() {
+            // Prefill + compress the head request once; the prepared task is
+            // kept across steps so deferral never repeats the prefill.
+            let is_queued = {
+                let slot = self.slots.get(&head).expect("queued request has a slot");
+                matches!(slot.phase, Phase::Queued(_))
+            };
+            if is_queued {
+                let phase = {
+                    let slot = self.slots.get_mut(&head).expect("slot still present");
+                    std::mem::replace(&mut slot.phase, Phase::Failed("preparing".into()))
+                };
+                let Phase::Queued(request) = phase else {
+                    unreachable!("phase checked above");
+                };
+                let policy: Box<dyn CachePolicy> = match request.policy {
+                    Some(policy) => policy,
+                    None => Box::new(CocktailPolicy::new(self.config.clone())?),
+                };
+                let prepared = RequestTask::prepare(
+                    &self.engine,
+                    &self.config,
+                    &request.context,
+                    &request.query,
+                    policy.as_ref(),
+                    request.max_new_tokens,
+                );
+                let slot = self.slots.get_mut(&head).expect("slot still present");
+                match prepared {
+                    Ok(task) => {
+                        slot.stats.context_tokens = task.context_tokens;
+                        slot.stats.query_tokens = task.query_tokens;
+                        slot.stats.cache_bytes = task.cache_bytes;
+                        slot.stats.fp16_cache_bytes = task.fp16_cache_bytes;
+                        slot.stats.timings = task.timings;
+                        slot.phase = Phase::Prepared(Box::new(task));
+                    }
+                    Err(err) => {
+                        slot.stats.finished_step = Some(now);
+                        slot.phase = Phase::Failed(err.to_string());
+                        self.scheduler.drop_head(head);
+                        continue;
+                    }
+                }
+            }
+
+            let slot = self.slots.get_mut(&head).expect("slot still present");
+            let Phase::Prepared(task) = &slot.phase else {
+                unreachable!("head request is prepared at this point");
+            };
+            let tail_tokens = task.max_new_tokens.saturating_sub(1);
+            let reserved = tail_tokens * self.engine.config().kv_bytes_per_token_fp16();
+            let cost = task.cache_bytes() + reserved;
+            match self.scheduler.try_admit(head, cost) {
+                AdmitDecision::Admitted => {
+                    slot.stats.reserved_tail_bytes = reserved;
+                    slot.stats.admitted_step = Some(now);
+                    let phase = std::mem::replace(&mut slot.phase, Phase::Failed(String::new()));
+                    let Phase::Prepared(task) = phase else {
+                        unreachable!("phase checked above");
+                    };
+                    slot.phase = Phase::Running(task);
+                }
+                AdmitDecision::Rejected => {
+                    slot.stats.finished_step = Some(now);
+                    slot.phase = Phase::Failed(format!(
+                        "request needs {cost} KV bytes but the budget is {}",
+                        self.scheduler
+                            .config()
+                            .kv_budget_bytes
+                            .expect("rejection implies a finite budget")
+                    ));
+                }
+                AdmitDecision::DeferredBudget | AdmitDecision::DeferredBatch => break,
+            }
+        }
+        Ok(())
+    }
+
+    /// One decode round: every running request commits its pending token
+    /// and, unless finished, takes one batched decode step.
+    fn decode_round(&mut self, now: usize) -> Result<Vec<RequestId>, CocktailError> {
+        let running = self.scheduler.running();
+        let mut finished = Vec::new();
+        let mut decoding = Vec::new();
+        for id in running {
+            let slot = self.slots.get_mut(&id).expect("running request has a slot");
+            let Phase::Running(task) = &mut slot.phase else {
+                unreachable!("scheduler and slots agree on running requests");
+            };
+            match task.begin_round() {
+                RoundAction::Completed => finished.push(id),
+                RoundAction::Decode { token, pos } => decoding.push((id, token, pos)),
+            }
+        }
+
+        if !decoding.is_empty() {
+            let decode_start = Instant::now();
+            // Admission is FIFO over monotonically increasing ids, so the
+            // scheduler's round-robin order equals id order; pair the
+            // decoding list with one BTreeMap pass to get one mutable slot
+            // borrow per decoding request.
+            decoding.sort_unstable_by_key(|(id, _, _)| *id);
+            let first = decoding.first().map(|(id, _, _)| *id).expect("non-empty");
+            let last = decoding.last().map(|(id, _, _)| *id).expect("non-empty");
+            let mut decode_iter = decoding.iter().peekable();
+            let mut batch_slots: Vec<(&mut Slot, u32, usize)> = Vec::new();
+            // Restrict the pairing scan to the decoding id span so the
+            // per-round cost tracks the running batch, not every
+            // completed/failed slot still awaiting collection.
+            for (id, slot) in self.slots.range_mut(first..=last) {
+                match decode_iter.peek() {
+                    Some(&&(did, token, pos)) if did == *id => {
+                        decode_iter.next();
+                        batch_slots.push((slot, token, pos));
+                    }
+                    Some(_) => {}
+                    None => break,
+                }
+            }
+            let steps = {
+                let mut batch: Vec<DecodeSlot<'_>> = batch_slots
+                    .iter_mut()
+                    .map(|(slot, token, pos)| {
+                        let Phase::Running(task) = &mut slot.phase else {
+                            unreachable!("decoding request is running");
+                        };
+                        DecodeSlot {
+                            token: *token,
+                            pos: *pos,
+                            cache: &mut task.cache,
+                        }
+                    })
+                    .collect();
+                self.engine.decode_step_batch(&mut batch)?
+            };
+            let share_us = (decode_start.elapsed().as_micros() / decoding.len() as u128) as u64;
+            for ((slot, _, _), step) in batch_slots.iter_mut().zip(steps) {
+                let Phase::Running(task) = &mut slot.phase else {
+                    unreachable!("decoding request is running");
+                };
+                task.finish_round(step);
+                task.add_decode_us(share_us);
+                slot.stats.generated_tokens = task.generated.len();
+            }
+        }
+
+        for id in &finished {
+            self.scheduler.complete(*id);
+            let slot = self.slots.get_mut(id).expect("finished request has a slot");
+            let phase = std::mem::replace(&mut slot.phase, Phase::Failed(String::new()));
+            let Phase::Running(task) = phase else {
+                unreachable!("finished request was running");
+            };
+            slot.stats.generated_tokens = task.generated.len();
+            slot.stats.finished_step = Some(now);
+            slot.stats.timings = task.timings;
+            slot.phase = Phase::Completed(Box::new(task.into_outcome(&self.engine)));
+        }
+        Ok(finished)
+    }
+
+    /// Steps the engine until every submitted request has completed or
+    /// failed, then returns the completed outcomes in submission order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CocktailError`] if a decode step fails at the engine
+    /// level.
+    pub fn run_until_idle(&mut self) -> Result<Vec<RequestOutcome>, CocktailError> {
+        while !self.is_idle() {
+            self.step()?;
+        }
+        let completed: Vec<RequestId> = self
+            .slots
+            .iter()
+            .filter(|(_, slot)| matches!(slot.phase, Phase::Completed(_)))
+            .map(|(id, _)| *id)
+            .collect();
+        Ok(completed
+            .into_iter()
+            .filter_map(|id| self.take_outcome(id))
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::CocktailPipeline;
+    use cocktail_baselines::Fp16Policy;
+
+    fn config() -> CocktailConfig {
+        CocktailConfig::default().with_chunk_size(8).unwrap()
+    }
+
+    fn contexts() -> Vec<(String, String)> {
+        (0..4)
+            .map(|i| {
+                let mut lines: Vec<String> = (0..6)
+                    .map(|j| format!("entry {j} of journal {i} reports calm seas and steady winds"))
+                    .collect();
+                lines[2] = format!("important notice the docking code for bay {i} is lantern{i}");
+                (
+                    lines.join(" . "),
+                    format!("what is the docking code for bay {i}?"),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn batched_serving_matches_sequential_pipeline_byte_for_byte() {
+        let pipeline = CocktailPipeline::new(ModelProfile::tiny(), config()).unwrap();
+        let sequential: Vec<CocktailOutcome> = contexts()
+            .iter()
+            .map(|(ctx, q)| pipeline.run(ctx, q, 6).unwrap())
+            .collect();
+
+        let mut serving = ServingEngine::new(ModelProfile::tiny(), config()).unwrap();
+        let ids: Vec<RequestId> = contexts()
+            .iter()
+            .map(|(ctx, q)| serving.submit(ServeRequest::new(ctx.clone(), q.clone(), 6)))
+            .collect();
+        let outcomes = serving.run_until_idle().unwrap();
+
+        assert_eq!(outcomes.len(), sequential.len());
+        for ((outcome, id), seq) in outcomes.iter().zip(&ids).zip(&sequential) {
+            assert_eq!(outcome.id, *id);
+            assert_eq!(outcome.outcome.answer, seq.answer);
+            assert_eq!(outcome.outcome.generated_tokens, seq.generated_tokens);
+            assert_eq!(outcome.outcome.cache_bytes, seq.cache_bytes);
+            assert_eq!(outcome.outcome.report, seq.report);
+        }
+    }
+
+    #[test]
+    fn memory_budget_serializes_admissions() {
+        // Budget for roughly one request at a time: requests must take
+        // turns, and the budget must never be exceeded.
+        let (ctx, q) = &contexts()[0];
+        let mut sizing = ServingEngine::new(ModelProfile::tiny(), config()).unwrap();
+        sizing.submit(ServeRequest::new(ctx.clone(), q.clone(), 4));
+        sizing.step().unwrap();
+        let one_request = sizing.kv_bytes_in_use();
+        assert!(one_request > 0);
+
+        let budget = one_request + one_request / 2; // fits 1, not 2
+        let mut engine = ServingEngine::new(ModelProfile::tiny(), config())
+            .unwrap()
+            .with_scheduler_config(SchedulerConfig::default().with_budget(budget));
+        let ids: Vec<RequestId> = contexts()
+            .iter()
+            .take(3)
+            .map(|(c, q)| engine.submit(ServeRequest::new(c.clone(), q.clone(), 4)))
+            .collect();
+        let mut max_concurrent = 0;
+        while !engine.is_idle() {
+            engine.step().unwrap();
+            assert!(
+                engine.kv_bytes_in_use() <= budget,
+                "budget exceeded: {} > {budget}",
+                engine.kv_bytes_in_use()
+            );
+            max_concurrent = max_concurrent.max(engine.scheduler().running_len());
+        }
+        assert_eq!(max_concurrent, 1, "budget should force serial admission");
+        for id in ids {
+            assert_eq!(engine.state(id), Some(RequestState::Completed));
+            let stats = engine.stats(id).unwrap();
+            assert_eq!(stats.generated_tokens, 4);
+            assert!(stats.admitted_step.is_some());
+            assert!(stats.finished_step.is_some());
+        }
+    }
+
+    #[test]
+    fn oversized_request_fails_and_queue_drains_past_it() {
+        let mut engine = ServingEngine::new(ModelProfile::tiny(), config())
+            .unwrap()
+            .with_scheduler_config(SchedulerConfig::default().with_budget(16));
+        let (ctx, q) = &contexts()[0];
+        let big = engine.submit(ServeRequest::new(ctx.clone(), q.clone(), 4));
+        let outcomes = engine.run_until_idle().unwrap();
+        assert!(outcomes.is_empty());
+        assert_eq!(engine.state(big), Some(RequestState::Failed));
+        assert!(engine.failure(big).unwrap().contains("budget"));
+    }
+
+    #[test]
+    fn invalid_request_fails_without_poisoning_the_engine() {
+        let mut engine = ServingEngine::new(ModelProfile::tiny(), config()).unwrap();
+        let bad = engine.submit(ServeRequest::new("", "question", 4));
+        let (ctx, q) = &contexts()[1];
+        let good = engine.submit(ServeRequest::new(ctx.clone(), q.clone(), 3));
+        let outcomes = engine.run_until_idle().unwrap();
+        assert_eq!(engine.state(bad), Some(RequestState::Failed));
+        assert_eq!(outcomes.len(), 1);
+        assert_eq!(outcomes[0].id, good);
+        assert_eq!(outcomes[0].outcome.generated_tokens.len(), 3);
+        // Failures are evictable so the slot table cannot grow forever.
+        assert!(engine.take_failure(good).is_none());
+        let (message, stats) = engine.take_failure(bad).unwrap();
+        assert!(message.contains("non-empty"));
+        assert_eq!(stats.generated_tokens, 0);
+        assert_eq!(engine.state(bad), None);
+    }
+
+    #[test]
+    fn explicit_policy_is_honoured_per_request() {
+        let mut engine = ServingEngine::new(ModelProfile::tiny(), config()).unwrap();
+        let (ctx, q) = &contexts()[2];
+        let fp16 = engine.submit(
+            ServeRequest::new(ctx.clone(), q.clone(), 3).with_policy(Box::new(Fp16Policy::new())),
+        );
+        let cocktail = engine.submit(ServeRequest::new(ctx.clone(), q.clone(), 3));
+        let outcomes = engine.run_until_idle().unwrap();
+        let by_id = |id: RequestId| outcomes.iter().find(|o| o.id == id).unwrap();
+        assert_eq!(by_id(fp16).outcome.report.policy, "FP16");
+        assert_eq!(by_id(cocktail).outcome.report.policy, "Cocktail");
+        assert!(by_id(cocktail).outcome.cache_bytes < by_id(fp16).outcome.cache_bytes);
+    }
+
+    #[test]
+    fn batch_cap_limits_concurrency() {
+        let mut engine = ServingEngine::new(ModelProfile::tiny(), config())
+            .unwrap()
+            .with_scheduler_config(SchedulerConfig::default().with_max_batch(2));
+        for (ctx, q) in contexts().iter().take(4) {
+            engine.submit(ServeRequest::new(ctx.clone(), q.clone(), 5));
+        }
+        let mut max_concurrent = 0;
+        while !engine.is_idle() {
+            engine.step().unwrap();
+            max_concurrent = max_concurrent.max(engine.scheduler().running_len());
+        }
+        assert_eq!(max_concurrent, 2);
+    }
+
+    #[test]
+    fn zero_token_request_completes_immediately() {
+        let mut engine = ServingEngine::new(ModelProfile::tiny(), config()).unwrap();
+        let (ctx, q) = &contexts()[3];
+        let id = engine.submit(ServeRequest::new(ctx.clone(), q.clone(), 0));
+        let outcomes = engine.run_until_idle().unwrap();
+        assert_eq!(outcomes.len(), 1);
+        assert_eq!(outcomes[0].id, id);
+        assert!(outcomes[0].outcome.generated_tokens.is_empty());
+    }
+
+    #[test]
+    fn continuous_batching_admits_mid_decode() {
+        // Submit one request, start decoding, then submit another: the
+        // second must join while the first is mid-flight, and both must
+        // still match their sequential outcomes.
+        let pipeline = CocktailPipeline::new(ModelProfile::tiny(), config()).unwrap();
+        let ctxs = contexts();
+        let seq_a = pipeline.run(&ctxs[0].0, &ctxs[0].1, 8).unwrap();
+        let seq_b = pipeline.run(&ctxs[1].0, &ctxs[1].1, 8).unwrap();
+
+        let mut engine = ServingEngine::new(ModelProfile::tiny(), config()).unwrap();
+        let a = engine.submit(ServeRequest::new(ctxs[0].0.clone(), ctxs[0].1.clone(), 8));
+        engine.step().unwrap();
+        engine.step().unwrap();
+        assert_eq!(engine.state(a), Some(RequestState::Running));
+        let b = engine.submit(ServeRequest::new(ctxs[1].0.clone(), ctxs[1].1.clone(), 8));
+        let outcomes = engine.run_until_idle().unwrap();
+        let by_id = |id: RequestId| outcomes.iter().find(|o| o.id == id).unwrap();
+        assert_eq!(by_id(a).outcome.generated_tokens, seq_a.generated_tokens);
+        assert_eq!(by_id(b).outcome.generated_tokens, seq_b.generated_tokens);
+        // b was admitted after a (continuous batching, not a fixed batch).
+        assert!(by_id(b).stats.admitted_step > by_id(a).stats.admitted_step);
+    }
+}

@@ -46,6 +46,19 @@ pub struct DecodeStep {
     pub next_token: u32,
 }
 
+/// One request's slot in a batched decode step: the token it is processing,
+/// the token's absolute position in that request's sequence, and the
+/// request's own KV cache.
+#[derive(Debug)]
+pub struct DecodeSlot<'a> {
+    /// Token id to process.
+    pub token: u32,
+    /// Absolute position of `token` within the request's sequence.
+    pub pos: usize,
+    /// The request's chunked KV cache; the token's KV is appended to it.
+    pub cache: &'a mut ChunkedKvCache,
+}
+
 /// A decoder-only transformer inference engine with deterministic seeded
 /// weights and a pluggable chunked KV cache.
 ///
@@ -261,6 +274,10 @@ impl InferenceEngine {
     /// Runs one decode step: processes `token` at absolute position `pos`,
     /// appends its KV to the cache tail and returns the next-token logits.
     ///
+    /// Implemented as a batch of one, so a single-request decode is
+    /// bit-identical to the same request's row of a
+    /// [`InferenceEngine::decode_step_batch`] call.
+    ///
     /// # Errors
     ///
     /// Returns [`ModelError::CacheMismatch`] if the cache layout does not
@@ -272,18 +289,105 @@ impl InferenceEngine {
         pos: usize,
         cache: &mut ChunkedKvCache,
     ) -> Result<DecodeStep, ModelError> {
-        if cache.layers() != self.config.n_layers || cache.kv_heads() != self.config.n_kv_heads {
-            return Err(ModelError::CacheMismatch(format!(
-                "cache has {}x{} slots, model needs {}x{}",
-                cache.layers(),
-                cache.kv_heads(),
-                self.config.n_layers,
-                self.config.n_kv_heads
-            )));
-        }
+        let mut slots = [DecodeSlot { token, pos, cache }];
+        let mut steps = self.decode_step_batch(&mut slots)?;
+        Ok(steps.pop().expect("batch of one yields one step"))
+    }
+
+    /// RoPE-rotates and appends one request's token KV to its cache, then
+    /// computes its decode attention for one layer: the per-request section
+    /// of a batched decode step. The arithmetic is exactly the single-
+    /// request [`InferenceEngine::decode_step`] path, so results never
+    /// depend on the batch composition.
+    fn request_layer_attention(
+        &self,
+        layer_idx: usize,
+        slot: &mut DecodeSlot<'_>,
+        q_row: &Matrix,
+        k_row: &Matrix,
+        v_row: &Matrix,
+    ) -> Result<Matrix, ModelError> {
         let head = self.config.head_dim();
         let scale = self.attention_scale();
-        let mut x = self.embed(&[token])?;
+        // Append this token's KV to every KV-head cache first so the token
+        // attends to itself, as in standard causal decoding.
+        for j in 0..self.config.n_kv_heads {
+            let mut k_j = k_row.slice_cols(j * head, (j + 1) * head);
+            rope_rows(&mut k_j, slot.pos, self.config.rope_theta);
+            let v_j = v_row.slice_cols(j * head, (j + 1) * head);
+            let entry = slot.cache.get_mut(layer_idx, j).ok_or_else(|| {
+                ModelError::CacheMismatch(format!(
+                    "cache slot (layer {layer_idx}, head {j}) is not populated"
+                ))
+            })?;
+            entry.append_decode_token(k_j.row(0), v_j.row(0))?;
+        }
+        let mut head_outputs = Vec::with_capacity(self.config.n_heads);
+        for h in 0..self.config.n_heads {
+            let mut q_h = q_row.slice_cols(h * head, (h + 1) * head);
+            rope_rows(&mut q_h, slot.pos, self.config.rope_theta);
+            let kv_head = h / self.config.gqa_group_size();
+            let entry = slot.cache.get(layer_idx, kv_head).ok_or_else(|| {
+                ModelError::CacheMismatch(format!(
+                    "cache slot (layer {layer_idx}, head {kv_head}) is not populated"
+                ))
+            })?;
+            let attn = entry.attend(&q_h, scale)?;
+            head_outputs.push(attn.output);
+        }
+        let head_refs: Vec<&Matrix> = head_outputs.iter().collect();
+        Matrix::concat_cols(&head_refs).map_err(ModelError::from)
+    }
+
+    /// Runs one decode step for a whole batch of independent requests.
+    ///
+    /// Every slot's token is embedded into one hidden-state matrix (one row
+    /// per request) so the weight-streaming work — the QKV projections, the
+    /// MLP and the LM head, which dominate decode cost — is paid once per
+    /// *batch* rather than once per request. Attention stays per-request,
+    /// since each request owns its cache, and RoPE is applied per row at
+    /// each request's own position; on multi-core hosts the per-request
+    /// attention runs on scoped threads, the request-level parallelism that
+    /// continuous batching exposes. Row `i` of the batch goes through
+    /// exactly the same row-wise arithmetic as a lone
+    /// [`InferenceEngine::decode_step`] call — requests never share state —
+    /// so batching (and threading) never changes any request's logits:
+    /// batched serving is bit-identical to sequential serving.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::CacheMismatch`] if any cache layout does not
+    /// match the model, or [`ModelError::InvalidPrompt`] for an
+    /// out-of-vocabulary token.
+    pub fn decode_step_batch(
+        &self,
+        slots: &mut [DecodeSlot<'_>],
+    ) -> Result<Vec<DecodeStep>, ModelError> {
+        if slots.is_empty() {
+            return Ok(Vec::new());
+        }
+        for slot in slots.iter() {
+            if slot.cache.layers() != self.config.n_layers
+                || slot.cache.kv_heads() != self.config.n_kv_heads
+            {
+                return Err(ModelError::CacheMismatch(format!(
+                    "cache has {}x{} slots, model needs {}x{}",
+                    slot.cache.layers(),
+                    slot.cache.kv_heads(),
+                    self.config.n_layers,
+                    self.config.n_kv_heads
+                )));
+            }
+        }
+        let tokens: Vec<u32> = slots.iter().map(|s| s.token).collect();
+        let mut x = self.embed(&tokens)?;
+        // Worker count for the per-request attention: bounded by the cores
+        // actually available, so a large batch never spawns more threads
+        // than the host can run.
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(slots.len());
 
         for (layer_idx, layer) in self.weights.layers.iter().enumerate() {
             let mut normed = x.clone();
@@ -292,35 +396,60 @@ impl InferenceEngine {
             let k_all = normed.matmul(&layer.wk)?;
             let v_all = normed.matmul(&layer.wv)?;
 
-            // Append this token's KV to every KV-head cache first so that the
-            // token attends to itself, as in standard causal decoding.
-            for j in 0..self.config.n_kv_heads {
-                let mut k_j = k_all.slice_cols(j * head, (j + 1) * head);
-                rope_rows(&mut k_j, pos, self.config.rope_theta);
-                let v_j = v_all.slice_cols(j * head, (j + 1) * head);
-                let slot = cache.get_mut(layer_idx, j).ok_or_else(|| {
-                    ModelError::CacheMismatch(format!(
-                        "cache slot (layer {layer_idx}, head {j}) is not populated"
-                    ))
-                })?;
-                slot.append_decode_token(k_j.row(0), v_j.row(0))?;
-            }
-
-            let mut head_outputs = Vec::with_capacity(self.config.n_heads);
-            for h in 0..self.config.n_heads {
-                let mut q_h = q_all.slice_cols(h * head, (h + 1) * head);
-                rope_rows(&mut q_h, pos, self.config.rope_theta);
-                let kv_head = h / self.config.gqa_group_size();
-                let slot = cache.get(layer_idx, kv_head).ok_or_else(|| {
-                    ModelError::CacheMismatch(format!(
-                        "cache slot (layer {layer_idx}, head {kv_head}) is not populated"
-                    ))
-                })?;
-                let attn = slot.attend(&q_h, scale)?;
-                head_outputs.push(attn.output);
-            }
-            let head_refs: Vec<&Matrix> = head_outputs.iter().collect();
-            let attn = Matrix::concat_cols(&head_refs)?;
+            // Per-request KV append + attention over each request's own
+            // cache. Requests are fully independent, so on multi-core hosts
+            // the batch is split into contiguous chunks, one scoped worker
+            // thread per chunk; the single-threaded loop computes the exact
+            // same per-request results.
+            let attn_results: Vec<Result<Matrix, ModelError>> = if workers > 1 {
+                let chunk_len = slots.len().div_ceil(workers);
+                std::thread::scope(|scope| {
+                    let handles: Vec<_> = slots
+                        .chunks_mut(chunk_len)
+                        .enumerate()
+                        .map(|(chunk_idx, chunk)| {
+                            let q_all = &q_all;
+                            let k_all = &k_all;
+                            let v_all = &v_all;
+                            scope.spawn(move || {
+                                chunk
+                                    .iter_mut()
+                                    .enumerate()
+                                    .map(|(offset, slot)| {
+                                        let i = chunk_idx * chunk_len + offset;
+                                        let q_row = q_all.slice_rows(i, i + 1);
+                                        let k_row = k_all.slice_rows(i, i + 1);
+                                        let v_row = v_all.slice_rows(i, i + 1);
+                                        self.request_layer_attention(
+                                            layer_idx, slot, &q_row, &k_row, &v_row,
+                                        )
+                                    })
+                                    .collect::<Vec<_>>()
+                            })
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .flat_map(|h| h.join().expect("attention thread must not panic"))
+                        .collect()
+                })
+            } else {
+                slots
+                    .iter_mut()
+                    .enumerate()
+                    .map(|(i, slot)| {
+                        let q_row = q_all.slice_rows(i, i + 1);
+                        let k_row = k_all.slice_rows(i, i + 1);
+                        let v_row = v_all.slice_rows(i, i + 1);
+                        self.request_layer_attention(layer_idx, slot, &q_row, &k_row, &v_row)
+                    })
+                    .collect()
+            };
+            let attn_rows = attn_results
+                .into_iter()
+                .collect::<Result<Vec<Matrix>, ModelError>>()?;
+            let attn_refs: Vec<&Matrix> = attn_rows.iter().collect();
+            let attn = Matrix::concat_rows(&attn_refs)?;
             x.add_assign(&attn.matmul(&layer.wo)?)?;
 
             let mut normed2 = x.clone();
@@ -336,12 +465,16 @@ impl InferenceEngine {
 
         rms_norm_rows(&mut x, &self.weights.final_norm, self.config.rms_eps);
         let logits = x.matmul(&self.weights.lm_head)?;
-        let logits_vec = logits.row(0).to_vec();
-        let next_token = argmax(&logits_vec);
-        Ok(DecodeStep {
-            logits: logits_vec,
-            next_token,
-        })
+        Ok((0..slots.len())
+            .map(|i| {
+                let logits_vec = logits.row(i).to_vec();
+                let next_token = argmax(&logits_vec);
+                DecodeStep {
+                    logits: logits_vec,
+                    next_token,
+                }
+            })
+            .collect())
     }
 
     /// Greedy generation of `max_new_tokens` tokens after the prompt, using
@@ -537,6 +670,54 @@ mod tests {
         assert!(out
             .iter()
             .all(|&t| (t as usize) < engine.config().vocab_size));
+    }
+
+    #[test]
+    fn batched_decode_is_bit_identical_to_sequential_decode() {
+        let engine = tiny_engine();
+        let prompts: Vec<Vec<u32>> = (0..3).map(|i| sample_prompt(&engine, 8 + 3 * i)).collect();
+        let prefills: Vec<PrefillOutput> =
+            prompts.iter().map(|p| engine.prefill(p).unwrap()).collect();
+
+        // Sequential: each request decodes alone.
+        let mut seq_steps = Vec::new();
+        for (prompt, prefill) in prompts.iter().zip(&prefills) {
+            let mut cache = engine.build_cache(prefill, 4).unwrap();
+            let step = engine
+                .decode_step(prefill.next_token(), prompt.len(), &mut cache)
+                .unwrap();
+            seq_steps.push((step, cache));
+        }
+
+        // Batched: all three decode in one call.
+        let mut caches: Vec<ChunkedKvCache> = prefills
+            .iter()
+            .map(|p| engine.build_cache(p, 4).unwrap())
+            .collect();
+        let mut slots: Vec<DecodeSlot<'_>> = prefills
+            .iter()
+            .zip(prompts.iter())
+            .zip(caches.iter_mut())
+            .map(|((prefill, prompt), cache)| DecodeSlot {
+                token: prefill.next_token(),
+                pos: prompt.len(),
+                cache,
+            })
+            .collect();
+        let batch_steps = engine.decode_step_batch(&mut slots).unwrap();
+
+        assert_eq!(batch_steps.len(), seq_steps.len());
+        for (i, ((seq, seq_cache), batch)) in seq_steps.iter().zip(&batch_steps).enumerate() {
+            assert_eq!(seq.logits, batch.logits, "request {i} logits diverged");
+            assert_eq!(seq.next_token, batch.next_token);
+            assert_eq!(seq_cache, &caches[i], "request {i} cache diverged");
+        }
+    }
+
+    #[test]
+    fn empty_decode_batch_is_a_no_op() {
+        let engine = tiny_engine();
+        assert!(engine.decode_step_batch(&mut []).unwrap().is_empty());
     }
 
     #[test]

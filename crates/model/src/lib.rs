@@ -42,7 +42,7 @@ mod tokenizer;
 mod weights;
 
 pub use config::ModelConfig;
-pub use engine::{DecodeStep, InferenceEngine, PrefillOutput, RawKv};
+pub use engine::{DecodeSlot, DecodeStep, InferenceEngine, PrefillOutput, RawKv};
 pub use error::ModelError;
 pub use profile::ModelProfile;
 pub use tokenizer::{Tokenizer, BOS_TOKEN, UNK_TOKEN};

@@ -139,6 +139,20 @@ impl Tokenizer {
     /// Decodes token ids back into text. Unknown or folded ids decode to
     /// `"<unk>"`.
     pub fn decode(&self, ids: &[u32]) -> String {
+        self.decode_with_horizon(ids, usize::MAX)
+    }
+
+    /// Decodes token ids using only the first `interned_limit` interned
+    /// words; ids interned later render as `"<unk>"`.
+    ///
+    /// The tokenizer interns words in encounter order, so what `decode`
+    /// renders for an id depends on how much text has been encoded when it
+    /// runs. A multi-request serving engine encodes many requests before
+    /// decoding any of them; passing the value [`Tokenizer::interned_words`]
+    /// had when a request's prompt was encoded pins that request's
+    /// rendering to its own vocabulary view, making the output independent
+    /// of whichever requests happen to share the engine.
+    pub fn decode_with_horizon(&self, ids: &[u32], interned_limit: usize) -> String {
         let state = self.state.lock().expect("tokenizer lock");
         let words: Vec<&str> = ids
             .iter()
@@ -148,9 +162,13 @@ impl Tokenizer {
                 } else if id < RESERVED {
                     "<unk>"
                 } else {
+                    let index = (id - RESERVED) as usize;
+                    if index >= interned_limit {
+                        return "<unk>";
+                    }
                     state
                         .id_to_word
-                        .get((id - RESERVED) as usize)
+                        .get(index)
                         .map(String::as_str)
                         .unwrap_or("<unk>")
                 }

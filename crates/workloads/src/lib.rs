@@ -37,6 +37,8 @@ mod generators;
 pub mod metrics;
 mod task;
 mod text;
+mod traffic;
 
 pub use generators::{TaskGenerator, WorkloadConfig};
 pub use task::{Metric, TaskInstance, TaskKind};
+pub use traffic::{TrafficConfig, TrafficGenerator, TrafficRequest};

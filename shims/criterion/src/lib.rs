@@ -5,10 +5,14 @@
 //! `benchmark_group`, `bench_function`, `bench_with_input`, `BenchmarkId`,
 //! `Bencher::{iter, iter_batched}`, `BatchSize`, `black_box`, and the
 //! `criterion_group!` / `criterion_main!` macros — and really measures:
-//! each benchmark is warmed up, then timed over an adaptive number of
-//! iterations, and a mean ns/iter is printed. There is no statistical
-//! analysis, HTML report, or saved baseline; swap in the real criterion via
-//! the root `Cargo.toml` when network access is available.
+//! each benchmark is warmed up (warm-up iterations are discarded), then
+//! timed over several samples, and mean / median / p95 ns-per-iteration
+//! are printed. The total iteration budget adapts to the benchmark's cost,
+//! or can be pinned with the `COCKTAIL_BENCH_ITERS` environment variable
+//! (total iterations across all samples, minimum one per sample) for
+//! reproducible CI runs. There is no HTML report or saved baseline; swap
+//! in the real criterion via the root `Cargo.toml` when network access is
+//! available.
 
 use std::fmt::Display;
 use std::time::{Duration, Instant};
@@ -20,6 +24,11 @@ pub use std::hint::black_box;
 const MEASURE_BUDGET: Duration = Duration::from_millis(200);
 /// Target wall-clock time spent warming up each benchmark.
 const WARMUP_BUDGET: Duration = Duration::from_millis(50);
+/// Number of timed samples the iteration budget is split into; the
+/// median/p95 statistics are computed over the per-sample means.
+const SAMPLES: usize = 10;
+/// Environment variable overriding the total iteration budget.
+const ITERS_ENV: &str = "COCKTAIL_BENCH_ITERS";
 
 /// The benchmark driver handed to every `criterion_group!` target.
 #[derive(Debug, Default)]
@@ -204,9 +213,63 @@ impl Bencher {
     }
 }
 
+/// Summary statistics of one benchmark's timed samples (per-iteration
+/// nanoseconds).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BenchStats {
+    /// Mean over all timed iterations.
+    pub mean_ns: f64,
+    /// Median of the per-sample means.
+    pub median_ns: f64,
+    /// 95th percentile of the per-sample means.
+    pub p95_ns: f64,
+    /// Total timed iterations (warm-up iterations excluded).
+    pub total_iters: u64,
+    /// Number of timed samples.
+    pub samples: usize,
+}
+
+/// Computes mean/median/p95 from per-sample `(iters, elapsed)` pairs.
+fn summarize(samples: &[(u64, Duration)]) -> BenchStats {
+    let total_iters: u64 = samples.iter().map(|(iters, _)| iters).sum();
+    let total_ns: u128 = samples.iter().map(|(_, d)| d.as_nanos()).sum();
+    let mut per_iter: Vec<f64> = samples
+        .iter()
+        .map(|(iters, d)| d.as_nanos() as f64 / (*iters).max(1) as f64)
+        .collect();
+    per_iter.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
+    let percentile = |q: f64| -> f64 {
+        if per_iter.is_empty() {
+            return 0.0;
+        }
+        let rank = (q * (per_iter.len() - 1) as f64).round() as usize;
+        per_iter[rank.min(per_iter.len() - 1)]
+    };
+    BenchStats {
+        mean_ns: total_ns as f64 / total_iters.max(1) as f64,
+        median_ns: percentile(0.5),
+        p95_ns: percentile(0.95),
+        total_iters,
+        samples: samples.len(),
+    }
+}
+
+/// Total iteration budget: the `COCKTAIL_BENCH_ITERS` override, or an
+/// adaptive budget derived from the warm-up's observed per-iteration cost.
+fn iteration_budget(warmup_per_iter_ns: u128) -> u64 {
+    if let Ok(raw) = std::env::var(ITERS_ENV) {
+        if let Ok(iters) = raw.trim().parse::<u64>() {
+            return iters.max(1);
+        }
+        eprintln!("warning: ignoring unparsable {ITERS_ENV}={raw:?}");
+    }
+    (MEASURE_BUDGET.as_nanos() / warmup_per_iter_ns.max(1)).clamp(1, 100_000) as u64
+}
+
 fn run_one(id: &str, f: &mut dyn FnMut(&mut Bencher)) {
-    // Warm up with single iterations until the warmup budget is spent, and
-    // use the observed cost to size the measurement run.
+    // Warm up with single iterations until the warmup budget is spent;
+    // these iterations are discarded (they absorb cold caches, lazy
+    // allocations and frequency ramp-up) and only size the timed run.
     let warmup_start = Instant::now();
     let mut warmup_iters: u64 = 0;
     let mut bencher = Bencher {
@@ -218,16 +281,31 @@ fn run_one(id: &str, f: &mut dyn FnMut(&mut Bencher)) {
         warmup_iters += 1;
     }
     let per_iter = warmup_start.elapsed().as_nanos().max(1) / u128::from(warmup_iters.max(1));
-    let iters = (MEASURE_BUDGET.as_nanos() / per_iter).clamp(1, 100_000) as u64;
+    let total_iters = iteration_budget(per_iter);
 
-    let mut bencher = Bencher {
-        iters,
-        elapsed: Duration::ZERO,
-    };
-    f(&mut bencher);
-    let total = bencher.elapsed.as_nanos().max(1);
-    let mean_ns = total as f64 / iters as f64;
-    println!("{id:<60} {mean_ns:>14.1} ns/iter  ({iters} iters)");
+    // Split the budget into samples so median/p95 are meaningful; cheap
+    // benchmarks get all `SAMPLES`, expensive ones fewer but never zero.
+    let samples = (total_iters as usize).clamp(1, SAMPLES);
+    let base = total_iters / samples as u64;
+    let remainder = total_iters % samples as u64;
+    let mut timed: Vec<(u64, Duration)> = Vec::with_capacity(samples);
+    for s in 0..samples {
+        let iters = base + u64::from((s as u64) < remainder);
+        if iters == 0 {
+            continue;
+        }
+        let mut bencher = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut bencher);
+        timed.push((iters, bencher.elapsed));
+    }
+    let stats = summarize(&timed);
+    println!(
+        "{id:<60} mean {:>12.1} ns/iter  median {:>12.1}  p95 {:>12.1}  ({} iters, {} samples)",
+        stats.mean_ns, stats.median_ns, stats.p95_ns, stats.total_iters, stats.samples
+    );
 }
 
 /// Declares a benchmark group function, mirroring `criterion_group!`.
@@ -254,6 +332,11 @@ macro_rules! criterion_main {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::Mutex;
+
+    /// Serializes the tests that mutate the process-global `ITERS_ENV`
+    /// variable (the test harness runs tests on parallel threads).
+    static ENV_LOCK: Mutex<()> = Mutex::new(());
 
     #[test]
     fn bench_function_runs_and_times() {
@@ -280,5 +363,59 @@ mod tests {
         assert_eq!(BenchmarkId::new("f", 4).render(), "f/4");
         assert_eq!(BenchmarkId::from_parameter("int4").render(), "int4");
         assert_eq!(BenchmarkId::from("name").render(), "name");
+    }
+
+    #[test]
+    fn summarize_computes_mean_median_p95() {
+        // Ten samples of one iteration each: 10, 20, ..., 100 ns.
+        let samples: Vec<(u64, Duration)> = (1..=10)
+            .map(|i| (1u64, Duration::from_nanos(i * 10)))
+            .collect();
+        let stats = summarize(&samples);
+        assert_eq!(stats.total_iters, 10);
+        assert_eq!(stats.samples, 10);
+        assert!((stats.mean_ns - 55.0).abs() < 1e-9);
+        // Median rank rounds to the 5th of 10 sorted samples (0-indexed 5).
+        assert!((stats.median_ns - 60.0).abs() < 1e-9);
+        assert!((stats.p95_ns - 100.0).abs() < 1e-9);
+        assert!(stats.median_ns <= stats.p95_ns);
+    }
+
+    #[test]
+    fn iteration_budget_respects_env_override() {
+        let _guard = ENV_LOCK.lock().unwrap();
+        // The env var is process-global; restore it afterwards.
+        let saved = std::env::var(ITERS_ENV).ok();
+        std::env::set_var(ITERS_ENV, "37");
+        assert_eq!(iteration_budget(1), 37);
+        std::env::set_var(ITERS_ENV, "not-a-number");
+        assert!(iteration_budget(1_000_000) >= 1);
+        match saved {
+            Some(v) => std::env::set_var(ITERS_ENV, v),
+            None => std::env::remove_var(ITERS_ENV),
+        }
+    }
+
+    #[test]
+    fn warmup_iterations_are_excluded_from_the_timed_count() {
+        let _guard = ENV_LOCK.lock().unwrap();
+        // With a pinned budget of 5 iterations, the timed run must execute
+        // at most 5 + warm-up calls; warm-up stops after the budget or
+        // 1000 calls, so the total call count stays well under the
+        // unpinned 100k ceiling.
+        let saved = std::env::var(ITERS_ENV).ok();
+        std::env::set_var(ITERS_ENV, "5");
+        let mut calls = 0u64;
+        run_one("warmup-discard", &mut |b| b.iter(|| calls += 1));
+        match saved {
+            Some(v) => std::env::set_var(ITERS_ENV, v),
+            None => std::env::remove_var(ITERS_ENV),
+        }
+        assert!(calls >= 5);
+        // Warm-up is capped at 1000 calls.
+        assert!(
+            calls <= 1_005,
+            "timed run leaked warm-up iterations: {calls}"
+        );
     }
 }

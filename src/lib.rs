@@ -55,17 +55,21 @@ pub mod prelude {
         AtomPolicy, CachePolicy, Fp16Policy, KiviPolicy, KvQuantPolicy, PolicyContext, PolicyReport,
     };
     pub use cocktail_core::{
-        BitwidthPlan, ChunkQuantSearch, CocktailConfig, CocktailOutcome, CocktailPipeline,
-        CocktailPolicy,
+        AdmitDecision, BatchScheduler, BitwidthPlan, ChunkQuantSearch, CocktailConfig,
+        CocktailOutcome, CocktailPipeline, CocktailPolicy, PipelineTimings, RequestId,
+        RequestOutcome, RequestState, SchedulerConfig, ServeRequest, ServingEngine, ServingStats,
     };
     pub use cocktail_hwsim::{AcceleratorSpec, DeploymentModel, KvCacheProfile, RequestShape};
     pub use cocktail_kvcache::{
         ChunkPermutation, ChunkSegmentation, ChunkedKvCache, ChunkedLayerCache, KvChunk,
     };
-    pub use cocktail_model::{InferenceEngine, ModelConfig, ModelProfile, Tokenizer};
+    pub use cocktail_model::{DecodeSlot, InferenceEngine, ModelConfig, ModelProfile, Tokenizer};
     pub use cocktail_quant::{Bitwidth, QuantAxis, QuantConfig, QuantizedMatrix};
     pub use cocktail_retrieval::{Bm25, ChunkScorer, ContrieverSim, EncoderKind};
     pub use cocktail_tensor::Matrix;
     pub use cocktail_workloads::eval::{EvalConfig, Evaluator};
-    pub use cocktail_workloads::{TaskGenerator, TaskInstance, TaskKind, WorkloadConfig};
+    pub use cocktail_workloads::{
+        TaskGenerator, TaskInstance, TaskKind, TrafficConfig, TrafficGenerator, TrafficRequest,
+        WorkloadConfig,
+    };
 }

@@ -110,6 +110,102 @@ fn cocktail_keeps_the_ground_truth_relevant_chunks_at_high_precision() {
 }
 
 #[test]
+fn batched_serving_is_byte_identical_to_sequential_pipeline_runs() {
+    // The tentpole guarantee of the serving redesign: N requests served
+    // concurrently by the ServingEngine produce byte-identical answers to
+    // the same N requests run one at a time through CocktailPipeline::run.
+    let config = CocktailConfig::default().with_chunk_size(32).unwrap();
+    let traffic = TrafficGenerator::new(TrafficConfig::small(5), 2718).generate();
+
+    let pipeline = CocktailPipeline::new(ModelProfile::llama2_7b_sim(), config.clone()).unwrap();
+    let sequential: Vec<CocktailOutcome> = traffic
+        .iter()
+        .map(|r| {
+            pipeline
+                .run(&r.task.context, &r.task.query, r.max_new_tokens)
+                .unwrap()
+        })
+        .collect();
+
+    let mut serving = ServingEngine::new(ModelProfile::llama2_7b_sim(), config).unwrap();
+    for request in &traffic {
+        serving.submit(ServeRequest::new(
+            request.task.context.clone(),
+            request.task.query.clone(),
+            request.max_new_tokens,
+        ));
+    }
+    let outcomes = serving.run_until_idle().unwrap();
+
+    assert_eq!(outcomes.len(), sequential.len());
+    for (batched, seq) in outcomes.iter().zip(&sequential) {
+        assert_eq!(batched.outcome.answer, seq.answer);
+        assert_eq!(batched.outcome.generated_tokens, seq.generated_tokens);
+        assert_eq!(batched.outcome.cache_bytes, seq.cache_bytes);
+        assert_eq!(batched.outcome.fp16_cache_bytes, seq.fp16_cache_bytes);
+        assert_eq!(batched.outcome.report, seq.report);
+        assert_eq!(
+            batched
+                .outcome
+                .plan
+                .as_ref()
+                .map(|p| p.assignments().to_vec()),
+            seq.plan.as_ref().map(|p| p.assignments().to_vec()),
+        );
+    }
+}
+
+#[test]
+fn serving_budget_is_enforced_against_measured_compressed_bytes() {
+    // Size the budget from a probe request's measured footprint, then
+    // check that concurrent serving under that budget (a) never exceeds
+    // it, (b) still completes everything, and (c) produces the same
+    // answers as unconstrained serving.
+    let config = CocktailConfig::default().with_chunk_size(32).unwrap();
+    let traffic = TrafficGenerator::new(TrafficConfig::small(4), 99).generate();
+
+    let submit_all = |engine: &mut ServingEngine| {
+        for request in &traffic {
+            engine.submit(ServeRequest::new(
+                request.task.context.clone(),
+                request.task.query.clone(),
+                request.max_new_tokens,
+            ));
+        }
+    };
+
+    let mut unconstrained =
+        ServingEngine::new(ModelProfile::llama2_7b_sim(), config.clone()).unwrap();
+    submit_all(&mut unconstrained);
+    let reference = unconstrained.run_until_idle().unwrap();
+    let per_request: Vec<usize> = reference
+        .iter()
+        .map(|o| o.stats.cache_bytes + o.stats.reserved_tail_bytes)
+        .collect();
+    // Room for two average requests at a time.
+    let budget = (per_request.iter().sum::<usize>() / per_request.len()) * 2;
+
+    let mut constrained = ServingEngine::new(ModelProfile::llama2_7b_sim(), config)
+        .unwrap()
+        .with_scheduler_config(SchedulerConfig::default().with_budget(budget));
+    submit_all(&mut constrained);
+    let mut max_in_use = 0;
+    while !constrained.is_idle() {
+        constrained.step().unwrap();
+        assert!(constrained.kv_bytes_in_use() <= budget);
+        max_in_use = max_in_use.max(constrained.kv_bytes_in_use());
+    }
+    assert!(max_in_use > 0);
+    let completed: Vec<RequestOutcome> = (0..traffic.len() as u64)
+        .filter_map(|raw| constrained.take_outcome(RequestId::new(raw)))
+        .collect();
+    assert_eq!(completed.len(), reference.len());
+    for (constrained, unconstrained) in completed.iter().zip(&reference) {
+        assert_eq!(constrained.outcome.answer, unconstrained.outcome.answer);
+    }
+}
+
+#[test]
 fn int8_uniform_cache_preserves_greedy_generation_of_the_sim_model() {
     // A fidelity check through the real transformer: INT8-quantizing the
     // whole cache should rarely change the greedy continuation.
