@@ -15,5 +15,6 @@ fn main() {
     experiments::fig6_throughput();
     experiments::fig7_alpha_beta(INSTANCES_PER_CELL);
     experiments::serving_throughput();
+    experiments::ttft_prefix_reuse();
     println!("\nAll experiments complete; JSON records are under results/.");
 }

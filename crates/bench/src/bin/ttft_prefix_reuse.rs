@@ -1,0 +1,62 @@
+//! Measures time-to-first-token under shared-prefix traffic and *enforces*
+//! the prefix-reuse acceptance criterion: with >= 2 requests per prefix
+//! group, the mean TTFT of prefix-reusing requests must be strictly below
+//! the mean TTFT of cold requests, every follower must actually reuse
+//! cached tokens, and every answer must be byte-identical to a cold run
+//! (the experiment itself panics on divergence). Exits non-zero when the
+//! criterion fails, so CI catches prefix-cache regressions.
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let report = cocktail_bench::experiments::ttft_prefix_reuse();
+    let mut ok = true;
+    if report.requests_per_group < 2 {
+        eprintln!(
+            "FAIL: the experiment must run >= 2 requests per prefix group, got {}",
+            report.requests_per_group
+        );
+        ok = false;
+    }
+    for group in 0..report.groups {
+        let warm = report
+            .rows
+            .iter()
+            .filter(|r| r.group == group && !r.cold)
+            .count();
+        if warm == 0 {
+            eprintln!("FAIL: prefix group {group} never reused its cached prefix");
+            ok = false;
+        }
+    }
+    for row in report.rows.iter().filter(|r| !r.cold) {
+        if row.prefix_reused_tokens == 0 {
+            eprintln!(
+                "FAIL: request {} is marked warm but reused no tokens",
+                row.request
+            );
+            ok = false;
+        }
+    }
+    // NaN (empty cold/warm sets) must also fail, so compare negatively.
+    if report
+        .warm_mean_ttft_us
+        .partial_cmp(&report.cold_mean_ttft_us)
+        != Some(std::cmp::Ordering::Less)
+    {
+        eprintln!(
+            "FAIL: reused-prefix TTFT ({:.0} us) is not strictly below cold TTFT ({:.0} us)",
+            report.warm_mean_ttft_us, report.cold_mean_ttft_us
+        );
+        ok = false;
+    }
+    if ok {
+        println!(
+            "OK: prefix reuse cut mean TTFT to {:.0} us from {:.0} us cold ({:.2}x), \
+             byte-identically",
+            report.warm_mean_ttft_us, report.cold_mean_ttft_us, report.warm_over_cold
+        );
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

@@ -22,13 +22,16 @@
 //!   baselines, and [`CocktailPipeline`] runs the whole flow
 //!   (tokenize → prefill → search → reorder+quantize → decode) on a
 //!   simulated model.
-//! * The **serving layer** ([`ServingEngine`], [`BatchScheduler`]) answers
-//!   many requests concurrently with continuous batching: a FIFO scheduler
-//!   admits requests under a KV-memory budget measured in *compressed*
-//!   bytes (so Cocktail's compression buys batch capacity), and every
-//!   engine step decodes one token for the whole running batch through a
-//!   single batched decode call. Batched serving is byte-identical to
-//!   running the same requests sequentially through [`CocktailPipeline`].
+//! * The **serving layer** ([`ServingEngine`], [`BatchScheduler`],
+//!   [`PrefixCache`]) answers many requests concurrently with continuous
+//!   batching: a FIFO scheduler admits requests under a KV-memory budget
+//!   measured in *compressed* bytes (so Cocktail's compression buys batch
+//!   capacity), admission prefills arriving prompts in one batched pass —
+//!   reusing refcounted shared-prefix KV blocks for contexts that repeat —
+//!   and every engine step decodes one token for the whole running batch
+//!   through a single batched decode call. Batched, prefix-reusing serving
+//!   is byte-identical to running the same requests sequentially through
+//!   [`CocktailPipeline`].
 //!
 //! # Example
 //!
@@ -59,6 +62,7 @@ mod config;
 mod error;
 mod pipeline;
 mod policy;
+mod prefix;
 pub mod reorder;
 mod scheduler;
 pub mod search;
@@ -68,6 +72,9 @@ pub use config::CocktailConfig;
 pub use error::CocktailError;
 pub use pipeline::{CocktailOutcome, CocktailPipeline, PipelineTimings};
 pub use policy::CocktailPolicy;
-pub use scheduler::{AdmitDecision, BatchScheduler, RequestId, SchedulerConfig};
+pub use prefix::{PrefixCache, PrefixCacheConfig, PrefixCacheStats};
+pub use scheduler::{
+    AdmitDecision, BatchScheduler, RequestId, SchedulerConfig, DEFAULT_PREFILL_WINDOW,
+};
 pub use search::{BitwidthPlan, ChunkQuantSearch};
 pub use serving::{RequestOutcome, RequestState, ServeRequest, ServingEngine, ServingStats};

@@ -1,0 +1,377 @@
+//! The serving-side prefix cache: longest-common-prefix reuse of prefill
+//! work across requests.
+//!
+//! Real traffic is full of requests that open with the same tokens — a
+//! system prompt, a shared document, a few-shot preamble. The
+//! [`PrefixCache`] maps encoded context token sequences to the raw
+//! [`SharedPrefixKv`] blocks their prefill produced, so a later request
+//! whose context starts with a cached sequence clones refcounted block
+//! handles instead of re-running the (quadratic) prefill attention over the
+//! shared part. Entries are charged once against the serving KV budget —
+//! however many in-flight requests reference them — and evicted LRU when
+//! the budget tightens, skipping entries still pinned by an in-flight
+//! prefill.
+//!
+//! The structure is a longest-common-prefix map rather than a token trie:
+//! entries are whole context sequences, lookups scan for the entry with the
+//! longest common prefix, and an entry that is a strict prefix of a newly
+//! inserted one is subsumed by it. With the small entry counts a single
+//! serving engine holds (tens, not millions) the linear scan is cheaper
+//! than maintaining trie nodes, and divergent branches simply hold their
+//! own blocks.
+
+use cocktail_kvcache::SharedPrefixKv;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the [`PrefixCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PrefixCacheConfig {
+    /// Maximum number of resident entries; LRU-evicted beyond this.
+    pub max_entries: usize,
+    /// Minimum number of matching leading tokens before a cached prefix is
+    /// reused (tiny matches are not worth the bookkeeping).
+    pub min_prefix_tokens: usize,
+}
+
+impl PrefixCacheConfig {
+    /// Returns a copy with a different entry cap.
+    pub fn with_max_entries(mut self, max_entries: usize) -> Self {
+        self.max_entries = max_entries.max(1);
+        self
+    }
+
+    /// Returns a copy with a different reuse threshold.
+    pub fn with_min_prefix_tokens(mut self, tokens: usize) -> Self {
+        self.min_prefix_tokens = tokens.max(1);
+        self
+    }
+}
+
+impl Default for PrefixCacheConfig {
+    fn default() -> Self {
+        Self {
+            max_entries: 32,
+            min_prefix_tokens: 8,
+        }
+    }
+}
+
+/// Counters and occupancy of a [`PrefixCache`], serializable into
+/// experiment records.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PrefixCacheStats {
+    /// Resident entries.
+    pub entries: usize,
+    /// Bytes of resident shared blocks (what the scheduler is charged).
+    pub resident_bytes: usize,
+    /// Lookups that found a reusable prefix.
+    pub hits: u64,
+    /// Lookups that found nothing (or a match below the reuse threshold).
+    pub misses: u64,
+    /// Entries inserted.
+    pub insertions: u64,
+    /// Entries evicted (LRU) or subsumed by a longer entry.
+    pub evictions: u64,
+    /// Total prompt tokens served from cached blocks instead of being
+    /// re-prefilled.
+    pub reused_tokens: u64,
+}
+
+#[derive(Debug)]
+struct PrefixEntry {
+    tokens: Vec<u32>,
+    kv: SharedPrefixKv,
+    last_used: u64,
+}
+
+/// Length of the common prefix of two token sequences.
+pub(crate) fn common_prefix_len(a: &[u32], b: &[u32]) -> usize {
+    a.iter().zip(b.iter()).take_while(|(x, y)| x == y).count()
+}
+
+/// A longest-common-prefix map from context token sequences to shared
+/// prefill KV blocks.
+///
+/// # Example
+///
+/// ```
+/// use cocktail_core::{PrefixCache, PrefixCacheConfig};
+/// use cocktail_kvcache::{PrefixKvBlock, SharedPrefixKv};
+/// use cocktail_tensor::rng::gaussian_matrix;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let kv = SharedPrefixKv::from_blocks(
+///     1,
+///     1,
+///     vec![PrefixKvBlock::new(
+///         gaussian_matrix(12, 4, 1.0, 1),
+///         gaussian_matrix(12, 4, 1.0, 2),
+///     )?],
+/// )?;
+/// let mut cache = PrefixCache::new(PrefixCacheConfig::default());
+/// let tokens: Vec<u32> = (0..12).collect();
+/// cache.insert(tokens.clone(), kv);
+/// // A request sharing the first 10 tokens reuses them from the cache.
+/// let request: Vec<u32> = tokens[..10].iter().copied().chain([99, 98]).collect();
+/// let (_blocks, reused) = cache.lookup(&request).expect("prefix hit");
+/// assert_eq!(reused, 10);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct PrefixCache {
+    config: PrefixCacheConfig,
+    entries: Vec<PrefixEntry>,
+    clock: u64,
+    stats: PrefixCacheStats,
+}
+
+impl PrefixCache {
+    /// Creates an empty cache.
+    pub fn new(config: PrefixCacheConfig) -> Self {
+        Self {
+            config,
+            entries: Vec::new(),
+            clock: 0,
+            stats: PrefixCacheStats::default(),
+        }
+    }
+
+    /// The cache configuration.
+    pub fn config(&self) -> &PrefixCacheConfig {
+        &self.config
+    }
+
+    /// Number of resident entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Bytes of all resident shared blocks — the amount a KV budget should
+    /// be charged for the cache.
+    pub fn total_bytes(&self) -> usize {
+        self.entries.iter().map(|e| e.kv.storage_bytes()).sum()
+    }
+
+    /// Current counters and occupancy.
+    pub fn stats(&self) -> PrefixCacheStats {
+        PrefixCacheStats {
+            entries: self.len(),
+            resident_bytes: self.total_bytes(),
+            ..self.stats
+        }
+    }
+
+    /// Whether some entry's tokens start with `tokens` (so inserting
+    /// `tokens` would add nothing).
+    pub fn covers(&self, tokens: &[u32]) -> bool {
+        self.entries
+            .iter()
+            .any(|e| e.tokens.len() >= tokens.len() && e.tokens.starts_with(tokens))
+    }
+
+    /// The longest common prefix any entry shares with `tokens`, without
+    /// touching LRU stamps or hit/miss counters — a probe for planning
+    /// (e.g. deciding which admission pass a request belongs to) ahead of
+    /// the real [`PrefixCache::lookup`].
+    pub fn peek_prefix_len(&self, tokens: &[u32]) -> usize {
+        self.entries
+            .iter()
+            .map(|e| common_prefix_len(&e.tokens, tokens))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Finds the entry sharing the longest common prefix with `tokens` (at
+    /// least the configured minimum), bumps its LRU stamp, and returns a
+    /// cloned — refcount-bumped, not copied — block handle together with
+    /// the number of reusable leading tokens.
+    pub fn lookup(&mut self, tokens: &[u32]) -> Option<(SharedPrefixKv, usize)> {
+        let best = self
+            .entries
+            .iter_mut()
+            .map(|e| {
+                let lcp = common_prefix_len(&e.tokens, tokens);
+                (lcp, e)
+            })
+            .max_by_key(|(lcp, _)| *lcp);
+        match best {
+            Some((lcp, entry)) if lcp >= self.config.min_prefix_tokens => {
+                self.clock += 1;
+                entry.last_used = self.clock;
+                self.stats.hits += 1;
+                self.stats.reused_tokens += lcp as u64;
+                Some((entry.kv.clone(), lcp))
+            }
+            _ => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts the blocks of one context token sequence.
+    ///
+    /// If an existing entry already covers `tokens` (its sequence starts
+    /// with them) the insert is a no-op beyond touching that entry's LRU
+    /// stamp. Existing entries that are strict prefixes of `tokens` are
+    /// subsumed (removed) — the new, longer entry serves every lookup they
+    /// could. Beyond `max_entries`, least-recently-used unpinned entries
+    /// are evicted.
+    pub fn insert(&mut self, tokens: Vec<u32>, kv: SharedPrefixKv) {
+        self.clock += 1;
+        let clock = self.clock;
+        if let Some(existing) = self
+            .entries
+            .iter_mut()
+            .find(|e| e.tokens.len() >= tokens.len() && e.tokens.starts_with(&tokens))
+        {
+            existing.last_used = clock;
+            return;
+        }
+        let before = self.entries.len();
+        self.entries
+            .retain(|e| !(e.tokens.len() < tokens.len() && tokens.starts_with(&e.tokens)));
+        self.stats.evictions += (before - self.entries.len()) as u64;
+        self.entries.push(PrefixEntry {
+            tokens,
+            kv,
+            last_used: clock,
+        });
+        self.stats.insertions += 1;
+        while self.entries.len() > self.config.max_entries {
+            if self.evict_lru_unpinned().is_none() {
+                break; // everything is pinned; allow temporary overflow
+            }
+        }
+    }
+
+    /// Evicts the least-recently-used entry whose blocks no in-flight
+    /// prefill still references, returning the bytes freed.
+    pub fn evict_lru_unpinned(&mut self) -> Option<usize> {
+        let idx = self
+            .entries
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| !e.kv.is_pinned())
+            .min_by_key(|(_, e)| e.last_used)
+            .map(|(i, _)| i)?;
+        let entry = self.entries.remove(idx);
+        self.stats.evictions += 1;
+        Some(entry.kv.storage_bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cocktail_kvcache::PrefixKvBlock;
+    use cocktail_tensor::rng::gaussian_matrix;
+
+    fn kv(tokens: usize, seed: u64) -> SharedPrefixKv {
+        SharedPrefixKv::from_blocks(
+            1,
+            1,
+            vec![PrefixKvBlock::new(
+                gaussian_matrix(tokens, 4, 1.0, seed),
+                gaussian_matrix(tokens, 4, 1.0, seed + 500),
+            )
+            .unwrap()],
+        )
+        .unwrap()
+    }
+
+    fn seq(start: u32, len: usize) -> Vec<u32> {
+        (start..start + len as u32).collect()
+    }
+
+    fn small_cache() -> PrefixCache {
+        PrefixCache::new(PrefixCacheConfig::default().with_min_prefix_tokens(4))
+    }
+
+    #[test]
+    fn lookup_returns_longest_common_prefix() {
+        let mut cache = small_cache();
+        cache.insert(seq(0, 10), kv(10, 1));
+        let mut other = seq(0, 6);
+        other.extend(seq(100, 6)); // shares 6 tokens then diverges
+        cache.insert(other.clone(), kv(12, 2));
+
+        let mut query = seq(0, 8);
+        query.push(999);
+        let (_, reused) = cache.lookup(&query).unwrap();
+        assert_eq!(reused, 8, "the 10-token entry shares 8 leading tokens");
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.reused_tokens, 8);
+    }
+
+    #[test]
+    fn short_matches_are_misses() {
+        let mut cache = small_cache();
+        cache.insert(seq(0, 10), kv(10, 1));
+        let mut query = seq(0, 3); // below min_prefix_tokens = 4
+        query.extend(seq(50, 8));
+        assert!(cache.lookup(&query).is_none());
+        assert!(cache.lookup(&seq(200, 10)).is_none());
+        assert_eq!(cache.stats().misses, 2);
+    }
+
+    #[test]
+    fn insert_subsumes_strict_prefixes_and_skips_covered() {
+        let mut cache = small_cache();
+        cache.insert(seq(0, 6), kv(6, 1));
+        assert!(cache.covers(&seq(0, 6)));
+        assert!(cache.covers(&seq(0, 4)));
+        // Longer sequence subsumes the shorter entry.
+        cache.insert(seq(0, 12), kv(12, 2));
+        assert_eq!(cache.len(), 1);
+        assert!(cache.covers(&seq(0, 12)));
+        // Inserting something already covered is a no-op.
+        cache.insert(seq(0, 9), kv(9, 3));
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.stats().insertions, 2);
+    }
+
+    #[test]
+    fn lru_eviction_skips_pinned_entries() {
+        let mut cache = PrefixCache::new(
+            PrefixCacheConfig::default()
+                .with_min_prefix_tokens(4)
+                .with_max_entries(2),
+        );
+        cache.insert(seq(0, 8), kv(8, 1));
+        cache.insert(seq(100, 8), kv(8, 2));
+        // Pin the older entry by holding a handle to it.
+        let (pinned, _) = cache.lookup(&seq(0, 8)).unwrap();
+        // Now entry(100..) is the LRU and unpinned: the third insert evicts
+        // it, not the pinned one.
+        cache.insert(seq(200, 8), kv(8, 3));
+        assert_eq!(cache.len(), 2);
+        assert!(cache.covers(&seq(0, 8)), "pinned entry must survive");
+        assert!(!cache.covers(&seq(100, 8)));
+        drop(pinned);
+        let freed = cache.evict_lru_unpinned().unwrap();
+        assert!(freed > 0);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn total_bytes_tracks_entries() {
+        let mut cache = small_cache();
+        assert_eq!(cache.total_bytes(), 0);
+        cache.insert(seq(0, 8), kv(8, 1));
+        let one = cache.total_bytes();
+        assert_eq!(one, 2 * 8 * 4 * 4); // k+v, 8 tokens, dim 4, f32
+        cache.insert(seq(100, 8), kv(8, 2));
+        assert_eq!(cache.total_bytes(), 2 * one);
+        cache.evict_lru_unpinned().unwrap();
+        assert_eq!(cache.total_bytes(), one);
+        assert_eq!(cache.stats().resident_bytes, one);
+    }
+}

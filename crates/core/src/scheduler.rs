@@ -48,12 +48,25 @@ impl fmt::Display for RequestId {
 pub struct SchedulerConfig {
     /// KV-memory budget in bytes shared by all admitted requests, or `None`
     /// for an unlimited budget. Costs are measured *compressed* bytes, so a
-    /// stronger quantization policy admits more concurrent requests.
+    /// stronger quantization policy admits more concurrent requests. When a
+    /// prefix cache is enabled, its resident shared blocks are charged
+    /// against the same budget (once per entry, however many requests
+    /// reference it).
     pub kv_budget_bytes: Option<usize>,
     /// Maximum number of concurrently running requests, regardless of
     /// memory (a kernel/occupancy cap in real deployments).
     pub max_batch: usize,
+    /// Up to this many queued requests are prefilled together in one
+    /// batched prefill pass during admission (amortizing weight streaming
+    /// across the newly arriving prompts). Each prepared-but-deferred
+    /// request keeps its compressed cache resident until admitted, so this
+    /// also bounds how many prepared caches can sit outside the budget at
+    /// once.
+    pub prefill_window: usize,
 }
+
+/// Default number of requests prefilled together during admission.
+pub const DEFAULT_PREFILL_WINDOW: usize = 4;
 
 impl SchedulerConfig {
     /// Unlimited memory and a practically unlimited batch.
@@ -61,6 +74,7 @@ impl SchedulerConfig {
         Self {
             kv_budget_bytes: None,
             max_batch: usize::MAX,
+            prefill_window: DEFAULT_PREFILL_WINDOW,
         }
     }
 
@@ -73,6 +87,14 @@ impl SchedulerConfig {
     /// Returns a copy with the given batch cap.
     pub fn with_max_batch(mut self, max_batch: usize) -> Self {
         self.max_batch = max_batch.max(1);
+        self
+    }
+
+    /// Returns a copy with the given batched-prefill window (clamped to at
+    /// least 1; a window of 1 reproduces strictly sequential admission
+    /// prefills).
+    pub fn with_prefill_window(mut self, window: usize) -> Self {
+        self.prefill_window = window.max(1);
         self
     }
 }
@@ -128,7 +150,8 @@ pub struct BatchScheduler {
     config: SchedulerConfig,
     queue: VecDeque<RequestId>,
     running: Vec<(RequestId, usize)>,
-    used_bytes: usize,
+    request_bytes: usize,
+    shared_bytes: usize,
 }
 
 impl BatchScheduler {
@@ -138,7 +161,8 @@ impl BatchScheduler {
             config,
             queue: VecDeque::new(),
             running: Vec::new(),
-            used_bytes: 0,
+            request_bytes: 0,
+            shared_bytes: 0,
         }
     }
 
@@ -179,16 +203,21 @@ impl BatchScheduler {
                 self.queue.pop_front();
                 return AdmitDecision::Rejected;
             }
-            if self.used_bytes + cost_bytes > budget {
-                return AdmitDecision::DeferredBudget;
-            }
         }
+        // The batch cap is checked before the budget: a DeferredBudget
+        // verdict invites the caller to free memory (e.g. evict shared
+        // prefix blocks), which is pointless while the batch is full.
         if self.running.len() >= self.config.max_batch {
             return AdmitDecision::DeferredBatch;
         }
+        if let Some(budget) = self.config.kv_budget_bytes {
+            if self.used_bytes() + cost_bytes > budget {
+                return AdmitDecision::DeferredBudget;
+            }
+        }
         self.queue.pop_front();
         self.running.push((id, cost_bytes));
-        self.used_bytes += cost_bytes;
+        self.request_bytes += cost_bytes;
         AdmitDecision::Admitted
     }
 
@@ -219,13 +248,18 @@ impl BatchScheduler {
             .position(|(r, _)| *r == id)
             .expect("completed request must be running");
         let (_, cost) = self.running.remove(idx);
-        self.used_bytes -= cost;
+        self.request_bytes -= cost;
     }
 
     /// Ids of the running requests in admission order (the round-robin
     /// decode order).
     pub fn running(&self) -> Vec<RequestId> {
         self.running.iter().map(|(id, _)| *id).collect()
+    }
+
+    /// Ids of the queued requests in FIFO order (head first).
+    pub fn queued_ids(&self) -> Vec<RequestId> {
+        self.queue.iter().copied().collect()
     }
 
     /// Number of running requests.
@@ -238,16 +272,43 @@ impl BatchScheduler {
         self.queue.len()
     }
 
-    /// Bytes currently charged against the budget.
+    /// Bytes currently charged against the budget: admitted request costs
+    /// plus resident shared prefix-cache blocks.
     pub fn used_bytes(&self) -> usize {
-        self.used_bytes
+        self.request_bytes + self.shared_bytes
+    }
+
+    /// Bytes charged for admitted requests only.
+    pub fn request_bytes(&self) -> usize {
+        self.request_bytes
+    }
+
+    /// Bytes charged for shared prefix-cache blocks.
+    pub fn shared_bytes(&self) -> usize {
+        self.shared_bytes
+    }
+
+    /// Replaces the shared-block charge with the prefix cache's current
+    /// resident footprint. Shared blocks are charged *once* regardless of
+    /// how many requests reference them; the owner (the serving engine)
+    /// reports the cache's total after every insertion or eviction.
+    pub fn set_shared_bytes(&mut self, bytes: usize) {
+        self.shared_bytes = bytes;
+    }
+
+    /// Whether `additional` more shared bytes would still fit the budget
+    /// alongside everything currently charged.
+    pub fn would_fit_shared(&self, additional: usize) -> bool {
+        self.config
+            .kv_budget_bytes
+            .map_or(true, |budget| self.used_bytes() + additional <= budget)
     }
 
     /// Bytes still available under the budget (`None` when unlimited).
     pub fn remaining_bytes(&self) -> Option<usize> {
         self.config
             .kv_budget_bytes
-            .map(|b| b.saturating_sub(self.used_bytes))
+            .map(|b| b.saturating_sub(self.used_bytes()))
     }
 
     /// Whether the scheduler has no queued or running requests.
@@ -265,7 +326,59 @@ mod tests {
         BatchScheduler::new(SchedulerConfig {
             kv_budget_bytes: budget,
             max_batch,
+            prefill_window: DEFAULT_PREFILL_WINDOW,
         })
+    }
+
+    #[test]
+    fn shared_bytes_count_against_the_budget() {
+        let mut s = scheduler(Some(100), usize::MAX);
+        assert!(s.would_fit_shared(100));
+        assert!(!s.would_fit_shared(101));
+        s.set_shared_bytes(40);
+        assert_eq!(s.shared_bytes(), 40);
+        assert_eq!(s.used_bytes(), 40);
+        assert_eq!(s.remaining_bytes(), Some(60));
+        assert!(s.would_fit_shared(20));
+        assert!(!s.would_fit_shared(61));
+
+        let id = RequestId::new(0);
+        s.enqueue(id);
+        // 70 request bytes + 40 shared would exceed 100: deferred, not
+        // rejected (eviction could free the shared charge).
+        assert_eq!(s.try_admit(id, 70), AdmitDecision::DeferredBudget);
+        s.set_shared_bytes(10);
+        assert_eq!(s.try_admit(id, 70), AdmitDecision::Admitted);
+        assert_eq!(s.used_bytes(), 80);
+        assert_eq!(s.request_bytes(), 70);
+        s.complete(id);
+        assert_eq!(s.used_bytes(), 10);
+    }
+
+    #[test]
+    fn full_batch_wins_over_tight_budget_in_deferral_verdicts() {
+        let mut s = scheduler(Some(100), 1);
+        let a = RequestId::new(0);
+        let b = RequestId::new(1);
+        s.enqueue(a);
+        s.enqueue(b);
+        assert_eq!(s.try_admit(a, 60), AdmitDecision::Admitted);
+        // b is blocked by both the batch cap and the budget; the cap
+        // verdict must win so callers don't evict shared memory they could
+        // not use anyway.
+        assert_eq!(s.try_admit(b, 60), AdmitDecision::DeferredBatch);
+        s.complete(a);
+        assert_eq!(s.try_admit(b, 60), AdmitDecision::Admitted);
+    }
+
+    #[test]
+    fn prefill_window_is_clamped_to_one() {
+        let config = SchedulerConfig::default().with_prefill_window(0);
+        assert_eq!(config.prefill_window, 1);
+        assert_eq!(
+            SchedulerConfig::default().prefill_window,
+            DEFAULT_PREFILL_WINDOW
+        );
     }
 
     #[test]

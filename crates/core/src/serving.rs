@@ -18,17 +18,37 @@
 //! single-request decode, batched serving returns byte-identical answers to
 //! running the same requests sequentially — only faster, since the weight
 //! streaming of each decode step is amortized over the batch.
+//!
+//! Admission itself is batched and prefix-aware. Up to
+//! [`SchedulerConfig::prefill_window`](crate::SchedulerConfig) queued
+//! prompts are prefilled together through one
+//! [`prefill_batch`](cocktail_model::InferenceEngine::prefill_batch) call,
+//! amortizing QKV/MLP weight streaming over the arriving prompts exactly as
+//! the decode path does over the running batch. With
+//! [`ServingEngine::with_prefix_cache`] enabled, requests whose context
+//! starts with a previously served context reuse the cached prefix KV
+//! blocks instead of re-prefilling them — refcounted, charged once against
+//! the scheduler's KV budget, and evicted LRU when the budget tightens.
+//! Both optimizations are bit-exact: prefill is causal and row-wise, so a
+//! batched or prefix-resumed prefill produces byte-identical outputs to a
+//! cold sequential one (asserted by tests and property tests).
 
 use crate::config::CocktailConfig;
 use crate::error::CocktailError;
 use crate::pipeline::{CocktailOutcome, PipelineTimings};
 use crate::policy::CocktailPolicy;
+use crate::prefix::{common_prefix_len, PrefixCache, PrefixCacheConfig, PrefixCacheStats};
 use crate::scheduler::{AdmitDecision, BatchScheduler, RequestId, SchedulerConfig};
 use crate::search::BitwidthPlan;
 use cocktail_baselines::{CachePolicy, PolicyContext, PolicyReport};
-use cocktail_kvcache::{ChunkSegmentation, ChunkedKvCache, ChunkedLayerCache};
-use cocktail_model::{DecodeSlot, DecodeStep, InferenceEngine, ModelProfile, PrefillOutput};
+use cocktail_kvcache::{
+    ChunkSegmentation, ChunkedKvCache, ChunkedLayerCache, PrefixKvBlock, SharedPrefixKv,
+};
+use cocktail_model::{
+    BatchPrefill, DecodeSlot, DecodeStep, InferenceEngine, ModelProfile, PrefillSlot,
+};
 use cocktail_retrieval::chunking;
+use cocktail_tensor::Matrix;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
@@ -121,6 +141,9 @@ pub struct ServingStats {
     pub fp16_cache_bytes: usize,
     /// Bytes reserved up front for the FP16 decode tail.
     pub reserved_tail_bytes: usize,
+    /// Prompt tokens whose KV was reused from the shared prefix cache
+    /// instead of being re-prefilled (0 for a cold prefill).
+    pub prefix_reused_tokens: usize,
     /// Engine step at which the request was submitted.
     pub submitted_step: usize,
     /// Engine step at which the scheduler admitted it (None while queued).
@@ -176,17 +199,18 @@ pub(crate) struct RequestTask {
     timings: PipelineTimings,
 }
 
-impl RequestTask {
-    /// Tokenizes, prefills and compresses one request — the exact
-    /// pre-decode half of the original `CocktailPipeline::run_with_policy`.
-    pub(crate) fn prepare(
-        engine: &InferenceEngine,
-        config: &CocktailConfig,
-        context: &str,
-        query: &str,
-        policy: &dyn CachePolicy,
-        max_new_tokens: usize,
-    ) -> Result<Self, CocktailError> {
+/// The encoded prompt of one request, with the tokenizer's interning
+/// horizon captured right after encoding (see [`RequestTask`]).
+pub(crate) struct EncodedPrompt {
+    context_tokens: Vec<u32>,
+    query_tokens: Vec<u32>,
+    prompt: Vec<u32>,
+    vocab_horizon: usize,
+}
+
+impl EncodedPrompt {
+    /// Tokenizes and validates one request's context and query.
+    fn encode(engine: &InferenceEngine, context: &str, query: &str) -> Result<Self, CocktailError> {
         let tokenizer = engine.tokenizer();
         let context_tokens = tokenizer.encode(context);
         let query_tokens = tokenizer.encode(query);
@@ -198,15 +222,88 @@ impl RequestTask {
         }
         let mut prompt = context_tokens.clone();
         prompt.extend_from_slice(&query_tokens);
+        let max_context = engine.config().max_context;
+        if prompt.len() > max_context {
+            return Err(CocktailError::InvalidInput(format!(
+                "prompt of {} tokens exceeds max context {max_context}",
+                prompt.len()
+            )));
+        }
+        Ok(Self {
+            context_tokens,
+            query_tokens,
+            prompt,
+            vocab_horizon,
+        })
+    }
+}
 
+impl RequestTask {
+    /// Tokenizes, prefills and compresses one request — the exact
+    /// pre-decode half of the original `CocktailPipeline::run_with_policy`,
+    /// as a cold batch of one.
+    pub(crate) fn prepare(
+        engine: &InferenceEngine,
+        config: &CocktailConfig,
+        context: &str,
+        query: &str,
+        policy: &dyn CachePolicy,
+        max_new_tokens: usize,
+    ) -> Result<Self, CocktailError> {
+        let encoded = EncodedPrompt::encode(engine, context, query)?;
+        let start = Instant::now();
+        let prefill = engine
+            .prefill_batch(&[PrefillSlot::cold(&encoded.prompt)])?
+            .pop()
+            .expect("batch of one yields one prefill");
+        let prefill_us = start.elapsed().as_micros() as u64;
+        let (task, _) = Self::from_parts(
+            engine,
+            config,
+            context,
+            query,
+            policy,
+            max_new_tokens,
+            &encoded,
+            None,
+            &prefill,
+            prefill_us,
+            false,
+        )?;
+        Ok(task)
+    }
+
+    /// Builds the task from an already-encoded prompt and its prefill
+    /// output (which may come from a batched and/or prefix-reusing
+    /// prefill). When `want_prefix_blocks` is set, the raw full-context KV
+    /// assembled for the chunked cache is also returned as shareable
+    /// prefix blocks, so the caller can publish them to a prefix cache
+    /// without re-deriving them.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn from_parts(
+        engine: &InferenceEngine,
+        config: &CocktailConfig,
+        context: &str,
+        query: &str,
+        policy: &dyn CachePolicy,
+        max_new_tokens: usize,
+        encoded: &EncodedPrompt,
+        prefix: Option<(&SharedPrefixKv, usize)>,
+        prefill: &BatchPrefill,
+        prefill_us: u64,
+        want_prefix_blocks: bool,
+    ) -> Result<(Self, Option<SharedPrefixKv>), CocktailError> {
         let chunk_texts = chunking::chunk_words(context, config.chunk_size);
 
-        let start = Instant::now();
-        let prefill = engine.prefill(&prompt)?;
-        let prefill_us = start.elapsed().as_micros() as u64;
-
         let compress_start = Instant::now();
-        let mut cache = build_context_cache(engine, config, &prefill, context_tokens.len())?;
+        let (mut cache, prefix_blocks) = build_context_cache(
+            engine,
+            config,
+            prefix,
+            prefill,
+            encoded.context_tokens.len(),
+            want_prefix_blocks,
+        )?;
         let fp16_cache_bytes = cache.total_fp16_reference_bytes();
         let ctx = PolicyContext::new(chunk_texts.clone(), query);
         let report = policy.apply(&mut cache, &ctx)?;
@@ -224,11 +321,11 @@ impl RequestTask {
             None
         };
 
-        Ok(Self {
-            prompt_len: prompt.len(),
-            context_tokens: context_tokens.len(),
-            query_tokens: query_tokens.len(),
-            vocab_horizon,
+        let task = Self {
+            prompt_len: encoded.prompt.len(),
+            context_tokens: encoded.context_tokens.len(),
+            query_tokens: encoded.query_tokens.len(),
+            vocab_horizon: encoded.vocab_horizon,
             max_new_tokens,
             cache,
             generated: Vec::with_capacity(max_new_tokens),
@@ -242,7 +339,8 @@ impl RequestTask {
                 compress_us,
                 decode_us: 0,
             },
-        })
+        };
+        Ok((task, prefix_blocks))
     }
 
     /// Commits the pending token and reports what this round needs: either
@@ -316,27 +414,71 @@ impl RequestTask {
 /// query tokens are appended to the FP16 tail (they are never quantized,
 /// mirroring the paper's treatment of the query and of decode-phase
 /// outputs).
+///
+/// When `prefix` is given, the first `reused` context rows are read from
+/// the shared blocks (bit-identical to the rows a cold prefill would have
+/// produced) and the prefill output only covers the computed suffix. When
+/// `want_prefix_blocks` is set, the assembled full-context raw KV is also
+/// returned as shareable blocks — built from the same matrices, so sharing
+/// costs no extra pass over the data.
 fn build_context_cache(
     engine: &InferenceEngine,
     config: &CocktailConfig,
-    prefill: &PrefillOutput,
+    prefix: Option<(&SharedPrefixKv, usize)>,
+    prefill: &BatchPrefill,
     context_len: usize,
-) -> Result<ChunkedKvCache, CocktailError> {
+    want_prefix_blocks: bool,
+) -> Result<(ChunkedKvCache, Option<SharedPrefixKv>), CocktailError> {
     let model = engine.config();
     let seg = ChunkSegmentation::new(context_len, config.chunk_size)?;
+    let reused = prefix.map_or(0, |(_, len)| len);
+    debug_assert!(
+        reused <= context_len,
+        "prefix matches are made against context tokens only"
+    );
     let mut cache = ChunkedKvCache::new(model.n_layers, model.n_kv_heads);
-    for (layer, heads) in prefill.kv.iter().enumerate() {
-        for (head, raw) in heads.iter().enumerate() {
-            let k_ctx = raw.k.slice_rows(0, context_len);
-            let v_ctx = raw.v.slice_rows(0, context_len);
+    let mut blocks =
+        want_prefix_blocks.then(|| Vec::with_capacity(model.n_layers * model.n_kv_heads));
+    for layer in 0..model.n_layers {
+        for head in 0..model.n_kv_heads {
+            let raw = &prefill.suffix_kv[layer][head];
+            let (k_ctx, v_ctx) = match prefix {
+                Some((shared, len)) if len > 0 => {
+                    let block = shared.block(layer, head);
+                    let pk = block.k().slice_rows(0, len);
+                    let pv = block.v().slice_rows(0, len);
+                    let sk = raw.k.slice_rows(0, context_len - len);
+                    let sv = raw.v.slice_rows(0, context_len - len);
+                    (
+                        Matrix::concat_rows(&[&pk, &sk])?,
+                        Matrix::concat_rows(&[&pv, &sv])?,
+                    )
+                }
+                _ => (
+                    raw.k.slice_rows(0, context_len),
+                    raw.v.slice_rows(0, context_len),
+                ),
+            };
             let mut layer_cache = ChunkedLayerCache::from_prefill(&k_ctx, &v_ctx, &seg)?;
-            for row in context_len..raw.k.rows() {
+            // The suffix rows past the context are the query tokens.
+            for row in (context_len - reused)..raw.k.rows() {
                 layer_cache.append_decode_token(raw.k.row(row), raw.v.row(row))?;
             }
             cache.set(layer, head, layer_cache);
+            if let Some(blocks) = &mut blocks {
+                blocks.push(PrefixKvBlock::new(k_ctx, v_ctx)?);
+            }
         }
     }
-    Ok(cache)
+    let shared = match blocks {
+        Some(b) => Some(SharedPrefixKv::from_blocks(
+            model.n_layers,
+            model.n_kv_heads,
+            b,
+        )?),
+        None => None,
+    };
+    Ok((cache, shared))
 }
 
 /// Where a request currently is in the serving lifecycle.
@@ -385,6 +527,7 @@ pub struct ServingEngine {
     engine: InferenceEngine,
     config: CocktailConfig,
     scheduler: BatchScheduler,
+    prefix_cache: Option<PrefixCache>,
     slots: BTreeMap<RequestId, Slot>,
     next_id: u64,
     clock: usize,
@@ -397,9 +540,35 @@ impl fmt::Debug for ServingEngine {
             .field("queued", &self.scheduler.queued_len())
             .field("running", &self.scheduler.running_len())
             .field("kv_bytes_in_use", &self.scheduler.used_bytes())
+            .field(
+                "prefix_cache_entries",
+                &self.prefix_cache.as_ref().map_or(0, PrefixCache::len),
+            )
             .field("clock", &self.clock)
             .finish()
     }
+}
+
+/// One queued request taken out of its slot for a batched admission
+/// prefill.
+struct PrepCandidate {
+    id: RequestId,
+    context: String,
+    query: String,
+    policy: Box<dyn CachePolicy>,
+    max_new_tokens: usize,
+    encoded: EncodedPrompt,
+    prefix: Option<(SharedPrefixKv, usize)>,
+}
+
+/// How one FIFO admission sweep over the queue head ended.
+enum AdmitSweep {
+    /// The queue is empty.
+    Drained,
+    /// The head is prepared but deferred (budget or batch cap).
+    Deferred,
+    /// The head has not been prefilled yet; another prepare pass is needed.
+    NeedsPrepare,
 }
 
 impl ServingEngine {
@@ -430,6 +599,7 @@ impl ServingEngine {
             engine,
             config,
             scheduler: BatchScheduler::new(SchedulerConfig::default()),
+            prefix_cache: None,
             slots: BTreeMap::new(),
             next_id: 0,
             clock: 0,
@@ -450,6 +620,30 @@ impl ServingEngine {
         );
         self.scheduler = BatchScheduler::new(scheduler);
         self
+    }
+
+    /// Enables shared-prefix KV reuse: requests whose context starts with a
+    /// previously served context clone its cached prefill blocks instead of
+    /// re-prefilling them. Resident blocks are charged once against the
+    /// scheduler's KV budget and evicted LRU when it tightens. Reuse is
+    /// bit-exact — answers are byte-identical with the cache on or off.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any request has already been submitted (the cache must be
+    /// configured before traffic arrives, like the scheduler).
+    pub fn with_prefix_cache(mut self, config: PrefixCacheConfig) -> Self {
+        assert!(
+            self.slots.is_empty() && self.scheduler.is_idle(),
+            "the prefix cache must be configured before submitting requests"
+        );
+        self.prefix_cache = Some(PrefixCache::new(config));
+        self
+    }
+
+    /// Counters and occupancy of the prefix cache; `None` when disabled.
+    pub fn prefix_cache_stats(&self) -> Option<PrefixCacheStats> {
+        self.prefix_cache.as_ref().map(PrefixCache::stats)
     }
 
     /// The underlying inference engine.
@@ -491,6 +685,7 @@ impl ServingEngine {
             cache_bytes: 0,
             fp16_cache_bytes: 0,
             reserved_tail_bytes: 0,
+            prefix_reused_tokens: 0,
             submitted_step: self.clock,
             admitted_step: None,
             finished_step: None,
@@ -570,21 +765,22 @@ impl ServingEngine {
         self.scheduler.is_idle()
     }
 
-    /// Compressed KV bytes held by a prepared-but-not-yet-admitted queue
-    /// head, if any. These bytes are *not* part of
-    /// [`ServingEngine::kv_bytes_in_use`]: the budget governs admitted
-    /// requests, while the head's prefilled cache is kept across deferrals
-    /// so its prefill is never repeated. Operators sizing real memory
-    /// should add this to the budget headroom.
+    /// Compressed KV bytes held by prepared-but-not-yet-admitted requests.
+    /// These bytes are *not* part of [`ServingEngine::kv_bytes_in_use`]:
+    /// the budget governs admitted requests (and resident prefix-cache
+    /// blocks), while prepared caches are kept across deferrals so a
+    /// prefill is never repeated. Up to
+    /// [`SchedulerConfig::prefill_window`](crate::SchedulerConfig) requests
+    /// can be prepared ahead of admission, so operators sizing real memory
+    /// should add this headroom to the budget.
     pub fn prepared_kv_bytes(&self) -> usize {
-        self.scheduler
-            .head()
-            .and_then(|id| self.slots.get(&id))
+        self.slots
+            .values()
             .map(|slot| match &slot.phase {
                 Phase::Prepared(task) => task.cache_bytes(),
                 _ => 0,
             })
-            .unwrap_or(0)
+            .sum()
     }
 
     /// Runs one engine step: admit whatever fits from the queue head
@@ -610,86 +806,327 @@ impl ServingEngine {
         self.decode_round(now)
     }
 
-    /// FIFO admission: prepare and admit queue-head requests until one no
-    /// longer fits.
+    /// FIFO admission with batched prefill: prefill up to a window of
+    /// queued requests in one pass, then admit prepared heads until one no
+    /// longer fits, repeating while the queue keeps yielding unprepared
+    /// heads.
     fn admit(&mut self, now: usize) -> Result<(), CocktailError> {
-        while let Some(head) = self.scheduler.head() {
-            // Prefill + compress the head request once; the prepared task is
-            // kept across steps so deferral never repeats the prefill.
-            let is_queued = {
-                let slot = self.slots.get(&head).expect("queued request has a slot");
-                matches!(slot.phase, Phase::Queued(_))
+        loop {
+            self.prepare_window(now)?;
+            if !matches!(self.admit_prepared(now), AdmitSweep::NeedsPrepare) {
+                return Ok(());
+            }
+        }
+    }
+
+    /// Takes up to `prefill_window` queued requests from the front of the
+    /// queue, encodes them in queue order (so tokenizer interning — and
+    /// every request's vocabulary horizon — matches what sequential serving
+    /// would produce), and prefills them through at most two batched
+    /// passes: first the requests with no reusable prefix, then — once the
+    /// cold pass has published its contexts to the prefix cache — the
+    /// requests that can resume from a cached prefix. The two-pass split is
+    /// what lets simultaneously arriving requests with a common context
+    /// share its prefill within a single engine step.
+    fn prepare_window(&mut self, now: usize) -> Result<(), CocktailError> {
+        let window = self.scheduler.config().prefill_window;
+        let ids: Vec<RequestId> = self
+            .scheduler
+            .queued_ids()
+            .into_iter()
+            .take(window)
+            .filter(|id| {
+                self.slots
+                    .get(id)
+                    .is_some_and(|slot| matches!(slot.phase, Phase::Queued(_)))
+            })
+            .collect();
+        if ids.is_empty() {
+            return Ok(());
+        }
+
+        let mut candidates: Vec<PrepCandidate> = Vec::with_capacity(ids.len());
+        for id in ids {
+            let phase = {
+                let slot = self.slots.get_mut(&id).expect("queued request has a slot");
+                std::mem::replace(&mut slot.phase, Phase::Failed("preparing".into()))
             };
-            if is_queued {
-                let phase = {
-                    let slot = self.slots.get_mut(&head).expect("slot still present");
-                    std::mem::replace(&mut slot.phase, Phase::Failed("preparing".into()))
-                };
-                let Phase::Queued(request) = phase else {
-                    unreachable!("phase checked above");
-                };
-                let policy: Box<dyn CachePolicy> = match request.policy {
-                    Some(policy) => policy,
-                    None => Box::new(CocktailPolicy::new(self.config.clone())?),
-                };
-                let prepared = RequestTask::prepare(
-                    &self.engine,
-                    &self.config,
-                    &request.context,
-                    &request.query,
-                    policy.as_ref(),
-                    request.max_new_tokens,
-                );
-                let slot = self.slots.get_mut(&head).expect("slot still present");
+            let Phase::Queued(request) = phase else {
+                unreachable!("window contains queued phases only");
+            };
+            let policy: Box<dyn CachePolicy> = match request.policy {
+                Some(policy) => policy,
+                None => Box::new(CocktailPolicy::new(self.config.clone())?),
+            };
+            match EncodedPrompt::encode(&self.engine, &request.context, &request.query) {
+                Ok(encoded) => candidates.push(PrepCandidate {
+                    id,
+                    context: request.context,
+                    query: request.query,
+                    policy,
+                    max_new_tokens: request.max_new_tokens,
+                    encoded,
+                    prefix: None,
+                }),
+                Err(err) => {
+                    let slot = self.slots.get_mut(&id).expect("slot still present");
+                    slot.stats.finished_step = Some(now);
+                    slot.phase = Phase::Failed(err.to_string());
+                }
+            }
+        }
+
+        // Classification uses stats-free probes; the warm pass below does
+        // the one real (hit/miss-counted, LRU-touching) lookup per warm
+        // candidate, after the cold pass has published its contexts — so a
+        // candidate that would only match a short stale entry now still
+        // picks up the longer prefix a cold batchmate just prefilled.
+        let min_prefix = self
+            .prefix_cache
+            .as_ref()
+            .map(|cache| cache.config().min_prefix_tokens);
+        let mut cold: Vec<PrepCandidate> = Vec::new();
+        let mut warm: Vec<PrepCandidate> = Vec::new();
+        for cand in candidates {
+            match min_prefix {
+                None => cold.push(cand),
+                Some(min) => {
+                    let cached = self.prefix_cache.as_ref().map_or(0, |cache| {
+                        cache.peek_prefix_len(&cand.encoded.context_tokens)
+                    });
+                    let shares_cold_batchmate = cold.iter().any(|other| {
+                        common_prefix_len(
+                            &other.encoded.context_tokens,
+                            &cand.encoded.context_tokens,
+                        ) >= min
+                    });
+                    if cached >= min || shares_cold_batchmate {
+                        warm.push(cand);
+                    } else {
+                        // Record the miss through the counted lookup path.
+                        if let Some(cache) = self.prefix_cache.as_mut() {
+                            let _missed = cache.lookup(&cand.encoded.context_tokens);
+                            debug_assert!(_missed.is_none(), "peek and lookup disagree");
+                        }
+                        cold.push(cand);
+                    }
+                }
+            }
+        }
+
+        self.prefill_candidates(cold, now)?;
+        for cand in &mut warm {
+            cand.prefix = self
+                .prefix_cache
+                .as_mut()
+                .and_then(|cache| cache.lookup(&cand.encoded.context_tokens));
+        }
+        self.prefill_candidates(warm, now)
+    }
+
+    /// Prefills one batch of candidates through a single
+    /// `InferenceEngine::prefill_batch` call, builds their compressed
+    /// caches, and publishes shareable context blocks to the prefix cache.
+    fn prefill_candidates(
+        &mut self,
+        candidates: Vec<PrepCandidate>,
+        now: usize,
+    ) -> Result<(), CocktailError> {
+        if candidates.is_empty() {
+            return Ok(());
+        }
+        let outputs = {
+            let slots: Vec<PrefillSlot<'_>> = candidates
+                .iter()
+                .map(|cand| match &cand.prefix {
+                    Some((kv, len)) => PrefillSlot::with_prefix(&cand.encoded.prompt, kv, *len),
+                    None => PrefillSlot::cold(&cand.encoded.prompt),
+                })
+                .collect();
+            let start = Instant::now();
+            let outputs = self.engine.prefill_batch(&slots)?;
+            (outputs, start.elapsed().as_micros() as u64)
+        };
+        let (outputs, elapsed_us) = outputs;
+
+        // Attribute the batch wall time per request in proportion to its
+        // share of the attention work (computed suffix rows x full prompt
+        // length), the quadratic part batching does not amortize.
+        let weights: Vec<u128> = candidates
+            .iter()
+            .map(|cand| {
+                let reused = cand.prefix.as_ref().map_or(0, |(_, len)| *len);
+                ((cand.encoded.prompt.len() - reused) * cand.encoded.prompt.len()) as u128
+            })
+            .collect();
+        let total_weight: u128 = weights.iter().sum::<u128>().max(1);
+
+        for ((cand, output), weight) in candidates.into_iter().zip(outputs).zip(weights) {
+            let prefill_us = ((u128::from(elapsed_us) * weight) / total_weight) as u64;
+            let reused = cand.prefix.as_ref().map_or(0, |(_, len)| *len);
+            let want_blocks = match &self.prefix_cache {
+                Some(cache) => {
+                    cand.encoded.context_tokens.len() >= cache.config().min_prefix_tokens
+                        && !cache.covers(&cand.encoded.context_tokens)
+                }
+                None => false,
+            };
+            let prepared = RequestTask::from_parts(
+                &self.engine,
+                &self.config,
+                &cand.context,
+                &cand.query,
+                cand.policy.as_ref(),
+                cand.max_new_tokens,
+                &cand.encoded,
+                cand.prefix.as_ref().map(|(kv, len)| (kv, *len)),
+                &output,
+                prefill_us,
+                want_blocks,
+            );
+            let mut publish: Option<(Vec<u32>, SharedPrefixKv)> = None;
+            {
+                let slot = self
+                    .slots
+                    .get_mut(&cand.id)
+                    .expect("prepared request has a slot");
                 match prepared {
-                    Ok(task) => {
+                    Ok((task, blocks)) => {
                         slot.stats.context_tokens = task.context_tokens;
                         slot.stats.query_tokens = task.query_tokens;
                         slot.stats.cache_bytes = task.cache_bytes;
                         slot.stats.fp16_cache_bytes = task.fp16_cache_bytes;
+                        slot.stats.prefix_reused_tokens = reused;
                         slot.stats.timings = task.timings;
                         slot.phase = Phase::Prepared(Box::new(task));
+                        if let Some(blocks) = blocks {
+                            publish = Some((cand.encoded.context_tokens, blocks));
+                        }
                     }
                     Err(err) => {
                         slot.stats.finished_step = Some(now);
                         slot.phase = Phase::Failed(err.to_string());
-                        self.scheduler.drop_head(head);
-                        continue;
                     }
                 }
             }
-
-            let slot = self.slots.get_mut(&head).expect("slot still present");
-            let Phase::Prepared(task) = &slot.phase else {
-                unreachable!("head request is prepared at this point");
-            };
-            let tail_tokens = task.max_new_tokens.saturating_sub(1);
-            let reserved = tail_tokens * self.engine.config().kv_bytes_per_token_fp16();
-            let cost = task.cache_bytes() + reserved;
-            match self.scheduler.try_admit(head, cost) {
-                AdmitDecision::Admitted => {
-                    slot.stats.reserved_tail_bytes = reserved;
-                    slot.stats.admitted_step = Some(now);
-                    let phase = std::mem::replace(&mut slot.phase, Phase::Failed(String::new()));
-                    let Phase::Prepared(task) = phase else {
-                        unreachable!("phase checked above");
-                    };
-                    slot.phase = Phase::Running(task);
-                }
-                AdmitDecision::Rejected => {
-                    slot.stats.finished_step = Some(now);
-                    slot.phase = Phase::Failed(format!(
-                        "request needs {cost} KV bytes but the budget is {}",
-                        self.scheduler
-                            .config()
-                            .kv_budget_bytes
-                            .expect("rejection implies a finite budget")
-                    ));
-                }
-                AdmitDecision::DeferredBudget | AdmitDecision::DeferredBatch => break,
+            if let Some((tokens, blocks)) = publish {
+                self.insert_prefix_entry(tokens, blocks);
             }
         }
         Ok(())
+    }
+
+    /// Charges one context's blocks against the budget and inserts them
+    /// into the prefix cache, evicting LRU unpinned entries while the
+    /// budget is tight. If even a fully drained cache cannot make room the
+    /// blocks are simply not cached — correctness never depends on them.
+    fn insert_prefix_entry(&mut self, tokens: Vec<u32>, blocks: SharedPrefixKv) {
+        if self.prefix_cache.is_none() {
+            return;
+        }
+        let bytes = blocks.storage_bytes();
+        while !self.scheduler.would_fit_shared(bytes) {
+            if !self.evict_shared_for_budget() {
+                return;
+            }
+        }
+        if let Some(cache) = self.prefix_cache.as_mut() {
+            cache.insert(tokens, blocks);
+        }
+        self.sync_shared_bytes();
+    }
+
+    /// Evicts one LRU unpinned prefix entry and re-syncs the budget charge;
+    /// `false` when nothing evictable remains.
+    fn evict_shared_for_budget(&mut self) -> bool {
+        let evicted = self
+            .prefix_cache
+            .as_mut()
+            .is_some_and(|cache| cache.evict_lru_unpinned().is_some());
+        if evicted {
+            self.sync_shared_bytes();
+        }
+        evicted
+    }
+
+    /// Reports the prefix cache's resident footprint to the scheduler.
+    fn sync_shared_bytes(&mut self) {
+        let bytes = self
+            .prefix_cache
+            .as_ref()
+            .map_or(0, PrefixCache::total_bytes);
+        self.scheduler.set_shared_bytes(bytes);
+    }
+
+    /// One FIFO sweep over the queue head: admit prepared requests until
+    /// the queue drains, a request defers, or an unprepared head asks for
+    /// another batched prefill pass. When the budget defers the head,
+    /// unpinned prefix-cache entries are evicted LRU and admission is
+    /// retried — running requests take precedence over cached prefixes.
+    fn admit_prepared(&mut self, now: usize) -> AdmitSweep {
+        enum HeadKind {
+            Queued,
+            Failed,
+            Prepared { cost: usize, reserved: usize },
+        }
+        while let Some(head) = self.scheduler.head() {
+            let kind = {
+                let slot = self.slots.get(&head).expect("queued request has a slot");
+                match &slot.phase {
+                    Phase::Queued(_) => HeadKind::Queued,
+                    Phase::Failed(_) => HeadKind::Failed,
+                    Phase::Prepared(task) => {
+                        let tail_tokens = task.max_new_tokens.saturating_sub(1);
+                        let reserved = tail_tokens * self.engine.config().kv_bytes_per_token_fp16();
+                        HeadKind::Prepared {
+                            cost: task.cache_bytes() + reserved,
+                            reserved,
+                        }
+                    }
+                    Phase::Running(_) | Phase::Completed(_) => {
+                        unreachable!("queued requests are not running or completed")
+                    }
+                }
+            };
+            match kind {
+                HeadKind::Queued => return AdmitSweep::NeedsPrepare,
+                HeadKind::Failed => self.scheduler.drop_head(head),
+                HeadKind::Prepared { cost, reserved } => {
+                    match self.scheduler.try_admit(head, cost) {
+                        AdmitDecision::Admitted => {
+                            let slot = self.slots.get_mut(&head).expect("slot still present");
+                            slot.stats.reserved_tail_bytes = reserved;
+                            slot.stats.admitted_step = Some(now);
+                            let phase =
+                                std::mem::replace(&mut slot.phase, Phase::Failed(String::new()));
+                            let Phase::Prepared(task) = phase else {
+                                unreachable!("phase checked above");
+                            };
+                            slot.phase = Phase::Running(task);
+                        }
+                        AdmitDecision::Rejected => {
+                            let budget = self
+                                .scheduler
+                                .config()
+                                .kv_budget_bytes
+                                .expect("rejection implies a finite budget");
+                            let slot = self.slots.get_mut(&head).expect("slot still present");
+                            slot.stats.finished_step = Some(now);
+                            slot.phase = Phase::Failed(format!(
+                                "request needs {cost} KV bytes but the budget is {budget}"
+                            ));
+                        }
+                        AdmitDecision::DeferredBudget => {
+                            if !self.evict_shared_for_budget() {
+                                return AdmitSweep::Deferred;
+                            }
+                        }
+                        AdmitDecision::DeferredBatch => return AdmitSweep::Deferred,
+                    }
+                }
+            }
+        }
+        AdmitSweep::Drained
     }
 
     /// One decode round: every running request commits its pending token
@@ -961,6 +1398,165 @@ mod tests {
         assert_eq!(outcomes.len(), 1);
         assert_eq!(outcomes[0].id, id);
         assert!(outcomes[0].outcome.generated_tokens.is_empty());
+    }
+
+    /// Requests sharing one long preamble, each with its own tail and
+    /// query.
+    fn shared_prefix_contexts(n: usize) -> Vec<(String, String)> {
+        let preamble: Vec<String> = (0..8)
+            .map(|i| format!("standing order {i} requires every vessel to log position daily"))
+            .collect();
+        let preamble = preamble.join(" . ");
+        (0..n)
+            .map(|i| {
+                (
+                    format!(
+                        "{preamble} . special bulletin the berth assignment for convoy {i} is \
+                         pier{i}"
+                    ),
+                    format!("what is the berth assignment for convoy {i}?"),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn prefix_cache_is_byte_identical_to_disabled_serving() {
+        let requests = shared_prefix_contexts(4);
+        let submit_all = |engine: &mut ServingEngine| -> Vec<RequestId> {
+            requests
+                .iter()
+                .map(|(ctx, q)| engine.submit(ServeRequest::new(ctx.clone(), q.clone(), 6)))
+                .collect()
+        };
+
+        let mut plain = ServingEngine::new(ModelProfile::tiny(), config()).unwrap();
+        submit_all(&mut plain);
+        let baseline = plain.run_until_idle().unwrap();
+
+        let mut cached = ServingEngine::new(ModelProfile::tiny(), config())
+            .unwrap()
+            .with_prefix_cache(PrefixCacheConfig::default());
+        let ids = submit_all(&mut cached);
+        let outcomes = cached.run_until_idle().unwrap();
+
+        assert_eq!(outcomes.len(), baseline.len());
+        for (warm, cold) in outcomes.iter().zip(&baseline) {
+            assert_eq!(
+                warm.outcome.answer, cold.outcome.answer,
+                "prefix reuse changed an answer"
+            );
+            assert_eq!(warm.outcome.generated_tokens, cold.outcome.generated_tokens);
+            assert_eq!(warm.outcome.cache_bytes, cold.outcome.cache_bytes);
+            assert_eq!(warm.outcome.report, cold.outcome.report);
+        }
+        // The first request is cold; every later one reuses the preamble.
+        assert_eq!(outcomes[0].stats.prefix_reused_tokens, 0);
+        for outcome in &outcomes[1..] {
+            assert!(
+                outcome.stats.prefix_reused_tokens > 0,
+                "{} did not reuse the shared preamble",
+                outcome.id
+            );
+        }
+        let stats = cached.prefix_cache_stats().unwrap();
+        assert!(stats.hits >= (ids.len() - 1) as u64);
+        assert!(stats.reused_tokens > 0);
+        assert!(stats.entries >= 1);
+    }
+
+    #[test]
+    fn intra_batch_shared_prefix_is_reused_within_one_step() {
+        // Two identical contexts submitted before the first step: the
+        // two-pass admission must prefill the first cold and resume the
+        // second from the freshly published blocks, inside a single step.
+        let (ctx, q) = &shared_prefix_contexts(1)[0];
+        let mut engine = ServingEngine::new(ModelProfile::tiny(), config())
+            .unwrap()
+            .with_prefix_cache(PrefixCacheConfig::default());
+        let a = engine.submit(ServeRequest::new(ctx.clone(), q.clone(), 3));
+        let b = engine.submit(ServeRequest::new(ctx.clone(), q.clone(), 3));
+        engine.step().unwrap();
+        let stats_a = engine.stats(a).unwrap();
+        let stats_b = engine.stats(b).unwrap();
+        assert_eq!(stats_a.prefix_reused_tokens, 0);
+        assert_eq!(
+            stats_b.prefix_reused_tokens, stats_b.context_tokens,
+            "an identical context must reuse the whole context prefix"
+        );
+        let outcomes = engine.run_until_idle().unwrap();
+        assert_eq!(outcomes[0].outcome.answer, outcomes[1].outcome.answer);
+    }
+
+    #[test]
+    fn prefix_cache_respects_budget_and_evicts_under_pressure() {
+        // Budget sized for roughly one admitted request: resident shared
+        // blocks must never push usage past the budget, and admission must
+        // evict cached prefixes rather than stall.
+        let requests = shared_prefix_contexts(3);
+        let mut sizing = ServingEngine::new(ModelProfile::tiny(), config()).unwrap();
+        sizing.submit(ServeRequest::new(
+            requests[0].0.clone(),
+            requests[0].1.clone(),
+            4,
+        ));
+        sizing.step().unwrap();
+        let one_request = sizing.kv_bytes_in_use();
+        let budget = one_request + one_request / 2;
+
+        let mut engine = ServingEngine::new(ModelProfile::tiny(), config())
+            .unwrap()
+            .with_scheduler_config(SchedulerConfig::default().with_budget(budget))
+            .with_prefix_cache(PrefixCacheConfig::default());
+        let ids: Vec<RequestId> = requests
+            .iter()
+            .map(|(ctx, q)| engine.submit(ServeRequest::new(ctx.clone(), q.clone(), 4)))
+            .collect();
+        while !engine.is_idle() {
+            engine.step().unwrap();
+            assert!(
+                engine.kv_bytes_in_use() <= budget,
+                "budget exceeded with shared blocks: {} > {budget}",
+                engine.kv_bytes_in_use()
+            );
+        }
+        for id in ids {
+            assert_eq!(engine.state(id), Some(RequestState::Completed));
+        }
+        let stats = engine.prefix_cache_stats().unwrap();
+        assert!(
+            stats.resident_bytes + engine.kv_bytes_in_use() <= budget,
+            "resident shared blocks exceed the budget"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "before submitting")]
+    fn prefix_cache_must_be_configured_before_traffic() {
+        let mut engine = ServingEngine::new(ModelProfile::tiny(), config()).unwrap();
+        let (ctx, q) = &contexts()[0];
+        engine.submit(ServeRequest::new(ctx.clone(), q.clone(), 2));
+        let _ = engine.with_prefix_cache(PrefixCacheConfig::default());
+    }
+
+    #[test]
+    fn prefill_window_one_reproduces_sequential_admission() {
+        let requests = shared_prefix_contexts(3);
+        let run = |window: usize| -> Vec<RequestOutcome> {
+            let mut engine = ServingEngine::new(ModelProfile::tiny(), config())
+                .unwrap()
+                .with_scheduler_config(SchedulerConfig::default().with_prefill_window(window));
+            for (ctx, q) in &requests {
+                engine.submit(ServeRequest::new(ctx.clone(), q.clone(), 5));
+            }
+            engine.run_until_idle().unwrap()
+        };
+        let windowed = run(4);
+        let sequential = run(1);
+        for (a, b) in windowed.iter().zip(&sequential) {
+            assert_eq!(a.outcome.answer, b.outcome.answer);
+            assert_eq!(a.outcome.generated_tokens, b.outcome.generated_tokens);
+        }
     }
 
     #[test]

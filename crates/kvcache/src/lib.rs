@@ -18,6 +18,9 @@
 //! * [`MemoryLayout`] — the physical byte layout of the chunks in a flat
 //!   arena, with the statistics (bitwidth transitions, cache-line waste)
 //!   that the hardware model in `cocktail-hwsim` consumes.
+//! * [`SharedPrefixKv`] — refcounted raw KV blocks of a prompt prefix, the
+//!   unit a serving-side prefix cache shares across requests so a common
+//!   context is prefilled once instead of per request.
 //!
 //! # Example
 //!
@@ -50,6 +53,7 @@ mod chunk;
 mod error;
 mod permutation;
 mod segmentation;
+mod shared;
 
 pub use arena::{LayoutRegion, LayoutStats, MemoryLayout};
 pub use cache::{ChunkedKvCache, ChunkedLayerCache, DecodeAttention};
@@ -57,3 +61,4 @@ pub use chunk::{ChunkStorage, KvChunk, OutlierPatch};
 pub use error::KvCacheError;
 pub use permutation::ChunkPermutation;
 pub use segmentation::ChunkSegmentation;
+pub use shared::{PrefixKvBlock, SharedPrefixKv};

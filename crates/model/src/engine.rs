@@ -4,10 +4,11 @@ use crate::config::ModelConfig;
 use crate::error::ModelError;
 use crate::profile::ModelProfile;
 use crate::tokenizer::Tokenizer;
-use crate::weights::ModelWeights;
-use cocktail_kvcache::{ChunkSegmentation, ChunkedKvCache, ChunkedLayerCache};
+use crate::weights::{LayerWeights, ModelWeights};
+use cocktail_kvcache::{ChunkSegmentation, ChunkedKvCache, ChunkedLayerCache, SharedPrefixKv};
 use cocktail_tensor::ops::{causal_mask, rms_norm_rows, rope_rows, silu};
 use cocktail_tensor::Matrix;
+use std::sync::mpsc;
 
 /// Raw (unquantized) key/value tensors of one (layer, KV-head) pair
 /// produced by the prefill phase, shape `(tokens, head_dim)` each.
@@ -57,6 +58,81 @@ pub struct DecodeSlot<'a> {
     pub pos: usize,
     /// The request's chunked KV cache; the token's KV is appended to it.
     pub cache: &'a mut ChunkedKvCache,
+}
+
+/// One request's slot in a batched prefill: the full prompt tokens plus an
+/// optional shared-prefix handle covering the leading `prefix_len` tokens,
+/// whose KV is reused instead of recomputed.
+#[derive(Debug, Clone)]
+pub struct PrefillSlot<'a> {
+    /// The full prompt token sequence (prefix included).
+    pub tokens: &'a [u32],
+    /// Cached raw KV blocks covering (at least) the first `prefix_len`
+    /// prompt tokens; `None` for a cold prefill.
+    pub prefix: Option<&'a SharedPrefixKv>,
+    /// How many leading prompt tokens are served from `prefix`. Must be
+    /// `0` when `prefix` is `None`, and strictly smaller than the prompt
+    /// length otherwise (the engine always computes at least one row, which
+    /// produces the next-token logits).
+    pub prefix_len: usize,
+}
+
+impl<'a> PrefillSlot<'a> {
+    /// A cold prefill of the whole prompt.
+    pub fn cold(tokens: &'a [u32]) -> Self {
+        Self {
+            tokens,
+            prefix: None,
+            prefix_len: 0,
+        }
+    }
+
+    /// A prefill reusing the first `prefix_len` tokens from cached blocks.
+    pub fn with_prefix(tokens: &'a [u32], prefix: &'a SharedPrefixKv, prefix_len: usize) -> Self {
+        Self {
+            tokens,
+            prefix: Some(prefix),
+            prefix_len,
+        }
+    }
+
+    /// Number of prompt tokens actually computed (not served from cache).
+    pub fn suffix_len(&self) -> usize {
+        self.tokens.len().saturating_sub(self.prefix_len)
+    }
+}
+
+/// What one slot of a batched prefill produces: the raw KV rows of the
+/// *computed* (non-reused) prompt suffix, its final-norm hidden states, and
+/// the next-token logits.
+///
+/// Together with the reused prefix blocks, `suffix_kv` covers the whole
+/// prompt, and every row is bit-identical to the same row of a cold
+/// [`InferenceEngine::prefill`] of the full prompt.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchPrefill {
+    /// How many leading prompt tokens were served from cached blocks.
+    pub prefix_len: usize,
+    /// Raw per-layer, per-KV-head key/value tensors of the computed suffix
+    /// (`[layer][kv_head]`, `suffix_len` rows each).
+    pub suffix_kv: Vec<Vec<RawKv>>,
+    /// Final-norm hidden states of the computed suffix, `(suffix_len,
+    /// hidden)`.
+    pub hidden: Matrix,
+    /// Logits of the token following the prompt.
+    pub last_logits: Vec<f32>,
+}
+
+impl BatchPrefill {
+    /// Greedy next token after the prompt.
+    pub fn next_token(&self) -> u32 {
+        argmax(&self.last_logits)
+    }
+
+    /// Number of computed suffix rows.
+    pub fn suffix_len(&self) -> usize {
+        self.hidden.rows()
+    }
 }
 
 /// A decoder-only transformer inference engine with deterministic seeded
@@ -157,86 +233,208 @@ impl InferenceEngine {
     /// Runs the prefill phase over `tokens` (full causal attention in FP32)
     /// and returns the raw KV tensors, hidden states and next-token logits.
     ///
+    /// Implemented as a cold [`InferenceEngine::prefill_batch`] of one, so
+    /// single prefills, batched prefills and prefix-reusing prefills all go
+    /// through the same row-wise arithmetic and stay bit-identical.
+    ///
     /// # Errors
     ///
     /// Returns [`ModelError::InvalidPrompt`] if the prompt is empty, longer
     /// than the model's maximum context, or contains out-of-vocabulary ids.
     pub fn prefill(&self, tokens: &[u32]) -> Result<PrefillOutput, ModelError> {
-        if tokens.is_empty() {
+        let mut batch = self.prefill_batch(&[PrefillSlot::cold(tokens)])?;
+        let one = batch.pop().expect("batch of one yields one prefill");
+        Ok(PrefillOutput {
+            kv: one.suffix_kv,
+            last_logits: one.last_logits,
+            hidden: one.hidden,
+        })
+    }
+
+    /// Validates one prefill slot against the model.
+    fn validate_prefill_slot(&self, slot: &PrefillSlot<'_>) -> Result<(), ModelError> {
+        if slot.tokens.is_empty() {
             return Err(ModelError::InvalidPrompt("prompt is empty".into()));
         }
-        if tokens.len() > self.config.max_context {
+        if slot.tokens.len() > self.config.max_context {
             return Err(ModelError::InvalidPrompt(format!(
                 "prompt of {} tokens exceeds max context {}",
-                tokens.len(),
+                slot.tokens.len(),
                 self.config.max_context
             )));
         }
+        match slot.prefix {
+            None => {
+                if slot.prefix_len != 0 {
+                    return Err(ModelError::CacheMismatch(
+                        "prefix_len set without prefix blocks".into(),
+                    ));
+                }
+            }
+            Some(prefix) => {
+                if prefix.layers() != self.config.n_layers
+                    || prefix.kv_heads() != self.config.n_kv_heads
+                {
+                    return Err(ModelError::CacheMismatch(format!(
+                        "prefix has {}x{} blocks, model needs {}x{}",
+                        prefix.layers(),
+                        prefix.kv_heads(),
+                        self.config.n_layers,
+                        self.config.n_kv_heads
+                    )));
+                }
+                if prefix.block(0, 0).k().cols() != self.config.head_dim() {
+                    return Err(ModelError::CacheMismatch(format!(
+                        "prefix head dim {} vs model head dim {}",
+                        prefix.block(0, 0).k().cols(),
+                        self.config.head_dim()
+                    )));
+                }
+                if slot.prefix_len > prefix.tokens() || slot.prefix_len >= slot.tokens.len() {
+                    return Err(ModelError::InvalidPrompt(format!(
+                        "prefix_len {} out of range for a {}-token prompt with {} cached tokens",
+                        slot.prefix_len,
+                        slot.tokens.len(),
+                        prefix.tokens()
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Runs the prefill phase for a whole batch of independent prompts,
+    /// optionally resuming each from cached shared-prefix KV blocks.
+    ///
+    /// The computed suffix rows of every slot are stacked into one hidden
+    /// matrix, so the weight-streaming work — QKV projections, MLP, LM
+    /// head — is paid once per batch, exactly as
+    /// [`InferenceEngine::decode_step_batch`] does for decode. Attention is
+    /// per slot: each slot's suffix queries attend over its reused prefix
+    /// keys (read from the shared blocks) followed by its own suffix keys,
+    /// under the standard causal mask. Because prefill is causal and every
+    /// shared op is row-wise, each computed row is bit-identical to the same
+    /// row of a cold single-prompt [`InferenceEngine::prefill`] — reusing a
+    /// prefix or batching prompts never changes any output.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidPrompt`] for an empty/oversized prompt
+    /// or an out-of-range `prefix_len`, and [`ModelError::CacheMismatch`]
+    /// if a slot's prefix blocks do not match the model layout.
+    pub fn prefill_batch(
+        &self,
+        slots: &[PrefillSlot<'_>],
+    ) -> Result<Vec<BatchPrefill>, ModelError> {
+        if slots.is_empty() {
+            return Ok(Vec::new());
+        }
+        for slot in slots {
+            self.validate_prefill_slot(slot)?;
+        }
         let head = self.config.head_dim();
         let scale = self.attention_scale();
-        let t = tokens.len();
-        let mask = causal_mask(t, t);
 
-        let mut x = self.embed(tokens)?;
-        let mut kv: Vec<Vec<RawKv>> = Vec::with_capacity(self.config.n_layers);
+        // Row ranges of each slot's computed suffix within the stacked
+        // hidden matrix.
+        let mut offsets = Vec::with_capacity(slots.len());
+        let mut total_rows = 0usize;
+        for slot in slots {
+            offsets.push(total_rows);
+            total_rows += slot.suffix_len();
+        }
+        let stacked: Vec<u32> = slots
+            .iter()
+            .flat_map(|s| s.tokens[s.prefix_len..].iter().copied())
+            .collect();
+        let mut x = self.embed(&stacked)?;
+        let mut kv_per_slot: Vec<Vec<Vec<RawKv>>> = slots
+            .iter()
+            .map(|_| Vec::with_capacity(self.config.n_layers))
+            .collect();
 
-        for layer in &self.weights.layers {
-            // Attention block.
-            let mut normed = x.clone();
-            rms_norm_rows(&mut normed, &layer.attn_norm, self.config.rms_eps);
-            let q_all = normed.matmul(&layer.wq)?;
-            let k_all = normed.matmul(&layer.wk)?;
-            let v_all = normed.matmul(&layer.wv)?;
+        for (layer_idx, layer) in self.weights.layers.iter().enumerate() {
+            let (q_all, k_all, v_all) = self.layer_qkv(layer, &x)?;
 
-            // Per-KV-head K/V with RoPE applied to keys.
-            let mut layer_kv = Vec::with_capacity(self.config.n_kv_heads);
-            for j in 0..self.config.n_kv_heads {
-                let mut k_j = k_all.slice_cols(j * head, (j + 1) * head);
-                rope_rows(&mut k_j, 0, self.config.rope_theta);
-                let v_j = v_all.slice_cols(j * head, (j + 1) * head);
-                layer_kv.push(RawKv { k: k_j, v: v_j });
+            let mut attn_rows: Vec<Matrix> = Vec::with_capacity(slots.len());
+            for (si, slot) in slots.iter().enumerate() {
+                let rows = offsets[si]..offsets[si] + slot.suffix_len();
+                let q_s = q_all.slice_rows(rows.start, rows.end);
+                let k_s = k_all.slice_rows(rows.start, rows.end);
+                let v_s = v_all.slice_rows(rows.start, rows.end);
+
+                // Per-KV-head suffix K/V with RoPE at the suffix positions.
+                let mut layer_kv = Vec::with_capacity(self.config.n_kv_heads);
+                for j in 0..self.config.n_kv_heads {
+                    let mut k_j = k_s.slice_cols(j * head, (j + 1) * head);
+                    rope_rows(&mut k_j, slot.prefix_len, self.config.rope_theta);
+                    let v_j = v_s.slice_cols(j * head, (j + 1) * head);
+                    layer_kv.push(RawKv { k: k_j, v: v_j });
+                }
+
+                // Full per-KV-head K/V: reused prefix rows (already
+                // RoPE-rotated at their absolute positions when they were
+                // first computed) followed by this layer's suffix rows.
+                let full: Option<Vec<(Matrix, Matrix)>> = if slot.prefix_len > 0 {
+                    let prefix = slot.prefix.expect("validated: prefix_len > 0 has blocks");
+                    let mut pairs = Vec::with_capacity(self.config.n_kv_heads);
+                    for (j, kv_j) in layer_kv.iter().enumerate() {
+                        let block = prefix.block(layer_idx, j);
+                        let pk = block.k().slice_rows(0, slot.prefix_len);
+                        let pv = block.v().slice_rows(0, slot.prefix_len);
+                        pairs.push((
+                            Matrix::concat_rows(&[&pk, &kv_j.k])?,
+                            Matrix::concat_rows(&[&pv, &kv_j.v])?,
+                        ));
+                    }
+                    Some(pairs)
+                } else {
+                    None
+                };
+
+                // Causal mask over the whole prompt for the suffix query
+                // block: query row i (absolute position prefix_len + i) sees
+                // every prefix key and suffix keys up to itself.
+                let mask = causal_mask(slot.suffix_len(), slot.tokens.len());
+                let mut head_outputs = Vec::with_capacity(self.config.n_heads);
+                for h in 0..self.config.n_heads {
+                    let mut q_h = q_s.slice_cols(h * head, (h + 1) * head);
+                    rope_rows(&mut q_h, slot.prefix_len, self.config.rope_theta);
+                    let j = h / self.config.gqa_group_size();
+                    let (k_ref, v_ref): (&Matrix, &Matrix) = match &full {
+                        Some(pairs) => (&pairs[j].0, &pairs[j].1),
+                        None => (&layer_kv[j].k, &layer_kv[j].v),
+                    };
+                    let mut scores = q_h.matmul_transposed(k_ref)?;
+                    scores.scale_in_place(scale);
+                    let probs = scores.masked_softmax(&mask)?;
+                    head_outputs.push(probs.matmul(v_ref)?);
+                }
+                let head_refs: Vec<&Matrix> = head_outputs.iter().collect();
+                attn_rows.push(Matrix::concat_cols(&head_refs)?);
+                kv_per_slot[si].push(layer_kv);
             }
-
-            // Per-query-head attention.
-            let mut head_outputs = Vec::with_capacity(self.config.n_heads);
-            for h in 0..self.config.n_heads {
-                let mut q_h = q_all.slice_cols(h * head, (h + 1) * head);
-                rope_rows(&mut q_h, 0, self.config.rope_theta);
-                let kv_h = &layer_kv[h / self.config.gqa_group_size()];
-                let mut scores = q_h.matmul_transposed(&kv_h.k)?;
-                scores.scale_in_place(scale);
-                let probs = scores.masked_softmax(&mask)?;
-                head_outputs.push(probs.matmul(&kv_h.v)?);
-            }
-            let head_refs: Vec<&Matrix> = head_outputs.iter().collect();
-            let attn = Matrix::concat_cols(&head_refs)?;
-            let attn_proj = attn.matmul(&layer.wo)?;
-            x.add_assign(&attn_proj)?;
-
-            // MLP block (SwiGLU).
-            let mut normed2 = x.clone();
-            rms_norm_rows(&mut normed2, &layer.mlp_norm, self.config.rms_eps);
-            let gate = normed2.matmul(&layer.w_gate)?;
-            let up = normed2.matmul(&layer.w_up)?;
-            let mut fused = gate;
-            for (g, u) in fused.as_mut_slice().iter_mut().zip(up.as_slice()) {
-                *g = silu(*g) * u;
-            }
-            let down = fused.matmul(&layer.w_down)?;
-            x.add_assign(&down)?;
-
-            kv.push(layer_kv);
+            self.finish_layer(layer, &mut x, attn_rows)?;
         }
 
-        let mut hidden = x;
-        rms_norm_rows(&mut hidden, &self.weights.final_norm, self.config.rms_eps);
-        let last_hidden = hidden.slice_rows(t - 1, t);
-        let logits = last_hidden.matmul(&self.weights.lm_head)?;
-        Ok(PrefillOutput {
-            kv,
-            last_logits: logits.row(0).to_vec(),
-            hidden,
-        })
+        rms_norm_rows(&mut x, &self.weights.final_norm, self.config.rms_eps);
+        slots
+            .iter()
+            .enumerate()
+            .zip(kv_per_slot)
+            .map(|((si, slot), suffix_kv)| {
+                let rows = offsets[si]..offsets[si] + slot.suffix_len();
+                let hidden = x.slice_rows(rows.start, rows.end);
+                let last_hidden = hidden.slice_rows(hidden.rows() - 1, hidden.rows());
+                let logits = last_hidden.matmul(&self.weights.lm_head)?;
+                Ok(BatchPrefill {
+                    prefix_len: slot.prefix_len,
+                    suffix_kv,
+                    last_logits: logits.row(0).to_vec(),
+                    hidden,
+                })
+            })
+            .collect()
     }
 
     /// Segments the prefill KV tensors into a [`ChunkedKvCache`] with the
@@ -339,6 +537,122 @@ impl InferenceEngine {
         Matrix::concat_cols(&head_refs).map_err(ModelError::from)
     }
 
+    /// One layer's attention-input projections: RMS-norms `x` and streams
+    /// the QKV weights once for every row in the batch.
+    fn layer_qkv(
+        &self,
+        layer: &LayerWeights,
+        x: &Matrix,
+    ) -> Result<(Matrix, Matrix, Matrix), ModelError> {
+        let mut normed = x.clone();
+        rms_norm_rows(&mut normed, &layer.attn_norm, self.config.rms_eps);
+        Ok((
+            normed.matmul(&layer.wq)?,
+            normed.matmul(&layer.wk)?,
+            normed.matmul(&layer.wv)?,
+        ))
+    }
+
+    /// Merges the per-request attention rows back into the residual stream
+    /// and runs the layer's SwiGLU MLP (weights streamed once per batch).
+    fn finish_layer(
+        &self,
+        layer: &LayerWeights,
+        x: &mut Matrix,
+        attn_rows: Vec<Matrix>,
+    ) -> Result<(), ModelError> {
+        let attn_refs: Vec<&Matrix> = attn_rows.iter().collect();
+        let attn = Matrix::concat_rows(&attn_refs)?;
+        x.add_assign(&attn.matmul(&layer.wo)?)?;
+
+        let mut normed2 = x.clone();
+        rms_norm_rows(&mut normed2, &layer.mlp_norm, self.config.rms_eps);
+        let gate = normed2.matmul(&layer.w_gate)?;
+        let up = normed2.matmul(&layer.w_up)?;
+        let mut fused = gate;
+        for (g, u) in fused.as_mut_slice().iter_mut().zip(up.as_slice()) {
+            *g = silu(*g) * u;
+        }
+        x.add_assign(&fused.matmul(&layer.w_down)?)?;
+        Ok(())
+    }
+
+    /// The multi-core decode round: one pool of scoped worker threads is
+    /// spawned for the *whole* round and fed per-layer jobs over channels,
+    /// instead of re-spawning threads inside every layer (the first step of
+    /// the ROADMAP's persistent worker pool). Each worker owns a contiguous
+    /// chunk of the batch for the entire round; per layer the main thread
+    /// streams the QKV/MLP weights for the whole batch, ships each worker
+    /// its chunk's Q/K/V rows, and stitches the returned attention rows
+    /// back in chunk order — so the arithmetic and its ordering are exactly
+    /// the single-threaded loop's, and outputs stay bit-identical.
+    fn decode_layers_pooled(
+        &self,
+        slots: &mut [DecodeSlot<'_>],
+        x: &mut Matrix,
+        workers: usize,
+    ) -> Result<(), ModelError> {
+        let n = slots.len();
+        let chunk_len = n.div_ceil(workers);
+        type LayerJob = (usize, Matrix, Matrix, Matrix);
+        std::thread::scope(|scope| -> Result<(), ModelError> {
+            let mut job_txs: Vec<mpsc::Sender<LayerJob>> = Vec::new();
+            let mut result_rxs: Vec<mpsc::Receiver<Vec<Result<Matrix, ModelError>>>> = Vec::new();
+            for chunk in slots.chunks_mut(chunk_len) {
+                let (job_tx, job_rx) = mpsc::channel::<LayerJob>();
+                let (result_tx, result_rx) = mpsc::channel();
+                job_txs.push(job_tx);
+                result_rxs.push(result_rx);
+                scope.spawn(move || {
+                    // One job per layer; the channel closes when the round
+                    // is done (or aborted), ending the worker.
+                    while let Ok((layer_idx, q, k, v)) = job_rx.recv() {
+                        let results: Vec<Result<Matrix, ModelError>> = chunk
+                            .iter_mut()
+                            .enumerate()
+                            .map(|(i, slot)| {
+                                let q_row = q.slice_rows(i, i + 1);
+                                let k_row = k.slice_rows(i, i + 1);
+                                let v_row = v.slice_rows(i, i + 1);
+                                self.request_layer_attention(
+                                    layer_idx, slot, &q_row, &k_row, &v_row,
+                                )
+                            })
+                            .collect();
+                        if result_tx.send(results).is_err() {
+                            break;
+                        }
+                    }
+                });
+            }
+            for (layer_idx, layer) in self.weights.layers.iter().enumerate() {
+                let (q_all, k_all, v_all) = self.layer_qkv(layer, x)?;
+                for (ci, tx) in job_txs.iter().enumerate() {
+                    let start = ci * chunk_len;
+                    let end = (start + chunk_len).min(n);
+                    tx.send((
+                        layer_idx,
+                        q_all.slice_rows(start, end),
+                        k_all.slice_rows(start, end),
+                        v_all.slice_rows(start, end),
+                    ))
+                    .expect("decode worker is alive until its sender drops");
+                }
+                let mut attn_rows = Vec::with_capacity(n);
+                for rx in &result_rxs {
+                    let results = rx.recv().expect("decode worker sends one result per job");
+                    for result in results {
+                        attn_rows.push(result?);
+                    }
+                }
+                self.finish_layer(layer, x, attn_rows)?;
+            }
+            Ok(())
+            // `job_txs` drops here, closing the channels and ending the
+            // workers before the scope joins them.
+        })
+    }
+
     /// Runs one decode step for a whole batch of independent requests.
     ///
     /// Every slot's token is embedded into one hidden-state matrix (one row
@@ -389,52 +703,12 @@ impl InferenceEngine {
             .unwrap_or(1)
             .min(slots.len());
 
-        for (layer_idx, layer) in self.weights.layers.iter().enumerate() {
-            let mut normed = x.clone();
-            rms_norm_rows(&mut normed, &layer.attn_norm, self.config.rms_eps);
-            let q_all = normed.matmul(&layer.wq)?;
-            let k_all = normed.matmul(&layer.wk)?;
-            let v_all = normed.matmul(&layer.wv)?;
-
-            // Per-request KV append + attention over each request's own
-            // cache. Requests are fully independent, so on multi-core hosts
-            // the batch is split into contiguous chunks, one scoped worker
-            // thread per chunk; the single-threaded loop computes the exact
-            // same per-request results.
-            let attn_results: Vec<Result<Matrix, ModelError>> = if workers > 1 {
-                let chunk_len = slots.len().div_ceil(workers);
-                std::thread::scope(|scope| {
-                    let handles: Vec<_> = slots
-                        .chunks_mut(chunk_len)
-                        .enumerate()
-                        .map(|(chunk_idx, chunk)| {
-                            let q_all = &q_all;
-                            let k_all = &k_all;
-                            let v_all = &v_all;
-                            scope.spawn(move || {
-                                chunk
-                                    .iter_mut()
-                                    .enumerate()
-                                    .map(|(offset, slot)| {
-                                        let i = chunk_idx * chunk_len + offset;
-                                        let q_row = q_all.slice_rows(i, i + 1);
-                                        let k_row = k_all.slice_rows(i, i + 1);
-                                        let v_row = v_all.slice_rows(i, i + 1);
-                                        self.request_layer_attention(
-                                            layer_idx, slot, &q_row, &k_row, &v_row,
-                                        )
-                                    })
-                                    .collect::<Vec<_>>()
-                            })
-                        })
-                        .collect();
-                    handles
-                        .into_iter()
-                        .flat_map(|h| h.join().expect("attention thread must not panic"))
-                        .collect()
-                })
-            } else {
-                slots
+        if workers > 1 {
+            self.decode_layers_pooled(slots, &mut x, workers)?;
+        } else {
+            for (layer_idx, layer) in self.weights.layers.iter().enumerate() {
+                let (q_all, k_all, v_all) = self.layer_qkv(layer, &x)?;
+                let attn_rows = slots
                     .iter_mut()
                     .enumerate()
                     .map(|(i, slot)| {
@@ -443,24 +717,9 @@ impl InferenceEngine {
                         let v_row = v_all.slice_rows(i, i + 1);
                         self.request_layer_attention(layer_idx, slot, &q_row, &k_row, &v_row)
                     })
-                    .collect()
-            };
-            let attn_rows = attn_results
-                .into_iter()
-                .collect::<Result<Vec<Matrix>, ModelError>>()?;
-            let attn_refs: Vec<&Matrix> = attn_rows.iter().collect();
-            let attn = Matrix::concat_rows(&attn_refs)?;
-            x.add_assign(&attn.matmul(&layer.wo)?)?;
-
-            let mut normed2 = x.clone();
-            rms_norm_rows(&mut normed2, &layer.mlp_norm, self.config.rms_eps);
-            let gate = normed2.matmul(&layer.w_gate)?;
-            let up = normed2.matmul(&layer.w_up)?;
-            let mut fused = gate;
-            for (g, u) in fused.as_mut_slice().iter_mut().zip(up.as_slice()) {
-                *g = silu(*g) * u;
+                    .collect::<Result<Vec<Matrix>, ModelError>>()?;
+                self.finish_layer(layer, &mut x, attn_rows)?;
             }
-            x.add_assign(&fused.matmul(&layer.w_down)?)?;
         }
 
         rms_norm_rows(&mut x, &self.weights.final_norm, self.config.rms_eps);
@@ -712,6 +971,143 @@ mod tests {
             assert_eq!(seq.next_token, batch.next_token);
             assert_eq!(seq_cache, &caches[i], "request {i} cache diverged");
         }
+    }
+
+    fn prefix_blocks_from_prefill(
+        engine: &InferenceEngine,
+        prefill: &PrefillOutput,
+        prefix_len: usize,
+    ) -> SharedPrefixKv {
+        let mut blocks = Vec::new();
+        for heads in &prefill.kv {
+            for raw in heads {
+                blocks.push(
+                    cocktail_kvcache::PrefixKvBlock::new(
+                        raw.k.slice_rows(0, prefix_len),
+                        raw.v.slice_rows(0, prefix_len),
+                    )
+                    .unwrap(),
+                );
+            }
+        }
+        SharedPrefixKv::from_blocks(engine.config().n_layers, engine.config().n_kv_heads, blocks)
+            .unwrap()
+    }
+
+    #[test]
+    fn batched_prefill_is_bit_identical_to_sequential_prefill() {
+        let engine = tiny_engine();
+        let prompts: Vec<Vec<u32>> = (0..3).map(|i| sample_prompt(&engine, 7 + 4 * i)).collect();
+        let sequential: Vec<PrefillOutput> =
+            prompts.iter().map(|p| engine.prefill(p).unwrap()).collect();
+        let slots: Vec<PrefillSlot<'_>> = prompts.iter().map(|p| PrefillSlot::cold(p)).collect();
+        let batched = engine.prefill_batch(&slots).unwrap();
+        for ((seq, batch), prompt) in sequential.iter().zip(&batched).zip(&prompts) {
+            assert_eq!(batch.prefix_len, 0);
+            assert_eq!(batch.suffix_len(), prompt.len());
+            assert_eq!(seq.last_logits, batch.last_logits);
+            assert_eq!(seq.hidden, batch.hidden);
+            assert_eq!(seq.kv, batch.suffix_kv);
+        }
+    }
+
+    #[test]
+    fn prefix_reusing_prefill_is_bit_identical_to_cold_prefill() {
+        let engine = tiny_engine();
+        let full = sample_prompt(&engine, 14);
+        let cold = engine.prefill(&full).unwrap();
+        for prefix_len in [1usize, 5, 8, 13] {
+            let shared = prefix_blocks_from_prefill(&engine, &cold, prefix_len);
+            let warm = engine
+                .prefill_batch(&[PrefillSlot::with_prefix(&full, &shared, prefix_len)])
+                .unwrap()
+                .pop()
+                .unwrap();
+            assert_eq!(warm.prefix_len, prefix_len);
+            assert_eq!(warm.suffix_len(), full.len() - prefix_len);
+            assert_eq!(
+                cold.last_logits, warm.last_logits,
+                "prefix {prefix_len}: logits diverged"
+            );
+            for (layer, heads) in cold.kv.iter().enumerate() {
+                for (head, raw) in heads.iter().enumerate() {
+                    let warm_raw = &warm.suffix_kv[layer][head];
+                    assert_eq!(
+                        raw.k.slice_rows(prefix_len, full.len()),
+                        warm_raw.k,
+                        "layer {layer} head {head} suffix keys diverged"
+                    );
+                    assert_eq!(raw.v.slice_rows(prefix_len, full.len()), warm_raw.v);
+                }
+            }
+            assert_eq!(cold.hidden.slice_rows(prefix_len, full.len()), warm.hidden);
+        }
+    }
+
+    #[test]
+    fn mixed_cold_and_warm_prefill_batch_matches_singles() {
+        let engine = tiny_engine();
+        let shared_full = sample_prompt(&engine, 12);
+        let cold_prefill = engine.prefill(&shared_full).unwrap();
+        let shared = prefix_blocks_from_prefill(&engine, &cold_prefill, 9);
+        let other = sample_prompt(&engine, 10);
+
+        let singles = [
+            engine
+                .prefill_batch(&[PrefillSlot::with_prefix(&shared_full, &shared, 9)])
+                .unwrap()
+                .pop()
+                .unwrap(),
+            engine
+                .prefill_batch(&[PrefillSlot::cold(&other)])
+                .unwrap()
+                .pop()
+                .unwrap(),
+        ];
+        let batched = engine
+            .prefill_batch(&[
+                PrefillSlot::with_prefix(&shared_full, &shared, 9),
+                PrefillSlot::cold(&other),
+            ])
+            .unwrap();
+        for (single, batch) in singles.iter().zip(&batched) {
+            assert_eq!(single, batch, "batch composition changed a prefill");
+        }
+    }
+
+    #[test]
+    fn prefill_batch_rejects_invalid_slots() {
+        let engine = tiny_engine();
+        let prompt = sample_prompt(&engine, 10);
+        let prefill = engine.prefill(&prompt).unwrap();
+        let shared = prefix_blocks_from_prefill(&engine, &prefill, 10);
+        // Empty prompt.
+        assert!(engine.prefill_batch(&[PrefillSlot::cold(&[])]).is_err());
+        // prefix_len without blocks.
+        let bad = PrefillSlot {
+            tokens: &prompt,
+            prefix: None,
+            prefix_len: 3,
+        };
+        assert!(engine.prefill_batch(&[bad]).is_err());
+        // prefix_len covering the whole prompt leaves nothing to compute.
+        assert!(engine
+            .prefill_batch(&[PrefillSlot::with_prefix(&prompt, &shared, prompt.len())])
+            .is_err());
+        // Mismatched block layout.
+        let wrong = SharedPrefixKv::from_blocks(
+            1,
+            1,
+            vec![cocktail_kvcache::PrefixKvBlock::new(
+                Matrix::zeros(4, engine.config().head_dim()),
+                Matrix::zeros(4, engine.config().head_dim()),
+            )
+            .unwrap()],
+        )
+        .unwrap();
+        assert!(engine
+            .prefill_batch(&[PrefillSlot::with_prefix(&prompt, &wrong, 2)])
+            .is_err());
     }
 
     #[test]

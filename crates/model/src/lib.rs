@@ -42,7 +42,9 @@ mod tokenizer;
 mod weights;
 
 pub use config::ModelConfig;
-pub use engine::{DecodeSlot, DecodeStep, InferenceEngine, PrefillOutput, RawKv};
+pub use engine::{
+    BatchPrefill, DecodeSlot, DecodeStep, InferenceEngine, PrefillOutput, PrefillSlot, RawKv,
+};
 pub use error::ModelError;
 pub use profile::ModelProfile;
 pub use tokenizer::{Tokenizer, BOS_TOKEN, UNK_TOKEN};

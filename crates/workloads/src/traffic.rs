@@ -12,6 +12,7 @@
 
 use crate::generators::{TaskGenerator, WorkloadConfig};
 use crate::task::{TaskInstance, TaskKind};
+use crate::text;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
@@ -31,6 +32,15 @@ pub struct TrafficConfig {
     pub workload: WorkloadConfig,
     /// Task families cycled through by consecutive requests.
     pub kinds: Vec<TaskKind>,
+    /// Number of shared-prefix groups; `0` disables the shared-prefix
+    /// mode. Request `i` belongs to group `i % prefix_groups` and its
+    /// context opens with that group's preamble, so serving-side prefix
+    /// caches see realistic shared-context traffic. Group membership and
+    /// preambles depend only on the base seed and the group index, so they
+    /// are stable when the trace grows.
+    pub prefix_groups: usize,
+    /// Number of words in each group's shared preamble.
+    pub prefix_words: usize,
 }
 
 impl TrafficConfig {
@@ -42,6 +52,8 @@ impl TrafficConfig {
             max_new_tokens: 8,
             workload: WorkloadConfig::tiny(),
             kinds: vec![TaskKind::Qasper, TaskKind::QmSum, TaskKind::TriviaQa],
+            prefix_groups: 0,
+            prefix_words: 0,
         }
     }
 
@@ -54,6 +66,14 @@ impl TrafficConfig {
     /// Returns a copy with a different per-request generation budget.
     pub fn with_max_new_tokens(mut self, tokens: usize) -> Self {
         self.max_new_tokens = tokens;
+        self
+    }
+
+    /// Returns a copy with shared-prefix traffic: `groups` preambles of
+    /// `words` words each, cycled over the requests.
+    pub fn with_shared_prefix(mut self, groups: usize, words: usize) -> Self {
+        self.prefix_groups = groups;
+        self.prefix_words = words;
         self
     }
 }
@@ -70,7 +90,11 @@ pub struct TrafficRequest {
     pub seed: u64,
     /// Generation budget.
     pub max_new_tokens: usize,
-    /// The task (context, query, reference answer).
+    /// The shared-prefix group this request belongs to (`None` when the
+    /// shared-prefix mode is disabled).
+    pub prefix_group: Option<usize>,
+    /// The task (context, query, reference answer). In shared-prefix mode
+    /// the context opens with the group preamble.
     pub task: TaskInstance,
 }
 
@@ -117,6 +141,29 @@ impl TrafficGenerator {
         z ^ (z >> 31)
     }
 
+    /// The shared preamble of one prefix group: a fixed-length word
+    /// sequence drawn from the base seed and the group index only, so every
+    /// request of the group — in any trace length — opens with identical
+    /// tokens.
+    pub fn group_preamble(&self, group: usize) -> String {
+        let words = self.config.prefix_words;
+        if words == 0 {
+            return String::new();
+        }
+        let mut rng = text::text_rng(
+            self.base_seed ^ (group as u64).wrapping_mul(0xA076_1D64_78BD_642F) ^ 0x5_11A_12E,
+        );
+        // The group tag comes first so even a 1-word preamble still
+        // distinguishes groups.
+        let mut collected: Vec<String> = vec![format!("channel{group}"), "briefing".to_string()];
+        while collected.len() < words {
+            let sentence = text::filler_sentence(&mut rng);
+            collected.extend(sentence.split_whitespace().map(str::to_string));
+        }
+        collected.truncate(words);
+        collected.join(" ")
+    }
+
     /// Generates the trace, sorted by arrival step (ties keep submission
     /// order by index).
     pub fn generate(&self) -> Vec<TrafficRequest> {
@@ -135,12 +182,21 @@ impl TrafficGenerator {
                     let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x0A22_17A1);
                     rng.gen_range(0..self.config.arrival_window_steps)
                 };
+                let mut task = TaskGenerator::new(kind, self.config.workload).generate(seed);
+                let prefix_group = if self.config.prefix_groups > 0 {
+                    let group = index % self.config.prefix_groups;
+                    task.context = format!("{} . {}", self.group_preamble(group), task.context);
+                    Some(group)
+                } else {
+                    None
+                };
                 TrafficRequest {
                     index,
                     arrival_step,
                     seed,
                     max_new_tokens: self.config.max_new_tokens,
-                    task: TaskGenerator::new(kind, self.config.workload).generate(seed),
+                    prefix_group,
+                    task,
                 }
             })
             .collect();
@@ -207,6 +263,59 @@ mod tests {
         assert!(trace.iter().all(|r| r.arrival_step == 0));
         assert_eq!(generator.arrivals_at(&trace, 0).len(), 4);
         assert!(generator.arrivals_at(&trace, 1).is_empty());
+    }
+
+    #[test]
+    fn shared_prefix_groups_share_their_preamble_word_for_word() {
+        let config = TrafficConfig::small(9).with_shared_prefix(3, 24);
+        let generator = TrafficGenerator::new(config, 17);
+        let trace = generator.generate();
+        for request in &trace {
+            let group = request.prefix_group.expect("prefix mode is on");
+            assert_eq!(group, request.index % 3);
+            let preamble = generator.group_preamble(group);
+            assert_eq!(preamble.split_whitespace().count(), 24);
+            assert!(
+                request.task.context.starts_with(&preamble),
+                "request {} does not open with its group preamble",
+                request.index
+            );
+        }
+        // Distinct groups have distinct preambles.
+        assert_ne!(generator.group_preamble(0), generator.group_preamble(1));
+        assert_ne!(generator.group_preamble(1), generator.group_preamble(2));
+        // Even a one-word preamble keeps the groups distinguishable.
+        let one_word = TrafficGenerator::new(TrafficConfig::small(2).with_shared_prefix(2, 1), 17);
+        assert_ne!(one_word.group_preamble(0), one_word.group_preamble(1));
+    }
+
+    #[test]
+    fn shared_prefix_requests_stay_stable_under_trace_growth() {
+        let config = |n| TrafficConfig::small(n).with_shared_prefix(2, 16);
+        let short = TrafficGenerator::new(config(4), 23).generate();
+        let long = TrafficGenerator::new(config(10), 23).generate();
+        for request in &short {
+            let twin = long
+                .iter()
+                .find(|r| r.index == request.index)
+                .expect("request present in longer trace");
+            assert_eq!(
+                request, twin,
+                "shared-prefix request changed as the trace grew"
+            );
+        }
+    }
+
+    #[test]
+    fn disabled_prefix_mode_leaves_contexts_untouched() {
+        let plain = TrafficGenerator::new(TrafficConfig::small(3), 7).generate();
+        assert!(plain.iter().all(|r| r.prefix_group.is_none()));
+        let prefixed =
+            TrafficGenerator::new(TrafficConfig::small(3).with_shared_prefix(1, 12), 7).generate();
+        for (a, b) in plain.iter().zip(&prefixed) {
+            assert!(b.task.context.ends_with(&a.task.context));
+            assert_ne!(a.task.context, b.task.context);
+        }
     }
 
     #[test]

@@ -1,7 +1,9 @@
-//! Batched multi-request serving with continuous scheduling: mixed-arrival
-//! traffic flows through a [`ServingEngine`] under a KV-memory budget, so
-//! requests join the running batch as earlier ones finish and Cocktail's
-//! compression directly buys batch capacity.
+//! Batched multi-request serving with continuous scheduling and shared-
+//! prefix reuse: mixed-arrival traffic in which groups of requests share a
+//! context preamble flows through a [`ServingEngine`] under a KV-memory
+//! budget — requests join the running batch as earlier ones finish,
+//! Cocktail's compression directly buys batch capacity, and the prefix
+//! cache serves each shared preamble's prefill once.
 //!
 //! ```bash
 //! cargo run --release --example serving
@@ -11,22 +13,32 @@ use cocktail::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Mixed-family traffic: QA, summarization and trivia requests arriving
-    // over the first few engine steps, each drawn from its own seed.
-    let traffic =
-        TrafficGenerator::new(TrafficConfig::small(6).with_max_new_tokens(10), 0x5e12_41e5)
-            .generate();
+    // over the first few engine steps, each drawn from its own seed, in two
+    // shared-prefix groups (think: two system prompts in rotation).
+    let traffic = TrafficGenerator::new(
+        TrafficConfig::small(6)
+            .with_max_new_tokens(10)
+            .with_shared_prefix(2, 48),
+        0x5e12_41e5,
+    )
+    .generate();
 
     let config = CocktailConfig::default().with_chunk_size(16)?;
     let mut engine = ServingEngine::new(ModelProfile::tiny(), config)?;
 
     // Budget the KV memory to roughly two concurrent compressed requests so
     // the scheduler visibly takes turns; raise it and watch the batch grow.
+    // The prefix cache's resident blocks are charged against the same
+    // budget and evicted LRU when admissions need the room.
     let model = engine.engine().config();
-    let budget = model.kv_bytes_fp16(420);
-    engine = engine.with_scheduler_config(SchedulerConfig::default().with_budget(budget));
+    let budget = model.kv_bytes_fp16(1280);
+    engine = engine
+        .with_scheduler_config(SchedulerConfig::default().with_budget(budget))
+        .with_prefix_cache(PrefixCacheConfig::default());
 
     println!(
-        "Serving {} requests on the tiny sim model under a {:.0} KiB KV budget\n",
+        "Serving {} requests (2 shared-prefix groups) on the tiny sim model under a {:.0} KiB \
+         KV budget\n",
         traffic.len(),
         budget as f64 / 1024.0
     );
@@ -47,8 +59,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 request.max_new_tokens,
             ));
             println!(
-                "step {step:>3}  + {id} arrives ({}, {} context words)",
+                "step {step:>3}  + {id} arrives ({}, group {}, {} context words)",
                 request.task.kind.name(),
+                request.prefix_group.unwrap_or(0),
                 request.task.context_words()
             );
             submitted.push((id, request.index));
@@ -65,21 +78,34 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("\nPer-request results:");
     println!(
-        "{:<8} {:>6} {:>9} {:>9} {:>8} {:>8} {:>10}",
-        "request", "queued", "admitted", "finished", "tokens", "ratio", "decode us"
+        "{:<8} {:>6} {:>9} {:>9} {:>8} {:>8} {:>8} {:>10}",
+        "request", "queued", "admitted", "finished", "tokens", "reused", "ratio", "decode us"
     );
     for (id, _) in &submitted {
         let outcome = engine.take_outcome(*id).expect("request completed");
         let stats = &outcome.stats;
         println!(
-            "{:<8} {:>6} {:>9} {:>9} {:>8} {:>7.2}x {:>10}",
+            "{:<8} {:>6} {:>9} {:>9} {:>8} {:>8} {:>7.2}x {:>10}",
             outcome.id.to_string(),
             stats.submitted_step,
             stats.admitted_step.unwrap_or(0),
             stats.finished_step.unwrap_or(0),
             stats.generated_tokens,
+            stats.prefix_reused_tokens,
             outcome.outcome.compression_ratio(),
             stats.timings.decode_us,
+        );
+    }
+    if let Some(stats) = engine.prefix_cache_stats() {
+        println!(
+            "\nPrefix cache: {} entries ({:.0} KiB resident), {} hits / {} misses, {} tokens \
+             served from cache, {} evictions",
+            stats.entries,
+            stats.resident_bytes as f64 / 1024.0,
+            stats.hits,
+            stats.misses,
+            stats.reused_tokens,
+            stats.evictions
         );
     }
     Ok(())

@@ -56,14 +56,19 @@ pub mod prelude {
     };
     pub use cocktail_core::{
         AdmitDecision, BatchScheduler, BitwidthPlan, ChunkQuantSearch, CocktailConfig,
-        CocktailOutcome, CocktailPipeline, CocktailPolicy, PipelineTimings, RequestId,
-        RequestOutcome, RequestState, SchedulerConfig, ServeRequest, ServingEngine, ServingStats,
+        CocktailOutcome, CocktailPipeline, CocktailPolicy, PipelineTimings, PrefixCache,
+        PrefixCacheConfig, PrefixCacheStats, RequestId, RequestOutcome, RequestState,
+        SchedulerConfig, ServeRequest, ServingEngine, ServingStats,
     };
     pub use cocktail_hwsim::{AcceleratorSpec, DeploymentModel, KvCacheProfile, RequestShape};
     pub use cocktail_kvcache::{
         ChunkPermutation, ChunkSegmentation, ChunkedKvCache, ChunkedLayerCache, KvChunk,
+        PrefixKvBlock, SharedPrefixKv,
     };
-    pub use cocktail_model::{DecodeSlot, InferenceEngine, ModelConfig, ModelProfile, Tokenizer};
+    pub use cocktail_model::{
+        BatchPrefill, DecodeSlot, InferenceEngine, ModelConfig, ModelProfile, PrefillSlot,
+        Tokenizer,
+    };
     pub use cocktail_quant::{Bitwidth, QuantAxis, QuantConfig, QuantizedMatrix};
     pub use cocktail_retrieval::{Bm25, ChunkScorer, ContrieverSim, EncoderKind};
     pub use cocktail_tensor::Matrix;

@@ -3,6 +3,7 @@
 //! paper relies on.
 
 use cocktail::prelude::*;
+use proptest::prelude::*;
 
 fn sample_task() -> TaskInstance {
     TaskGenerator::qasper(WorkloadConfig::small()).generate(314)
@@ -202,6 +203,153 @@ fn serving_budget_is_enforced_against_measured_compressed_bytes() {
     assert_eq!(completed.len(), reference.len());
     for (constrained, unconstrained) in completed.iter().zip(&reference) {
         assert_eq!(constrained.outcome.answer, unconstrained.outcome.answer);
+    }
+}
+
+#[test]
+fn prefix_reuse_and_batched_prefill_are_byte_identical_under_shared_traffic() {
+    // Shared-prefix traffic served three ways — sequentially through the
+    // pipeline, batched without the prefix cache, batched with it — must
+    // produce byte-identical outcomes, while the cache measurably reuses
+    // the shared preambles.
+    let config = CocktailConfig::default().with_chunk_size(32).unwrap();
+    let traffic =
+        TrafficGenerator::new(TrafficConfig::small(6).with_shared_prefix(2, 96), 0x5a5a).generate();
+
+    let pipeline = CocktailPipeline::new(ModelProfile::llama2_7b_sim(), config.clone()).unwrap();
+    let sequential: Vec<CocktailOutcome> = traffic
+        .iter()
+        .map(|r| {
+            pipeline
+                .run(&r.task.context, &r.task.query, r.max_new_tokens)
+                .unwrap()
+        })
+        .collect();
+
+    let serve = |prefix: bool| {
+        let mut engine = ServingEngine::new(ModelProfile::llama2_7b_sim(), config.clone()).unwrap();
+        if prefix {
+            engine = engine.with_prefix_cache(PrefixCacheConfig::default());
+        }
+        for request in &traffic {
+            engine.submit(ServeRequest::new(
+                request.task.context.clone(),
+                request.task.query.clone(),
+                request.max_new_tokens,
+            ));
+        }
+        engine.run_until_idle().unwrap()
+    };
+    let plain = serve(false);
+    let cached = serve(true);
+    for ((seq, a), b) in sequential.iter().zip(&plain).zip(&cached) {
+        assert_eq!(seq.answer, a.outcome.answer);
+        assert_eq!(seq.answer, b.outcome.answer);
+        assert_eq!(seq.generated_tokens, b.outcome.generated_tokens);
+        assert_eq!(seq.cache_bytes, b.outcome.cache_bytes);
+        assert_eq!(seq.report, b.outcome.report);
+    }
+    // Beyond the two cold group leaders, every request reused its group's
+    // preamble from the cache.
+    let reused: Vec<usize> = cached
+        .iter()
+        .map(|o| o.stats.prefix_reused_tokens)
+        .collect();
+    assert!(
+        reused.iter().filter(|&&r| r > 0).count() >= traffic.len() - 2,
+        "expected at least {} prefix hits, got {reused:?}",
+        traffic.len() - 2
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(5))]
+
+    /// Random request sets with random shared prefixes: serving with the
+    /// prefix cache enabled is byte-identical to serving with it disabled,
+    /// and the scheduler's KV budget is never exceeded while blocks are
+    /// shared.
+    #[test]
+    fn prefix_cached_serving_is_byte_identical_and_never_exceeds_the_budget(
+        groups in 1usize..3,
+        per_group in 2usize..4,
+        prefix_sentences in 2usize..5,
+        tail_words in 3usize..9,
+        seed in 0u64..1000,
+    ) {
+        let requests: Vec<(String, String)> = (0..groups * per_group)
+            .map(|i| {
+                let g = i % groups;
+                let preamble: Vec<String> = (0..prefix_sentences)
+                    .map(|s| {
+                        format!("notice {s} for channel {g} of stream {seed} reports routine operations")
+                    })
+                    .collect();
+                let tail: Vec<String> = (0..tail_words).map(|w| format!("extra{w} detail{i}")).collect();
+                (
+                    format!(
+                        "{} . the secret marker for request {i} is beacon{i} . {}",
+                        preamble.join(" . "),
+                        tail.join(" ")
+                    ),
+                    format!("what is the secret marker for request {i}?"),
+                )
+            })
+            .collect();
+        let config = CocktailConfig::default().with_chunk_size(8).unwrap();
+        let run = |prefix: bool, budget: Option<usize>| -> (Vec<RequestOutcome>, usize) {
+            let mut engine = ServingEngine::new(ModelProfile::tiny(), config.clone()).unwrap();
+            if let Some(bytes) = budget {
+                engine = engine.with_scheduler_config(SchedulerConfig::default().with_budget(bytes));
+            }
+            if prefix {
+                engine = engine.with_prefix_cache(
+                    PrefixCacheConfig::default().with_min_prefix_tokens(4),
+                );
+            }
+            for (ctx, q) in &requests {
+                engine.submit(ServeRequest::new(ctx.clone(), q.clone(), 3));
+            }
+            let cap = budget.unwrap_or(usize::MAX);
+            let mut max_used = 0;
+            let mut guard = 0;
+            while !engine.is_idle() {
+                guard += 1;
+                assert!(guard < 10_000, "serving failed to quiesce");
+                engine.step().unwrap();
+                assert!(engine.kv_bytes_in_use() <= cap, "budget exceeded");
+                max_used = max_used.max(engine.kv_bytes_in_use());
+            }
+            let outcomes = (0..requests.len() as u64)
+                .filter_map(|raw| engine.take_outcome(RequestId::new(raw)))
+                .collect();
+            (outcomes, max_used)
+        };
+
+        let (plain, _) = run(false, None);
+        let (cached, _) = run(true, None);
+        prop_assert_eq!(plain.len(), requests.len());
+        prop_assert_eq!(cached.len(), requests.len());
+        for (a, b) in plain.iter().zip(&cached) {
+            prop_assert_eq!(&a.outcome.answer, &b.outcome.answer);
+            prop_assert_eq!(&a.outcome.generated_tokens, &b.outcome.generated_tokens);
+            prop_assert_eq!(a.outcome.cache_bytes, b.outcome.cache_bytes);
+        }
+
+        // A budget fitting ~two requests: shared blocks must never push
+        // usage past it, everything must still complete, byte-identically.
+        let per_request = plain
+            .iter()
+            .map(|o| o.stats.cache_bytes + o.stats.reserved_tail_bytes)
+            .max()
+            .expect("at least one outcome");
+        let budget = per_request * 2;
+        let (constrained, used) = run(true, Some(budget));
+        prop_assert_eq!(constrained.len(), requests.len());
+        prop_assert!(used <= budget);
+        for (a, b) in plain.iter().zip(&constrained) {
+            prop_assert_eq!(&a.outcome.answer, &b.outcome.answer);
+        }
     }
 }
 
