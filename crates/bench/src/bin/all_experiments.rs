@@ -16,5 +16,6 @@ fn main() {
     experiments::fig7_alpha_beta(INSTANCES_PER_CELL);
     experiments::serving_throughput();
     experiments::ttft_prefix_reuse();
+    experiments::streaming_latency();
     println!("\nAll experiments complete; JSON records are under results/.");
 }

@@ -1,0 +1,75 @@
+//! Measures streaming latency under cancelling traffic and *enforces* the
+//! streaming acceptance criteria: every request's first streamed token must
+//! arrive strictly before its completion (the point of streaming), every
+//! client-cancelled request must decode strictly fewer tokens than its
+//! budget (cancellation actually saves work), and the KV-budget invariant
+//! must hold at every step with cancellations in flight. Byte-identity of
+//! survivors against solo sequential runs is asserted inside the experiment
+//! itself (it panics on divergence). Exits non-zero when any criterion
+//! fails, so CI catches streaming and cancellation regressions.
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let report = cocktail_bench::experiments::streaming_latency();
+    let mut ok = true;
+    if !report.rows.iter().any(|r| r.cancelled) || report.rows.iter().all(|r| r.cancelled) {
+        eprintln!("FAIL: the traffic must mix cancelled and surviving requests");
+        ok = false;
+    }
+    for row in &report.rows {
+        // Strict per-request ordering; a single-token request could tie at
+        // microsecond resolution, so it is covered by the mean check below.
+        if row.generated_tokens >= 2 && row.first_token_us >= row.completion_us {
+            eprintln!(
+                "FAIL: request {} streamed its first token at {} us, not strictly before its \
+                 completion at {} us",
+                row.request, row.first_token_us, row.completion_us
+            );
+            ok = false;
+        }
+        if row.cancelled && row.generated_tokens >= row.max_new_tokens {
+            eprintln!(
+                "FAIL: cancelled request {} decoded {} of {} tokens — cancellation saved nothing",
+                row.request, row.generated_tokens, row.max_new_tokens
+            );
+            ok = false;
+        }
+        if row.first_token_step.is_none() {
+            eprintln!("FAIL: request {} never streamed a first token", row.request);
+            ok = false;
+        }
+    }
+    // NaN must fail too, so compare negatively.
+    if report
+        .mean_first_token_us
+        .partial_cmp(&report.mean_completion_us)
+        != Some(std::cmp::Ordering::Less)
+    {
+        eprintln!(
+            "FAIL: mean first-token latency ({:.0} us) is not strictly below mean completion \
+             latency ({:.0} us)",
+            report.mean_first_token_us, report.mean_completion_us
+        );
+        ok = false;
+    }
+    if !report.budget_ok {
+        eprintln!(
+            "FAIL: KV usage peaked at {} bytes over the {}-byte budget",
+            report.max_kv_bytes_in_use, report.budget_bytes
+        );
+        ok = false;
+    }
+    if ok {
+        println!(
+            "OK: first token after {:.0} us vs completion after {:.0} us on average, \
+             cancellations saved work, budget held ({} of {} bytes peak)",
+            report.mean_first_token_us,
+            report.mean_completion_us,
+            report.max_kv_bytes_in_use,
+            report.budget_bytes
+        );
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

@@ -10,7 +10,7 @@ use crate::{
 };
 use cocktail_core::{
     CocktailConfig, CocktailOutcome, CocktailPipeline, PrefixCacheConfig, PrefixCacheStats,
-    SchedulerConfig, ServeRequest, ServingEngine, ServingStats,
+    RequestId, SchedulerConfig, ServeRequest, ServingEngine, ServingStats,
 };
 use cocktail_hwsim::{AcceleratorSpec, DeploymentModel, KvCacheProfile, RequestShape};
 use cocktail_model::ModelProfile;
@@ -755,6 +755,8 @@ pub fn serving_throughput_with(repetitions: usize, write: bool) -> ServingThroug
             kinds: vec![TaskKind::Qasper, TaskKind::QmSum, TaskKind::TriviaQa],
             prefix_groups: 0,
             prefix_words: 0,
+            cancel_per_mille: 0,
+            stop_strings: Vec::new(),
         },
         0xC0C_7A11,
     )
@@ -980,6 +982,8 @@ pub fn ttft_prefix_reuse_with(repetitions: usize, write: bool) -> TtftPrefixReus
             kinds: vec![TaskKind::Qasper, TaskKind::QmSum, TaskKind::TriviaQa],
             prefix_groups: groups,
             prefix_words: 192,
+            cancel_per_mille: 0,
+            stop_strings: Vec::new(),
         },
         0x77F7_0001,
     )
@@ -1118,6 +1122,305 @@ pub fn ttft_prefix_reuse_with(repetitions: usize, write: bool) -> TtftPrefixReus
                 "{groups} groups x {requests_per_group} requests sharing a 192-word preamble on \
                  the Llama2-7B sim profile, best of {repetitions} serving runs; TTFT = prefill + \
                  compression; warm answers asserted byte-identical to cold sequential runs"
+            ),
+            rows: &report,
+        };
+        let path = write_record(&record);
+        println!("(written to {})", path.display());
+    }
+    report
+}
+
+// ---------------------------------------------------------------------------
+// Streaming latency — per-token streaming with client-side cancellations
+// ---------------------------------------------------------------------------
+
+/// One request of the streaming-latency experiment.
+#[derive(Debug, Clone, Serialize)]
+pub struct StreamingLatencyRow {
+    /// Submission index of the request.
+    pub request: usize,
+    /// The request's generation budget.
+    pub max_new_tokens: usize,
+    /// Tokens actually streamed before completion or cancellation.
+    pub generated_tokens: usize,
+    /// Whether the client cancelled the request mid-decode.
+    pub cancelled: bool,
+    /// The client's disconnect point (streamed tokens), if any.
+    pub cancel_after_tokens: Option<usize>,
+    /// Engine step at which the first token was streamed.
+    pub first_token_step: Option<usize>,
+    /// Engine step at which the request left the engine.
+    pub finished_step: Option<usize>,
+    /// Best-of-N wall time from serve start to the first streamed token.
+    pub first_token_us: u64,
+    /// Best-of-N wall time from serve start to completion (or to the
+    /// cancellation for a cancelled request).
+    pub completion_us: u64,
+}
+
+/// Full payload of the streaming-latency record.
+#[derive(Debug, Clone, Serialize)]
+pub struct StreamingLatencyReport {
+    /// Number of requests in the traffic.
+    pub requests: usize,
+    /// The KV budget the engine ran under, bytes.
+    pub budget_bytes: usize,
+    /// The highest KV usage observed at any step.
+    pub max_kv_bytes_in_use: usize,
+    /// Whether usage stayed within the budget at every step.
+    pub budget_ok: bool,
+    /// Per-request rows in submission order.
+    pub rows: Vec<StreamingLatencyRow>,
+    /// Mean first-token wall time across the requests, microseconds.
+    pub mean_first_token_us: f64,
+    /// Mean completion wall time across the requests, microseconds.
+    pub mean_completion_us: f64,
+}
+
+/// Streaming latency with the default settings: best-of-3 timing, record
+/// written to `results/streaming_latency.json`.
+///
+/// # Panics
+///
+/// Panics if serving fails, a survivor's streamed answer differs from its
+/// solo sequential run, or a cancelled request's streamed prefix diverges.
+pub fn streaming_latency() -> StreamingLatencyReport {
+    streaming_latency_with(3, true)
+}
+
+/// Streaming latency under cancelling traffic: mixed-family requests are
+/// served through [`ServingEngine::step_events`] with per-token streaming;
+/// a deterministic subset of clients disconnects mid-decode, upon which the
+/// driver calls [`ServingEngine::cancel`] — freeing the request's KV budget
+/// immediately. Measured per request: wall time to the *first* streamed
+/// token versus wall time to completion, the gap streaming exists to
+/// exploit. Byte-identity is asserted throughout: every survivor's
+/// concatenated pieces equal its own solo sequential pipeline run, and
+/// every cancelled request's streamed text is a byte prefix of its solo
+/// run.
+///
+/// Each request's latencies are minima over `repetitions` full serving
+/// runs, the usual defence against scheduler noise.
+///
+/// # Panics
+///
+/// Panics on any serving failure or byte divergence (see above).
+pub fn streaming_latency_with(repetitions: usize, write: bool) -> StreamingLatencyReport {
+    let repetitions = repetitions.max(1);
+    let requests = 6usize;
+    let max_new_tokens = 24usize;
+    let config = CocktailConfig::default()
+        .with_chunk_size(16)
+        .expect("chunk size is valid");
+    let traffic = TrafficGenerator::new(
+        TrafficConfig {
+            requests,
+            arrival_window_steps: 0,
+            max_new_tokens,
+            workload: WorkloadConfig::tiny().with_context_words(96),
+            kinds: vec![TaskKind::Qasper, TaskKind::QmSum, TaskKind::TriviaQa],
+            prefix_groups: 0,
+            prefix_words: 0,
+            cancel_per_mille: 400,
+            stop_strings: Vec::new(),
+        },
+        0x573E_AA11,
+    )
+    .generate();
+    assert!(
+        traffic.iter().any(|r| r.cancel_after_tokens.is_some())
+            && traffic.iter().any(|r| r.cancel_after_tokens.is_none()),
+        "the trace must mix cancelled and surviving requests"
+    );
+
+    let profile = ModelProfile::llama2_7b_sim;
+    let pipeline =
+        CocktailPipeline::new(profile(), config.clone()).expect("pipeline config is valid");
+    let solo: Vec<CocktailOutcome> = traffic
+        .iter()
+        .map(|r| {
+            pipeline
+                .run(&r.task.context, &r.task.query, r.max_new_tokens)
+                .expect("solo sequential reference run succeeds")
+        })
+        .collect();
+
+    // Budget for roughly three concurrent requests, so streaming runs under
+    // real admission pressure and the invariant is exercised.
+    let tail = (max_new_tokens - 1) * pipeline.engine().config().kv_bytes_per_token_fp16();
+    let budget = solo
+        .iter()
+        .map(|o| o.cache_bytes + tail)
+        .max()
+        .expect("at least one request")
+        * 3;
+
+    let mut best_first = vec![u64::MAX; requests];
+    let mut best_completion = vec![u64::MAX; requests];
+    let mut last_stats: Vec<ServingStats> = Vec::new();
+    let mut max_kv_bytes_in_use = 0usize;
+    for _ in 0..repetitions {
+        let mut engine = ServingEngine::new(profile(), config.clone())
+            .expect("serving config is valid")
+            .with_scheduler_config(SchedulerConfig::default().with_budget(budget));
+        let ids: Vec<RequestId> = traffic
+            .iter()
+            .map(|r| {
+                engine.submit(ServeRequest::new(
+                    r.task.context.clone(),
+                    r.task.query.clone(),
+                    r.max_new_tokens,
+                ))
+            })
+            .collect();
+        let index_of = |id: RequestId| ids.iter().position(|&i| i == id).expect("known id");
+
+        let start = Instant::now();
+        let mut first_us = vec![None::<u64>; requests];
+        let mut completion_us = vec![None::<u64>; requests];
+        let mut streamed: Vec<String> = vec![String::new(); requests];
+        let mut cancelled = vec![false; requests];
+        while !engine.is_idle() {
+            let events = engine.step_events().expect("streaming serving succeeds");
+            let now_us = start.elapsed().as_micros() as u64;
+            for event in &events {
+                let i = index_of(event.id);
+                streamed[i].push_str(&event.piece);
+                if event.token.is_some() {
+                    first_us[i].get_or_insert(now_us);
+                }
+                if event.finish.is_some() {
+                    completion_us[i] = Some(now_us);
+                }
+            }
+            // Client-side disconnects: cancel every request whose streamed
+            // token count just reached its disconnect point.
+            for (i, request) in traffic.iter().enumerate() {
+                if let Some(after) = request.cancel_after_tokens {
+                    let count = engine
+                        .stats(ids[i])
+                        .map_or(after, |stats| stats.generated_tokens);
+                    if !cancelled[i] && count >= after {
+                        assert!(
+                            engine.cancel(ids[i]),
+                            "disconnect point precedes completion"
+                        );
+                        cancelled[i] = true;
+                        completion_us[i] = Some(start.elapsed().as_micros() as u64);
+                    }
+                }
+            }
+            max_kv_bytes_in_use = max_kv_bytes_in_use.max(engine.kv_bytes_in_use());
+            assert!(
+                engine.kv_bytes_in_use() <= budget,
+                "KV budget invariant violated while streaming"
+            );
+        }
+
+        let mut stats = Vec::with_capacity(requests);
+        for (i, id) in ids.iter().enumerate() {
+            if cancelled[i] {
+                assert!(
+                    solo[i].answer.starts_with(&streamed[i]),
+                    "request {i}: cancelled stream diverged from its solo run"
+                );
+                stats.push(engine.take_cancelled(*id).expect("cancelled stats"));
+            } else {
+                let outcome = engine.take_outcome(*id).expect("survivor completed");
+                assert_eq!(
+                    streamed[i], outcome.outcome.answer,
+                    "request {i}: streamed pieces diverged from the collected answer"
+                );
+                assert_eq!(
+                    outcome.outcome.answer, solo[i].answer,
+                    "request {i}: streamed serving diverged from its solo run"
+                );
+                stats.push(outcome.stats);
+            }
+            best_first[i] = best_first[i].min(first_us[i].expect("every request streams a token"));
+            best_completion[i] =
+                best_completion[i].min(completion_us[i].expect("every request terminates"));
+        }
+        last_stats = stats;
+    }
+
+    let rows: Vec<StreamingLatencyRow> = traffic
+        .iter()
+        .enumerate()
+        .map(|(i, request)| StreamingLatencyRow {
+            request: i,
+            max_new_tokens: request.max_new_tokens,
+            generated_tokens: last_stats[i].generated_tokens,
+            cancelled: last_stats[i].cancelled,
+            cancel_after_tokens: request.cancel_after_tokens,
+            first_token_step: last_stats[i].first_token_step,
+            finished_step: last_stats[i].finished_step,
+            first_token_us: best_first[i],
+            completion_us: best_completion[i],
+        })
+        .collect();
+    let mean = |values: &dyn Fn(&StreamingLatencyRow) -> u64| -> f64 {
+        rows.iter().map(|r| values(r) as f64).sum::<f64>() / rows.len().max(1) as f64
+    };
+    let mean_first_token_us = mean(&|r: &StreamingLatencyRow| r.first_token_us);
+    let mean_completion_us = mean(&|r: &StreamingLatencyRow| r.completion_us);
+
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.request.to_string(),
+                if r.cancelled {
+                    "cancelled"
+                } else {
+                    "completed"
+                }
+                .to_string(),
+                format!("{}/{}", r.generated_tokens, r.max_new_tokens),
+                r.first_token_step
+                    .map_or("-".to_string(), |s| s.to_string()),
+                r.first_token_us.to_string(),
+                r.completion_us.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        "Streaming latency: first token vs completion under cancelling traffic (Llama2-7B sim)",
+        &[
+            "Req",
+            "Outcome",
+            "Tokens",
+            "First step",
+            "First tok us",
+            "Complete us",
+        ],
+        &table,
+    );
+    println!(
+        "mean first-token {mean_first_token_us:.0} us vs mean completion {mean_completion_us:.0} \
+         us; peak KV {max_kv_bytes_in_use} of {budget} budget bytes"
+    );
+
+    let report = StreamingLatencyReport {
+        requests,
+        budget_bytes: budget,
+        max_kv_bytes_in_use,
+        budget_ok: max_kv_bytes_in_use <= budget,
+        rows,
+        mean_first_token_us,
+        mean_completion_us,
+    };
+    if write {
+        let record = ExperimentRecord {
+            id: "streaming_latency".to_string(),
+            title: "Streaming latency: per-token delivery and client cancellations under budget"
+                .to_string(),
+            note: format!(
+                "{requests} mixed-family requests ({max_new_tokens} token budget each, 400/1000 \
+                 client disconnect rate) on the Llama2-7B sim profile, best of {repetitions} \
+                 serving runs; survivors asserted byte-identical to solo sequential runs, \
+                 cancelled streams asserted to be byte prefixes of theirs"
             ),
             rows: &report,
         };
@@ -1266,6 +1569,38 @@ mod tests {
                 .any(|r| r.group == g && !r.cold && r.prefix_reused_tokens > 0));
         }
         assert!(report.prefix_cache.hits >= (report.rows.len() - report.groups) as u64);
+    }
+
+    #[test]
+    fn streaming_latency_streams_cancels_and_stays_in_budget() {
+        // One repetition keeps tier-1 fast; byte-identity of survivors and
+        // cancelled-prefix identity are asserted inside the experiment.
+        let report = streaming_latency_with(1, false);
+        assert_eq!(report.rows.len(), report.requests);
+        assert!(report.budget_ok, "KV budget invariant violated");
+        assert!(report.rows.iter().any(|r| r.cancelled));
+        assert!(report.rows.iter().any(|r| !r.cancelled));
+        for row in &report.rows {
+            assert!(row.first_token_step.is_some());
+            assert!(row.finished_step.is_some());
+            if row.cancelled {
+                assert_eq!(Some(row.generated_tokens), row.cancel_after_tokens);
+                assert!(
+                    row.generated_tokens < row.max_new_tokens,
+                    "request {} was cancelled but decoded its full budget",
+                    row.request
+                );
+            } else {
+                assert_eq!(row.generated_tokens, row.max_new_tokens);
+            }
+            // Completion is measured at least one decode round after the
+            // first token for any request streaming >= 2 tokens, so the
+            // ordering is robust even on noisy hosts.
+            if row.generated_tokens >= 2 {
+                assert!(row.first_token_us < row.completion_us);
+            }
+        }
+        assert!(report.mean_first_token_us < report.mean_completion_us);
     }
 
     #[test]

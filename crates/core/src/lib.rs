@@ -77,4 +77,7 @@ pub use scheduler::{
     AdmitDecision, BatchScheduler, RequestId, SchedulerConfig, DEFAULT_PREFILL_WINDOW,
 };
 pub use search::{BitwidthPlan, ChunkQuantSearch};
-pub use serving::{RequestOutcome, RequestState, ServeRequest, ServingEngine, ServingStats};
+pub use serving::{
+    FinishReason, RequestOutcome, RequestState, ServeRequest, ServingEngine, ServingStats,
+    TokenEvent,
+};

@@ -62,6 +62,10 @@ impl Default for PrefixCacheConfig {
 pub struct PrefixCacheStats {
     /// Resident entries.
     pub entries: usize,
+    /// Resident entries currently pinned by an in-flight request (their
+    /// blocks are referenced beyond the cache's own handle, so LRU
+    /// eviction skips them).
+    pub pinned_entries: usize,
     /// Bytes of resident shared blocks (what the scheduler is charged).
     pub resident_bytes: usize,
     /// Lookups that found a reusable prefix.
@@ -158,10 +162,17 @@ impl PrefixCache {
         self.entries.iter().map(|e| e.kv.storage_bytes()).sum()
     }
 
+    /// Number of resident entries whose blocks an in-flight request still
+    /// references (see [`SharedPrefixKv::is_pinned`]).
+    pub fn pinned_entries(&self) -> usize {
+        self.entries.iter().filter(|e| e.kv.is_pinned()).count()
+    }
+
     /// Current counters and occupancy.
     pub fn stats(&self) -> PrefixCacheStats {
         PrefixCacheStats {
             entries: self.len(),
+            pinned_entries: self.pinned_entries(),
             resident_bytes: self.total_bytes(),
             ..self.stats
         }

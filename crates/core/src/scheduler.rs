@@ -236,6 +236,15 @@ impl BatchScheduler {
         self.queue.pop_front();
     }
 
+    /// Removes a request from anywhere in the admission queue (the
+    /// cancellation path: FIFO constrains *admission* order, but a
+    /// cancelled request simply departs). Returns whether it was queued.
+    pub fn remove_queued(&mut self, id: RequestId) -> bool {
+        let before = self.queue.len();
+        self.queue.retain(|&queued| queued != id);
+        self.queue.len() != before
+    }
+
     /// Marks a running request as complete, releasing its charged bytes.
     ///
     /// # Panics
@@ -418,6 +427,22 @@ mod tests {
         assert_eq!(s.try_admit(b, 10), AdmitDecision::DeferredBatch);
         s.complete(a);
         assert_eq!(s.try_admit(b, 10), AdmitDecision::Admitted);
+    }
+
+    #[test]
+    fn remove_queued_departs_from_any_position() {
+        let mut s = scheduler(None, usize::MAX);
+        let ids: Vec<RequestId> = (0..3).map(RequestId::new).collect();
+        for &id in &ids {
+            s.enqueue(id);
+        }
+        // Remove from the middle: FIFO admission order of the rest holds.
+        assert!(s.remove_queued(ids[1]));
+        assert!(!s.remove_queued(ids[1]), "already gone");
+        assert_eq!(s.queued_ids(), vec![ids[0], ids[2]]);
+        assert_eq!(s.try_admit(ids[0], 1), AdmitDecision::Admitted);
+        assert_eq!(s.try_admit(ids[2], 1), AdmitDecision::Admitted);
+        assert!(s.queued_ids().is_empty());
     }
 
     #[test]

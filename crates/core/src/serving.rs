@@ -59,6 +59,7 @@ use std::time::Instant;
 /// By default the request is compressed with the engine's Cocktail policy;
 /// [`ServeRequest::with_policy`] substitutes any other
 /// [`CachePolicy`] (e.g. a baseline) for A/B comparisons under load.
+/// [`ServeRequest::with_stop_sequence`] adds early-stopping text triggers.
 pub struct ServeRequest {
     /// The long context to answer from.
     pub context: String,
@@ -67,6 +68,7 @@ pub struct ServeRequest {
     /// Maximum number of tokens to generate.
     pub max_new_tokens: usize,
     policy: Option<Box<dyn CachePolicy>>,
+    stop_sequences: Vec<String>,
 }
 
 impl ServeRequest {
@@ -82,6 +84,7 @@ impl ServeRequest {
             query: query.into(),
             max_new_tokens,
             policy: None,
+            stop_sequences: Vec::new(),
         }
     }
 
@@ -89,6 +92,19 @@ impl ServeRequest {
     /// instead of the engine default.
     pub fn with_policy(mut self, policy: Box<dyn CachePolicy>) -> Self {
         self.policy = Some(policy);
+        self
+    }
+
+    /// Adds a stop sequence: generation ends (with
+    /// [`FinishReason::Stop`]) as soon as the streamed answer text
+    /// contains `stop`. The matched text is kept in the answer, so the
+    /// streamed pieces still concatenate to the collected outcome
+    /// byte-for-byte. Empty sequences are ignored.
+    pub fn with_stop_sequence(mut self, stop: impl Into<String>) -> Self {
+        let stop = stop.into();
+        if !stop.is_empty() {
+            self.stop_sequences.push(stop);
+        }
         self
     }
 }
@@ -103,6 +119,7 @@ impl fmt::Debug for ServeRequest {
                 "policy",
                 &self.policy.as_ref().map_or("engine default", |p| p.name()),
             )
+            .field("stop_sequences", &self.stop_sequences)
             .finish()
     }
 }
@@ -120,6 +137,49 @@ pub enum RequestState {
     Completed,
     /// Terminally failed (e.g. it can never fit the memory budget).
     Failed,
+    /// Cancelled by the client via [`ServingEngine::cancel`]; its KV
+    /// budget is released and its stats remain available.
+    Cancelled,
+}
+
+/// Why a request stopped generating tokens.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FinishReason {
+    /// The generation budget (`max_new_tokens`) was exhausted.
+    Length,
+    /// A stop sequence appeared in the streamed answer text.
+    Stop,
+    /// The client cancelled the request mid-flight.
+    Cancelled,
+}
+
+/// One streamed token of one request, emitted by
+/// [`ServingEngine::step_events`] the moment the token is committed —
+/// callers can forward pieces to clients without waiting for the request
+/// to complete.
+///
+/// Concatenating the `piece` fields of a request's events reproduces the
+/// collected [`RequestOutcome`] answer byte-for-byte (asserted by unit,
+/// integration and property tests). A terminal event carries
+/// `finish: Some(..)`; a request finishing without committing a token
+/// (a zero-budget request, or a [`ServingEngine::cancel`] — whose
+/// terminal event is delivered at the front of the next
+/// [`ServingEngine::step_events`] batch) emits one event with
+/// `token: None` and an empty piece.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TokenEvent {
+    /// The request the token belongs to.
+    pub id: RequestId,
+    /// The engine clock (step number) at which the token was committed.
+    pub step: usize,
+    /// Zero-based index of this token within the request's generation.
+    pub index: usize,
+    /// The committed token id (`None` for a token-less terminal event).
+    pub token: Option<u32>,
+    /// The decoded text piece this token contributes to the answer.
+    pub piece: String,
+    /// Set on the request's final event.
+    pub finish: Option<FinishReason>,
 }
 
 /// Per-request serving statistics, serializable into `results/*.json`.
@@ -148,8 +208,15 @@ pub struct ServingStats {
     pub submitted_step: usize,
     /// Engine step at which the scheduler admitted it (None while queued).
     pub admitted_step: Option<usize>,
-    /// Engine step at which it completed or failed (None while in flight).
+    /// Engine step at which its first token was streamed (None until
+    /// then) — per-request TTFT in steps, observable without wall-clock
+    /// timing.
+    pub first_token_step: Option<usize>,
+    /// Engine step at which it completed, failed or was cancelled (None
+    /// while in flight).
     pub finished_step: Option<usize>,
+    /// Whether the client cancelled the request mid-flight.
+    pub cancelled: bool,
     /// Wall-clock phase timings.
     pub timings: PipelineTimings,
 }
@@ -171,15 +238,22 @@ pub struct RequestOutcome {
 
 /// What one generation round asks of the engine.
 enum RoundAction {
-    /// The request has generated all its tokens.
-    Completed,
+    /// The request finished this round for the given reason.
+    Finished(FinishReason),
     /// The request needs one decode step for `token` at `pos`.
     Decode { token: u32, pos: usize },
 }
 
+/// What [`RequestTask::begin_round`] produced: the token (and its decoded
+/// text piece) committed this round, if any, plus what to do next.
+struct RoundStart {
+    committed: Option<(u32, String)>,
+    action: RoundAction,
+}
+
 /// The per-request state machine shared by the single-request pipeline and
 /// the batched serving engine: a prefilled, policy-compressed cache plus the
-/// greedy-decoding cursor.
+/// greedy-decoding cursor and the incrementally streamed answer text.
 pub(crate) struct RequestTask {
     prompt_len: usize,
     context_tokens: usize,
@@ -191,7 +265,21 @@ pub(crate) struct RequestTask {
     max_new_tokens: usize,
     cache: ChunkedKvCache,
     generated: Vec<u32>,
+    /// The answer text streamed so far: the concatenation of every
+    /// committed token's piece, byte-identical to decoding `generated`
+    /// wholesale against the vocab horizon.
+    streamed: String,
+    /// Stop sequences that end generation early when they appear in
+    /// `streamed`.
+    stop_sequences: Vec<String>,
     next_token: u32,
+    /// The shared-prefix handle this request resumed from, held (pinned)
+    /// for the task's lifetime so LRU eviction prefers entries no
+    /// in-flight request is using; dropped — unpinning the blocks — when
+    /// the task completes, is cancelled, or the engine needs the memory
+    /// (the pin is advisory: prefix rows are copied into the request's own
+    /// cache, so eviction is always safe).
+    prefix: Option<SharedPrefixKv>,
     report: PolicyReport,
     plan: Option<BitwidthPlan>,
     cache_bytes: usize,
@@ -264,6 +352,7 @@ impl RequestTask {
             query,
             policy,
             max_new_tokens,
+            Vec::new(),
             &encoded,
             None,
             &prefill,
@@ -287,6 +376,7 @@ impl RequestTask {
         query: &str,
         policy: &dyn CachePolicy,
         max_new_tokens: usize,
+        stop_sequences: Vec<String>,
         encoded: &EncodedPrompt,
         prefix: Option<(&SharedPrefixKv, usize)>,
         prefill: &BatchPrefill,
@@ -329,7 +419,13 @@ impl RequestTask {
             max_new_tokens,
             cache,
             generated: Vec::with_capacity(max_new_tokens),
+            streamed: String::new(),
+            stop_sequences: stop_sequences
+                .into_iter()
+                .filter(|s| !s.is_empty())
+                .collect(),
             next_token: prefill.next_token(),
+            prefix: prefix.map(|(kv, _)| kv.clone()),
             report,
             plan,
             cache_bytes,
@@ -343,21 +439,65 @@ impl RequestTask {
         Ok((task, prefix_blocks))
     }
 
-    /// Commits the pending token and reports what this round needs: either
-    /// the request is complete, or one decode step. Mirrors one iteration
-    /// of the sequential greedy-decoding loop, so batched and sequential
-    /// serving walk identical token sequences.
-    fn begin_round(&mut self) -> RoundAction {
+    /// Renders the text piece one committed token contributes to the
+    /// streamed answer: the token decoded against this request's own
+    /// vocabulary horizon, preceded by the word separator for every token
+    /// after the first — so concatenating the pieces reproduces the
+    /// wholesale decode of the generated sequence byte-for-byte.
+    fn render_piece(&self, engine: &InferenceEngine, token: u32) -> String {
+        let word = engine
+            .tokenizer()
+            .decode_with_horizon(&[token], self.vocab_horizon);
+        if self.generated.len() <= 1 {
+            word
+        } else {
+            format!(" {word}")
+        }
+    }
+
+    /// Commits the pending token (rendering its streamed piece) and reports
+    /// what this round needs: the request finished — budget exhausted or a
+    /// stop sequence hit — or one decode step. Mirrors one iteration of the
+    /// sequential greedy-decoding loop, so batched and sequential serving
+    /// walk identical token sequences.
+    fn begin_round(&mut self, engine: &InferenceEngine) -> RoundStart {
         if self.generated.len() >= self.max_new_tokens {
-            return RoundAction::Completed;
+            return RoundStart {
+                committed: None,
+                action: RoundAction::Finished(FinishReason::Length),
+            };
         }
-        self.generated.push(self.next_token);
+        let token = self.next_token;
+        self.generated.push(token);
+        let piece = self.render_piece(engine, token);
+        self.streamed.push_str(&piece);
+        // A new match must overlap the just-appended piece, so only the
+        // tail window of the streamed text needs scanning — keeping the
+        // per-token cost independent of how much has been generated.
+        if self.stop_sequences.iter().any(|stop| {
+            let mut start = self.streamed.len().saturating_sub(piece.len() + stop.len());
+            while !self.streamed.is_char_boundary(start) {
+                start -= 1;
+            }
+            self.streamed[start..].contains(stop.as_str())
+        }) {
+            return RoundStart {
+                committed: Some((token, piece)),
+                action: RoundAction::Finished(FinishReason::Stop),
+            };
+        }
         if self.generated.len() == self.max_new_tokens {
-            return RoundAction::Completed;
+            return RoundStart {
+                committed: Some((token, piece)),
+                action: RoundAction::Finished(FinishReason::Length),
+            };
         }
-        RoundAction::Decode {
-            token: self.next_token,
-            pos: self.prompt_len + self.generated.len() - 1,
+        RoundStart {
+            committed: Some((token, piece)),
+            action: RoundAction::Decode {
+                token,
+                pos: self.prompt_len + self.generated.len() - 1,
+            },
         }
     }
 
@@ -366,13 +506,18 @@ impl RequestTask {
         self.next_token = step.next_token;
     }
 
+    /// Drops the shared-prefix pin (if any); returns whether one was held.
+    fn release_prefix(&mut self) -> bool {
+        self.prefix.take().is_some()
+    }
+
     /// Runs one sequential generation round; returns `true` once complete.
     pub(crate) fn generate_next(
         &mut self,
         engine: &InferenceEngine,
     ) -> Result<bool, CocktailError> {
-        match self.begin_round() {
-            RoundAction::Completed => Ok(true),
+        match self.begin_round(engine).action {
+            RoundAction::Finished(_) => Ok(true),
             RoundAction::Decode { token, pos } => {
                 let step = engine.decode_step(token, pos, &mut self.cache)?;
                 self.finish_round(step);
@@ -392,13 +537,20 @@ impl RequestTask {
     }
 
     /// Converts the finished task into a pipeline outcome. The answer is
-    /// rendered against the request's own vocabulary horizon, so batched
-    /// and sequential serving produce byte-identical text.
+    /// the streamed text — each token rendered against the request's own
+    /// vocabulary horizon the moment it was committed — which is
+    /// byte-identical to decoding the whole generated sequence at once, so
+    /// batched, streamed and sequential serving all produce the same text.
     pub(crate) fn into_outcome(self, engine: &InferenceEngine) -> CocktailOutcome {
-        CocktailOutcome {
-            answer: engine
+        debug_assert_eq!(
+            self.streamed,
+            engine
                 .tokenizer()
                 .decode_with_horizon(&self.generated, self.vocab_horizon),
+            "streamed pieces must reproduce the wholesale decode"
+        );
+        CocktailOutcome {
+            answer: self.streamed,
             generated_tokens: self.generated,
             report: self.report,
             plan: self.plan,
@@ -493,6 +645,8 @@ enum Phase {
     Completed(Box<CocktailOutcome>),
     /// Terminally failed.
     Failed(String),
+    /// Cancelled by the client; the task (cache, prefix pin) is dropped.
+    Cancelled,
 }
 
 struct Slot {
@@ -529,6 +683,10 @@ pub struct ServingEngine {
     scheduler: BatchScheduler,
     prefix_cache: Option<PrefixCache>,
     slots: BTreeMap<RequestId, Slot>,
+    /// Terminal events produced outside a decode round (cancellations),
+    /// delivered at the front of the next [`ServingEngine::step_events`]
+    /// batch so every request's event stream closes with a `finish`.
+    pending_events: Vec<TokenEvent>,
     next_id: u64,
     clock: usize,
 }
@@ -557,6 +715,7 @@ struct PrepCandidate {
     query: String,
     policy: Box<dyn CachePolicy>,
     max_new_tokens: usize,
+    stop_sequences: Vec<String>,
     encoded: EncodedPrompt,
     prefix: Option<(SharedPrefixKv, usize)>,
 }
@@ -601,6 +760,7 @@ impl ServingEngine {
             scheduler: BatchScheduler::new(SchedulerConfig::default()),
             prefix_cache: None,
             slots: BTreeMap::new(),
+            pending_events: Vec::new(),
             next_id: 0,
             clock: 0,
         })
@@ -688,7 +848,9 @@ impl ServingEngine {
             prefix_reused_tokens: 0,
             submitted_step: self.clock,
             admitted_step: None,
+            first_token_step: None,
             finished_step: None,
+            cancelled: false,
             timings: PipelineTimings::default(),
         };
         self.slots.insert(
@@ -709,6 +871,7 @@ impl ServingEngine {
             Phase::Running(_) => RequestState::Running,
             Phase::Completed(_) => RequestState::Completed,
             Phase::Failed(_) => RequestState::Failed,
+            Phase::Cancelled => RequestState::Cancelled,
         })
     }
 
@@ -759,6 +922,71 @@ impl ServingEngine {
         }
     }
 
+    /// Removes a cancelled request and returns its stats (how many tokens
+    /// it decoded before the client gave up, its phase timings, and so
+    /// on). Like [`ServingEngine::take_failure`], draining cancelled slots
+    /// keeps the slot table bounded on a long-running engine.
+    pub fn take_cancelled(&mut self, id: RequestId) -> Option<ServingStats> {
+        if !matches!(self.slots.get(&id)?.phase, Phase::Cancelled) {
+            return None;
+        }
+        self.slots.remove(&id).map(|slot| slot.stats)
+    }
+
+    /// Cancels a request mid-flight — the serving-side handling of a
+    /// client disconnect. Returns `true` if the request was still live
+    /// (queued, prepared or running); a completed, failed or already
+    /// cancelled request is left untouched and `false` is returned.
+    ///
+    /// Cancellation immediately releases everything the request held: a
+    /// running request's KV bytes (and reserved decode tail) are released
+    /// from the scheduler budget, a queued request leaves the admission
+    /// queue, the compressed cache is dropped, and the request's
+    /// shared-prefix pin is released so the prefix-cache entry becomes
+    /// evictable again.
+    ///
+    /// **Isolation guarantee:** cancelling a request never perturbs any
+    /// other request. Batched decode is row-wise independent (each request
+    /// owns its cache and its row of the batch), so the surviving
+    /// requests' remaining tokens — and therefore their final answers —
+    /// are byte-identical to what they would produce with no cancellation
+    /// at all, which in turn equals their own solo sequential pipeline
+    /// runs. This is asserted by the cancellation property test.
+    pub fn cancel(&mut self, id: RequestId) -> bool {
+        let now = self.clock;
+        let Some(slot) = self.slots.get_mut(&id) else {
+            return false;
+        };
+        match &slot.phase {
+            Phase::Queued(_) | Phase::Prepared(_) => {
+                self.scheduler.remove_queued(id);
+            }
+            Phase::Running(_) => {
+                self.scheduler.complete(id);
+            }
+            Phase::Completed(_) | Phase::Failed(_) | Phase::Cancelled => return false,
+        }
+        slot.stats.cancelled = true;
+        slot.stats.finished_step = Some(now);
+        // Close the request's event stream: the terminal Cancelled event
+        // is delivered at the front of the next step_events batch (a
+        // streaming server multiplexing step_events to clients needs a
+        // closing finish even when someone else — an admin timeout, a
+        // tenant limit — did the cancelling).
+        self.pending_events.push(TokenEvent {
+            id,
+            step: now,
+            index: slot.stats.generated_tokens,
+            token: None,
+            piece: String::new(),
+            finish: Some(FinishReason::Cancelled),
+        });
+        // Dropping the phase drops the task: its compressed cache and its
+        // shared-prefix pin go with it.
+        slot.phase = Phase::Cancelled;
+        true
+    }
+
     /// Returns `true` when no request is queued or running (nothing left
     /// for [`ServingEngine::step`] to do).
     pub fn is_idle(&self) -> bool {
@@ -788,6 +1016,10 @@ impl ServingEngine {
     /// every running request generates one token via a single batched
     /// decode call. Returns the ids of requests that finished this step.
     ///
+    /// This is the collect-only wrapper over
+    /// [`ServingEngine::step_events`], which additionally streams every
+    /// committed token.
+    ///
     /// Note that the queue head is prepared (prefilled + compressed) before
     /// its budget check, so up to one deferred request's compressed cache
     /// can be resident beyond the budget — see
@@ -800,10 +1032,31 @@ impl ServingEngine {
     /// transitions to [`RequestState::Failed`] instead of poisoning the
     /// engine.
     pub fn step(&mut self) -> Result<Vec<RequestId>, CocktailError> {
+        Ok(self
+            .step_events()?
+            .into_iter()
+            .filter(|event| event.finish.is_some())
+            .map(|event| event.id)
+            .collect())
+    }
+
+    /// Runs one engine step and streams it: every token committed this
+    /// step is returned as a [`TokenEvent`] (in running-batch order), with
+    /// `finish` set on each request's final event. Callers forward the
+    /// pieces to clients as they arrive; concatenating a request's pieces
+    /// reproduces its collected [`RequestOutcome`] answer byte-for-byte.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CocktailError`] only for engine-level failures, exactly
+    /// like [`ServingEngine::step`].
+    pub fn step_events(&mut self) -> Result<Vec<TokenEvent>, CocktailError> {
         self.clock += 1;
         let now = self.clock;
         self.admit(now)?;
-        self.decode_round(now)
+        let mut events = std::mem::take(&mut self.pending_events);
+        events.extend(self.decode_round(now)?);
+        Ok(events)
     }
 
     /// FIFO admission with batched prefill: prefill up to a window of
@@ -865,6 +1118,7 @@ impl ServingEngine {
                     query: request.query,
                     policy,
                     max_new_tokens: request.max_new_tokens,
+                    stop_sequences: request.stop_sequences,
                     encoded,
                     prefix: None,
                 }),
@@ -978,6 +1232,7 @@ impl ServingEngine {
                 &cand.query,
                 cand.policy.as_ref(),
                 cand.max_new_tokens,
+                cand.stop_sequences,
                 &cand.encoded,
                 cand.prefix.as_ref().map(|(kv, len)| (kv, *len)),
                 &output,
@@ -1038,11 +1293,32 @@ impl ServingEngine {
 
     /// Evicts one LRU unpinned prefix entry and re-syncs the budget charge;
     /// `false` when nothing evictable remains.
+    ///
+    /// In-flight tasks pin the entries they resumed from, which steers LRU
+    /// eviction away from hot prefixes — but those pins are advisory
+    /// (prefix rows are *copied* into each request's cache, so eviction
+    /// never breaks a request). When every resident entry is pinned and
+    /// the budget still needs room, the engine therefore releases the task
+    /// pins and retries rather than stalling admission: running requests
+    /// take precedence over cached prefixes, always.
     fn evict_shared_for_budget(&mut self) -> bool {
-        let evicted = self
-            .prefix_cache
-            .as_mut()
-            .is_some_and(|cache| cache.evict_lru_unpinned().is_some());
+        let evict = |cache: &mut Option<PrefixCache>| {
+            cache
+                .as_mut()
+                .is_some_and(|cache| cache.evict_lru_unpinned().is_some())
+        };
+        let mut evicted = evict(&mut self.prefix_cache);
+        if !evicted {
+            let mut released = false;
+            for slot in self.slots.values_mut() {
+                if let Phase::Prepared(task) | Phase::Running(task) = &mut slot.phase {
+                    released |= task.release_prefix();
+                }
+            }
+            if released {
+                evicted = evict(&mut self.prefix_cache);
+            }
+        }
         if evicted {
             self.sync_shared_bytes();
         }
@@ -1083,8 +1359,8 @@ impl ServingEngine {
                             reserved,
                         }
                     }
-                    Phase::Running(_) | Phase::Completed(_) => {
-                        unreachable!("queued requests are not running or completed")
+                    Phase::Running(_) | Phase::Completed(_) | Phase::Cancelled => {
+                        unreachable!("queued requests are not running, completed or cancelled")
                     }
                 }
             };
@@ -1130,9 +1406,11 @@ impl ServingEngine {
     }
 
     /// One decode round: every running request commits its pending token
-    /// and, unless finished, takes one batched decode step.
-    fn decode_round(&mut self, now: usize) -> Result<Vec<RequestId>, CocktailError> {
+    /// (streaming it as a [`TokenEvent`]) and, unless finished — budget
+    /// exhausted or a stop sequence hit — takes one batched decode step.
+    fn decode_round(&mut self, now: usize) -> Result<Vec<TokenEvent>, CocktailError> {
         let running = self.scheduler.running();
+        let mut events = Vec::new();
         let mut finished = Vec::new();
         let mut decoding = Vec::new();
         for id in running {
@@ -1140,8 +1418,39 @@ impl ServingEngine {
             let Phase::Running(task) = &mut slot.phase else {
                 unreachable!("scheduler and slots agree on running requests");
             };
-            match task.begin_round() {
-                RoundAction::Completed => finished.push(id),
+            let round = task.begin_round(&self.engine);
+            let finish = match round.action {
+                RoundAction::Finished(reason) => Some(reason),
+                RoundAction::Decode { .. } => None,
+            };
+            match round.committed {
+                Some((token, piece)) => {
+                    if slot.stats.first_token_step.is_none() {
+                        slot.stats.first_token_step = Some(now);
+                    }
+                    slot.stats.generated_tokens = task.generated.len();
+                    events.push(TokenEvent {
+                        id,
+                        step: now,
+                        index: task.generated.len() - 1,
+                        token: Some(token),
+                        piece,
+                        finish,
+                    });
+                }
+                // A finish with no token this round (zero-budget request):
+                // emit a token-less terminal event so streams still close.
+                None => events.push(TokenEvent {
+                    id,
+                    step: now,
+                    index: task.generated.len(),
+                    token: None,
+                    piece: String::new(),
+                    finish,
+                }),
+            }
+            match round.action {
+                RoundAction::Finished(_) => finished.push(id),
                 RoundAction::Decode { token, pos } => decoding.push((id, token, pos)),
             }
         }
@@ -1209,7 +1518,7 @@ impl ServingEngine {
             slot.stats.timings = task.timings;
             slot.phase = Phase::Completed(Box::new(task.into_outcome(&self.engine)));
         }
-        Ok(finished)
+        Ok(events)
     }
 
     /// Steps the engine until every submitted request has completed or
@@ -1241,6 +1550,8 @@ mod tests {
     use super::*;
     use crate::pipeline::CocktailPipeline;
     use cocktail_baselines::Fp16Policy;
+    use proptest::prelude::*;
+    use std::collections::BTreeMap as Map;
 
     fn config() -> CocktailConfig {
         CocktailConfig::default().with_chunk_size(8).unwrap()
@@ -1581,5 +1892,355 @@ mod tests {
         assert_eq!(by_id(b).outcome.generated_tokens, seq_b.generated_tokens);
         // b was admitted after a (continuous batching, not a fixed batch).
         assert!(by_id(b).stats.admitted_step > by_id(a).stats.admitted_step);
+    }
+
+    /// Drives the engine with `step_events`, returning the concatenated
+    /// streamed pieces, event counts and finish reasons per request.
+    fn stream_until_idle(
+        engine: &mut ServingEngine,
+    ) -> (Map<RequestId, String>, Map<RequestId, FinishReason>) {
+        let mut pieces: Map<RequestId, String> = Map::new();
+        let mut finishes: Map<RequestId, FinishReason> = Map::new();
+        while !engine.is_idle() {
+            for event in engine.step_events().unwrap() {
+                pieces.entry(event.id).or_default().push_str(&event.piece);
+                if let Some(reason) = event.finish {
+                    assert!(
+                        finishes.insert(event.id, reason).is_none(),
+                        "{} finished twice",
+                        event.id
+                    );
+                }
+            }
+        }
+        (pieces, finishes)
+    }
+
+    #[test]
+    fn streamed_pieces_concatenate_to_the_collected_answer_and_sequential_output() {
+        let pipeline = CocktailPipeline::new(ModelProfile::tiny(), config()).unwrap();
+        let sequential: Vec<CocktailOutcome> = contexts()
+            .iter()
+            .map(|(ctx, q)| pipeline.run(ctx, q, 6).unwrap())
+            .collect();
+
+        let mut engine = ServingEngine::new(ModelProfile::tiny(), config()).unwrap();
+        let ids: Vec<RequestId> = contexts()
+            .iter()
+            .map(|(ctx, q)| engine.submit(ServeRequest::new(ctx.clone(), q.clone(), 6)))
+            .collect();
+        let (pieces, finishes) = stream_until_idle(&mut engine);
+
+        for (id, seq) in ids.iter().zip(&sequential) {
+            let outcome = engine.take_outcome(*id).expect("request completed");
+            // Streamed pieces == collected outcome == sequential pipeline.
+            assert_eq!(pieces[id], outcome.outcome.answer, "{id} pieces diverged");
+            assert_eq!(outcome.outcome.answer, seq.answer);
+            assert_eq!(finishes[id], FinishReason::Length);
+            assert!(outcome.stats.first_token_step.is_some());
+            assert!(outcome.stats.first_token_step <= outcome.stats.finished_step);
+            assert!(!outcome.stats.cancelled);
+        }
+    }
+
+    #[test]
+    fn streamed_events_carry_monotone_indices_and_steps() {
+        let mut engine = ServingEngine::new(ModelProfile::tiny(), config()).unwrap();
+        let (ctx, q) = &contexts()[0];
+        let id = engine.submit(ServeRequest::new(ctx.clone(), q.clone(), 5));
+        let mut events = Vec::new();
+        while !engine.is_idle() {
+            events.extend(engine.step_events().unwrap());
+        }
+        assert_eq!(events.len(), 5, "one event per token");
+        for (i, event) in events.iter().enumerate() {
+            assert_eq!(event.id, id);
+            assert_eq!(event.index, i);
+            assert!(event.token.is_some());
+            if i > 0 {
+                assert!(event.step > events[i - 1].step, "steps must advance");
+                assert!(event.piece.starts_with(' '), "separator-prefixed piece");
+            }
+        }
+        assert_eq!(events.last().unwrap().finish, Some(FinishReason::Length));
+    }
+
+    #[test]
+    fn zero_token_request_emits_one_tokenless_terminal_event() {
+        let mut engine = ServingEngine::new(ModelProfile::tiny(), config()).unwrap();
+        let (ctx, q) = &contexts()[1];
+        let id = engine.submit(ServeRequest::new(ctx.clone(), q.clone(), 0));
+        let mut events = Vec::new();
+        while !engine.is_idle() {
+            events.extend(engine.step_events().unwrap());
+        }
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].id, id);
+        assert_eq!(events[0].token, None);
+        assert_eq!(events[0].piece, "");
+        assert_eq!(events[0].finish, Some(FinishReason::Length));
+        assert!(engine.take_outcome(id).is_some());
+    }
+
+    #[test]
+    fn stop_sequence_ends_generation_early_and_byte_identically() {
+        let (ctx, q) = &contexts()[2];
+
+        // Reference: the full unstopped answer.
+        let mut full_engine = ServingEngine::new(ModelProfile::tiny(), config()).unwrap();
+        full_engine.submit(ServeRequest::new(ctx.clone(), q.clone(), 8));
+        let full = full_engine
+            .run_until_idle()
+            .unwrap()
+            .pop()
+            .expect("one completed request");
+        let words: Vec<&str> = full.outcome.answer.split(' ').collect();
+        assert!(words.len() >= 3, "need a mid-answer word to stop on");
+        // Stop on the third word: greedy decoding reproduces the same
+        // prefix, so the stop must trigger at exactly that token.
+        let stop = words[2].to_string();
+
+        let mut engine = ServingEngine::new(ModelProfile::tiny(), config()).unwrap();
+        let id = engine
+            .submit(ServeRequest::new(ctx.clone(), q.clone(), 8).with_stop_sequence(stop.clone()));
+        let (pieces, finishes) = stream_until_idle(&mut engine);
+        let outcome = engine.take_outcome(id).expect("stopped request completes");
+
+        assert_eq!(finishes[&id], FinishReason::Stop);
+        assert_eq!(pieces[&id], outcome.outcome.answer);
+        assert!(
+            outcome.outcome.generated_tokens.len() < full.outcome.generated_tokens.len(),
+            "stopping early must decode fewer tokens"
+        );
+        // The stopped answer is a byte prefix of the full answer, ending
+        // with the stop sequence.
+        assert!(full.outcome.answer.starts_with(&outcome.outcome.answer));
+        assert!(outcome.outcome.answer.ends_with(&stop));
+        assert_eq!(
+            outcome.outcome.generated_tokens,
+            full.outcome.generated_tokens[..outcome.outcome.generated_tokens.len()].to_vec()
+        );
+    }
+
+    #[test]
+    fn cancelling_a_running_request_frees_its_budget_and_leaves_others_intact() {
+        let requests = contexts();
+        let mut reference = ServingEngine::new(ModelProfile::tiny(), config()).unwrap();
+        for (ctx, q) in &requests {
+            reference.submit(ServeRequest::new(ctx.clone(), q.clone(), 8));
+        }
+        let expected = reference.run_until_idle().unwrap();
+
+        let mut engine = ServingEngine::new(ModelProfile::tiny(), config()).unwrap();
+        let ids: Vec<RequestId> = requests
+            .iter()
+            .map(|(ctx, q)| engine.submit(ServeRequest::new(ctx.clone(), q.clone(), 8)))
+            .collect();
+        // Let everyone start decoding, then cancel request 1 mid-flight.
+        engine.step().unwrap();
+        engine.step().unwrap();
+        let before = engine.kv_bytes_in_use();
+        assert_eq!(engine.state(ids[1]), Some(RequestState::Running));
+        assert!(engine.cancel(ids[1]));
+        assert!(
+            engine.kv_bytes_in_use() < before,
+            "cancellation must release the request's KV charge"
+        );
+        assert_eq!(engine.state(ids[1]), Some(RequestState::Cancelled));
+        assert!(!engine.cancel(ids[1]), "double cancel is a no-op");
+
+        let outcomes = engine.run_until_idle().unwrap();
+        assert_eq!(outcomes.len(), requests.len() - 1);
+        for outcome in &outcomes {
+            let seq = expected.iter().find(|o| o.id == outcome.id).unwrap();
+            assert_eq!(
+                outcome.outcome.answer, seq.outcome.answer,
+                "cancellation perturbed a surviving request"
+            );
+        }
+        let stats = engine.take_cancelled(ids[1]).expect("cancelled stats");
+        assert!(stats.cancelled);
+        assert!(stats.generated_tokens < 8);
+        assert!(stats.finished_step.is_some());
+        assert_eq!(engine.state(ids[1]), None);
+        // Cancelling a completed request is refused.
+        assert!(!engine.cancel(ids[0]));
+    }
+
+    #[test]
+    fn cancellation_emits_a_terminal_event_on_the_next_step() {
+        let requests = contexts();
+        let mut engine = ServingEngine::new(ModelProfile::tiny(), config()).unwrap();
+        let ids: Vec<RequestId> = requests
+            .iter()
+            .take(2)
+            .map(|(ctx, q)| engine.submit(ServeRequest::new(ctx.clone(), q.clone(), 8)))
+            .collect();
+        engine.step_events().unwrap();
+        assert!(engine.cancel(ids[0]));
+        let events = engine.step_events().unwrap();
+        let terminal = events
+            .iter()
+            .find(|e| e.id == ids[0])
+            .expect("cancelled request closes its stream");
+        assert_eq!(terminal.finish, Some(FinishReason::Cancelled));
+        assert_eq!(terminal.token, None);
+        assert_eq!(terminal.piece, "");
+        assert_eq!(terminal.index, 1, "one token was streamed before cancel");
+        // The terminal event is delivered exactly once.
+        assert!(!engine.step_events().unwrap().iter().any(|e| e.id == ids[0]));
+        // step() reports the cancellation as a finish too.
+        let survivors = engine.run_until_idle().unwrap();
+        assert_eq!(survivors.len(), 1);
+        assert_eq!(survivors[0].id, ids[1]);
+    }
+
+    #[test]
+    fn cancelling_a_queued_request_removes_it_before_admission() {
+        // Batch cap 1 keeps later requests queued while the first runs.
+        let mut engine = ServingEngine::new(ModelProfile::tiny(), config())
+            .unwrap()
+            .with_scheduler_config(SchedulerConfig::default().with_max_batch(1));
+        let requests = contexts();
+        let ids: Vec<RequestId> = requests
+            .iter()
+            .take(3)
+            .map(|(ctx, q)| engine.submit(ServeRequest::new(ctx.clone(), q.clone(), 4)))
+            .collect();
+        engine.step().unwrap();
+        assert_eq!(engine.state(ids[0]), Some(RequestState::Running));
+        assert_eq!(engine.state(ids[1]), Some(RequestState::Queued));
+        assert!(engine.cancel(ids[1]));
+        let outcomes = engine.run_until_idle().unwrap();
+        assert_eq!(outcomes.len(), 2);
+        assert_eq!(engine.state(ids[1]), Some(RequestState::Cancelled));
+        let stats = engine.take_cancelled(ids[1]).unwrap();
+        assert_eq!(stats.generated_tokens, 0);
+        assert!(stats.cancelled);
+    }
+
+    #[test]
+    fn cancellation_releases_shared_prefix_pins() {
+        let requests = shared_prefix_contexts(3);
+        let mut engine = ServingEngine::new(ModelProfile::tiny(), config())
+            .unwrap()
+            .with_prefix_cache(PrefixCacheConfig::default());
+        let ids: Vec<RequestId> = requests
+            .iter()
+            .map(|(ctx, q)| engine.submit(ServeRequest::new(ctx.clone(), q.clone(), 6)))
+            .collect();
+        engine.step().unwrap();
+        // In-flight warm requests pin the preamble entry.
+        let pinned = engine.prefix_cache_stats().unwrap().pinned_entries;
+        assert!(pinned > 0, "running warm requests must pin their prefix");
+        for id in &ids {
+            engine.cancel(*id);
+        }
+        assert_eq!(
+            engine.prefix_cache_stats().unwrap().pinned_entries,
+            0,
+            "cancellation must release every shared-prefix pin"
+        );
+        assert!(engine.is_idle());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(6))]
+
+        /// Cancelling random requests at random steps never violates the
+        /// KV-budget invariant, always releases shared-prefix pins, and
+        /// leaves every surviving request byte-identical to its own solo
+        /// sequential pipeline run (the full-isolation guarantee documented
+        /// on [`ServingEngine::cancel`]).
+        #[test]
+        fn random_cancellations_preserve_budget_pins_and_survivors(
+            per_group in 2usize..4,
+            cancel_seed in 0u64..500,
+            cancel_count in 1usize..3,
+        ) {
+            let requests = shared_prefix_contexts(per_group + 1);
+            let max_new = 6usize;
+            let pipeline = CocktailPipeline::new(ModelProfile::tiny(), config()).unwrap();
+            let solo: Vec<CocktailOutcome> = requests
+                .iter()
+                .map(|(ctx, q)| pipeline.run(ctx, q, max_new).unwrap())
+                .collect();
+
+            // Budget sized for roughly two requests (compressed bytes +
+            // reserved FP16 tail), so admission takes turns under cancels.
+            let tail = (max_new - 1) * pipeline.engine().config().kv_bytes_per_token_fp16();
+            let budget = solo
+                .iter()
+                .map(|o| o.cache_bytes + tail)
+                .max()
+                .expect("at least one request") * 2;
+
+            let mut engine = ServingEngine::new(ModelProfile::tiny(), config())
+                .unwrap()
+                .with_scheduler_config(SchedulerConfig::default().with_budget(budget))
+                .with_prefix_cache(PrefixCacheConfig::default().with_min_prefix_tokens(4));
+            let ids: Vec<RequestId> = requests
+                .iter()
+                .map(|(ctx, q)| engine.submit(ServeRequest::new(ctx.clone(), q.clone(), max_new)))
+                .collect();
+
+            // A deterministic cancellation schedule drawn from the seed:
+            // `cancel_count` distinct requests, each at its own step.
+            let mut schedule: Vec<(usize, RequestId)> = (0..cancel_count)
+                .map(|i| {
+                    let mix = cancel_seed
+                        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                        .wrapping_add(i as u64);
+                    let step = (mix % 7) as usize;
+                    let victim = ids[(mix >> 8) as usize % ids.len()];
+                    (step, victim)
+                })
+                .collect();
+            schedule.sort_unstable();
+            schedule.dedup_by_key(|(_, id)| *id);
+
+            let mut cancelled: Vec<RequestId> = Vec::new();
+            let mut guard = 0;
+            while !engine.is_idle() {
+                guard += 1;
+                prop_assert!(guard < 10_000, "serving failed to quiesce");
+                let step = engine.clock();
+                for (at, id) in &schedule {
+                    if *at <= step && !cancelled.contains(id) && engine.cancel(*id) {
+                        cancelled.push(*id);
+                    }
+                }
+                engine.step_events().unwrap();
+                prop_assert!(
+                    engine.kv_bytes_in_use() <= budget,
+                    "budget invariant violated after cancellations: {} > {budget}",
+                    engine.kv_bytes_in_use()
+                );
+            }
+
+            let cache_stats = engine.prefix_cache_stats().expect("cache enabled");
+            prop_assert_eq!(
+                cache_stats.pinned_entries, 0,
+                "idle engine must hold no shared-prefix pins"
+            );
+
+            for (i, id) in ids.iter().enumerate() {
+                if cancelled.contains(id) {
+                    let stats = engine.take_cancelled(*id).expect("cancelled stats");
+                    prop_assert!(stats.cancelled);
+                    prop_assert!(
+                        stats.generated_tokens < max_new,
+                        "a cancelled request must decode strictly fewer tokens than its budget"
+                    );
+                } else {
+                    let outcome = engine.take_outcome(*id).expect("survivor completed");
+                    prop_assert_eq!(
+                        &outcome.outcome.answer, &solo[i].answer,
+                        "survivor diverged from its solo sequential run"
+                    );
+                    prop_assert_eq!(&outcome.outcome.generated_tokens, &solo[i].generated_tokens);
+                }
+            }
+        }
     }
 }

@@ -2,6 +2,7 @@
 
 use crate::config::ModelConfig;
 use crate::error::ModelError;
+use crate::pool::WorkerPool;
 use crate::profile::ModelProfile;
 use crate::tokenizer::Tokenizer;
 use crate::weights::{LayerWeights, ModelWeights};
@@ -9,6 +10,7 @@ use cocktail_kvcache::{ChunkSegmentation, ChunkedKvCache, ChunkedLayerCache, Sha
 use cocktail_tensor::ops::{causal_mask, rms_norm_rows, rope_rows, silu};
 use cocktail_tensor::Matrix;
 use std::sync::mpsc;
+use std::sync::{Arc, OnceLock};
 
 /// Raw (unquantized) key/value tensors of one (layer, KV-head) pair
 /// produced by the prefill phase, shape `(tokens, head_dim)` each.
@@ -135,406 +137,20 @@ impl BatchPrefill {
     }
 }
 
-/// A decoder-only transformer inference engine with deterministic seeded
-/// weights and a pluggable chunked KV cache.
-///
-/// The engine separates the two phases exactly as the paper describes:
-/// [`InferenceEngine::prefill`] runs full causal attention over the prompt
-/// in FP32 and returns the raw per-layer KV tensors;
-/// [`InferenceEngine::build_cache`] segments those tensors into a
-/// [`ChunkedKvCache`]; a quantization policy (baseline or Cocktail) then
-/// rewrites the cache in place; and [`InferenceEngine::decode_step`] /
-/// [`InferenceEngine::generate_with_cache`] run decode-phase attention over
-/// the (possibly quantized, possibly reordered) cache.
-///
-/// # Example
-///
-/// ```
-/// use cocktail_model::{InferenceEngine, ModelProfile};
-///
-/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
-/// let engine = InferenceEngine::new(ModelProfile::tiny())?;
-/// let prompt = engine.tokenizer().encode("alpha beta gamma delta epsilon zeta");
-/// let prefill = engine.prefill(&prompt)?;
-/// let mut cache = engine.build_cache(&prefill, 2)?;
-/// let generated = engine.generate_with_cache(&prefill, &mut cache, 4)?;
-/// assert_eq!(generated.len(), 4);
-/// # Ok(())
-/// # }
-/// ```
+/// The compute core shared between the main thread and the persistent
+/// worker pool: the model configuration and weights, plus every per-request
+/// attention routine the pool workers execute. Held behind an [`Arc`] so
+/// jobs shipped to pool threads can reference the weights without copying
+/// (or borrowing across the thread boundary).
 #[derive(Debug)]
-pub struct InferenceEngine {
+struct EngineShared {
     config: ModelConfig,
     weights: ModelWeights,
-    tokenizer: Tokenizer,
 }
 
-impl InferenceEngine {
-    /// Builds an engine from a [`ModelProfile`], using its simulated
-    /// configuration and weight seed.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`ModelError::InvalidConfig`] if the profile's configuration
-    /// fails validation.
-    pub fn new(profile: ModelProfile) -> Result<Self, ModelError> {
-        Self::from_config(profile.sim().clone(), profile.seed())
-    }
-
-    /// Builds an engine from an explicit configuration and weight seed.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`ModelError::InvalidConfig`] if the configuration fails
-    /// validation.
-    pub fn from_config(config: ModelConfig, seed: u64) -> Result<Self, ModelError> {
-        config.validate()?;
-        let weights = ModelWeights::seeded(&config, seed);
-        let tokenizer = Tokenizer::new(config.vocab_size);
-        Ok(Self {
-            config,
-            weights,
-            tokenizer,
-        })
-    }
-
-    /// The model configuration.
-    pub fn config(&self) -> &ModelConfig {
-        &self.config
-    }
-
-    /// The engine's tokenizer.
-    pub fn tokenizer(&self) -> &Tokenizer {
-        &self.tokenizer
-    }
-
-    /// The engine's weights (read-only).
-    pub fn weights(&self) -> &ModelWeights {
-        &self.weights
-    }
-
-    fn embed(&self, tokens: &[u32]) -> Result<Matrix, ModelError> {
-        let vocab = self.config.vocab_size;
-        for &t in tokens {
-            if t as usize >= vocab {
-                return Err(ModelError::InvalidPrompt(format!(
-                    "token id {t} exceeds vocabulary size {vocab}"
-                )));
-            }
-        }
-        let indices: Vec<usize> = tokens.iter().map(|&t| t as usize).collect();
-        Ok(self.weights.embedding.gather_rows(&indices))
-    }
-
+impl EngineShared {
     fn attention_scale(&self) -> f32 {
         1.0 / (self.config.head_dim() as f32).sqrt()
-    }
-
-    /// Runs the prefill phase over `tokens` (full causal attention in FP32)
-    /// and returns the raw KV tensors, hidden states and next-token logits.
-    ///
-    /// Implemented as a cold [`InferenceEngine::prefill_batch`] of one, so
-    /// single prefills, batched prefills and prefix-reusing prefills all go
-    /// through the same row-wise arithmetic and stay bit-identical.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`ModelError::InvalidPrompt`] if the prompt is empty, longer
-    /// than the model's maximum context, or contains out-of-vocabulary ids.
-    pub fn prefill(&self, tokens: &[u32]) -> Result<PrefillOutput, ModelError> {
-        let mut batch = self.prefill_batch(&[PrefillSlot::cold(tokens)])?;
-        let one = batch.pop().expect("batch of one yields one prefill");
-        Ok(PrefillOutput {
-            kv: one.suffix_kv,
-            last_logits: one.last_logits,
-            hidden: one.hidden,
-        })
-    }
-
-    /// Validates one prefill slot against the model.
-    fn validate_prefill_slot(&self, slot: &PrefillSlot<'_>) -> Result<(), ModelError> {
-        if slot.tokens.is_empty() {
-            return Err(ModelError::InvalidPrompt("prompt is empty".into()));
-        }
-        if slot.tokens.len() > self.config.max_context {
-            return Err(ModelError::InvalidPrompt(format!(
-                "prompt of {} tokens exceeds max context {}",
-                slot.tokens.len(),
-                self.config.max_context
-            )));
-        }
-        match slot.prefix {
-            None => {
-                if slot.prefix_len != 0 {
-                    return Err(ModelError::CacheMismatch(
-                        "prefix_len set without prefix blocks".into(),
-                    ));
-                }
-            }
-            Some(prefix) => {
-                if prefix.layers() != self.config.n_layers
-                    || prefix.kv_heads() != self.config.n_kv_heads
-                {
-                    return Err(ModelError::CacheMismatch(format!(
-                        "prefix has {}x{} blocks, model needs {}x{}",
-                        prefix.layers(),
-                        prefix.kv_heads(),
-                        self.config.n_layers,
-                        self.config.n_kv_heads
-                    )));
-                }
-                if prefix.block(0, 0).k().cols() != self.config.head_dim() {
-                    return Err(ModelError::CacheMismatch(format!(
-                        "prefix head dim {} vs model head dim {}",
-                        prefix.block(0, 0).k().cols(),
-                        self.config.head_dim()
-                    )));
-                }
-                if slot.prefix_len > prefix.tokens() || slot.prefix_len >= slot.tokens.len() {
-                    return Err(ModelError::InvalidPrompt(format!(
-                        "prefix_len {} out of range for a {}-token prompt with {} cached tokens",
-                        slot.prefix_len,
-                        slot.tokens.len(),
-                        prefix.tokens()
-                    )));
-                }
-            }
-        }
-        Ok(())
-    }
-
-    /// Runs the prefill phase for a whole batch of independent prompts,
-    /// optionally resuming each from cached shared-prefix KV blocks.
-    ///
-    /// The computed suffix rows of every slot are stacked into one hidden
-    /// matrix, so the weight-streaming work — QKV projections, MLP, LM
-    /// head — is paid once per batch, exactly as
-    /// [`InferenceEngine::decode_step_batch`] does for decode. Attention is
-    /// per slot: each slot's suffix queries attend over its reused prefix
-    /// keys (read from the shared blocks) followed by its own suffix keys,
-    /// under the standard causal mask. Because prefill is causal and every
-    /// shared op is row-wise, each computed row is bit-identical to the same
-    /// row of a cold single-prompt [`InferenceEngine::prefill`] — reusing a
-    /// prefix or batching prompts never changes any output.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`ModelError::InvalidPrompt`] for an empty/oversized prompt
-    /// or an out-of-range `prefix_len`, and [`ModelError::CacheMismatch`]
-    /// if a slot's prefix blocks do not match the model layout.
-    pub fn prefill_batch(
-        &self,
-        slots: &[PrefillSlot<'_>],
-    ) -> Result<Vec<BatchPrefill>, ModelError> {
-        if slots.is_empty() {
-            return Ok(Vec::new());
-        }
-        for slot in slots {
-            self.validate_prefill_slot(slot)?;
-        }
-        let head = self.config.head_dim();
-        let scale = self.attention_scale();
-
-        // Row ranges of each slot's computed suffix within the stacked
-        // hidden matrix.
-        let mut offsets = Vec::with_capacity(slots.len());
-        let mut total_rows = 0usize;
-        for slot in slots {
-            offsets.push(total_rows);
-            total_rows += slot.suffix_len();
-        }
-        let stacked: Vec<u32> = slots
-            .iter()
-            .flat_map(|s| s.tokens[s.prefix_len..].iter().copied())
-            .collect();
-        let mut x = self.embed(&stacked)?;
-        let mut kv_per_slot: Vec<Vec<Vec<RawKv>>> = slots
-            .iter()
-            .map(|_| Vec::with_capacity(self.config.n_layers))
-            .collect();
-
-        for (layer_idx, layer) in self.weights.layers.iter().enumerate() {
-            let (q_all, k_all, v_all) = self.layer_qkv(layer, &x)?;
-
-            let mut attn_rows: Vec<Matrix> = Vec::with_capacity(slots.len());
-            for (si, slot) in slots.iter().enumerate() {
-                let rows = offsets[si]..offsets[si] + slot.suffix_len();
-                let q_s = q_all.slice_rows(rows.start, rows.end);
-                let k_s = k_all.slice_rows(rows.start, rows.end);
-                let v_s = v_all.slice_rows(rows.start, rows.end);
-
-                // Per-KV-head suffix K/V with RoPE at the suffix positions.
-                let mut layer_kv = Vec::with_capacity(self.config.n_kv_heads);
-                for j in 0..self.config.n_kv_heads {
-                    let mut k_j = k_s.slice_cols(j * head, (j + 1) * head);
-                    rope_rows(&mut k_j, slot.prefix_len, self.config.rope_theta);
-                    let v_j = v_s.slice_cols(j * head, (j + 1) * head);
-                    layer_kv.push(RawKv { k: k_j, v: v_j });
-                }
-
-                // Full per-KV-head K/V: reused prefix rows (already
-                // RoPE-rotated at their absolute positions when they were
-                // first computed) followed by this layer's suffix rows.
-                let full: Option<Vec<(Matrix, Matrix)>> = if slot.prefix_len > 0 {
-                    let prefix = slot.prefix.expect("validated: prefix_len > 0 has blocks");
-                    let mut pairs = Vec::with_capacity(self.config.n_kv_heads);
-                    for (j, kv_j) in layer_kv.iter().enumerate() {
-                        let block = prefix.block(layer_idx, j);
-                        let pk = block.k().slice_rows(0, slot.prefix_len);
-                        let pv = block.v().slice_rows(0, slot.prefix_len);
-                        pairs.push((
-                            Matrix::concat_rows(&[&pk, &kv_j.k])?,
-                            Matrix::concat_rows(&[&pv, &kv_j.v])?,
-                        ));
-                    }
-                    Some(pairs)
-                } else {
-                    None
-                };
-
-                // Causal mask over the whole prompt for the suffix query
-                // block: query row i (absolute position prefix_len + i) sees
-                // every prefix key and suffix keys up to itself.
-                let mask = causal_mask(slot.suffix_len(), slot.tokens.len());
-                let mut head_outputs = Vec::with_capacity(self.config.n_heads);
-                for h in 0..self.config.n_heads {
-                    let mut q_h = q_s.slice_cols(h * head, (h + 1) * head);
-                    rope_rows(&mut q_h, slot.prefix_len, self.config.rope_theta);
-                    let j = h / self.config.gqa_group_size();
-                    let (k_ref, v_ref): (&Matrix, &Matrix) = match &full {
-                        Some(pairs) => (&pairs[j].0, &pairs[j].1),
-                        None => (&layer_kv[j].k, &layer_kv[j].v),
-                    };
-                    let mut scores = q_h.matmul_transposed(k_ref)?;
-                    scores.scale_in_place(scale);
-                    let probs = scores.masked_softmax(&mask)?;
-                    head_outputs.push(probs.matmul(v_ref)?);
-                }
-                let head_refs: Vec<&Matrix> = head_outputs.iter().collect();
-                attn_rows.push(Matrix::concat_cols(&head_refs)?);
-                kv_per_slot[si].push(layer_kv);
-            }
-            self.finish_layer(layer, &mut x, attn_rows)?;
-        }
-
-        rms_norm_rows(&mut x, &self.weights.final_norm, self.config.rms_eps);
-        slots
-            .iter()
-            .enumerate()
-            .zip(kv_per_slot)
-            .map(|((si, slot), suffix_kv)| {
-                let rows = offsets[si]..offsets[si] + slot.suffix_len();
-                let hidden = x.slice_rows(rows.start, rows.end);
-                let last_hidden = hidden.slice_rows(hidden.rows() - 1, hidden.rows());
-                let logits = last_hidden.matmul(&self.weights.lm_head)?;
-                Ok(BatchPrefill {
-                    prefix_len: slot.prefix_len,
-                    suffix_kv,
-                    last_logits: logits.row(0).to_vec(),
-                    hidden,
-                })
-            })
-            .collect()
-    }
-
-    /// Segments the prefill KV tensors into a [`ChunkedKvCache`] with the
-    /// given chunk size. All chunks start in FP16; a quantization policy is
-    /// applied afterwards.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`ModelError::CacheMismatch`] if the chunk size is zero.
-    pub fn build_cache(
-        &self,
-        prefill: &PrefillOutput,
-        chunk_size: usize,
-    ) -> Result<ChunkedKvCache, ModelError> {
-        let context_len = prefill
-            .kv
-            .first()
-            .and_then(|heads| heads.first())
-            .map(|kv| kv.k.rows())
-            .unwrap_or(0);
-        let seg = ChunkSegmentation::new(context_len, chunk_size)?;
-        let mut cache = ChunkedKvCache::new(self.config.n_layers, self.config.n_kv_heads);
-        for (layer, heads) in prefill.kv.iter().enumerate() {
-            for (head, raw) in heads.iter().enumerate() {
-                cache.set(
-                    layer,
-                    head,
-                    ChunkedLayerCache::from_prefill(&raw.k, &raw.v, &seg)?,
-                );
-            }
-        }
-        Ok(cache)
-    }
-
-    /// Runs one decode step: processes `token` at absolute position `pos`,
-    /// appends its KV to the cache tail and returns the next-token logits.
-    ///
-    /// Implemented as a batch of one, so a single-request decode is
-    /// bit-identical to the same request's row of a
-    /// [`InferenceEngine::decode_step_batch`] call.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`ModelError::CacheMismatch`] if the cache layout does not
-    /// match the model, or [`ModelError::InvalidPrompt`] for an
-    /// out-of-vocabulary token.
-    pub fn decode_step(
-        &self,
-        token: u32,
-        pos: usize,
-        cache: &mut ChunkedKvCache,
-    ) -> Result<DecodeStep, ModelError> {
-        let mut slots = [DecodeSlot { token, pos, cache }];
-        let mut steps = self.decode_step_batch(&mut slots)?;
-        Ok(steps.pop().expect("batch of one yields one step"))
-    }
-
-    /// RoPE-rotates and appends one request's token KV to its cache, then
-    /// computes its decode attention for one layer: the per-request section
-    /// of a batched decode step. The arithmetic is exactly the single-
-    /// request [`InferenceEngine::decode_step`] path, so results never
-    /// depend on the batch composition.
-    fn request_layer_attention(
-        &self,
-        layer_idx: usize,
-        slot: &mut DecodeSlot<'_>,
-        q_row: &Matrix,
-        k_row: &Matrix,
-        v_row: &Matrix,
-    ) -> Result<Matrix, ModelError> {
-        let head = self.config.head_dim();
-        let scale = self.attention_scale();
-        // Append this token's KV to every KV-head cache first so the token
-        // attends to itself, as in standard causal decoding.
-        for j in 0..self.config.n_kv_heads {
-            let mut k_j = k_row.slice_cols(j * head, (j + 1) * head);
-            rope_rows(&mut k_j, slot.pos, self.config.rope_theta);
-            let v_j = v_row.slice_cols(j * head, (j + 1) * head);
-            let entry = slot.cache.get_mut(layer_idx, j).ok_or_else(|| {
-                ModelError::CacheMismatch(format!(
-                    "cache slot (layer {layer_idx}, head {j}) is not populated"
-                ))
-            })?;
-            entry.append_decode_token(k_j.row(0), v_j.row(0))?;
-        }
-        let mut head_outputs = Vec::with_capacity(self.config.n_heads);
-        for h in 0..self.config.n_heads {
-            let mut q_h = q_row.slice_cols(h * head, (h + 1) * head);
-            rope_rows(&mut q_h, slot.pos, self.config.rope_theta);
-            let kv_head = h / self.config.gqa_group_size();
-            let entry = slot.cache.get(layer_idx, kv_head).ok_or_else(|| {
-                ModelError::CacheMismatch(format!(
-                    "cache slot (layer {layer_idx}, head {kv_head}) is not populated"
-                ))
-            })?;
-            let attn = entry.attend(&q_h, scale)?;
-            head_outputs.push(attn.output);
-        }
-        let head_refs: Vec<&Matrix> = head_outputs.iter().collect();
-        Matrix::concat_cols(&head_refs).map_err(ModelError::from)
     }
 
     /// One layer's attention-input projections: RMS-norms `x` and streams
@@ -577,80 +193,701 @@ impl InferenceEngine {
         Ok(())
     }
 
-    /// The multi-core decode round: one pool of scoped worker threads is
-    /// spawned for the *whole* round and fed per-layer jobs over channels,
-    /// instead of re-spawning threads inside every layer (the first step of
-    /// the ROADMAP's persistent worker pool). Each worker owns a contiguous
-    /// chunk of the batch for the entire round; per layer the main thread
+    /// RoPE-rotates and appends one request's token KV to its cache, then
+    /// computes its decode attention for one layer: the per-request section
+    /// of a batched decode step. The arithmetic is exactly the single-
+    /// request [`InferenceEngine::decode_step`] path, so results never
+    /// depend on the batch composition — or on which pool worker ran it.
+    fn token_attention(
+        &self,
+        layer_idx: usize,
+        cache: &mut ChunkedKvCache,
+        pos: usize,
+        q_row: &Matrix,
+        k_row: &Matrix,
+        v_row: &Matrix,
+    ) -> Result<Matrix, ModelError> {
+        let head = self.config.head_dim();
+        let scale = self.attention_scale();
+        // Append this token's KV to every KV-head cache first so the token
+        // attends to itself, as in standard causal decoding.
+        for j in 0..self.config.n_kv_heads {
+            let mut k_j = k_row.slice_cols(j * head, (j + 1) * head);
+            rope_rows(&mut k_j, pos, self.config.rope_theta);
+            let v_j = v_row.slice_cols(j * head, (j + 1) * head);
+            let entry = cache.get_mut(layer_idx, j).ok_or_else(|| {
+                ModelError::CacheMismatch(format!(
+                    "cache slot (layer {layer_idx}, head {j}) is not populated"
+                ))
+            })?;
+            entry.append_decode_token(k_j.row(0), v_j.row(0))?;
+        }
+        let mut head_outputs = Vec::with_capacity(self.config.n_heads);
+        for h in 0..self.config.n_heads {
+            let mut q_h = q_row.slice_cols(h * head, (h + 1) * head);
+            rope_rows(&mut q_h, pos, self.config.rope_theta);
+            let kv_head = h / self.config.gqa_group_size();
+            let entry = cache.get(layer_idx, kv_head).ok_or_else(|| {
+                ModelError::CacheMismatch(format!(
+                    "cache slot (layer {layer_idx}, head {kv_head}) is not populated"
+                ))
+            })?;
+            let attn = entry.attend(&q_h, scale)?;
+            head_outputs.push(attn.output);
+        }
+        let head_refs: Vec<&Matrix> = head_outputs.iter().collect();
+        Matrix::concat_cols(&head_refs).map_err(ModelError::from)
+    }
+
+    /// The per-slot attention of one prefill layer: RoPE the slot's suffix
+    /// K per KV head, assemble `[reused prefix ++ suffix]` K/V, and run
+    /// causal attention for every query head. Returns the concatenated
+    /// attention rows plus this layer's per-KV-head suffix KV. Pure
+    /// per-slot arithmetic, so it can run inline or on any pool worker with
+    /// bit-identical output.
+    fn prefill_slot_attention(
+        &self,
+        layer_idx: usize,
+        prompt_len: usize,
+        prefix: Option<(&SharedPrefixKv, usize)>,
+        q_s: &Matrix,
+        k_s: &Matrix,
+        v_s: &Matrix,
+    ) -> Result<(Matrix, Vec<RawKv>), ModelError> {
+        let head = self.config.head_dim();
+        let scale = self.attention_scale();
+        let prefix_len = prefix.map_or(0, |(_, len)| len);
+        let suffix_len = prompt_len - prefix_len;
+
+        // Per-KV-head suffix K/V with RoPE at the suffix positions.
+        let mut layer_kv = Vec::with_capacity(self.config.n_kv_heads);
+        for j in 0..self.config.n_kv_heads {
+            let mut k_j = k_s.slice_cols(j * head, (j + 1) * head);
+            rope_rows(&mut k_j, prefix_len, self.config.rope_theta);
+            let v_j = v_s.slice_cols(j * head, (j + 1) * head);
+            layer_kv.push(RawKv { k: k_j, v: v_j });
+        }
+
+        // Full per-KV-head K/V: reused prefix rows (already RoPE-rotated at
+        // their absolute positions when they were first computed) followed
+        // by this layer's suffix rows.
+        let full: Option<Vec<(Matrix, Matrix)>> = match prefix {
+            Some((shared, len)) if len > 0 => {
+                let mut pairs = Vec::with_capacity(self.config.n_kv_heads);
+                for (j, kv_j) in layer_kv.iter().enumerate() {
+                    let block = shared.block(layer_idx, j);
+                    let pk = block.k().slice_rows(0, len);
+                    let pv = block.v().slice_rows(0, len);
+                    pairs.push((
+                        Matrix::concat_rows(&[&pk, &kv_j.k])?,
+                        Matrix::concat_rows(&[&pv, &kv_j.v])?,
+                    ));
+                }
+                Some(pairs)
+            }
+            _ => None,
+        };
+
+        // Causal mask over the whole prompt for the suffix query block:
+        // query row i (absolute position prefix_len + i) sees every prefix
+        // key and suffix keys up to itself.
+        let mask = causal_mask(suffix_len, prompt_len);
+        let mut head_outputs = Vec::with_capacity(self.config.n_heads);
+        for h in 0..self.config.n_heads {
+            let mut q_h = q_s.slice_cols(h * head, (h + 1) * head);
+            rope_rows(&mut q_h, prefix_len, self.config.rope_theta);
+            let j = h / self.config.gqa_group_size();
+            let (k_ref, v_ref): (&Matrix, &Matrix) = match &full {
+                Some(pairs) => (&pairs[j].0, &pairs[j].1),
+                None => (&layer_kv[j].k, &layer_kv[j].v),
+            };
+            let mut scores = q_h.matmul_transposed(k_ref)?;
+            scores.scale_in_place(scale);
+            let probs = scores.masked_softmax(&mask)?;
+            head_outputs.push(probs.matmul(v_ref)?);
+        }
+        let head_refs: Vec<&Matrix> = head_outputs.iter().collect();
+        let attn = Matrix::concat_cols(&head_refs)?;
+        Ok((attn, layer_kv))
+    }
+}
+
+/// The caches (and token positions) of one worker's contiguous chunk of a
+/// decode batch. Ownership of the caches is taken from the borrowed slots
+/// at the start of a round, ping-pongs between the main thread and the
+/// chunk's worker once per layer, and returns to the slots when the round
+/// ends.
+struct DecodeChunk {
+    caches: Vec<ChunkedKvCache>,
+    positions: Vec<usize>,
+}
+
+/// Prefix metadata of one prefill slot, in an owned form a pool job can
+/// capture (the [`SharedPrefixKv`] handle is a refcount bump, not a copy).
+#[derive(Clone)]
+struct PrefillSlotMeta {
+    prompt_len: usize,
+    prefix: Option<(SharedPrefixKv, usize)>,
+}
+
+impl PrefillSlotMeta {
+    fn prefix_ref(&self) -> Option<(&SharedPrefixKv, usize)> {
+        self.prefix.as_ref().map(|(kv, len)| (kv, *len))
+    }
+
+    fn prefix_len(&self) -> usize {
+        self.prefix.as_ref().map_or(0, |(_, len)| *len)
+    }
+}
+
+/// A decoder-only transformer inference engine with deterministic seeded
+/// weights and a pluggable chunked KV cache.
+///
+/// The engine separates the two phases exactly as the paper describes:
+/// [`InferenceEngine::prefill`] runs full causal attention over the prompt
+/// in FP32 and returns the raw per-layer KV tensors;
+/// [`InferenceEngine::build_cache`] segments those tensors into a
+/// [`ChunkedKvCache`]; a quantization policy (baseline or Cocktail) then
+/// rewrites the cache in place; and [`InferenceEngine::decode_step`] /
+/// [`InferenceEngine::generate_with_cache`] run decode-phase attention over
+/// the (possibly quantized, possibly reordered) cache.
+///
+/// On multi-core hosts the engine owns a **persistent worker pool**
+/// ([`WorkerPool`]): the threads are spawned once, on the first batched
+/// call that can use them, and then serve every decode round *and* every
+/// batched prefill for the engine's whole lifetime —
+/// [`InferenceEngine::pool_spawn_count`] stays at the worker count however
+/// many rounds run. Work is assigned to workers by contiguous chunk index
+/// and stitched back in order, so pooled outputs are bit-identical to the
+/// single-threaded loop.
+///
+/// # Example
+///
+/// ```
+/// use cocktail_model::{InferenceEngine, ModelProfile};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let engine = InferenceEngine::new(ModelProfile::tiny())?;
+/// let prompt = engine.tokenizer().encode("alpha beta gamma delta epsilon zeta");
+/// let prefill = engine.prefill(&prompt)?;
+/// let mut cache = engine.build_cache(&prefill, 2)?;
+/// let generated = engine.generate_with_cache(&prefill, &mut cache, 4)?;
+/// assert_eq!(generated.len(), 4);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct InferenceEngine {
+    shared: Arc<EngineShared>,
+    tokenizer: Tokenizer,
+    pool: OnceLock<WorkerPool>,
+}
+
+impl InferenceEngine {
+    /// Builds an engine from a [`ModelProfile`], using its simulated
+    /// configuration and weight seed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidConfig`] if the profile's configuration
+    /// fails validation.
+    pub fn new(profile: ModelProfile) -> Result<Self, ModelError> {
+        Self::from_config(profile.sim().clone(), profile.seed())
+    }
+
+    /// Builds an engine from an explicit configuration and weight seed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidConfig`] if the configuration fails
+    /// validation.
+    pub fn from_config(config: ModelConfig, seed: u64) -> Result<Self, ModelError> {
+        config.validate()?;
+        let weights = ModelWeights::seeded(&config, seed);
+        let tokenizer = Tokenizer::new(config.vocab_size);
+        Ok(Self {
+            shared: Arc::new(EngineShared { config, weights }),
+            tokenizer,
+            pool: OnceLock::new(),
+        })
+    }
+
+    /// The model configuration.
+    pub fn config(&self) -> &ModelConfig {
+        &self.shared.config
+    }
+
+    /// The engine's tokenizer.
+    pub fn tokenizer(&self) -> &Tokenizer {
+        &self.tokenizer
+    }
+
+    /// The engine's weights (read-only).
+    pub fn weights(&self) -> &ModelWeights {
+        &self.shared.weights
+    }
+
+    /// The number of worker threads the engine would use for batched work:
+    /// the host's available parallelism (the pool is sized once, at first
+    /// use).
+    pub fn pool_workers(&self) -> usize {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    }
+
+    /// Total pool threads spawned over this engine's lifetime: `0` before
+    /// the first batched call (or forever, on a single-core host), and
+    /// exactly the worker count afterwards — the pool persists across
+    /// decode rounds and prefills instead of re-spawning per round.
+    pub fn pool_spawn_count(&self) -> usize {
+        self.pool.get().map_or(0, WorkerPool::spawn_count)
+    }
+
+    /// The persistent pool, spawned on first use.
+    fn pool(&self) -> &WorkerPool {
+        self.pool
+            .get_or_init(|| WorkerPool::new(self.pool_workers()))
+    }
+
+    fn embed(&self, tokens: &[u32]) -> Result<Matrix, ModelError> {
+        let vocab = self.shared.config.vocab_size;
+        for &t in tokens {
+            if t as usize >= vocab {
+                return Err(ModelError::InvalidPrompt(format!(
+                    "token id {t} exceeds vocabulary size {vocab}"
+                )));
+            }
+        }
+        let indices: Vec<usize> = tokens.iter().map(|&t| t as usize).collect();
+        Ok(self.shared.weights.embedding.gather_rows(&indices))
+    }
+
+    /// Runs the prefill phase over `tokens` (full causal attention in FP32)
+    /// and returns the raw KV tensors, hidden states and next-token logits.
+    ///
+    /// Implemented as a cold [`InferenceEngine::prefill_batch`] of one, so
+    /// single prefills, batched prefills and prefix-reusing prefills all go
+    /// through the same row-wise arithmetic and stay bit-identical.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidPrompt`] if the prompt is empty, longer
+    /// than the model's maximum context, or contains out-of-vocabulary ids.
+    pub fn prefill(&self, tokens: &[u32]) -> Result<PrefillOutput, ModelError> {
+        let mut batch = self.prefill_batch(&[PrefillSlot::cold(tokens)])?;
+        let one = batch.pop().expect("batch of one yields one prefill");
+        Ok(PrefillOutput {
+            kv: one.suffix_kv,
+            last_logits: one.last_logits,
+            hidden: one.hidden,
+        })
+    }
+
+    /// Validates one prefill slot against the model.
+    fn validate_prefill_slot(&self, slot: &PrefillSlot<'_>) -> Result<(), ModelError> {
+        let config = &self.shared.config;
+        if slot.tokens.is_empty() {
+            return Err(ModelError::InvalidPrompt("prompt is empty".into()));
+        }
+        if slot.tokens.len() > config.max_context {
+            return Err(ModelError::InvalidPrompt(format!(
+                "prompt of {} tokens exceeds max context {}",
+                slot.tokens.len(),
+                config.max_context
+            )));
+        }
+        match slot.prefix {
+            None => {
+                if slot.prefix_len != 0 {
+                    return Err(ModelError::CacheMismatch(
+                        "prefix_len set without prefix blocks".into(),
+                    ));
+                }
+            }
+            Some(prefix) => {
+                if prefix.layers() != config.n_layers || prefix.kv_heads() != config.n_kv_heads {
+                    return Err(ModelError::CacheMismatch(format!(
+                        "prefix has {}x{} blocks, model needs {}x{}",
+                        prefix.layers(),
+                        prefix.kv_heads(),
+                        config.n_layers,
+                        config.n_kv_heads
+                    )));
+                }
+                if prefix.block(0, 0).k().cols() != config.head_dim() {
+                    return Err(ModelError::CacheMismatch(format!(
+                        "prefix head dim {} vs model head dim {}",
+                        prefix.block(0, 0).k().cols(),
+                        config.head_dim()
+                    )));
+                }
+                if slot.prefix_len > prefix.tokens() || slot.prefix_len >= slot.tokens.len() {
+                    return Err(ModelError::InvalidPrompt(format!(
+                        "prefix_len {} out of range for a {}-token prompt with {} cached tokens",
+                        slot.prefix_len,
+                        slot.tokens.len(),
+                        prefix.tokens()
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Runs the prefill phase for a whole batch of independent prompts,
+    /// optionally resuming each from cached shared-prefix KV blocks.
+    ///
+    /// The computed suffix rows of every slot are stacked into one hidden
+    /// matrix, so the weight-streaming work — QKV projections, MLP, LM
+    /// head — is paid once per batch, exactly as
+    /// [`InferenceEngine::decode_step_batch`] does for decode. Attention is
+    /// per slot: each slot's suffix queries attend over its reused prefix
+    /// keys (read from the shared blocks) followed by its own suffix keys,
+    /// under the standard causal mask; with more than one slot on a
+    /// multi-core host, the per-slot attention runs on the engine's
+    /// persistent worker pool. Because prefill is causal and every shared
+    /// op is row-wise, each computed row is bit-identical to the same row
+    /// of a cold single-prompt [`InferenceEngine::prefill`] — reusing a
+    /// prefix, batching prompts, or pooling workers never changes any
+    /// output.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidPrompt`] for an empty/oversized prompt
+    /// or an out-of-range `prefix_len`, and [`ModelError::CacheMismatch`]
+    /// if a slot's prefix blocks do not match the model layout.
+    pub fn prefill_batch(
+        &self,
+        slots: &[PrefillSlot<'_>],
+    ) -> Result<Vec<BatchPrefill>, ModelError> {
+        if slots.is_empty() {
+            return Ok(Vec::new());
+        }
+        for slot in slots {
+            self.validate_prefill_slot(slot)?;
+        }
+
+        // Row ranges of each slot's computed suffix within the stacked
+        // hidden matrix.
+        let mut offsets = Vec::with_capacity(slots.len());
+        let mut total_rows = 0usize;
+        for slot in slots {
+            offsets.push(total_rows);
+            total_rows += slot.suffix_len();
+        }
+        let stacked: Vec<u32> = slots
+            .iter()
+            .flat_map(|s| s.tokens[s.prefix_len..].iter().copied())
+            .collect();
+        let mut x = self.embed(&stacked)?;
+        let metas: Vec<PrefillSlotMeta> = slots
+            .iter()
+            .map(|slot| PrefillSlotMeta {
+                prompt_len: slot.tokens.len(),
+                prefix: slot.prefix.map(|kv| (kv.clone(), slot.prefix_len)),
+            })
+            .collect();
+        let mut kv_per_slot: Vec<Vec<Vec<RawKv>>> = slots
+            .iter()
+            .map(|_| Vec::with_capacity(self.shared.config.n_layers))
+            .collect();
+
+        let workers = self.pool_workers().min(slots.len());
+        for (layer_idx, layer) in self.shared.weights.layers.iter().enumerate() {
+            let (q_all, k_all, v_all) = self.shared.layer_qkv(layer, &x)?;
+            let per_slot = if workers > 1 {
+                self.prefill_layer_pooled(
+                    layer_idx, &metas, &offsets, &q_all, &k_all, &v_all, workers,
+                )?
+            } else {
+                metas
+                    .iter()
+                    .enumerate()
+                    .map(|(si, meta)| {
+                        let (start, len) = (offsets[si], meta.prompt_len - meta.prefix_len());
+                        self.shared.prefill_slot_attention(
+                            layer_idx,
+                            meta.prompt_len,
+                            meta.prefix_ref(),
+                            &q_all.slice_rows(start, start + len),
+                            &k_all.slice_rows(start, start + len),
+                            &v_all.slice_rows(start, start + len),
+                        )
+                    })
+                    .collect::<Result<Vec<_>, ModelError>>()?
+            };
+            let mut attn_rows = Vec::with_capacity(slots.len());
+            for (si, (attn, layer_kv)) in per_slot.into_iter().enumerate() {
+                attn_rows.push(attn);
+                kv_per_slot[si].push(layer_kv);
+            }
+            self.shared.finish_layer(layer, &mut x, attn_rows)?;
+        }
+
+        rms_norm_rows(
+            &mut x,
+            &self.shared.weights.final_norm,
+            self.shared.config.rms_eps,
+        );
+        slots
+            .iter()
+            .enumerate()
+            .zip(kv_per_slot)
+            .map(|((si, slot), suffix_kv)| {
+                let rows = offsets[si]..offsets[si] + slot.suffix_len();
+                let hidden = x.slice_rows(rows.start, rows.end);
+                let last_hidden = hidden.slice_rows(hidden.rows() - 1, hidden.rows());
+                let logits = last_hidden.matmul(&self.shared.weights.lm_head)?;
+                Ok(BatchPrefill {
+                    prefix_len: slot.prefix_len,
+                    suffix_kv,
+                    last_logits: logits.row(0).to_vec(),
+                    hidden,
+                })
+            })
+            .collect()
+    }
+
+    /// Distributes one prefill layer's per-slot attention over the
+    /// persistent pool: slots are split into contiguous chunks, worker `i`
+    /// always computes chunk `i`, and results are stitched back in slot
+    /// order — so the output is bit-identical to the inline loop.
+    #[allow(clippy::too_many_arguments)]
+    fn prefill_layer_pooled(
+        &self,
+        layer_idx: usize,
+        metas: &[PrefillSlotMeta],
+        offsets: &[usize],
+        q_all: &Matrix,
+        k_all: &Matrix,
+        v_all: &Matrix,
+        workers: usize,
+    ) -> Result<Vec<(Matrix, Vec<RawKv>)>, ModelError> {
+        let pool = self.pool();
+        let workers = workers.min(pool.workers()).max(1);
+        let n = metas.len();
+        let chunk_len = n.div_ceil(workers);
+        let mut receivers = Vec::new();
+        for (ci, chunk) in metas.chunks(chunk_len).enumerate() {
+            // Each job owns its slots' metadata and suffix Q/K/V rows.
+            let jobs: Vec<(PrefillSlotMeta, Matrix, Matrix, Matrix)> = chunk
+                .iter()
+                .enumerate()
+                .map(|(i, meta)| {
+                    let si = ci * chunk_len + i;
+                    let (start, len) = (offsets[si], meta.prompt_len - meta.prefix_len());
+                    (
+                        meta.clone(),
+                        q_all.slice_rows(start, start + len),
+                        k_all.slice_rows(start, start + len),
+                        v_all.slice_rows(start, start + len),
+                    )
+                })
+                .collect();
+            let shared = Arc::clone(&self.shared);
+            let (tx, rx) = mpsc::channel();
+            receivers.push(rx);
+            pool.run_on(
+                ci,
+                Box::new(move || {
+                    let results: Vec<Result<(Matrix, Vec<RawKv>), ModelError>> = jobs
+                        .into_iter()
+                        .map(|(meta, q_s, k_s, v_s)| {
+                            shared.prefill_slot_attention(
+                                layer_idx,
+                                meta.prompt_len,
+                                meta.prefix_ref(),
+                                &q_s,
+                                &k_s,
+                                &v_s,
+                            )
+                        })
+                        .collect();
+                    let _ = tx.send(results);
+                }),
+            );
+        }
+        let mut per_slot = Vec::with_capacity(n);
+        for (ci, rx) in receivers.into_iter().enumerate() {
+            let results = rx
+                .recv()
+                .map_err(|_| ModelError::Numeric(format!("prefill pool worker {ci} panicked")))?;
+            for result in results {
+                per_slot.push(result?);
+            }
+        }
+        Ok(per_slot)
+    }
+
+    /// Segments the prefill KV tensors into a [`ChunkedKvCache`] with the
+    /// given chunk size. All chunks start in FP16; a quantization policy is
+    /// applied afterwards.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::CacheMismatch`] if the chunk size is zero.
+    pub fn build_cache(
+        &self,
+        prefill: &PrefillOutput,
+        chunk_size: usize,
+    ) -> Result<ChunkedKvCache, ModelError> {
+        let context_len = prefill
+            .kv
+            .first()
+            .and_then(|heads| heads.first())
+            .map(|kv| kv.k.rows())
+            .unwrap_or(0);
+        let seg = ChunkSegmentation::new(context_len, chunk_size)?;
+        let config = &self.shared.config;
+        let mut cache = ChunkedKvCache::new(config.n_layers, config.n_kv_heads);
+        for (layer, heads) in prefill.kv.iter().enumerate() {
+            for (head, raw) in heads.iter().enumerate() {
+                cache.set(
+                    layer,
+                    head,
+                    ChunkedLayerCache::from_prefill(&raw.k, &raw.v, &seg)?,
+                );
+            }
+        }
+        Ok(cache)
+    }
+
+    /// Runs one decode step: processes `token` at absolute position `pos`,
+    /// appends its KV to the cache tail and returns the next-token logits.
+    ///
+    /// Implemented as a batch of one, so a single-request decode is
+    /// bit-identical to the same request's row of a
+    /// [`InferenceEngine::decode_step_batch`] call.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::CacheMismatch`] if the cache layout does not
+    /// match the model, or [`ModelError::InvalidPrompt`] for an
+    /// out-of-vocabulary token.
+    pub fn decode_step(
+        &self,
+        token: u32,
+        pos: usize,
+        cache: &mut ChunkedKvCache,
+    ) -> Result<DecodeStep, ModelError> {
+        let mut slots = [DecodeSlot { token, pos, cache }];
+        let mut steps = self.decode_step_batch(&mut slots)?;
+        Ok(steps.pop().expect("batch of one yields one step"))
+    }
+
+    /// The multi-core decode round on the **persistent pool**: worker `i`
+    /// owns the `i`-th contiguous chunk of the batch for the entire round.
+    /// At the start of the round each chunk's caches are *taken* from the
+    /// borrowed slots (an O(1) move per cache); per layer the main thread
     /// streams the QKV/MLP weights for the whole batch, ships each worker
-    /// its chunk's Q/K/V rows, and stitches the returned attention rows
-    /// back in chunk order — so the arithmetic and its ordering are exactly
-    /// the single-threaded loop's, and outputs stay bit-identical.
+    /// its chunk's Q/K/V rows together with the chunk's caches, and the
+    /// worker sends back the attention rows plus the caches for the next
+    /// layer. When the round ends (or fails) the caches move back into the
+    /// slots. The arithmetic and its stitching order are exactly the
+    /// single-threaded loop's, so outputs stay bit-identical — and no
+    /// thread is ever spawned here: the pool outlives the round.
     fn decode_layers_pooled(
         &self,
         slots: &mut [DecodeSlot<'_>],
         x: &mut Matrix,
         workers: usize,
     ) -> Result<(), ModelError> {
+        let pool = self.pool();
+        let workers = workers.min(pool.workers()).max(1);
         let n = slots.len();
         let chunk_len = n.div_ceil(workers);
-        type LayerJob = (usize, Matrix, Matrix, Matrix);
-        std::thread::scope(|scope| -> Result<(), ModelError> {
-            let mut job_txs: Vec<mpsc::Sender<LayerJob>> = Vec::new();
-            let mut result_rxs: Vec<mpsc::Receiver<Vec<Result<Matrix, ModelError>>>> = Vec::new();
-            for chunk in slots.chunks_mut(chunk_len) {
-                let (job_tx, job_rx) = mpsc::channel::<LayerJob>();
-                let (result_tx, result_rx) = mpsc::channel();
-                job_txs.push(job_tx);
-                result_rxs.push(result_rx);
-                scope.spawn(move || {
-                    // One job per layer; the channel closes when the round
-                    // is done (or aborted), ending the worker.
-                    while let Ok((layer_idx, q, k, v)) = job_rx.recv() {
-                        let results: Vec<Result<Matrix, ModelError>> = chunk
-                            .iter_mut()
-                            .enumerate()
-                            .map(|(i, slot)| {
-                                let q_row = q.slice_rows(i, i + 1);
-                                let k_row = k.slice_rows(i, i + 1);
-                                let v_row = v.slice_rows(i, i + 1);
-                                self.request_layer_attention(
-                                    layer_idx, slot, &q_row, &k_row, &v_row,
-                                )
-                            })
-                            .collect();
-                        if result_tx.send(results).is_err() {
-                            break;
-                        }
-                    }
-                });
-            }
-            for (layer_idx, layer) in self.weights.layers.iter().enumerate() {
-                let (q_all, k_all, v_all) = self.layer_qkv(layer, x)?;
-                for (ci, tx) in job_txs.iter().enumerate() {
+        let mut chunks: Vec<Option<DecodeChunk>> = slots
+            .chunks_mut(chunk_len)
+            .map(|chunk| {
+                Some(DecodeChunk {
+                    caches: chunk
+                        .iter_mut()
+                        .map(|slot| std::mem::replace(slot.cache, ChunkedKvCache::new(0, 0)))
+                        .collect(),
+                    positions: chunk.iter().map(|slot| slot.pos).collect(),
+                })
+            })
+            .collect();
+
+        let mut round = || -> Result<(), ModelError> {
+            for (layer_idx, layer) in self.shared.weights.layers.iter().enumerate() {
+                let (q_all, k_all, v_all) = self.shared.layer_qkv(layer, x)?;
+                let mut receivers = Vec::with_capacity(chunks.len());
+                for (ci, state) in chunks.iter_mut().enumerate() {
+                    let mut chunk = state.take().expect("chunk caches are home between layers");
                     let start = ci * chunk_len;
-                    let end = (start + chunk_len).min(n);
-                    tx.send((
-                        layer_idx,
-                        q_all.slice_rows(start, end),
-                        k_all.slice_rows(start, end),
-                        v_all.slice_rows(start, end),
-                    ))
-                    .expect("decode worker is alive until its sender drops");
+                    let end = start + chunk.caches.len();
+                    let q = q_all.slice_rows(start, end);
+                    let k = k_all.slice_rows(start, end);
+                    let v = v_all.slice_rows(start, end);
+                    let shared = Arc::clone(&self.shared);
+                    let (tx, rx) = mpsc::channel();
+                    receivers.push(rx);
+                    pool.run_on(
+                        ci,
+                        Box::new(move || {
+                            let results: Vec<Result<Matrix, ModelError>> = (0..chunk.caches.len())
+                                .map(|i| {
+                                    shared.token_attention(
+                                        layer_idx,
+                                        &mut chunk.caches[i],
+                                        chunk.positions[i],
+                                        &q.slice_rows(i, i + 1),
+                                        &k.slice_rows(i, i + 1),
+                                        &v.slice_rows(i, i + 1),
+                                    )
+                                })
+                                .collect();
+                            let _ = tx.send((results, chunk));
+                        }),
+                    );
                 }
                 let mut attn_rows = Vec::with_capacity(n);
-                for rx in &result_rxs {
-                    let results = rx.recv().expect("decode worker sends one result per job");
-                    for result in results {
-                        attn_rows.push(result?);
+                let mut layer_err: Option<ModelError> = None;
+                for (ci, rx) in receivers.into_iter().enumerate() {
+                    // A worker only fails to reply if its job panicked.
+                    // Surface that as an error (the panicked chunk's
+                    // caches are lost with the thread, but every other
+                    // chunk's caches are still collected and restored
+                    // below) instead of panicking past the restore loop.
+                    match rx.recv() {
+                        Ok((results, chunk)) => {
+                            chunks[ci] = Some(chunk);
+                            for result in results {
+                                match result {
+                                    Ok(rows) => attn_rows.push(rows),
+                                    Err(err) => {
+                                        layer_err.get_or_insert(err);
+                                    }
+                                }
+                            }
+                        }
+                        Err(_) => {
+                            layer_err.get_or_insert(ModelError::Numeric(format!(
+                                "decode pool worker {ci} panicked; its requests' caches are lost"
+                            )));
+                        }
                     }
                 }
-                self.finish_layer(layer, x, attn_rows)?;
+                if let Some(err) = layer_err {
+                    return Err(err);
+                }
+                self.shared.finish_layer(layer, x, attn_rows)?;
             }
             Ok(())
-            // `job_txs` drops here, closing the channels and ending the
-            // workers before the scope joins them.
-        })
+        };
+        let result = round();
+
+        // Hand every cache back to its borrowed slot, error or not.
+        for (chunk_slots, state) in slots.chunks_mut(chunk_len).zip(chunks) {
+            if let Some(chunk) = state {
+                for (slot, cache) in chunk_slots.iter_mut().zip(chunk.caches) {
+                    *slot.cache = cache;
+                }
+            }
+        }
+        result
     }
 
     /// Runs one decode step for a whole batch of independent requests.
@@ -661,12 +898,12 @@ impl InferenceEngine {
     /// *batch* rather than once per request. Attention stays per-request,
     /// since each request owns its cache, and RoPE is applied per row at
     /// each request's own position; on multi-core hosts the per-request
-    /// attention runs on scoped threads, the request-level parallelism that
-    /// continuous batching exposes. Row `i` of the batch goes through
-    /// exactly the same row-wise arithmetic as a lone
-    /// [`InferenceEngine::decode_step`] call — requests never share state —
-    /// so batching (and threading) never changes any request's logits:
-    /// batched serving is bit-identical to sequential serving.
+    /// attention runs on the engine's persistent [`WorkerPool`], the
+    /// request-level parallelism that continuous batching exposes. Row `i`
+    /// of the batch goes through exactly the same row-wise arithmetic as a
+    /// lone [`InferenceEngine::decode_step`] call — requests never share
+    /// state — so batching (and pooling) never changes any request's
+    /// logits: batched serving is bit-identical to sequential serving.
     ///
     /// # Errors
     ///
@@ -680,50 +917,51 @@ impl InferenceEngine {
         if slots.is_empty() {
             return Ok(Vec::new());
         }
+        let config = &self.shared.config;
         for slot in slots.iter() {
-            if slot.cache.layers() != self.config.n_layers
-                || slot.cache.kv_heads() != self.config.n_kv_heads
+            if slot.cache.layers() != config.n_layers || slot.cache.kv_heads() != config.n_kv_heads
             {
                 return Err(ModelError::CacheMismatch(format!(
                     "cache has {}x{} slots, model needs {}x{}",
                     slot.cache.layers(),
                     slot.cache.kv_heads(),
-                    self.config.n_layers,
-                    self.config.n_kv_heads
+                    config.n_layers,
+                    config.n_kv_heads
                 )));
             }
         }
         let tokens: Vec<u32> = slots.iter().map(|s| s.token).collect();
         let mut x = self.embed(&tokens)?;
         // Worker count for the per-request attention: bounded by the cores
-        // actually available, so a large batch never spawns more threads
-        // than the host can run.
-        let workers = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
-            .min(slots.len());
+        // actually available, so a large batch never uses more threads than
+        // the host can run.
+        let workers = self.pool_workers().min(slots.len());
 
         if workers > 1 {
             self.decode_layers_pooled(slots, &mut x, workers)?;
         } else {
-            for (layer_idx, layer) in self.weights.layers.iter().enumerate() {
-                let (q_all, k_all, v_all) = self.layer_qkv(layer, &x)?;
+            for (layer_idx, layer) in self.shared.weights.layers.iter().enumerate() {
+                let (q_all, k_all, v_all) = self.shared.layer_qkv(layer, &x)?;
                 let attn_rows = slots
                     .iter_mut()
                     .enumerate()
                     .map(|(i, slot)| {
-                        let q_row = q_all.slice_rows(i, i + 1);
-                        let k_row = k_all.slice_rows(i, i + 1);
-                        let v_row = v_all.slice_rows(i, i + 1);
-                        self.request_layer_attention(layer_idx, slot, &q_row, &k_row, &v_row)
+                        self.shared.token_attention(
+                            layer_idx,
+                            slot.cache,
+                            slot.pos,
+                            &q_all.slice_rows(i, i + 1),
+                            &k_all.slice_rows(i, i + 1),
+                            &v_all.slice_rows(i, i + 1),
+                        )
                     })
                     .collect::<Result<Vec<Matrix>, ModelError>>()?;
-                self.finish_layer(layer, &mut x, attn_rows)?;
+                self.shared.finish_layer(layer, &mut x, attn_rows)?;
             }
         }
 
-        rms_norm_rows(&mut x, &self.weights.final_norm, self.config.rms_eps);
-        let logits = x.matmul(&self.weights.lm_head)?;
+        rms_norm_rows(&mut x, &self.shared.weights.final_norm, config.rms_eps);
+        let logits = x.matmul(&self.shared.weights.lm_head)?;
         Ok((0..slots.len())
             .map(|i| {
                 let logits_vec = logits.row(i).to_vec();
@@ -970,6 +1208,64 @@ mod tests {
             assert_eq!(seq.logits, batch.logits, "request {i} logits diverged");
             assert_eq!(seq.next_token, batch.next_token);
             assert_eq!(seq_cache, &caches[i], "request {i} cache diverged");
+        }
+    }
+
+    #[test]
+    fn worker_pool_spawns_once_per_engine_lifetime() {
+        let engine = tiny_engine();
+        assert_eq!(
+            engine.pool_spawn_count(),
+            0,
+            "no pool before the first batched call"
+        );
+        let prompts: Vec<Vec<u32>> = (0..4).map(|i| sample_prompt(&engine, 6 + 2 * i)).collect();
+        let slots: Vec<PrefillSlot<'_>> = prompts.iter().map(|p| PrefillSlot::cold(p)).collect();
+        let prefills = engine.prefill_batch(&slots).unwrap();
+        let after_prefill = engine.pool_spawn_count();
+
+        // Many decode rounds over the same engine: the pool must not grow.
+        let mut caches: Vec<ChunkedKvCache> = prompts
+            .iter()
+            .zip(&prefills)
+            .map(|(p, b)| {
+                let out = PrefillOutput {
+                    kv: b.suffix_kv.clone(),
+                    hidden: b.hidden.clone(),
+                    last_logits: b.last_logits.clone(),
+                };
+                let _ = p;
+                engine.build_cache(&out, 4).unwrap()
+            })
+            .collect();
+        let mut tokens: Vec<u32> = prefills.iter().map(BatchPrefill::next_token).collect();
+        for round in 0..5 {
+            let mut decode_slots: Vec<DecodeSlot<'_>> = caches
+                .iter_mut()
+                .zip(prompts.iter())
+                .zip(tokens.iter())
+                .map(|((cache, prompt), &token)| DecodeSlot {
+                    token,
+                    pos: prompt.len() + round,
+                    cache,
+                })
+                .collect();
+            let steps = engine.decode_step_batch(&mut decode_slots).unwrap();
+            for (token, step) in tokens.iter_mut().zip(steps) {
+                *token = step.next_token;
+            }
+        }
+
+        let after_rounds = engine.pool_spawn_count();
+        if engine.pool_workers() > 1 {
+            assert!(after_prefill > 0, "multi-core host must engage the pool");
+            assert_eq!(
+                after_prefill, after_rounds,
+                "the pool re-spawned workers between rounds"
+            );
+            assert_eq!(after_rounds, engine.pool_workers());
+        } else {
+            assert_eq!(after_rounds, 0, "single-core host never spawns a pool");
         }
     }
 

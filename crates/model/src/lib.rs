@@ -37,6 +37,7 @@
 mod config;
 mod engine;
 mod error;
+mod pool;
 mod profile;
 mod tokenizer;
 mod weights;
@@ -46,6 +47,7 @@ pub use engine::{
     BatchPrefill, DecodeSlot, DecodeStep, InferenceEngine, PrefillOutput, PrefillSlot, RawKv,
 };
 pub use error::ModelError;
+pub use pool::WorkerPool;
 pub use profile::ModelProfile;
 pub use tokenizer::{Tokenizer, BOS_TOKEN, UNK_TOKEN};
 pub use weights::{LayerWeights, ModelWeights};

@@ -1,0 +1,156 @@
+//! A persistent worker pool for the engine's request-level parallelism.
+//!
+//! PR 3 hoisted the decode attention workers from one spawn per layer to
+//! one `thread::scope` + channel pool per decode *round*; this module
+//! removes the remaining per-round spawn cost. A [`WorkerPool`] is created
+//! once per [`InferenceEngine`](crate::InferenceEngine) lifetime (lazily,
+//! on the first batched call that can use it) and its threads then serve
+//! every decode round *and* every batched prefill until the engine is
+//! dropped.
+//!
+//! The pool is deliberately simple and deterministic: each worker owns one
+//! job channel, callers assign work to workers by index (worker `i` always
+//! handles the `i`-th contiguous chunk of a batch), and every job carries
+//! its own result channel. Work never migrates between workers, so the
+//! order in which results are stitched back together — and therefore every
+//! output bit — is identical to the single-threaded loop.
+
+use std::fmt;
+use std::sync::mpsc;
+use std::thread::JoinHandle;
+
+/// A boxed unit of work shipped to one pool worker. Jobs own everything
+/// they touch (cloned `Arc`s, moved matrices and caches) and report back
+/// through a channel they capture, so no borrowed state crosses the thread
+/// boundary.
+pub(crate) type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A fixed set of worker threads that lives as long as its owner.
+///
+/// Dropping the pool closes every job channel, which ends the worker loops;
+/// the threads are then joined so no worker outlives the engine.
+pub struct WorkerPool {
+    senders: Vec<mpsc::Sender<Job>>,
+    handles: Vec<JoinHandle<()>>,
+    spawned: usize,
+}
+
+impl WorkerPool {
+    /// Spawns `workers` threads (at least one), each looping over its own
+    /// job channel until the pool is dropped.
+    pub(crate) fn new(workers: usize) -> Self {
+        let workers = workers.max(1);
+        let mut senders = Vec::with_capacity(workers);
+        let mut handles = Vec::with_capacity(workers);
+        let mut spawned = 0usize;
+        for _ in 0..workers {
+            let (tx, rx) = mpsc::channel::<Job>();
+            spawned += 1;
+            handles.push(std::thread::spawn(move || {
+                while let Ok(job) = rx.recv() {
+                    job();
+                }
+            }));
+            senders.push(tx);
+        }
+        Self {
+            senders,
+            handles,
+            spawned,
+        }
+    }
+
+    /// Number of worker threads in the pool.
+    pub fn workers(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// Total threads ever spawned by this pool. The pool never re-spawns,
+    /// so this equals [`WorkerPool::workers`] for the pool's whole
+    /// lifetime — the property the engine tests assert to prove workers
+    /// persist across decode rounds instead of being re-created per round.
+    pub fn spawn_count(&self) -> usize {
+        self.spawned
+    }
+
+    /// Ships a job to worker `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index is out of range or the worker has died (a
+    /// worker only exits when the pool is dropped, so a dead worker here
+    /// means a previous job panicked).
+    pub(crate) fn run_on(&self, index: usize, job: Job) {
+        self.senders[index]
+            .send(job)
+            .expect("pool worker is alive until the pool drops");
+    }
+}
+
+impl fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("workers", &self.workers())
+            .field("spawned", &self.spawned)
+            .finish()
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        // Closing the channels ends the worker loops; join so no thread
+        // outlives the engine that owns the pool.
+        self.senders.clear();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc;
+
+    #[test]
+    fn jobs_run_on_their_assigned_worker_and_results_come_back() {
+        let pool = WorkerPool::new(3);
+        assert_eq!(pool.workers(), 3);
+        assert_eq!(pool.spawn_count(), 3);
+        let (tx, rx) = mpsc::channel();
+        for i in 0..3usize {
+            let tx = tx.clone();
+            pool.run_on(
+                i,
+                Box::new(move || {
+                    tx.send(i * 10).expect("receiver alive");
+                }),
+            );
+        }
+        drop(tx);
+        let mut results: Vec<usize> = rx.iter().collect();
+        results.sort_unstable();
+        assert_eq!(results, vec![0, 10, 20]);
+    }
+
+    #[test]
+    fn spawn_count_is_stable_across_many_job_rounds() {
+        let pool = WorkerPool::new(2);
+        for _ in 0..20 {
+            let (tx, rx) = mpsc::channel();
+            for i in 0..2usize {
+                let tx = tx.clone();
+                pool.run_on(i, Box::new(move || tx.send(i).expect("receiver alive")));
+            }
+            drop(tx);
+            assert_eq!(rx.iter().count(), 2);
+        }
+        assert_eq!(pool.spawn_count(), 2);
+    }
+
+    #[test]
+    fn zero_workers_is_clamped_to_one() {
+        let pool = WorkerPool::new(0);
+        assert_eq!(pool.workers(), 1);
+    }
+}

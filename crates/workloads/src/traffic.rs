@@ -41,6 +41,17 @@ pub struct TrafficConfig {
     pub prefix_groups: usize,
     /// Number of words in each group's shared preamble.
     pub prefix_words: usize,
+    /// Out of 1000, the probability that a request is cancelled
+    /// client-side mid-decode (a disconnecting user); `0` disables the
+    /// cancellation mode. A cancelled request carries
+    /// [`TrafficRequest::cancel_after_tokens`], the number of streamed
+    /// tokens after which the client gives up — always strictly below the
+    /// request's generation budget. Drawn from each request's own seed, so
+    /// who cancels (and when) is stable when the trace grows.
+    pub cancel_per_mille: u32,
+    /// Stop strings cycled across requests (request `i` gets entry
+    /// `i % len`); empty disables early text stopping.
+    pub stop_strings: Vec<String>,
 }
 
 impl TrafficConfig {
@@ -54,6 +65,8 @@ impl TrafficConfig {
             kinds: vec![TaskKind::Qasper, TaskKind::QmSum, TaskKind::TriviaQa],
             prefix_groups: 0,
             prefix_words: 0,
+            cancel_per_mille: 0,
+            stop_strings: Vec::new(),
         }
     }
 
@@ -76,6 +89,19 @@ impl TrafficConfig {
         self.prefix_words = words;
         self
     }
+
+    /// Returns a copy in which roughly `per_mille`/1000 of the requests
+    /// are cancelled client-side mid-decode (clamped to 1000).
+    pub fn with_cancellations(mut self, per_mille: u32) -> Self {
+        self.cancel_per_mille = per_mille.min(1000);
+        self
+    }
+
+    /// Returns a copy with stop strings cycled across the requests.
+    pub fn with_stop_strings(mut self, stops: Vec<String>) -> Self {
+        self.stop_strings = stops;
+        self
+    }
 }
 
 /// One request of a traffic trace.
@@ -93,6 +119,13 @@ pub struct TrafficRequest {
     /// The shared-prefix group this request belongs to (`None` when the
     /// shared-prefix mode is disabled).
     pub prefix_group: Option<usize>,
+    /// When set, the client disconnects after streaming this many tokens
+    /// (strictly below `max_new_tokens`): the serving driver should cancel
+    /// the request at that point.
+    pub cancel_after_tokens: Option<usize>,
+    /// The stop string this request asks the server to end generation on
+    /// (`None` when the stop-string mode is disabled).
+    pub stop_string: Option<String>,
     /// The task (context, query, reference answer). In shared-prefix mode
     /// the context opens with the group preamble.
     pub task: TaskInstance,
@@ -190,12 +223,25 @@ impl TrafficGenerator {
                 } else {
                     None
                 };
+                let cancel_after_tokens =
+                    if self.config.cancel_per_mille > 0 && self.config.max_new_tokens > 1 {
+                        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xCA9C_E11E);
+                        (rng.gen_range(0..1000) < self.config.cancel_per_mille)
+                            .then(|| rng.gen_range(1..self.config.max_new_tokens))
+                    } else {
+                        None
+                    };
+                let stop_string = (!self.config.stop_strings.is_empty()).then(|| {
+                    self.config.stop_strings[index % self.config.stop_strings.len()].clone()
+                });
                 TrafficRequest {
                     index,
                     arrival_step,
                     seed,
                     max_new_tokens: self.config.max_new_tokens,
                     prefix_group,
+                    cancel_after_tokens,
+                    stop_string,
                     task,
                 }
             })
@@ -316,6 +362,55 @@ mod tests {
             assert!(b.task.context.ends_with(&a.task.context));
             assert_ne!(a.task.context, b.task.context);
         }
+    }
+
+    #[test]
+    fn cancellations_are_deterministic_bounded_and_stable_under_growth() {
+        let config = |n| {
+            TrafficConfig::small(n)
+                .with_max_new_tokens(12)
+                .with_cancellations(500)
+        };
+        let trace = TrafficGenerator::new(config(20), 31).generate();
+        let cancelled: Vec<&TrafficRequest> = trace
+            .iter()
+            .filter(|r| r.cancel_after_tokens.is_some())
+            .collect();
+        assert!(!cancelled.is_empty(), "500/1000 over 20 requests must hit");
+        assert!(cancelled.len() < trace.len(), "and must not hit everyone");
+        for request in &cancelled {
+            let after = request.cancel_after_tokens.unwrap();
+            assert!(
+                (1..request.max_new_tokens).contains(&after),
+                "cancel point {after} outside 1..{}",
+                request.max_new_tokens
+            );
+        }
+        // Same seed, longer trace: request identity (incl. cancel draw)
+        // is unchanged.
+        let long = TrafficGenerator::new(config(30), 31).generate();
+        for request in &trace {
+            let twin = long.iter().find(|r| r.index == request.index).unwrap();
+            assert_eq!(request.cancel_after_tokens, twin.cancel_after_tokens);
+        }
+        // Disabled by default.
+        let plain = TrafficGenerator::new(TrafficConfig::small(5), 31).generate();
+        assert!(plain.iter().all(|r| r.cancel_after_tokens.is_none()));
+    }
+
+    #[test]
+    fn stop_strings_cycle_across_requests() {
+        let stops = vec!["alpha".to_string(), "beta".to_string()];
+        let config = TrafficConfig::small(5).with_stop_strings(stops.clone());
+        let trace = TrafficGenerator::new(config, 7).generate();
+        for request in &trace {
+            assert_eq!(
+                request.stop_string.as_deref(),
+                Some(stops[request.index % 2].as_str())
+            );
+        }
+        let plain = TrafficGenerator::new(TrafficConfig::small(3), 7).generate();
+        assert!(plain.iter().all(|r| r.stop_string.is_none()));
     }
 
     #[test]

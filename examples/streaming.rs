@@ -1,0 +1,132 @@
+//! Streaming token delivery with early stopping and client cancellation:
+//! requests flow through [`ServingEngine::step_events`], every committed
+//! token arrives as a [`TokenEvent`] the step it is generated, one request
+//! stops early on a stop sequence, and one client disconnects mid-decode —
+//! upon which [`ServingEngine::cancel`] frees its KV budget immediately.
+//!
+//! ```bash
+//! cargo run --release --example streaming
+//! ```
+
+use cocktail::prelude::*;
+use std::collections::BTreeMap;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Cycled stop strings: trace request 0 asks the server to end
+    // generation as soon as "what" appears in its streamed answer (empty
+    // entries leave the other requests unstopped).
+    let stops = vec![
+        "what".to_string(),
+        String::new(),
+        String::new(),
+        String::new(),
+    ];
+    let traffic = TrafficGenerator::new(
+        TrafficConfig::small(4)
+            .with_max_new_tokens(12)
+            .with_shared_prefix(2, 32)
+            .with_stop_strings(stops),
+        0x0057_AEA3,
+    )
+    .generate();
+
+    let config = CocktailConfig::default().with_chunk_size(16)?;
+    let mut engine = ServingEngine::new(ModelProfile::tiny(), config)?
+        .with_prefix_cache(PrefixCacheConfig::default());
+
+    // Submit everything up front, wiring each trace request's stop string
+    // straight into its serve request; request 2 additionally plays a
+    // client that disconnects after 4 streamed tokens.
+    let mut ids = Vec::new();
+    for request in &traffic {
+        let mut serve = ServeRequest::new(
+            request.task.context.clone(),
+            request.task.query.clone(),
+            request.max_new_tokens,
+        );
+        if let Some(stop) = &request.stop_string {
+            serve = serve.with_stop_sequence(stop.clone());
+        }
+        ids.push(engine.submit(serve));
+    }
+    // The trace is sorted by arrival step, so find the stopping request
+    // (trace index 0 carries the non-empty stop string) and pick a
+    // different one to play the disconnecting client.
+    let stop_pos = traffic
+        .iter()
+        .position(|r| r.stop_string.as_deref().is_some_and(|s| !s.is_empty()))
+        .expect("one request carries a stop string");
+    let cancel_pos = traffic
+        .iter()
+        .position(|r| r.index == 2)
+        .expect("request 2 is in the trace");
+    let cancel_target = ids[cancel_pos];
+    let cancel_after = 4usize;
+    println!(
+        "Streaming {} requests on the tiny sim model ({} will stop on \"what\", {} disconnects \
+         after {cancel_after} tokens)\n",
+        ids.len(),
+        ids[stop_pos],
+        cancel_target
+    );
+
+    let mut answers: BTreeMap<RequestId, String> = BTreeMap::new();
+    while !engine.is_idle() {
+        for event in engine.step_events()? {
+            let text = answers.entry(event.id).or_default();
+            text.push_str(&event.piece);
+            let marker = match event.finish {
+                Some(FinishReason::Length) => "  <budget exhausted>",
+                Some(FinishReason::Stop) => "  <stop sequence hit>",
+                Some(FinishReason::Cancelled) => "  <cancelled>",
+                None => "",
+            };
+            println!(
+                "step {:>3}  {} token {:>2} {:?}{marker}",
+                event.step,
+                event.id,
+                event.index,
+                event.piece.trim_start()
+            );
+        }
+        // The "client" for request 2 hangs up after a few tokens; the
+        // engine frees its KV budget and shared-prefix pins on the spot.
+        if engine
+            .stats(cancel_target)
+            .is_some_and(|stats| stats.generated_tokens >= cancel_after)
+            && engine.cancel(cancel_target)
+        {
+            println!(
+                "step {:>3}  {cancel_target} cancelled by the client ({} KV bytes back in the \
+                 budget)",
+                engine.clock(),
+                engine.kv_bytes_in_use()
+            );
+        }
+    }
+
+    println!("\nPer-request results:");
+    for id in &ids {
+        if let Some(outcome) = engine.take_outcome(*id) {
+            println!(
+                "{id}: {:?} [{} tokens, first at step {:?}]",
+                outcome.outcome.answer,
+                outcome.stats.generated_tokens,
+                outcome.stats.first_token_step.expect("streamed a token"),
+            );
+            let streamed = &answers[id];
+            assert_eq!(
+                streamed, &outcome.outcome.answer,
+                "streamed pieces must equal the collected answer"
+            );
+        } else if let Some(stats) = engine.take_cancelled(*id) {
+            println!(
+                "{id}: cancelled after {} of {} tokens — partial answer {:?}",
+                stats.generated_tokens,
+                stats.max_new_tokens,
+                answers.get(id).map(String::as_str).unwrap_or("")
+            );
+        }
+    }
+    Ok(())
+}

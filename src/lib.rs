@@ -56,9 +56,9 @@ pub mod prelude {
     };
     pub use cocktail_core::{
         AdmitDecision, BatchScheduler, BitwidthPlan, ChunkQuantSearch, CocktailConfig,
-        CocktailOutcome, CocktailPipeline, CocktailPolicy, PipelineTimings, PrefixCache,
-        PrefixCacheConfig, PrefixCacheStats, RequestId, RequestOutcome, RequestState,
-        SchedulerConfig, ServeRequest, ServingEngine, ServingStats,
+        CocktailOutcome, CocktailPipeline, CocktailPolicy, FinishReason, PipelineTimings,
+        PrefixCache, PrefixCacheConfig, PrefixCacheStats, RequestId, RequestOutcome, RequestState,
+        SchedulerConfig, ServeRequest, ServingEngine, ServingStats, TokenEvent,
     };
     pub use cocktail_hwsim::{AcceleratorSpec, DeploymentModel, KvCacheProfile, RequestShape};
     pub use cocktail_kvcache::{

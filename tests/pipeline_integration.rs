@@ -262,6 +262,81 @@ fn prefix_reuse_and_batched_prefill_are_byte_identical_under_shared_traffic() {
     );
 }
 
+#[test]
+fn streamed_serving_with_cancellation_is_byte_identical_to_sequential_runs() {
+    // The tentpole guarantee of the streaming redesign, end to end on the
+    // llama2 sim profile: per-token events concatenate to the collected
+    // outcomes, which equal solo sequential pipeline runs; a client
+    // cancellation mid-decode frees budget without perturbing survivors,
+    // and a cancelled stream is a byte prefix of its solo run.
+    let config = CocktailConfig::default().with_chunk_size(32).unwrap();
+    let traffic =
+        TrafficGenerator::new(TrafficConfig::small(5).with_max_new_tokens(10), 0x0051_3EA7)
+            .generate();
+
+    let pipeline = CocktailPipeline::new(ModelProfile::llama2_7b_sim(), config.clone()).unwrap();
+    let solo: Vec<CocktailOutcome> = traffic
+        .iter()
+        .map(|r| {
+            pipeline
+                .run(&r.task.context, &r.task.query, r.max_new_tokens)
+                .unwrap()
+        })
+        .collect();
+
+    let mut engine = ServingEngine::new(ModelProfile::llama2_7b_sim(), config).unwrap();
+    let ids: Vec<RequestId> = traffic
+        .iter()
+        .map(|r| {
+            engine.submit(ServeRequest::new(
+                r.task.context.clone(),
+                r.task.query.clone(),
+                r.max_new_tokens,
+            ))
+        })
+        .collect();
+    let cancel_victim = ids[2];
+    let cancel_after = 3usize;
+
+    let mut streamed: Vec<String> = vec![String::new(); ids.len()];
+    let mut cancelled = false;
+    while !engine.is_idle() {
+        for event in engine.step_events().unwrap() {
+            let i = ids.iter().position(|&id| id == event.id).unwrap();
+            streamed[i].push_str(&event.piece);
+        }
+        if !cancelled
+            && engine
+                .stats(cancel_victim)
+                .is_some_and(|s| s.generated_tokens >= cancel_after)
+        {
+            let before = engine.kv_bytes_in_use();
+            assert!(engine.cancel(cancel_victim));
+            assert!(engine.kv_bytes_in_use() < before, "cancel must free budget");
+            cancelled = true;
+        }
+    }
+    assert!(cancelled, "the victim must have been cancelled mid-decode");
+
+    for (i, id) in ids.iter().enumerate() {
+        if *id == cancel_victim {
+            let stats = engine.take_cancelled(*id).unwrap();
+            assert!(stats.cancelled);
+            assert!(stats.generated_tokens < traffic[i].max_new_tokens);
+            assert!(
+                solo[i].answer.starts_with(&streamed[i]),
+                "cancelled stream must be a byte prefix of the solo run"
+            );
+        } else {
+            let outcome = engine.take_outcome(*id).unwrap();
+            assert_eq!(streamed[i], outcome.outcome.answer);
+            assert_eq!(outcome.outcome.answer, solo[i].answer);
+            assert_eq!(outcome.outcome.generated_tokens, solo[i].generated_tokens);
+            assert!(outcome.stats.first_token_step.is_some());
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(5))]
 
