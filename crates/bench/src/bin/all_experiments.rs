@@ -17,5 +17,6 @@ fn main() {
     experiments::serving_throughput();
     experiments::ttft_prefix_reuse();
     experiments::streaming_latency();
+    experiments::prefix_trie_dedup();
     println!("\nAll experiments complete; JSON records are under results/.");
 }

@@ -1,0 +1,85 @@
+//! Runs branching shared-prefix traffic through the token-trie prefix
+//! cache and *enforces* the trie acceptance criteria: divergent branches
+//! over a common preamble must occupy strictly fewer shared bytes than the
+//! whole-sequence (LCP map) baseline would charge, budget pressure must be
+//! observed trimming the tree *partially* (branch leaves evicted while
+//! shared ancestors survive), and every trie-on answer must be
+//! byte-identical to trie-off serving (the experiment itself panics on
+//! divergence). Every number is deterministic — no wall-clock timing —
+//! so CI can gate on all of it. Exits non-zero when any criterion fails.
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let report = cocktail_bench::experiments::prefix_trie_dedup();
+    let mut ok = true;
+    if !report.byte_identical {
+        eprintln!("FAIL: trie-on serving diverged from trie-off serving");
+        ok = false;
+    }
+    if report.requests_per_group < 2 {
+        eprintln!(
+            "FAIL: the experiment must run >= 2 branches per prefix group, got {}",
+            report.requests_per_group
+        );
+        ok = false;
+    }
+    if report.trie_resident_bytes >= report.lcp_baseline_bytes {
+        eprintln!(
+            "FAIL: trie resident bytes ({}) are not strictly below the whole-sequence baseline \
+             ({}) — branches did not share their preamble blocks",
+            report.trie_resident_bytes, report.lcp_baseline_bytes
+        );
+        ok = false;
+    }
+    for group in 0..report.groups {
+        let warm = report
+            .rows
+            .iter()
+            .filter(|r| r.group == group && !r.cold)
+            .count();
+        if warm == 0 {
+            eprintln!("FAIL: prefix group {group} never reused its cached preamble");
+            ok = false;
+        }
+    }
+    for row in report.rows.iter().filter(|r| !r.cold) {
+        if row.prefix_reused_tokens < report.preamble_words {
+            eprintln!(
+                "FAIL: request {} reused {} tokens, below its {}-word shared preamble",
+                row.request, row.prefix_reused_tokens, report.preamble_words
+            );
+            ok = false;
+        }
+    }
+    if report.dedup_stats.node_splits < report.groups as u64 {
+        eprintln!(
+            "FAIL: only {} node splits for {} branching groups — divergence points were not \
+             shared structurally",
+            report.dedup_stats.node_splits, report.groups
+        );
+        ok = false;
+    }
+    if report.pressure_stats.partial_evictions == 0 {
+        eprintln!(
+            "FAIL: budget pressure ({} bytes, {}-node cap) never evicted partially — the trie \
+             dropped whole contexts instead of trimming leaf-ward",
+            report.pressure_budget_bytes, report.pressure_node_cap
+        );
+        ok = false;
+    }
+    if ok {
+        println!(
+            "OK: branching traffic held {} trie bytes vs {} whole-sequence bytes ({:.2}x) with \
+             {} splits, byte-identically; pressure phase evicted {} nodes, {} of them partial",
+            report.trie_resident_bytes,
+            report.lcp_baseline_bytes,
+            report.dedup_ratio,
+            report.dedup_stats.node_splits,
+            report.pressure_stats.evictions,
+            report.pressure_stats.partial_evictions
+        );
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

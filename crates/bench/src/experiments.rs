@@ -755,6 +755,7 @@ pub fn serving_throughput_with(repetitions: usize, write: bool) -> ServingThroug
             kinds: vec![TaskKind::Qasper, TaskKind::QmSum, TaskKind::TriviaQa],
             prefix_groups: 0,
             prefix_words: 0,
+            branch_words: 0,
             cancel_per_mille: 0,
             stop_strings: Vec::new(),
         },
@@ -982,6 +983,7 @@ pub fn ttft_prefix_reuse_with(repetitions: usize, write: bool) -> TtftPrefixReus
             kinds: vec![TaskKind::Qasper, TaskKind::QmSum, TaskKind::TriviaQa],
             prefix_groups: groups,
             prefix_words: 192,
+            branch_words: 0,
             cancel_per_mille: 0,
             stop_strings: Vec::new(),
         },
@@ -1222,6 +1224,7 @@ pub fn streaming_latency_with(repetitions: usize, write: bool) -> StreamingLaten
             kinds: vec![TaskKind::Qasper, TaskKind::QmSum, TaskKind::TriviaQa],
             prefix_groups: 0,
             prefix_words: 0,
+            branch_words: 0,
             cancel_per_mille: 400,
             stop_strings: Vec::new(),
         },
@@ -1430,6 +1433,276 @@ pub fn streaming_latency_with(repetitions: usize, write: bool) -> StreamingLaten
     report
 }
 
+// ---------------------------------------------------------------------------
+// Prefix-trie dedup — branching traffic through the token-trie prefix cache
+// ---------------------------------------------------------------------------
+
+/// One request of the prefix-trie dedup experiment.
+#[derive(Debug, Clone, Serialize)]
+pub struct PrefixTrieDedupRow {
+    /// Submission index of the request.
+    pub request: usize,
+    /// Shared-prefix group the request belongs to.
+    pub group: usize,
+    /// Whether the request prefilled its whole prompt from scratch.
+    pub cold: bool,
+    /// Context tokens of the request.
+    pub context_tokens: usize,
+    /// Prompt tokens served from the trie instead of re-prefilled.
+    pub prefix_reused_tokens: usize,
+}
+
+/// Full payload of the prefix-trie dedup record.
+#[derive(Debug, Clone, Serialize)]
+pub struct PrefixTrieDedupReport {
+    /// Number of shared-prefix groups in the branching traffic.
+    pub groups: usize,
+    /// Requests per group (>= 2, so every group has divergent branches).
+    pub requests_per_group: usize,
+    /// Words in each group's shared preamble.
+    pub preamble_words: usize,
+    /// Per-request rows (unlimited-budget dedup phase), submission order.
+    pub rows: Vec<PrefixTrieDedupRow>,
+    /// Resident trie bytes after the dedup phase (every context cached,
+    /// nothing evicted): the sum over trie nodes, each branch's shared
+    /// preamble counted once.
+    pub trie_resident_bytes: usize,
+    /// What a whole-sequence (LCP map) cache would hold for the same
+    /// traffic: every distinct context's full FP32 rows, the shared
+    /// preambles duplicated per branch.
+    pub lcp_baseline_bytes: usize,
+    /// `trie_resident_bytes / lcp_baseline_bytes` (< 1 means the trie
+    /// deduplicates).
+    pub dedup_ratio: f64,
+    /// Trie counters after the dedup phase.
+    pub dedup_stats: PrefixCacheStats,
+    /// The KV budget of the pressure phase, bytes.
+    pub pressure_budget_bytes: usize,
+    /// The trie node cap of the pressure phase.
+    pub pressure_node_cap: usize,
+    /// Trie counters after the pressure phase; its `partial_evictions`
+    /// show budget pressure trimming branches leaf-ward instead of
+    /// dropping whole contexts.
+    pub pressure_stats: PrefixCacheStats,
+    /// Whether every trie-on answer (both phases) was byte-identical to
+    /// the trie-off baseline (also asserted — the experiment panics on
+    /// divergence).
+    pub byte_identical: bool,
+}
+
+/// Prefix-trie dedup with the default settings: record written to
+/// `results/prefix_trie_dedup.json`.
+///
+/// # Panics
+///
+/// Panics if serving fails or any trie-on answer differs from the trie-off
+/// baseline (the bit-exactness guarantee).
+pub fn prefix_trie_dedup() -> PrefixTrieDedupReport {
+    prefix_trie_dedup_with(true)
+}
+
+/// Storage dedup of the token-trie prefix cache under branching traffic:
+/// groups of requests share a long context preamble and then *diverge* —
+/// each request inserts its own branch segment right after the preamble.
+/// A whole-sequence prefix cache (the pre-trie LCP map) stores every
+/// branch's full context, duplicating the preamble per branch; the trie
+/// stores each shared run exactly once, so its resident bytes — what the
+/// scheduler budget is charged — must be strictly lower.
+///
+/// Two phases run, both asserted byte-identical to a trie-off baseline:
+///
+/// 1. **Dedup** (unlimited budget): all branches are cached; resident trie
+///    bytes are compared against the whole-sequence baseline computed from
+///    the same requests' context lengths.
+/// 2. **Pressure** (budget for ~2 requests, small node cap): admission and
+///    insertion evict under pressure; the trie must exhibit *partial*
+///    evictions — branch leaves trimmed while shared ancestors survive.
+///
+/// No wall-clock timing is involved; every number in the record is
+/// deterministic.
+///
+/// # Panics
+///
+/// Panics if serving fails or any answer diverges from the baseline.
+pub fn prefix_trie_dedup_with(write: bool) -> PrefixTrieDedupReport {
+    let groups = 2usize;
+    let requests_per_group = 3usize;
+    let requests = groups * requests_per_group;
+    let preamble_words = 96usize;
+    let max_new_tokens = 4usize;
+    let config = CocktailConfig::default()
+        .with_chunk_size(16)
+        .expect("chunk size is valid");
+    // Long shared preambles, short divergent branches and tails: the
+    // preamble dominates storage, so deduplication is the whole game.
+    let traffic = TrafficGenerator::new(
+        TrafficConfig {
+            requests,
+            arrival_window_steps: 0,
+            max_new_tokens,
+            workload: WorkloadConfig::tiny().with_context_words(32),
+            kinds: vec![TaskKind::Qasper, TaskKind::QmSum, TaskKind::TriviaQa],
+            prefix_groups: groups,
+            prefix_words: preamble_words,
+            branch_words: 12,
+            cancel_per_mille: 0,
+            stop_strings: Vec::new(),
+        },
+        0x7B1E_0005,
+    )
+    .generate();
+
+    let profile = ModelProfile::llama2_7b_sim;
+    let serve = |engine: &mut ServingEngine| -> Vec<cocktail_core::RequestOutcome> {
+        for request in &traffic {
+            engine.submit(ServeRequest::new(
+                request.task.context.clone(),
+                request.task.query.clone(),
+                request.max_new_tokens,
+            ));
+        }
+        engine.run_until_idle().expect("serving succeeds")
+    };
+
+    // Trie-off baseline: same traffic, no prefix cache.
+    let mut baseline_engine =
+        ServingEngine::new(profile(), config.clone()).expect("serving config is valid");
+    let baseline = serve(&mut baseline_engine);
+
+    let assert_identical = |outcomes: &[cocktail_core::RequestOutcome], phase: &str| {
+        assert_eq!(outcomes.len(), baseline.len());
+        for (on, off) in outcomes.iter().zip(&baseline) {
+            assert_eq!(
+                on.outcome.generated_tokens, off.outcome.generated_tokens,
+                "{phase}: trie-on serving must be byte-identical to trie-off"
+            );
+            assert_eq!(on.outcome.answer, off.outcome.answer);
+        }
+    };
+
+    // Phase 1 — dedup under an unlimited budget.
+    let mut dedup_engine = ServingEngine::new(profile(), config.clone())
+        .expect("serving config is valid")
+        .with_prefix_cache(PrefixCacheConfig::default());
+    let dedup_outcomes = serve(&mut dedup_engine);
+    assert_identical(&dedup_outcomes, "dedup phase");
+    let dedup_stats = dedup_engine
+        .prefix_cache_stats()
+        .expect("the prefix cache is enabled");
+
+    // The whole-sequence baseline: every distinct context's full FP32 KV
+    // rows (no context is a prefix of another under branching traffic, so
+    // the LCP map would keep all of them).
+    let fp32_bytes_per_token = 2 * dedup_engine.engine().config().kv_bytes_per_token_fp16();
+    let lcp_baseline_bytes: usize = dedup_outcomes
+        .iter()
+        .map(|o| o.stats.context_tokens * fp32_bytes_per_token)
+        .sum();
+    let trie_resident_bytes = dedup_stats.resident_bytes;
+
+    let rows: Vec<PrefixTrieDedupRow> = traffic
+        .iter()
+        .zip(&dedup_outcomes)
+        .enumerate()
+        .map(|(i, (request, outcome))| PrefixTrieDedupRow {
+            request: i,
+            group: request.prefix_group.expect("branching mode is on"),
+            cold: outcome.stats.prefix_reused_tokens == 0,
+            context_tokens: outcome.stats.context_tokens,
+            prefix_reused_tokens: outcome.stats.prefix_reused_tokens,
+        })
+        .collect();
+
+    // Phase 2 — partial eviction under budget pressure: a KV budget that
+    // fits roughly two admitted requests plus two full contexts' worth of
+    // FP32 shared blocks (out of six cached branches), plus a small trie
+    // node cap — so insertion and admission both have to evict, and the
+    // evictions have shared ancestors to preserve.
+    let tail = (max_new_tokens - 1) * baseline_engine.engine().config().kv_bytes_per_token_fp16();
+    let max_context_tokens = baseline
+        .iter()
+        .map(|o| o.stats.context_tokens)
+        .max()
+        .expect("at least one request");
+    let pressure_budget_bytes = baseline
+        .iter()
+        .map(|o| o.outcome.cache_bytes + tail)
+        .max()
+        .expect("at least one request")
+        * 2
+        + 2 * max_context_tokens * fp32_bytes_per_token;
+    let pressure_node_cap = 5usize;
+    let mut pressure_engine = ServingEngine::new(profile(), config.clone())
+        .expect("serving config is valid")
+        .with_scheduler_config(SchedulerConfig::default().with_budget(pressure_budget_bytes))
+        .with_prefix_cache(PrefixCacheConfig::default().with_max_entries(pressure_node_cap));
+    let pressure_outcomes = serve(&mut pressure_engine);
+    assert_identical(&pressure_outcomes, "pressure phase");
+    let pressure_stats = pressure_engine
+        .prefix_cache_stats()
+        .expect("the prefix cache is enabled");
+
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.request.to_string(),
+                r.group.to_string(),
+                if r.cold { "cold" } else { "warm" }.to_string(),
+                r.context_tokens.to_string(),
+                r.prefix_reused_tokens.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        "Prefix-trie dedup: branching traffic (Llama2-7B sim, 2 groups x 3 branches)",
+        &["Req", "Group", "Mode", "Ctx toks", "Reused"],
+        &table,
+    );
+    println!(
+        "trie resident bytes {trie_resident_bytes} vs whole-sequence baseline \
+         {lcp_baseline_bytes} ({:.2}x); {} nodes, {} splits; pressure phase: {} evictions of \
+         which {} partial",
+        trie_resident_bytes as f64 / lcp_baseline_bytes as f64,
+        dedup_stats.nodes,
+        dedup_stats.node_splits,
+        pressure_stats.evictions,
+        pressure_stats.partial_evictions,
+    );
+
+    let report = PrefixTrieDedupReport {
+        groups,
+        requests_per_group,
+        preamble_words,
+        rows,
+        trie_resident_bytes,
+        lcp_baseline_bytes,
+        dedup_ratio: trie_resident_bytes as f64 / lcp_baseline_bytes as f64,
+        dedup_stats,
+        pressure_budget_bytes,
+        pressure_node_cap,
+        pressure_stats,
+        byte_identical: true, // divergence panics above
+    };
+    if write {
+        let record = ExperimentRecord {
+            id: "prefix_trie_dedup".to_string(),
+            title: "Prefix-trie dedup: divergent branches share their preamble blocks once"
+                .to_string(),
+            note: format!(
+                "{groups} groups x {requests_per_group} branching requests sharing a \
+                 {preamble_words}-word preamble on the Llama2-7B sim profile; trie-on answers \
+                 asserted byte-identical to trie-off serving in both phases; all numbers \
+                 deterministic (no wall-clock timing)"
+            ),
+            rows: &report,
+        };
+        let path = write_record(&record);
+        println!("(written to {})", path.display());
+    }
+    report
+}
+
 /// Best-of-N TTFT components of one request.
 #[derive(Debug, Clone, Copy)]
 struct PipelineTimingsBest {
@@ -1569,6 +1842,48 @@ mod tests {
                 .any(|r| r.group == g && !r.cold && r.prefix_reused_tokens > 0));
         }
         assert!(report.prefix_cache.hits >= (report.rows.len() - report.groups) as u64);
+    }
+
+    #[test]
+    fn prefix_trie_dedup_shares_preambles_and_evicts_partially() {
+        // Byte-identity to trie-off serving is asserted inside the
+        // experiment (it panics on divergence); all numbers here are
+        // deterministic, so the strict checks can run in tier-1 too.
+        let report = prefix_trie_dedup_with(false);
+        assert!(report.byte_identical);
+        assert_eq!(report.rows.len(), report.groups * report.requests_per_group);
+        assert!(
+            report.trie_resident_bytes < report.lcp_baseline_bytes,
+            "branching traffic must share strictly fewer bytes than whole-sequence caching: \
+             {} >= {}",
+            report.trie_resident_bytes,
+            report.lcp_baseline_bytes
+        );
+        // Each group's first branch is cold; every later branch resumes
+        // from at least the shared preamble.
+        let cold = report.rows.iter().filter(|r| r.cold).count();
+        assert_eq!(cold, report.groups, "exactly one cold leader per group");
+        for row in report.rows.iter().filter(|r| !r.cold) {
+            assert!(
+                row.prefix_reused_tokens >= report.preamble_words,
+                "request {} reused only {} tokens of a {}-word preamble",
+                row.request,
+                row.prefix_reused_tokens,
+                report.preamble_words
+            );
+        }
+        // Divergence splits each group's leader node exactly where the
+        // branches fork.
+        assert!(report.dedup_stats.node_splits >= report.groups as u64);
+        assert!(
+            report.dedup_stats.nodes > report.groups,
+            "branch leaves exist"
+        );
+        // Budget pressure trims leaf-ward: partial evictions observed.
+        assert!(
+            report.pressure_stats.partial_evictions > 0,
+            "pressure phase saw no partial eviction"
+        );
     }
 
     #[test]

@@ -27,7 +27,8 @@
 //!   batching: a FIFO scheduler admits requests under a KV-memory budget
 //!   measured in *compressed* bytes (so Cocktail's compression buys batch
 //!   capacity), admission prefills arriving prompts in one batched pass —
-//!   reusing refcounted shared-prefix KV blocks for contexts that repeat —
+//!   reusing the refcounted KV blocks of a token-trie prefix cache for
+//!   contexts that repeat or branch off a common preamble —
 //!   and every engine step decodes one token for the whole running batch
 //!   through a single batched decode call. Batched, prefix-reusing serving
 //!   is byte-identical to running the same requests sequentially through
@@ -72,7 +73,7 @@ pub use config::CocktailConfig;
 pub use error::CocktailError;
 pub use pipeline::{CocktailOutcome, CocktailPipeline, PipelineTimings};
 pub use policy::CocktailPolicy;
-pub use prefix::{PrefixCache, PrefixCacheConfig, PrefixCacheStats};
+pub use prefix::{PrefixCache, PrefixCacheConfig, PrefixCacheStats, PrefixHit, PrefixLease};
 pub use scheduler::{
     AdmitDecision, BatchScheduler, RequestId, SchedulerConfig, DEFAULT_PREFILL_WINDOW,
 };

@@ -1,32 +1,44 @@
-//! The serving-side prefix cache: longest-common-prefix reuse of prefill
-//! work across requests.
+//! The serving-side prefix cache: a token trie that shares prefill work
+//! across requests and across *branches* of requests.
 //!
 //! Real traffic is full of requests that open with the same tokens — a
-//! system prompt, a shared document, a few-shot preamble. The
-//! [`PrefixCache`] maps encoded context token sequences to the raw
-//! [`SharedPrefixKv`] blocks their prefill produced, so a later request
-//! whose context starts with a cached sequence clones refcounted block
-//! handles instead of re-running the (quadratic) prefill attention over the
-//! shared part. Entries are charged once against the serving KV budget —
-//! however many in-flight requests reference them — and evicted LRU when
-//! the budget tightens, skipping entries still pinned by an in-flight
-//! prefill.
+//! system prompt, a shared document, a few-shot preamble — and then
+//! diverge: two users continue the same preamble differently. The
+//! [`PrefixCache`] stores context token sequences in a **path-compressed
+//! token trie** whose nodes each own the refcounted [`SharedPrefixKv`]
+//! rows of exactly their own token run. Divergent branches therefore share
+//! their common-ancestor blocks *once*: inserting `P ++ X` and `P ++ Y`
+//! stores `P`, `X` and `Y` — not `P` twice, as a whole-sequence map would.
 //!
-//! The structure is a longest-common-prefix map rather than a token trie:
-//! entries are whole context sequences, lookups scan for the entry with the
-//! longest common prefix, and an entry that is a strict prefix of a newly
-//! inserted one is subsumed by it. With the small entry counts a single
-//! serving engine holds (tens, not millions) the linear scan is cheaper
-//! than maintaining trie nodes, and divergent branches simply hold their
-//! own blocks.
+//! * **Lookups** walk the trie for the longest cached prefix of a request's
+//!   context and return a [`PrefixHit`]: the assembled contiguous KV of the
+//!   matched path plus pins on every node along it.
+//! * **Inserts** split nodes at divergence points (a [`node split`] copies
+//!   no more than the split node's own rows) and attach only the uncovered
+//!   suffix as a new leaf.
+//! * **Eviction is partial**: the LRU-evictable unit is a *leaf* node, so
+//!   budget pressure trims the tree leaf-ward — recently hit or pinned
+//!   ancestors survive and keep serving the shorter prefixes — instead of
+//!   dropping whole contexts.
+//!
+//! Resident bytes are the sum over trie nodes (each node's segment rows are
+//! one allocation), which is exactly what
+//! [`BatchScheduler::set_shared_bytes`](crate::BatchScheduler::set_shared_bytes)
+//! is charged: shared bytes are accounted **per trie node**, not per cached
+//! sequence.
+//!
+//! [`node split`]: PrefixCacheStats::node_splits
 
 use cocktail_kvcache::SharedPrefixKv;
 use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::{Arc, Weak};
 
 /// Configuration of the [`PrefixCache`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct PrefixCacheConfig {
-    /// Maximum number of resident entries; LRU-evicted beyond this.
+    /// Maximum number of resident trie nodes; leaf-first LRU eviction
+    /// trims the tree beyond this.
     pub max_entries: usize,
     /// Minimum number of matching leading tokens before a cached prefix is
     /// reused (tiny matches are not worth the bookkeeping).
@@ -34,13 +46,14 @@ pub struct PrefixCacheConfig {
 }
 
 impl PrefixCacheConfig {
-    /// Returns a copy with a different entry cap.
+    /// Returns a copy with a different node cap (clamped to at least 1).
     pub fn with_max_entries(mut self, max_entries: usize) -> Self {
         self.max_entries = max_entries.max(1);
         self
     }
 
-    /// Returns a copy with a different reuse threshold.
+    /// Returns a copy with a different reuse threshold (clamped to at
+    /// least 1).
     pub fn with_min_prefix_tokens(mut self, tokens: usize) -> Self {
         self.min_prefix_tokens = tokens.max(1);
         self
@@ -60,32 +73,120 @@ impl Default for PrefixCacheConfig {
 /// experiment records.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct PrefixCacheStats {
-    /// Resident entries.
+    /// Resident leaf nodes — the number of distinct cached context
+    /// branches.
     pub entries: usize,
-    /// Resident entries currently pinned by an in-flight request (their
-    /// blocks are referenced beyond the cache's own handle, so LRU
-    /// eviction skips them).
+    /// Resident trie nodes (every node owns one refcounted block run).
+    pub nodes: usize,
+    /// Resident nodes currently pinned by an in-flight request's
+    /// [`PrefixHit`] lease (LRU eviction skips them).
     pub pinned_entries: usize,
-    /// Bytes of resident shared blocks (what the scheduler is charged).
+    /// Bytes of resident shared blocks, summed **per trie node** (what the
+    /// scheduler is charged).
     pub resident_bytes: usize,
     /// Lookups that found a reusable prefix.
     pub hits: u64,
     /// Lookups that found nothing (or a match below the reuse threshold).
     pub misses: u64,
-    /// Entries inserted.
+    /// Context sequences inserted (those adding at least one node).
     pub insertions: u64,
-    /// Entries evicted (LRU) or subsumed by a longer entry.
+    /// Nodes split at a divergence point so two branches could share their
+    /// common ancestor exactly once.
+    pub node_splits: u64,
+    /// Nodes evicted under LRU / budget pressure.
     pub evictions: u64,
+    /// Evictions that trimmed a branch leaf-ward while an ancestor of the
+    /// evicted node stayed resident (the trie's partial eviction; the
+    /// remainder of [`PrefixCacheStats::evictions`] dropped whole cached
+    /// contexts).
+    pub partial_evictions: u64,
     /// Total prompt tokens served from cached blocks instead of being
     /// re-prefilled.
     pub reused_tokens: u64,
 }
 
-#[derive(Debug)]
-struct PrefixEntry {
-    tokens: Vec<u32>,
+/// A successful [`PrefixCache::lookup`]: the assembled KV of the longest
+/// cached prefix plus a lease pinning the matched trie path.
+///
+/// Holding the hit (or a clone of it) pins every node whose token run lies
+/// inside the matched prefix, which steers LRU eviction away from prefixes
+/// that in-flight requests are using. The lease is by *token path*, not by
+/// node identity, so it survives later node splits: if another branch
+/// splits a pinned node, both halves of the split stay pinned. The pins
+/// are advisory — prefix rows are copied into each request's own cache
+/// during prefill, so evicting a pinned node never breaks a request.
+#[derive(Debug, Clone)]
+pub struct PrefixHit {
     kv: SharedPrefixKv,
+    tokens: usize,
+    /// The matched token prefix, held as the eviction lease: the cache
+    /// tracks it through a [`Weak`] and treats every node on its path as
+    /// pinned while any clone of this [`Arc`] is alive.
+    lease: Arc<Vec<u32>>,
+}
+
+impl PrefixHit {
+    /// The contiguous KV rows of the matched prefix, assembled root-ward
+    /// across the trie path (bit-identical to the rows a cold prefill of
+    /// the same tokens would produce). Covers at least
+    /// [`PrefixHit::tokens`] rows.
+    pub fn kv(&self) -> &SharedPrefixKv {
+        &self.kv
+    }
+
+    /// Number of leading context tokens the cache can serve.
+    pub fn tokens(&self) -> usize {
+        self.tokens
+    }
+
+    /// A KV-free handle carrying only this hit's eviction lease. A caller
+    /// that has finished reading [`PrefixHit::kv`] (the rows are copied
+    /// into the request's own cache during prefill) should downgrade to
+    /// the lease and drop the hit, keeping the path pinned without also
+    /// keeping the assembled prefix rows alive.
+    pub fn lease(&self) -> PrefixLease {
+        PrefixLease {
+            _lease: self.lease.clone(),
+        }
+    }
+}
+
+/// The pin of one [`PrefixHit`] without its KV: holding it (or a clone)
+/// keeps every trie node along the hit's matched token path pinned against
+/// LRU eviction, and nothing else alive. Dropped when the owning request
+/// completes, is cancelled, or the engine needs the memory — the pin is
+/// advisory, so releasing it is always safe.
+#[derive(Debug, Clone)]
+pub struct PrefixLease {
+    /// Held only for its [`Arc`] refcount — the cache's [`Weak`] sees the
+    /// path as pinned while any clone is alive.
+    _lease: Arc<Vec<u32>>,
+}
+
+/// One node of the token trie: a path-compressed run of tokens plus the
+/// refcounted KV rows of exactly that run (absolute positions
+/// `depth..depth + run.len()`).
+#[derive(Debug)]
+struct TrieNode {
+    run: Vec<u32>,
+    kv: SharedPrefixKv,
+    /// Arena index of the parent node; `None` for children of the
+    /// (implicit) root.
+    parent: Option<usize>,
+    /// Children keyed by the first token of their run.
+    children: BTreeMap<u32, usize>,
     last_used: u64,
+}
+
+/// Where a trie walk stopped.
+struct Walk {
+    /// Arena indices of the fully matched nodes, root-ward first.
+    path: Vec<usize>,
+    /// A node whose run matched only its first `usize` tokens, if the walk
+    /// ended mid-run.
+    partial: Option<(usize, usize)>,
+    /// Total number of matched leading tokens.
+    matched: usize,
 }
 
 /// Length of the common prefix of two token sequences.
@@ -93,10 +194,15 @@ pub(crate) fn common_prefix_len(a: &[u32], b: &[u32]) -> usize {
     a.iter().zip(b.iter()).take_while(|(x, y)| x == y).count()
 }
 
-/// A longest-common-prefix map from context token sequences to shared
-/// prefill KV blocks.
+/// A path-compressed token trie from context token sequences to shared
+/// prefill KV blocks, with per-node byte accounting and leaf-first partial
+/// eviction.
 ///
 /// # Example
+///
+/// Two contexts sharing an 8-token preamble store it once; the divergence
+/// splits the first entry's node, and evicting one branch leaves the other
+/// — and the shared preamble — resident:
 ///
 /// ```
 /// use cocktail_core::{PrefixCache, PrefixCacheConfig};
@@ -104,28 +210,50 @@ pub(crate) fn common_prefix_len(a: &[u32], b: &[u32]) -> usize {
 /// use cocktail_tensor::rng::gaussian_matrix;
 ///
 /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
-/// let kv = SharedPrefixKv::from_blocks(
-///     1,
-///     1,
-///     vec![PrefixKvBlock::new(
-///         gaussian_matrix(12, 4, 1.0, 1),
-///         gaussian_matrix(12, 4, 1.0, 2),
-///     )?],
-/// )?;
-/// let mut cache = PrefixCache::new(PrefixCacheConfig::default());
-/// let tokens: Vec<u32> = (0..12).collect();
-/// cache.insert(tokens.clone(), kv);
-/// // A request sharing the first 10 tokens reuses them from the cache.
-/// let request: Vec<u32> = tokens[..10].iter().copied().chain([99, 98]).collect();
-/// let (_blocks, reused) = cache.lookup(&request).expect("prefix hit");
-/// assert_eq!(reused, 10);
+/// let kv = |tokens: usize, seed: u64| {
+///     SharedPrefixKv::from_blocks(
+///         1,
+///         1,
+///         vec![PrefixKvBlock::new(
+///             gaussian_matrix(tokens, 4, 1.0, seed),
+///             gaussian_matrix(tokens, 4, 1.0, seed + 500),
+///         )
+///         .unwrap()],
+///     )
+///     .unwrap()
+/// };
+/// let mut cache = PrefixCache::new(PrefixCacheConfig::default().with_min_prefix_tokens(4));
+///
+/// // Branch A: preamble 0..8 ++ tail 100..104.
+/// let a: Vec<u32> = (0..8).chain(100..104).collect();
+/// cache.insert(a.clone(), kv(12, 1));
+/// // Branch B shares the preamble then diverges: the node splits and the
+/// // preamble's 8 rows stay stored exactly once.
+/// let b: Vec<u32> = (0..8).chain(200..204).collect();
+/// cache.insert(b.clone(), kv(12, 2));
+/// let stats = cache.stats();
+/// assert_eq!(stats.nodes, 3); // preamble + two branch tails
+/// assert_eq!(stats.node_splits, 1);
+///
+/// // A lookup walks the trie for the longest cached prefix.
+/// let query: Vec<u32> = (0..8).chain([100, 101, 999]).collect();
+/// let hit = cache.lookup(&query).expect("prefix hit");
+/// assert_eq!(hit.tokens(), 10);
+/// assert_eq!(hit.kv().tokens(), 10);
 /// # Ok(())
 /// # }
 /// ```
 #[derive(Debug)]
 pub struct PrefixCache {
     config: PrefixCacheConfig,
-    entries: Vec<PrefixEntry>,
+    /// Node arena; evicted slots are `None` and recycled via `free`.
+    nodes: Vec<Option<TrieNode>>,
+    free: Vec<usize>,
+    /// Children of the implicit root, keyed by first token.
+    root_children: BTreeMap<u32, usize>,
+    /// Eviction leases of outstanding [`PrefixHit`]s; dead weaks are
+    /// pruned on mutation.
+    leases: Vec<Weak<Vec<u32>>>,
     clock: u64,
     stats: PrefixCacheStats,
 }
@@ -135,7 +263,10 @@ impl PrefixCache {
     pub fn new(config: PrefixCacheConfig) -> Self {
         Self {
             config,
-            entries: Vec::new(),
+            nodes: Vec::new(),
+            free: Vec::new(),
+            root_children: BTreeMap::new(),
+            leases: Vec::new(),
             clock: 0,
             stats: PrefixCacheStats::default(),
         }
@@ -146,135 +277,395 @@ impl PrefixCache {
         &self.config
     }
 
-    /// Number of resident entries.
+    /// Number of resident trie nodes.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.nodes.len() - self.free.len()
     }
 
-    /// Whether the cache holds no entries.
+    /// Whether the trie holds no nodes.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.len() == 0
     }
 
-    /// Bytes of all resident shared blocks — the amount a KV budget should
-    /// be charged for the cache.
+    fn node(&self, idx: usize) -> &TrieNode {
+        self.nodes[idx].as_ref().expect("live trie node")
+    }
+
+    fn node_mut(&mut self, idx: usize) -> &mut TrieNode {
+        self.nodes[idx].as_mut().expect("live trie node")
+    }
+
+    fn alloc(&mut self, node: TrieNode) -> usize {
+        match self.free.pop() {
+            Some(idx) => {
+                self.nodes[idx] = Some(node);
+                idx
+            }
+            None => {
+                self.nodes.push(Some(node));
+                self.nodes.len() - 1
+            }
+        }
+    }
+
+    fn live_nodes(&self) -> impl Iterator<Item = (usize, &TrieNode)> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter_map(|(i, n)| n.as_ref().map(|n| (i, n)))
+    }
+
+    /// Bytes of all resident node blocks — the amount a KV budget should
+    /// be charged for the cache. Each node's segment is one allocation, so
+    /// this sums per node and branches never double-charge their shared
+    /// ancestors.
     pub fn total_bytes(&self) -> usize {
-        self.entries.iter().map(|e| e.kv.storage_bytes()).sum()
+        self.live_nodes().map(|(_, n)| n.kv.storage_bytes()).sum()
     }
 
-    /// Number of resident entries whose blocks an in-flight request still
-    /// references (see [`SharedPrefixKv::is_pinned`]).
+    /// Arena indices of every node pinned by an outstanding
+    /// [`PrefixHit`] lease: the nodes a walk over each live lease's token
+    /// path visits (including a partially covered one).
+    fn pinned_set(&self) -> BTreeSet<usize> {
+        let mut pinned = BTreeSet::new();
+        for lease in &self.leases {
+            let Some(tokens) = lease.upgrade() else {
+                continue;
+            };
+            let walk = self.walk(&tokens);
+            pinned.extend(walk.path);
+            if let Some((idx, _)) = walk.partial {
+                pinned.insert(idx);
+            }
+        }
+        pinned
+    }
+
+    /// Number of resident nodes an in-flight request still pins through a
+    /// live [`PrefixHit`].
     pub fn pinned_entries(&self) -> usize {
-        self.entries.iter().filter(|e| e.kv.is_pinned()).count()
+        self.pinned_set().len()
+    }
+
+    /// Number of resident leaf nodes (distinct cached context branches).
+    pub fn leaves(&self) -> usize {
+        self.live_nodes()
+            .filter(|(_, n)| n.children.is_empty())
+            .count()
     }
 
     /// Current counters and occupancy.
     pub fn stats(&self) -> PrefixCacheStats {
         PrefixCacheStats {
-            entries: self.len(),
+            entries: self.leaves(),
+            nodes: self.len(),
             pinned_entries: self.pinned_entries(),
             resident_bytes: self.total_bytes(),
             ..self.stats
         }
     }
 
-    /// Whether some entry's tokens start with `tokens` (so inserting
-    /// `tokens` would add nothing).
-    pub fn covers(&self, tokens: &[u32]) -> bool {
-        self.entries
-            .iter()
-            .any(|e| e.tokens.len() >= tokens.len() && e.tokens.starts_with(tokens))
-    }
-
-    /// The longest common prefix any entry shares with `tokens`, without
-    /// touching LRU stamps or hit/miss counters — a probe for planning
-    /// (e.g. deciding which admission pass a request belongs to) ahead of
-    /// the real [`PrefixCache::lookup`].
-    pub fn peek_prefix_len(&self, tokens: &[u32]) -> usize {
-        self.entries
-            .iter()
-            .map(|e| common_prefix_len(&e.tokens, tokens))
-            .max()
-            .unwrap_or(0)
-    }
-
-    /// Finds the entry sharing the longest common prefix with `tokens` (at
-    /// least the configured minimum), bumps its LRU stamp, and returns a
-    /// cloned — refcount-bumped, not copied — block handle together with
-    /// the number of reusable leading tokens.
-    pub fn lookup(&mut self, tokens: &[u32]) -> Option<(SharedPrefixKv, usize)> {
-        let best = self
-            .entries
-            .iter_mut()
-            .map(|e| {
-                let lcp = common_prefix_len(&e.tokens, tokens);
-                (lcp, e)
-            })
-            .max_by_key(|(lcp, _)| *lcp);
-        match best {
-            Some((lcp, entry)) if lcp >= self.config.min_prefix_tokens => {
-                self.clock += 1;
-                entry.last_used = self.clock;
-                self.stats.hits += 1;
-                self.stats.reused_tokens += lcp as u64;
-                Some((entry.kv.clone(), lcp))
-            }
-            _ => {
-                self.stats.misses += 1;
-                None
+    /// Walks the trie along `tokens`, without touching LRU stamps or
+    /// counters.
+    fn walk(&self, tokens: &[u32]) -> Walk {
+        let mut path = Vec::new();
+        let mut matched = 0usize;
+        let mut children = &self.root_children;
+        while matched < tokens.len() {
+            let Some(&idx) = children.get(&tokens[matched]) else {
+                break;
+            };
+            let node = self.node(idx);
+            let lcp = common_prefix_len(&node.run, &tokens[matched..]);
+            matched += lcp;
+            if lcp == node.run.len() {
+                path.push(idx);
+                children = &node.children;
+            } else {
+                return Walk {
+                    path,
+                    partial: Some((idx, lcp)),
+                    matched,
+                };
             }
         }
+        Walk {
+            path,
+            partial: None,
+            matched,
+        }
+    }
+
+    /// Whether the trie already stores all of `tokens` (so inserting them
+    /// would add nothing).
+    pub fn covers(&self, tokens: &[u32]) -> bool {
+        !tokens.is_empty() && self.walk(tokens).matched == tokens.len()
+    }
+
+    /// The longest cached prefix of `tokens`, without touching LRU stamps
+    /// or hit/miss counters — a probe for planning (e.g. deciding which
+    /// admission pass a request belongs to) ahead of the real
+    /// [`PrefixCache::lookup`].
+    pub fn peek_prefix_len(&self, tokens: &[u32]) -> usize {
+        self.walk(tokens).matched
+    }
+
+    /// Bumps the LRU stamp of every node a walk matched (including a
+    /// partially matched one).
+    fn touch(&mut self, walk: &Walk) {
+        self.clock += 1;
+        let clock = self.clock;
+        for &idx in &walk.path {
+            self.node_mut(idx).last_used = clock;
+        }
+        if let Some((idx, _)) = walk.partial {
+            self.node_mut(idx).last_used = clock;
+        }
+    }
+
+    /// Walks the trie for the longest cached prefix of `tokens` (at least
+    /// the configured minimum), bumps the LRU stamp of every node on the
+    /// path, and returns a [`PrefixHit`]: the assembled contiguous KV of
+    /// the match plus pins on the path nodes.
+    ///
+    /// A hit matching a single node is a refcount bump; a hit spanning
+    /// several nodes (or ending mid-run) assembles its rows into one fresh
+    /// block — still orders of magnitude cheaper than re-running the
+    /// quadratic prefill attention the hit replaces.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use cocktail_core::{PrefixCache, PrefixCacheConfig};
+    /// use cocktail_kvcache::{PrefixKvBlock, SharedPrefixKv};
+    /// use cocktail_tensor::rng::gaussian_matrix;
+    ///
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// let kv = SharedPrefixKv::from_blocks(
+    ///     1,
+    ///     1,
+    ///     vec![PrefixKvBlock::new(
+    ///         gaussian_matrix(12, 4, 1.0, 1),
+    ///         gaussian_matrix(12, 4, 1.0, 2),
+    ///     )?],
+    /// )?;
+    /// let mut cache = PrefixCache::new(PrefixCacheConfig::default());
+    /// let tokens: Vec<u32> = (0..12).collect();
+    /// cache.insert(tokens.clone(), kv);
+    /// // A request sharing the first 10 tokens reuses them from the cache;
+    /// // holding the hit pins the matched path against eviction.
+    /// let request: Vec<u32> = tokens[..10].iter().copied().chain([99, 98]).collect();
+    /// let hit = cache.lookup(&request).expect("prefix hit");
+    /// assert_eq!(hit.tokens(), 10);
+    /// assert_eq!(cache.stats().pinned_entries, 1);
+    /// drop(hit);
+    /// assert_eq!(cache.stats().pinned_entries, 0);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn lookup(&mut self, tokens: &[u32]) -> Option<PrefixHit> {
+        let walk = self.walk(tokens);
+        if walk.matched < self.config.min_prefix_tokens {
+            self.stats.misses += 1;
+            return None;
+        }
+        self.touch(&walk);
+        self.stats.hits += 1;
+        self.stats.reused_tokens += walk.matched as u64;
+
+        let mut parts: Vec<SharedPrefixKv> = Vec::with_capacity(walk.path.len() + 1);
+        for &idx in &walk.path {
+            parts.push(self.node(idx).kv.clone());
+        }
+        if let Some((idx, lcp)) = walk.partial {
+            parts.push(
+                self.node(idx)
+                    .kv
+                    .slice_tokens(0, lcp)
+                    .expect("partial match is in range"),
+            );
+        }
+        let refs: Vec<&SharedPrefixKv> = parts.iter().collect();
+        let kv = SharedPrefixKv::concat(&refs).expect("path segments share one layout");
+        let lease = Arc::new(tokens[..walk.matched].to_vec());
+        self.leases.retain(|l| l.strong_count() > 0);
+        self.leases.push(Arc::downgrade(&lease));
+        Some(PrefixHit {
+            kv,
+            tokens: walk.matched,
+            lease,
+        })
+    }
+
+    /// Splits the node at `idx` after `offset` run tokens: the node keeps
+    /// the root-ward half (so its parent's child pointer stays valid) and a
+    /// new node takes the leaf-ward half together with the original
+    /// children.
+    fn split_node(&mut self, idx: usize, offset: usize) {
+        let mut node = self.nodes[idx].take().expect("live trie node");
+        let child_run = node.run.split_off(offset);
+        let total = node.kv.tokens();
+        let parent_kv = node
+            .kv
+            .slice_tokens(0, offset)
+            .expect("split offset is inside the run");
+        let child_kv = node
+            .kv
+            .slice_tokens(offset, total)
+            .expect("split offset is inside the run");
+        let child = TrieNode {
+            run: child_run,
+            kv: child_kv,
+            parent: Some(idx),
+            children: std::mem::take(&mut node.children),
+            last_used: node.last_used,
+        };
+        node.kv = parent_kv;
+        self.nodes[idx] = Some(node);
+        let child_first = child.run[0];
+        let grandchildren: Vec<usize> = child.children.values().copied().collect();
+        let child_idx = self.alloc(child);
+        for g in grandchildren {
+            self.node_mut(g).parent = Some(child_idx);
+        }
+        self.node_mut(idx).children.insert(child_first, child_idx);
+        self.stats.node_splits += 1;
     }
 
     /// Inserts the blocks of one context token sequence.
     ///
-    /// If an existing entry already covers `tokens` (its sequence starts
-    /// with them) the insert is a no-op beyond touching that entry's LRU
-    /// stamp. Existing entries that are strict prefixes of `tokens` are
-    /// subsumed (removed) — the new, longer entry serves every lookup they
-    /// could. Beyond `max_entries`, least-recently-used unpinned entries
-    /// are evicted.
+    /// `kv` must cover exactly `tokens` (one row per token). The walk-over
+    /// part of the sequence is shared with the existing trie: if the trie
+    /// already covers all of `tokens` the insert is a no-op beyond touching
+    /// the matched path's LRU stamps; if the sequence diverges mid-node,
+    /// the node is split at the divergence point so both branches share the
+    /// common ancestor exactly once; only the uncovered suffix rows are
+    /// stored, as a new leaf. Beyond the
+    /// [`PrefixCacheConfig::max_entries`] node cap, least-recently-used
+    /// unpinned leaves are evicted.
+    ///
+    /// The trie serves one model: blocks whose layer/head layout disagrees
+    /// with the resident nodes are not cached (the insert is ignored), so
+    /// a later multi-node [`PrefixCache::lookup`] can always assemble its
+    /// path segments.
     pub fn insert(&mut self, tokens: Vec<u32>, kv: SharedPrefixKv) {
-        self.clock += 1;
-        let clock = self.clock;
-        if let Some(existing) = self
-            .entries
-            .iter_mut()
-            .find(|e| e.tokens.len() >= tokens.len() && e.tokens.starts_with(&tokens))
-        {
-            existing.last_used = clock;
+        if tokens.is_empty() {
             return;
         }
-        let before = self.entries.len();
-        self.entries
-            .retain(|e| !(e.tokens.len() < tokens.len() && tokens.starts_with(&e.tokens)));
-        self.stats.evictions += (before - self.entries.len()) as u64;
-        self.entries.push(PrefixEntry {
-            tokens,
-            kv,
-            last_used: clock,
-        });
+        debug_assert_eq!(
+            kv.tokens(),
+            tokens.len(),
+            "inserted blocks must cover exactly the inserted tokens"
+        );
+        if let Some((_, node)) = self.live_nodes().next() {
+            if node.kv.layers() != kv.layers() || node.kv.kv_heads() != kv.kv_heads() {
+                return;
+            }
+        }
+        let walk = self.walk(&tokens);
+        if walk.matched == tokens.len() {
+            self.touch(&walk);
+            return;
+        }
+
+        // Split before touching: the split-off tail belongs to the *other*
+        // branch and must keep its old LRU stamp — only the shared parent
+        // half (and the fully matched path) is being reused by this insert.
+        let attach_parent = match walk.partial {
+            Some((idx, offset)) => {
+                self.split_node(idx, offset);
+                Some(idx)
+            }
+            None => walk.path.last().copied(),
+        };
+        self.touch(&walk);
+        let suffix_kv = if walk.matched == 0 {
+            kv
+        } else {
+            kv.slice_tokens(walk.matched, tokens.len())
+                .expect("uncovered suffix is non-empty")
+        };
+        let run = tokens[walk.matched..].to_vec();
+        let first = run[0];
+        let leaf = TrieNode {
+            run,
+            kv: suffix_kv,
+            parent: attach_parent,
+            children: BTreeMap::new(),
+            last_used: self.clock,
+        };
+        let leaf_idx = self.alloc(leaf);
+        match attach_parent {
+            Some(p) => self.node_mut(p).children.insert(first, leaf_idx),
+            None => self.root_children.insert(first, leaf_idx),
+        };
         self.stats.insertions += 1;
-        while self.entries.len() > self.config.max_entries {
+
+        while self.len() > self.config.max_entries {
             if self.evict_lru_unpinned().is_none() {
-                break; // everything is pinned; allow temporary overflow
+                break; // everything left is pinned or interior; allow overflow
             }
         }
     }
 
-    /// Evicts the least-recently-used entry whose blocks no in-flight
-    /// prefill still references, returning the bytes freed.
+    /// Evicts the least-recently-used unpinned **leaf** node, returning the
+    /// bytes freed. Interior nodes are never candidates, so an eviction
+    /// can only trim a branch leaf-ward — every surviving node's ancestors
+    /// survive with it, and the shortened prefix keeps serving lookups.
+    /// Returns `None` when every leaf is pinned (or the trie is empty).
     pub fn evict_lru_unpinned(&mut self) -> Option<usize> {
+        self.leases.retain(|l| l.strong_count() > 0);
+        let pinned = self.pinned_set();
         let idx = self
-            .entries
-            .iter()
-            .enumerate()
-            .filter(|(_, e)| !e.kv.is_pinned())
-            .min_by_key(|(_, e)| e.last_used)
+            .live_nodes()
+            .filter(|(i, n)| n.children.is_empty() && !pinned.contains(i))
+            .min_by_key(|(_, n)| n.last_used)
             .map(|(i, _)| i)?;
-        let entry = self.entries.remove(idx);
+        let node = self.nodes[idx].take().expect("live trie node");
+        self.free.push(idx);
+        match node.parent {
+            Some(p) => {
+                self.node_mut(p).children.remove(&node.run[0]);
+                self.stats.partial_evictions += 1;
+            }
+            None => {
+                self.root_children.remove(&node.run[0]);
+            }
+        }
         self.stats.evictions += 1;
-        Some(entry.kv.storage_bytes())
+        Some(node.kv.storage_bytes())
+    }
+
+    /// Structural invariants of the trie, checked by tests (and cheap
+    /// enough for debug assertions): parent/child pointers agree, every
+    /// node's run is non-empty and keyed by its first token, each node's
+    /// blocks cover exactly its run, and no interior node lost all its
+    /// children without being removed.
+    #[cfg(test)]
+    fn assert_consistent(&self) {
+        let mut reachable = 0usize;
+        let mut stack: Vec<(Option<usize>, usize)> =
+            self.root_children.iter().map(|(_, &i)| (None, i)).collect();
+        while let Some((parent, idx)) = stack.pop() {
+            let node = self.node(idx);
+            reachable += 1;
+            assert_eq!(node.parent, parent, "parent pointer mismatch at {idx}");
+            assert!(!node.run.is_empty(), "empty run at {idx}");
+            assert_eq!(
+                node.kv.tokens(),
+                node.run.len(),
+                "blocks must cover exactly the node's run"
+            );
+            for (&first, &child) in &node.children {
+                assert_eq!(
+                    self.node(child).run[0],
+                    first,
+                    "child key must be the child's first run token"
+                );
+                stack.push((Some(idx), child));
+            }
+        }
+        assert_eq!(reachable, self.len(), "unreachable live nodes");
     }
 }
 
@@ -283,6 +674,7 @@ mod tests {
     use super::*;
     use cocktail_kvcache::PrefixKvBlock;
     use cocktail_tensor::rng::gaussian_matrix;
+    use proptest::prelude::*;
 
     fn kv(tokens: usize, seed: u64) -> SharedPrefixKv {
         SharedPrefixKv::from_blocks(
@@ -297,8 +689,24 @@ mod tests {
         .unwrap()
     }
 
+    /// Blocks whose rows deterministically encode their absolute position,
+    /// so reassembled prefixes can be checked row-for-row.
+    fn positional_kv(tokens: usize) -> SharedPrefixKv {
+        let data: Vec<f32> = (0..tokens * 4).map(|i| i as f32).collect();
+        let k = cocktail_tensor::Matrix::from_vec(tokens, 4, data.clone()).unwrap();
+        let v = cocktail_tensor::Matrix::from_vec(tokens, 4, data.iter().map(|x| -x).collect())
+            .unwrap();
+        SharedPrefixKv::from_blocks(1, 1, vec![PrefixKvBlock::new(k, v).unwrap()]).unwrap()
+    }
+
     fn seq(start: u32, len: usize) -> Vec<u32> {
         (start..start + len as u32).collect()
+    }
+
+    fn branch(preamble: usize, tail_start: u32, tail: usize) -> Vec<u32> {
+        let mut t = seq(0, preamble);
+        t.extend(seq(tail_start, tail));
+        t
     }
 
     fn small_cache() -> PrefixCache {
@@ -306,17 +714,21 @@ mod tests {
     }
 
     #[test]
-    fn lookup_returns_longest_common_prefix() {
+    fn lookup_returns_longest_cached_prefix() {
         let mut cache = small_cache();
         cache.insert(seq(0, 10), kv(10, 1));
-        let mut other = seq(0, 6);
-        other.extend(seq(100, 6)); // shares 6 tokens then diverges
-        cache.insert(other.clone(), kv(12, 2));
+        cache.insert(branch(6, 100, 6), kv(12, 2));
+        cache.assert_consistent();
 
         let mut query = seq(0, 8);
         query.push(999);
-        let (_, reused) = cache.lookup(&query).unwrap();
-        assert_eq!(reused, 8, "the 10-token entry shares 8 leading tokens");
+        let hit = cache.lookup(&query).unwrap();
+        assert_eq!(
+            hit.tokens(),
+            8,
+            "the 10-token branch shares 8 leading tokens"
+        );
+        assert_eq!(hit.kv().tokens(), 8);
         let stats = cache.stats();
         assert_eq!(stats.hits, 1);
         assert_eq!(stats.reused_tokens, 8);
@@ -334,23 +746,108 @@ mod tests {
     }
 
     #[test]
-    fn insert_subsumes_strict_prefixes_and_skips_covered() {
+    fn divergent_branches_store_their_common_prefix_once() {
         let mut cache = small_cache();
-        cache.insert(seq(0, 6), kv(6, 1));
-        assert!(cache.covers(&seq(0, 6)));
-        assert!(cache.covers(&seq(0, 4)));
-        // Longer sequence subsumes the shorter entry.
-        cache.insert(seq(0, 12), kv(12, 2));
-        assert_eq!(cache.len(), 1);
-        assert!(cache.covers(&seq(0, 12)));
-        // Inserting something already covered is a no-op.
-        cache.insert(seq(0, 9), kv(9, 3));
-        assert_eq!(cache.len(), 1);
-        assert_eq!(cache.stats().insertions, 2);
+        cache.insert(branch(8, 100, 4), kv(12, 1));
+        let one_branch_bytes = cache.total_bytes();
+        cache.insert(branch(8, 200, 4), kv(12, 2));
+        cache.assert_consistent();
+        let stats = cache.stats();
+        assert_eq!(stats.nodes, 3, "preamble node + two branch leaves");
+        assert_eq!(stats.entries, 2, "two cached branches");
+        assert_eq!(stats.node_splits, 1);
+        // The whole-sequence map would hold 2 x 12 tokens; the trie holds
+        // 8 + 4 + 4 = 16 — strictly fewer bytes than 24 rows.
+        let per_token = one_branch_bytes / 12;
+        assert_eq!(cache.total_bytes(), 16 * per_token);
+        // Both branches resolve fully.
+        assert_eq!(cache.lookup(&branch(8, 100, 4)).unwrap().tokens(), 12);
+        assert_eq!(cache.lookup(&branch(8, 200, 4)).unwrap().tokens(), 12);
     }
 
     #[test]
-    fn lru_eviction_skips_pinned_entries() {
+    fn multi_node_hits_assemble_contiguous_rows() {
+        let mut cache = small_cache();
+        // Insert the full 12-token run with position-encoded rows, then
+        // split it by inserting a divergent branch.
+        let full: Vec<u32> = seq(0, 12);
+        cache.insert(full.clone(), positional_kv(12));
+        cache.insert(branch(5, 300, 3), positional_kv(8));
+        cache.assert_consistent();
+        // A full-path hit spans preamble node + original tail node.
+        let hit = cache.lookup(&full).unwrap();
+        assert_eq!(hit.tokens(), 12);
+        let reference = positional_kv(12);
+        assert_eq!(
+            hit.kv().block(0, 0).k(),
+            reference.block(0, 0).k(),
+            "assembled rows must equal the original contiguous rows"
+        );
+        assert_eq!(hit.kv().block(0, 0).v(), reference.block(0, 0).v());
+    }
+
+    #[test]
+    fn insert_covered_sequences_is_a_noop_and_covers_reports_prefixes() {
+        let mut cache = small_cache();
+        cache.insert(seq(0, 6), kv(6, 1));
+        assert!(cache.covers(&seq(0, 6)));
+        assert!(cache.covers(&seq(0, 4)), "mid-run coverage counts");
+        assert!(!cache.covers(&[]));
+        // Extending a cached run adds only the suffix node.
+        cache.insert(seq(0, 12), kv(12, 2));
+        assert_eq!(cache.len(), 2);
+        assert!(cache.covers(&seq(0, 12)));
+        // Inserting something already covered adds nothing.
+        cache.insert(seq(0, 9), kv(9, 3));
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.stats().insertions, 2);
+        cache.assert_consistent();
+    }
+
+    #[test]
+    fn partial_eviction_trims_leaves_first_and_keeps_ancestors() {
+        let mut cache = small_cache();
+        cache.insert(branch(8, 100, 4), kv(12, 1));
+        cache.insert(branch(8, 200, 4), kv(12, 2));
+        // Touch branch 200 so branch 100's leaf is the LRU.
+        cache.lookup(&branch(8, 200, 4)).unwrap();
+        let freed = cache.evict_lru_unpinned().unwrap();
+        assert!(freed > 0);
+        cache.assert_consistent();
+        let stats = cache.stats();
+        assert_eq!(stats.evictions, 1);
+        assert_eq!(stats.partial_evictions, 1, "an ancestor stayed resident");
+        // The preamble and the surviving branch still serve lookups.
+        assert_eq!(cache.lookup(&branch(8, 200, 4)).unwrap().tokens(), 12);
+        assert_eq!(
+            cache.lookup(&branch(8, 100, 4)).unwrap().tokens(),
+            8,
+            "the trimmed branch still reuses the shared preamble"
+        );
+    }
+
+    #[test]
+    fn split_off_tails_keep_their_old_lru_stamp() {
+        let mut cache = small_cache();
+        // A (preamble + X tail) is oldest; H is a hotter unrelated branch;
+        // B splits A's node. The split-off X tail belongs to A and must
+        // keep A's stale stamp — not inherit B's fresh one — so the next
+        // eviction trims X, not H.
+        cache.insert(branch(8, 100, 4), kv(12, 1)); // A = P ++ X
+        cache.insert(seq(500, 8), kv(8, 2)); // H, more recent than A
+        cache.insert(branch(8, 200, 4), kv(12, 3)); // B = P ++ Y, splits A
+        cache.evict_lru_unpinned().unwrap();
+        cache.assert_consistent();
+        assert!(cache.covers(&seq(500, 8)), "the hot branch must survive");
+        assert_eq!(
+            cache.peek_prefix_len(&branch(8, 100, 4)),
+            8,
+            "the stale split-off tail is what gets evicted"
+        );
+    }
+
+    #[test]
+    fn lru_eviction_skips_pinned_leaves() {
         let mut cache = PrefixCache::new(
             PrefixCacheConfig::default()
                 .with_min_prefix_tokens(4)
@@ -358,24 +855,57 @@ mod tests {
         );
         cache.insert(seq(0, 8), kv(8, 1));
         cache.insert(seq(100, 8), kv(8, 2));
-        // Pin the older entry by holding a handle to it.
-        let (pinned, _) = cache.lookup(&seq(0, 8)).unwrap();
-        // Now entry(100..) is the LRU and unpinned: the third insert evicts
-        // it, not the pinned one.
+        // Pin the older branch by holding a hit on it.
+        let pinned = cache.lookup(&seq(0, 8)).unwrap();
+        // Now the 100.. leaf is the LRU unpinned one: the third insert
+        // evicts it, not the pinned branch.
         cache.insert(seq(200, 8), kv(8, 3));
         assert_eq!(cache.len(), 2);
-        assert!(cache.covers(&seq(0, 8)), "pinned entry must survive");
+        assert!(cache.covers(&seq(0, 8)), "pinned branch must survive");
         assert!(!cache.covers(&seq(100, 8)));
         drop(pinned);
         let freed = cache.evict_lru_unpinned().unwrap();
         assert!(freed > 0);
         assert_eq!(cache.len(), 1);
+        cache.assert_consistent();
     }
 
     #[test]
-    fn total_bytes_tracks_entries() {
+    fn layout_mismatched_inserts_are_ignored() {
+        // The trie serves one model; a kv with a different layer/head
+        // layout must be rejected at insert time rather than panicking a
+        // later multi-node lookup's assembly.
+        let mut cache = small_cache();
+        cache.insert(seq(0, 8), kv(8, 1)); // 1 layer x 1 head
+        let other_layout = SharedPrefixKv::from_blocks(
+            2,
+            1,
+            vec![
+                PrefixKvBlock::new(
+                    gaussian_matrix(12, 4, 1.0, 9),
+                    gaussian_matrix(12, 4, 1.0, 10),
+                )
+                .unwrap(),
+                PrefixKvBlock::new(
+                    gaussian_matrix(12, 4, 1.0, 11),
+                    gaussian_matrix(12, 4, 1.0, 12),
+                )
+                .unwrap(),
+            ],
+        )
+        .unwrap();
+        cache.insert(seq(0, 12), other_layout);
+        assert_eq!(cache.len(), 1, "mismatched layout must not be cached");
+        cache.assert_consistent();
+        // The original branch still serves lookups across its full run.
+        assert_eq!(cache.lookup(&seq(0, 12)).unwrap().tokens(), 8);
+    }
+
+    #[test]
+    fn total_bytes_tracks_nodes() {
         let mut cache = small_cache();
         assert_eq!(cache.total_bytes(), 0);
+        assert!(cache.is_empty());
         cache.insert(seq(0, 8), kv(8, 1));
         let one = cache.total_bytes();
         assert_eq!(one, 2 * 8 * 4 * 4); // k+v, 8 tokens, dim 4, f32
@@ -384,5 +914,97 @@ mod tests {
         cache.evict_lru_unpinned().unwrap();
         assert_eq!(cache.total_bytes(), one);
         assert_eq!(cache.stats().resident_bytes, one);
+    }
+
+    /// Reference model for the proptest: the whole-sequence (LCP map)
+    /// byte accounting the trie must strictly beat whenever branches
+    /// share a prefix.
+    fn lcp_map_bytes(sequences: &[Vec<u32>], per_token: usize) -> usize {
+        let mut kept: Vec<&Vec<u32>> = Vec::new();
+        for s in sequences {
+            if kept.iter().any(|k| k.len() >= s.len() && k.starts_with(s)) {
+                continue;
+            }
+            kept.retain(|k| !(k.len() < s.len() && s.starts_with(k)));
+            kept.push(s);
+        }
+        kept.iter().map(|s| s.len() * per_token).sum()
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// Under random branching insert/lookup/evict traffic the trie
+        /// stays structurally consistent, each node's refcount reflects
+        /// exactly the live hits pinning it, partial eviction never frees
+        /// an ancestor of a live node (every covered-yesterday prefix that
+        /// is still resident remains reachable from the root), and the
+        /// trie never stores more bytes than the whole-sequence LCP map
+        /// would.
+        #[test]
+        fn trie_invariants_under_random_branching_traffic(
+            preamble in 4usize..10,
+            tail_draws in proptest::collection::vec(0u32..42, 1..10),
+            evictions in 0usize..6,
+        ) {
+            let mut cache = small_cache();
+            let mut inserted: Vec<Vec<u32>> = Vec::new();
+            let per_token = 2 * 4 * 4; // k+v rows of dim 4 at f32
+            let mut hits: Vec<PrefixHit> = Vec::new();
+            // Decode each draw into (tail family 0..6, tail length 1..8).
+            let tails: Vec<(u32, usize)> = tail_draws
+                .iter()
+                .map(|d| (d % 6, 1 + (d / 6) as usize))
+                .collect();
+            for (i, (tail_family, tail_len)) in tails.iter().enumerate() {
+                // Branches share the preamble and diverge into one of six
+                // tail families, exercising splits below the first level.
+                let mut tokens = seq(0, preamble);
+                tokens.extend(seq(1000 + tail_family * 100, *tail_len));
+                tokens.push(2000 + i as u32); // unique final token
+                let blocks = kv(tokens.len(), i as u64);
+                cache.insert(tokens.clone(), blocks);
+                cache.assert_consistent();
+                inserted.push(tokens.clone());
+                // Every other branch holds a live hit, pinning its path.
+                if i % 2 == 0 {
+                    hits.push(cache.lookup(&tokens).expect("just inserted"));
+                }
+            }
+            // Refcounts reflect live pins: with all hits dropped, no node
+            // may stay pinned.
+            prop_assert!(cache.stats().pinned_entries <= cache.len());
+            drop(hits);
+            prop_assert_eq!(cache.stats().pinned_entries, 0,
+                "dropping every hit must unpin every node");
+
+            // The trie never exceeds the whole-sequence map's bytes.
+            prop_assert!(cache.total_bytes() <= lcp_map_bytes(&inserted, per_token));
+            // With >= 2 branches over one preamble it is strictly better.
+            if inserted.len() >= 2 {
+                prop_assert!(cache.total_bytes() < lcp_map_bytes(&inserted, per_token),
+                    "branches over a common preamble must dedup");
+            }
+
+            for _ in 0..evictions {
+                if cache.evict_lru_unpinned().is_none() {
+                    break;
+                }
+                cache.assert_consistent();
+            }
+            // Partial eviction never frees an ancestor of a live node:
+            // consistency (checked above) plus every still-resident prefix
+            // remaining reachable — peek over every inserted sequence must
+            // equal the longest resident root-path for it.
+            for tokens in &inserted {
+                let matched = cache.peek_prefix_len(tokens);
+                // Whatever remains cached is a true prefix of the inserted
+                // sequence and can be looked up if long enough.
+                if matched >= cache.config().min_prefix_tokens {
+                    let hit = cache.lookup(tokens).expect("resident prefix must hit");
+                    prop_assert_eq!(hit.tokens(), matched);
+                }
+            }
+        }
     }
 }

@@ -49,9 +49,9 @@ pub struct SchedulerConfig {
     /// KV-memory budget in bytes shared by all admitted requests, or `None`
     /// for an unlimited budget. Costs are measured *compressed* bytes, so a
     /// stronger quantization policy admits more concurrent requests. When a
-    /// prefix cache is enabled, its resident shared blocks are charged
-    /// against the same budget (once per entry, however many requests
-    /// reference it).
+    /// prefix cache is enabled, its resident blocks are charged against the
+    /// same budget — once per *trie node*, however many cached branches or
+    /// in-flight requests share that node's run.
     pub kv_budget_bytes: Option<usize>,
     /// Maximum number of concurrently running requests, regardless of
     /// memory (a kernel/occupancy cap in real deployments).
@@ -298,9 +298,11 @@ impl BatchScheduler {
     }
 
     /// Replaces the shared-block charge with the prefix cache's current
-    /// resident footprint. Shared blocks are charged *once* regardless of
-    /// how many requests reference them; the owner (the serving engine)
-    /// reports the cache's total after every insertion or eviction.
+    /// resident footprint — the sum over resident trie nodes, so shared
+    /// blocks are charged *once per node* regardless of how many cached
+    /// branches pass through it or how many requests reference it; the
+    /// owner (the serving engine) reports the cache's total after every
+    /// insertion or eviction.
     pub fn set_shared_bytes(&mut self, bytes: usize) {
         self.shared_bytes = bytes;
     }

@@ -26,9 +26,11 @@
 //! amortizing QKV/MLP weight streaming over the arriving prompts exactly as
 //! the decode path does over the running batch. With
 //! [`ServingEngine::with_prefix_cache`] enabled, requests whose context
-//! starts with a previously served context reuse the cached prefix KV
-//! blocks instead of re-prefilling them — refcounted, charged once against
-//! the scheduler's KV budget, and evicted LRU when the budget tightens.
+//! opens with previously served tokens reuse the token-trie prefix cache's
+//! KV blocks instead of re-prefilling them — divergent branches share
+//! their common preamble's blocks exactly once, the budget is charged per
+//! trie node, and pressure trims the tree leaf-ward (partial eviction)
+//! rather than dropping whole contexts.
 //! Both optimizations are bit-exact: prefill is causal and row-wise, so a
 //! batched or prefix-resumed prefill produces byte-identical outputs to a
 //! cold sequential one (asserted by tests and property tests).
@@ -37,7 +39,9 @@ use crate::config::CocktailConfig;
 use crate::error::CocktailError;
 use crate::pipeline::{CocktailOutcome, PipelineTimings};
 use crate::policy::CocktailPolicy;
-use crate::prefix::{common_prefix_len, PrefixCache, PrefixCacheConfig, PrefixCacheStats};
+use crate::prefix::{
+    common_prefix_len, PrefixCache, PrefixCacheConfig, PrefixCacheStats, PrefixHit, PrefixLease,
+};
 use crate::scheduler::{AdmitDecision, BatchScheduler, RequestId, SchedulerConfig};
 use crate::search::BitwidthPlan;
 use cocktail_baselines::{CachePolicy, PolicyContext, PolicyReport};
@@ -100,6 +104,32 @@ impl ServeRequest {
     /// contains `stop`. The matched text is kept in the answer, so the
     /// streamed pieces still concatenate to the collected outcome
     /// byte-for-byte. Empty sequences are ignored.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use cocktail_core::{CocktailConfig, FinishReason, ServeRequest, ServingEngine};
+    /// use cocktail_model::ModelProfile;
+    ///
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// let config = CocktailConfig::default().with_chunk_size(8)?;
+    /// let mut engine = ServingEngine::new(ModelProfile::tiny(), config)?;
+    /// let context = "the harbor log notes that the night ferry code is osprey.";
+    /// // Without a stop sequence the request would run its full 8-token
+    /// // budget; stopping on a word of the answer ends it early.
+    /// let id = engine.submit(
+    ///     ServeRequest::new(context, "what is the night ferry code?", 8)
+    ///         .with_stop_sequence("osprey"),
+    /// );
+    /// let outcome = engine.run_until_idle()?.pop().expect("one completed request");
+    /// assert_eq!(outcome.id, id);
+    /// if outcome.outcome.answer.contains("osprey") {
+    ///     assert!(outcome.outcome.answer.ends_with("osprey"));
+    ///     assert!(outcome.outcome.generated_tokens.len() < 8);
+    /// }
+    /// # Ok(())
+    /// # }
+    /// ```
     pub fn with_stop_sequence(mut self, stop: impl Into<String>) -> Self {
         let stop = stop.into();
         if !stop.is_empty() {
@@ -273,13 +303,15 @@ pub(crate) struct RequestTask {
     /// `streamed`.
     stop_sequences: Vec<String>,
     next_token: u32,
-    /// The shared-prefix handle this request resumed from, held (pinned)
-    /// for the task's lifetime so LRU eviction prefers entries no
-    /// in-flight request is using; dropped — unpinning the blocks — when
-    /// the task completes, is cancelled, or the engine needs the memory
-    /// (the pin is advisory: prefix rows are copied into the request's own
-    /// cache, so eviction is always safe).
-    prefix: Option<SharedPrefixKv>,
+    /// The lease of the prefix-cache hit this request resumed from, held
+    /// for the task's lifetime: it pins every trie node along the matched
+    /// path, so LRU eviction prefers nodes no in-flight request is using.
+    /// Only the lease is kept — the hit's assembled KV rows were already
+    /// copied into this task's cache during prefill, so holding them too
+    /// would duplicate the prefix per warm request. Dropped — unpinning
+    /// the path — when the task completes, is cancelled, or the engine
+    /// needs the memory (the pins are advisory: eviction is always safe).
+    prefix: Option<PrefixLease>,
     report: PolicyReport,
     plan: Option<BitwidthPlan>,
     cache_bytes: usize,
@@ -378,7 +410,7 @@ impl RequestTask {
         max_new_tokens: usize,
         stop_sequences: Vec<String>,
         encoded: &EncodedPrompt,
-        prefix: Option<(&SharedPrefixKv, usize)>,
+        prefix: Option<&PrefixHit>,
         prefill: &BatchPrefill,
         prefill_us: u64,
         want_prefix_blocks: bool,
@@ -389,7 +421,7 @@ impl RequestTask {
         let (mut cache, prefix_blocks) = build_context_cache(
             engine,
             config,
-            prefix,
+            prefix.map(|hit| (hit.kv(), hit.tokens())),
             prefill,
             encoded.context_tokens.len(),
             want_prefix_blocks,
@@ -425,7 +457,7 @@ impl RequestTask {
                 .filter(|s| !s.is_empty())
                 .collect(),
             next_token: prefill.next_token(),
-            prefix: prefix.map(|(kv, _)| kv.clone()),
+            prefix: prefix.map(PrefixHit::lease),
             report,
             plan,
             cache_bytes,
@@ -717,7 +749,7 @@ struct PrepCandidate {
     max_new_tokens: usize,
     stop_sequences: Vec<String>,
     encoded: EncodedPrompt,
-    prefix: Option<(SharedPrefixKv, usize)>,
+    prefix: Option<PrefixHit>,
 }
 
 /// How one FIFO admission sweep over the queue head ended.
@@ -782,11 +814,15 @@ impl ServingEngine {
         self
     }
 
-    /// Enables shared-prefix KV reuse: requests whose context starts with a
-    /// previously served context clone its cached prefill blocks instead of
-    /// re-prefilling them. Resident blocks are charged once against the
-    /// scheduler's KV budget and evicted LRU when it tightens. Reuse is
-    /// bit-exact — answers are byte-identical with the cache on or off.
+    /// Enables shared-prefix KV reuse through the token-trie
+    /// [`PrefixCache`]: requests whose context opens with previously
+    /// served tokens resume from the cached trie path instead of
+    /// re-prefilling it, and divergent branches over a common preamble
+    /// store that preamble's blocks exactly once. Resident blocks are
+    /// charged against the scheduler's KV budget per trie node, and budget
+    /// pressure trims the tree leaf-ward (partial LRU eviction) rather
+    /// than dropping whole contexts. Reuse is bit-exact — answers are
+    /// byte-identical with the cache on or off.
     ///
     /// # Panics
     ///
@@ -952,6 +988,30 @@ impl ServingEngine {
     /// are byte-identical to what they would produce with no cancellation
     /// at all, which in turn equals their own solo sequential pipeline
     /// runs. This is asserted by the cancellation property test.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use cocktail_core::{CocktailConfig, RequestState, ServeRequest, ServingEngine};
+    /// use cocktail_model::ModelProfile;
+    ///
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// let config = CocktailConfig::default().with_chunk_size(8)?;
+    /// let mut engine = ServingEngine::new(ModelProfile::tiny(), config)?;
+    /// let context = "the quartermaster records twelve barrels of fresh water aboard.";
+    /// let id = engine.submit(ServeRequest::new(context, "how many barrels?", 16));
+    /// engine.step()?; // admitted and decoding
+    /// let before = engine.kv_bytes_in_use();
+    /// assert!(engine.cancel(id), "a running request can be cancelled");
+    /// assert!(engine.kv_bytes_in_use() < before, "its KV charge is released");
+    /// assert_eq!(engine.state(id), Some(RequestState::Cancelled));
+    /// assert!(!engine.cancel(id), "cancelling twice is a no-op");
+    /// let stats = engine.take_cancelled(id).expect("cancelled stats");
+    /// assert!(stats.cancelled);
+    /// assert!(stats.generated_tokens < 16);
+    /// # Ok(())
+    /// # }
+    /// ```
     pub fn cancel(&mut self, id: RequestId) -> bool {
         let now = self.clock;
         let Some(slot) = self.slots.get_mut(&id) else {
@@ -1193,7 +1253,9 @@ impl ServingEngine {
             let slots: Vec<PrefillSlot<'_>> = candidates
                 .iter()
                 .map(|cand| match &cand.prefix {
-                    Some((kv, len)) => PrefillSlot::with_prefix(&cand.encoded.prompt, kv, *len),
+                    Some(hit) => {
+                        PrefillSlot::with_prefix(&cand.encoded.prompt, hit.kv(), hit.tokens())
+                    }
                     None => PrefillSlot::cold(&cand.encoded.prompt),
                 })
                 .collect();
@@ -1209,7 +1271,7 @@ impl ServingEngine {
         let weights: Vec<u128> = candidates
             .iter()
             .map(|cand| {
-                let reused = cand.prefix.as_ref().map_or(0, |(_, len)| *len);
+                let reused = cand.prefix.as_ref().map_or(0, PrefixHit::tokens);
                 ((cand.encoded.prompt.len() - reused) * cand.encoded.prompt.len()) as u128
             })
             .collect();
@@ -1217,7 +1279,7 @@ impl ServingEngine {
 
         for ((cand, output), weight) in candidates.into_iter().zip(outputs).zip(weights) {
             let prefill_us = ((u128::from(elapsed_us) * weight) / total_weight) as u64;
-            let reused = cand.prefix.as_ref().map_or(0, |(_, len)| *len);
+            let reused = cand.prefix.as_ref().map_or(0, PrefixHit::tokens);
             let want_blocks = match &self.prefix_cache {
                 Some(cache) => {
                     cand.encoded.context_tokens.len() >= cache.config().min_prefix_tokens
@@ -1234,7 +1296,7 @@ impl ServingEngine {
                 cand.max_new_tokens,
                 cand.stop_sequences,
                 &cand.encoded,
-                cand.prefix.as_ref().map(|(kv, len)| (kv, *len)),
+                cand.prefix.as_ref(),
                 &output,
                 prefill_us,
                 want_blocks,
@@ -1272,15 +1334,29 @@ impl ServingEngine {
     }
 
     /// Charges one context's blocks against the budget and inserts them
-    /// into the prefix cache, evicting LRU unpinned entries while the
-    /// budget is tight. If even a fully drained cache cannot make room the
-    /// blocks are simply not cached — correctness never depends on them.
+    /// into the prefix cache, evicting LRU unpinned trie leaves while the
+    /// budget is tight. The trie stores only the *uncovered suffix* of the
+    /// context (covered runs are already resident and already charged), so
+    /// the budget pre-check charges that delta, not the full context —
+    /// under pressure a branch whose preamble is cached needs room for its
+    /// tail only. Eviction can shrink the covered part, so the delta is
+    /// recomputed after every eviction. If even a fully drained cache
+    /// cannot make room the blocks are simply not cached — correctness
+    /// never depends on them.
     fn insert_prefix_entry(&mut self, tokens: Vec<u32>, blocks: SharedPrefixKv) {
-        if self.prefix_cache.is_none() {
+        if self.prefix_cache.is_none() || tokens.is_empty() {
             return;
         }
-        let bytes = blocks.storage_bytes();
-        while !self.scheduler.would_fit_shared(bytes) {
+        let bytes_per_token = blocks.storage_bytes() / tokens.len();
+        loop {
+            let covered = self
+                .prefix_cache
+                .as_ref()
+                .map_or(0, |cache| cache.peek_prefix_len(&tokens));
+            let delta = (tokens.len() - covered.min(tokens.len())) * bytes_per_token;
+            if self.scheduler.would_fit_shared(delta) {
+                break;
+            }
             if !self.evict_shared_for_budget() {
                 return;
             }

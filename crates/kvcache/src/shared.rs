@@ -190,6 +190,86 @@ impl SharedPrefixKv {
     pub fn is_pinned(&self) -> bool {
         self.ref_count() > 1
     }
+
+    /// Copies the token rows `start..end` of every block into a new,
+    /// independently refcounted prefix — the primitive a token-trie prefix
+    /// cache uses to split one cached run at a divergence point (each trie
+    /// node owns exactly its own segment's rows, so evicting a node frees
+    /// real bytes).
+    ///
+    /// The rows keep their absolute positions (keys stay rotary-embedded
+    /// where the original prefill put them), so a slice taken at token
+    /// offset `start` is only meaningful as the continuation of a prefix
+    /// covering `start` tokens.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KvCacheError::ShapeMismatch`] if `start >= end` or
+    /// `end > self.tokens()`.
+    pub fn slice_tokens(&self, start: usize, end: usize) -> Result<Self, KvCacheError> {
+        if start >= end || end > self.tokens {
+            return Err(KvCacheError::ShapeMismatch(format!(
+                "token slice {start}..{end} of a {}-token prefix",
+                self.tokens
+            )));
+        }
+        let blocks = self
+            .blocks
+            .iter()
+            .map(|b| {
+                PrefixKvBlock::new(b.k.slice_rows(start, end), b.v.slice_rows(start, end))
+                    .map(Arc::new)
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Self {
+            tokens: end - start,
+            layers: self.layers,
+            kv_heads: self.kv_heads,
+            blocks,
+        })
+    }
+
+    /// Concatenates consecutive prefix segments row-wise into one
+    /// contiguous prefix — the inverse of [`SharedPrefixKv::slice_tokens`],
+    /// used to assemble the KV of a trie path (root-ward segment first)
+    /// into the single contiguous block a resuming prefill reads.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KvCacheError::ShapeMismatch`] if `parts` is empty or the
+    /// segments disagree on layer/head layout.
+    pub fn concat(parts: &[&Self]) -> Result<Self, KvCacheError> {
+        let first = parts
+            .first()
+            .ok_or_else(|| KvCacheError::ShapeMismatch("concat of zero prefix segments".into()))?;
+        if parts
+            .iter()
+            .any(|p| p.layers != first.layers || p.kv_heads != first.kv_heads)
+        {
+            return Err(KvCacheError::ShapeMismatch(
+                "prefix segments disagree on layer/head layout".into(),
+            ));
+        }
+        if parts.len() == 1 {
+            return Ok((*first).clone());
+        }
+        let mut blocks = Vec::with_capacity(first.blocks.len());
+        for i in 0..first.blocks.len() {
+            let ks: Vec<&Matrix> = parts.iter().map(|p| &p.blocks[i].k).collect();
+            let vs: Vec<&Matrix> = parts.iter().map(|p| &p.blocks[i].v).collect();
+            let k =
+                Matrix::concat_rows(&ks).map_err(|e| KvCacheError::ShapeMismatch(e.to_string()))?;
+            let v =
+                Matrix::concat_rows(&vs).map_err(|e| KvCacheError::ShapeMismatch(e.to_string()))?;
+            blocks.push(Arc::new(PrefixKvBlock::new(k, v)?));
+        }
+        Ok(Self {
+            tokens: parts.iter().map(|p| p.tokens).sum(),
+            layers: first.layers,
+            kv_heads: first.kv_heads,
+            blocks,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -251,6 +331,56 @@ mod tests {
         assert_eq!(shared.storage_bytes(), 2 * 2 * 8 * 4 * 4);
         let clone = shared.clone();
         assert_eq!(clone.storage_bytes(), shared.storage_bytes());
+    }
+
+    #[test]
+    fn slice_tokens_copies_the_requested_rows_into_fresh_arcs() {
+        let shared = SharedPrefixKv::from_blocks(2, 1, blocks(2, 1, 8)).unwrap();
+        let head = shared.slice_tokens(0, 3).unwrap();
+        let tail = shared.slice_tokens(3, 8).unwrap();
+        assert_eq!(head.tokens(), 3);
+        assert_eq!(tail.tokens(), 5);
+        // Fresh allocations: slicing does not pin the original.
+        assert_eq!(shared.ref_count(), 1);
+        assert_eq!(head.ref_count(), 1);
+        // Row content is preserved exactly.
+        for layer in 0..2 {
+            let full = shared.block(layer, 0);
+            assert_eq!(head.block(layer, 0).k(), &full.k().slice_rows(0, 3));
+            assert_eq!(tail.block(layer, 0).v(), &full.v().slice_rows(3, 8));
+        }
+        // Byte accounting splits proportionally.
+        assert_eq!(
+            head.storage_bytes() + tail.storage_bytes(),
+            shared.storage_bytes()
+        );
+        // Invalid ranges are rejected.
+        assert!(shared.slice_tokens(3, 3).is_err());
+        assert!(shared.slice_tokens(0, 9).is_err());
+    }
+
+    #[test]
+    fn concat_reassembles_slices_bit_identically() {
+        let shared = SharedPrefixKv::from_blocks(2, 2, blocks(2, 2, 7)).unwrap();
+        let a = shared.slice_tokens(0, 2).unwrap();
+        let b = shared.slice_tokens(2, 5).unwrap();
+        let c = shared.slice_tokens(5, 7).unwrap();
+        let whole = SharedPrefixKv::concat(&[&a, &b, &c]).unwrap();
+        assert_eq!(whole.tokens(), 7);
+        for layer in 0..2 {
+            for h in 0..2 {
+                assert_eq!(whole.block(layer, h).k(), shared.block(layer, h).k());
+                assert_eq!(whole.block(layer, h).v(), shared.block(layer, h).v());
+            }
+        }
+        // A single segment concatenates to a cheap clone (refcount bump).
+        let alias = SharedPrefixKv::concat(&[&a]).unwrap();
+        assert_eq!(a.ref_count(), 2);
+        drop(alias);
+        // Layout mismatches and empty input are rejected.
+        let other = SharedPrefixKv::from_blocks(1, 1, blocks(1, 1, 4)).unwrap();
+        assert!(SharedPrefixKv::concat(&[&a, &other]).is_err());
+        assert!(SharedPrefixKv::concat(&[]).is_err());
     }
 
     #[test]

@@ -41,6 +41,14 @@ pub struct TrafficConfig {
     pub prefix_groups: usize,
     /// Number of words in each group's shared preamble.
     pub prefix_words: usize,
+    /// Number of words in each request's *branch segment*, inserted
+    /// between the group preamble and the task context; `0` disables the
+    /// branching mode. Each branch segment is drawn from its request's own
+    /// seed and opens with a request-unique tag, so requests of one group
+    /// share their preamble tokens exactly and then *diverge immediately*
+    /// — the traffic shape a trie-structured prefix cache deduplicates and
+    /// a whole-sequence cache stores redundantly.
+    pub branch_words: usize,
     /// Out of 1000, the probability that a request is cancelled
     /// client-side mid-decode (a disconnecting user); `0` disables the
     /// cancellation mode. A cancelled request carries
@@ -65,6 +73,7 @@ impl TrafficConfig {
             kinds: vec![TaskKind::Qasper, TaskKind::QmSum, TaskKind::TriviaQa],
             prefix_groups: 0,
             prefix_words: 0,
+            branch_words: 0,
             cancel_per_mille: 0,
             stop_strings: Vec::new(),
         }
@@ -87,6 +96,27 @@ impl TrafficConfig {
     pub fn with_shared_prefix(mut self, groups: usize, words: usize) -> Self {
         self.prefix_groups = groups;
         self.prefix_words = words;
+        self
+    }
+
+    /// Returns a copy with *branching* shared-prefix traffic: `groups`
+    /// preambles of `words` words cycled over the requests (as in
+    /// [`TrafficConfig::with_shared_prefix`]), with every request
+    /// additionally inserting its own `branch_words`-word branch segment
+    /// between the preamble and its task context. Requests of one group
+    /// therefore share their leading tokens exactly and then diverge
+    /// immediately — the divergent-branch traffic a trie-structured prefix
+    /// cache stores once per shared run while a whole-sequence cache
+    /// duplicates the preamble per branch.
+    pub fn with_branching_prefix(
+        mut self,
+        groups: usize,
+        words: usize,
+        branch_words: usize,
+    ) -> Self {
+        self.prefix_groups = groups;
+        self.prefix_words = words;
+        self.branch_words = branch_words;
         self
     }
 
@@ -197,6 +227,27 @@ impl TrafficGenerator {
         collected.join(" ")
     }
 
+    /// The branch segment of one request in branching-prefix mode: a
+    /// request-unique tag word followed by filler drawn from the request's
+    /// seed, so the request diverges from its group's preamble at its very
+    /// first post-preamble token and stays stable under trace growth.
+    /// `None` when the branching mode is disabled.
+    pub fn branch_segment(&self, index: usize, seed: u64) -> Option<String> {
+        let words = self.config.branch_words;
+        if words == 0 {
+            return None;
+        }
+        let mut rng = text::text_rng(seed ^ 0xB8A2_C41F);
+        // The unique tag comes first so even a 1-word branch diverges.
+        let mut collected: Vec<String> = vec![format!("fork{index}")];
+        while collected.len() < words {
+            let sentence = text::filler_sentence(&mut rng);
+            collected.extend(sentence.split_whitespace().map(str::to_string));
+        }
+        collected.truncate(words);
+        Some(collected.join(" "))
+    }
+
     /// Generates the trace, sorted by arrival step (ties keep submission
     /// order by index).
     pub fn generate(&self) -> Vec<TrafficRequest> {
@@ -218,7 +269,15 @@ impl TrafficGenerator {
                 let mut task = TaskGenerator::new(kind, self.config.workload).generate(seed);
                 let prefix_group = if self.config.prefix_groups > 0 {
                     let group = index % self.config.prefix_groups;
-                    task.context = format!("{} . {}", self.group_preamble(group), task.context);
+                    let branch = self.branch_segment(index, seed);
+                    task.context = match branch {
+                        Some(branch) => format!(
+                            "{} . {branch} . {}",
+                            self.group_preamble(group),
+                            task.context
+                        ),
+                        None => format!("{} . {}", self.group_preamble(group), task.context),
+                    };
                     Some(group)
                 } else {
                     None
@@ -349,6 +408,73 @@ mod tests {
                 request, twin,
                 "shared-prefix request changed as the trace grew"
             );
+        }
+    }
+
+    #[test]
+    fn branching_prefix_shares_the_preamble_then_diverges_immediately() {
+        let config = TrafficConfig::small(6).with_branching_prefix(2, 24, 8);
+        let generator = TrafficGenerator::new(config, 19);
+        let trace = generator.generate();
+        for request in &trace {
+            let group = request.prefix_group.expect("branching mode is on");
+            let preamble = generator.group_preamble(group);
+            let branch = generator
+                .branch_segment(request.index, request.seed)
+                .expect("branching mode is on");
+            assert_eq!(branch.split_whitespace().count(), 8);
+            assert!(
+                branch.starts_with(&format!("fork{}", request.index)),
+                "branch must open with the request-unique tag"
+            );
+            assert!(
+                request
+                    .task
+                    .context
+                    .starts_with(&format!("{preamble} . {branch} . ")),
+                "request {} does not open with preamble + its own branch",
+                request.index
+            );
+        }
+        // Same group, different requests: identical preamble words, then a
+        // divergent first post-preamble word.
+        let (a, b) = (
+            trace.iter().find(|r| r.index == 0).unwrap(),
+            trace.iter().find(|r| r.index == 2).unwrap(),
+        );
+        assert_eq!(a.prefix_group, b.prefix_group);
+        let preamble = generator.group_preamble(0);
+        let tail = |r: &TrafficRequest| {
+            r.task.context[preamble.len() + 3..]
+                .split_whitespace()
+                .next()
+                .unwrap()
+                .to_string()
+        };
+        assert_ne!(tail(a), tail(b), "branches must diverge at the first word");
+    }
+
+    #[test]
+    fn branching_prefix_requests_stay_stable_under_trace_growth() {
+        let config = |n| TrafficConfig::small(n).with_branching_prefix(2, 16, 6);
+        let short = TrafficGenerator::new(config(4), 29).generate();
+        let long = TrafficGenerator::new(config(9), 29).generate();
+        for request in &short {
+            let twin = long
+                .iter()
+                .find(|r| r.index == request.index)
+                .expect("request present in longer trace");
+            assert_eq!(request, twin, "branching request changed as the trace grew");
+        }
+    }
+
+    #[test]
+    fn disabled_branching_mode_adds_no_segment() {
+        let generator = TrafficGenerator::new(TrafficConfig::small(3).with_shared_prefix(2, 12), 7);
+        let trace = generator.generate();
+        assert!(generator.branch_segment(0, trace[0].seed).is_none());
+        for request in &trace {
+            assert!(!request.task.context.contains("fork"));
         }
     }
 

@@ -1,9 +1,10 @@
 //! Batched multi-request serving with continuous scheduling and shared-
 //! prefix reuse: mixed-arrival traffic in which groups of requests share a
-//! context preamble flows through a [`ServingEngine`] under a KV-memory
-//! budget — requests join the running batch as earlier ones finish,
-//! Cocktail's compression directly buys batch capacity, and the prefix
-//! cache serves each shared preamble's prefill once.
+//! context preamble and then *branch* flows through a [`ServingEngine`]
+//! under a KV-memory budget — requests join the running batch as earlier
+//! ones finish, Cocktail's compression directly buys batch capacity, and
+//! the token-trie prefix cache serves each shared preamble's prefill once,
+//! splitting nodes where the branches diverge.
 //!
 //! ```bash
 //! cargo run --release --example serving
@@ -14,11 +15,13 @@ use cocktail::prelude::*;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Mixed-family traffic: QA, summarization and trivia requests arriving
     // over the first few engine steps, each drawn from its own seed, in two
-    // shared-prefix groups (think: two system prompts in rotation).
+    // shared-prefix groups (think: two system prompts in rotation) with a
+    // per-request branch segment after the preamble — the divergent traffic
+    // shape the token-trie prefix cache deduplicates.
     let traffic = TrafficGenerator::new(
         TrafficConfig::small(6)
             .with_max_new_tokens(10)
-            .with_shared_prefix(2, 48),
+            .with_branching_prefix(2, 48, 6),
         0x5e12_41e5,
     )
     .generate();
@@ -98,14 +101,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     if let Some(stats) = engine.prefix_cache_stats() {
         println!(
-            "\nPrefix cache: {} entries ({:.0} KiB resident), {} hits / {} misses, {} tokens \
-             served from cache, {} evictions",
+            "\nPrefix trie: {} nodes / {} branches ({:.0} KiB resident, charged per node), \
+             {} hits / {} misses, {} tokens served from cache, {} node splits, {} evictions \
+             ({} partial)",
+            stats.nodes,
             stats.entries,
             stats.resident_bytes as f64 / 1024.0,
             stats.hits,
             stats.misses,
             stats.reused_tokens,
-            stats.evictions
+            stats.node_splits,
+            stats.evictions,
+            stats.partial_evictions
         );
     }
     Ok(())

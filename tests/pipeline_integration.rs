@@ -263,6 +263,83 @@ fn prefix_reuse_and_batched_prefill_are_byte_identical_under_shared_traffic() {
 }
 
 #[test]
+fn branching_traffic_dedups_in_the_trie_and_stays_byte_identical() {
+    // Branching traffic — groups share a preamble, every request forks off
+    // its own branch segment right after it — served three ways: solo
+    // sequential pipeline runs, batched trie-off, batched trie-on. All
+    // three must be byte-identical, while the trie stores each shared
+    // preamble once (strictly fewer resident bytes than summing whole
+    // contexts) and records the node splits at the divergence points.
+    let config = CocktailConfig::default().with_chunk_size(32).unwrap();
+    let traffic = TrafficGenerator::new(
+        TrafficConfig::small(6).with_branching_prefix(2, 64, 8),
+        0xB4A_7C11,
+    )
+    .generate();
+
+    let pipeline = CocktailPipeline::new(ModelProfile::llama2_7b_sim(), config.clone()).unwrap();
+    let solo: Vec<CocktailOutcome> = traffic
+        .iter()
+        .map(|r| {
+            pipeline
+                .run(&r.task.context, &r.task.query, r.max_new_tokens)
+                .unwrap()
+        })
+        .collect();
+
+    let serve = |prefix: bool| {
+        let mut engine = ServingEngine::new(ModelProfile::llama2_7b_sim(), config.clone()).unwrap();
+        if prefix {
+            engine = engine.with_prefix_cache(PrefixCacheConfig::default());
+        }
+        for request in &traffic {
+            engine.submit(ServeRequest::new(
+                request.task.context.clone(),
+                request.task.query.clone(),
+                request.max_new_tokens,
+            ));
+        }
+        let outcomes = engine.run_until_idle().unwrap();
+        let stats = engine.prefix_cache_stats();
+        (outcomes, stats)
+    };
+    let (off, _) = serve(false);
+    let (on, stats) = serve(true);
+    for ((solo, off), on) in solo.iter().zip(&off).zip(&on) {
+        assert_eq!(
+            solo.answer, off.outcome.answer,
+            "trie-off diverged from solo"
+        );
+        assert_eq!(solo.answer, on.outcome.answer, "trie-on diverged from solo");
+        assert_eq!(solo.generated_tokens, on.outcome.generated_tokens);
+        assert_eq!(solo.cache_bytes, on.outcome.cache_bytes);
+    }
+
+    let stats = stats.expect("trie enabled");
+    // Nothing was evicted (unlimited budget), so resident bytes are the
+    // full dedup footprint: strictly below the whole-sequence sum.
+    assert_eq!(stats.evictions, 0);
+    let fp32_per_token = 2 * pipeline.engine().config().kv_bytes_per_token_fp16();
+    let whole_sequence_bytes: usize = on
+        .iter()
+        .map(|o| o.stats.context_tokens * fp32_per_token)
+        .sum();
+    assert!(
+        stats.resident_bytes < whole_sequence_bytes,
+        "trie must store shared preambles once: {} >= {whole_sequence_bytes}",
+        stats.resident_bytes
+    );
+    // One split per group where its branches diverge, and each group's
+    // followers reused the preamble.
+    assert!(stats.node_splits >= 2, "got {} splits", stats.node_splits);
+    let reused = on
+        .iter()
+        .filter(|o| o.stats.prefix_reused_tokens > 0)
+        .count();
+    assert!(reused >= traffic.len() - 2, "only {reused} requests reused");
+}
+
+#[test]
 fn streamed_serving_with_cancellation_is_byte_identical_to_sequential_runs() {
     // The tentpole guarantee of the streaming redesign, end to end on the
     // llama2 sim profile: per-token events concatenate to the collected
