@@ -18,5 +18,6 @@ fn main() {
     experiments::ttft_prefix_reuse();
     experiments::streaming_latency();
     experiments::prefix_trie_dedup();
+    experiments::gateway_saturation();
     println!("\nAll experiments complete; JSON records are under results/.");
 }

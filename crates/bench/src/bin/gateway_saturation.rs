@@ -1,0 +1,73 @@
+//! Runs the gateway-saturation experiment and *enforces* its acceptance
+//! criteria: every byte a client receives over SSE must equal the answer
+//! the in-process engine produces for the same request, the gateway's
+//! steady-state token rate must be at least 0.9x the in-process rate (the
+//! HTTP/SSE/channel overhead budget), the disconnect storm must actually
+//! cancel some requests while others complete, survivors must stay
+//! byte-identical to their solo runs, and the settled engine must hold
+//! zero KV bytes and zero pinned prefix entries. Exits non-zero when any
+//! criterion fails, so CI catches gateway regressions.
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let report = cocktail_bench::experiments::gateway_saturation();
+    let mut ok = true;
+    for row in &report.rows {
+        if !row.byte_identical {
+            eprintln!(
+                "FAIL: request {} streamed bytes that differ from its in-process answer",
+                row.request
+            );
+            ok = false;
+        }
+        if row.streamed_tokens == 0 {
+            eprintln!("FAIL: request {} never streamed a token", row.request);
+            ok = false;
+        }
+    }
+    if report.relative_throughput < 0.9 {
+        eprintln!(
+            "FAIL: gateway throughput {:.1} tok/s is below 0.9x the in-process {:.1} tok/s \
+             ({:.2}x)",
+            report.gateway_tokens_per_s, report.in_process_tokens_per_s, report.relative_throughput
+        );
+        ok = false;
+    }
+    if report.storm_cancelled == 0 {
+        eprintln!("FAIL: the disconnect storm cancelled nothing");
+        ok = false;
+    }
+    if report.storm_completed == 0 {
+        eprintln!("FAIL: no request survived the disconnect storm");
+        ok = false;
+    }
+    if !report.storm_survivors_byte_identical {
+        eprintln!("FAIL: a storm survivor diverged from its solo sequential run");
+        ok = false;
+    }
+    if report.leaked_kv_bytes != 0 {
+        eprintln!(
+            "FAIL: {} KV bytes still held by requests after the storm settled ({} charged, {} \
+             of them legitimately cache-resident)",
+            report.leaked_kv_bytes, report.kv_bytes_after_storm, report.prefix_resident_after_storm
+        );
+        ok = false;
+    }
+    if report.pinned_entries_after_storm != 0 {
+        eprintln!(
+            "FAIL: {} prefix-cache pins still held after the storm settled",
+            report.pinned_entries_after_storm
+        );
+        ok = false;
+    }
+    if ok {
+        println!(
+            "OK: byte-identity held for all {} streams, gateway at {:.2}x in-process \
+             throughput, storm left zero leaks",
+            report.requests, report.relative_throughput
+        );
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

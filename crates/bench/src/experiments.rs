@@ -1703,6 +1703,409 @@ pub fn prefix_trie_dedup_with(write: bool) -> PrefixTrieDedupReport {
     report
 }
 
+// ---------------------------------------------------------------------------
+// Gateway saturation — the HTTP gateway versus the in-process engine
+// ---------------------------------------------------------------------------
+
+/// One streamed request of the gateway-saturation experiment.
+#[derive(Debug, Clone, Serialize)]
+pub struct GatewaySaturationRow {
+    /// Submission index of the request.
+    pub request: usize,
+    /// The request's generation budget.
+    pub max_new_tokens: usize,
+    /// Token events the client received over SSE.
+    pub streamed_tokens: usize,
+    /// Whether the streamed bytes equal the in-process answer exactly.
+    pub byte_identical: bool,
+}
+
+/// Full payload of the gateway-saturation record.
+#[derive(Debug, Clone, Serialize)]
+pub struct GatewaySaturationReport {
+    /// Concurrent streaming clients in the saturation phase.
+    pub requests: usize,
+    /// Steady-state tokens/s of the in-process `step_events` loop.
+    pub in_process_tokens_per_s: f64,
+    /// Steady-state tokens/s observed by the gateway's HTTP clients.
+    pub gateway_tokens_per_s: f64,
+    /// `gateway_tokens_per_s / in_process_tokens_per_s`.
+    pub relative_throughput: f64,
+    /// Per-request saturation rows in submission order.
+    pub rows: Vec<GatewaySaturationRow>,
+    /// Requests in the disconnect-storm phase.
+    pub storm_requests: usize,
+    /// Requests the storm actually cancelled mid-stream.
+    pub storm_cancelled: usize,
+    /// Requests that completed despite the storm.
+    pub storm_completed: usize,
+    /// Whether every storm survivor stayed byte-identical to its solo
+    /// sequential run.
+    pub storm_survivors_byte_identical: bool,
+    /// KV bytes still charged against the budget once the storm settled
+    /// (includes resident prefix-cache blocks, which legitimately stay).
+    pub kv_bytes_after_storm: usize,
+    /// Bytes of those held by resident prefix-cache blocks.
+    pub prefix_resident_after_storm: usize,
+    /// `kv_bytes_after_storm - prefix_resident_after_storm`: bytes still
+    /// held by requests themselves. Must be zero — this is the leak.
+    pub leaked_kv_bytes: usize,
+    /// Prefix-cache entries still pinned once the storm settled.
+    pub pinned_entries_after_storm: usize,
+}
+
+/// Gateway saturation with the default settings: best-of-2 timing, record
+/// written to `results/gateway_saturation.json`.
+///
+/// # Panics
+///
+/// Panics if the gateway fails to serve or a client hits an I/O error;
+/// byte-identity and leak violations are *recorded*, not panicked, so the
+/// enforcing binary can report exactly which request diverged.
+pub fn gateway_saturation() -> GatewaySaturationReport {
+    gateway_saturation_with(2, true)
+}
+
+/// The serving gateway under closed-loop load, measured against the same
+/// engine driven in-process.
+///
+/// Phase 1 (saturation): branching-prefix traffic is served twice — once
+/// by an in-process [`ServingEngine::step_events`] loop, once through the
+/// HTTP gateway with one concurrent SSE-streaming client per request over
+/// real localhost sockets. Streams are *opened* sequentially (submission
+/// order fixes the tokenizer's vocabulary-intern order, making the two
+/// runs comparable byte for byte) and then consumed concurrently. Both
+/// sides measure steady-state throughput the same way: tokens divided by
+/// the window from the first to the last token observation, best of
+/// `repetitions` runs, so connection ramp-up does not skew the
+/// comparison. The HTTP/SSE/channel overhead is the experiment's subject:
+/// the enforcing binary requires the gateway to keep at least 0.9x the
+/// in-process rate and every streamed answer to be byte-identical.
+///
+/// Phase 2 (disconnect storm): shared-prefix traffic with a seeded
+/// cancellation mix, served through a fresh gateway with the prefix cache
+/// enabled; cancelling clients drop their sockets mid-stream. Once the
+/// storm settles the engine must report zero KV bytes in use and zero
+/// pinned prefix entries, and every survivor must match its solo
+/// sequential run.
+///
+/// # Panics
+///
+/// See [`gateway_saturation`].
+pub fn gateway_saturation_with(repetitions: usize, write: bool) -> GatewaySaturationReport {
+    use cocktail_server::{EngineSettings, GatewayClient, GatewayConfig, GatewayServer};
+
+    let repetitions = repetitions.max(1);
+    let requests = 12usize;
+    let max_new_tokens = 24usize;
+    let config = CocktailConfig::default()
+        .with_chunk_size(16)
+        .expect("chunk size is valid");
+    let profile = ModelProfile::llama2_7b_sim;
+    let traffic = TrafficGenerator::new(
+        TrafficConfig {
+            requests,
+            arrival_window_steps: 0,
+            max_new_tokens,
+            workload: WorkloadConfig::tiny().with_context_words(96),
+            kinds: vec![TaskKind::Qasper, TaskKind::QmSum, TaskKind::TriviaQa],
+            prefix_groups: 0,
+            prefix_words: 0,
+            branch_words: 0,
+            cancel_per_mille: 0,
+            stop_strings: Vec::new(),
+        }
+        .with_branching_prefix(2, 24, 8),
+        0x6A7E_3A7E,
+    )
+    .generate();
+
+    // Phase 1a — the in-process reference: submit everything, stream
+    // through step_events, timestamp every token batch.
+    let build_engine = || {
+        ServingEngine::new(profile(), config.clone())
+            .expect("serving config is valid")
+            .with_prefix_cache(PrefixCacheConfig::default())
+    };
+    let mut reference: Vec<String> = Vec::new();
+    let mut in_process_rate = 0.0f64;
+    for rep in 0..repetitions {
+        let mut engine = build_engine();
+        let ids: Vec<RequestId> = traffic
+            .iter()
+            .map(|r| {
+                engine.submit(ServeRequest::new(
+                    r.task.context.clone(),
+                    r.task.query.clone(),
+                    r.max_new_tokens,
+                ))
+            })
+            .collect();
+        let mut first: Option<Instant> = None;
+        let mut last: Option<Instant> = None;
+        let mut tokens = 0usize;
+        while !engine.is_idle() {
+            let events = engine.step_events().expect("in-process serving succeeds");
+            let now = Instant::now();
+            for event in &events {
+                if event.token.is_some() {
+                    first.get_or_insert(now);
+                    last = Some(now);
+                    tokens += 1;
+                }
+            }
+        }
+        let window = last
+            .zip(first)
+            .map_or(0.0, |(l, f)| l.duration_since(f).as_secs_f64())
+            .max(1e-9);
+        in_process_rate = in_process_rate.max(tokens as f64 / window);
+        if rep == 0 {
+            reference = ids
+                .iter()
+                .map(|id| {
+                    engine
+                        .take_outcome(*id)
+                        .expect("reference request completed")
+                        .outcome
+                        .answer
+                })
+                .collect();
+        }
+    }
+
+    // Phase 1b — the same traffic through the gateway: one streaming HTTP
+    // client per request, opened in submission order, consumed in
+    // parallel.
+    let mut gateway_rate = 0.0f64;
+    let mut rows: Vec<GatewaySaturationRow> = Vec::new();
+    for _ in 0..repetitions {
+        let settings = EngineSettings::new(profile(), config.clone())
+            .with_prefix_cache(PrefixCacheConfig::default());
+        let server =
+            GatewayServer::start(settings, GatewayConfig::default()).expect("bind localhost");
+        let client = GatewayClient::new(server.addr());
+        let handles: Vec<_> = traffic
+            .iter()
+            .map(|r| {
+                client
+                    .open_stream(&cocktail_server::GenerateRequest::new(
+                        r.task.context.clone(),
+                        r.task.query.clone(),
+                        r.max_new_tokens,
+                    ))
+                    .expect("stream opens")
+            })
+            .collect();
+        let clients: Vec<_> = handles
+            .into_iter()
+            .map(|mut handle| {
+                std::thread::spawn(move || {
+                    let mut first: Option<Instant> = None;
+                    let mut last: Option<Instant> = None;
+                    let mut tokens = 0usize;
+                    while let Some(event) = handle.next_event().expect("stream event") {
+                        if !event.done {
+                            let now = Instant::now();
+                            first.get_or_insert(now);
+                            last = Some(now);
+                            tokens += 1;
+                        }
+                    }
+                    let outcome = handle.finish().expect("stream finishes");
+                    (outcome, tokens, first, last)
+                })
+            })
+            .collect();
+        let mut first: Option<Instant> = None;
+        let mut last: Option<Instant> = None;
+        let mut tokens = 0usize;
+        let mut rep_rows = Vec::with_capacity(traffic.len());
+        for (i, worker) in clients.into_iter().enumerate() {
+            let (outcome, streamed_tokens, client_first, client_last) =
+                worker.join().expect("client thread");
+            first = match (first, client_first) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                (a, b) => a.or(b),
+            };
+            last = match (last, client_last) {
+                (Some(a), Some(b)) => Some(a.max(b)),
+                (a, b) => a.or(b),
+            };
+            tokens += streamed_tokens;
+            rep_rows.push(GatewaySaturationRow {
+                request: i,
+                max_new_tokens: traffic[i].max_new_tokens,
+                streamed_tokens,
+                byte_identical: outcome.streamed == reference[i]
+                    && outcome.answer.as_deref() == Some(reference[i].as_str()),
+            });
+        }
+        server.shutdown();
+        let window = last
+            .zip(first)
+            .map_or(0.0, |(l, f)| l.duration_since(f).as_secs_f64())
+            .max(1e-9);
+        gateway_rate = gateway_rate.max(tokens as f64 / window);
+        if rows.is_empty() || rep_rows.iter().any(|r| !r.byte_identical) {
+            rows = rep_rows;
+        }
+    }
+
+    // Phase 2 — the disconnect storm: shared-prefix traffic, prefix cache
+    // on, a seeded fraction of clients dropping their sockets mid-stream.
+    let storm_requests = 8usize;
+    let storm = TrafficGenerator::new(
+        TrafficConfig::small(storm_requests)
+            .with_max_new_tokens(12)
+            .with_shared_prefix(2, 24)
+            .with_cancellations(450),
+        0x57_0231,
+    )
+    .generate();
+    assert!(
+        storm.iter().any(|r| r.cancel_after_tokens.is_some())
+            && storm.iter().any(|r| r.cancel_after_tokens.is_none()),
+        "the storm trace must mix disconnecting and surviving clients"
+    );
+    let storm_pipeline =
+        CocktailPipeline::new(profile(), config.clone()).expect("pipeline config is valid");
+    let storm_solo: Vec<String> = storm
+        .iter()
+        .map(|r| {
+            storm_pipeline
+                .run(&r.task.context, &r.task.query, r.max_new_tokens)
+                .expect("solo sequential reference run succeeds")
+                .answer
+        })
+        .collect();
+
+    let settings = EngineSettings::new(profile(), config.clone())
+        .with_prefix_cache(PrefixCacheConfig::default());
+    let server = GatewayServer::start(settings, GatewayConfig::default()).expect("bind localhost");
+    let client = GatewayClient::new(server.addr());
+    let handles: Vec<_> = storm
+        .iter()
+        .map(|r| {
+            client
+                .open_stream(&cocktail_server::GenerateRequest::new(
+                    r.task.context.clone(),
+                    r.task.query.clone(),
+                    r.max_new_tokens,
+                ))
+                .expect("storm stream opens")
+        })
+        .collect();
+    let workers: Vec<_> = storm
+        .iter()
+        .cloned()
+        .zip(handles)
+        .zip(storm_solo.iter().cloned())
+        .map(|((request, mut handle), solo)| {
+            std::thread::spawn(move || match request.cancel_after_tokens {
+                Some(after) => {
+                    handle.read_tokens(after).expect("partial read");
+                    handle.abort();
+                    None
+                }
+                None => {
+                    let outcome = handle.finish().expect("survivor finishes");
+                    Some(outcome.streamed == solo)
+                }
+            })
+        })
+        .collect();
+    let survivor_results: Vec<Option<bool>> = workers
+        .into_iter()
+        .map(|w| w.join().expect("storm client thread"))
+        .collect();
+    let storm_survivors_byte_identical = survivor_results
+        .iter()
+        .all(|r| r.map_or(true, |identical| identical));
+
+    // Wait for the disconnects to be reaped, then read the leak counters.
+    let deadline = Instant::now() + std::time::Duration::from_secs(60);
+    let settled = loop {
+        let stats = client.stats().expect("stats endpoint");
+        if stats.queued == 0
+            && stats.running == 0
+            && stats.completed + stats.cancelled >= storm_requests
+        {
+            break stats;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "storm failed to settle; last stats: {stats:?}"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    };
+    server.shutdown();
+
+    let relative_throughput = gateway_rate / in_process_rate.max(1e-9);
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.request.to_string(),
+                format!("{}/{}", r.streamed_tokens, r.max_new_tokens),
+                if r.byte_identical { "yes" } else { "DIVERGED" }.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        "Gateway saturation: SSE streaming over TCP vs the in-process engine (Llama2-7B sim)",
+        &["Req", "Streamed", "Byte-identical"],
+        &table,
+    );
+    let leaked_kv_bytes = settled
+        .kv_bytes_in_use
+        .saturating_sub(settled.prefix_resident_bytes);
+    println!(
+        "in-process {in_process_rate:.1} tok/s vs gateway {gateway_rate:.1} tok/s \
+         ({relative_throughput:.2}x); storm: {} cancelled / {} completed, {} request-held KV \
+         bytes and {} pins left ({} cache-resident bytes stay)",
+        settled.cancelled,
+        settled.completed,
+        leaked_kv_bytes,
+        settled.pinned_prefix_entries,
+        settled.prefix_resident_bytes
+    );
+
+    let report = GatewaySaturationReport {
+        requests,
+        in_process_tokens_per_s: in_process_rate,
+        gateway_tokens_per_s: gateway_rate,
+        relative_throughput,
+        rows,
+        storm_requests,
+        storm_cancelled: settled.cancelled,
+        storm_completed: settled.completed,
+        storm_survivors_byte_identical,
+        kv_bytes_after_storm: settled.kv_bytes_in_use,
+        prefix_resident_after_storm: settled.prefix_resident_bytes,
+        leaked_kv_bytes,
+        pinned_entries_after_storm: settled.pinned_prefix_entries,
+    };
+    if write {
+        let record = ExperimentRecord {
+            id: "gateway_saturation".to_string(),
+            title: "Gateway saturation: HTTP/SSE serving overhead and disconnect-storm hygiene"
+                .to_string(),
+            note: format!(
+                "{requests} concurrent SSE clients (branching-prefix traffic, {max_new_tokens} \
+                 tokens each) against the Llama2-7B sim profile over real localhost sockets, \
+                 best of {repetitions} runs per mode; then an {storm_requests}-client \
+                 disconnect storm (450/1000 drop rate, shared prefixes, prefix cache on) \
+                 checked for leaked KV bytes and pins"
+            ),
+            rows: &report,
+        };
+        let path = write_record(&record);
+        println!("(written to {})", path.display());
+    }
+    report
+}
+
 /// Best-of-N TTFT components of one request.
 #[derive(Debug, Clone, Copy)]
 struct PipelineTimingsBest {

@@ -181,6 +181,11 @@ pub enum FinishReason {
     Stop,
     /// The client cancelled the request mid-flight.
     Cancelled,
+    /// The request failed terminally before or during admission (invalid
+    /// input, or a prompt that can never fit the memory budget); the
+    /// message is available via [`ServingEngine::failure`] /
+    /// [`ServingEngine::take_failure`].
+    Failed,
 }
 
 /// One streamed token of one request, emitted by
@@ -192,10 +197,13 @@ pub enum FinishReason {
 /// collected [`RequestOutcome`] answer byte-for-byte (asserted by unit,
 /// integration and property tests). A terminal event carries
 /// `finish: Some(..)`; a request finishing without committing a token
-/// (a zero-budget request, or a [`ServingEngine::cancel`] — whose
-/// terminal event is delivered at the front of the next
-/// [`ServingEngine::step_events`] batch) emits one event with
-/// `token: None` and an empty piece.
+/// (a zero-budget request, a terminal failure, or a
+/// [`ServingEngine::cancel`] — whose terminal event is delivered at the
+/// front of the next [`ServingEngine::step_events`] batch) emits one event
+/// with `token: None` and an empty piece. Every submitted request's event
+/// stream therefore closes with exactly one `finish`, which is what lets a
+/// streaming server multiplex `step_events` to per-client connections
+/// without polling request states.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TokenEvent {
     /// The request the token belongs to.
@@ -1053,6 +1061,34 @@ impl ServingEngine {
         self.scheduler.is_idle()
     }
 
+    /// Zero-based position of a queued request in the admission queue
+    /// (`Some(0)` is the head, next to be admitted); `None` once the
+    /// request is running, finished, or unknown. A gateway surfacing
+    /// backpressure reports this to waiting clients instead of leaving
+    /// them blind.
+    pub fn queue_position(&self, id: RequestId) -> Option<usize> {
+        self.scheduler.queued_ids().iter().position(|q| *q == id)
+    }
+
+    /// Marks a request terminally failed and closes its event stream: the
+    /// token-less [`FinishReason::Failed`] terminal event is delivered at
+    /// the front of the next [`ServingEngine::step_events`] batch, so
+    /// stream consumers see failures exactly like every other finish.
+    fn fail_request(&mut self, id: RequestId, now: usize, message: String) {
+        let slot = self.slots.get_mut(&id).expect("failing request has a slot");
+        slot.stats.finished_step = Some(now);
+        let index = slot.stats.generated_tokens;
+        slot.phase = Phase::Failed(message);
+        self.pending_events.push(TokenEvent {
+            id,
+            step: now,
+            index,
+            token: None,
+            piece: String::new(),
+            finish: Some(FinishReason::Failed),
+        });
+    }
+
     /// Compressed KV bytes held by prepared-but-not-yet-admitted requests.
     /// These bytes are *not* part of [`ServingEngine::kv_bytes_in_use`]:
     /// the budget governs admitted requests (and resident prefix-cache
@@ -1182,11 +1218,7 @@ impl ServingEngine {
                     encoded,
                     prefix: None,
                 }),
-                Err(err) => {
-                    let slot = self.slots.get_mut(&id).expect("slot still present");
-                    slot.stats.finished_step = Some(now);
-                    slot.phase = Phase::Failed(err.to_string());
-                }
+                Err(err) => self.fail_request(id, now, err.to_string()),
             }
         }
 
@@ -1302,6 +1334,7 @@ impl ServingEngine {
                 want_blocks,
             );
             let mut publish: Option<(Vec<u32>, SharedPrefixKv)> = None;
+            let mut failure: Option<String> = None;
             {
                 let slot = self
                     .slots
@@ -1320,11 +1353,11 @@ impl ServingEngine {
                             publish = Some((cand.encoded.context_tokens, blocks));
                         }
                     }
-                    Err(err) => {
-                        slot.stats.finished_step = Some(now);
-                        slot.phase = Phase::Failed(err.to_string());
-                    }
+                    Err(err) => failure = Some(err.to_string()),
                 }
+            }
+            if let Some(message) = failure {
+                self.fail_request(cand.id, now, message);
             }
             if let Some((tokens, blocks)) = publish {
                 self.insert_prefix_entry(tokens, blocks);
@@ -1462,11 +1495,11 @@ impl ServingEngine {
                                 .config()
                                 .kv_budget_bytes
                                 .expect("rejection implies a finite budget");
-                            let slot = self.slots.get_mut(&head).expect("slot still present");
-                            slot.stats.finished_step = Some(now);
-                            slot.phase = Phase::Failed(format!(
-                                "request needs {cost} KV bytes but the budget is {budget}"
-                            ));
+                            self.fail_request(
+                                head,
+                                now,
+                                format!("request needs {cost} KV bytes but the budget is {budget}"),
+                            );
                         }
                         AdmitDecision::DeferredBudget => {
                             if !self.evict_shared_for_budget() {
@@ -1724,6 +1757,33 @@ mod tests {
         assert!(outcomes.is_empty());
         assert_eq!(engine.state(big), Some(RequestState::Failed));
         assert!(engine.failure(big).unwrap().contains("budget"));
+    }
+
+    #[test]
+    fn failed_requests_emit_a_terminal_event() {
+        let mut engine = ServingEngine::new(ModelProfile::tiny(), config())
+            .unwrap()
+            .with_scheduler_config(SchedulerConfig::default().with_budget(16));
+        let (ctx, q) = &contexts()[0];
+        let big = engine.submit(ServeRequest::new(ctx.clone(), q.clone(), 4));
+        let bad = engine.submit(ServeRequest::new("", "question", 4));
+        let mut terminals = Vec::new();
+        while !engine.is_idle() {
+            for event in engine.step_events().unwrap() {
+                assert_eq!(event.finish, Some(FinishReason::Failed));
+                assert!(event.token.is_none());
+                assert!(event.piece.is_empty());
+                terminals.push(event.id);
+            }
+        }
+        // Every failed request closes its stream with exactly one token-less
+        // Failed event, so a gateway multiplexing step_events never dangles.
+        terminals.sort();
+        let mut expected = vec![big, bad];
+        expected.sort();
+        assert_eq!(terminals, expected);
+        assert!(engine.failure(big).unwrap().contains("budget"));
+        assert!(engine.failure(bad).unwrap().contains("non-empty"));
     }
 
     #[test]

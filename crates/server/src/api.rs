@@ -1,0 +1,412 @@
+//! The gateway's JSON wire types.
+//!
+//! Responses derive the shim `serde::Serialize` and go out via
+//! `serde_json::to_string`; requests come back in through hand-written
+//! `from_json` constructors over the shim's [`Value`] tree (the shim's
+//! `#[derive(Deserialize)]` is a no-op, so parsing is explicit — which
+//! also makes the validation-to-400 mapping obvious).
+
+use serde::Serialize;
+use serde_json::Value;
+
+/// A `/api/generate` request body.
+#[derive(Debug, Clone, Serialize)]
+pub struct GenerateRequest {
+    /// The document/context to condition on.
+    pub context: String,
+    /// The query appended after the context.
+    pub query: String,
+    /// Decode-token budget for the answer.
+    pub max_new_tokens: usize,
+    /// `true` to stream tokens over SSE instead of one JSON response.
+    pub stream: bool,
+    /// Optional stop sequence: generation ends early once the streamed
+    /// answer contains it.
+    pub stop: Option<String>,
+}
+
+/// Hard cap on `max_new_tokens`; larger asks are rejected with a 400
+/// before touching the engine.
+pub const MAX_NEW_TOKENS_LIMIT: usize = 4096;
+
+impl GenerateRequest {
+    /// A non-streaming request with no stop sequence.
+    pub fn new(
+        context: impl Into<String>,
+        query: impl Into<String>,
+        max_new_tokens: usize,
+    ) -> Self {
+        Self {
+            context: context.into(),
+            query: query.into(),
+            max_new_tokens,
+            stream: false,
+            stop: None,
+        }
+    }
+
+    /// Switches the request to SSE streaming.
+    pub fn streaming(mut self) -> Self {
+        self.stream = true;
+        self
+    }
+
+    /// Attaches a stop sequence.
+    pub fn with_stop(mut self, stop: impl Into<String>) -> Self {
+        self.stop = Some(stop.into());
+        self
+    }
+
+    /// Serializes the request body.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("request serializes")
+    }
+
+    /// Parses and validates a request body.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message (the gateway answers 400 with it)
+    /// when the body is not a JSON object, a required field is missing or
+    /// mistyped, or `max_new_tokens` is zero or above
+    /// [`MAX_NEW_TOKENS_LIMIT`].
+    pub fn from_json(body: &str) -> Result<Self, String> {
+        let value = serde_json::from_str(body).map_err(|e| format!("invalid JSON body: {e}"))?;
+        let fields = as_object(&value, "request body")?;
+        let context = require_str(fields, "context")?;
+        let query = require_str(fields, "query")?;
+        let max_new_tokens = require_usize(fields, "max_new_tokens")?;
+        if max_new_tokens == 0 {
+            return Err("max_new_tokens must be at least 1".to_string());
+        }
+        if max_new_tokens > MAX_NEW_TOKENS_LIMIT {
+            return Err(format!(
+                "max_new_tokens {max_new_tokens} exceeds the limit of {MAX_NEW_TOKENS_LIMIT}"
+            ));
+        }
+        let stream = match field(fields, "stream") {
+            None | Some(Value::Null) => false,
+            Some(Value::Bool(b)) => *b,
+            Some(_) => return Err("field \"stream\" must be a boolean".to_string()),
+        };
+        let stop = match field(fields, "stop") {
+            None | Some(Value::Null) => None,
+            Some(Value::String(s)) if s.is_empty() => None,
+            Some(Value::String(s)) => Some(s.clone()),
+            Some(_) => return Err("field \"stop\" must be a string".to_string()),
+        };
+        Ok(Self {
+            context,
+            query,
+            max_new_tokens,
+            stream,
+            stop,
+        })
+    }
+}
+
+/// The non-streaming `/api/generate` response body.
+#[derive(Debug, Clone, Serialize)]
+pub struct GenerateResponse {
+    /// The engine-assigned request id, e.g. `"req-3"`.
+    pub id: String,
+    /// The complete generated answer.
+    pub answer: String,
+    /// Number of committed tokens.
+    pub generated_tokens: usize,
+    /// Why generation ended: `"length"` or `"stop"`.
+    pub finish: String,
+}
+
+impl GenerateResponse {
+    /// Parses a response body (client side).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the body is not the documented shape.
+    pub fn from_json(body: &str) -> Result<Self, String> {
+        let value = serde_json::from_str(body).map_err(|e| format!("invalid JSON: {e}"))?;
+        let fields = as_object(&value, "generate response")?;
+        Ok(Self {
+            id: require_str(fields, "id")?,
+            answer: require_str(fields, "answer")?,
+            generated_tokens: require_usize(fields, "generated_tokens")?,
+            finish: require_str(fields, "finish")?,
+        })
+    }
+}
+
+/// One Server-Sent-Events message on a streaming `/api/generate`
+/// response.
+///
+/// Token events carry `piece` with `done: false`; the stream closes with
+/// exactly one `done: true` event whose `finish` tells why (`"length"`,
+/// `"stop"`, `"cancelled"`, or `"failed"`, with `error` set for the
+/// latter). On `"length"`/`"stop"` the final event also repeats the full
+/// `answer`, which clients can check against their concatenated pieces.
+#[derive(Debug, Clone, Serialize)]
+pub struct StreamEvent {
+    /// The engine-assigned request id.
+    pub id: String,
+    /// Zero-based token index (on token events).
+    pub index: usize,
+    /// The decoded text piece this token contributed.
+    pub piece: String,
+    /// `true` on the final event of the stream.
+    pub done: bool,
+    /// Finish reason, set only when `done`.
+    pub finish: Option<String>,
+    /// The complete answer, set on successful final events.
+    pub answer: Option<String>,
+    /// Failure message, set when `finish` is `"failed"`.
+    pub error: Option<String>,
+}
+
+impl StreamEvent {
+    /// A token event.
+    pub fn token(id: String, index: usize, piece: String) -> Self {
+        Self {
+            id,
+            index,
+            piece,
+            done: false,
+            finish: None,
+            answer: None,
+            error: None,
+        }
+    }
+
+    /// A final event.
+    pub fn done(id: String, index: usize, finish: &str, answer: Option<String>) -> Self {
+        Self {
+            id,
+            index,
+            piece: String::new(),
+            done: true,
+            finish: Some(finish.to_string()),
+            answer,
+            error: None,
+        }
+    }
+
+    /// Serializes the event payload (one SSE `data:` payload).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("event serializes")
+    }
+
+    /// Parses an event payload (client side).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the payload is not the documented shape.
+    pub fn from_json(body: &str) -> Result<Self, String> {
+        let value = serde_json::from_str(body).map_err(|e| format!("invalid JSON: {e}"))?;
+        let fields = as_object(&value, "stream event")?;
+        Ok(Self {
+            id: require_str(fields, "id")?,
+            index: require_usize(fields, "index")?,
+            piece: require_str(fields, "piece")?,
+            done: match field(fields, "done") {
+                Some(Value::Bool(b)) => *b,
+                _ => return Err("field \"done\" must be a boolean".to_string()),
+            },
+            finish: optional_str(fields, "finish"),
+            answer: optional_str(fields, "answer"),
+            error: optional_str(fields, "error"),
+        })
+    }
+}
+
+/// The `/api/stats` response body: a live snapshot of the engine, used by
+/// tests to assert zero leaked bytes/pins after disconnect storms.
+#[derive(Debug, Clone, Serialize)]
+pub struct StatsResponse {
+    /// Compressed KV bytes held by admitted requests and resident cache.
+    pub kv_bytes_in_use: usize,
+    /// Requests waiting in the admission queue.
+    pub queued: usize,
+    /// Requests currently decoding.
+    pub running: usize,
+    /// Pinned prefix-cache entries (0 when no cache is configured).
+    pub pinned_prefix_entries: usize,
+    /// Bytes held by resident prefix-cache blocks (0 when no cache is
+    /// configured). Subtracting these from `kv_bytes_in_use` gives the
+    /// bytes held by requests themselves — the number that must return
+    /// to zero once traffic drains.
+    pub prefix_resident_bytes: usize,
+    /// Requests completed since the server started.
+    pub completed: usize,
+    /// Requests cancelled (client disconnects) since the server started.
+    pub cancelled: usize,
+    /// Requests failed since the server started.
+    pub failed: usize,
+}
+
+impl StatsResponse {
+    /// Parses a stats body (client side).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the body is not the documented shape.
+    pub fn from_json(body: &str) -> Result<Self, String> {
+        let value = serde_json::from_str(body).map_err(|e| format!("invalid JSON: {e}"))?;
+        let fields = as_object(&value, "stats response")?;
+        Ok(Self {
+            kv_bytes_in_use: require_usize(fields, "kv_bytes_in_use")?,
+            queued: require_usize(fields, "queued")?,
+            running: require_usize(fields, "running")?,
+            pinned_prefix_entries: require_usize(fields, "pinned_prefix_entries")?,
+            prefix_resident_bytes: require_usize(fields, "prefix_resident_bytes")?,
+            completed: require_usize(fields, "completed")?,
+            cancelled: require_usize(fields, "cancelled")?,
+            failed: require_usize(fields, "failed")?,
+        })
+    }
+}
+
+/// An error response body, used for every non-2xx answer.
+#[derive(Debug, Clone, Serialize)]
+pub struct ErrorResponse {
+    /// Human-readable description of what went wrong.
+    pub error: String,
+    /// On 429: how many requests are already waiting (the position a
+    /// retry would join behind).
+    pub queued: Option<usize>,
+    /// On 429: the admission-queue capacity.
+    pub queue_limit: Option<usize>,
+}
+
+impl ErrorResponse {
+    /// A plain error with no queue information.
+    pub fn new(error: impl Into<String>) -> Self {
+        Self {
+            error: error.into(),
+            queued: None,
+            queue_limit: None,
+        }
+    }
+
+    /// A 429 backpressure error carrying queue depth and capacity.
+    pub fn backpressure(queued: usize, queue_limit: usize) -> Self {
+        Self {
+            error: format!(
+                "admission queue is full ({queued}/{queue_limit} waiting); retry shortly"
+            ),
+            queued: Some(queued),
+            queue_limit: Some(queue_limit),
+        }
+    }
+
+    /// Serializes the error body.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("error serializes")
+    }
+
+    /// Parses an error body (client side). Unlike the other parsers this
+    /// never fails: anything unrecognisable becomes the error text.
+    pub fn from_json(body: &str) -> Self {
+        let Ok(value) = serde_json::from_str(body) else {
+            return Self::new(body.to_string());
+        };
+        let Ok(fields) = as_object(&value, "error response") else {
+            return Self::new(body.to_string());
+        };
+        Self {
+            error: require_str(fields, "error").unwrap_or_else(|_| body.to_string()),
+            queued: require_usize(fields, "queued").ok(),
+            queue_limit: require_usize(fields, "queue_limit").ok(),
+        }
+    }
+}
+
+fn as_object<'a>(value: &'a Value, what: &str) -> Result<&'a [(String, Value)], String> {
+    match value {
+        Value::Object(fields) => Ok(fields),
+        _ => Err(format!("{what} must be a JSON object")),
+    }
+}
+
+fn field<'a>(fields: &'a [(String, Value)], name: &str) -> Option<&'a Value> {
+    fields.iter().find(|(n, _)| n == name).map(|(_, v)| v)
+}
+
+fn require_str(fields: &[(String, Value)], name: &str) -> Result<String, String> {
+    match field(fields, name) {
+        Some(Value::String(s)) => Ok(s.clone()),
+        Some(_) => Err(format!("field {name:?} must be a string")),
+        None => Err(format!("missing required field {name:?}")),
+    }
+}
+
+fn optional_str(fields: &[(String, Value)], name: &str) -> Option<String> {
+    match field(fields, name) {
+        Some(Value::String(s)) => Some(s.clone()),
+        _ => None,
+    }
+}
+
+fn require_usize(fields: &[(String, Value)], name: &str) -> Result<usize, String> {
+    match field(fields, name) {
+        Some(Value::Int(i)) if *i >= 0 => {
+            usize::try_from(*i).map_err(|_| format!("field {name:?} is out of range"))
+        }
+        Some(_) => Err(format!("field {name:?} must be a non-negative integer")),
+        None => Err(format!("missing required field {name:?}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generate_request_round_trips() {
+        let req = GenerateRequest::new("ctx", "q", 8)
+            .streaming()
+            .with_stop("the");
+        let parsed = GenerateRequest::from_json(&req.to_json()).unwrap();
+        assert_eq!(parsed.context, "ctx");
+        assert_eq!(parsed.query, "q");
+        assert_eq!(parsed.max_new_tokens, 8);
+        assert!(parsed.stream);
+        assert_eq!(parsed.stop.as_deref(), Some("the"));
+    }
+
+    #[test]
+    fn generate_request_validation_catches_bad_bodies() {
+        for bad in [
+            "not json",
+            "[1,2]",
+            "{\"query\":\"q\",\"max_new_tokens\":4}",
+            "{\"context\":\"c\",\"query\":\"q\"}",
+            "{\"context\":\"c\",\"query\":\"q\",\"max_new_tokens\":0}",
+            "{\"context\":\"c\",\"query\":\"q\",\"max_new_tokens\":99999}",
+            "{\"context\":\"c\",\"query\":\"q\",\"max_new_tokens\":-2}",
+            "{\"context\":\"c\",\"query\":\"q\",\"max_new_tokens\":4,\"stream\":\"yes\"}",
+            "{\"context\":\"c\",\"query\":\"q\",\"max_new_tokens\":4,\"stop\":7}",
+        ] {
+            assert!(GenerateRequest::from_json(bad).is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn stream_events_round_trip() {
+        let token = StreamEvent::token("req-1".into(), 3, " beam".into());
+        let parsed = StreamEvent::from_json(&token.to_json()).unwrap();
+        assert_eq!(parsed.piece, " beam");
+        assert!(!parsed.done);
+        let done = StreamEvent::done("req-1".into(), 4, "stop", Some("answer".into()));
+        let parsed = StreamEvent::from_json(&done.to_json()).unwrap();
+        assert!(parsed.done);
+        assert_eq!(parsed.finish.as_deref(), Some("stop"));
+        assert_eq!(parsed.answer.as_deref(), Some("answer"));
+    }
+
+    #[test]
+    fn backpressure_error_carries_queue_depth() {
+        let err = ErrorResponse::backpressure(3, 4);
+        let parsed = ErrorResponse::from_json(&err.to_json());
+        assert_eq!(parsed.queued, Some(3));
+        assert_eq!(parsed.queue_limit, Some(4));
+    }
+}

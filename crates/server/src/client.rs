@@ -1,0 +1,472 @@
+//! A small blocking HTTP client for the gateway, used by the integration
+//! tests, the load generator, and the `gateway_saturation` experiment.
+//!
+//! It speaks exactly the gateway's dialect — fixed-length JSON responses
+//! and chunked SSE streams — over plain [`TcpStream`]s, and exposes the
+//! one anti-feature a well-behaved client library never would:
+//! [`StreamHandle::abort`], dropping the socket mid-stream to exercise
+//! the server's disconnect-cancel path.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+use crate::api::{ErrorResponse, GenerateRequest, GenerateResponse, StatsResponse, StreamEvent};
+use crate::http::{parse_response_head, ChunkedDecoder, ResponseHead, SseParser};
+
+/// Why a client call failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket-level failure.
+    Io(std::io::Error),
+    /// The server answered, but not in the documented shape.
+    Protocol(String),
+    /// A non-2xx answer, with its parsed error body.
+    Status {
+        /// The HTTP status code.
+        status: u16,
+        /// The parsed error body.
+        error: ErrorResponse,
+    },
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "i/o error: {e}"),
+            ClientError::Protocol(m) => write!(f, "protocol error: {m}"),
+            ClientError::Status { status, error } => {
+                write!(f, "server answered {status}: {}", error.error)
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// A raw response, for tests that poke the server with hand-built bytes.
+#[derive(Debug)]
+pub struct RawResponse {
+    /// The status code.
+    pub status: u16,
+    /// Response headers.
+    pub headers: Vec<(String, String)>,
+    /// The (fixed-length) body.
+    pub body: Vec<u8>,
+}
+
+impl RawResponse {
+    /// The body as UTF-8 (lossy).
+    pub fn body_str(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+}
+
+/// Blocking gateway client bound to one server address. Each call opens a
+/// fresh connection (the gateway also supports keep-alive and pipelining,
+/// which the raw-byte tests exercise directly).
+#[derive(Debug, Clone)]
+pub struct GatewayClient {
+    addr: SocketAddr,
+    timeout: Duration,
+}
+
+impl GatewayClient {
+    /// A client for the given gateway address.
+    pub fn new(addr: SocketAddr) -> Self {
+        Self {
+            addr,
+            timeout: Duration::from_secs(60),
+        }
+    }
+
+    /// Overrides the per-read socket timeout (default 60 s).
+    pub fn with_timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = timeout;
+        self
+    }
+
+    fn connect(&self) -> Result<TcpStream, ClientError> {
+        let stream = TcpStream::connect(self.addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(self.timeout))?;
+        Ok(stream)
+    }
+
+    /// POSTs a non-streaming generate request and waits for the answer.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Status`] on any non-200 (429 backpressure included),
+    /// [`ClientError::Io`]/[`ClientError::Protocol`] on transport trouble.
+    pub fn generate(&self, request: &GenerateRequest) -> Result<GenerateResponse, ClientError> {
+        let mut request = request.clone();
+        request.stream = false;
+        let (head, body) = self.post_json("/api/generate", &request.to_json())?;
+        expect_ok(&head, &body)?;
+        GenerateResponse::from_json(&body).map_err(ClientError::Protocol)
+    }
+
+    /// GETs the engine snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`GatewayClient::generate`].
+    pub fn stats(&self) -> Result<StatsResponse, ClientError> {
+        let mut stream = self.connect()?;
+        let raw = format!(
+            "GET /api/stats HTTP/1.1\r\nHost: {}\r\nConnection: close\r\n\r\n",
+            self.addr
+        );
+        stream.write_all(raw.as_bytes())?;
+        let (head, body) = read_fixed_response(&mut stream)?;
+        expect_ok(&head, &body)?;
+        StatsResponse::from_json(&body).map_err(ClientError::Protocol)
+    }
+
+    /// Opens an SSE stream for the request (forcing `stream: true`).
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Status`] when the server rejects the request before
+    /// streaming starts (400/429), transport errors otherwise.
+    pub fn open_stream(&self, request: &GenerateRequest) -> Result<StreamHandle, ClientError> {
+        let mut request = request.clone();
+        request.stream = true;
+        let body = request.to_json();
+        let mut stream = self.connect()?;
+        let raw = format!(
+            "POST /api/generate HTTP/1.1\r\nHost: {}\r\nContent-Type: application/json\r\n\
+             Content-Length: {}\r\n\r\n{}",
+            self.addr,
+            body.len(),
+            body
+        );
+        stream.write_all(raw.as_bytes())?;
+        let (head, leftover) = read_head(&mut stream)?;
+        if head.status != 200 {
+            // Error responses are fixed-length JSON even on this path.
+            let body = read_declared_body(&mut stream, &head, leftover)?;
+            return Err(ClientError::Status {
+                status: head.status,
+                error: ErrorResponse::from_json(&body),
+            });
+        }
+        let chunked = matches!(
+            head.header("transfer-encoding"),
+            Some(v) if v.eq_ignore_ascii_case("chunked")
+        );
+        if !chunked {
+            return Err(ClientError::Protocol(
+                "stream response is not chunked".to_string(),
+            ));
+        }
+        let mut handle = StreamHandle {
+            stream,
+            decoder: ChunkedDecoder::new(),
+            sse: SseParser::new(),
+            events: Vec::new(),
+            answer: String::new(),
+            finished: false,
+        };
+        handle
+            .decoder
+            .push(&leftover)
+            .map_err(ClientError::Protocol)?;
+        Ok(handle)
+    }
+
+    /// Sends raw bytes and reads one response — the hook for malformed-
+    /// request and pipelining tests. `\n`-separated pipelined requests can
+    /// be sent in one call and read back with repeated invocations of the
+    /// returned reader.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors only; non-2xx statuses come back as data.
+    pub fn send_raw(&self, bytes: &[u8]) -> Result<RawResponse, ClientError> {
+        let mut responses = self.send_raw_pipelined(bytes, 1)?;
+        Ok(responses.remove(0))
+    }
+
+    /// Sends raw bytes carrying `count` pipelined requests and reads that
+    /// many responses off the single connection, in order.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors, or a short/unparseable response sequence.
+    pub fn send_raw_pipelined(
+        &self,
+        bytes: &[u8],
+        count: usize,
+    ) -> Result<Vec<RawResponse>, ClientError> {
+        let mut stream = self.connect()?;
+        stream.write_all(bytes)?;
+        let mut responses = Vec::with_capacity(count);
+        let mut buffer: Vec<u8> = Vec::new();
+        for _ in 0..count {
+            let (head, body) = read_fixed_response_buffered(&mut stream, &mut buffer)?;
+            responses.push(RawResponse {
+                status: head.status,
+                headers: head.headers,
+                body: body.into_bytes(),
+            });
+        }
+        Ok(responses)
+    }
+}
+
+fn expect_ok(head: &ResponseHead, body: &str) -> Result<(), ClientError> {
+    if head.status == 200 {
+        Ok(())
+    } else {
+        Err(ClientError::Status {
+            status: head.status,
+            error: ErrorResponse::from_json(body),
+        })
+    }
+}
+
+fn post_body(addr: SocketAddr, path: &str, json: &str) -> String {
+    format!(
+        "POST {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Type: application/json\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n{json}",
+        json.len()
+    )
+}
+
+impl GatewayClient {
+    fn post_json(&self, path: &str, json: &str) -> Result<(ResponseHead, String), ClientError> {
+        let mut stream = self.connect()?;
+        stream.write_all(post_body(self.addr, path, json).as_bytes())?;
+        read_fixed_response(&mut stream)
+    }
+}
+
+/// Reads a response head, returning it plus any body bytes that arrived
+/// in the same reads.
+fn read_head(stream: &mut TcpStream) -> Result<(ResponseHead, Vec<u8>), ClientError> {
+    let mut buffer = Vec::new();
+    let mut chunk = [0u8; 4096];
+    loop {
+        if let Some((head, consumed)) =
+            parse_response_head(&buffer).map_err(ClientError::Protocol)?
+        {
+            return Ok((head, buffer[consumed..].to_vec()));
+        }
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(ClientError::Protocol(
+                "connection closed before a response head".to_string(),
+            ));
+        }
+        buffer.extend_from_slice(&chunk[..n]);
+    }
+}
+
+fn read_declared_body(
+    stream: &mut TcpStream,
+    head: &ResponseHead,
+    mut buffered: Vec<u8>,
+) -> Result<String, ClientError> {
+    let declared: usize = head
+        .header("content-length")
+        .and_then(|v| v.parse().ok())
+        .ok_or_else(|| ClientError::Protocol("response has no Content-Length".to_string()))?;
+    let mut chunk = [0u8; 4096];
+    while buffered.len() < declared {
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            break;
+        }
+        buffered.extend_from_slice(&chunk[..n]);
+    }
+    if buffered.len() < declared {
+        return Err(ClientError::Protocol(
+            "response body was cut short".to_string(),
+        ));
+    }
+    buffered.truncate(declared);
+    String::from_utf8(buffered)
+        .map_err(|_| ClientError::Protocol("response body is not UTF-8".to_string()))
+}
+
+fn read_fixed_response(stream: &mut TcpStream) -> Result<(ResponseHead, String), ClientError> {
+    let mut buffer = Vec::new();
+    read_fixed_response_buffered(stream, &mut buffer)
+}
+
+/// Reads one fixed-length response, keeping surplus bytes (the next
+/// pipelined response) in `buffer`.
+fn read_fixed_response_buffered(
+    stream: &mut TcpStream,
+    buffer: &mut Vec<u8>,
+) -> Result<(ResponseHead, String), ClientError> {
+    let mut chunk = [0u8; 4096];
+    loop {
+        if let Some((head, consumed)) =
+            parse_response_head(buffer).map_err(ClientError::Protocol)?
+        {
+            let declared: usize = head
+                .header("content-length")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(0);
+            while buffer.len() < consumed + declared {
+                let n = stream.read(&mut chunk)?;
+                if n == 0 {
+                    return Err(ClientError::Protocol("response body was cut short".into()));
+                }
+                buffer.extend_from_slice(&chunk[..n]);
+            }
+            let body_bytes: Vec<u8> = buffer[consumed..consumed + declared].to_vec();
+            buffer.drain(..consumed + declared);
+            let body = String::from_utf8(body_bytes)
+                .map_err(|_| ClientError::Protocol("response body is not UTF-8".to_string()))?;
+            return Ok((head, body));
+        }
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(ClientError::Protocol(
+                "connection closed before a response head".to_string(),
+            ));
+        }
+        buffer.extend_from_slice(&chunk[..n]);
+    }
+}
+
+/// How a consumed stream ended.
+#[derive(Debug)]
+pub struct StreamOutcome {
+    /// Concatenation of every token piece received.
+    pub streamed: String,
+    /// The final event's `finish` field.
+    pub finish: String,
+    /// The server's authoritative answer from the final event (set on
+    /// `length`/`stop` finishes).
+    pub answer: Option<String>,
+    /// Failure message when `finish` is `"failed"`.
+    pub error: Option<String>,
+    /// Number of token events received.
+    pub token_events: usize,
+}
+
+/// A live SSE stream. Pull events with [`StreamHandle::next_event`], run
+/// it dry with [`StreamHandle::finish`], or drop the socket mid-stream
+/// with [`StreamHandle::abort`].
+#[derive(Debug)]
+pub struct StreamHandle {
+    stream: TcpStream,
+    decoder: ChunkedDecoder,
+    sse: SseParser,
+    events: Vec<StreamEvent>,
+    answer: String,
+    finished: bool,
+}
+
+impl StreamHandle {
+    /// Blocks until the next event arrives; `None` once the stream ended.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors, malformed chunking, or malformed event JSON.
+    pub fn next_event(&mut self) -> Result<Option<StreamEvent>, ClientError> {
+        let mut chunk = [0u8; 4096];
+        loop {
+            if let Some(payload) = self.sse.next_event() {
+                let event = StreamEvent::from_json(&payload).map_err(ClientError::Protocol)?;
+                if !event.done {
+                    self.answer.push_str(&event.piece);
+                }
+                if event.done {
+                    self.finished = true;
+                }
+                self.events.push(event.clone());
+                return Ok(Some(event));
+            }
+            let decoded = self.decoder.take_output();
+            if !decoded.is_empty() {
+                let text = String::from_utf8(decoded)
+                    .map_err(|_| ClientError::Protocol("stream body is not UTF-8".to_string()))?;
+                self.sse.push(&text);
+                continue;
+            }
+            if self.finished || self.decoder.finished() {
+                return Ok(None);
+            }
+            let n = self.stream.read(&mut chunk)?;
+            if n == 0 {
+                return Ok(None);
+            }
+            self.decoder
+                .push(&chunk[..n])
+                .map_err(ClientError::Protocol)?;
+        }
+    }
+
+    /// Consumes the stream to its final event.
+    ///
+    /// # Errors
+    ///
+    /// Transport/framing errors, or a stream that ended without a `done`
+    /// event.
+    pub fn finish(mut self) -> Result<StreamOutcome, ClientError> {
+        while !self.finished {
+            if self.next_event()?.is_none() {
+                break;
+            }
+        }
+        let done = self
+            .events
+            .iter()
+            .find(|e| e.done)
+            .ok_or_else(|| ClientError::Protocol("stream ended without a done event".into()))?;
+        Ok(StreamOutcome {
+            streamed: self.answer.clone(),
+            finish: done.finish.clone().unwrap_or_default(),
+            answer: done.answer.clone(),
+            error: done.error.clone(),
+            token_events: self.events.iter().filter(|e| !e.done).count(),
+        })
+    }
+
+    /// Reads until `n` token events have arrived (or the stream ends).
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`StreamHandle::next_event`].
+    pub fn read_tokens(&mut self, n: usize) -> Result<usize, ClientError> {
+        let mut seen = self.events.iter().filter(|e| !e.done).count();
+        while seen < n && !self.finished {
+            match self.next_event()? {
+                Some(event) if !event.done => seen += 1,
+                Some(_) => break,
+                None => break,
+            }
+        }
+        Ok(seen)
+    }
+
+    /// Drops the socket mid-stream without reading further — the
+    /// misbehaving-client move the disconnect-cancel tests rely on. The
+    /// kernel sends FIN/RST; the server's next probe maps it to
+    /// `ServingEngine::cancel`.
+    pub fn abort(self) {
+        let _ = self.stream.shutdown(std::net::Shutdown::Both);
+    }
+
+    /// Concatenated pieces received so far.
+    pub fn streamed(&self) -> &str {
+        &self.answer
+    }
+
+    /// The server-assigned request id, once at least one event arrived.
+    pub fn id(&self) -> Option<&str> {
+        self.events.first().map(|e| e.id.as_str())
+    }
+}

@@ -1,0 +1,419 @@
+//! The engine driver: a dedicated thread that owns the [`ServingEngine`]
+//! and multiplexes its continuous-batching loop to per-connection
+//! channels.
+//!
+//! [`ServingEngine`] is deliberately not shared across threads (requests
+//! can carry `Box<dyn CachePolicy>` payloads), so the gateway never locks
+//! it: the driver thread *constructs* the engine from plain-data
+//! [`EngineSettings`], and connection handlers talk to it exclusively
+//! through an mpsc command channel. Each submitted request registers an
+//! event sender; the driver pumps [`ServingEngine::step_events`] and fans
+//! every [`TokenEvent`] out to the owning connection. A dropped or
+//! explicitly cancelled connection maps back to
+//! [`ServingEngine::cancel`], which releases the request's budget, queue
+//! slot, and prefix-cache pins immediately.
+
+use std::collections::HashMap;
+use std::sync::mpsc::{Receiver, Sender, TryRecvError};
+use std::thread::JoinHandle;
+
+use cocktail_core::{
+    CocktailConfig, FinishReason, PrefixCacheConfig, RequestId, SchedulerConfig, ServeRequest,
+    ServingEngine, TokenEvent,
+};
+use cocktail_model::ModelProfile;
+
+use crate::api::StatsResponse;
+
+/// Everything needed to construct the [`ServingEngine`] inside the driver
+/// thread. Plain data, so it crosses the thread boundary by value.
+#[derive(Debug, Clone)]
+pub struct EngineSettings {
+    /// The model to serve.
+    pub profile: ModelProfile,
+    /// Cocktail quantization configuration.
+    pub config: CocktailConfig,
+    /// Scheduler budget/batch settings (`None` keeps the default).
+    pub scheduler: Option<SchedulerConfig>,
+    /// Prefix-cache settings (`None` disables the cache).
+    pub prefix_cache: Option<PrefixCacheConfig>,
+}
+
+impl EngineSettings {
+    /// Settings for the given model with default scheduler and no prefix
+    /// cache.
+    pub fn new(profile: ModelProfile, config: CocktailConfig) -> Self {
+        Self {
+            profile,
+            config,
+            scheduler: None,
+            prefix_cache: None,
+        }
+    }
+
+    /// Sets the scheduler configuration.
+    pub fn with_scheduler(mut self, scheduler: SchedulerConfig) -> Self {
+        self.scheduler = Some(scheduler);
+        self
+    }
+
+    /// Enables the shared-prefix cache.
+    pub fn with_prefix_cache(mut self, cache: PrefixCacheConfig) -> Self {
+        self.prefix_cache = Some(cache);
+        self
+    }
+}
+
+/// Submit payload: the subset of [`ServeRequest`] expressible over JSON.
+#[derive(Debug)]
+pub(crate) struct SubmitSpec {
+    pub context: String,
+    pub query: String,
+    pub max_new_tokens: usize,
+    pub stop: Option<String>,
+}
+
+/// What the driver replied to a submit.
+#[derive(Debug)]
+pub(crate) enum SubmitReply {
+    /// The request joined the engine; events will flow on the registered
+    /// sender.
+    Accepted {
+        id: RequestId,
+        queue_position: Option<usize>,
+    },
+    /// The admission queue is at capacity; nothing was submitted.
+    Busy { queued: usize, queue_limit: usize },
+}
+
+/// Per-request events fanned out to the owning connection. Every accepted
+/// request's stream ends with exactly one terminal variant.
+#[derive(Debug)]
+pub(crate) enum GatewayEvent {
+    /// One committed token.
+    Token { index: usize, piece: String },
+    /// Generation finished normally.
+    Done {
+        answer: String,
+        generated_tokens: usize,
+        finish: FinishReason,
+    },
+    /// The request was cancelled (normally by this very connection).
+    Cancelled { generated_tokens: usize },
+    /// The request failed terminally.
+    Failed { message: String },
+}
+
+/// Commands a connection (or the server itself) sends to the driver.
+pub(crate) enum EngineCommand {
+    Submit {
+        spec: SubmitSpec,
+        events: Sender<GatewayEvent>,
+        reply: Sender<SubmitReply>,
+    },
+    Cancel {
+        id: RequestId,
+    },
+    Stats {
+        reply: Sender<StatsResponse>,
+    },
+    Shutdown {
+        reply: Sender<StatsResponse>,
+    },
+}
+
+/// Handle to the driver thread: a cloneable command sender plus the join
+/// handle for shutdown.
+pub(crate) struct EngineDriver {
+    pub commands: Sender<EngineCommand>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl EngineDriver {
+    /// Spawns the driver thread. `queue_limit` caps the admission queue:
+    /// submits arriving beyond it get [`SubmitReply::Busy`] (the
+    /// gateway's 429).
+    pub fn spawn(settings: EngineSettings, queue_limit: usize) -> Self {
+        let (commands, inbox) = std::sync::mpsc::channel();
+        let handle = std::thread::Builder::new()
+            .name("engine-driver".to_string())
+            .spawn(move || drive(settings, queue_limit, inbox))
+            .expect("spawn engine driver thread");
+        Self {
+            commands,
+            handle: Some(handle),
+        }
+    }
+
+    /// Asks the driver to stop and waits for it, returning the final
+    /// engine snapshot.
+    pub fn shutdown(mut self) -> StatsResponse {
+        let (reply, done) = std::sync::mpsc::channel();
+        let stats = if self
+            .commands
+            .send(EngineCommand::Shutdown { reply })
+            .is_ok()
+        {
+            done.recv().ok()
+        } else {
+            None
+        };
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+        stats.unwrap_or(StatsResponse {
+            kv_bytes_in_use: 0,
+            queued: 0,
+            running: 0,
+            pinned_prefix_entries: 0,
+            prefix_resident_bytes: 0,
+            completed: 0,
+            cancelled: 0,
+            failed: 0,
+        })
+    }
+}
+
+/// Book-keeping the driver holds per live request.
+struct Subscription {
+    events: Sender<GatewayEvent>,
+}
+
+struct Driver {
+    engine: ServingEngine,
+    queue_limit: usize,
+    subs: HashMap<RequestId, Subscription>,
+    /// A successful cancel parks its terminal event inside the engine
+    /// until the next `step_events`; this forces that step even when the
+    /// scheduler itself reports idle.
+    flush_needed: bool,
+    completed: usize,
+    cancelled: usize,
+    failed: usize,
+}
+
+fn build_engine(settings: EngineSettings) -> ServingEngine {
+    let mut engine = ServingEngine::new(settings.profile, settings.config)
+        .expect("engine settings must be valid");
+    if let Some(scheduler) = settings.scheduler {
+        engine = engine.with_scheduler_config(scheduler);
+    }
+    if let Some(cache) = settings.prefix_cache {
+        engine = engine.with_prefix_cache(cache);
+    }
+    engine
+}
+
+fn drive(settings: EngineSettings, queue_limit: usize, inbox: Receiver<EngineCommand>) {
+    let mut driver = Driver {
+        engine: build_engine(settings),
+        queue_limit,
+        subs: HashMap::new(),
+        flush_needed: false,
+        completed: 0,
+        cancelled: 0,
+        failed: 0,
+    };
+    loop {
+        // Nothing to decode: block until a command arrives (or every
+        // command sender is gone, which is an implicit shutdown).
+        if driver.engine.is_idle() && !driver.flush_needed {
+            match inbox.recv() {
+                Ok(command) => {
+                    if driver.handle(command) {
+                        return;
+                    }
+                }
+                Err(_) => return,
+            }
+        }
+        // Drain whatever else queued up, then run one decode round.
+        loop {
+            match inbox.try_recv() {
+                Ok(command) => {
+                    if driver.handle(command) {
+                        return;
+                    }
+                }
+                Err(TryRecvError::Empty) => break,
+                Err(TryRecvError::Disconnected) => return,
+            }
+        }
+        if !driver.engine.is_idle() || driver.flush_needed {
+            driver.flush_needed = false;
+            match driver.engine.step_events() {
+                Ok(events) => {
+                    for event in events {
+                        driver.dispatch(event);
+                    }
+                }
+                Err(err) => {
+                    // Decode errors are not recoverable mid-batch; tell
+                    // every live subscriber and stop driving.
+                    eprintln!("engine driver: fatal step error: {err}");
+                    for (_, sub) in driver.subs.drain() {
+                        let _ = sub.events.send(GatewayEvent::Failed {
+                            message: format!("engine error: {err}"),
+                        });
+                    }
+                    return;
+                }
+            }
+        }
+    }
+}
+
+impl Driver {
+    /// Handles one command; returns `true` on shutdown.
+    fn handle(&mut self, command: EngineCommand) -> bool {
+        match command {
+            EngineCommand::Submit {
+                spec,
+                events,
+                reply,
+            } => {
+                let queued = self.engine.scheduler().queued_len();
+                if queued >= self.queue_limit {
+                    let _ = reply.send(SubmitReply::Busy {
+                        queued,
+                        queue_limit: self.queue_limit,
+                    });
+                    return false;
+                }
+                let mut request = ServeRequest::new(spec.context, spec.query, spec.max_new_tokens);
+                if let Some(stop) = spec.stop {
+                    request = request.with_stop_sequence(stop);
+                }
+                let id = self.engine.submit(request);
+                self.subs.insert(id, Subscription { events });
+                let _ = reply.send(SubmitReply::Accepted {
+                    id,
+                    queue_position: self.engine.queue_position(id),
+                });
+            }
+            EngineCommand::Cancel { id } => {
+                if self.engine.cancel(id) {
+                    self.flush_needed = true;
+                }
+            }
+            EngineCommand::Stats { reply } => {
+                let _ = reply.send(self.stats());
+            }
+            EngineCommand::Shutdown { reply } => {
+                let _ = reply.send(self.stats());
+                return true;
+            }
+        }
+        false
+    }
+
+    fn stats(&self) -> StatsResponse {
+        StatsResponse {
+            kv_bytes_in_use: self.engine.kv_bytes_in_use(),
+            queued: self.engine.scheduler().queued_len(),
+            running: self.engine.scheduler().running_len(),
+            pinned_prefix_entries: self
+                .engine
+                .prefix_cache_stats()
+                .map(|s| s.pinned_entries)
+                .unwrap_or(0),
+            prefix_resident_bytes: self
+                .engine
+                .prefix_cache_stats()
+                .map(|s| s.resident_bytes)
+                .unwrap_or(0),
+            completed: self.completed,
+            cancelled: self.cancelled,
+            failed: self.failed,
+        }
+    }
+
+    /// Fans one engine event out to its connection. Token-bearing events
+    /// become `Token`; a set `finish` additionally produces the terminal
+    /// variant and retires the subscription.
+    fn dispatch(&mut self, event: TokenEvent) {
+        let id = event.id;
+        let Some(sub) = self.subs.get(&id) else {
+            // No subscriber (already dropped): make sure the slot is
+            // drained so the table cannot grow forever.
+            self.reap(id, event.finish);
+            return;
+        };
+        let mut receiver_gone = false;
+        if event.token.is_some() || !event.piece.is_empty() {
+            receiver_gone = sub
+                .events
+                .send(GatewayEvent::Token {
+                    index: event.index,
+                    piece: event.piece,
+                })
+                .is_err();
+        }
+        match event.finish {
+            None => {
+                if receiver_gone {
+                    // The connection vanished without a Cancel command
+                    // (e.g. its thread panicked): reclaim the budget.
+                    self.subs.remove(&id);
+                    if self.engine.cancel(id) {
+                        self.flush_needed = true;
+                    }
+                }
+            }
+            Some(reason) => {
+                let sub = self.subs.remove(&id).expect("subscription still present");
+                let terminal = self.reap(id, Some(reason));
+                if let Some(terminal) = terminal {
+                    let _ = sub.events.send(terminal);
+                }
+            }
+        }
+    }
+
+    /// Drains the engine-side record of a finished request and counts it,
+    /// returning the terminal event for the subscriber (if any is due).
+    fn reap(&mut self, id: RequestId, finish: Option<FinishReason>) -> Option<GatewayEvent> {
+        match finish? {
+            reason @ (FinishReason::Length | FinishReason::Stop) => {
+                let outcome = self
+                    .engine
+                    .take_outcome(id)
+                    .expect("finished request has an outcome");
+                self.completed += 1;
+                Some(GatewayEvent::Done {
+                    answer: outcome.outcome.answer,
+                    generated_tokens: outcome.stats.generated_tokens,
+                    finish: reason,
+                })
+            }
+            FinishReason::Cancelled => {
+                let stats = self
+                    .engine
+                    .take_cancelled(id)
+                    .expect("cancelled request has stats");
+                self.cancelled += 1;
+                Some(GatewayEvent::Cancelled {
+                    generated_tokens: stats.generated_tokens,
+                })
+            }
+            FinishReason::Failed => {
+                let (message, _stats) = self
+                    .engine
+                    .take_failure(id)
+                    .expect("failed request has a message");
+                self.failed += 1;
+                Some(GatewayEvent::Failed { message })
+            }
+        }
+    }
+}
+
+/// Maps a [`FinishReason`] to its wire string.
+pub(crate) fn finish_str(reason: FinishReason) -> &'static str {
+    match reason {
+        FinishReason::Length => "length",
+        FinishReason::Stop => "stop",
+        FinishReason::Cancelled => "cancelled",
+        FinishReason::Failed => "failed",
+    }
+}

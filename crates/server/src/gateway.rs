@@ -1,0 +1,563 @@
+//! The HTTP gateway: TCP acceptor, connection worker pool, and request
+//! routing over the engine driver.
+//!
+//! Lifecycle of a connection: the nonblocking acceptor hands sockets to a
+//! fixed pool of worker threads; each worker parses pipelined HTTP/1.1
+//! requests incrementally, routes them, and — for streaming responses —
+//! interleaves SSE writes with a socket-level disconnect probe so a
+//! vanished client turns into [`ServingEngine::cancel`] within one poll
+//! interval (budget, queue slot, and prefix pins come back immediately).
+//!
+//! Endpoints:
+//!
+//! | Method | Path            | Behaviour                                   |
+//! |--------|-----------------|---------------------------------------------|
+//! | POST   | `/api/generate` | Generate; SSE stream when `"stream": true`  |
+//! | GET    | `/api/stats`    | Engine snapshot (bytes, queue, pins)        |
+//! | GET    | `/healthz`      | Liveness probe                              |
+//!
+//! Over-capacity submits answer `429` with the queue depth; malformed
+//! HTTP answers the status from
+//! [`ParseError::status`](crate::http::ParseError) and closes.
+//!
+//! [`ServingEngine::cancel`]: cocktail_core::ServingEngine::cancel
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::api::{ErrorResponse, GenerateRequest, GenerateResponse, StatsResponse, StreamEvent};
+use crate::engine::{
+    finish_str, EngineCommand, EngineDriver, EngineSettings, GatewayEvent, SubmitReply, SubmitSpec,
+};
+use crate::http::{self, ParseError, Request, RequestParser};
+
+/// Gateway tuning knobs.
+#[derive(Debug, Clone)]
+pub struct GatewayConfig {
+    /// Address to bind, e.g. `"127.0.0.1:0"` (port 0 picks a free port).
+    pub addr: String,
+    /// Connection worker threads (concurrent connections served).
+    pub workers: usize,
+    /// Admission-queue capacity: submits beyond this answer 429.
+    pub queue_limit: usize,
+    /// Request-head byte cap (431 beyond it).
+    pub max_head_bytes: usize,
+    /// Request-body byte cap (413 beyond it).
+    pub max_body_bytes: usize,
+}
+
+impl Default for GatewayConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 16,
+            queue_limit: 64,
+            max_head_bytes: http::DEFAULT_MAX_HEAD_BYTES,
+            max_body_bytes: http::DEFAULT_MAX_BODY_BYTES,
+        }
+    }
+}
+
+impl GatewayConfig {
+    /// Sets the bind address.
+    pub fn with_addr(mut self, addr: impl Into<String>) -> Self {
+        self.addr = addr.into();
+        self
+    }
+
+    /// Sets the worker-thread count (minimum 1).
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Sets the admission-queue capacity.
+    pub fn with_queue_limit(mut self, queue_limit: usize) -> Self {
+        self.queue_limit = queue_limit;
+        self
+    }
+}
+
+/// How often streaming handlers probe for client disconnects and the
+/// acceptor polls for shutdown.
+const POLL_INTERVAL: Duration = Duration::from_millis(5);
+/// Read timeout on idle keep-alive connections between requests; each
+/// timeout re-checks the server stop flag.
+const IDLE_READ_TIMEOUT: Duration = Duration::from_millis(50);
+
+/// A running HTTP gateway over one [`ServingEngine`].
+///
+/// [`ServingEngine`]: cocktail_core::ServingEngine
+///
+/// ```no_run
+/// use cocktail_server::{EngineSettings, GatewayConfig, GatewayServer};
+/// use cocktail_core::CocktailConfig;
+/// use cocktail_model::ModelProfile;
+///
+/// let settings = EngineSettings::new(ModelProfile::tiny(), CocktailConfig::default());
+/// let server = GatewayServer::start(settings, GatewayConfig::default())?;
+/// println!("listening on http://{}", server.addr());
+/// # Ok::<(), std::io::Error>(())
+/// ```
+pub struct GatewayServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    driver: Option<EngineDriver>,
+}
+
+impl GatewayServer {
+    /// Binds the listener, spawns the engine driver and worker pool, and
+    /// starts accepting connections.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error when the address cannot be bound.
+    pub fn start(settings: EngineSettings, config: GatewayConfig) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let driver = EngineDriver::spawn(settings, config.queue_limit);
+        let stop = Arc::new(AtomicBool::new(false));
+
+        let (conn_tx, conn_rx) = std::sync::mpsc::channel::<TcpStream>();
+        let conn_rx = Arc::new(Mutex::new(conn_rx));
+        let mut workers = Vec::with_capacity(config.workers);
+        for i in 0..config.workers {
+            let conn_rx = Arc::clone(&conn_rx);
+            let commands = driver.commands.clone();
+            let stop_flag = Arc::clone(&stop);
+            let config = config.clone();
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("gateway-worker-{i}"))
+                    .spawn(move || worker_loop(conn_rx, commands, stop_flag, config))
+                    .expect("spawn gateway worker"),
+            );
+        }
+
+        let stop_flag = Arc::clone(&stop);
+        let acceptor = std::thread::Builder::new()
+            .name("gateway-acceptor".to_string())
+            .spawn(move || accept_loop(listener, conn_tx, stop_flag))
+            .expect("spawn gateway acceptor");
+
+        Ok(Self {
+            addr,
+            stop,
+            acceptor: Some(acceptor),
+            workers,
+            driver: Some(driver),
+        })
+    }
+
+    /// The bound address (with the actual port when `:0` was requested).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A live engine snapshot, the same data `/api/stats` serves.
+    pub fn stats(&self) -> StatsResponse {
+        let (reply, rx) = std::sync::mpsc::channel();
+        let driver = self.driver.as_ref().expect("driver runs until shutdown");
+        driver
+            .commands
+            .send(EngineCommand::Stats { reply })
+            .expect("driver thread alive");
+        rx.recv().expect("driver answers stats")
+    }
+
+    /// Stops accepting, waits for in-flight connections to finish, shuts
+    /// the engine driver down, and returns the final engine snapshot —
+    /// what the shutdown-cleanliness tests assert zero bytes/pins on.
+    pub fn shutdown(mut self) -> StatsResponse {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        // The acceptor dropped the connection sender; workers drain any
+        // sockets already handed over and then exit.
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+        let driver = self.driver.take().expect("driver not yet shut down");
+        driver.shutdown()
+    }
+}
+
+fn accept_loop(listener: TcpListener, connections: Sender<TcpStream>, stop: Arc<AtomicBool>) {
+    while !stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let _ = stream.set_nodelay(true);
+                if connections.send(stream).is_err() {
+                    return;
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(POLL_INTERVAL);
+            }
+            Err(_) => std::thread::sleep(POLL_INTERVAL),
+        }
+    }
+}
+
+fn worker_loop(
+    connections: Arc<Mutex<Receiver<TcpStream>>>,
+    commands: Sender<EngineCommand>,
+    stop: Arc<AtomicBool>,
+    config: GatewayConfig,
+) {
+    loop {
+        let stream = {
+            let guard = connections.lock().expect("connection queue lock");
+            guard.recv()
+        };
+        match stream {
+            Ok(stream) => {
+                // Connection errors tear down that one socket, never the
+                // worker.
+                let _ = handle_connection(stream, &commands, &stop, &config);
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+/// Serves one connection until the client closes it, a parse error forces
+/// a close, or the server is shutting down.
+fn handle_connection(
+    mut stream: TcpStream,
+    commands: &Sender<EngineCommand>,
+    stop: &AtomicBool,
+    config: &GatewayConfig,
+) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(IDLE_READ_TIMEOUT))?;
+    let mut parser = RequestParser::with_limits(config.max_head_bytes, config.max_body_bytes);
+    let mut buf = [0u8; 8192];
+    loop {
+        // Drain complete requests already buffered before reading more.
+        loop {
+            match parser.next_request() {
+                Ok(Some(request)) => {
+                    let keep_alive = route(&mut stream, &request, commands)?;
+                    if !keep_alive || request.wants_close() {
+                        return Ok(());
+                    }
+                }
+                Ok(None) => break,
+                Err(err) => {
+                    write_parse_error(&mut stream, &err)?;
+                    return Ok(());
+                }
+            }
+        }
+        match stream.read(&mut buf) {
+            Ok(0) => return Ok(()), // client closed
+            Ok(n) => parser.push(&buf[..n]),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if stop.load(Ordering::SeqCst) {
+                    return Ok(());
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+fn write_parse_error(stream: &mut TcpStream, err: &ParseError) -> std::io::Result<()> {
+    let body = ErrorResponse::new(err.to_string()).to_json();
+    stream.write_all(&http::simple_response(
+        err.status(),
+        "application/json",
+        body.as_bytes(),
+    ))
+}
+
+fn write_json(stream: &mut TcpStream, status: u16, body: &str) -> std::io::Result<()> {
+    stream.write_all(&http::simple_response(
+        status,
+        "application/json",
+        body.as_bytes(),
+    ))
+}
+
+/// Routes one parsed request. Returns `false` when the connection must
+/// close afterwards (streaming responses and errors of unknown framing).
+fn route(
+    stream: &mut TcpStream,
+    request: &Request,
+    commands: &Sender<EngineCommand>,
+) -> std::io::Result<bool> {
+    match (request.method.as_str(), request.target.as_str()) {
+        ("POST", "/api/generate") => handle_generate(stream, request, commands),
+        ("GET", "/api/stats") => {
+            let (reply, rx) = std::sync::mpsc::channel();
+            let _ = commands.send(EngineCommand::Stats { reply });
+            match rx.recv() {
+                Ok(stats) => write_json(
+                    stream,
+                    200,
+                    &serde_json::to_string(&stats).expect("stats serialize"),
+                )?,
+                Err(_) => write_json(
+                    stream,
+                    500,
+                    &ErrorResponse::new("engine driver is gone").to_json(),
+                )?,
+            }
+            Ok(true)
+        }
+        ("GET", "/healthz") => {
+            write_json(stream, 200, "{\"status\":\"ok\"}")?;
+            Ok(true)
+        }
+        (method, _) if method != "GET" && method != "POST" && method != "HEAD" => {
+            write_json(
+                stream,
+                501,
+                &ErrorResponse::new(format!("method {method} is not implemented")).to_json(),
+            )?;
+            Ok(true)
+        }
+        (_, target)
+            if target == "/api/generate" || target == "/api/stats" || target == "/healthz" =>
+        {
+            write_json(
+                stream,
+                405,
+                &ErrorResponse::new(format!(
+                    "method {} is not allowed on {target}",
+                    request.method
+                ))
+                .to_json(),
+            )?;
+            Ok(true)
+        }
+        (_, target) => {
+            write_json(
+                stream,
+                404,
+                &ErrorResponse::new(format!("no such endpoint {target}")).to_json(),
+            )?;
+            Ok(true)
+        }
+    }
+}
+
+fn handle_generate(
+    stream: &mut TcpStream,
+    request: &Request,
+    commands: &Sender<EngineCommand>,
+) -> std::io::Result<bool> {
+    let body = match std::str::from_utf8(&request.body) {
+        Ok(body) => body,
+        Err(_) => {
+            write_json(
+                stream,
+                400,
+                &ErrorResponse::new("request body is not valid UTF-8").to_json(),
+            )?;
+            return Ok(true);
+        }
+    };
+    let generate = match GenerateRequest::from_json(body) {
+        Ok(generate) => generate,
+        Err(message) => {
+            write_json(stream, 400, &ErrorResponse::new(message).to_json())?;
+            return Ok(true);
+        }
+    };
+
+    let (events_tx, events) = std::sync::mpsc::channel();
+    let (reply_tx, reply) = std::sync::mpsc::channel();
+    let submitted = commands.send(EngineCommand::Submit {
+        spec: SubmitSpec {
+            context: generate.context.clone(),
+            query: generate.query.clone(),
+            max_new_tokens: generate.max_new_tokens,
+            stop: generate.stop.clone(),
+        },
+        events: events_tx,
+        reply: reply_tx,
+    });
+    let reply = match submitted.ok().and_then(|()| reply.recv().ok()) {
+        Some(reply) => reply,
+        None => {
+            write_json(
+                stream,
+                500,
+                &ErrorResponse::new("engine driver is gone").to_json(),
+            )?;
+            return Ok(false);
+        }
+    };
+    let (id, queue_position) = match reply {
+        SubmitReply::Busy {
+            queued,
+            queue_limit,
+        } => {
+            let body = ErrorResponse::backpressure(queued, queue_limit).to_json();
+            stream.write_all(&http::response_head(
+                429,
+                &[
+                    ("Content-Type", "application/json"),
+                    ("Content-Length", &body.len().to_string()),
+                    ("Retry-After", "1"),
+                ],
+            ))?;
+            stream.write_all(body.as_bytes())?;
+            return Ok(true);
+        }
+        SubmitReply::Accepted { id, queue_position } => (id, queue_position),
+    };
+
+    if generate.stream {
+        stream_response(stream, id.to_string(), queue_position, events, commands, id)?;
+        // SSE streams are terminal for the connection: the client saw
+        // `Connection: close` in the head.
+        Ok(false)
+    } else {
+        blocking_response(stream, id.to_string(), events)?;
+        Ok(true)
+    }
+}
+
+/// Non-streaming generate: wait for the terminal event, answer one JSON
+/// document.
+fn blocking_response(
+    stream: &mut TcpStream,
+    id: String,
+    events: Receiver<GatewayEvent>,
+) -> std::io::Result<()> {
+    loop {
+        match events.recv() {
+            Ok(GatewayEvent::Token { .. }) => continue,
+            Ok(GatewayEvent::Done {
+                answer,
+                generated_tokens,
+                finish,
+            }) => {
+                let response = GenerateResponse {
+                    id,
+                    answer,
+                    generated_tokens,
+                    finish: finish_str(finish).to_string(),
+                };
+                return write_json(
+                    stream,
+                    200,
+                    &serde_json::to_string(&response).expect("response serialize"),
+                );
+            }
+            Ok(GatewayEvent::Failed { message }) => {
+                return write_json(stream, 400, &ErrorResponse::new(message).to_json());
+            }
+            Ok(GatewayEvent::Cancelled { .. }) | Err(_) => {
+                return write_json(
+                    stream,
+                    500,
+                    &ErrorResponse::new("request was cancelled server-side").to_json(),
+                );
+            }
+        }
+    }
+}
+
+/// Streaming generate: chunked SSE, one event per token, a probe for
+/// client disconnects between events, and a final `done` event.
+fn stream_response(
+    stream: &mut TcpStream,
+    id: String,
+    queue_position: Option<usize>,
+    events: Receiver<GatewayEvent>,
+    commands: &Sender<EngineCommand>,
+    request_id: cocktail_core::RequestId,
+) -> std::io::Result<()> {
+    // Clients see where they joined the admission queue before the first
+    // token arrives (the streaming twin of the 429 body's queue depth).
+    let position = queue_position.map(|p| p.to_string());
+    let mut headers = vec![
+        ("Content-Type", "text/event-stream"),
+        ("Transfer-Encoding", "chunked"),
+        ("Cache-Control", "no-cache"),
+        ("Connection", "close"),
+    ];
+    if let Some(position) = position.as_deref() {
+        headers.push(("X-Queue-Position", position));
+    }
+    stream.write_all(&http::response_head(200, &headers))?;
+    let mut cancelled = false;
+    loop {
+        match events.recv_timeout(POLL_INTERVAL) {
+            Ok(GatewayEvent::Token { index, piece }) => {
+                let event = StreamEvent::token(id.clone(), index, piece);
+                let payload = http::sse_event(&event.to_json());
+                if stream.write_all(&http::chunk(payload.as_bytes())).is_err() && !cancelled {
+                    // Client went away mid-write: free the engine side,
+                    // then keep draining events until the terminal one.
+                    let _ = commands.send(EngineCommand::Cancel { id: request_id });
+                    cancelled = true;
+                }
+            }
+            Ok(terminal) => {
+                let (finish, answer, index, error) = match terminal {
+                    GatewayEvent::Done {
+                        answer,
+                        generated_tokens,
+                        finish,
+                    } => (finish_str(finish), Some(answer), generated_tokens, None),
+                    GatewayEvent::Cancelled { generated_tokens } => {
+                        ("cancelled", None, generated_tokens, None)
+                    }
+                    GatewayEvent::Failed { message } => ("failed", None, 0, Some(message)),
+                    GatewayEvent::Token { .. } => unreachable!("matched above"),
+                };
+                let mut event = StreamEvent::done(id, index, finish, answer);
+                event.error = error;
+                let payload = http::sse_event(&event.to_json());
+                let _ = stream.write_all(&http::chunk(payload.as_bytes()));
+                let _ = stream.write_all(http::last_chunk());
+                return Ok(());
+            }
+            Err(RecvTimeoutError::Timeout) => {
+                if !cancelled && client_gone(stream) {
+                    let _ = commands.send(EngineCommand::Cancel { id: request_id });
+                    cancelled = true;
+                }
+            }
+            Err(RecvTimeoutError::Disconnected) => {
+                // Driver died; close the stream without a proper finish.
+                let _ = stream.write_all(http::last_chunk());
+                return Ok(());
+            }
+        }
+    }
+}
+
+/// Socket-level disconnect probe: a nonblocking `peek` returning `Ok(0)`
+/// means the peer sent FIN (or reset). Extra buffered request bytes (a
+/// pipelining client) read as "still alive".
+fn client_gone(stream: &TcpStream) -> bool {
+    if stream.set_nonblocking(true).is_err() {
+        return true;
+    }
+    let mut probe = [0u8; 1];
+    let gone = match stream.peek(&mut probe) {
+        Ok(0) => true,
+        Ok(_) => false,
+        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => false,
+        Err(_) => true,
+    };
+    let _ = stream.set_nonblocking(false);
+    gone
+}

@@ -1,0 +1,56 @@
+//! `cocktail_server` — the HTTP/1.1 serving gateway over the Cocktail
+//! [`ServingEngine`].
+//!
+//! The workspace builds without crates.io access, so the gateway is
+//! hand-rolled on [`std::net::TcpListener`]: an acceptor thread, a small
+//! connection worker pool, and a dedicated engine-driver thread that owns
+//! the (single-threaded) [`ServingEngine`] and multiplexes its
+//! continuous-batching `step_events` loop out to connections over mpsc
+//! channels.
+//!
+//! What it serves:
+//!
+//! * `POST /api/generate` — JSON in, either one JSON answer or (with
+//!   `"stream": true`) a chunked Server-Sent-Events stream delivering
+//!   every token the step it is committed.
+//! * A client closing its socket mid-stream is detected within a few
+//!   milliseconds and mapped to [`ServingEngine::cancel`]: KV budget,
+//!   queue slot, and prefix-cache pins come back immediately.
+//! * Over-capacity traffic backpressures through the engine's admission
+//!   queue; submits beyond the configured cap answer `429` with the queue
+//!   depth instead of buffering unboundedly.
+//! * `GET /api/stats` — live engine snapshot (KV bytes, queue depth,
+//!   pinned prefix entries) so load tests can assert zero leaks.
+//!
+//! Quickstart (see `examples/gateway.rs` for the runnable version):
+//!
+//! ```no_run
+//! use cocktail_core::CocktailConfig;
+//! use cocktail_model::ModelProfile;
+//! use cocktail_server::{EngineSettings, GatewayConfig, GatewayServer};
+//!
+//! let settings = EngineSettings::new(ModelProfile::tiny(), CocktailConfig::default());
+//! let server = GatewayServer::start(settings, GatewayConfig::default())?;
+//! println!("curl -X POST http://{}/api/generate", server.addr());
+//! # Ok::<(), std::io::Error>(())
+//! ```
+//!
+//! [`ServingEngine`]: cocktail_core::ServingEngine
+//! [`ServingEngine::cancel`]: cocktail_core::ServingEngine::cancel
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod api;
+pub mod client;
+mod engine;
+pub mod gateway;
+pub mod http;
+
+pub use api::{
+    ErrorResponse, GenerateRequest, GenerateResponse, StatsResponse, StreamEvent,
+    MAX_NEW_TOKENS_LIMIT,
+};
+pub use client::{ClientError, GatewayClient, RawResponse, StreamHandle, StreamOutcome};
+pub use engine::EngineSettings;
+pub use gateway::{GatewayConfig, GatewayServer};

@@ -1,0 +1,261 @@
+//! Property tests for the hand-rolled HTTP/1.1 layer: the request parser
+//! must accept anything RFC-shaped (arbitrary header order and casing,
+//! reads split at any byte boundary, pipelined requests) and must answer
+//! malformed or oversized input with a typed 4xx/5xx error — never a
+//! panic and never a silently-wrong parse. The chunked and SSE encoders
+//! must round-trip through their matching decoders.
+
+use cocktail_server::http::{
+    chunk, last_chunk, sse_event, ChunkedDecoder, ParseError, RequestParser, SseParser,
+};
+use proptest::prelude::*;
+
+/// A tiny deterministic SplitMix64, seeded from the property inputs, for
+/// the shuffles / casings / split points the shim's strategies cannot
+/// express directly.
+struct Mix(u64);
+
+impl Mix {
+    fn new(seed: u64) -> Self {
+        Mix(seed)
+    }
+
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, bound: usize) -> usize {
+        (self.next() % bound.max(1) as u64) as usize
+    }
+
+    fn coin(&mut self) -> bool {
+        self.next() & 1 == 1
+    }
+}
+
+/// Randomizes ASCII casing per character.
+fn scramble_case(name: &str, mix: &mut Mix) -> String {
+    name.chars()
+        .map(|c| {
+            if mix.coin() {
+                c.to_ascii_uppercase()
+            } else {
+                c.to_ascii_lowercase()
+            }
+        })
+        .collect()
+}
+
+/// Fisher–Yates driven by the seed.
+fn shuffle<T>(items: &mut [T], mix: &mut Mix) {
+    for i in (1..items.len()).rev() {
+        items.swap(i, mix.below(i + 1));
+    }
+}
+
+/// Feeds `bytes` to the parser in seed-chosen slices, returning every
+/// request parsed along the way.
+fn parse_in_splits(
+    bytes: &[u8],
+    mix: &mut Mix,
+) -> Result<Vec<cocktail_server::http::Request>, ParseError> {
+    let mut parser = RequestParser::new();
+    let mut parsed = Vec::new();
+    let mut offset = 0;
+    while offset < bytes.len() {
+        let take = 1 + mix.below(bytes.len() - offset);
+        parser.push(&bytes[offset..offset + take]);
+        offset += take;
+        while let Some(request) = parser.next_request()? {
+            parsed.push(request);
+        }
+    }
+    Ok(parsed)
+}
+
+proptest! {
+    /// Header order and casing are semantically irrelevant: however the
+    /// headers are permuted and capitalized, the parse must agree with
+    /// the canonical ordering, and lookups must stay case-insensitive.
+    #[test]
+    fn header_order_and_casing_do_not_change_the_parse(
+        seed in 0u64..10_000,
+        body in "[a-z0-9 ]{0,64}",
+        extras in proptest::collection::vec("[a-z]{1,10}", 0usize..5),
+    ) {
+        let mut mix = Mix::new(seed);
+        let mut headers: Vec<(String, String)> = vec![
+            ("Content-Length".to_string(), body.len().to_string()),
+            ("Host".to_string(), "localhost".to_string()),
+            ("Accept".to_string(), "text/event-stream".to_string()),
+        ];
+        for (i, value) in extras.iter().enumerate() {
+            headers.push((format!("X-Extra-{i}"), value.clone()));
+        }
+        shuffle(&mut headers, &mut mix);
+
+        let mut raw = b"POST /api/generate HTTP/1.1\r\n".to_vec();
+        for (name, value) in &headers {
+            let name = scramble_case(name, &mut mix);
+            raw.extend_from_slice(format!("{name}: {value}\r\n").as_bytes());
+        }
+        raw.extend_from_slice(b"\r\n");
+        raw.extend_from_slice(body.as_bytes());
+
+        let mut parser = RequestParser::new();
+        parser.push(&raw);
+        let request = parser.next_request().expect("valid request").expect("complete");
+        prop_assert_eq!(&request.method, "POST");
+        prop_assert_eq!(&request.target, "/api/generate");
+        prop_assert_eq!(&request.body, body.as_bytes());
+        prop_assert_eq!(request.header("HOST"), Some("localhost"));
+        prop_assert_eq!(request.header("accept"), Some("text/event-stream"));
+        for (i, value) in extras.iter().enumerate() {
+            prop_assert_eq!(request.header(&format!("x-extra-{i}")), Some(value.as_str()));
+        }
+        prop_assert!(parser.next_request().expect("no trailing error").is_none());
+    }
+
+    /// Splitting the byte stream at arbitrary read boundaries — including
+    /// mid-request-line, mid-header, and mid-body — must parse exactly
+    /// like one contiguous read, across a whole pipeline of requests.
+    #[test]
+    fn split_reads_and_pipelining_parse_like_a_single_read(
+        seed in 0u64..10_000,
+        bodies in proptest::collection::vec("[a-z0-9 ]{0,48}", 1usize..5),
+    ) {
+        let mut raw = Vec::new();
+        for (i, body) in bodies.iter().enumerate() {
+            raw.extend_from_slice(
+                format!(
+                    "POST /api/generate HTTP/1.1\r\nX-Index: {i}\r\nContent-Length: {}\r\n\r\n{body}",
+                    body.len()
+                )
+                .as_bytes(),
+            );
+        }
+
+        let mut mix = Mix::new(seed);
+        let split = parse_in_splits(&raw, &mut mix).expect("valid pipeline");
+        prop_assert_eq!(split.len(), bodies.len());
+        for (i, (request, body)) in split.iter().zip(&bodies).enumerate() {
+            prop_assert_eq!(&request.method, "POST");
+            prop_assert_eq!(request.header("x-index"), Some(i.to_string().as_str()));
+            prop_assert_eq!(&request.body, body.as_bytes());
+        }
+    }
+
+    /// Arbitrary printable garbage must never panic the parser: it either
+    /// parses, waits for more input, or rejects with a well-formed 4xx/5xx
+    /// status. Anything that failed once must keep failing (no limbo).
+    #[test]
+    fn malformed_input_rejects_with_a_status_not_a_panic(
+        seed in 0u64..10_000,
+        garbage in "[ -~\r\n]{0,200}",
+    ) {
+        let mut mix = Mix::new(seed);
+        match parse_in_splits(garbage.as_bytes(), &mut mix) {
+            Ok(_) => {}
+            Err(error) => {
+                let status = error.status();
+                prop_assert!(
+                    (400..=505).contains(&status),
+                    "unexpected status {status} for {garbage:?}"
+                );
+            }
+        }
+    }
+
+    /// A request head larger than the configured cap must become 431
+    /// (head) or 413 (declared body), never unbounded buffering.
+    #[test]
+    fn oversized_input_maps_to_431_or_413(
+        pad in 1usize..4096,
+        declared in 1usize..1_000_000,
+    ) {
+        let max_head = 256;
+        let max_body = 512;
+        let mut parser = RequestParser::with_limits(max_head, max_body);
+        let mut raw = b"GET /healthz HTTP/1.1\r\nX-Pad: ".to_vec();
+        raw.extend_from_slice(&vec![b'a'; max_head + pad]);
+        raw.extend_from_slice(b"\r\n\r\n");
+        parser.push(&raw);
+        let error = parser.next_request().expect_err("head over the cap");
+        prop_assert_eq!(error.status(), 431);
+
+        let mut parser = RequestParser::with_limits(max_head, max_body);
+        parser.push(
+            format!(
+                "POST /api/generate HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+                max_body + declared
+            )
+            .as_bytes(),
+        );
+        let error = parser.next_request().expect_err("body over the cap");
+        prop_assert_eq!(error.status(), 413);
+    }
+
+    /// The chunked encoder must round-trip through the chunked decoder at
+    /// any read granularity: encode a sequence of payloads, slice the
+    /// encoded stream arbitrarily, and recover the exact concatenation.
+    #[test]
+    fn chunked_encoding_roundtrips_through_the_decoder(
+        seed in 0u64..10_000,
+        payloads in proptest::collection::vec("[ -~]{0,80}", 0usize..8),
+    ) {
+        let mut encoded = Vec::new();
+        for payload in &payloads {
+            encoded.extend_from_slice(&chunk(payload.as_bytes()));
+        }
+        encoded.extend_from_slice(last_chunk());
+
+        let mut mix = Mix::new(seed);
+        let mut decoder = ChunkedDecoder::new();
+        let mut offset = 0;
+        while offset < encoded.len() {
+            let take = 1 + mix.below(encoded.len() - offset);
+            decoder.push(&encoded[offset..offset + take]).expect("valid chunk stream");
+            offset += take;
+        }
+        prop_assert!(decoder.finished(), "terminal chunk must finish the stream");
+        prop_assert_eq!(
+            decoder.take_output(),
+            payloads.concat().into_bytes(),
+            "decoded bytes must equal the encoded payloads"
+        );
+    }
+
+    /// SSE events written by the encoder must come back intact from the
+    /// SSE parser, event by event and in order, at any text granularity.
+    #[test]
+    fn sse_events_roundtrip_through_the_parser(
+        seed in 0u64..10_000,
+        payloads in proptest::collection::vec("[ -~]{1,80}", 1usize..8),
+    ) {
+        let encoded: String = payloads.iter().map(|p| sse_event(p)).collect();
+
+        let mut mix = Mix::new(seed);
+        let mut parser = SseParser::new();
+        let mut events = Vec::new();
+        let bytes = encoded.as_bytes();
+        let mut offset = 0;
+        while offset < bytes.len() {
+            let mut take = 1 + mix.below(bytes.len() - offset);
+            // Keep pushes on UTF-8 boundaries (SSE frames are ASCII here,
+            // but the parser API takes &str).
+            while !encoded.is_char_boundary(offset + take) {
+                take += 1;
+            }
+            parser.push(&encoded[offset..offset + take]);
+            offset += take;
+            while let Some(event) = parser.next_event() {
+                events.push(event);
+            }
+        }
+        prop_assert_eq!(&events, &payloads);
+    }
+}

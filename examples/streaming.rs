@@ -79,6 +79,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 Some(FinishReason::Length) => "  <budget exhausted>",
                 Some(FinishReason::Stop) => "  <stop sequence hit>",
                 Some(FinishReason::Cancelled) => "  <cancelled>",
+                Some(FinishReason::Failed) => "  <failed>",
                 None => "",
             };
             println!(

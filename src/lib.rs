@@ -17,6 +17,8 @@
 //!   mixed-precision attention, end-to-end pipeline).
 //! * [`workloads`] — LongBench-style synthetic tasks and accuracy metrics.
 //! * [`hwsim`] — the analytic GPU memory/latency/throughput model.
+//! * [`server`] — the HTTP/1.1 serving gateway: SSE token streaming,
+//!   disconnect-cancel, and admission backpressure over the engine.
 //!
 //! # Quickstart
 //!
@@ -46,6 +48,7 @@ pub use cocktail_kvcache as kvcache;
 pub use cocktail_model as model;
 pub use cocktail_quant as quant;
 pub use cocktail_retrieval as retrieval;
+pub use cocktail_server as server;
 pub use cocktail_tensor as tensor;
 pub use cocktail_workloads as workloads;
 
@@ -71,6 +74,10 @@ pub mod prelude {
     };
     pub use cocktail_quant::{Bitwidth, QuantAxis, QuantConfig, QuantizedMatrix};
     pub use cocktail_retrieval::{Bm25, ChunkScorer, ContrieverSim, EncoderKind};
+    pub use cocktail_server::{
+        EngineSettings, GatewayClient, GatewayConfig, GatewayServer, GenerateRequest,
+        GenerateResponse, StatsResponse, StreamEvent,
+    };
     pub use cocktail_tensor::Matrix;
     pub use cocktail_workloads::eval::{EvalConfig, Evaluator};
     pub use cocktail_workloads::{

@@ -1,0 +1,506 @@
+//! Socket-level end-to-end tests for the HTTP gateway: every assertion
+//! here crosses a real localhost TCP connection.
+//!
+//! The load-bearing invariants:
+//!
+//! * bytes streamed over SSE are identical to the answer the in-process
+//!   engine produces for the same request (batching, interleaving, and
+//!   the prefix cache must not leak into the wire protocol),
+//! * a client dropping its socket mid-stream cancels the request and
+//!   releases budget/queue/pins, leaving concurrent survivors
+//!   byte-identical to their solo runs,
+//! * over-capacity traffic surfaces as 429 + queue depth, not unbounded
+//!   buffering,
+//! * shutdown from idle reports zero scheduler bytes and zero pinned
+//!   prefix entries.
+
+use std::time::{Duration, Instant};
+
+use cocktail::prelude::*;
+use cocktail::server::{ClientError, EngineSettings};
+
+fn tiny_settings() -> EngineSettings {
+    let config = CocktailConfig::default()
+        .with_chunk_size(16)
+        .expect("valid chunk size");
+    EngineSettings::new(ModelProfile::tiny(), config)
+}
+
+fn start_server(
+    settings: EngineSettings,
+    gateway: GatewayConfig,
+) -> (GatewayServer, GatewayClient) {
+    let server = GatewayServer::start(settings, gateway).expect("bind localhost");
+    let client = GatewayClient::new(server.addr());
+    (server, client)
+}
+
+/// Ground-truth reference for byte-identity checks: one shared
+/// [`CocktailPipeline`] running requests sequentially, in the same order
+/// they are submitted to the gateway. The tokenizer interns vocabulary
+/// in encounter order, so the reference has to see the same prompts in
+/// the same order as the engine behind the gateway — this mirrors the
+/// "solo sequential run" convention of the core serving tests.
+struct SoloReference {
+    pipeline: CocktailPipeline,
+}
+
+impl SoloReference {
+    fn new() -> Self {
+        let config = CocktailConfig::default()
+            .with_chunk_size(16)
+            .expect("valid chunk size");
+        Self {
+            pipeline: CocktailPipeline::new(ModelProfile::tiny(), config).expect("pipeline"),
+        }
+    }
+
+    fn answer(&self, ctx: &str, query: &str, max_new_tokens: usize) -> String {
+        self.pipeline
+            .run(ctx, query, max_new_tokens)
+            .expect("reference run")
+            .answer
+    }
+}
+
+/// The answer a fresh single-request engine produces. Only a valid
+/// reference for the *first* request served by a fresh gateway (the
+/// tokenizer starts empty on both sides).
+fn first_request_answer(
+    ctx: &str,
+    query: &str,
+    max_new_tokens: usize,
+    stop: Option<&str>,
+) -> String {
+    let config = CocktailConfig::default()
+        .with_chunk_size(16)
+        .expect("valid chunk size");
+    let mut engine = ServingEngine::new(ModelProfile::tiny(), config).expect("engine");
+    let mut request = ServeRequest::new(ctx, query, max_new_tokens);
+    if let Some(stop) = stop {
+        request = request.with_stop_sequence(stop);
+    }
+    let id = engine.submit(request);
+    let outcomes = engine.run_until_idle().expect("solo run");
+    outcomes
+        .into_iter()
+        .find(|o| o.id == id)
+        .expect("solo outcome")
+        .outcome
+        .answer
+}
+
+fn traffic(n: usize, seed: u64) -> Vec<TrafficRequest> {
+    TrafficGenerator::new(TrafficConfig::small(n).with_max_new_tokens(10), seed).generate()
+}
+
+fn poll_stats_until(
+    client: &GatewayClient,
+    what: &str,
+    predicate: impl Fn(&StatsResponse) -> bool,
+) -> StatsResponse {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let stats = client.stats().expect("stats endpoint");
+        if predicate(&stats) {
+            return stats;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "timed out waiting for {what}; last stats: {stats:?}"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+#[test]
+fn generate_over_tcp_matches_in_process_answers() {
+    let (server, client) = start_server(tiny_settings(), GatewayConfig::default());
+    let reference = SoloReference::new();
+    for request in traffic(4, 0x11AD) {
+        let expected = reference.answer(
+            &request.task.context,
+            &request.task.query,
+            request.max_new_tokens,
+        );
+        let response = client
+            .generate(&GenerateRequest::new(
+                request.task.context.clone(),
+                request.task.query.clone(),
+                request.max_new_tokens,
+            ))
+            .expect("generate succeeds");
+        assert_eq!(response.answer, expected, "request {}", request.index);
+        assert_eq!(response.finish, "length");
+        assert!(response.generated_tokens > 0);
+    }
+    let last = server.shutdown();
+    assert_eq!(last.completed, 4);
+}
+
+#[test]
+fn streamed_concatenation_equals_in_process_answer() {
+    let (server, client) = start_server(tiny_settings(), GatewayConfig::default());
+    let reference = SoloReference::new();
+    for request in traffic(3, 0x5EED) {
+        let expected = reference.answer(
+            &request.task.context,
+            &request.task.query,
+            request.max_new_tokens,
+        );
+        let handle = client
+            .open_stream(&GenerateRequest::new(
+                request.task.context.clone(),
+                request.task.query.clone(),
+                request.max_new_tokens,
+            ))
+            .expect("stream opens");
+        let outcome = handle.finish().expect("stream finishes");
+        assert_eq!(outcome.finish, "length");
+        assert_eq!(outcome.streamed, expected, "request {}", request.index);
+        assert_eq!(
+            outcome.answer.as_deref(),
+            Some(expected.as_str()),
+            "final event repeats the full answer"
+        );
+        assert_eq!(outcome.token_events, request.max_new_tokens);
+    }
+    server.shutdown();
+}
+
+#[test]
+fn stop_sequences_end_streams_early_over_the_wire() {
+    let (server, client) = start_server(tiny_settings(), GatewayConfig::default());
+    let request = &traffic(1, 0x57A9)[0];
+    // Pick a stop string the unstopped answer provably contains, so the
+    // stop must fire.
+    let unstopped = first_request_answer(&request.task.context, &request.task.query, 12, None);
+    let stop = unstopped
+        .split_whitespace()
+        .nth(1)
+        .expect("answer has words")
+        .to_string();
+    let expected =
+        first_request_answer(&request.task.context, &request.task.query, 12, Some(&stop));
+    let outcome = client
+        .open_stream(
+            &GenerateRequest::new(request.task.context.clone(), request.task.query.clone(), 12)
+                .with_stop(stop.clone()),
+        )
+        .expect("stream opens")
+        .finish()
+        .expect("stream finishes");
+    assert_eq!(outcome.finish, "stop", "stop {stop:?} must fire");
+    assert_eq!(outcome.streamed, expected);
+    assert!(outcome.streamed.contains(&stop));
+    assert!(outcome.token_events < 12);
+    server.shutdown();
+}
+
+#[test]
+fn malformed_requests_get_4xx_not_a_hung_connection() {
+    let (server, client) = start_server(tiny_settings(), GatewayConfig::default());
+    let cases: Vec<(&str, Vec<u8>, u16)> = vec![
+        (
+            "bad json",
+            b"POST /api/generate HTTP/1.1\r\nContent-Length: 8\r\n\r\nnot json".to_vec(),
+            400,
+        ),
+        (
+            "missing fields",
+            b"POST /api/generate HTTP/1.1\r\nContent-Length: 2\r\n\r\n{}".to_vec(),
+            400,
+        ),
+        (
+            "zero token budget",
+            format!(
+                "POST /api/generate HTTP/1.1\r\nContent-Length: {}\r\n\r\n{}",
+                "{\"context\":\"c\",\"query\":\"q\",\"max_new_tokens\":0}".len(),
+                "{\"context\":\"c\",\"query\":\"q\",\"max_new_tokens\":0}"
+            )
+            .into_bytes(),
+            400,
+        ),
+        (
+            "unsupported version",
+            b"GET /api/stats HTTP/2.0\r\n\r\n".to_vec(),
+            505,
+        ),
+        (
+            "chunked request body",
+            b"POST /api/generate HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n".to_vec(),
+            501,
+        ),
+        (
+            "header with no colon",
+            b"GET /api/stats HTTP/1.1\r\nBroken Header\r\n\r\n".to_vec(),
+            400,
+        ),
+        (
+            "unknown path",
+            b"GET /api/nope HTTP/1.1\r\n\r\n".to_vec(),
+            404,
+        ),
+        (
+            "wrong method on a known path",
+            b"GET /api/generate HTTP/1.1\r\n\r\n".to_vec(),
+            405,
+        ),
+        (
+            "unimplemented method",
+            b"DELETE /api/generate HTTP/1.1\r\n\r\n".to_vec(),
+            501,
+        ),
+        (
+            "oversized declared body",
+            b"POST /api/generate HTTP/1.1\r\nContent-Length: 999999999\r\n\r\n".to_vec(),
+            413,
+        ),
+    ];
+    for (what, raw, status) in cases {
+        let response = client.send_raw(&raw).expect("server answers");
+        assert_eq!(response.status, status, "{what}: {}", response.body_str());
+    }
+    // An oversized head (431) needs a header bigger than the cap.
+    let mut huge = b"GET /api/stats HTTP/1.1\r\nX-Padding: ".to_vec();
+    huge.extend_from_slice(&vec![b'a'; 20 * 1024]);
+    huge.extend_from_slice(b"\r\n\r\n");
+    let response = client.send_raw(&huge).expect("server answers");
+    assert_eq!(response.status, 431);
+    // The engine stays healthy through all of it.
+    let request = &traffic(1, 0xF00D)[0];
+    client
+        .generate(&GenerateRequest::new(
+            request.task.context.clone(),
+            request.task.query.clone(),
+            4,
+        ))
+        .expect("engine still serves after malformed traffic");
+    server.shutdown();
+}
+
+#[test]
+fn pipelined_requests_answer_in_order() {
+    let (server, client) = start_server(tiny_settings(), GatewayConfig::default());
+    let raw = b"GET /healthz HTTP/1.1\r\n\r\nGET /api/stats HTTP/1.1\r\n\r\nGET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n";
+    let responses = client
+        .send_raw_pipelined(raw, 3)
+        .expect("three pipelined responses");
+    assert_eq!(responses[0].status, 200);
+    assert!(responses[0].body_str().contains("ok"));
+    assert_eq!(responses[1].status, 200);
+    assert!(responses[1].body_str().contains("kv_bytes_in_use"));
+    assert_eq!(responses[2].status, 200);
+    server.shutdown();
+}
+
+#[test]
+fn invalid_engine_input_maps_to_400_with_the_failure_message() {
+    let (server, client) = start_server(tiny_settings(), GatewayConfig::default());
+    // An empty context passes JSON validation but fails tokenization in
+    // the engine; the Failed terminal event must become a clean 400.
+    let err = client
+        .generate(&GenerateRequest::new("", "question", 4))
+        .expect_err("empty context fails");
+    match err {
+        ClientError::Status { status, error } => {
+            assert_eq!(status, 400);
+            assert!(error.error.contains("non-empty"), "{}", error.error);
+        }
+        other => panic!("expected a status error, got {other:?}"),
+    }
+    server.shutdown();
+}
+
+#[test]
+fn over_capacity_requests_get_429_with_queue_depth() {
+    // One-at-a-time decode and a single queue slot make the rejection
+    // point deterministic.
+    let settings = tiny_settings().with_scheduler(SchedulerConfig::default().with_max_batch(1));
+    let gateway = GatewayConfig::default().with_queue_limit(1);
+    let (server, client) = start_server(settings, gateway);
+    let request = &traffic(1, 0xCAFE)[0];
+    // A long context plus a big token budget keeps the occupying request
+    // decoding for long enough that the later submits race nothing.
+    let long_context =
+        "the cocktail gateway keeps decoding while later clients line up outside ".repeat(55);
+    let slow = GenerateRequest::new(long_context, request.task.query.clone(), 300);
+
+    // First stream occupies the single decode slot...
+    let mut first = client.open_stream(&slow).expect("first stream opens");
+    first.read_tokens(1).expect("first stream is decoding");
+    poll_stats_until(&client, "first request running", |s| s.running == 1);
+    // ...second one fills the single queue slot...
+    let second = client.open_stream(&slow).expect("second stream queues");
+    poll_stats_until(&client, "second request queued", |s| s.queued == 1);
+    // ...third is told to back off, with the queue depth in the body.
+    let err = client
+        .generate(&GenerateRequest::new(
+            request.task.context.clone(),
+            request.task.query.clone(),
+            4,
+        ))
+        .expect_err("queue is full");
+    match err {
+        ClientError::Status { status, error } => {
+            assert_eq!(status, 429, "{}", error.error);
+            assert_eq!(error.queued, Some(1));
+            assert_eq!(error.queue_limit, Some(1));
+        }
+        other => panic!("expected 429, got {other:?}"),
+    }
+
+    // Dropping both streams cancels them and drains the queue.
+    first.abort();
+    second.abort();
+    poll_stats_until(&client, "cancellations to land", |s| {
+        s.queued == 0 && s.running == 0 && s.cancelled == 2
+    });
+    let request = &traffic(1, 0xD00D)[0];
+    client
+        .generate(&GenerateRequest::new(
+            request.task.context.clone(),
+            request.task.query.clone(),
+            4,
+        ))
+        .expect("capacity is back after the disconnects");
+    server.shutdown();
+}
+
+/// Satellite 3: the socket-level twin of the cancellation proptest. A
+/// seeded client drops its TCP connection mid-stream at a random token
+/// step; every surviving concurrent stream must stay byte-identical to
+/// its solo run, and the dropped request's budget must come back.
+#[test]
+fn mid_stream_disconnect_leaves_survivors_byte_identical() {
+    let trace = TrafficGenerator::new(
+        TrafficConfig::small(6)
+            .with_max_new_tokens(12)
+            .with_cancellations(400),
+        0xD15C,
+    )
+    .generate();
+    assert!(
+        trace.iter().any(|r| r.cancel_after_tokens.is_some()),
+        "seed must produce at least one disconnecting client"
+    );
+    assert!(
+        trace.iter().any(|r| r.cancel_after_tokens.is_none()),
+        "seed must leave survivors"
+    );
+    // The reference runs every request — including the ones whose
+    // clients will hang up — because the tokenizer interns each prompt's
+    // vocabulary whether or not decode completes.
+    let reference = SoloReference::new();
+    let expected: Vec<String> = trace
+        .iter()
+        .map(|r| reference.answer(&r.task.context, &r.task.query, r.max_new_tokens))
+        .collect();
+
+    let (server, client) = start_server(tiny_settings(), GatewayConfig::default());
+    // Open every stream from this thread, in trace order: submission
+    // order fixes the engine's vocabulary-intern order, which is what
+    // makes the sequential reference above apply.
+    let handles: Vec<_> = trace
+        .iter()
+        .map(|request| {
+            let generate = GenerateRequest::new(
+                request.task.context.clone(),
+                request.task.query.clone(),
+                request.max_new_tokens,
+            );
+            client.open_stream(&generate).expect("stream opens")
+        })
+        .collect();
+    let mut workers = Vec::new();
+    for ((request, expected), mut handle) in trace
+        .iter()
+        .cloned()
+        .zip(expected.iter().cloned())
+        .zip(handles)
+    {
+        workers.push(std::thread::spawn(move || {
+            match request.cancel_after_tokens {
+                Some(after) => {
+                    // Read a few tokens, then vanish without a goodbye.
+                    handle.read_tokens(after).expect("partial read");
+                    handle.abort();
+                    None
+                }
+                None => {
+                    let outcome = handle.finish().expect("survivor finishes");
+                    assert_eq!(
+                        outcome.streamed, expected,
+                        "survivor {} diverged from its solo run",
+                        request.index
+                    );
+                    assert_eq!(outcome.finish, "length");
+                    Some(outcome.streamed)
+                }
+            }
+        }));
+    }
+    let mut survivors = 0;
+    for worker in workers {
+        if worker.join().expect("client thread").is_some() {
+            survivors += 1;
+        }
+    }
+    assert!(survivors > 0);
+
+    // Every disconnected request must be reaped; nothing may stay
+    // admitted or queued once the storm is over. (A disconnecting client
+    // can lose the race with a fast decode, so `completed` may exceed
+    // the survivor count, but nothing may be left running or leaking.)
+    let stats = poll_stats_until(&client, "disconnect storm to settle", |s| {
+        s.queued == 0 && s.running == 0 && s.completed + s.cancelled == 6
+    });
+    assert!(stats.completed >= survivors);
+    assert_eq!(stats.kv_bytes_in_use, 0, "cancelled budget leaked");
+    server.shutdown();
+}
+
+#[test]
+fn shutdown_from_idle_reports_zero_bytes_and_zero_pins() {
+    // Shared-prefix traffic with the prefix cache on: pins must be
+    // released once streams finish, even though cache entries may stay
+    // resident.
+    let settings = tiny_settings().with_prefix_cache(PrefixCacheConfig::default());
+    let (server, client) = start_server(settings, GatewayConfig::default());
+    let trace = TrafficGenerator::new(
+        TrafficConfig::small(4)
+            .with_max_new_tokens(8)
+            .with_shared_prefix(2, 24),
+        0x9155,
+    )
+    .generate();
+    let mut workers = Vec::new();
+    for request in &trace {
+        let client = client.clone();
+        let generate = GenerateRequest::new(
+            request.task.context.clone(),
+            request.task.query.clone(),
+            request.max_new_tokens,
+        );
+        workers.push(std::thread::spawn(move || {
+            client
+                .open_stream(&generate)
+                .expect("stream opens")
+                .finish()
+                .expect("stream finishes")
+        }));
+    }
+    for worker in workers {
+        let outcome = worker.join().expect("client thread");
+        assert_eq!(outcome.finish, "length");
+        assert_eq!(outcome.answer.as_deref(), Some(outcome.streamed.as_str()));
+    }
+    let stats = server.shutdown();
+    assert_eq!(stats.queued, 0);
+    assert_eq!(stats.running, 0);
+    assert_eq!(stats.completed, trace.len());
+    assert_eq!(
+        stats.pinned_prefix_entries, 0,
+        "prefix pins must be released at idle"
+    );
+}
