@@ -19,5 +19,6 @@ fn main() {
     experiments::streaming_latency();
     experiments::prefix_trie_dedup();
     experiments::gateway_saturation();
+    experiments::replica_affinity();
     println!("\nAll experiments complete; JSON records are under results/.");
 }

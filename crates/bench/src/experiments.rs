@@ -756,6 +756,7 @@ pub fn serving_throughput_with(repetitions: usize, write: bool) -> ServingThroug
             prefix_groups: 0,
             prefix_words: 0,
             branch_words: 0,
+            tenant_skew_milli: 0,
             cancel_per_mille: 0,
             stop_strings: Vec::new(),
         },
@@ -984,6 +985,7 @@ pub fn ttft_prefix_reuse_with(repetitions: usize, write: bool) -> TtftPrefixReus
             prefix_groups: groups,
             prefix_words: 192,
             branch_words: 0,
+            tenant_skew_milli: 0,
             cancel_per_mille: 0,
             stop_strings: Vec::new(),
         },
@@ -1225,6 +1227,7 @@ pub fn streaming_latency_with(repetitions: usize, write: bool) -> StreamingLaten
             prefix_groups: 0,
             prefix_words: 0,
             branch_words: 0,
+            tenant_skew_milli: 0,
             cancel_per_mille: 400,
             stop_strings: Vec::new(),
         },
@@ -1545,6 +1548,7 @@ pub fn prefix_trie_dedup_with(write: bool) -> PrefixTrieDedupReport {
             prefix_groups: groups,
             prefix_words: preamble_words,
             branch_words: 12,
+            tenant_skew_milli: 0,
             cancel_per_mille: 0,
             stop_strings: Vec::new(),
         },
@@ -1812,6 +1816,7 @@ pub fn gateway_saturation_with(repetitions: usize, write: bool) -> GatewaySatura
             prefix_groups: 0,
             prefix_words: 0,
             branch_words: 0,
+            tenant_skew_milli: 0,
             cancel_per_mille: 0,
             stop_strings: Vec::new(),
         }
@@ -2106,6 +2111,565 @@ pub fn gateway_saturation_with(repetitions: usize, write: bool) -> GatewaySatura
     report
 }
 
+// ---------------------------------------------------------------------------
+// Replica affinity — multi-replica routing versus round-robin and hwsim
+// ---------------------------------------------------------------------------
+
+/// Per-replica leak counters once the cross-replica cancellation storm
+/// settled.
+#[derive(Debug, Clone, Serialize)]
+pub struct ReplicaLeakRow {
+    /// Replica index.
+    pub replica: usize,
+    /// KV bytes still held by *requests* on this replica
+    /// (`kv_bytes_in_use - prefix_resident_bytes`). Must be zero.
+    pub leaked_kv_bytes: usize,
+    /// Prefix-cache pins still held on this replica. Must be zero.
+    pub pinned_entries: usize,
+}
+
+/// Full payload of the replica-affinity record.
+#[derive(Debug, Clone, Serialize)]
+pub struct ReplicaAffinityReport {
+    /// Engine replicas behind the router.
+    pub replicas: usize,
+    /// Requests in the skewed-tenant trace.
+    pub requests: usize,
+    /// Tenant groups in the trace (Zipf-skewed).
+    pub groups: usize,
+    /// Prefix-reused tokens under prefix-affinity routing (in-process).
+    pub affinity_reused_tokens: u64,
+    /// Prefix-reused tokens under round-robin placement (in-process).
+    pub round_robin_reused_tokens: u64,
+    /// Steady-state tokens/s of the affinity-routed in-process fleet.
+    pub affinity_tokens_per_s: f64,
+    /// Steady-state tokens/s of the round-robin in-process fleet.
+    pub round_robin_tokens_per_s: f64,
+    /// Requests the in-process router placed by fingerprint match.
+    pub affinity_routed: usize,
+    /// Requests the in-process router placed least-loaded (cold).
+    pub least_loaded_routed: usize,
+    /// Whether every affinity-routed output matched the solo-pipeline
+    /// replay of its replica's request subsequence.
+    pub routed_byte_identical: bool,
+    /// Gateway tokens/s with a single replica (best of N runs).
+    pub gateway_single_tokens_per_s: f64,
+    /// Gateway tokens/s with the full fleet (best of N runs).
+    pub gateway_fleet_tokens_per_s: f64,
+    /// `gateway_fleet_tokens_per_s / gateway_single_tokens_per_s`.
+    pub measured_scaling: f64,
+    /// hwsim fleet prediction at one replica.
+    pub predicted_single: cocktail_hwsim::FleetThroughput,
+    /// hwsim fleet prediction at `replicas` replicas.
+    pub predicted_fleet: cocktail_hwsim::FleetThroughput,
+    /// Predicted throughput scaling (`predicted_fleet / predicted_single`;
+    /// linear in the model — replicas share nothing).
+    pub predicted_scaling: f64,
+    /// Whether every fleet-gateway stream matched the solo-pipeline
+    /// replay of the replica that served it.
+    pub gateway_byte_identical: bool,
+    /// How many fleet-gateway requests each replica served.
+    pub gateway_replica_requests: Vec<usize>,
+    /// Affinity-routed count reported by the fleet gateway's
+    /// `/api/stats`.
+    pub gateway_affinity_routed: usize,
+    /// Least-loaded-routed count reported by `/api/stats`.
+    pub gateway_least_loaded_routed: usize,
+    /// Requests in the cross-replica cancellation storm.
+    pub storm_requests: usize,
+    /// Storm requests cancelled mid-stream.
+    pub storm_cancelled: usize,
+    /// Storm requests that completed.
+    pub storm_completed: usize,
+    /// Whether every storm survivor matched its replica's solo replay.
+    pub storm_survivors_byte_identical: bool,
+    /// Per-replica leak counters once the storm settled.
+    pub storm_leaks: Vec<ReplicaLeakRow>,
+}
+
+/// Replica affinity with the default settings: best-of-2 timing, record
+/// written to `results/replica_affinity.json`.
+///
+/// # Panics
+///
+/// See [`replica_affinity_with`].
+pub fn replica_affinity() -> ReplicaAffinityReport {
+    replica_affinity_with(2, true)
+}
+
+/// Multi-replica serving under skewed hot-tenant branching traffic:
+/// prefix-affinity routing versus round-robin, the fleet gateway versus a
+/// single-replica gateway, and a cross-replica cancellation storm.
+///
+/// Phase 1 (in-process): the same Zipf-skewed branching trace is served
+/// by a two-replica [`Router`](cocktail_core::Router) twice —
+/// prefix-affinity and round-robin.
+/// Affinity must strictly beat round-robin on prefix-reused tokens
+/// (deterministic: affinity pins each tenant's branches to one replica's
+/// trie, round-robin smears them), and every routed output is checked
+/// byte-for-byte against a solo [`CocktailPipeline`] replaying exactly
+/// the request subsequence its replica saw, in arrival order (each
+/// replica's tokenizer interns words in its own arrival order, so the
+/// reference must replay per replica, not per fleet).
+///
+/// Phase 2 (gateway): the trace runs through the HTTP gateway once with
+/// one replica and once with the fleet; aggregate SSE tokens/s are
+/// measured the same way on both and their ratio is compared against the
+/// extended `hwsim::deployment` N-replica prediction
+/// ([`DeploymentModel::replicated`]). The per-replica wire ids
+/// (`"r1:req-3"`) identify which engine served each stream, so fleet
+/// byte-identity is checked against per-replica solo replays too.
+///
+/// Phase 3 (storm): skewed branching traffic with a seeded cancellation
+/// mix hits the fleet gateway; cancelling clients drop their sockets
+/// after at least one streamed token (so every prompt was encoded and
+/// the per-replica replay references stay valid). Once settled, *every*
+/// replica must report zero request-held KV bytes and zero pins.
+///
+/// # Panics
+///
+/// Panics if serving fails or a client hits an I/O error; criterion
+/// violations (byte divergence, leaks, lost reuse) are *recorded* so the
+/// enforcing binary can report exactly what broke.
+pub fn replica_affinity_with(repetitions: usize, write: bool) -> ReplicaAffinityReport {
+    use cocktail_core::{RoutePolicy, Router};
+    use cocktail_server::{EngineSettings, GatewayClient, GatewayConfig, GatewayServer};
+
+    let repetitions = repetitions.max(1);
+    let replicas = 2usize;
+    let requests = 15usize;
+    let groups = 3usize;
+    let max_new_tokens = 12usize;
+    let config = CocktailConfig::default()
+        .with_chunk_size(16)
+        .expect("chunk size is valid");
+    let profile = ModelProfile::llama2_7b_sim;
+    // Zipf-skewed hot-tenant branching traffic: three tenants share
+    // 24-word preambles, each request branches after the preamble, and
+    // tenant 0 draws the bulk of the traffic (s = 1.2).
+    let traffic = TrafficGenerator::new(
+        TrafficConfig {
+            requests,
+            arrival_window_steps: 0,
+            max_new_tokens,
+            workload: WorkloadConfig::tiny().with_context_words(96),
+            kinds: vec![TaskKind::Qasper, TaskKind::QmSum, TaskKind::TriviaQa],
+            prefix_groups: 0,
+            prefix_words: 0,
+            branch_words: 0,
+            tenant_skew_milli: 0,
+            cancel_per_mille: 0,
+            stop_strings: Vec::new(),
+        }
+        .with_branching_prefix(groups, 24, 8)
+        .with_tenant_skew(1200),
+        0x5EAF_00D1,
+    )
+    .generate();
+
+    // Phase 1 — in-process: affinity versus round-robin on the same
+    // two-replica fleet.
+    let run_fleet = |policy: RoutePolicy| {
+        let mut router = Router::new(replicas, profile(), config.clone())
+            .expect("router config is valid")
+            .with_policy(policy)
+            .with_prefix_cache(PrefixCacheConfig::default());
+        let ids: Vec<_> = traffic
+            .iter()
+            .map(|r| {
+                router.submit(ServeRequest::new(
+                    r.task.context.clone(),
+                    r.task.query.clone(),
+                    r.max_new_tokens,
+                ))
+            })
+            .collect();
+        let mut first: Option<Instant> = None;
+        let mut last: Option<Instant> = None;
+        let mut tokens = 0usize;
+        while !router.is_idle() {
+            let events = router.step_events().expect("fleet serving succeeds");
+            let now = Instant::now();
+            for event in &events {
+                if event.event.token.is_some() {
+                    first.get_or_insert(now);
+                    last = Some(now);
+                    tokens += 1;
+                }
+            }
+        }
+        let window = last
+            .zip(first)
+            .map_or(0.0, |(l, f)| l.duration_since(f).as_secs_f64())
+            .max(1e-9);
+        let answers: Vec<String> = ids
+            .iter()
+            .map(|id| {
+                router
+                    .take_outcome(*id)
+                    .expect("routed request completed")
+                    .outcome
+                    .answer
+            })
+            .collect();
+        let reused = router.prefix_reused_tokens();
+        let stats = router.routing_stats();
+        let placements: Vec<usize> = ids.iter().map(|id| id.replica).collect();
+        (answers, placements, reused, tokens as f64 / window, stats)
+    };
+    let (affinity_answers, affinity_placements, affinity_reused, affinity_rate, routing_stats) =
+        run_fleet(RoutePolicy::PrefixAffinity);
+    let (_, _, round_robin_reused, round_robin_rate, _) = run_fleet(RoutePolicy::RoundRobin);
+
+    // Byte-identity: each replica's answers against a solo pipeline
+    // replaying exactly that replica's arrival subsequence.
+    let replica_replay = |placements: &[usize], answers: &dyn Fn(usize) -> Option<String>| {
+        let mut identical = true;
+        for replica in 0..replicas {
+            let pipeline =
+                CocktailPipeline::new(profile(), config.clone()).expect("pipeline config is valid");
+            for (i, request) in traffic.iter().enumerate() {
+                if placements[i] != replica {
+                    continue;
+                }
+                let solo = pipeline
+                    .run(
+                        &request.task.context,
+                        &request.task.query,
+                        request.max_new_tokens,
+                    )
+                    .expect("solo replay succeeds")
+                    .answer;
+                if let Some(served) = answers(i) {
+                    identical &= served == solo;
+                }
+            }
+        }
+        identical
+    };
+    let routed_byte_identical =
+        replica_replay(&affinity_placements, &|i| Some(affinity_answers[i].clone()));
+
+    // Phase 2 — the gateway: the same trace once through one replica,
+    // once through the fleet, timed identically.
+    let run_gateway = |n: usize| {
+        let settings = EngineSettings::new(profile(), config.clone())
+            .with_prefix_cache(PrefixCacheConfig::default());
+        let server = GatewayServer::start(settings, GatewayConfig::default().with_replicas(n))
+            .expect("bind localhost");
+        let client = GatewayClient::new(server.addr());
+        let handles: Vec<_> = traffic
+            .iter()
+            .map(|r| {
+                client
+                    .open_stream(&cocktail_server::GenerateRequest::new(
+                        r.task.context.clone(),
+                        r.task.query.clone(),
+                        r.max_new_tokens,
+                    ))
+                    .expect("stream opens")
+            })
+            .collect();
+        let workers: Vec<_> = handles
+            .into_iter()
+            .map(|mut handle| {
+                std::thread::spawn(move || {
+                    let mut first: Option<Instant> = None;
+                    let mut last: Option<Instant> = None;
+                    while let Some(event) = handle.next_event().expect("stream event") {
+                        if !event.done {
+                            let now = Instant::now();
+                            first.get_or_insert(now);
+                            last = Some(now);
+                        }
+                    }
+                    let id = handle.id().expect("stream saw events").to_string();
+                    let outcome = handle.finish().expect("stream finishes");
+                    (id, outcome, first, last)
+                })
+            })
+            .collect();
+        let mut first: Option<Instant> = None;
+        let mut last: Option<Instant> = None;
+        let mut tokens = 0usize;
+        let mut results = Vec::with_capacity(traffic.len());
+        for worker in workers {
+            let (id, outcome, client_first, client_last) = worker.join().expect("client thread");
+            first = match (first, client_first) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                (a, b) => a.or(b),
+            };
+            last = match (last, client_last) {
+                (Some(a), Some(b)) => Some(a.max(b)),
+                (a, b) => a.or(b),
+            };
+            tokens += outcome.token_events;
+            results.push((id, outcome));
+        }
+        let stats = client.stats().expect("stats endpoint");
+        server.shutdown();
+        let window = last
+            .zip(first)
+            .map_or(0.0, |(l, f)| l.duration_since(f).as_secs_f64())
+            .max(1e-9);
+        (tokens as f64 / window, results, stats)
+    };
+
+    let mut single_rate = 0.0f64;
+    let mut fleet_rate = 0.0f64;
+    let mut fleet_results = Vec::new();
+    let mut fleet_stats = None;
+    for rep in 0..repetitions {
+        let (rate, _, _) = run_gateway(1);
+        single_rate = single_rate.max(rate);
+        let (rate, results, stats) = run_gateway(replicas);
+        fleet_rate = fleet_rate.max(rate);
+        if rep == 0 {
+            fleet_results = results;
+            fleet_stats = Some(stats);
+        }
+    }
+    let fleet_stats = fleet_stats.expect("at least one fleet run");
+
+    // Which replica served each stream, from the wire id ("r1:req-3").
+    let wire_replica = |id: &str| -> usize {
+        id.strip_prefix('r')
+            .and_then(|rest| rest.split(':').next())
+            .and_then(|digits| digits.parse().ok())
+            .expect("fleet wire ids carry the replica index")
+    };
+    let fleet_placements: Vec<usize> = fleet_results
+        .iter()
+        .map(|(id, _)| wire_replica(id))
+        .collect();
+    let mut gateway_replica_requests = vec![0usize; replicas];
+    for &replica in &fleet_placements {
+        gateway_replica_requests[replica] += 1;
+    }
+    let gateway_byte_identical = replica_replay(&fleet_placements, &|i| {
+        Some(fleet_results[i].1.streamed.clone())
+    });
+
+    // The hwsim fleet prediction the measured scaling is held against.
+    let deployment = deployment_for(&profile());
+    let kv_profile = build_hw_profile("Cocktail");
+    let predicted_single = deployment
+        .replicated(1)
+        .max_throughput(&kv_profile, 64)
+        .expect("single replica fits");
+    let predicted_fleet = deployment
+        .replicated(replicas)
+        .max_throughput(&kv_profile, 64)
+        .expect("fleet fits");
+    let predicted_scaling = predicted_fleet.tokens_per_s / predicted_single.tokens_per_s;
+    let measured_scaling = fleet_rate / single_rate.max(1e-9);
+
+    // Phase 3 — cancellation storm across the fleet: skewed branching
+    // traffic with a seeded disconnect mix (always after >= 1 streamed
+    // token, so every prompt was encoded before its cancel).
+    let storm_requests = 10usize;
+    let storm = TrafficGenerator::new(
+        TrafficConfig::small(storm_requests)
+            .with_max_new_tokens(12)
+            .with_branching_prefix(groups, 24, 8)
+            .with_tenant_skew(1200)
+            .with_cancellations(450),
+        0x0C7A_11E5,
+    )
+    .generate();
+    assert!(
+        storm.iter().any(|r| r.cancel_after_tokens.is_some())
+            && storm.iter().any(|r| r.cancel_after_tokens.is_none()),
+        "the storm trace must mix disconnecting and surviving clients"
+    );
+    let settings = EngineSettings::new(profile(), config.clone())
+        .with_prefix_cache(PrefixCacheConfig::default());
+    let server = GatewayServer::start(settings, GatewayConfig::default().with_replicas(replicas))
+        .expect("bind localhost");
+    let client = GatewayClient::new(server.addr());
+    let handles: Vec<_> = storm
+        .iter()
+        .map(|r| {
+            client
+                .open_stream(&cocktail_server::GenerateRequest::new(
+                    r.task.context.clone(),
+                    r.task.query.clone(),
+                    r.max_new_tokens,
+                ))
+                .expect("storm stream opens")
+        })
+        .collect();
+    let storm_workers: Vec<_> = storm
+        .iter()
+        .cloned()
+        .zip(handles)
+        .map(|(request, mut handle)| {
+            std::thread::spawn(move || match request.cancel_after_tokens {
+                Some(after) => {
+                    handle.read_tokens(after).expect("partial read");
+                    let id = handle.id().expect("storm stream saw events").to_string();
+                    handle.abort();
+                    (id, None)
+                }
+                None => {
+                    handle.read_tokens(1).expect("first token");
+                    let id = handle.id().expect("storm stream saw events").to_string();
+                    let outcome = handle.finish().expect("survivor finishes");
+                    (id, Some(outcome.streamed))
+                }
+            })
+        })
+        .collect();
+    let storm_results: Vec<(String, Option<String>)> = storm_workers
+        .into_iter()
+        .map(|w| w.join().expect("storm client thread"))
+        .collect();
+
+    // Survivors against per-replica solo replays. Cancelled requests are
+    // replayed too (their prompts were encoded, shifting the replica's
+    // intern order), just not compared.
+    let storm_placements: Vec<usize> = storm_results
+        .iter()
+        .map(|(id, _)| wire_replica(id))
+        .collect();
+    let mut storm_survivors_byte_identical = true;
+    for replica in 0..replicas {
+        let pipeline =
+            CocktailPipeline::new(profile(), config.clone()).expect("pipeline config is valid");
+        for (i, request) in storm.iter().enumerate() {
+            if storm_placements[i] != replica {
+                continue;
+            }
+            let solo = pipeline
+                .run(
+                    &request.task.context,
+                    &request.task.query,
+                    request.max_new_tokens,
+                )
+                .expect("storm solo replay succeeds")
+                .answer;
+            if let Some(streamed) = &storm_results[i].1 {
+                storm_survivors_byte_identical &= *streamed == solo;
+            }
+        }
+    }
+
+    // Wait for the disconnects to be reaped, then read per-replica leaks.
+    let deadline = Instant::now() + std::time::Duration::from_secs(60);
+    let settled = loop {
+        let stats = client.stats().expect("stats endpoint");
+        if stats.queued == 0
+            && stats.running == 0
+            && stats.completed + stats.cancelled >= storm_requests
+        {
+            break stats;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "storm failed to settle; last stats: {stats:?}"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    };
+    server.shutdown();
+    let storm_leaks: Vec<ReplicaLeakRow> = settled
+        .replicas
+        .iter()
+        .map(|r| ReplicaLeakRow {
+            replica: r.replica,
+            leaked_kv_bytes: r.kv_bytes_in_use.saturating_sub(r.prefix_resident_bytes),
+            pinned_entries: r.pinned_prefix_entries,
+        })
+        .collect();
+
+    let table: Vec<Vec<String>> = vec![
+        vec![
+            "affinity".to_string(),
+            affinity_reused.to_string(),
+            format!("{affinity_rate:.1}"),
+            routing_stats.affinity_routed.to_string(),
+            routing_stats.least_loaded_routed.to_string(),
+        ],
+        vec![
+            "round-robin".to_string(),
+            round_robin_reused.to_string(),
+            format!("{round_robin_rate:.1}"),
+            "-".to_string(),
+            "-".to_string(),
+        ],
+    ];
+    print_table(
+        "Replica affinity: prefix-routed vs round-robin placement on a 2-replica fleet \
+         (skewed tenants, Llama2-7B sim)",
+        &[
+            "Policy",
+            "Reused tokens",
+            "tok/s",
+            "Affinity",
+            "Least-loaded",
+        ],
+        &table,
+    );
+    println!(
+        "gateway: 1 replica {single_rate:.1} tok/s vs {replicas} replicas {fleet_rate:.1} tok/s \
+         ({measured_scaling:.2}x measured, {predicted_scaling:.2}x predicted); fleet split {:?}; \
+         storm: {} cancelled / {} completed, leaks per replica {:?}",
+        gateway_replica_requests,
+        settled.cancelled,
+        settled.completed,
+        storm_leaks
+            .iter()
+            .map(|l| (l.leaked_kv_bytes, l.pinned_entries))
+            .collect::<Vec<_>>()
+    );
+
+    let report = ReplicaAffinityReport {
+        replicas,
+        requests,
+        groups,
+        affinity_reused_tokens: affinity_reused,
+        round_robin_reused_tokens: round_robin_reused,
+        affinity_tokens_per_s: affinity_rate,
+        round_robin_tokens_per_s: round_robin_rate,
+        affinity_routed: routing_stats.affinity_routed,
+        least_loaded_routed: routing_stats.least_loaded_routed,
+        routed_byte_identical,
+        gateway_single_tokens_per_s: single_rate,
+        gateway_fleet_tokens_per_s: fleet_rate,
+        measured_scaling,
+        predicted_single,
+        predicted_fleet,
+        predicted_scaling,
+        gateway_byte_identical,
+        gateway_replica_requests,
+        gateway_affinity_routed: fleet_stats.affinity_routed,
+        gateway_least_loaded_routed: fleet_stats.least_loaded_routed,
+        storm_requests,
+        storm_cancelled: settled.cancelled,
+        storm_completed: settled.completed,
+        storm_survivors_byte_identical,
+        storm_leaks,
+    };
+    if write {
+        let record = ExperimentRecord {
+            id: "replica_affinity".to_string(),
+            title: "Replica affinity: fleet-wide prefix reuse via consistent-hash routing"
+                .to_string(),
+            note: format!(
+                "{requests} Zipf-skewed ({groups}-tenant) branching requests on a \
+                 {replicas}-replica fleet (Llama2-7B sim, prefix caches on): prefix-affinity \
+                 vs round-robin reuse in-process, then the HTTP gateway at 1 vs {replicas} \
+                 replicas (best of {repetitions} runs) against the hwsim replicated() \
+                 prediction, then a {storm_requests}-client cross-replica disconnect storm \
+                 checked for per-replica leaks"
+            ),
+            rows: &report,
+        };
+        let path = write_record(&record);
+        println!("(written to {})", path.display());
+    }
+    report
+}
+
 /// Best-of-N TTFT components of one request.
 #[derive(Debug, Clone, Copy)]
 struct PipelineTimingsBest {
@@ -2344,6 +2908,70 @@ mod tests {
             if let (Some(c), Some(k)) = (at("Cocktail", b), at("KVQuant", b)) {
                 assert!(c > k, "batch {b}");
             }
+        }
+    }
+
+    #[test]
+    fn replica_affinity_routes_reuse_and_leaves_no_cross_replica_leaks() {
+        // One repetition keeps tier-1 fast; the strict throughput-scaling
+        // and affinity-vs-round-robin rate gates live in the release-mode
+        // `replica_affinity` binary run by CI (debug wall-clock ratios are
+        // hostage to scheduler noise). Everything asserted here is
+        // deterministic: placements, reuse counts, byte-identity, leaks.
+        let report = replica_affinity_with(1, false);
+        assert_eq!(report.replicas, 2);
+        assert!(
+            report.routed_byte_identical,
+            "an in-process routed output diverged from its replica's solo replay"
+        );
+        assert!(
+            report.gateway_byte_identical,
+            "a fleet-gateway stream diverged from its replica's solo replay"
+        );
+        assert!(
+            report.affinity_reused_tokens > report.round_robin_reused_tokens,
+            "affinity reused {} tokens, round-robin {}",
+            report.affinity_reused_tokens,
+            report.round_robin_reused_tokens
+        );
+        // Tenant leaders go least-loaded, every follower by fingerprint.
+        assert!(report.affinity_routed > 0);
+        assert!(report.least_loaded_routed > 0);
+        assert_eq!(
+            report.affinity_routed + report.least_loaded_routed,
+            report.requests
+        );
+        // The fleet gateway spread the trace over both replicas and its
+        // stats endpoint saw the routing counters.
+        assert_eq!(report.gateway_replica_requests.len(), report.replicas);
+        assert!(report.gateway_replica_requests.iter().all(|&n| n > 0));
+        assert_eq!(
+            report.gateway_affinity_routed + report.gateway_least_loaded_routed,
+            report.requests
+        );
+        // The hwsim fleet model predicts exactly linear scaling.
+        assert!((report.predicted_scaling - report.replicas as f64).abs() < 1e-9);
+        // Storm: both outcomes occurred, survivors matched, nothing leaked
+        // on either replica.
+        assert!(report.storm_cancelled > 0);
+        assert!(report.storm_completed > 0);
+        assert_eq!(
+            report.storm_cancelled + report.storm_completed,
+            report.storm_requests
+        );
+        assert!(report.storm_survivors_byte_identical);
+        assert_eq!(report.storm_leaks.len(), report.replicas);
+        for leak in &report.storm_leaks {
+            assert_eq!(
+                leak.leaked_kv_bytes, 0,
+                "replica {} leaked KV bytes",
+                leak.replica
+            );
+            assert_eq!(
+                leak.pinned_entries, 0,
+                "replica {} still holds pins",
+                leak.replica
+            );
         }
     }
 }

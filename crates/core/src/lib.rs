@@ -33,6 +33,12 @@
 //!   through a single batched decode call. Batched, prefix-reusing serving
 //!   is byte-identical to running the same requests sequentially through
 //!   [`CocktailPipeline`].
+//! * The **router layer** ([`Router`], [`PrefixFingerprintIndex`]) scales
+//!   serving past one engine: N independent replicas — each with its own
+//!   KV budget and prefix trie — behind a prefix-affinity router that
+//!   sends branching conversations back to the replica where their shared
+//!   preamble KV is already resident, and cold prompts to the
+//!   least-loaded replica.
 //!
 //! # Example
 //!
@@ -65,6 +71,7 @@ mod pipeline;
 mod policy;
 mod prefix;
 pub mod reorder;
+mod router;
 mod scheduler;
 pub mod search;
 mod serving;
@@ -74,6 +81,10 @@ pub use error::CocktailError;
 pub use pipeline::{CocktailOutcome, CocktailPipeline, PipelineTimings};
 pub use policy::CocktailPolicy;
 pub use prefix::{PrefixCache, PrefixCacheConfig, PrefixCacheStats, PrefixHit, PrefixLease};
+pub use router::{
+    PrefixFingerprintIndex, RouteDecision, RoutePolicy, RoutedEvent, RoutedId, Router,
+    RouterConfig, RouterStats,
+};
 pub use scheduler::{
     AdmitDecision, BatchScheduler, RequestId, SchedulerConfig, DEFAULT_PREFILL_WINDOW,
 };

@@ -217,8 +217,76 @@ impl StreamEvent {
     }
 }
 
-/// The `/api/stats` response body: a live snapshot of the engine, used by
-/// tests to assert zero leaked bytes/pins after disconnect storms.
+/// One replica's slice of the `/api/stats` snapshot.
+///
+/// All the per-engine numbers of [`StatsResponse`], labelled with the
+/// replica index, so routing quality (where the KV bytes and prefix reuse
+/// actually landed) is observable over the wire.
+#[derive(Debug, Clone, Serialize)]
+pub struct ReplicaStats {
+    /// Zero-based replica index.
+    pub replica: usize,
+    /// Compressed KV bytes held by this replica's requests and cache.
+    pub kv_bytes_in_use: usize,
+    /// Requests waiting in this replica's admission queue.
+    pub queued: usize,
+    /// Requests currently decoding on this replica.
+    pub running: usize,
+    /// Context tokens this replica served from its prefix cache instead
+    /// of re-prefilling.
+    pub prefix_reused_tokens: usize,
+    /// Pinned prefix-cache entries (0 when no cache is configured).
+    pub pinned_prefix_entries: usize,
+    /// Bytes held by this replica's resident prefix-cache blocks.
+    pub prefix_resident_bytes: usize,
+    /// Requests this replica completed since the server started.
+    pub completed: usize,
+    /// Requests this replica cancelled since the server started.
+    pub cancelled: usize,
+    /// Requests this replica failed since the server started.
+    pub failed: usize,
+}
+
+impl ReplicaStats {
+    /// An all-zero snapshot for the given replica index.
+    pub fn empty(replica: usize) -> Self {
+        Self {
+            replica,
+            kv_bytes_in_use: 0,
+            queued: 0,
+            running: 0,
+            prefix_reused_tokens: 0,
+            pinned_prefix_entries: 0,
+            prefix_resident_bytes: 0,
+            completed: 0,
+            cancelled: 0,
+            failed: 0,
+        }
+    }
+
+    fn from_value(value: &Value) -> Result<Self, String> {
+        let fields = as_object(value, "replica stats entry")?;
+        Ok(Self {
+            replica: require_usize(fields, "replica")?,
+            kv_bytes_in_use: require_usize(fields, "kv_bytes_in_use")?,
+            queued: require_usize(fields, "queued")?,
+            running: require_usize(fields, "running")?,
+            prefix_reused_tokens: require_usize(fields, "prefix_reused_tokens")?,
+            pinned_prefix_entries: require_usize(fields, "pinned_prefix_entries")?,
+            prefix_resident_bytes: require_usize(fields, "prefix_resident_bytes")?,
+            completed: require_usize(fields, "completed")?,
+            cancelled: require_usize(fields, "cancelled")?,
+            failed: require_usize(fields, "failed")?,
+        })
+    }
+}
+
+/// The `/api/stats` response body: a live snapshot of the engine fleet,
+/// used by tests to assert zero leaked bytes/pins after disconnect storms.
+///
+/// The top-level counters aggregate across replicas; `replicas` breaks
+/// them down per engine, and the two `*_routed` counters say how each
+/// accepted request chose its replica.
 #[derive(Debug, Clone, Serialize)]
 pub struct StatsResponse {
     /// Compressed KV bytes held by admitted requests and resident cache.
@@ -234,16 +302,29 @@ pub struct StatsResponse {
     /// bytes held by requests themselves — the number that must return
     /// to zero once traffic drains.
     pub prefix_resident_bytes: usize,
+    /// Context tokens served from prefix caches instead of re-prefilled,
+    /// summed across replicas.
+    pub prefix_reused_tokens: usize,
     /// Requests completed since the server started.
     pub completed: usize,
     /// Requests cancelled (client disconnects) since the server started.
     pub cancelled: usize,
     /// Requests failed since the server started.
     pub failed: usize,
+    /// Requests routed by prefix affinity (a fingerprint-index hit).
+    pub affinity_routed: usize,
+    /// Requests routed by least-loaded fallback (cold prompts).
+    pub least_loaded_routed: usize,
+    /// Per-replica breakdown, one entry per engine, in replica order.
+    pub replicas: Vec<ReplicaStats>,
 }
 
 impl StatsResponse {
     /// Parses a stats body (client side).
+    ///
+    /// The routing fields (`prefix_reused_tokens`, `*_routed`,
+    /// `replicas`) are optional on the wire so pre-multi-replica bodies
+    /// still parse; they default to zero/empty.
     ///
     /// # Errors
     ///
@@ -251,15 +332,27 @@ impl StatsResponse {
     pub fn from_json(body: &str) -> Result<Self, String> {
         let value = serde_json::from_str(body).map_err(|e| format!("invalid JSON: {e}"))?;
         let fields = as_object(&value, "stats response")?;
+        let replicas = match field(fields, "replicas") {
+            None | Some(Value::Null) => Vec::new(),
+            Some(Value::Array(entries)) => entries
+                .iter()
+                .map(ReplicaStats::from_value)
+                .collect::<Result<Vec<_>, _>>()?,
+            Some(_) => return Err("field \"replicas\" must be an array".to_string()),
+        };
         Ok(Self {
             kv_bytes_in_use: require_usize(fields, "kv_bytes_in_use")?,
             queued: require_usize(fields, "queued")?,
             running: require_usize(fields, "running")?,
             pinned_prefix_entries: require_usize(fields, "pinned_prefix_entries")?,
             prefix_resident_bytes: require_usize(fields, "prefix_resident_bytes")?,
+            prefix_reused_tokens: optional_usize(fields, "prefix_reused_tokens")?,
             completed: require_usize(fields, "completed")?,
             cancelled: require_usize(fields, "cancelled")?,
             failed: require_usize(fields, "failed")?,
+            affinity_routed: optional_usize(fields, "affinity_routed")?,
+            least_loaded_routed: optional_usize(fields, "least_loaded_routed")?,
+            replicas,
         })
     }
 }
@@ -355,6 +448,15 @@ fn require_usize(fields: &[(String, Value)], name: &str) -> Result<usize, String
     }
 }
 
+/// Like [`require_usize`] but an absent field reads as zero (fields added
+/// after the v1 wire format).
+fn optional_usize(fields: &[(String, Value)], name: &str) -> Result<usize, String> {
+    match field(fields, name) {
+        None | Some(Value::Null) => Ok(0),
+        _ => require_usize(fields, name),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -400,6 +502,49 @@ mod tests {
         assert!(parsed.done);
         assert_eq!(parsed.finish.as_deref(), Some("stop"));
         assert_eq!(parsed.answer.as_deref(), Some("answer"));
+    }
+
+    #[test]
+    fn stats_round_trip_keeps_the_per_replica_breakdown() {
+        let mut first = ReplicaStats::empty(0);
+        first.kv_bytes_in_use = 640;
+        first.prefix_reused_tokens = 17;
+        let mut second = ReplicaStats::empty(1);
+        second.queued = 2;
+        let stats = StatsResponse {
+            kv_bytes_in_use: 640,
+            queued: 2,
+            running: 0,
+            pinned_prefix_entries: 0,
+            prefix_resident_bytes: 0,
+            prefix_reused_tokens: 17,
+            completed: 5,
+            cancelled: 1,
+            failed: 0,
+            affinity_routed: 4,
+            least_loaded_routed: 2,
+            replicas: vec![first, second],
+        };
+        let parsed = StatsResponse::from_json(&serde_json::to_string(&stats).unwrap()).unwrap();
+        assert_eq!(parsed.replicas.len(), 2);
+        assert_eq!(parsed.replicas[0].kv_bytes_in_use, 640);
+        assert_eq!(parsed.replicas[0].prefix_reused_tokens, 17);
+        assert_eq!(parsed.replicas[1].queued, 2);
+        assert_eq!(parsed.affinity_routed, 4);
+        assert_eq!(parsed.least_loaded_routed, 2);
+        assert_eq!(parsed.prefix_reused_tokens, 17);
+    }
+
+    #[test]
+    fn stats_parsing_tolerates_pre_replica_bodies() {
+        let v1 = "{\"kv_bytes_in_use\":0,\"queued\":0,\"running\":0,\
+                  \"pinned_prefix_entries\":0,\"prefix_resident_bytes\":0,\
+                  \"completed\":3,\"cancelled\":0,\"failed\":0}";
+        let parsed = StatsResponse::from_json(v1).unwrap();
+        assert_eq!(parsed.completed, 3);
+        assert_eq!(parsed.prefix_reused_tokens, 0);
+        assert_eq!(parsed.affinity_routed, 0);
+        assert!(parsed.replicas.is_empty());
     }
 
     #[test]

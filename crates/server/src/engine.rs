@@ -23,7 +23,7 @@ use cocktail_core::{
 };
 use cocktail_model::ModelProfile;
 
-use crate::api::StatsResponse;
+use crate::api::ReplicaStats;
 
 /// Everything needed to construct the [`ServingEngine`] inside the driver
 /// thread. Plain data, so it crosses the thread boundary by value.
@@ -65,7 +65,9 @@ impl EngineSettings {
 }
 
 /// Submit payload: the subset of [`ServeRequest`] expressible over JSON.
-#[derive(Debug)]
+/// `Clone` because the replica pool re-offers the same spec to the next
+/// candidate replica when one answers `Busy`.
+#[derive(Debug, Clone)]
 pub(crate) struct SubmitSpec {
     pub context: String,
     pub query: String,
@@ -115,10 +117,10 @@ pub(crate) enum EngineCommand {
         id: RequestId,
     },
     Stats {
-        reply: Sender<StatsResponse>,
+        reply: Sender<ReplicaStats>,
     },
     Shutdown {
-        reply: Sender<StatsResponse>,
+        reply: Sender<ReplicaStats>,
     },
 }
 
@@ -130,14 +132,14 @@ pub(crate) struct EngineDriver {
 }
 
 impl EngineDriver {
-    /// Spawns the driver thread. `queue_limit` caps the admission queue:
-    /// submits arriving beyond it get [`SubmitReply::Busy`] (the
-    /// gateway's 429).
-    pub fn spawn(settings: EngineSettings, queue_limit: usize) -> Self {
+    /// Spawns the driver thread for replica `replica`. `queue_limit` caps
+    /// the admission queue: submits arriving beyond it get
+    /// [`SubmitReply::Busy`] (a 429 once *every* replica says so).
+    pub fn spawn(settings: EngineSettings, queue_limit: usize, replica: usize) -> Self {
         let (commands, inbox) = std::sync::mpsc::channel();
         let handle = std::thread::Builder::new()
-            .name("engine-driver".to_string())
-            .spawn(move || drive(settings, queue_limit, inbox))
+            .name(format!("engine-driver-{replica}"))
+            .spawn(move || drive(settings, queue_limit, replica, inbox))
             .expect("spawn engine driver thread");
         Self {
             commands,
@@ -146,8 +148,8 @@ impl EngineDriver {
     }
 
     /// Asks the driver to stop and waits for it, returning the final
-    /// engine snapshot.
-    pub fn shutdown(mut self) -> StatsResponse {
+    /// engine snapshot for this replica.
+    pub fn shutdown(mut self, replica: usize) -> ReplicaStats {
         let (reply, done) = std::sync::mpsc::channel();
         let stats = if self
             .commands
@@ -161,16 +163,7 @@ impl EngineDriver {
         if let Some(handle) = self.handle.take() {
             let _ = handle.join();
         }
-        stats.unwrap_or(StatsResponse {
-            kv_bytes_in_use: 0,
-            queued: 0,
-            running: 0,
-            pinned_prefix_entries: 0,
-            prefix_resident_bytes: 0,
-            completed: 0,
-            cancelled: 0,
-            failed: 0,
-        })
+        stats.unwrap_or_else(|| ReplicaStats::empty(replica))
     }
 }
 
@@ -182,6 +175,7 @@ struct Subscription {
 struct Driver {
     engine: ServingEngine,
     queue_limit: usize,
+    replica: usize,
     subs: HashMap<RequestId, Subscription>,
     /// A successful cancel parks its terminal event inside the engine
     /// until the next `step_events`; this forces that step even when the
@@ -204,10 +198,16 @@ fn build_engine(settings: EngineSettings) -> ServingEngine {
     engine
 }
 
-fn drive(settings: EngineSettings, queue_limit: usize, inbox: Receiver<EngineCommand>) {
+fn drive(
+    settings: EngineSettings,
+    queue_limit: usize,
+    replica: usize,
+    inbox: Receiver<EngineCommand>,
+) {
     let mut driver = Driver {
         engine: build_engine(settings),
         queue_limit,
+        replica,
         subs: HashMap::new(),
         flush_needed: false,
         completed: 0,
@@ -307,11 +307,17 @@ impl Driver {
         false
     }
 
-    fn stats(&self) -> StatsResponse {
-        StatsResponse {
+    fn stats(&self) -> ReplicaStats {
+        ReplicaStats {
+            replica: self.replica,
             kv_bytes_in_use: self.engine.kv_bytes_in_use(),
             queued: self.engine.scheduler().queued_len(),
             running: self.engine.scheduler().running_len(),
+            prefix_reused_tokens: self
+                .engine
+                .prefix_cache_stats()
+                .map(|s| s.reused_tokens as usize)
+                .unwrap_or(0),
             pinned_prefix_entries: self
                 .engine
                 .prefix_cache_stats()

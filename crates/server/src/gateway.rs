@@ -1,5 +1,5 @@
 //! The HTTP gateway: TCP acceptor, connection worker pool, and request
-//! routing over the engine driver.
+//! routing over a pool of engine-driver replicas.
 //!
 //! Lifecycle of a connection: the nonblocking acceptor hands sockets to a
 //! fixed pool of worker threads; each worker parses pipelined HTTP/1.1
@@ -8,16 +8,24 @@
 //! vanished client turns into [`ServingEngine::cancel`] within one poll
 //! interval (budget, queue slot, and prefix pins come back immediately).
 //!
+//! With [`GatewayConfig::with_replicas`] the gateway runs N independent
+//! engines, each on its own driver thread with its own KV budget and
+//! prefix trie. Every `/api/generate` submit is routed by the
+//! replica pool: prompts whose preamble fingerprints a
+//! replica has served before go back to that replica (fleet-wide prefix
+//! reuse), cold prompts go to the least-loaded replica, and a `429` is
+//! answered only when *every* replica's admission queue is full.
+//!
 //! Endpoints:
 //!
 //! | Method | Path            | Behaviour                                   |
 //! |--------|-----------------|---------------------------------------------|
 //! | POST   | `/api/generate` | Generate; SSE stream when `"stream": true`  |
-//! | GET    | `/api/stats`    | Engine snapshot (bytes, queue, pins)        |
+//! | GET    | `/api/stats`    | Fleet snapshot with per-replica breakdown   |
 //! | GET    | `/healthz`      | Liveness probe                              |
 //!
-//! Over-capacity submits answer `429` with the queue depth; malformed
-//! HTTP answers the status from
+//! Over-capacity submits answer `429` with the queue depth and an
+//! `X-Replica-Count` header; malformed HTTP answers the status from
 //! [`ParseError::status`](crate::http::ParseError) and closes.
 //!
 //! [`ServingEngine::cancel`]: cocktail_core::ServingEngine::cancel
@@ -31,10 +39,9 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use crate::api::{ErrorResponse, GenerateRequest, GenerateResponse, StatsResponse, StreamEvent};
-use crate::engine::{
-    finish_str, EngineCommand, EngineDriver, EngineSettings, GatewayEvent, SubmitReply, SubmitSpec,
-};
+use crate::engine::{finish_str, EngineDriver, EngineSettings, GatewayEvent, SubmitSpec};
 use crate::http::{self, ParseError, Request, RequestParser};
+use crate::router::{PoolReply, ReplicaPool};
 
 /// Gateway tuning knobs.
 #[derive(Debug, Clone)]
@@ -43,8 +50,11 @@ pub struct GatewayConfig {
     pub addr: String,
     /// Connection worker threads (concurrent connections served).
     pub workers: usize,
-    /// Admission-queue capacity: submits beyond this answer 429.
+    /// Admission-queue capacity per replica: submits beyond this on
+    /// *every* replica answer 429.
     pub queue_limit: usize,
+    /// Engine replicas behind the prefix-affinity router (minimum 1).
+    pub replicas: usize,
     /// Request-head byte cap (431 beyond it).
     pub max_head_bytes: usize,
     /// Request-body byte cap (413 beyond it).
@@ -57,6 +67,7 @@ impl Default for GatewayConfig {
             addr: "127.0.0.1:0".to_string(),
             workers: 16,
             queue_limit: 64,
+            replicas: 1,
             max_head_bytes: http::DEFAULT_MAX_HEAD_BYTES,
             max_body_bytes: http::DEFAULT_MAX_BODY_BYTES,
         }
@@ -79,6 +90,13 @@ impl GatewayConfig {
     /// Sets the admission-queue capacity.
     pub fn with_queue_limit(mut self, queue_limit: usize) -> Self {
         self.queue_limit = queue_limit;
+        self
+    }
+
+    /// Sets the engine-replica count (minimum 1). Each replica is an
+    /// independent engine with its own KV budget and prefix trie.
+    pub fn with_replicas(mut self, replicas: usize) -> Self {
+        self.replicas = replicas.max(1);
         self
     }
 }
@@ -109,12 +127,15 @@ pub struct GatewayServer {
     stop: Arc<AtomicBool>,
     acceptor: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
-    driver: Option<EngineDriver>,
+    drivers: Vec<EngineDriver>,
+    pool: Arc<ReplicaPool>,
 }
 
 impl GatewayServer {
-    /// Binds the listener, spawns the engine driver and worker pool, and
-    /// starts accepting connections.
+    /// Binds the listener, spawns one engine driver per configured
+    /// replica plus the worker pool, and starts accepting connections.
+    /// Every replica is built from the same `settings` (same model, same
+    /// budget) so any replica can serve any request byte-identically.
     ///
     /// # Errors
     ///
@@ -123,7 +144,12 @@ impl GatewayServer {
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
-        let driver = EngineDriver::spawn(settings, config.queue_limit);
+        let drivers: Vec<EngineDriver> = (0..config.replicas.max(1))
+            .map(|replica| EngineDriver::spawn(settings.clone(), config.queue_limit, replica))
+            .collect();
+        let pool = Arc::new(ReplicaPool::new(
+            drivers.iter().map(|d| d.commands.clone()).collect(),
+        ));
         let stop = Arc::new(AtomicBool::new(false));
 
         let (conn_tx, conn_rx) = std::sync::mpsc::channel::<TcpStream>();
@@ -131,13 +157,13 @@ impl GatewayServer {
         let mut workers = Vec::with_capacity(config.workers);
         for i in 0..config.workers {
             let conn_rx = Arc::clone(&conn_rx);
-            let commands = driver.commands.clone();
+            let pool = Arc::clone(&pool);
             let stop_flag = Arc::clone(&stop);
             let config = config.clone();
             workers.push(
                 std::thread::Builder::new()
                     .name(format!("gateway-worker-{i}"))
-                    .spawn(move || worker_loop(conn_rx, commands, stop_flag, config))
+                    .spawn(move || worker_loop(conn_rx, pool, stop_flag, config))
                     .expect("spawn gateway worker"),
             );
         }
@@ -153,7 +179,8 @@ impl GatewayServer {
             stop,
             acceptor: Some(acceptor),
             workers,
-            driver: Some(driver),
+            drivers,
+            pool,
         })
     }
 
@@ -162,20 +189,15 @@ impl GatewayServer {
         self.addr
     }
 
-    /// A live engine snapshot, the same data `/api/stats` serves.
+    /// A live fleet snapshot, the same data `/api/stats` serves.
     pub fn stats(&self) -> StatsResponse {
-        let (reply, rx) = std::sync::mpsc::channel();
-        let driver = self.driver.as_ref().expect("driver runs until shutdown");
-        driver
-            .commands
-            .send(EngineCommand::Stats { reply })
-            .expect("driver thread alive");
-        rx.recv().expect("driver answers stats")
+        self.pool.stats()
     }
 
     /// Stops accepting, waits for in-flight connections to finish, shuts
-    /// the engine driver down, and returns the final engine snapshot —
-    /// what the shutdown-cleanliness tests assert zero bytes/pins on.
+    /// every engine driver down, and returns the final aggregated
+    /// snapshot — what the shutdown-cleanliness tests assert zero
+    /// bytes/pins on.
     pub fn shutdown(mut self) -> StatsResponse {
         self.stop.store(true, Ordering::SeqCst);
         if let Some(acceptor) = self.acceptor.take() {
@@ -186,8 +208,13 @@ impl GatewayServer {
         for worker in self.workers.drain(..) {
             let _ = worker.join();
         }
-        let driver = self.driver.take().expect("driver not yet shut down");
-        driver.shutdown()
+        let finals: Vec<_> = self
+            .drivers
+            .drain(..)
+            .enumerate()
+            .map(|(replica, driver)| driver.shutdown(replica))
+            .collect();
+        self.pool.aggregate(finals)
     }
 }
 
@@ -210,7 +237,7 @@ fn accept_loop(listener: TcpListener, connections: Sender<TcpStream>, stop: Arc<
 
 fn worker_loop(
     connections: Arc<Mutex<Receiver<TcpStream>>>,
-    commands: Sender<EngineCommand>,
+    pool: Arc<ReplicaPool>,
     stop: Arc<AtomicBool>,
     config: GatewayConfig,
 ) {
@@ -223,7 +250,7 @@ fn worker_loop(
             Ok(stream) => {
                 // Connection errors tear down that one socket, never the
                 // worker.
-                let _ = handle_connection(stream, &commands, &stop, &config);
+                let _ = handle_connection(stream, &pool, &stop, &config);
             }
             Err(_) => return,
         }
@@ -234,7 +261,7 @@ fn worker_loop(
 /// a close, or the server is shutting down.
 fn handle_connection(
     mut stream: TcpStream,
-    commands: &Sender<EngineCommand>,
+    pool: &ReplicaPool,
     stop: &AtomicBool,
     config: &GatewayConfig,
 ) -> std::io::Result<()> {
@@ -246,7 +273,7 @@ fn handle_connection(
         loop {
             match parser.next_request() {
                 Ok(Some(request)) => {
-                    let keep_alive = route(&mut stream, &request, commands)?;
+                    let keep_alive = route(&mut stream, &request, pool)?;
                     if !keep_alive || request.wants_close() {
                         return Ok(());
                     }
@@ -293,28 +320,16 @@ fn write_json(stream: &mut TcpStream, status: u16, body: &str) -> std::io::Resul
 
 /// Routes one parsed request. Returns `false` when the connection must
 /// close afterwards (streaming responses and errors of unknown framing).
-fn route(
-    stream: &mut TcpStream,
-    request: &Request,
-    commands: &Sender<EngineCommand>,
-) -> std::io::Result<bool> {
+fn route(stream: &mut TcpStream, request: &Request, pool: &ReplicaPool) -> std::io::Result<bool> {
     match (request.method.as_str(), request.target.as_str()) {
-        ("POST", "/api/generate") => handle_generate(stream, request, commands),
+        ("POST", "/api/generate") => handle_generate(stream, request, pool),
         ("GET", "/api/stats") => {
-            let (reply, rx) = std::sync::mpsc::channel();
-            let _ = commands.send(EngineCommand::Stats { reply });
-            match rx.recv() {
-                Ok(stats) => write_json(
-                    stream,
-                    200,
-                    &serde_json::to_string(&stats).expect("stats serialize"),
-                )?,
-                Err(_) => write_json(
-                    stream,
-                    500,
-                    &ErrorResponse::new("engine driver is gone").to_json(),
-                )?,
-            }
+            let stats = pool.stats();
+            write_json(
+                stream,
+                200,
+                &serde_json::to_string(&stats).expect("stats serialize"),
+            )?;
             Ok(true)
         }
         ("GET", "/healthz") => {
@@ -357,7 +372,7 @@ fn route(
 fn handle_generate(
     stream: &mut TcpStream,
     request: &Request,
-    commands: &Sender<EngineCommand>,
+    pool: &ReplicaPool,
 ) -> std::io::Result<bool> {
     let body = match std::str::from_utf8(&request.body) {
         Ok(body) => body,
@@ -379,20 +394,20 @@ fn handle_generate(
     };
 
     let (events_tx, events) = std::sync::mpsc::channel();
-    let (reply_tx, reply) = std::sync::mpsc::channel();
-    let submitted = commands.send(EngineCommand::Submit {
-        spec: SubmitSpec {
+    let reply = pool.submit(
+        SubmitSpec {
             context: generate.context.clone(),
             query: generate.query.clone(),
             max_new_tokens: generate.max_new_tokens,
             stop: generate.stop.clone(),
         },
-        events: events_tx,
-        reply: reply_tx,
-    });
-    let reply = match submitted.ok().and_then(|()| reply.recv().ok()) {
-        Some(reply) => reply,
-        None => {
+        &events_tx,
+    );
+    // Drop the handler's sender so a dying driver (the only other holder)
+    // surfaces as a recv error instead of a hang.
+    drop(events_tx);
+    let (replica, id, queue_position, wire_id) = match reply {
+        PoolReply::Gone => {
             write_json(
                 stream,
                 500,
@@ -400,9 +415,7 @@ fn handle_generate(
             )?;
             return Ok(false);
         }
-    };
-    let (id, queue_position) = match reply {
-        SubmitReply::Busy {
+        PoolReply::Busy {
             queued,
             queue_limit,
         } => {
@@ -413,21 +426,30 @@ fn handle_generate(
                     ("Content-Type", "application/json"),
                     ("Content-Length", &body.len().to_string()),
                     ("Retry-After", "1"),
+                    ("X-Replica-Count", &pool.replicas().to_string()),
                 ],
             ))?;
             stream.write_all(body.as_bytes())?;
             return Ok(true);
         }
-        SubmitReply::Accepted { id, queue_position } => (id, queue_position),
+        PoolReply::Accepted {
+            replica,
+            id,
+            queue_position,
+            wire_id,
+        } => (replica, id, queue_position, wire_id),
     };
 
+    // Keeps the replica's in-flight count raised until this handler is
+    // done with the request, however it ends.
+    let _inflight = pool.inflight_guard(replica);
     if generate.stream {
-        stream_response(stream, id.to_string(), queue_position, events, commands, id)?;
+        stream_response(stream, wire_id, queue_position, events, pool, replica, id)?;
         // SSE streams are terminal for the connection: the client saw
         // `Connection: close` in the head.
         Ok(false)
     } else {
-        blocking_response(stream, id.to_string(), events)?;
+        blocking_response(stream, wire_id, events)?;
         Ok(true)
     }
 }
@@ -480,7 +502,8 @@ fn stream_response(
     id: String,
     queue_position: Option<usize>,
     events: Receiver<GatewayEvent>,
-    commands: &Sender<EngineCommand>,
+    pool: &ReplicaPool,
+    replica: usize,
     request_id: cocktail_core::RequestId,
 ) -> std::io::Result<()> {
     // Clients see where they joined the admission queue before the first
@@ -505,7 +528,7 @@ fn stream_response(
                 if stream.write_all(&http::chunk(payload.as_bytes())).is_err() && !cancelled {
                     // Client went away mid-write: free the engine side,
                     // then keep draining events until the terminal one.
-                    let _ = commands.send(EngineCommand::Cancel { id: request_id });
+                    pool.cancel(replica, request_id);
                     cancelled = true;
                 }
             }
@@ -531,7 +554,7 @@ fn stream_response(
             }
             Err(RecvTimeoutError::Timeout) => {
                 if !cancelled && client_gone(stream) {
-                    let _ = commands.send(EngineCommand::Cancel { id: request_id });
+                    pool.cancel(replica, request_id);
                     cancelled = true;
                 }
             }

@@ -21,6 +21,11 @@
 //!   depth instead of buffering unboundedly.
 //! * `GET /api/stats` — live engine snapshot (KV bytes, queue depth,
 //!   pinned prefix entries) so load tests can assert zero leaks.
+//! * [`GatewayConfig::with_replicas`] runs N independent engines behind
+//!   a prefix-affinity router: prompts return to the replica whose trie
+//!   already holds their preamble, cold prompts go least-loaded, `429`
+//!   only when every replica is saturated, and `/api/stats` gains a
+//!   per-replica breakdown plus routing counters.
 //!
 //! Quickstart (see `examples/gateway.rs` for the runnable version):
 //!
@@ -46,9 +51,10 @@ pub mod client;
 mod engine;
 pub mod gateway;
 pub mod http;
+mod router;
 
 pub use api::{
-    ErrorResponse, GenerateRequest, GenerateResponse, StatsResponse, StreamEvent,
+    ErrorResponse, GenerateRequest, GenerateResponse, ReplicaStats, StatsResponse, StreamEvent,
     MAX_NEW_TOKENS_LIMIT,
 };
 pub use client::{ClientError, GatewayClient, RawResponse, StreamHandle, StreamOutcome};

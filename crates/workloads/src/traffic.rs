@@ -49,6 +49,14 @@ pub struct TrafficConfig {
     /// — the traffic shape a trie-structured prefix cache deduplicates and
     /// a whole-sequence cache stores redundantly.
     pub branch_words: usize,
+    /// Zipf exponent of the hot-tenant skew, in thousandths (`1200`
+    /// means s = 1.2); `0` disables the skew. When enabled, request `i`'s
+    /// prefix group is no longer `i % prefix_groups` but a weighted draw
+    /// from the request's own seed with group `g` weighted
+    /// `(g + 1)^-s` — group 0 is the hot tenant. The draw depends only on
+    /// the request seed and this exponent, so group membership is stable
+    /// when the trace grows.
+    pub tenant_skew_milli: u32,
     /// Out of 1000, the probability that a request is cancelled
     /// client-side mid-decode (a disconnecting user); `0` disables the
     /// cancellation mode. A cancelled request carries
@@ -74,6 +82,7 @@ impl TrafficConfig {
             prefix_groups: 0,
             prefix_words: 0,
             branch_words: 0,
+            tenant_skew_milli: 0,
             cancel_per_mille: 0,
             stop_strings: Vec::new(),
         }
@@ -117,6 +126,18 @@ impl TrafficConfig {
         self.prefix_groups = groups;
         self.prefix_words = words;
         self.branch_words = branch_words;
+        self
+    }
+
+    /// Returns a copy with Zipf-ish hot-tenant skew over the prefix
+    /// groups: group membership becomes a per-request weighted draw with
+    /// group `g` weighted `(g + 1)^-s`, where `s` is
+    /// `exponent_milli / 1000`. Group 0 is the hot tenant. Only
+    /// meaningful together with [`TrafficConfig::with_shared_prefix`] or
+    /// [`TrafficConfig::with_branching_prefix`]; `0` restores the uniform
+    /// `i % prefix_groups` cycling.
+    pub fn with_tenant_skew(mut self, exponent_milli: u32) -> Self {
+        self.tenant_skew_milli = exponent_milli;
         self
     }
 
@@ -227,6 +248,33 @@ impl TrafficGenerator {
         collected.join(" ")
     }
 
+    /// The prefix group of one request: the uniform `index % groups`
+    /// cycle by default, or — with [`TrafficConfig::with_tenant_skew`] —
+    /// a Zipf-ish weighted draw from the request's own seed, so hot
+    /// tenants issue most of the branching traffic. Depends only on the
+    /// request's index/seed and the config, never on the trace length.
+    pub fn prefix_group_of(&self, index: usize, seed: u64) -> Option<usize> {
+        let groups = self.config.prefix_groups;
+        if groups == 0 {
+            return None;
+        }
+        if self.config.tenant_skew_milli == 0 {
+            return Some(index % groups);
+        }
+        let s = f64::from(self.config.tenant_skew_milli) / 1000.0;
+        let weights: Vec<f64> = (0..groups).map(|g| ((g + 1) as f64).powf(-s)).collect();
+        let total: f64 = weights.iter().sum();
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x7E2A_4A57);
+        let mut draw = rng.gen_range(0.0..total);
+        for (g, weight) in weights.iter().enumerate() {
+            if draw < *weight {
+                return Some(g);
+            }
+            draw -= weight;
+        }
+        Some(groups - 1)
+    }
+
     /// The branch segment of one request in branching-prefix mode: a
     /// request-unique tag word followed by filler drawn from the request's
     /// seed, so the request diverges from its group's preamble at its very
@@ -267,8 +315,7 @@ impl TrafficGenerator {
                     rng.gen_range(0..self.config.arrival_window_steps)
                 };
                 let mut task = TaskGenerator::new(kind, self.config.workload).generate(seed);
-                let prefix_group = if self.config.prefix_groups > 0 {
-                    let group = index % self.config.prefix_groups;
+                let prefix_group = if let Some(group) = self.prefix_group_of(index, seed) {
                     let branch = self.branch_segment(index, seed);
                     task.context = match branch {
                         Some(branch) => format!(
@@ -522,6 +569,81 @@ mod tests {
         // Disabled by default.
         let plain = TrafficGenerator::new(TrafficConfig::small(5), 31).generate();
         assert!(plain.iter().all(|r| r.cancel_after_tokens.is_none()));
+    }
+
+    #[test]
+    fn tenant_skew_concentrates_traffic_on_the_hot_tenant() {
+        let config = TrafficConfig::small(60)
+            .with_branching_prefix(4, 16, 6)
+            .with_tenant_skew(1200);
+        let generator = TrafficGenerator::new(config, 41);
+        let trace = generator.generate();
+        let mut counts = [0usize; 4];
+        for request in &trace {
+            let group = request.prefix_group.expect("prefix mode is on");
+            counts[group] += 1;
+            // The context still opens with the drawn group's preamble.
+            assert!(request
+                .task
+                .context
+                .starts_with(&generator.group_preamble(group)));
+        }
+        // Group 0 is the hot tenant: it must dominate every other group
+        // strictly, and every group still appears.
+        for (group, &count) in counts.iter().enumerate().skip(1) {
+            assert!(
+                counts[0] > count,
+                "hot tenant {} not dominant over group {group} ({count})",
+                counts[0]
+            );
+            assert!(count > 0, "group {group} never appears");
+        }
+        assert!(
+            counts[0] * 3 > trace.len(),
+            "hot tenant holds under a third of the traffic: {counts:?}"
+        );
+    }
+
+    #[test]
+    fn tenant_skew_is_deterministic_and_stable_under_trace_growth() {
+        let config = |n| {
+            TrafficConfig::small(n)
+                .with_branching_prefix(3, 12, 4)
+                .with_tenant_skew(900)
+        };
+        let short = TrafficGenerator::new(config(6), 43).generate();
+        let again = TrafficGenerator::new(config(6), 43).generate();
+        let long = TrafficGenerator::new(config(18), 43).generate();
+        assert_eq!(short, again);
+        for request in &short {
+            let twin = long
+                .iter()
+                .find(|r| r.index == request.index)
+                .expect("request present in longer trace");
+            assert_eq!(request, twin, "skewed request changed as the trace grew");
+        }
+        // Different seeds draw different group sequences.
+        let other = TrafficGenerator::new(config(18), 44).generate();
+        assert!(short.iter().any(|r| other
+            .iter()
+            .any(|o| o.index == r.index && o.prefix_group != r.prefix_group)));
+    }
+
+    #[test]
+    fn zero_tenant_skew_restores_the_uniform_group_cycle() {
+        let skewless = TrafficGenerator::new(
+            TrafficConfig::small(8)
+                .with_shared_prefix(3, 8)
+                .with_tenant_skew(0),
+            13,
+        )
+        .generate();
+        let plain =
+            TrafficGenerator::new(TrafficConfig::small(8).with_shared_prefix(3, 8), 13).generate();
+        assert_eq!(skewless, plain);
+        for request in &plain {
+            assert_eq!(request.prefix_group, Some(request.index % 3));
+        }
     }
 
     #[test]

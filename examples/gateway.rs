@@ -7,18 +7,34 @@
 //!
 //! ```bash
 //! cargo run --release --example gateway
+//! # multi-replica: N engines behind the prefix-affinity router
+//! cargo run --release --example gateway -- --replicas 2
 //! ```
 
 use cocktail::prelude::*;
 use cocktail::server::EngineSettings;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // `--replicas N` serves the same endpoints from N independent
+    // engines behind the prefix-affinity router (default: 1).
+    let mut replicas = 1usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--replicas" => {
+                let value = args.next().ok_or("--replicas needs a value")?;
+                replicas = value.parse().map_err(|_| "replicas must be a number")?;
+            }
+            other => return Err(format!("unknown argument {other:?}").into()),
+        }
+    }
+
     let config = CocktailConfig::default().with_chunk_size(16)?;
     let settings = EngineSettings::new(ModelProfile::tiny(), config)
         .with_prefix_cache(PrefixCacheConfig::default());
-    let server = GatewayServer::start(settings, GatewayConfig::default())?;
+    let server = GatewayServer::start(settings, GatewayConfig::default().with_replicas(replicas))?;
     let addr = server.addr();
-    println!("gateway listening on http://{addr}");
+    println!("gateway listening on http://{addr} ({replicas} replica(s))");
     println!("  curl http://{addr}/healthz");
     println!("  curl http://{addr}/api/stats");
     println!(

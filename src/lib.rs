@@ -61,7 +61,8 @@ pub mod prelude {
         AdmitDecision, BatchScheduler, BitwidthPlan, ChunkQuantSearch, CocktailConfig,
         CocktailOutcome, CocktailPipeline, CocktailPolicy, FinishReason, PipelineTimings,
         PrefixCache, PrefixCacheConfig, PrefixCacheStats, RequestId, RequestOutcome, RequestState,
-        SchedulerConfig, ServeRequest, ServingEngine, ServingStats, TokenEvent,
+        RoutePolicy, RoutedId, Router, RouterConfig, SchedulerConfig, ServeRequest, ServingEngine,
+        ServingStats, TokenEvent,
     };
     pub use cocktail_hwsim::{AcceleratorSpec, DeploymentModel, KvCacheProfile, RequestShape};
     pub use cocktail_kvcache::{
@@ -76,7 +77,7 @@ pub mod prelude {
     pub use cocktail_retrieval::{Bm25, ChunkScorer, ContrieverSim, EncoderKind};
     pub use cocktail_server::{
         EngineSettings, GatewayClient, GatewayConfig, GatewayServer, GenerateRequest,
-        GenerateResponse, StatsResponse, StreamEvent,
+        GenerateResponse, ReplicaStats, StatsResponse, StreamEvent,
     };
     pub use cocktail_tensor::Matrix;
     pub use cocktail_workloads::eval::{EvalConfig, Evaluator};

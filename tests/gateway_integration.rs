@@ -17,7 +17,7 @@
 use std::time::{Duration, Instant};
 
 use cocktail::prelude::*;
-use cocktail::server::{ClientError, EngineSettings};
+use cocktail::server::{ClientError, EngineSettings, StreamOutcome};
 
 fn tiny_settings() -> EngineSettings {
     let config = CocktailConfig::default()
@@ -457,6 +457,174 @@ fn mid_stream_disconnect_leaves_survivors_byte_identical() {
     });
     assert!(stats.completed >= survivors);
     assert_eq!(stats.kv_bytes_in_use, 0, "cancelled budget leaked");
+    server.shutdown();
+}
+
+/// A two-replica fleet: streams carry replica-qualified wire ids
+/// (`"r1:req-3"`), every stream is byte-identical to a solo pipeline
+/// replaying its replica's arrival subsequence, and `/api/stats` reports
+/// a per-replica breakdown whose rows sum to the aggregate.
+#[test]
+fn fleet_gateway_streams_route_and_report_per_replica() {
+    let replicas = 2usize;
+    // Three tenants branching off shared preambles over two replicas:
+    // the follower requests give the fingerprint router something to
+    // match, and three groups over two replicas avoid any accidental
+    // alignment between tenant identity and placement.
+    let trace = TrafficGenerator::new(
+        TrafficConfig::small(8)
+            .with_max_new_tokens(8)
+            .with_branching_prefix(3, 24, 6),
+        0xAF1,
+    )
+    .generate();
+    let settings = tiny_settings().with_prefix_cache(PrefixCacheConfig::default());
+    let (server, client) = start_server(settings, GatewayConfig::default().with_replicas(replicas));
+    // Open sequentially (fixing each replica's arrival order), consume
+    // concurrently.
+    let handles: Vec<_> = trace
+        .iter()
+        .map(|request| {
+            client
+                .open_stream(&GenerateRequest::new(
+                    request.task.context.clone(),
+                    request.task.query.clone(),
+                    request.max_new_tokens,
+                ))
+                .expect("stream opens")
+        })
+        .collect();
+    let workers: Vec<_> = handles
+        .into_iter()
+        .map(|mut handle| {
+            std::thread::spawn(move || {
+                handle.read_tokens(1).expect("first token");
+                let id = handle.id().expect("events carry the id").to_string();
+                (id, handle.finish().expect("stream finishes"))
+            })
+        })
+        .collect();
+    let results: Vec<(String, StreamOutcome)> = workers
+        .into_iter()
+        .map(|w| w.join().expect("client thread"))
+        .collect();
+
+    // Wire ids are replica-qualified on a fleet.
+    let placements: Vec<usize> = results
+        .iter()
+        .map(|(id, _)| {
+            id.strip_prefix('r')
+                .and_then(|rest| rest.split(':').next())
+                .and_then(|digits| digits.parse().ok())
+                .unwrap_or_else(|| panic!("wire id {id:?} lacks a replica prefix"))
+        })
+        .collect();
+    assert!(placements.iter().all(|&r| r < replicas));
+
+    // Byte-identity per replica: a fresh solo reference replays exactly
+    // the subsequence this replica served, in arrival order.
+    for replica in 0..replicas {
+        let reference = SoloReference::new();
+        for (i, request) in trace.iter().enumerate() {
+            if placements[i] != replica {
+                continue;
+            }
+            let expected = reference.answer(
+                &request.task.context,
+                &request.task.query,
+                request.max_new_tokens,
+            );
+            assert_eq!(
+                results[i].1.streamed, expected,
+                "request {} diverged on replica {replica}",
+                request.index
+            );
+        }
+    }
+
+    // The stats breakdown has one row per replica and sums to the
+    // aggregate.
+    let stats = poll_stats_until(&client, "fleet to drain", |s| {
+        s.queued == 0 && s.running == 0 && s.completed == trace.len()
+    });
+    assert_eq!(stats.replicas.len(), replicas);
+    for (r, row) in stats.replicas.iter().enumerate() {
+        assert_eq!(row.replica, r);
+    }
+    let sum = |f: fn(&ReplicaStats) -> usize| stats.replicas.iter().map(f).sum::<usize>();
+    assert_eq!(sum(|r| r.completed), stats.completed);
+    assert_eq!(sum(|r| r.kv_bytes_in_use), stats.kv_bytes_in_use);
+    assert_eq!(sum(|r| r.prefix_reused_tokens), stats.prefix_reused_tokens);
+    assert_eq!(
+        stats.affinity_routed + stats.least_loaded_routed,
+        trace.len(),
+        "every admission was either affinity- or least-loaded-routed"
+    );
+    // Branching followers re-entered warm tries somewhere in the fleet.
+    assert!(stats.affinity_routed > 0);
+    assert!(stats.prefix_reused_tokens > 0);
+    server.shutdown();
+}
+
+/// Only a fleet with *every* replica saturated answers 429, and the
+/// refusal names the fleet width in `X-Replica-Count`.
+#[test]
+fn fleet_429_only_when_all_replicas_are_saturated() {
+    let replicas = 2usize;
+    let settings = tiny_settings().with_scheduler(SchedulerConfig::default().with_max_batch(1));
+    let gateway = GatewayConfig::default()
+        .with_queue_limit(1)
+        .with_replicas(replicas);
+    let (server, client) = start_server(settings, gateway);
+    let long_context =
+        "the cocktail fleet keeps decoding while later clients line up outside ".repeat(55);
+    // A token budget far beyond what decodes during this test keeps all
+    // four occupying requests in-flight until they are aborted below.
+    let slow = GenerateRequest::new(long_context.clone(), "when is it my turn", 4000);
+
+    // Four slow streams fill the fleet exactly: each replica ends up with
+    // one running and one queued request (a saturated hot replica spills
+    // to the other instead of refusing). No stream is read from — a
+    // queued stream's first token only arrives once the decode slot in
+    // front of it drains, long after this test is done.
+    let occupying: Vec<_> = (0..replicas * 2)
+        .map(|_| client.open_stream(&slow).expect("stream admitted"))
+        .collect();
+    poll_stats_until(&client, "fleet saturation", |s| {
+        s.running + s.queued == replicas * 2
+    });
+
+    // The fifth client is refused by the whole fleet, and the 429 carries
+    // the replica count.
+    let body =
+        format!("{{\"context\":\"{long_context}\",\"query\":\"one more\",\"max_new_tokens\":4}}");
+    let raw = format!(
+        "POST /api/generate HTTP/1.1\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    let response = client.send_raw(raw.as_bytes()).expect("server answers");
+    assert_eq!(response.status, 429, "{}", response.body_str());
+    let replica_count = response
+        .headers
+        .iter()
+        .find(|(name, _)| name.eq_ignore_ascii_case("x-replica-count"))
+        .map(|(_, value)| value.as_str());
+    assert_eq!(replica_count, Some("2"));
+
+    // Disconnecting the occupying clients restores fleet capacity.
+    for handle in occupying {
+        handle.abort();
+    }
+    poll_stats_until(&client, "cancellations to land", |s| {
+        s.queued == 0 && s.running == 0
+    });
+    client
+        .generate(&GenerateRequest::new(
+            "capacity is back".to_string(),
+            "right".to_string(),
+            4,
+        ))
+        .expect("fleet serves again after the disconnects");
     server.shutdown();
 }
 
