@@ -1,0 +1,381 @@
+//! Microbenchmarks of the data-parallel hot kernels against their scalar
+//! forms, with three jobs rolled into one binary (it is the workload of
+//! the CI `kernel-bench` job):
+//!
+//! 1. **Bit-identity enforcement.** Before anything is timed, every tiled
+//!    kernel (`cocktail_quant::parallel::*_with_threads`) is checked
+//!    byte-for-byte against its scalar fused form *and* the
+//!    dequantize-then-dense `*_reference` form. A single differing bit
+//!    aborts the binary.
+//! 2. **Wall-clock sanity bands.** Timing on shared CI runners is too
+//!    noisy to gate tightly, so the parallel path is only required to stay
+//!    within a generous multiple of the scalar path (see
+//!    [`MAX_PARALLEL_OVER_SCALAR`]). Real speedups are reported for humans
+//!    in the criterion output; the band only catches pathological
+//!    regressions (e.g. the threshold gate breaking and every decode-sized
+//!    call paying fork overhead).
+//! 3. **A deterministic record.** `results/kernels.json` gets the
+//!    machine-independent facts — shapes, multiply-add counts, packed
+//!    payload/parameter bytes, tile layouts at 2 and 4 threads, and
+//!    bit-fingerprints of every kernel output. CI regenerates the record
+//!    and diffs it against `results/baseline/kernels.json`, so any change
+//!    to kernel semantics, tiling layout or quantized storage must ship
+//!    with a refreshed baseline. Wall-clock numbers are deliberately kept
+//!    out of the record: they would differ on every host.
+
+use cocktail_bench::{write_record, ExperimentRecord};
+use cocktail_quant::{gemm, parallel, Bitwidth, QuantAxis, QuantConfig, QuantizedMatrix};
+use cocktail_tensor::{rng, Matrix};
+use criterion::{black_box, Criterion};
+use serde::Serialize;
+use std::time::Instant;
+
+/// Generous in-binary band: the parallel path must not be slower than this
+/// multiple of the scalar path on the same host. Chosen so that a loaded
+/// two-core CI runner still passes while a broken threshold gate (fork
+/// overhead on every tiny call) or a quadratic stitch still fails.
+const MAX_PARALLEL_OVER_SCALAR: f64 = 4.0;
+
+/// Iterations per timing sample for the in-binary band check.
+const BAND_ITERS: usize = 20;
+/// Best-of samples for the in-binary band check.
+const BAND_SAMPLES: usize = 5;
+
+/// One benchmarked kernel shape in the deterministic record.
+#[derive(Debug, Serialize)]
+struct KernelRow {
+    /// Kernel name (`quantize`, `dequantize`, `gemm_transposed`, `gemm_value`).
+    kernel: String,
+    /// Left/input operand shape, `rows x cols`.
+    input_shape: String,
+    /// Quantized operand shape, `rows x cols`.
+    quant_shape: String,
+    /// Integer bitwidth of the quantized operand.
+    bitwidth: String,
+    /// Quantization group size.
+    group_size: usize,
+    /// Work metric the dispatcher gates on (multiply-adds for the GEMMs,
+    /// elements for quantize/dequantize).
+    work: usize,
+    /// Packed code bytes of the quantized operand.
+    payload_bytes: usize,
+    /// Scale/zero parameter bytes of the quantized operand.
+    param_bytes: usize,
+    /// Number of tiles the kernel splits into at 2 threads.
+    tiles_at_2: usize,
+    /// Number of tiles the kernel splits into at 4 threads.
+    tiles_at_4: usize,
+    /// Bit-fingerprint of the kernel output (identical for the scalar,
+    /// tiled and reference paths — that identity is asserted before this
+    /// row is written).
+    fingerprint: i64,
+}
+
+/// Payload of `results/kernels.json`.
+#[derive(Debug, Serialize)]
+struct KernelRecord {
+    /// The dispatcher's scalar/parallel cutover, in work units.
+    parallel_threshold: usize,
+    /// Per-kernel deterministic rows.
+    kernels: Vec<KernelRow>,
+}
+
+/// Order-sensitive bit-fingerprint of a matrix: any single-bit difference
+/// in any element, or any reordering, changes the digest.
+fn fingerprint(m: &Matrix) -> i64 {
+    m.as_slice()
+        .iter()
+        .fold(0u32, |acc, v| acc.rotate_left(1) ^ v.to_bits()) as i64
+}
+
+/// Best-of-samples mean nanoseconds per call of `f`.
+fn time_ns<F: FnMut()>(mut f: F) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..BAND_SAMPLES {
+        let start = Instant::now();
+        for _ in 0..BAND_ITERS {
+            f();
+        }
+        best = best.min(start.elapsed().as_nanos() as f64 / BAND_ITERS as f64);
+    }
+    best
+}
+
+/// Asserts the generous wall-clock band for one kernel.
+fn enforce_band(name: &str, scalar_ns: f64, parallel_ns: f64) {
+    println!(
+        "band {name}: scalar {scalar_ns:.0} ns/call, parallel {parallel_ns:.0} ns/call \
+         ({:.2}x)",
+        scalar_ns / parallel_ns.max(1.0)
+    );
+    assert!(
+        parallel_ns <= scalar_ns * MAX_PARALLEL_OVER_SCALAR,
+        "{name}: parallel path took {parallel_ns:.0} ns/call vs scalar {scalar_ns:.0} ns/call — \
+         over the {MAX_PARALLEL_OVER_SCALAR}x band"
+    );
+}
+
+struct Fixtures {
+    /// 512x128 activations for quantize/dequantize.
+    chunk: Matrix,
+    /// Its Int4 per-token group-32 config.
+    chunk_cfg: QuantConfig,
+    /// Quantized form of `chunk`.
+    chunk_q: QuantizedMatrix,
+    /// 8x128 queries for the score GEMM.
+    queries: Matrix,
+    /// 1024x128 quantized keys (transposed GEMM right operand).
+    keys_q: QuantizedMatrix,
+    /// 8x1024 attention weights for the value GEMM.
+    probs: Matrix,
+    /// 1024x128 quantized values.
+    values_q: QuantizedMatrix,
+}
+
+fn fixtures() -> Fixtures {
+    let chunk_cfg = QuantConfig::new(Bitwidth::Int4, QuantAxis::PerToken, 32)
+        .expect("int4 per-token g32 is a valid config");
+    let chunk = rng::gaussian_matrix(512, 128, 1.0, 11);
+    let chunk_q = QuantizedMatrix::quantize(&chunk, &chunk_cfg).expect("quantize chunk");
+    let keys = rng::gaussian_matrix(1024, 128, 1.0, 12);
+    let keys_q = QuantizedMatrix::quantize(&keys, &chunk_cfg).expect("quantize keys");
+    let values = rng::gaussian_matrix(1024, 128, 1.0, 13);
+    let values_q = QuantizedMatrix::quantize(&values, &chunk_cfg).expect("quantize values");
+    Fixtures {
+        chunk,
+        chunk_cfg,
+        chunk_q,
+        queries: rng::gaussian_matrix(8, 128, 1.0, 14),
+        probs: rng::gaussian_matrix(8, 1024, 1.0, 15),
+        values_q,
+        keys_q,
+    }
+}
+
+/// Asserts scalar == tiled == reference for every kernel, at 1, 2 and 4
+/// threads, and returns the canonical outputs for fingerprinting.
+fn assert_bit_identity(f: &Fixtures) -> (QuantizedMatrix, Matrix, Matrix, Matrix) {
+    let scalar_q = QuantizedMatrix::quantize(&f.chunk, &f.chunk_cfg).expect("scalar quantize");
+    let scalar_dq = scalar_q.dequantize();
+    let scalar_scores =
+        gemm::fp_matmul_quant_transposed(&f.queries, &f.keys_q).expect("scalar score gemm");
+    let reference_scores = gemm::fp_matmul_quant_transposed_reference(&f.queries, &f.keys_q)
+        .expect("reference score gemm");
+    let scalar_av = gemm::fp_matmul_quant(&f.probs, &f.values_q).expect("scalar value gemm");
+    let reference_av =
+        gemm::fp_matmul_quant_reference(&f.probs, &f.values_q).expect("reference value gemm");
+    assert_eq!(
+        scalar_scores, reference_scores,
+        "fused and reference score GEMMs diverged"
+    );
+    assert_eq!(
+        scalar_av, reference_av,
+        "fused and reference value GEMMs diverged"
+    );
+    for threads in [1usize, 2, 4] {
+        let tiled_q = parallel::quantize_with_threads(&f.chunk, &f.chunk_cfg, threads)
+            .expect("tiled quantize");
+        assert_eq!(scalar_q, tiled_q, "quantize diverged at {threads} threads");
+        let tiled_dq = parallel::dequantize_with_threads(&f.chunk_q, threads);
+        assert_eq!(
+            scalar_dq, tiled_dq,
+            "dequantize diverged at {threads} threads"
+        );
+        let tiled_scores =
+            parallel::fp_matmul_quant_transposed_with_threads(&f.queries, &f.keys_q, threads)
+                .expect("tiled score gemm");
+        assert_eq!(
+            scalar_scores, tiled_scores,
+            "score GEMM diverged at {threads} threads"
+        );
+        let tiled_av = parallel::fp_matmul_quant_with_threads(&f.probs, &f.values_q, threads)
+            .expect("tiled value gemm");
+        assert_eq!(
+            scalar_av, tiled_av,
+            "value GEMM diverged at {threads} threads"
+        );
+    }
+    println!("bit-identity: scalar == tiled == reference for all four kernels at 1/2/4 threads");
+    (scalar_q, scalar_dq, scalar_scores, scalar_av)
+}
+
+/// One timed closure (the operands are owned clones, so scalar and
+/// parallel runs never contend on borrows).
+type BenchFn = Box<dyn FnMut()>;
+
+fn bands_and_display(c: &mut Criterion, f: &Fixtures) {
+    let threads = parallel::kernel_threads();
+    let mut group = c.benchmark_group("kernel_parallelism");
+
+    let pairs: Vec<(&str, BenchFn, BenchFn)> = vec![
+        (
+            "quantize_512x128_int4",
+            {
+                let (m, cfg) = (f.chunk.clone(), f.chunk_cfg);
+                Box::new(move || {
+                    black_box(parallel::quantize_with_threads(&m, &cfg, 1).expect("quantize"));
+                })
+            },
+            {
+                let (m, cfg) = (f.chunk.clone(), f.chunk_cfg);
+                Box::new(move || {
+                    black_box(
+                        parallel::quantize_with_threads(&m, &cfg, threads).expect("quantize"),
+                    );
+                })
+            },
+        ),
+        (
+            "dequantize_512x128_int4",
+            {
+                let q = f.chunk_q.clone();
+                Box::new(move || {
+                    black_box(parallel::dequantize_with_threads(&q, 1));
+                })
+            },
+            {
+                let q = f.chunk_q.clone();
+                Box::new(move || {
+                    black_box(parallel::dequantize_with_threads(&q, threads));
+                })
+            },
+        ),
+        (
+            "gemm_transposed_8x128_1024x128_int4",
+            {
+                let (a, q) = (f.queries.clone(), f.keys_q.clone());
+                Box::new(move || {
+                    black_box(
+                        parallel::fp_matmul_quant_transposed_with_threads(&a, &q, 1)
+                            .expect("score gemm"),
+                    );
+                })
+            },
+            {
+                let (a, q) = (f.queries.clone(), f.keys_q.clone());
+                Box::new(move || {
+                    black_box(
+                        parallel::fp_matmul_quant_transposed_with_threads(&a, &q, threads)
+                            .expect("score gemm"),
+                    );
+                })
+            },
+        ),
+        (
+            "gemm_value_8x1024_1024x128_int4",
+            {
+                let (a, q) = (f.probs.clone(), f.values_q.clone());
+                Box::new(move || {
+                    black_box(
+                        parallel::fp_matmul_quant_with_threads(&a, &q, 1).expect("value gemm"),
+                    );
+                })
+            },
+            {
+                let (a, q) = (f.probs.clone(), f.values_q.clone());
+                Box::new(move || {
+                    black_box(
+                        parallel::fp_matmul_quant_with_threads(&a, &q, threads)
+                            .expect("value gemm"),
+                    );
+                })
+            },
+        ),
+    ];
+
+    for (name, mut scalar, mut parallel_path) in pairs {
+        let scalar_ns = time_ns(&mut scalar);
+        let parallel_ns = time_ns(&mut parallel_path);
+        enforce_band(name, scalar_ns, parallel_ns);
+        group.bench_function(format!("{name}/scalar"), |b| b.iter(&mut scalar));
+        group.bench_function(format!("{name}/parallel_t{threads}"), |b| {
+            b.iter(&mut parallel_path)
+        });
+    }
+    group.finish();
+}
+
+fn write_deterministic_record(f: &Fixtures, outputs: &(QuantizedMatrix, Matrix, Matrix, Matrix)) {
+    let (quantized, dequantized, scores, av) = outputs;
+    let row = |kernel: &str,
+               input: &Matrix,
+               q: &QuantizedMatrix,
+               work: usize,
+               tiled_n: usize,
+               fp: i64| KernelRow {
+        kernel: kernel.to_string(),
+        input_shape: format!("{}x{}", input.rows(), input.cols()),
+        quant_shape: format!("{}x{}", q.rows(), q.cols()),
+        bitwidth: q.bitwidth().to_string(),
+        group_size: q.config().group_size(),
+        work,
+        payload_bytes: q.payload_bytes(),
+        param_bytes: q.param_bytes(),
+        tiles_at_2: parallel::tile_ranges(tiled_n, 2).len(),
+        tiles_at_4: parallel::tile_ranges(tiled_n, 4).len(),
+        fingerprint: fp,
+    };
+    let kernels = vec![
+        // quantize/dequantize tile over the chunk's rows.
+        row(
+            "quantize",
+            &f.chunk,
+            quantized,
+            f.chunk.rows() * f.chunk.cols(),
+            f.chunk.rows(),
+            fingerprint(&quantized.dequantize()),
+        ),
+        row(
+            "dequantize",
+            &f.chunk,
+            &f.chunk_q,
+            f.chunk_q.rows() * f.chunk_q.cols(),
+            f.chunk_q.rows(),
+            fingerprint(dequantized),
+        ),
+        // The transposed GEMM tiles over the quantized operand's rows, the
+        // value GEMM over its columns.
+        row(
+            "gemm_transposed",
+            &f.queries,
+            &f.keys_q,
+            f.queries.rows() * f.keys_q.rows() * f.keys_q.cols(),
+            f.keys_q.rows(),
+            fingerprint(scores),
+        ),
+        row(
+            "gemm_value",
+            &f.probs,
+            &f.values_q,
+            f.probs.rows() * f.values_q.rows() * f.values_q.cols(),
+            f.values_q.cols(),
+            fingerprint(av),
+        ),
+    ];
+    let path = write_record(&ExperimentRecord {
+        id: "kernels".to_string(),
+        title: "Hot-kernel shapes, tile layouts and output fingerprints".to_string(),
+        note: format!(
+            "Deterministic on every host: shapes, dispatcher work metrics, packed byte counts, \
+             tile counts at 2/4 threads and output bit-fingerprints — no wall-clock numbers. \
+             Wall-clock is enforced in-binary ({MAX_PARALLEL_OVER_SCALAR}x band) and displayed \
+             by the criterion output. Threshold = {} work units; {} env var overrides the \
+             thread count.",
+            parallel::PARALLEL_THRESHOLD,
+            parallel::KERNEL_THREADS_ENV
+        ),
+        rows: KernelRecord {
+            parallel_threshold: parallel::PARALLEL_THRESHOLD,
+            kernels,
+        },
+    });
+    println!("wrote {}", path.display());
+}
+
+fn main() {
+    let f = fixtures();
+    let outputs = assert_bit_identity(&f);
+    let mut criterion = Criterion::default();
+    bands_and_display(&mut criterion, &f);
+    write_deterministic_record(&f, &outputs);
+}

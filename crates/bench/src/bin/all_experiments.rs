@@ -20,5 +20,6 @@ fn main() {
     experiments::prefix_trie_dedup();
     experiments::gateway_saturation();
     experiments::replica_affinity();
+    experiments::kernel_scaling();
     println!("\nAll experiments complete; JSON records are under results/.");
 }

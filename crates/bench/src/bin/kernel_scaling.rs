@@ -1,0 +1,68 @@
+//! Measures prefill throughput with the hot kernels pinned to one thread
+//! versus the host's configured thread count, and *enforces* the kernel-
+//! parallelism acceptance criteria: the scalar and parallel runs must be
+//! byte-identical (KV tensors, hidden states and logits), neither the
+//! engine's worker pool nor the process-wide kernel pool may re-spawn a
+//! thread across timing rounds (the pools persist — that is the point of
+//! the design), and on a multi-core host the parallel configuration must
+//! not lose throughput to the scalar one. Exits non-zero when any
+//! criterion fails, so CI catches kernel-dispatch regressions.
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let report = cocktail_bench::experiments::kernel_scaling();
+    let mut ok = true;
+    if !report.bit_identical {
+        eprintln!("FAIL: scalar and parallel prefill outputs diverged");
+        ok = false;
+    }
+    if !report.engine_pool_spawns_flat {
+        eprintln!("FAIL: the engine worker pool re-spawned threads across rounds");
+        ok = false;
+    }
+    if !report.kernel_pool_spawns_flat {
+        eprintln!("FAIL: the kernel pool re-spawned threads across rounds");
+        ok = false;
+    }
+    if report.score_work < report.parallel_threshold {
+        eprintln!(
+            "FAIL: the prompt's score work ({}) does not clear the parallel threshold ({}) — \
+             the experiment never exercised the parallel path",
+            report.score_work, report.parallel_threshold
+        );
+        ok = false;
+    }
+    if report.parallel_threads >= 2 && report.host_cores >= 2 {
+        // NaN must fail too, so require an explicit >= ordering.
+        let ordered = report
+            .parallel_tokens_per_s
+            .partial_cmp(&report.scalar_tokens_per_s)
+            .is_some_and(|o| o != std::cmp::Ordering::Less);
+        if !ordered {
+            eprintln!(
+                "FAIL: parallel prefill ({:.0} tokens/s at {} threads) lost throughput to the \
+                 scalar kernels ({:.0} tokens/s)",
+                report.parallel_tokens_per_s, report.parallel_threads, report.scalar_tokens_per_s
+            );
+            ok = false;
+        }
+    } else {
+        println!(
+            "note: a single kernel thread or a single physical core on this host — the \
+             throughput comparison degenerates and only identity/pool criteria are enforced"
+        );
+    }
+    if ok {
+        println!(
+            "OK: {:.0} tokens/s scalar vs {:.0} tokens/s at {} threads ({:.2}x), byte-identical, \
+             pools never re-spawned",
+            report.scalar_tokens_per_s,
+            report.parallel_tokens_per_s,
+            report.parallel_threads,
+            report.speedup
+        );
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

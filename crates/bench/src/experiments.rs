@@ -13,7 +13,8 @@ use cocktail_core::{
     RequestId, SchedulerConfig, ServeRequest, ServingEngine, ServingStats,
 };
 use cocktail_hwsim::{AcceleratorSpec, DeploymentModel, KvCacheProfile, RequestShape};
-use cocktail_model::ModelProfile;
+use cocktail_model::{InferenceEngine, ModelConfig, ModelProfile};
+use cocktail_quant::parallel as kernel_parallel;
 use cocktail_retrieval::{similarity_matrix, ContrieverSim, EncoderKind};
 use cocktail_workloads::{TaskKind, TrafficConfig, TrafficGenerator, WorkloadConfig};
 use serde::Serialize;
@@ -2686,6 +2687,164 @@ impl Default for PipelineTimingsBest {
             compress_us: 0,
         }
     }
+}
+
+// ---------------------------------------------------------------------------
+// Kernel scaling — data-parallel prefill on the worker pool
+// ---------------------------------------------------------------------------
+
+/// Full payload of the kernel-scaling record.
+#[derive(Debug, Clone, Serialize)]
+pub struct KernelScalingReport {
+    /// Prompt length driven through prefill.
+    pub prompt_tokens: usize,
+    /// The dispatcher's work metric for one layer's score GEMM
+    /// (`suffix x prompt x hidden`), which must clear the threshold for the
+    /// head-parallel path to engage.
+    pub score_work: usize,
+    /// The dispatcher's scalar/parallel cutover, in work units.
+    pub parallel_threshold: usize,
+    /// Thread count of the parallel runs (the host's configured kernel
+    /// threads; 1 on a single-core host, where the comparison degenerates).
+    pub parallel_threads: usize,
+    /// Physical parallelism the host actually offers. Pinning
+    /// `COCKTAIL_KERNEL_THREADS` above this adds threads but no cores, so
+    /// the throughput criterion is only enforced when this is at least 2.
+    pub host_cores: usize,
+    /// Best-of tokens/s of prefill with the kernels pinned to one thread.
+    pub scalar_tokens_per_s: f64,
+    /// Best-of tokens/s of prefill at the configured thread count.
+    pub parallel_tokens_per_s: f64,
+    /// `parallel_tokens_per_s / scalar_tokens_per_s`.
+    pub speedup: f64,
+    /// Whether the scalar and parallel prefills produced byte-identical
+    /// outputs (KV tensors, hidden states and logits).
+    pub bit_identical: bool,
+    /// Whether the engine's request-level pool never re-spawned a thread
+    /// across the timing rounds.
+    pub engine_pool_spawns_flat: bool,
+    /// Whether the process-wide kernel pool never re-spawned a thread
+    /// across the timing rounds.
+    pub kernel_pool_spawns_flat: bool,
+}
+
+/// Kernel scaling with the default settings: best-of-5 timing, record
+/// written to `results/kernel_scaling.json`.
+///
+/// # Panics
+///
+/// Panics if the model config is rejected or prefill fails.
+pub fn kernel_scaling() -> KernelScalingReport {
+    kernel_scaling_with(5, true)
+}
+
+/// Prefill throughput with the hot kernels pinned to one thread versus the
+/// host's configured thread count, on a tiny-profile engine with a prompt
+/// long enough that the per-layer attention work clears
+/// [`cocktail_quant::parallel::PARALLEL_THRESHOLD`]. Byte-identity of the
+/// two runs is asserted on every round, and both the engine's worker pool
+/// and the process-wide kernel pool must keep a flat spawn counter across
+/// rounds — threads persist, they are not re-created per call.
+///
+/// Each configuration's throughput is the maximum over `repetitions` runs,
+/// the usual defence against scheduler noise.
+///
+/// # Panics
+///
+/// Panics if the model config is rejected or prefill fails.
+pub fn kernel_scaling_with(repetitions: usize, write: bool) -> KernelScalingReport {
+    let repetitions = repetitions.max(1);
+    let config = ModelConfig::new("kernel-scaling-tiny", 32, 2, 2, 2, 64, 512, 1024)
+        .expect("tiny kernel-scaling profile is valid");
+    let hidden_dim = config.hidden_dim;
+    let vocab = config.vocab_size as u32;
+    let engine = InferenceEngine::from_config(config, 0xC0C7_7A11).expect("engine builds");
+    let prompt_tokens = 384usize;
+    let prompt: Vec<u32> = (0..prompt_tokens)
+        .map(|i| (i as u32 * 31 + 7) % vocab)
+        .collect();
+    let score_work = prompt_tokens * prompt_tokens * hidden_dim;
+    assert!(
+        kernel_parallel::should_parallelize(score_work) || kernel_parallel::kernel_threads() == 1,
+        "the prompt must be long enough to clear the parallel threshold"
+    );
+
+    // Warm both pools and pin the spawn counters before timing.
+    kernel_parallel::set_kernel_thread_override(None);
+    let parallel_threads = kernel_parallel::kernel_threads();
+    let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let warm = engine.prefill(&prompt).expect("warmup prefill succeeds");
+    let engine_spawns = engine.pool_spawn_count();
+    let kernel_spawns = kernel_parallel::pool_spawn_count();
+
+    let mut best_scalar_s = f64::INFINITY;
+    let mut best_parallel_s = f64::INFINITY;
+    let mut bit_identical = true;
+    for _ in 0..repetitions {
+        kernel_parallel::set_kernel_thread_override(Some(1));
+        let start = Instant::now();
+        let scalar = engine.prefill(&prompt).expect("scalar prefill succeeds");
+        best_scalar_s = best_scalar_s.min(start.elapsed().as_secs_f64());
+
+        kernel_parallel::set_kernel_thread_override(None);
+        let start = Instant::now();
+        let parallel = engine.prefill(&prompt).expect("parallel prefill succeeds");
+        best_parallel_s = best_parallel_s.min(start.elapsed().as_secs_f64());
+
+        bit_identical &= scalar == parallel && scalar == warm;
+    }
+    kernel_parallel::set_kernel_thread_override(None);
+    let engine_pool_spawns_flat = engine.pool_spawn_count() == engine_spawns;
+    let kernel_pool_spawns_flat = kernel_parallel::pool_spawn_count() == kernel_spawns;
+
+    let scalar_tokens_per_s = prompt_tokens as f64 / best_scalar_s;
+    let parallel_tokens_per_s = prompt_tokens as f64 / best_parallel_s;
+    let report = KernelScalingReport {
+        prompt_tokens,
+        score_work,
+        parallel_threshold: kernel_parallel::PARALLEL_THRESHOLD,
+        parallel_threads,
+        host_cores,
+        scalar_tokens_per_s,
+        parallel_tokens_per_s,
+        speedup: parallel_tokens_per_s / scalar_tokens_per_s,
+        bit_identical,
+        engine_pool_spawns_flat,
+        kernel_pool_spawns_flat,
+    };
+
+    print_table(
+        "Kernel scaling: prefill throughput, scalar vs data-parallel kernels (tiny profile)",
+        &["Threads", "Tokens/s", "Speedup", "Bit-identical"],
+        &[
+            vec![
+                "1".to_string(),
+                format!("{scalar_tokens_per_s:.0}"),
+                "1.00x".to_string(),
+                "-".to_string(),
+            ],
+            vec![
+                report.parallel_threads.to_string(),
+                format!("{parallel_tokens_per_s:.0}"),
+                format!("{:.2}x", report.speedup),
+                report.bit_identical.to_string(),
+            ],
+        ],
+    );
+    if write {
+        let path = write_record(&ExperimentRecord {
+            id: "kernel_scaling".to_string(),
+            title: "Prefill throughput with scalar vs data-parallel hot kernels".to_string(),
+            note: format!(
+                "Tiny profile, {prompt_tokens}-token prompt, best of {repetitions} runs per \
+                 configuration; timing-based, so the record stays out of results/baseline/. \
+                 Byte-identity and flat pool spawn counters are asserted on every run."
+            ),
+            rows: &report,
+        });
+        println!("wrote {}", path.display());
+    }
+    report
 }
 
 #[cfg(test)]

@@ -5,7 +5,7 @@ use crate::chunk::{ChunkStorage, KvChunk};
 use crate::error::KvCacheError;
 use crate::permutation::ChunkPermutation;
 use crate::segmentation::ChunkSegmentation;
-use cocktail_quant::{gemm, Bitwidth, QuantAxis};
+use cocktail_quant::{parallel, Bitwidth, QuantAxis};
 use cocktail_tensor::Matrix;
 use serde::{Deserialize, Serialize};
 
@@ -408,7 +408,10 @@ impl ChunkedLayerCache {
                 match chunk.storage() {
                     ChunkStorage::Fp16 { k, .. } => queries.matmul_transposed(k)?,
                     ChunkStorage::Quantized { k, .. } => {
-                        gemm::fp_matmul_quant_transposed(queries, k)?
+                        // Threshold-gated: single-token decode against a
+                        // normal chunk stays on the scalar fused kernel;
+                        // only long-context batched products fork tiles.
+                        parallel::fp_matmul_quant_transposed(queries, k)?
                     }
                 }
             };
@@ -440,7 +443,7 @@ impl ChunkedLayerCache {
             } else {
                 match chunk.storage() {
                     ChunkStorage::Fp16 { v, .. } => probs.matmul(v)?,
-                    ChunkStorage::Quantized { v, .. } => gemm::fp_matmul_quant(&probs, v)?,
+                    ChunkStorage::Quantized { v, .. } => parallel::fp_matmul_quant(&probs, v)?,
                 }
             };
             output.add_assign(&partial)?;
@@ -634,6 +637,42 @@ mod tests {
         assert_eq!(cache.chunks()[0].bitwidth(), Bitwidth::Int2);
         assert_eq!(cache.chunks()[1].bitwidth(), Bitwidth::Int4);
         assert_eq!(cache.chunks()[2].bitwidth(), Bitwidth::Fp16);
+    }
+
+    #[test]
+    fn quantize_and_attend_are_bit_identical_across_kernel_thread_counts() {
+        // A context large enough that the dispatcher's threshold trips
+        // (512-token chunks × 128 dims), quantized and attended under
+        // kernel-thread overrides of 1 (scalar) and 4 (tiled): every bit
+        // of storage and attention output must match.
+        let build = || {
+            let mut cache = build_cache(1100, 128, 512, 21);
+            cache.quantize_chunk(0, Bitwidth::Int4, 32).unwrap();
+            cache.quantize_chunk(1, Bitwidth::Int2, 32).unwrap();
+            cache
+        };
+        let q = rng::gaussian_matrix(4, 128, 1.0, 77);
+        let scale = 1.0 / (128f32).sqrt();
+
+        cocktail_quant::parallel::set_kernel_thread_override(Some(1));
+        let scalar_cache = build();
+        let scalar_out = scalar_cache.attend(&q, scale).unwrap();
+
+        cocktail_quant::parallel::set_kernel_thread_override(Some(4));
+        let tiled_cache = build();
+        let tiled_out = tiled_cache.attend(&q, scale).unwrap();
+        cocktail_quant::parallel::set_kernel_thread_override(None);
+
+        assert_eq!(scalar_cache.storage_bytes(), tiled_cache.storage_bytes());
+        assert_eq!(
+            scalar_out.output.as_slice(),
+            tiled_out.output.as_slice(),
+            "attention outputs must be bit-identical across thread counts"
+        );
+        assert_eq!(
+            scalar_out.probabilities.as_slice(),
+            tiled_out.probabilities.as_slice()
+        );
     }
 
     #[test]

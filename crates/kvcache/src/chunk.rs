@@ -147,8 +147,10 @@ impl KvChunk {
         }
         let k_cfg = QuantConfig::new(bitwidth, key_axis, group_size)?;
         let v_cfg = QuantConfig::new(bitwidth, value_axis, group_size)?;
-        let kq = QuantizedMatrix::quantize(&k, &k_cfg)?;
-        let vq = QuantizedMatrix::quantize(&v, &v_cfg)?;
+        // Dispatched: large chunks quantize row-parallel on the kernel
+        // pool, small ones scalar — bit-identical either way.
+        let kq = cocktail_quant::parallel::quantize(&k, &k_cfg)?;
+        let vq = cocktail_quant::parallel::quantize(&v, &v_cfg)?;
         Ok(Self {
             logical_index: self.logical_index,
             token_len: self.token_len,

@@ -7,6 +7,7 @@ use crate::profile::ModelProfile;
 use crate::tokenizer::Tokenizer;
 use crate::weights::{LayerWeights, ModelWeights};
 use cocktail_kvcache::{ChunkSegmentation, ChunkedKvCache, ChunkedLayerCache, SharedPrefixKv};
+use cocktail_quant::parallel as kernel_parallel;
 use cocktail_tensor::ops::{causal_mask, rms_norm_rows, rope_rows, silu};
 use cocktail_tensor::Matrix;
 use std::sync::mpsc;
@@ -259,6 +260,45 @@ impl EngineShared {
         let prefix_len = prefix.map_or(0, |(_, len)| len);
         let suffix_len = prompt_len - prefix_len;
 
+        let (layer_kv, full) = self.prefill_slot_kv(layer_idx, prefix, k_s, v_s)?;
+
+        // Causal mask over the whole prompt for the suffix query block:
+        // query row i (absolute position prefix_len + i) sees every prefix
+        // key and suffix keys up to itself.
+        let mask = causal_mask(suffix_len, prompt_len);
+        let mut head_outputs = Vec::with_capacity(self.config.n_heads);
+        for h in 0..self.config.n_heads {
+            let mut q_h = q_s.slice_cols(h * head, (h + 1) * head);
+            rope_rows(&mut q_h, prefix_len, self.config.rope_theta);
+            let j = h / self.config.gqa_group_size();
+            let (k_ref, v_ref): (&Matrix, &Matrix) = match &full {
+                Some(pairs) => (&pairs[j].0, &pairs[j].1),
+                None => (&layer_kv[j].k, &layer_kv[j].v),
+            };
+            let mut scores = q_h.matmul_transposed(k_ref)?;
+            scores.scale_in_place(scale);
+            let probs = scores.masked_softmax(&mask)?;
+            head_outputs.push(probs.matmul(v_ref)?);
+        }
+        let head_refs: Vec<&Matrix> = head_outputs.iter().collect();
+        let attn = Matrix::concat_cols(&head_refs)?;
+        Ok((attn, layer_kv))
+    }
+
+    /// Shared prologue of the scalar and head-parallel prefill attention
+    /// paths: per-KV-head RoPE'd suffix K/V, plus (when resuming from a
+    /// shared prefix) the full `[prefix ++ suffix]` K/V pairs.
+    #[allow(clippy::type_complexity)]
+    fn prefill_slot_kv(
+        &self,
+        layer_idx: usize,
+        prefix: Option<(&SharedPrefixKv, usize)>,
+        k_s: &Matrix,
+        v_s: &Matrix,
+    ) -> Result<(Vec<RawKv>, Option<Vec<(Matrix, Matrix)>>), ModelError> {
+        let head = self.config.head_dim();
+        let prefix_len = prefix.map_or(0, |(_, len)| len);
+
         // Per-KV-head suffix K/V with RoPE at the suffix positions.
         let mut layer_kv = Vec::with_capacity(self.config.n_kv_heads);
         for j in 0..self.config.n_kv_heads {
@@ -287,25 +327,86 @@ impl EngineShared {
             }
             _ => None,
         };
+        Ok((layer_kv, full))
+    }
 
-        // Causal mask over the whole prompt for the suffix query block:
-        // query row i (absolute position prefix_len + i) sees every prefix
-        // key and suffix keys up to itself.
-        let mask = causal_mask(suffix_len, prompt_len);
-        let mut head_outputs = Vec::with_capacity(self.config.n_heads);
-        for h in 0..self.config.n_heads {
-            let mut q_h = q_s.slice_cols(h * head, (h + 1) * head);
-            rope_rows(&mut q_h, prefix_len, self.config.rope_theta);
-            let j = h / self.config.gqa_group_size();
-            let (k_ref, v_ref): (&Matrix, &Matrix) = match &full {
-                Some(pairs) => (&pairs[j].0, &pairs[j].1),
-                None => (&layer_kv[j].k, &layer_kv[j].v),
-            };
-            let mut scores = q_h.matmul_transposed(k_ref)?;
-            scores.scale_in_place(scale);
-            let probs = scores.masked_softmax(&mask)?;
-            head_outputs.push(probs.matmul(v_ref)?);
+    /// Chooses between the scalar and head-parallel prefill attention for
+    /// one slot based on the kernel-thread setting and the attention work
+    /// size (score multiply-adds across all heads). Used only by the
+    /// *inline* prefill path: when slots already run on the engine's
+    /// worker pool, per-slot attention stays scalar so the two pools never
+    /// nest.
+    fn prefill_slot_attention_dispatch(
+        &self,
+        layer_idx: usize,
+        prompt_len: usize,
+        prefix: Option<(&SharedPrefixKv, usize)>,
+        q_s: &Matrix,
+        k_s: &Matrix,
+        v_s: &Matrix,
+    ) -> Result<(Matrix, Vec<RawKv>), ModelError> {
+        let suffix_len = prompt_len - prefix.map_or(0, |(_, len)| len);
+        let score_work = suffix_len * prompt_len * self.config.hidden_dim;
+        if self.config.n_heads > 1 && kernel_parallel::should_parallelize(score_work) {
+            self.prefill_slot_attention_parallel(layer_idx, prompt_len, prefix, q_s, k_s, v_s)
+        } else {
+            self.prefill_slot_attention(layer_idx, prompt_len, prefix, q_s, k_s, v_s)
         }
+    }
+
+    /// Head-parallel prefill attention: the same per-head score → masked
+    /// softmax → AV blocks as [`EngineShared::prefill_slot_attention`],
+    /// with each head's block running as one job on the shared kernel pool
+    /// and the outputs stitched in head order. Per-head arithmetic is
+    /// untouched, so the result is bit-identical to the scalar loop.
+    fn prefill_slot_attention_parallel(
+        &self,
+        layer_idx: usize,
+        prompt_len: usize,
+        prefix: Option<(&SharedPrefixKv, usize)>,
+        q_s: &Matrix,
+        k_s: &Matrix,
+        v_s: &Matrix,
+    ) -> Result<(Matrix, Vec<RawKv>), ModelError> {
+        let head = self.config.head_dim();
+        let scale = self.attention_scale();
+        let theta = self.config.rope_theta;
+        let gqa = self.config.gqa_group_size();
+        let prefix_len = prefix.map_or(0, |(_, len)| len);
+        let suffix_len = prompt_len - prefix_len;
+
+        let (layer_kv, full) = self.prefill_slot_kv(layer_idx, prefix, k_s, v_s)?;
+
+        // Jobs must own their inputs, so share one K/V pair list: the full
+        // `[prefix ++ suffix]` pairs when resuming, else clones of the
+        // suffix KV (cheap relative to the attention itself, which is why
+        // the dispatch gate only sends large slots here).
+        let kv_pairs: Arc<Vec<(Matrix, Matrix)>> = Arc::new(match full {
+            Some(pairs) => pairs,
+            None => layer_kv
+                .iter()
+                .map(|kv| (kv.k.clone(), kv.v.clone()))
+                .collect(),
+        });
+        let mask = Arc::new(causal_mask(suffix_len, prompt_len));
+        let jobs: Vec<_> = (0..self.config.n_heads)
+            .map(|h| {
+                let mut q_h = q_s.slice_cols(h * head, (h + 1) * head);
+                let kv_pairs = Arc::clone(&kv_pairs);
+                let mask = Arc::clone(&mask);
+                move || -> Result<Matrix, ModelError> {
+                    rope_rows(&mut q_h, prefix_len, theta);
+                    let (k_ref, v_ref) = &kv_pairs[h / gqa];
+                    let mut scores = q_h.matmul_transposed(k_ref)?;
+                    scores.scale_in_place(scale);
+                    let probs = scores.masked_softmax(&mask)?;
+                    probs.matmul(v_ref).map_err(ModelError::from)
+                }
+            })
+            .collect();
+        let head_outputs = kernel_parallel::run_jobs(jobs)
+            .into_iter()
+            .collect::<Result<Vec<_>, ModelError>>()?;
         let head_refs: Vec<&Matrix> = head_outputs.iter().collect();
         let attn = Matrix::concat_cols(&head_refs)?;
         Ok((attn, layer_kv))
@@ -601,12 +702,15 @@ impl InferenceEngine {
                     layer_idx, &metas, &offsets, &q_all, &k_all, &v_all, workers,
                 )?
             } else {
+                // Inline path (single slot, or a single-core engine pool):
+                // per-slot attention may fork head blocks onto the shared
+                // kernel pool when the slot is large enough.
                 metas
                     .iter()
                     .enumerate()
                     .map(|(si, meta)| {
                         let (start, len) = (offsets[si], meta.prompt_len - meta.prefix_len());
-                        self.shared.prefill_slot_attention(
+                        self.shared.prefill_slot_attention_dispatch(
                             layer_idx,
                             meta.prompt_len,
                             meta.prefix_ref(),
@@ -1027,6 +1131,21 @@ mod tests {
     fn sample_prompt(engine: &InferenceEngine, words: usize) -> Vec<u32> {
         let text: Vec<String> = (0..words).map(|i| format!("word{i}")).collect();
         engine.tokenizer().encode(&text.join(" "))
+    }
+
+    #[test]
+    fn head_parallel_prefill_is_bit_identical_to_scalar_prefill() {
+        // A prompt large enough that the dispatch gate sends head blocks to
+        // the kernel pool (96² tokens × hidden 32 ≫ the threshold), run
+        // under kernel-thread overrides of 1 (scalar) and 4 (parallel).
+        let engine = tiny_engine();
+        let prompt = sample_prompt(&engine, 96);
+        kernel_parallel::set_kernel_thread_override(Some(1));
+        let scalar = engine.prefill(&prompt).unwrap();
+        kernel_parallel::set_kernel_thread_override(Some(4));
+        let parallel = engine.prefill(&prompt).unwrap();
+        kernel_parallel::set_kernel_thread_override(None);
+        assert_eq!(scalar, parallel);
     }
 
     #[test]

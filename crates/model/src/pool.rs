@@ -15,54 +15,41 @@
 //! order in which results are stitched back together — and therefore every
 //! output bit — is identical to the single-threaded loop.
 
+use cocktail_quant::parallel::KernelPool;
 use std::fmt;
-use std::sync::mpsc;
-use std::thread::JoinHandle;
 
 /// A boxed unit of work shipped to one pool worker. Jobs own everything
 /// they touch (cloned `Arc`s, moved matrices and caches) and report back
 /// through a channel they capture, so no borrowed state crosses the thread
 /// boundary.
-pub(crate) type Job = Box<dyn FnOnce() + Send + 'static>;
+pub(crate) type Job = cocktail_quant::parallel::Job;
 
 /// A fixed set of worker threads that lives as long as its owner.
 ///
-/// Dropping the pool closes every job channel, which ends the worker loops;
-/// the threads are then joined so no worker outlives the engine.
+/// Since the kernel-parallelism PR this is a thin wrapper over the shared
+/// [`KernelPool`] primitive in `cocktail_quant::parallel` — one
+/// implementation of the per-worker-channel, never-respawn, deterministic-
+/// assignment pool serves both the engine's request-level parallelism
+/// (this type: one pool per engine) and the process-wide kernel
+/// dispatcher. Dropping the pool closes every job channel, which ends the
+/// worker loops; the threads are then joined so no worker outlives the
+/// engine.
 pub struct WorkerPool {
-    senders: Vec<mpsc::Sender<Job>>,
-    handles: Vec<JoinHandle<()>>,
-    spawned: usize,
+    inner: KernelPool,
 }
 
 impl WorkerPool {
     /// Spawns `workers` threads (at least one), each looping over its own
     /// job channel until the pool is dropped.
     pub(crate) fn new(workers: usize) -> Self {
-        let workers = workers.max(1);
-        let mut senders = Vec::with_capacity(workers);
-        let mut handles = Vec::with_capacity(workers);
-        let mut spawned = 0usize;
-        for _ in 0..workers {
-            let (tx, rx) = mpsc::channel::<Job>();
-            spawned += 1;
-            handles.push(std::thread::spawn(move || {
-                while let Ok(job) = rx.recv() {
-                    job();
-                }
-            }));
-            senders.push(tx);
-        }
         Self {
-            senders,
-            handles,
-            spawned,
+            inner: KernelPool::new(workers),
         }
     }
 
     /// Number of worker threads in the pool.
     pub fn workers(&self) -> usize {
-        self.senders.len()
+        self.inner.workers()
     }
 
     /// Total threads ever spawned by this pool. The pool never re-spawns,
@@ -70,7 +57,7 @@ impl WorkerPool {
     /// lifetime — the property the engine tests assert to prove workers
     /// persist across decode rounds instead of being re-created per round.
     pub fn spawn_count(&self) -> usize {
-        self.spawned
+        self.inner.spawn_count()
     }
 
     /// Ships a job to worker `index`.
@@ -81,9 +68,7 @@ impl WorkerPool {
     /// worker only exits when the pool is dropped, so a dead worker here
     /// means a previous job panicked).
     pub(crate) fn run_on(&self, index: usize, job: Job) {
-        self.senders[index]
-            .send(job)
-            .expect("pool worker is alive until the pool drops");
+        self.inner.run_on(index, job);
     }
 }
 
@@ -91,19 +76,8 @@ impl fmt::Debug for WorkerPool {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("WorkerPool")
             .field("workers", &self.workers())
-            .field("spawned", &self.spawned)
+            .field("spawned", &self.spawn_count())
             .finish()
-    }
-}
-
-impl Drop for WorkerPool {
-    fn drop(&mut self) {
-        // Closing the channels ends the worker loops; join so no thread
-        // outlives the engine that owns the pool.
-        self.senders.clear();
-        for handle in self.handles.drain(..) {
-            let _ = handle.join();
-        }
     }
 }
 

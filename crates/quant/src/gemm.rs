@@ -5,10 +5,109 @@
 //! multiplied against a *quantized* key (or value) block, dequantizing one
 //! row of the quantized operand at a time into a scratch buffer rather than
 //! materialising the whole block in FP32.
+//!
+//! All four public kernels (fused and `*_reference`) are built from the
+//! same two accumulation helpers — a sequential dot product and a
+//! zero-skipping axpy — so they are bit-identical to one another by
+//! construction, and the tile kernels used by [`crate::parallel`] restrict
+//! the same loops to a contiguous output slice without reassociating any
+//! sum. Inner loops run over contiguous slices (no per-element bounds
+//! checks) so the autovectorizer can lift them.
 
 use crate::config::QuantError;
 use crate::quantized::QuantizedMatrix;
 use cocktail_tensor::Matrix;
+
+/// Sequential dot product — the single accumulation order every score
+/// kernel in this module (fused, reference, tiled) shares.
+#[inline]
+pub(crate) fn dot(a: &[f32], b: &[f32]) -> f32 {
+    let mut acc = 0.0f32;
+    for (x, y) in a.iter().zip(b.iter()) {
+        acc += x * y;
+    }
+    acc
+}
+
+/// `out += weight * row`, skipped entirely for zero weights — the single
+/// accumulation step every value kernel in this module shares. The zero
+/// skip matters for attention probabilities, where masked positions are
+/// exactly 0.0.
+#[inline]
+pub(crate) fn axpy(out: &mut [f32], weight: f32, row: &[f32]) {
+    for (o, &v) in out.iter_mut().zip(row.iter()) {
+        *o += weight * v;
+    }
+}
+
+pub(crate) fn check_transposed_shapes(a: &Matrix, bq: &QuantizedMatrix) -> Result<(), QuantError> {
+    if a.cols() != bq.cols() {
+        return Err(QuantError::Incompatible(format!(
+            "fp ({}x{}) x quantized^T ({}x{})",
+            a.rows(),
+            a.cols(),
+            bq.rows(),
+            bq.cols()
+        )));
+    }
+    Ok(())
+}
+
+pub(crate) fn check_shapes(a: &Matrix, bq: &QuantizedMatrix) -> Result<(), QuantError> {
+    if a.cols() != bq.rows() {
+        return Err(QuantError::Incompatible(format!(
+            "fp ({}x{}) x quantized ({}x{})",
+            a.rows(),
+            a.cols(),
+            bq.rows(),
+            bq.cols()
+        )));
+    }
+    Ok(())
+}
+
+/// Columns `[j0, j1)` of `a · bqᵀ` (shapes already checked): the tile
+/// primitive behind both the scalar fused kernel (`j0..j1` = the full
+/// range) and the pooled dispatcher in [`crate::parallel`]. Each tile owns
+/// its output block, so stitching tiles in ascending order reproduces the
+/// full kernel bit for bit.
+pub(crate) fn transposed_tile(a: &Matrix, bq: &QuantizedMatrix, j0: usize, j1: usize) -> Matrix {
+    let mut out = Matrix::zeros(a.rows(), j1 - j0);
+    if a.cols() == 0 {
+        return out;
+    }
+    let mut row_buf = vec![0.0f32; bq.cols()];
+    for j in j0..j1 {
+        bq.dequantize_row_into(j, &mut row_buf);
+        for i in 0..a.rows() {
+            out.set(i, j - j0, dot(a.row(i), &row_buf));
+        }
+    }
+    out
+}
+
+/// Columns `[c0, c1)` of `a · bq` (shapes already checked): the value-side
+/// tile primitive. The i-k-j accumulation order and the zero-weight skip
+/// are identical to the full kernel restricted to the column slice, so
+/// per-output-element float operations are unchanged.
+pub(crate) fn value_tile(a: &Matrix, bq: &QuantizedMatrix, c0: usize, c1: usize) -> Matrix {
+    let mut out = Matrix::zeros(a.rows(), c1 - c0);
+    if a.cols() == 0 || c1 == c0 {
+        return out;
+    }
+    let mut row_buf = vec![0.0f32; c1 - c0];
+    for k in 0..bq.rows() {
+        bq.dequantize_row_range_into(k, c0, &mut row_buf);
+        for i in 0..a.rows() {
+            let weight = a.get(i, k);
+            if weight == 0.0 {
+                continue;
+            }
+            axpy(out.row_mut(i), weight, &row_buf);
+        }
+    }
+    out
+}
 
 /// Computes `a · bqᵀ` where `bq` is quantized — the attention-score kernel
 /// `Q · Kᵀ` with a quantized key block.
@@ -37,32 +136,8 @@ use cocktail_tensor::Matrix;
 /// # }
 /// ```
 pub fn fp_matmul_quant_transposed(a: &Matrix, bq: &QuantizedMatrix) -> Result<Matrix, QuantError> {
-    if a.cols() != bq.cols() {
-        return Err(QuantError::Incompatible(format!(
-            "fp ({}x{}) x quantized^T ({}x{})",
-            a.rows(),
-            a.cols(),
-            bq.rows(),
-            bq.cols()
-        )));
-    }
-    let mut out = Matrix::zeros(a.rows(), bq.rows());
-    if a.cols() == 0 {
-        return Ok(out);
-    }
-    let mut row_buf = vec![0.0f32; bq.cols()];
-    for j in 0..bq.rows() {
-        bq.dequantize_row_into(j, &mut row_buf);
-        for i in 0..a.rows() {
-            let a_row = a.row(i);
-            let mut acc = 0.0f32;
-            for (x, y) in a_row.iter().zip(row_buf.iter()) {
-                acc += x * y;
-            }
-            out.set(i, j, acc);
-        }
-    }
-    Ok(out)
+    check_transposed_shapes(a, bq)?;
+    Ok(transposed_tile(a, bq, 0, bq.rows()))
 }
 
 /// Computes `a · bq` where `bq` is quantized — the output kernel
@@ -75,41 +150,15 @@ pub fn fp_matmul_quant_transposed(a: &Matrix, bq: &QuantizedMatrix) -> Result<Ma
 ///
 /// Returns [`QuantError::Incompatible`] if the inner dimensions differ.
 pub fn fp_matmul_quant(a: &Matrix, bq: &QuantizedMatrix) -> Result<Matrix, QuantError> {
-    if a.cols() != bq.rows() {
-        return Err(QuantError::Incompatible(format!(
-            "fp ({}x{}) x quantized ({}x{})",
-            a.rows(),
-            a.cols(),
-            bq.rows(),
-            bq.cols()
-        )));
-    }
-    let mut out = Matrix::zeros(a.rows(), bq.cols());
-    if a.cols() == 0 || bq.cols() == 0 {
-        return Ok(out);
-    }
-    let mut row_buf = vec![0.0f32; bq.cols()];
-    // i-k-j ordering: stream over dequantized rows of bq exactly once per
-    // output row block, accumulating into the output row.
-    for k in 0..bq.rows() {
-        bq.dequantize_row_into(k, &mut row_buf);
-        for i in 0..a.rows() {
-            let weight = a.get(i, k);
-            if weight == 0.0 {
-                continue;
-            }
-            let out_row = out.row_mut(i);
-            for (o, &v) in out_row.iter_mut().zip(row_buf.iter()) {
-                *o += weight * v;
-            }
-        }
-    }
-    Ok(out)
+    check_shapes(a, bq)?;
+    Ok(value_tile(a, bq, 0, bq.cols()))
 }
 
-/// Reference (non-fused) implementation: dequantize the whole operand and
-/// run a dense GEMM. Used by tests and by the "dequantize-then-GEMM"
-/// ablation benchmark.
+/// Reference (non-fused) implementation: dequantize the whole operand,
+/// then run the same `dot` accumulation as the fused kernel over the
+/// materialised rows. The documented fallback of the
+/// [`crate::parallel`] dispatcher stack — fused, tiled and reference
+/// paths all produce the same bits.
 ///
 /// # Errors
 ///
@@ -118,20 +167,40 @@ pub fn fp_matmul_quant_transposed_reference(
     a: &Matrix,
     bq: &QuantizedMatrix,
 ) -> Result<Matrix, QuantError> {
+    check_transposed_shapes(a, bq)?;
     let dense = bq.dequantize();
-    a.matmul_transposed(&dense)
-        .map_err(|e| QuantError::Incompatible(e.to_string()))
+    let mut out = Matrix::zeros(a.rows(), bq.rows());
+    for j in 0..bq.rows() {
+        let dense_row = dense.row(j);
+        for i in 0..a.rows() {
+            out.set(i, j, dot(a.row(i), dense_row));
+        }
+    }
+    Ok(out)
 }
 
-/// Reference (non-fused) version of [`fp_matmul_quant`].
+/// Reference (non-fused) version of [`fp_matmul_quant`]: dequantize the
+/// whole operand, then run the same zero-skipping `axpy` accumulation
+/// as the fused kernel.
 ///
 /// # Errors
 ///
 /// Returns [`QuantError::Incompatible`] if the inner dimensions differ.
 pub fn fp_matmul_quant_reference(a: &Matrix, bq: &QuantizedMatrix) -> Result<Matrix, QuantError> {
+    check_shapes(a, bq)?;
     let dense = bq.dequantize();
-    a.matmul(&dense)
-        .map_err(|e| QuantError::Incompatible(e.to_string()))
+    let mut out = Matrix::zeros(a.rows(), bq.cols());
+    for k in 0..bq.rows() {
+        let dense_row = dense.row(k);
+        for i in 0..a.rows() {
+            let weight = a.get(i, k);
+            if weight == 0.0 {
+                continue;
+            }
+            axpy(out.row_mut(i), weight, dense_row);
+        }
+    }
+    Ok(out)
 }
 
 #[cfg(test)]

@@ -12,6 +12,12 @@
 //! * [`gemm`] — fused kernels that multiply an FP32/FP16 activation by a
 //!   quantized matrix, dequantizing group by group on the fly (the `fqm`
 //!   primitive of the paper's Algorithm 1).
+//! * [`parallel`] — the persistent [`parallel::KernelPool`] and
+//!   threshold-gated data-parallel dispatchers over the kernels above:
+//!   large operands are tiled across pool workers and stitched in
+//!   deterministic tile order (bit-identical to the scalar paths at every
+//!   thread count), small operands stay scalar so single-token decode
+//!   pays no dispatch overhead.
 //! * [`error`] — quantization error metrics used by the evaluation harness.
 //!
 //! # Example
@@ -38,6 +44,7 @@ mod config;
 pub mod error;
 pub mod gemm;
 mod packed;
+pub mod parallel;
 mod quantized;
 
 pub use bitwidth::Bitwidth;

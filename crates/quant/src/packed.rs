@@ -103,6 +103,84 @@ impl PackedInts {
         u32::from((byte >> (slot * bits)) & mask)
     }
 
+    /// Decodes the logical values `[start, start + out.len())` into `out`
+    /// as `f32` — the bulk primitive behind
+    /// [`QuantizedMatrix::dequantize_row_into`](crate::QuantizedMatrix::dequantize_row_into).
+    ///
+    /// Unlike a [`PackedInts::get`] loop this runs one fixed-width decode
+    /// loop per bitwidth over whole bytes (plus short unaligned head/tail
+    /// fixups), with no per-element index arithmetic or bounds checks, so
+    /// the autovectorizer can lift it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start + out.len() > len()`.
+    pub fn unpack_f32_into(&self, start: usize, out: &mut [f32]) {
+        assert!(
+            start
+                .checked_add(out.len())
+                .is_some_and(|end| end <= self.len),
+            "packed range out of bounds"
+        );
+        if out.is_empty() {
+            return;
+        }
+        match self.bitwidth {
+            Bitwidth::Int8 => {
+                let bytes = &self.bytes[start..start + out.len()];
+                for (v, &b) in out.iter_mut().zip(bytes) {
+                    *v = f32::from(b);
+                }
+            }
+            Bitwidth::Int4 => {
+                let mut i = start;
+                let mut o = 0;
+                if i % 2 == 1 {
+                    out[0] = f32::from(self.bytes[i / 2] >> 4);
+                    i += 1;
+                    o += 1;
+                }
+                let bytes = &self.bytes[i / 2..];
+                let rest = out.len() - o;
+                let mut pairs = out[o..].chunks_exact_mut(2);
+                for (pair, &b) in (&mut pairs).zip(bytes) {
+                    pair[0] = f32::from(b & 0x0F);
+                    pair[1] = f32::from(b >> 4);
+                }
+                let tail = pairs.into_remainder();
+                if let [last] = tail {
+                    *last = f32::from(bytes[rest / 2] & 0x0F);
+                }
+            }
+            Bitwidth::Int2 => {
+                let mut i = start;
+                let mut o = 0;
+                while o < out.len() && i % 4 != 0 {
+                    out[o] = f32::from((self.bytes[i / 4] >> ((i % 4) * 2)) & 0x03);
+                    i += 1;
+                    o += 1;
+                }
+                let bytes = &self.bytes[i / 4..];
+                let rest = out.len() - o;
+                let mut quads = out[o..].chunks_exact_mut(4);
+                for (quad, &b) in (&mut quads).zip(bytes) {
+                    quad[0] = f32::from(b & 0x03);
+                    quad[1] = f32::from((b >> 2) & 0x03);
+                    quad[2] = f32::from((b >> 4) & 0x03);
+                    quad[3] = f32::from(b >> 6);
+                }
+                let tail = quads.into_remainder();
+                if !tail.is_empty() {
+                    let b = bytes[rest / 4];
+                    for (slot, v) in tail.iter_mut().enumerate() {
+                        *v = f32::from((b >> (slot * 2)) & 0x03);
+                    }
+                }
+            }
+            Bitwidth::Fp16 => unreachable!("packed storage is integer-bitwidth only"),
+        }
+    }
+
     /// Unpacks every value into a `Vec<u32>`.
     pub fn unpack(&self) -> Vec<u32> {
         (0..self.len).map(|i| self.get(i)).collect()
@@ -185,6 +263,33 @@ mod tests {
                 assert_eq!(p.byte_len(), bw.payload_bytes(n), "{bw} n={n}");
             }
         }
+    }
+
+    #[test]
+    fn unpack_f32_into_matches_get_for_every_range() {
+        // Exhaustive over (start, len) for an awkward non-multiple length,
+        // covering every head/body/tail alignment combination per bitwidth.
+        for bw in [Bitwidth::Int2, Bitwidth::Int4, Bitwidth::Int8] {
+            let codes: Vec<u32> = (0..37u32).map(|i| (i * 7 + 3) % bw.levels()).collect();
+            let p = PackedInts::pack(&codes, bw);
+            for start in 0..=codes.len() {
+                for len in 0..=codes.len() - start {
+                    let mut out = vec![f32::NAN; len];
+                    p.unpack_f32_into(start, &mut out);
+                    let expected: Vec<f32> =
+                        (start..start + len).map(|i| p.get(i) as f32).collect();
+                    assert_eq!(out, expected, "{bw} start={start} len={len}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "packed range out of bounds")]
+    fn unpack_f32_into_rejects_out_of_range() {
+        let p = PackedInts::pack(&[1, 2, 3], Bitwidth::Int4);
+        let mut out = vec![0.0f32; 2];
+        p.unpack_f32_into(2, &mut out);
     }
 
     proptest! {

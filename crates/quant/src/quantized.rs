@@ -52,31 +52,46 @@ impl QuantizedMatrix {
     /// incompatibilities; the error type is [`QuantError`].
     pub fn quantize(matrix: &Matrix, config: &QuantConfig) -> Result<Self, QuantError> {
         let (rows, cols) = matrix.shape();
+        match config.axis() {
+            QuantAxis::PerToken => {
+                // Hot axis (every KV chunk takes it): group-aligned chunked
+                // row scans, shared with the row-tiled parallel path in
+                // [`crate::parallel`].
+                let tile = quantize_rows_per_token(matrix, config, 0, rows);
+                Ok(Self::assemble(
+                    rows,
+                    cols,
+                    *config,
+                    &tile.codes,
+                    tile.scales,
+                    tile.zeros,
+                ))
+            }
+            QuantAxis::PerChannel => Ok(Self::quantize_per_channel(matrix, config)),
+        }
+    }
+
+    /// Generic two-pass path for per-channel grouping, where groups run
+    /// down columns and therefore span rows. Iteration order (row-major,
+    /// per-element group lookup) matches the original scalar kernel.
+    fn quantize_per_channel(matrix: &Matrix, config: &QuantConfig) -> Self {
+        let (rows, cols) = matrix.shape();
         let group = config.group_size();
         let max_code = config.bitwidth().max_code() as f32;
-
-        let (group_count, elems) = match config.axis() {
-            QuantAxis::PerToken => {
-                let per_row = cols.div_ceil(group);
-                (rows * per_row, rows * cols)
-            }
-            QuantAxis::PerChannel => {
-                let per_col = rows.div_ceil(group);
-                (cols * per_col, rows * cols)
-            }
-        };
+        let per_col = rows.div_ceil(group);
+        let group_count = cols * per_col;
 
         let mut scales = vec![1.0f32; group_count];
         let mut zeros = vec![0.0f32; group_count];
-        let mut codes = vec![0u32; elems];
+        let mut codes = vec![0u32; rows * cols];
 
         // First pass: group statistics.
         let mut mins = vec![f32::INFINITY; group_count];
         let mut maxs = vec![f32::NEG_INFINITY; group_count];
         for r in 0..rows {
-            for c in 0..cols {
-                let g = Self::group_index_for(config, rows, cols, r, c);
-                let v = matrix.get(r, c);
+            let row_group = r / group;
+            for (c, &v) in matrix.row(r).iter().enumerate() {
+                let g = c * per_col + row_group;
                 if v < mins[g] {
                     mins[g] = v;
                 }
@@ -92,36 +107,43 @@ impl QuantizedMatrix {
                 mins[g] = 0.0;
                 maxs[g] = 0.0;
             }
-            let range = maxs[g] - mins[g];
-            let scale = if range > 0.0 && max_code > 0.0 {
-                range / max_code
-            } else {
-                1.0
-            };
-            // Quantization parameters are stored in FP16 by real kernels.
-            scales[g] = F16::round_trip(scale).max(f32::MIN_POSITIVE);
-            zeros[g] = F16::round_trip(mins[g]);
+            let (scale, zero) = group_params(mins[g], maxs[g], max_code);
+            scales[g] = scale;
+            zeros[g] = zero;
         }
 
         // Second pass: encode.
         for r in 0..rows {
-            for c in 0..cols {
-                let g = Self::group_index_for(config, rows, cols, r, c);
-                let v = matrix.get(r, c);
-                let code = ((v - zeros[g]) / scales[g]).round();
-                let code = code.clamp(0.0, max_code) as u32;
-                codes[r * cols + c] = code;
+            let row_group = r / group;
+            for (c, &v) in matrix.row(r).iter().enumerate() {
+                let g = c * per_col + row_group;
+                codes[r * cols + c] = encode(v, scales[g], zeros[g], max_code);
             }
         }
 
-        Ok(Self {
+        Self::assemble(rows, cols, *config, &codes, scales, zeros)
+    }
+
+    /// Builds a matrix from already-computed parameters and unpacked codes
+    /// (the stitch step of the row-tiled parallel quantizer).
+    pub(crate) fn assemble(
+        rows: usize,
+        cols: usize,
+        config: QuantConfig,
+        codes: &[u32],
+        scales: Vec<f32>,
+        zeros: Vec<f32>,
+    ) -> Self {
+        debug_assert_eq!(codes.len(), rows * cols);
+        debug_assert_eq!(scales.len(), zeros.len());
+        Self {
             rows,
             cols,
-            config: *config,
-            codes: PackedInts::pack(&codes, config.bitwidth()),
+            config,
+            codes: PackedInts::pack(codes, config.bitwidth()),
             scales,
             zeros,
-        })
+        }
     }
 
     #[inline]
@@ -192,24 +214,81 @@ impl QuantizedMatrix {
     ///
     /// This is the inner primitive of the fused GEMM kernels in
     /// [`crate::gemm`]: a row (or a group of rows) is reconstructed into a
-    /// small scratch buffer instead of materialising the whole matrix.
+    /// small scratch buffer instead of materialising the whole matrix. The
+    /// codes are unpacked in bulk and the affine step runs over
+    /// group-aligned contiguous chunks, so the hot loops carry no
+    /// per-element bounds checks.
     ///
     /// # Panics
     ///
     /// Panics if `row >= rows()` or `out.len() != cols()`.
     pub fn dequantize_row_into(&self, row: usize, out: &mut [f32]) {
-        assert!(row < self.rows, "row out of bounds");
         assert_eq!(out.len(), self.cols, "output buffer length mismatch");
-        for (c, slot) in out.iter_mut().enumerate() {
-            *slot = self.dequantize_element(row, c);
+        self.dequantize_row_range_into(row, 0, out);
+    }
+
+    /// Reconstructs the column slice `[col_start, col_start + out.len())`
+    /// of one row — the primitive behind the column-tiled value kernel in
+    /// [`crate::parallel`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row >= rows()` or the column range exceeds `cols()`.
+    pub fn dequantize_row_range_into(&self, row: usize, col_start: usize, out: &mut [f32]) {
+        assert!(row < self.rows, "row out of bounds");
+        assert!(
+            col_start + out.len() <= self.cols,
+            "column range out of bounds"
+        );
+        if out.is_empty() {
+            return;
+        }
+        self.codes.unpack_f32_into(row * self.cols + col_start, out);
+        let group = self.config.group_size();
+        match self.config.axis() {
+            QuantAxis::PerToken => {
+                // Groups are contiguous row slices: apply each group's
+                // affine parameters to its whole chunk at once.
+                let per_row = self.cols.div_ceil(group);
+                let base = row * per_row;
+                let mut col = col_start;
+                let mut off = 0;
+                while off < out.len() {
+                    let group_in_row = col / group;
+                    let group_end = ((group_in_row + 1) * group).min(self.cols);
+                    let take = (group_end - col).min(out.len() - off);
+                    let scale = self.scales[base + group_in_row];
+                    let zero = self.zeros[base + group_in_row];
+                    for v in &mut out[off..off + take] {
+                        *v = *v * scale + zero;
+                    }
+                    col += take;
+                    off += take;
+                }
+            }
+            QuantAxis::PerChannel => {
+                let per_col = self.rows.div_ceil(group);
+                let row_group = row / group;
+                for (i, v) in out.iter_mut().enumerate() {
+                    let g = (col_start + i) * per_col + row_group;
+                    *v = *v * self.scales[g] + self.zeros[g];
+                }
+            }
         }
     }
 
     /// Reconstructs the full matrix.
     pub fn dequantize(&self) -> Matrix {
-        let mut out = Matrix::zeros(self.rows, self.cols);
-        for r in 0..self.rows {
-            self.dequantize_row_into(r, out.row_mut(r));
+        self.dequantize_rows(0, self.rows)
+    }
+
+    /// Reconstructs the row slice `[row_start, row_end)` as its own matrix
+    /// — the tile primitive of the row-parallel dequantizer in
+    /// [`crate::parallel`].
+    pub(crate) fn dequantize_rows(&self, row_start: usize, row_end: usize) -> Matrix {
+        let mut out = Matrix::zeros(row_end - row_start, self.cols);
+        for r in row_start..row_end {
+            self.dequantize_row_range_into(r, 0, out.row_mut(r - row_start));
         }
         out
     }
@@ -241,6 +320,93 @@ impl QuantizedMatrix {
             return 1.0;
         }
         self.fp16_reference_bytes() as f64 / self.storage_bytes() as f64
+    }
+}
+
+/// Per-group parameters from group statistics — the one place the scale /
+/// zero-point formula lives. FP16 rounding matches what real KV-cache
+/// kernels store.
+#[inline]
+fn group_params(min: f32, max: f32, max_code: f32) -> (f32, f32) {
+    let range = max - min;
+    let scale = if range > 0.0 && max_code > 0.0 {
+        range / max_code
+    } else {
+        1.0
+    };
+    (
+        F16::round_trip(scale).max(f32::MIN_POSITIVE),
+        F16::round_trip(min),
+    )
+}
+
+/// Encodes one value against its group's affine parameters.
+#[inline]
+fn encode(v: f32, scale: f32, zero: f32, max_code: f32) -> u32 {
+    ((v - zero) / scale).round().clamp(0.0, max_code) as u32
+}
+
+/// One row tile's worth of per-token quantization output: parameters and
+/// (unpacked) codes for rows `[row_start, row_end)`, laid out exactly as
+/// the corresponding slice of the full matrix. Tiles from adjacent row
+/// ranges concatenate into the full layout, which is what makes the
+/// row-parallel quantizer in [`crate::parallel`] bit-identical to the
+/// scalar path.
+pub(crate) struct PerTokenTile {
+    pub(crate) scales: Vec<f32>,
+    pub(crate) zeros: Vec<f32>,
+    pub(crate) codes: Vec<u32>,
+}
+
+/// Quantizes rows `[row_start, row_end)` under per-token grouping.
+///
+/// Per-token groups never cross a row, so each row is processed as a
+/// sequence of group-aligned contiguous chunks: one min/max scan and one
+/// encode pass per chunk, no per-element group-index arithmetic and no
+/// bounds checks inside the hot loops.
+pub(crate) fn quantize_rows_per_token(
+    matrix: &Matrix,
+    config: &QuantConfig,
+    row_start: usize,
+    row_end: usize,
+) -> PerTokenTile {
+    let cols = matrix.cols();
+    let group = config.group_size();
+    let max_code = config.bitwidth().max_code() as f32;
+    let per_row = cols.div_ceil(group);
+    let rows = row_end - row_start;
+
+    let mut scales = Vec::with_capacity(rows * per_row);
+    let mut zeros = Vec::with_capacity(rows * per_row);
+    let mut codes = Vec::with_capacity(rows * cols);
+
+    for r in row_start..row_end {
+        let row = matrix.row(r);
+        for chunk in row.chunks(group) {
+            // Same comparison pattern as the original two-pass kernel, so
+            // the statistics (and therefore every parameter bit) match.
+            let mut min = f32::INFINITY;
+            let mut max = f32::NEG_INFINITY;
+            for &v in chunk {
+                if v < min {
+                    min = v;
+                }
+                if v > max {
+                    max = v;
+                }
+            }
+            let (scale, zero) = group_params(min, max, max_code);
+            scales.push(scale);
+            zeros.push(zero);
+            for &v in chunk {
+                codes.push(encode(v, scale, zero, max_code));
+            }
+        }
+    }
+    PerTokenTile {
+        scales,
+        zeros,
+        codes,
     }
 }
 
