@@ -21,5 +21,6 @@ fn main() {
     experiments::gateway_saturation();
     experiments::replica_affinity();
     experiments::kernel_scaling();
+    experiments::snapshot_warm_restart();
     println!("\nAll experiments complete; JSON records are under results/.");
 }

@@ -1,0 +1,92 @@
+//! Runs the snapshot warm-restart experiment and *enforces* its
+//! acceptance criteria: the snapshot must restore with every trie node
+//! intact, the restored engine's answers must be byte-identical to the
+//! cold sequential reference, its mean TTFT must be strictly below a
+//! cold-started control, snapshot -> restore -> snapshot must reproduce
+//! the bytes exactly, the disk cold tier must demote and repromote KV
+//! bit-identically, and truncated / bit-flipped / wrong-fingerprint
+//! snapshots must all degrade to clean cold starts without a panic. Exits
+//! non-zero when any criterion fails, so CI catches persistence
+//! regressions.
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let report = cocktail_bench::experiments::snapshot_warm_restart();
+    let mut ok = true;
+    if !report.restored {
+        eprintln!("FAIL: the snapshot did not restore");
+        ok = false;
+    }
+    if report.restored_nodes != report.snapshot_nodes {
+        eprintln!(
+            "FAIL: restore kept {} trie nodes, the snapshot captured {}",
+            report.restored_nodes, report.snapshot_nodes
+        );
+        ok = false;
+    }
+    if !report.byte_identical {
+        eprintln!("FAIL: a served answer diverged from the cold sequential reference");
+        ok = false;
+    }
+    if report.post_restart_reused_tokens == 0 {
+        eprintln!("FAIL: the restored engine reused no prompt tokens from the snapshot");
+        ok = false;
+    }
+    if report.warm_restart_mean_ttft_us >= report.cold_restart_mean_ttft_us {
+        eprintln!(
+            "FAIL: warm-restart mean TTFT {:.0} us is not strictly below the cold-restart \
+             control's {:.0} us",
+            report.warm_restart_mean_ttft_us, report.cold_restart_mean_ttft_us
+        );
+        ok = false;
+    }
+    if !report.roundtrip_byte_identical {
+        eprintln!("FAIL: snapshot -> restore -> snapshot did not reproduce the bytes");
+        ok = false;
+    }
+    if report.demotions == 0 {
+        eprintln!("FAIL: the capped cold-tier engine demoted nothing to disk");
+        ok = false;
+    }
+    if report.repromotions == 0 {
+        eprintln!("FAIL: re-serving the demoted prefix repromoted nothing from disk");
+        ok = false;
+    }
+    if report.repromoted_reused_tokens == 0 {
+        eprintln!("FAIL: the repromoted request reused no prompt tokens");
+        ok = false;
+    }
+    if !report.repromoted_byte_identical {
+        eprintln!("FAIL: the repromoted answer diverged from its cold first serve");
+        ok = false;
+    }
+    if !report.truncated_cold_start {
+        eprintln!("FAIL: a truncated snapshot did not degrade to a clean cold start");
+        ok = false;
+    }
+    if !report.corrupted_cold_start {
+        eprintln!("FAIL: a bit-flipped snapshot did not degrade to a clean cold start");
+        ok = false;
+    }
+    if !report.wrong_fingerprint_cold_start {
+        eprintln!("FAIL: a wrong-fingerprint snapshot did not degrade to a clean cold start");
+        ok = false;
+    }
+    if ok {
+        println!(
+            "OK: snapshot of {} nodes ({} bytes) restored in full, warm-restart TTFT {:.0} us vs \
+             cold {:.0} us ({:.2}x), byte-identity held everywhere, cold tier demoted {} and \
+             repromoted {} bit-identically, all three corrupt-snapshot drills degraded cleanly",
+            report.snapshot_nodes,
+            report.snapshot_bytes,
+            report.warm_restart_mean_ttft_us,
+            report.cold_restart_mean_ttft_us,
+            report.warm_over_cold,
+            report.demotions,
+            report.repromotions
+        );
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

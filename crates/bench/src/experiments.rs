@@ -10,13 +10,15 @@ use crate::{
 };
 use cocktail_core::{
     CocktailConfig, CocktailOutcome, CocktailPipeline, PrefixCacheConfig, PrefixCacheStats,
-    RequestId, SchedulerConfig, ServeRequest, ServingEngine, ServingStats,
+    RequestId, RequestOutcome, SchedulerConfig, ServeRequest, ServingEngine, ServingStats,
 };
 use cocktail_hwsim::{AcceleratorSpec, DeploymentModel, KvCacheProfile, RequestShape};
 use cocktail_model::{InferenceEngine, ModelConfig, ModelProfile};
 use cocktail_quant::parallel as kernel_parallel;
 use cocktail_retrieval::{similarity_matrix, ContrieverSim, EncoderKind};
-use cocktail_workloads::{TaskKind, TrafficConfig, TrafficGenerator, WorkloadConfig};
+use cocktail_workloads::{
+    TaskKind, TrafficConfig, TrafficGenerator, TrafficRequest, WorkloadConfig,
+};
 use serde::Serialize;
 use std::time::Instant;
 
@@ -760,6 +762,7 @@ pub fn serving_throughput_with(repetitions: usize, write: bool) -> ServingThroug
             tenant_skew_milli: 0,
             cancel_per_mille: 0,
             stop_strings: Vec::new(),
+            restart_after_requests: None,
         },
         0xC0C_7A11,
     )
@@ -989,6 +992,7 @@ pub fn ttft_prefix_reuse_with(repetitions: usize, write: bool) -> TtftPrefixReus
             tenant_skew_milli: 0,
             cancel_per_mille: 0,
             stop_strings: Vec::new(),
+            restart_after_requests: None,
         },
         0x77F7_0001,
     )
@@ -1231,6 +1235,7 @@ pub fn streaming_latency_with(repetitions: usize, write: bool) -> StreamingLaten
             tenant_skew_milli: 0,
             cancel_per_mille: 400,
             stop_strings: Vec::new(),
+            restart_after_requests: None,
         },
         0x573E_AA11,
     )
@@ -1552,6 +1557,7 @@ pub fn prefix_trie_dedup_with(write: bool) -> PrefixTrieDedupReport {
             tenant_skew_milli: 0,
             cancel_per_mille: 0,
             stop_strings: Vec::new(),
+            restart_after_requests: None,
         },
         0x7B1E_0005,
     )
@@ -1820,6 +1826,7 @@ pub fn gateway_saturation_with(repetitions: usize, write: bool) -> GatewaySatura
             tenant_skew_milli: 0,
             cancel_per_mille: 0,
             stop_strings: Vec::new(),
+            restart_after_requests: None,
         }
         .with_branching_prefix(2, 24, 8),
         0x6A7E_3A7E,
@@ -2172,9 +2179,9 @@ pub struct ReplicaAffinityReport {
     /// How many fleet-gateway requests each replica served.
     pub gateway_replica_requests: Vec<usize>,
     /// Affinity-routed count reported by the fleet gateway's
-    /// `/api/stats`.
+    /// `/api/v1/stats`.
     pub gateway_affinity_routed: usize,
-    /// Least-loaded-routed count reported by `/api/stats`.
+    /// Least-loaded-routed count reported by `/api/v1/stats`.
     pub gateway_least_loaded_routed: usize,
     /// Requests in the cross-replica cancellation storm.
     pub storm_requests: usize,
@@ -2261,6 +2268,7 @@ pub fn replica_affinity_with(repetitions: usize, write: bool) -> ReplicaAffinity
             tenant_skew_milli: 0,
             cancel_per_mille: 0,
             stop_strings: Vec::new(),
+            restart_after_requests: None,
         }
         .with_branching_prefix(groups, 24, 8)
         .with_tenant_skew(1200),
@@ -2847,9 +2855,392 @@ pub fn kernel_scaling_with(repetitions: usize, write: bool) -> KernelScalingRepo
     report
 }
 
+// ---------------------------------------------------------------------------
+// Snapshot warm restart — persist the trie, restart, serve warm immediately
+// ---------------------------------------------------------------------------
+
+/// Full payload of the snapshot warm-restart record.
+#[derive(Debug, Clone, Serialize)]
+pub struct SnapshotWarmRestartReport {
+    /// Requests served before the snapshot + restart.
+    pub pre_restart_requests: usize,
+    /// Requests served on the restored engine.
+    pub post_restart_requests: usize,
+    /// Snapshot file size in bytes.
+    pub snapshot_bytes: usize,
+    /// Trie nodes the snapshot captured.
+    pub snapshot_nodes: usize,
+    /// Whether the restore loaded the snapshot (must be true).
+    pub restored: bool,
+    /// Trie nodes resident after the restore.
+    pub restored_nodes: usize,
+    /// Every comparable serve — pre-restart, post-restore, post-drill —
+    /// matched the cold sequential pipeline reference byte for byte. (The
+    /// cold-restart control is timing-only: with no snapshot to replay the
+    /// tokenizer's interning order, its token ids — and therefore answers —
+    /// are legitimately different, which is the point of restoring.)
+    pub byte_identical: bool,
+    /// Prompt tokens the restored engine served from the snapshot's trie.
+    pub post_restart_reused_tokens: usize,
+    /// Mean TTFT of the post-restart requests on the restored engine
+    /// (microseconds, best of N runs).
+    pub warm_restart_mean_ttft_us: f64,
+    /// Mean TTFT of the same requests on a cold-started engine.
+    pub cold_restart_mean_ttft_us: f64,
+    /// `warm_restart_mean_ttft_us / cold_restart_mean_ttft_us` (< 1 means
+    /// restoring the snapshot pays).
+    pub warm_over_cold: f64,
+    /// snapshot -> restore -> snapshot reproduced the bytes exactly.
+    pub roundtrip_byte_identical: bool,
+    /// Cold-tier demotions in the eviction drill.
+    pub demotions: u64,
+    /// Cold-tier repromotions in the eviction drill.
+    pub repromotions: u64,
+    /// Prompt tokens the repromoted request reused from the cold tier.
+    pub repromoted_reused_tokens: usize,
+    /// The repromoted answer equals its own cold first serve and the
+    /// sequential reference (disk round-trips change nothing).
+    pub repromoted_byte_identical: bool,
+    /// A truncated snapshot degraded to a clean cold start and the engine
+    /// served on, byte-identical.
+    pub truncated_cold_start: bool,
+    /// A bit-flipped snapshot degraded to a clean cold start.
+    pub corrupted_cold_start: bool,
+    /// A snapshot from a differently-configured engine degraded cleanly.
+    pub wrong_fingerprint_cold_start: bool,
+}
+
+/// Snapshot warm restart with the default settings: best-of-3 timing,
+/// record written to `results/snapshot_warm_restart.json`.
+///
+/// # Panics
+///
+/// Panics if serving or the snapshot write fails.
+pub fn snapshot_warm_restart() -> SnapshotWarmRestartReport {
+    snapshot_warm_restart_with(3, true)
+}
+
+/// The persistence drill behind warm restarts: six requests share a long
+/// preamble; after three of them (the trace's
+/// [`TrafficConfig::with_restart_point`] marker) the engine snapshots its
+/// prefix trie and is torn down, a fresh engine restores the file, and the
+/// remaining requests must serve byte-identically to a cold sequential
+/// reference — at a strictly lower TTFT than a cold-started control,
+/// because the restored trie spares them the preamble prefill. The same
+/// run exercises the disk cold tier (a two-node cap demotes an evicted
+/// tail to the spill file and re-serving it repromotes the KV bit-exactly)
+/// and the corruption drills (truncated, bit-flipped, and
+/// wrong-fingerprint snapshots must degrade to clean cold starts, never
+/// panic, and leave the engine serving).
+///
+/// Each TTFT is the minimum over `repetitions` full runs, the usual
+/// defence against scheduler noise.
+///
+/// # Panics
+///
+/// Panics if serving fails or the snapshot cannot be written.
+pub fn snapshot_warm_restart_with(repetitions: usize, write: bool) -> SnapshotWarmRestartReport {
+    let repetitions = repetitions.max(1);
+    let config = CocktailConfig::default()
+        .with_chunk_size(16)
+        .expect("chunk size is valid");
+    let profile = ModelProfile::llama2_7b_sim;
+    let traffic = TrafficGenerator::new(
+        TrafficConfig {
+            requests: 6,
+            arrival_window_steps: 0,
+            max_new_tokens: 4,
+            workload: WorkloadConfig::tiny().with_context_words(48),
+            kinds: vec![TaskKind::Qasper, TaskKind::QmSum, TaskKind::TriviaQa],
+            prefix_groups: 1,
+            prefix_words: 192,
+            branch_words: 0,
+            tenant_skew_milli: 0,
+            cancel_per_mille: 0,
+            stop_strings: Vec::new(),
+            restart_after_requests: Some(3),
+        },
+        0x5AFE_0001,
+    )
+    .generate();
+    let restart_at = traffic
+        .iter()
+        .position(|r| r.restart_before)
+        .expect("the restart marker is in range");
+
+    // Cold sequential reference: the answers every serving variant below
+    // must reproduce bit-exactly.
+    let pipeline =
+        CocktailPipeline::new(profile(), config.clone()).expect("pipeline config is valid");
+    let reference: Vec<CocktailOutcome> = traffic
+        .iter()
+        .map(|r| {
+            pipeline
+                .run(&r.task.context, &r.task.query, r.max_new_tokens)
+                .expect("cold sequential reference run succeeds")
+        })
+        .collect();
+
+    let submit_all =
+        |engine: &mut ServingEngine, slice: &[TrafficRequest]| -> Vec<RequestOutcome> {
+            for request in slice {
+                engine.submit(
+                    ServeRequest::builder()
+                        .context(request.task.context.clone())
+                        .query(request.task.query.clone())
+                        .max_new_tokens(request.max_new_tokens)
+                        .build(),
+                );
+            }
+            engine.run_until_idle().expect("serving succeeds")
+        };
+    let fresh = || {
+        ServingEngine::new(profile(), config.clone())
+            .expect("serving config is valid")
+            .with_prefix_cache(PrefixCacheConfig::default())
+    };
+
+    let snap_path = std::env::temp_dir().join(format!(
+        "cocktail_bench_{}_warm_restart.snap",
+        std::process::id()
+    ));
+    let post = &traffic[restart_at..];
+    let mut warm_best = vec![u64::MAX; post.len()];
+    let mut cold_best = vec![u64::MAX; post.len()];
+    let mut snapshot_bytes = 0usize;
+    let mut snapshot_nodes = 0usize;
+    let mut restored = true;
+    let mut restored_nodes = 0usize;
+    let mut byte_identical = true;
+    let mut post_restart_reused_tokens = 0usize;
+    for _ in 0..repetitions {
+        // Interrupted run: build the trie, snapshot, "restart", restore.
+        let mut engine = fresh();
+        let pre = submit_all(&mut engine, &traffic[..restart_at]);
+        for (outcome, cold) in pre.iter().zip(&reference) {
+            byte_identical &= outcome.outcome.answer == cold.answer;
+        }
+        let report = engine.snapshot_to(&snap_path).expect("snapshot writes");
+        snapshot_bytes = report.bytes;
+        snapshot_nodes = report.nodes;
+        drop(engine);
+
+        let mut warm_engine = fresh();
+        let restore = warm_engine.restore_from(&snap_path);
+        restored &= restore.restored;
+        restored_nodes = restore.nodes;
+        let outcomes = submit_all(&mut warm_engine, post);
+        post_restart_reused_tokens = outcomes.iter().map(|o| o.stats.prefix_reused_tokens).sum();
+        for ((outcome, cold), slot) in outcomes
+            .iter()
+            .zip(&reference[restart_at..])
+            .zip(warm_best.iter_mut())
+        {
+            byte_identical &= outcome.outcome.answer == cold.answer
+                && outcome.outcome.generated_tokens == cold.generated_tokens;
+            let t = outcome.stats.timings;
+            *slot = (*slot).min(t.prefill_us + t.compress_us);
+        }
+
+        // Cold-restart control: the same tail with nothing to restore.
+        // Timing only — a fresh tokenizer that never saw the first half of
+        // the trace interns the tail's words under different ids, so its
+        // answers are not comparable to the full-trace reference. (That id
+        // sensitivity is exactly why the snapshot carries the interned
+        // vocabulary: the restored engine above *does* reproduce the
+        // reference byte for byte.)
+        let mut cold_engine = fresh();
+        let outcomes = submit_all(&mut cold_engine, post);
+        for (outcome, slot) in outcomes.iter().zip(cold_best.iter_mut()) {
+            let t = outcome.stats.timings;
+            *slot = (*slot).min(t.prefill_us + t.compress_us);
+        }
+    }
+    let mean =
+        |best: &[u64]| best.iter().map(|&v| v as f64).sum::<f64>() / best.len().max(1) as f64;
+    let warm_restart_mean_ttft_us = mean(&warm_best);
+    let cold_restart_mean_ttft_us = mean(&cold_best);
+
+    // Snapshot -> restore -> snapshot reproduces the format byte for byte.
+    let bytes = std::fs::read(&snap_path).expect("snapshot file is readable");
+    let mut echo = fresh();
+    let roundtrip = echo.restore_from_bytes(&bytes);
+    let roundtrip_byte_identical = roundtrip.restored && echo.snapshot_bytes() == bytes;
+
+    // Corruption drills: every unusable snapshot must degrade to a clean
+    // cold start — restored == false with a reason, no panic, and the
+    // engine still serves the reference answer afterwards.
+    let drill = |mangled: Vec<u8>| -> bool {
+        let mut engine = fresh();
+        let report = engine.restore_from_bytes(&mangled);
+        if report.restored || report.reason.is_none() {
+            return false;
+        }
+        let outcomes = submit_all(&mut engine, &traffic[..1]);
+        outcomes[0].outcome.answer == reference[0].answer
+    };
+    let truncated_cold_start = drill(bytes[..bytes.len() / 2].to_vec());
+    let corrupted_cold_start = {
+        let mut flipped = bytes.clone();
+        let middle = flipped.len() / 2;
+        flipped[middle] ^= 0xFF;
+        drill(flipped)
+    };
+    let wrong_fingerprint_cold_start = {
+        // A snapshot taken under a different chunk size carries a
+        // different config fingerprint: its KV bytes are not portable.
+        let other_config = CocktailConfig::default()
+            .with_chunk_size(32)
+            .expect("chunk size is valid");
+        let mut other = ServingEngine::new(profile(), other_config)
+            .expect("serving config is valid")
+            .with_prefix_cache(PrefixCacheConfig::default());
+        submit_all(&mut other, &traffic[..1]);
+        drill(other.snapshot_bytes())
+    };
+    std::fs::remove_file(&snap_path).ok();
+
+    // Demote/repromote drill: a two-node cap with a disk cold tier. The
+    // first two requests share the group preamble with divergent tails, so
+    // caching the second splits the trie past the cap, demotes the first
+    // tail to the spill file, and re-serving the first request repromotes
+    // it from disk — with nothing changed in the bytes it serves.
+    let spill_path = std::env::temp_dir().join(format!(
+        "cocktail_bench_{}_warm_restart.spill",
+        std::process::id()
+    ));
+    std::fs::remove_file(&spill_path).ok();
+    let mut tiered = ServingEngine::new(profile(), config.clone())
+        .expect("serving config is valid")
+        .with_prefix_cache(PrefixCacheConfig::default().with_max_entries(2))
+        .with_cold_tier(&spill_path)
+        .expect("cold-tier spill path is creatable");
+    let first = submit_all(&mut tiered, &traffic[..1]);
+    submit_all(&mut tiered, &traffic[1..2]);
+    let demotions = tiered
+        .prefix_cache_stats()
+        .expect("the prefix cache is enabled")
+        .demotions;
+    let again = submit_all(&mut tiered, &traffic[..1]);
+    let repromotions = tiered
+        .prefix_cache_stats()
+        .expect("the prefix cache is enabled")
+        .repromotions;
+    let repromoted_reused_tokens = again[0].stats.prefix_reused_tokens;
+    let repromoted_byte_identical = again[0].outcome.answer == first[0].outcome.answer
+        && again[0].outcome.answer == reference[0].answer;
+    std::fs::remove_file(&spill_path).ok();
+
+    println!(
+        "cold-restart mean TTFT {cold_restart_mean_ttft_us:.0} us, warm-restart mean TTFT \
+         {warm_restart_mean_ttft_us:.0} us ({:.2}x)",
+        warm_restart_mean_ttft_us / cold_restart_mean_ttft_us
+    );
+    let report = SnapshotWarmRestartReport {
+        pre_restart_requests: restart_at,
+        post_restart_requests: post.len(),
+        snapshot_bytes,
+        snapshot_nodes,
+        restored,
+        restored_nodes,
+        byte_identical,
+        post_restart_reused_tokens,
+        warm_restart_mean_ttft_us,
+        cold_restart_mean_ttft_us,
+        warm_over_cold: warm_restart_mean_ttft_us / cold_restart_mean_ttft_us,
+        roundtrip_byte_identical,
+        demotions,
+        repromotions,
+        repromoted_reused_tokens,
+        repromoted_byte_identical,
+        truncated_cold_start,
+        corrupted_cold_start,
+        wrong_fingerprint_cold_start,
+    };
+    let table = vec![
+        vec![
+            "snapshot bytes".to_string(),
+            report.snapshot_bytes.to_string(),
+        ],
+        vec![
+            "snapshot nodes".to_string(),
+            report.snapshot_nodes.to_string(),
+        ],
+        vec![
+            "restored nodes".to_string(),
+            report.restored_nodes.to_string(),
+        ],
+        vec![
+            "post-restart reused tokens".to_string(),
+            report.post_restart_reused_tokens.to_string(),
+        ],
+        vec![
+            "warm-restart mean TTFT us".to_string(),
+            format!("{:.0}", report.warm_restart_mean_ttft_us),
+        ],
+        vec![
+            "cold-restart mean TTFT us".to_string(),
+            format!("{:.0}", report.cold_restart_mean_ttft_us),
+        ],
+        vec![
+            "cold-tier demotions".to_string(),
+            report.demotions.to_string(),
+        ],
+        vec![
+            "cold-tier repromotions".to_string(),
+            report.repromotions.to_string(),
+        ],
+    ];
+    print_table(
+        "Snapshot warm restart (Llama2-7B sim, 6 shared-prefix requests, restart after 3)",
+        &["Metric", "Value"],
+        &table,
+    );
+    if write {
+        let record = ExperimentRecord {
+            id: "snapshot_warm_restart".to_string(),
+            title: "KV snapshot warm restart: persist the prefix trie, restart, serve warm"
+                .to_string(),
+            note: format!(
+                "6 requests sharing a 192-word preamble on the Llama2-7B sim profile, snapshot + \
+                 restart after request 3 (the trace's restart marker), best of {repetitions} \
+                 runs; all answers asserted byte-identical to cold sequential runs; includes \
+                 cold-tier demote/repromote and truncated/corrupted/wrong-fingerprint drills"
+            ),
+            rows: &report,
+        };
+        let path = write_record(&record);
+        println!("(written to {})", path.display());
+    }
+    report
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn snapshot_warm_restart_holds_its_invariants() {
+        let report = snapshot_warm_restart_with(1, false);
+        assert!(report.restored);
+        assert_eq!(report.restored_nodes, report.snapshot_nodes);
+        assert!(report.byte_identical);
+        assert!(report.post_restart_reused_tokens > 0);
+        assert!(
+            report.warm_restart_mean_ttft_us < report.cold_restart_mean_ttft_us,
+            "warm restart {:.0} us must beat the cold control {:.0} us",
+            report.warm_restart_mean_ttft_us,
+            report.cold_restart_mean_ttft_us
+        );
+        assert!(report.roundtrip_byte_identical);
+        assert!(report.demotions > 0);
+        assert!(report.repromotions > 0);
+        assert!(report.repromoted_reused_tokens > 0);
+        assert!(report.repromoted_byte_identical);
+        assert!(report.truncated_cold_start);
+        assert!(report.corrupted_cold_start);
+        assert!(report.wrong_fingerprint_cold_start);
+    }
 
     #[test]
     fn fig1_most_chunks_are_irrelevant() {

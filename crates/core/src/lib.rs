@@ -39,6 +39,16 @@
 //!   sends branching conversations back to the replica where their shared
 //!   preamble KV is already resident, and cold prompts to the
 //!   least-loaded replica.
+//! * The **persistence layer** ([`ServingEngine::snapshot_to`],
+//!   [`ServingEngine::restore_from`], [`ServingEngine::with_cold_tier`])
+//!   makes the prefix cache survive the process: a flat, versioned,
+//!   checksummed snapshot format (from `cocktail_kvcache`) captures the
+//!   trie and the tokenizer interning order it depends on, so a restarted
+//!   engine — or a fresh replica pre-warmed via
+//!   [`Router::prewarm_replica`] — serves its first warm request at warm
+//!   TTFT, byte-identical to never having restarted; and a disk cold tier
+//!   demotes evicted branches to a spill file instead of dropping them,
+//!   repromoting on a later match under the same KV budget.
 //!
 //! # Example
 //!
@@ -90,6 +100,13 @@ pub use scheduler::{
 };
 pub use search::{BitwidthPlan, ChunkQuantSearch};
 pub use serving::{
-    FinishReason, RequestOutcome, RequestState, ServeRequest, ServingEngine, ServingStats,
-    TokenEvent,
+    FinishReason, RequestOutcome, RequestState, RestoreReport, ServeRequest, ServeRequestBuilder,
+    ServingEngine, ServingStats, SnapshotReport, TokenEvent,
+};
+
+// Snapshot-format types re-exported from the KV substrate, so serving
+// users can speak the wire format without depending on `cocktail_kvcache`
+// directly.
+pub use cocktail_kvcache::{
+    read_snapshot, write_snapshot, SnapshotError, TrieSnapshot, SNAPSHOT_FORMAT_VERSION,
 };

@@ -29,9 +29,13 @@
 //!
 //! [`node split`]: PrefixCacheStats::node_splits
 
-use cocktail_kvcache::SharedPrefixKv;
+use cocktail_kvcache::{
+    read_snapshot, write_snapshot, SharedPrefixKv, SnapshotError, SnapshotNode, TrieSnapshot,
+};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
+use std::io::{Read as _, Seek, SeekFrom, Write as _};
+use std::path::{Path, PathBuf};
 use std::sync::{Arc, Weak};
 
 /// Configuration of the [`PrefixCache`].
@@ -103,6 +107,15 @@ pub struct PrefixCacheStats {
     /// Total prompt tokens served from cached blocks instead of being
     /// re-prefilled.
     pub reused_tokens: u64,
+    /// Evicted nodes whose full-path KV was appended to the disk cold tier
+    /// instead of being dropped outright.
+    pub demotions: u64,
+    /// Cold-tier records promoted back into the RAM trie after a lookup
+    /// missed RAM but matched the cold index.
+    pub repromotions: u64,
+    /// FP32 bytes of KV rows currently reachable through the cold-tier
+    /// index (on disk, not charged to the scheduler's KV budget).
+    pub cold_resident_bytes: usize,
 }
 
 /// A successful [`PrefixCache::lookup`]: the assembled KV of the longest
@@ -194,6 +207,91 @@ pub(crate) fn common_prefix_len(a: &[u32], b: &[u32]) -> usize {
     a.iter().zip(b.iter()).take_while(|(x, y)| x == y).count()
 }
 
+/// One record of the disk cold tier: the full token path of a demoted
+/// branch and where its framed snapshot bytes live in the spill file.
+#[derive(Debug)]
+struct ColdEntry {
+    /// Full context token path the record's KV covers.
+    tokens: Vec<u32>,
+    /// Byte offset of the record's frame in the spill file.
+    offset: u64,
+    /// Length of the snapshot payload inside the frame.
+    len: u64,
+    /// FP32 bytes of the record's KV rows.
+    kv_bytes: usize,
+}
+
+/// The disk cold tier: an append-only spill file of demoted branches plus
+/// the in-RAM index over it. Each record is a framed single-node
+/// [`TrieSnapshot`] (`[payload_len: u64 LE][payload]`) holding the *full*
+/// token path of the evicted leaf and its assembled KV, so a record is
+/// self-contained — repromotion never depends on which ancestors happen to
+/// still be resident.
+#[derive(Debug)]
+struct ColdTier {
+    path: PathBuf,
+    /// Config fingerprint stamped into every record; a record that comes
+    /// back with a different one (torn write, foreign file) is dropped.
+    fingerprint: u64,
+    index: Vec<ColdEntry>,
+}
+
+impl ColdTier {
+    fn append(&mut self, tokens: Vec<u32>, kv: SharedPrefixKv) -> std::io::Result<()> {
+        let kv_bytes = kv.storage_bytes();
+        let snapshot = TrieSnapshot {
+            fingerprint: self.fingerprint,
+            layers: kv.layers(),
+            kv_heads: kv.kv_heads(),
+            vocab: Vec::new(),
+            nodes: vec![SnapshotNode {
+                parent: None,
+                run: tokens.clone(),
+                kv,
+            }],
+        };
+        let payload = write_snapshot(&snapshot);
+        let mut file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&self.path)?;
+        let offset = file.seek(SeekFrom::End(0))?;
+        file.write_all(&(payload.len() as u64).to_le_bytes())?;
+        file.write_all(&payload)?;
+        self.index.push(ColdEntry {
+            tokens,
+            offset,
+            len: payload.len() as u64,
+            kv_bytes,
+        });
+        Ok(())
+    }
+
+    /// Reads and validates the record behind `entry`, returning its KV.
+    fn read(&self, entry: &ColdEntry) -> Option<SharedPrefixKv> {
+        let mut file = std::fs::File::open(&self.path).ok()?;
+        file.seek(SeekFrom::Start(entry.offset)).ok()?;
+        let mut len_buf = [0u8; 8];
+        file.read_exact(&mut len_buf).ok()?;
+        if u64::from_le_bytes(len_buf) != entry.len {
+            return None;
+        }
+        let mut payload = vec![0u8; entry.len as usize];
+        file.read_exact(&mut payload).ok()?;
+        let snapshot = read_snapshot(&payload).ok()?;
+        snapshot.expect_fingerprint(self.fingerprint).ok()?;
+        let [node] = <[SnapshotNode; 1]>::try_from(snapshot.nodes).ok()?;
+        if node.run != entry.tokens {
+            return None;
+        }
+        Some(node.kv)
+    }
+
+    fn resident_bytes(&self) -> usize {
+        self.index.iter().map(|e| e.kv_bytes).sum()
+    }
+}
+
 /// A path-compressed token trie from context token sequences to shared
 /// prefill KV blocks, with per-node byte accounting and leaf-first partial
 /// eviction.
@@ -254,6 +352,8 @@ pub struct PrefixCache {
     /// Eviction leases of outstanding [`PrefixHit`]s; dead weaks are
     /// pruned on mutation.
     leases: Vec<Weak<Vec<u32>>>,
+    /// Disk cold tier; `None` keeps eviction drop-only (the default).
+    cold: Option<ColdTier>,
     clock: u64,
     stats: PrefixCacheStats,
 }
@@ -267,6 +367,7 @@ impl PrefixCache {
             free: Vec::new(),
             root_children: BTreeMap::new(),
             leases: Vec::new(),
+            cold: None,
             clock: 0,
             stats: PrefixCacheStats::default(),
         }
@@ -361,8 +462,40 @@ impl PrefixCache {
             nodes: self.len(),
             pinned_entries: self.pinned_entries(),
             resident_bytes: self.total_bytes(),
+            cold_resident_bytes: self.cold.as_ref().map_or(0, ColdTier::resident_bytes),
             ..self.stats
         }
+    }
+
+    /// Enables the disk cold tier: from now on, evicting a leaf appends its
+    /// full-path KV to the spill file at `path` instead of dropping it, and
+    /// [`PrefixCache::repromote`] can bring those branches back. The file
+    /// is truncated — cold records are scoped to this cache instance (a
+    /// restart re-warms through [`PrefixCache::restore_from`], not through
+    /// a stale spill file). `fingerprint` is stamped into every record and
+    /// re-checked on read.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Io`] if the spill file cannot be created.
+    pub fn enable_cold_tier(
+        &mut self,
+        path: impl Into<PathBuf>,
+        fingerprint: u64,
+    ) -> Result<(), SnapshotError> {
+        let path = path.into();
+        std::fs::File::create(&path).map_err(|e| SnapshotError::Io(e.to_string()))?;
+        self.cold = Some(ColdTier {
+            path,
+            fingerprint,
+            index: Vec::new(),
+        });
+        Ok(())
+    }
+
+    /// Whether the disk cold tier is enabled.
+    pub fn cold_tier_enabled(&self) -> bool {
+        self.cold.is_some()
     }
 
     /// Walks the trie along `tokens`, without touching LRU stamps or
@@ -621,6 +754,7 @@ impl PrefixCache {
             .filter(|(i, n)| n.children.is_empty() && !pinned.contains(i))
             .min_by_key(|(_, n)| n.last_used)
             .map(|(i, _)| i)?;
+        self.demote(idx);
         let node = self.nodes[idx].take().expect("live trie node");
         self.free.push(idx);
         match node.parent {
@@ -634,6 +768,221 @@ impl PrefixCache {
         }
         self.stats.evictions += 1;
         Some(node.kv.storage_bytes())
+    }
+
+    /// Appends the full-path KV of the about-to-be-evicted leaf at `idx` to
+    /// the cold tier (if enabled). The record stores the branch root-to-leaf
+    /// — ancestors are still resident at demote time, so the assembled rows
+    /// are exactly what a lookup of the full path would have returned — and
+    /// is skipped when an existing record already covers the path. I/O
+    /// failures drop the record silently: demotion is an optimization, the
+    /// eviction itself must never fail.
+    fn demote(&mut self, idx: usize) {
+        if self.cold.is_none() {
+            return;
+        }
+        let mut chain = vec![idx];
+        let mut cur = self.node(idx).parent;
+        while let Some(p) = cur {
+            chain.push(p);
+            cur = self.node(p).parent;
+        }
+        chain.reverse();
+        let tokens: Vec<u32> = chain
+            .iter()
+            .flat_map(|&i| self.node(i).run.iter().copied())
+            .collect();
+        let tier = self.cold.as_mut().expect("checked above");
+        if tier
+            .index
+            .iter()
+            .any(|e| e.tokens.len() >= tokens.len() && e.tokens.starts_with(&tokens))
+        {
+            return;
+        }
+        let parts: Vec<&SharedPrefixKv> = chain.iter().map(|&i| &self.node(i).kv).collect();
+        let Ok(kv) = SharedPrefixKv::concat(&parts) else {
+            return;
+        };
+        let tier = self.cold.as_mut().expect("checked above");
+        if tier.append(tokens, kv).is_ok() {
+            self.stats.demotions += 1;
+        }
+    }
+
+    /// The best cold-tier match for `tokens`: the number of leading tokens
+    /// a repromotion could serve and an estimate of the RAM bytes it would
+    /// add. Returns `None` below the configured reuse threshold, with the
+    /// tier disabled, or when the index has no overlapping record. Like
+    /// [`PrefixCache::peek_prefix_len`] this is a planning probe: it does
+    /// no I/O and changes nothing.
+    pub fn cold_match(&self, tokens: &[u32]) -> Option<(usize, usize)> {
+        let tier = self.cold.as_ref()?;
+        tier.index
+            .iter()
+            .map(|e| (common_prefix_len(&e.tokens, tokens), e))
+            .filter(|(m, _)| *m >= self.config.min_prefix_tokens)
+            .max_by_key(|(m, _)| *m)
+            .map(|(m, e)| (m, e.kv_bytes * m / e.tokens.len().max(1)))
+    }
+
+    /// Promotes the best cold-tier match for `tokens` back into the RAM
+    /// trie, returning the bytes added. The record is read back from the
+    /// spill file, validated (frame, checksum, fingerprint, token path —
+    /// a torn or corrupted record is dropped from the index and reported as
+    /// `None`, never a panic), sliced to the matched prefix, and inserted
+    /// through the normal insert path (so splits, LRU bookkeeping and the
+    /// node cap apply). The caller is responsible for budget admission —
+    /// probe with [`PrefixCache::cold_match`] first.
+    pub fn repromote(&mut self, tokens: &[u32]) -> Option<usize> {
+        let tier = self.cold.as_ref()?;
+        let (pos, matched) = tier
+            .index
+            .iter()
+            .enumerate()
+            .map(|(i, e)| (i, common_prefix_len(&e.tokens, tokens)))
+            .filter(|(_, m)| *m >= self.config.min_prefix_tokens)
+            .max_by_key(|(_, m)| *m)?;
+        let entry = &tier.index[pos];
+        let full_len = entry.tokens.len();
+        let prefix = entry.tokens[..matched].to_vec();
+        let Some(kv) = tier.read(entry).and_then(|kv| {
+            if matched == full_len {
+                Some(kv)
+            } else {
+                kv.slice_tokens(0, matched).ok()
+            }
+        }) else {
+            // Unreadable record: drop it so the next lookup does not retry.
+            self.cold.as_mut().expect("checked above").index.remove(pos);
+            return None;
+        };
+        let before = self.total_bytes();
+        self.insert(prefix, kv);
+        self.stats.repromotions += 1;
+        Some(self.total_bytes().saturating_sub(before))
+    }
+
+    /// Exports the resident trie as a [`TrieSnapshot`] (parents-first node
+    /// order), stamping in the caller's config fingerprint and tokenizer
+    /// vocabulary. Pair with [`cocktail_kvcache::write_snapshot`] to
+    /// produce the flat on-disk bytes.
+    pub fn to_snapshot(&self, fingerprint: u64, vocab: Vec<String>) -> TrieSnapshot {
+        let (layers, kv_heads) = self
+            .live_nodes()
+            .next()
+            .map_or((1, 1), |(_, n)| (n.kv.layers(), n.kv.kv_heads()));
+        let mut nodes = Vec::with_capacity(self.len());
+        let mut export_idx: BTreeMap<usize, usize> = BTreeMap::new();
+        let mut stack: Vec<usize> = self.root_children.values().copied().collect();
+        while let Some(idx) = stack.pop() {
+            let node = self.node(idx);
+            let parent = node.parent.map(|p| export_idx[&p]);
+            export_idx.insert(idx, nodes.len());
+            nodes.push(SnapshotNode {
+                parent,
+                run: node.run.clone(),
+                kv: node.kv.clone(),
+            });
+            stack.extend(node.children.values().copied());
+        }
+        TrieSnapshot {
+            fingerprint,
+            layers,
+            kv_heads,
+            vocab,
+            nodes,
+        }
+    }
+
+    /// Replaces the resident trie with the contents of a snapshot. The
+    /// existing nodes, leases and cumulative counters are discarded (a
+    /// restore models a process restart); the configuration and cold tier
+    /// are kept. On any validation error the cache is left untouched.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Malformed`] if the snapshot's nodes are not
+    /// parents-first, have empty or duplicate-keyed runs, or disagree with
+    /// the snapshot's own KV layout.
+    pub fn load_snapshot(&mut self, snapshot: TrieSnapshot) -> Result<(), SnapshotError> {
+        let mut nodes: Vec<Option<TrieNode>> = Vec::with_capacity(snapshot.nodes.len());
+        let mut root_children: BTreeMap<u32, usize> = BTreeMap::new();
+        for (i, sn) in snapshot.nodes.into_iter().enumerate() {
+            if sn.run.is_empty() {
+                return Err(SnapshotError::Malformed(format!("node {i} has empty run")));
+            }
+            if sn.kv.tokens() != sn.run.len() {
+                return Err(SnapshotError::Malformed(format!(
+                    "node {i} kv covers {} tokens for a {}-token run",
+                    sn.kv.tokens(),
+                    sn.run.len()
+                )));
+            }
+            if sn.kv.layers() != snapshot.layers || sn.kv.kv_heads() != snapshot.kv_heads {
+                return Err(SnapshotError::Malformed(format!(
+                    "node {i} disagrees with the snapshot KV layout"
+                )));
+            }
+            let first = sn.run[0];
+            match sn.parent {
+                None => {
+                    if root_children.insert(first, i).is_some() {
+                        return Err(SnapshotError::Malformed(format!(
+                            "duplicate root child key {first}"
+                        )));
+                    }
+                }
+                Some(p) => {
+                    if p >= i {
+                        return Err(SnapshotError::Malformed(format!(
+                            "node {i} parent {p} is not an earlier node"
+                        )));
+                    }
+                    let parent = nodes[p].as_mut().expect("parents-first order");
+                    if parent.children.insert(first, i).is_some() {
+                        return Err(SnapshotError::Malformed(format!(
+                            "node {p} has duplicate child key {first}"
+                        )));
+                    }
+                }
+            }
+            nodes.push(Some(TrieNode {
+                run: sn.run,
+                kv: sn.kv,
+                parent: sn.parent,
+                children: BTreeMap::new(),
+                last_used: 0,
+            }));
+        }
+        self.nodes = nodes;
+        self.free = Vec::new();
+        self.root_children = root_children;
+        self.leases = Vec::new();
+        self.clock = 0;
+        self.stats = PrefixCacheStats::default();
+        Ok(())
+    }
+
+    /// Restores the trie from a snapshot file written by the serving
+    /// layer, returning the number of nodes restored. The snapshot must
+    /// carry exactly `fingerprint` — a mismatch (different model config or
+    /// weight seed) is an error and leaves the cache untouched, so a
+    /// restarted engine degrades to a clean cold start instead of serving
+    /// another model's KV rows.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Io`] if the file cannot be read, any decode error
+    /// from [`cocktail_kvcache::read_snapshot`], or
+    /// [`SnapshotError::FingerprintMismatch`].
+    pub fn restore_from(&mut self, path: &Path, fingerprint: u64) -> Result<usize, SnapshotError> {
+        let bytes = std::fs::read(path).map_err(|e| SnapshotError::Io(e.to_string()))?;
+        let snapshot = read_snapshot(&bytes)?;
+        snapshot.expect_fingerprint(fingerprint)?;
+        let nodes = snapshot.nodes.len();
+        self.load_snapshot(snapshot)?;
+        Ok(nodes)
     }
 
     /// Structural invariants of the trie, checked by tests (and cheap
@@ -916,6 +1265,153 @@ mod tests {
         assert_eq!(cache.stats().resident_bytes, one);
     }
 
+    /// A unique spill-file path per test (and per proptest case), so
+    /// parallel tests never share cold tiers.
+    fn spill_path(tag: &str) -> std::path::PathBuf {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        static COUNTER: AtomicUsize = AtomicUsize::new(0);
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!("cocktail_spill_{}_{tag}_{n}", std::process::id()))
+    }
+
+    #[test]
+    fn eviction_demotes_to_the_cold_tier_and_repromotes_bit_identically() {
+        let mut cache = small_cache();
+        cache.enable_cold_tier(spill_path("roundtrip"), 42).unwrap();
+        assert!(cache.cold_tier_enabled());
+        cache.insert(seq(0, 12), positional_kv(12));
+        // Split the run so the evicted leaf has a resident ancestor: the
+        // demoted record must still cover the *full* path.
+        cache.insert(branch(5, 300, 3), positional_kv(8));
+        // Evict the 12-token branch's tail leaf (LRU).
+        let freed = cache.evict_lru_unpinned().unwrap();
+        assert!(freed > 0);
+        cache.assert_consistent();
+        let stats = cache.stats();
+        assert_eq!(stats.demotions, 1);
+        assert!(stats.cold_resident_bytes > 0);
+        assert_eq!(cache.peek_prefix_len(&seq(0, 12)), 5, "RAM lost the tail");
+
+        // The cold index still knows the full 12-token path.
+        let (matched, est) = cache.cold_match(&seq(0, 12)).unwrap();
+        assert_eq!(matched, 12);
+        assert!(est > 0);
+        let added = cache.repromote(&seq(0, 12)).unwrap();
+        assert!(added > 0);
+        cache.assert_consistent();
+        assert_eq!(cache.stats().repromotions, 1);
+
+        // The repromoted rows are bit-identical to the original prefill.
+        let hit = cache.lookup(&seq(0, 12)).unwrap();
+        assert_eq!(hit.tokens(), 12);
+        let reference = positional_kv(12);
+        assert_eq!(hit.kv().block(0, 0).k(), reference.block(0, 0).k());
+        assert_eq!(hit.kv().block(0, 0).v(), reference.block(0, 0).v());
+    }
+
+    #[test]
+    fn cold_match_respects_the_reuse_threshold_and_partial_overlap() {
+        let mut cache = small_cache();
+        cache.enable_cold_tier(spill_path("partial"), 7).unwrap();
+        cache.insert(seq(0, 10), positional_kv(10));
+        cache.evict_lru_unpinned().unwrap();
+        // A query sharing only 3 leading tokens is below min_prefix_tokens.
+        let mut short = seq(0, 3);
+        short.extend(seq(900, 5));
+        assert!(cache.cold_match(&short).is_none());
+        // A query sharing 6 tokens repromotes just that slice.
+        let mut partial = seq(0, 6);
+        partial.extend(seq(900, 4));
+        assert_eq!(cache.cold_match(&partial).unwrap().0, 6);
+        cache.repromote(&partial).unwrap();
+        let hit = cache.lookup(&partial).unwrap();
+        assert_eq!(hit.tokens(), 6);
+        let reference = positional_kv(10);
+        assert_eq!(
+            hit.kv().block(0, 0).k(),
+            &reference.block(0, 0).k().slice_rows(0, 6)
+        );
+        // Unrelated queries still miss.
+        assert!(cache.cold_match(&seq(5000, 10)).is_none());
+    }
+
+    #[test]
+    fn corrupted_spill_records_are_dropped_without_panic() {
+        let mut cache = small_cache();
+        let path = spill_path("corrupt");
+        cache.enable_cold_tier(path.clone(), 1).unwrap();
+        cache.insert(seq(0, 10), kv(10, 1));
+        cache.evict_lru_unpinned().unwrap();
+        assert_eq!(cache.stats().demotions, 1);
+        // Flip one payload byte on disk (past the 8-byte frame length).
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = 8 + (bytes.len() - 8) / 2;
+        bytes[mid] ^= 0xff;
+        std::fs::write(&path, &bytes).unwrap();
+        // The repromotion fails cleanly and the record is forgotten.
+        assert!(cache.repromote(&seq(0, 10)).is_none());
+        assert_eq!(cache.stats().cold_resident_bytes, 0);
+        assert!(cache.cold_match(&seq(0, 10)).is_none());
+        assert_eq!(cache.stats().repromotions, 0);
+        cache.assert_consistent();
+    }
+
+    #[test]
+    fn snapshot_export_import_round_trips_the_trie() {
+        let mut cache = small_cache();
+        cache.insert(seq(0, 12), positional_kv(12));
+        cache.insert(branch(5, 300, 3), positional_kv(8));
+        cache.insert(branch(5, 400, 4), positional_kv(9));
+        cache.assert_consistent();
+        let snapshot = cache.to_snapshot(99, vec!["alpha".into(), "beta".into()]);
+        assert_eq!(snapshot.nodes.len(), cache.len());
+        assert_eq!(snapshot.fingerprint, 99);
+
+        let mut restored = small_cache();
+        restored.load_snapshot(snapshot).unwrap();
+        restored.assert_consistent();
+        assert_eq!(restored.len(), cache.len());
+        assert_eq!(restored.total_bytes(), cache.total_bytes());
+        // Restored lookups serve the same prefixes with bit-identical rows.
+        let hit = restored.lookup(&seq(0, 12)).unwrap();
+        assert_eq!(hit.tokens(), 12);
+        let reference = positional_kv(12);
+        assert_eq!(hit.kv().block(0, 0).k(), reference.block(0, 0).k());
+        assert_eq!(restored.lookup(&branch(5, 400, 4)).unwrap().tokens(), 9);
+        // Counters start fresh after a restore (modeling a restart)...
+        assert_eq!(restored.stats().insertions, 0);
+        // ...but occupancy is live.
+        assert_eq!(restored.stats().nodes, cache.len());
+    }
+
+    #[test]
+    fn restore_from_rejects_wrong_fingerprints_and_bad_files() {
+        let mut cache = small_cache();
+        cache.insert(seq(0, 10), kv(10, 1));
+        let path = spill_path("restore");
+        let bytes = cocktail_kvcache::write_snapshot(&cache.to_snapshot(1234, Vec::new()));
+        std::fs::write(&path, &bytes).unwrap();
+
+        let mut target = small_cache();
+        target.insert(seq(700, 6), kv(6, 9));
+        // Wrong fingerprint: error, cache untouched.
+        assert!(matches!(
+            target.restore_from(&path, 4321),
+            Err(SnapshotError::FingerprintMismatch { .. })
+        ));
+        assert!(target.covers(&seq(700, 6)));
+        // Right fingerprint: the trie is replaced.
+        assert_eq!(target.restore_from(&path, 1234).unwrap(), 1);
+        assert!(target.covers(&seq(0, 10)));
+        assert!(!target.covers(&seq(700, 6)));
+        target.assert_consistent();
+        // Missing file: Io error, no panic.
+        assert!(matches!(
+            target.restore_from(Path::new("/nonexistent/snap"), 1234),
+            Err(SnapshotError::Io(_))
+        ));
+    }
+
     /// Reference model for the proptest: the whole-sequence (LCP map)
     /// byte accounting the trie must strictly beat whenever branches
     /// share a prefix.
@@ -1003,6 +1499,62 @@ mod tests {
                 if matched >= cache.config().min_prefix_tokens {
                     let hit = cache.lookup(tokens).expect("resident prefix must hit");
                     prop_assert_eq!(hit.tokens(), matched);
+                }
+            }
+        }
+
+        /// With the cold tier enabled and a tight node cap, random
+        /// insert/evict/repromote traffic keeps every trie invariant of the
+        /// model above, and every hit — including hits over repromoted
+        /// branches — returns rows bit-identical to the original prefill
+        /// (all inserts use position-encoded rows, so the expected bits of
+        /// an `m`-token hit are always `positional_kv(m)`).
+        #[test]
+        fn demote_repromote_preserves_trie_invariants(
+            preamble in 4usize..10,
+            tail_draws in proptest::collection::vec(0u32..42, 1..10),
+            ops in proptest::collection::vec(0u32..1000, 0..12),
+        ) {
+            let mut cache = PrefixCache::new(
+                PrefixCacheConfig::default()
+                    .with_min_prefix_tokens(4)
+                    .with_max_entries(4),
+            );
+            cache.enable_cold_tier(spill_path("prop"), 5).unwrap();
+            let mut inserted: Vec<Vec<u32>> = Vec::new();
+            for (i, d) in tail_draws.iter().enumerate() {
+                let mut tokens = seq(0, preamble);
+                tokens.extend(seq(1000 + (d % 6) * 100, 1 + (d / 6) as usize));
+                tokens.push(2000 + i as u32);
+                cache.insert(tokens.clone(), positional_kv(tokens.len()));
+                cache.assert_consistent();
+                inserted.push(tokens);
+            }
+            for op in ops {
+                if op % 2 == 0 {
+                    cache.evict_lru_unpinned();
+                } else {
+                    let target = &inserted[(op as usize / 2) % inserted.len()];
+                    cache.repromote(target);
+                }
+                cache.assert_consistent();
+            }
+            // Every sequence is servable from RAM, the cold tier, or both;
+            // whatever path serves it must produce bit-identical rows.
+            for tokens in &inserted {
+                if let Some((cold_len, _)) = cache.cold_match(tokens) {
+                    if cold_len > cache.peek_prefix_len(tokens) {
+                        cache.repromote(tokens);
+                        cache.assert_consistent();
+                    }
+                }
+                let matched = cache.peek_prefix_len(tokens);
+                if matched >= cache.config().min_prefix_tokens {
+                    let hit = cache.lookup(tokens).expect("resident prefix must hit");
+                    prop_assert_eq!(hit.tokens(), matched);
+                    let reference = positional_kv(hit.tokens());
+                    prop_assert_eq!(hit.kv().block(0, 0).k(), reference.block(0, 0).k());
+                    prop_assert_eq!(hit.kv().block(0, 0).v(), reference.block(0, 0).v());
                 }
             }
         }

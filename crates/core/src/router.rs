@@ -33,7 +33,9 @@ use std::fmt;
 use crate::error::CocktailError;
 use crate::prefix::PrefixCacheConfig;
 use crate::scheduler::{RequestId, SchedulerConfig};
-use crate::serving::{RequestOutcome, ServeRequest, ServingEngine, ServingStats, TokenEvent};
+use crate::serving::{
+    RequestOutcome, RestoreReport, ServeRequest, ServingEngine, ServingStats, TokenEvent,
+};
 use cocktail_model::ModelProfile;
 
 /// Tuning knobs for the [`PrefixFingerprintIndex`].
@@ -89,7 +91,7 @@ pub struct RouteDecision {
 }
 
 /// Cumulative routing counters (the gateway reports these in
-/// `/api/stats`).
+/// `/api/v1/stats`).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct RouterStats {
     /// Requests routed via a fingerprint match.
@@ -554,6 +556,36 @@ impl Router {
             .map(|s| s.reused_tokens)
             .sum()
     }
+
+    /// Seeds `target`'s prefix cache from a snapshot of `source`'s cache —
+    /// fleet pre-warming: a replica joining a warm fleet serves its first
+    /// shared-preamble requests at warm TTFT instead of re-prefilling what
+    /// a sibling already holds. The snapshot carries the source replica's
+    /// tokenizer interning order, which the target replays; any
+    /// incompatibility (the target already interned diverging traffic, or
+    /// the engines were somehow built with different configurations)
+    /// degrades to a cold start reported in the returned [`RestoreReport`]
+    /// — never corruption.
+    ///
+    /// # Panics
+    ///
+    /// Panics when either replica index is out of range.
+    pub fn prewarm_replica(&mut self, target: usize, source: usize) -> RestoreReport {
+        assert!(
+            target < self.engines.len() && source < self.engines.len(),
+            "replica index out of range"
+        );
+        if target == source {
+            return RestoreReport {
+                restored: false,
+                nodes: 0,
+                resident_bytes: 0,
+                reason: Some("source and target are the same replica".to_string()),
+            };
+        }
+        let bytes = self.engines[source].snapshot_bytes();
+        self.engines[target].restore_from_bytes(&bytes)
+    }
 }
 
 #[cfg(test)]
@@ -780,6 +812,39 @@ mod tests {
         for id in &ids[1..] {
             assert!(router.take_outcome(*id).is_some(), "{id} must survive");
         }
+    }
+
+    #[test]
+    fn prewarming_seeds_a_fresh_replica_from_a_warm_sibling() {
+        let contexts = tenant_contexts(1, 3);
+        let mut router = Router::new(2, ModelProfile::tiny(), config())
+            .unwrap()
+            .with_prefix_cache(crate::PrefixCacheConfig::default());
+        // Warm up replica 0 only (affinity keeps one tenant together).
+        let first = router.submit(ServeRequest::new(
+            contexts[0].0.clone(),
+            contexts[0].1.clone(),
+            4,
+        ));
+        router.run_until_idle().unwrap();
+        let source = first.replica;
+        let target = 1 - source;
+        assert!(router.engine(target).prefix_cache_stats().unwrap().nodes == 0);
+
+        // Pre-warm the idle replica from the warm one.
+        let report = router.prewarm_replica(target, source);
+        assert!(report.restored, "prewarm failed: {:?}", report.reason);
+        assert!(report.nodes > 0);
+        assert_eq!(
+            router.engine(target).prefix_cache_stats().unwrap().nodes,
+            report.nodes
+        );
+
+        // Same-replica prewarm degrades with a reason instead of looping
+        // a snapshot back into itself.
+        let same = router.prewarm_replica(source, source);
+        assert!(!same.restored);
+        assert!(same.reason.is_some());
     }
 
     #[test]

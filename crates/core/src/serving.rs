@@ -46,7 +46,8 @@ use crate::scheduler::{AdmitDecision, BatchScheduler, RequestId, SchedulerConfig
 use crate::search::BitwidthPlan;
 use cocktail_baselines::{CachePolicy, PolicyContext, PolicyReport};
 use cocktail_kvcache::{
-    ChunkSegmentation, ChunkedKvCache, ChunkedLayerCache, PrefixKvBlock, SharedPrefixKv,
+    read_snapshot, write_snapshot, ChunkSegmentation, ChunkedKvCache, ChunkedLayerCache,
+    PrefixKvBlock, SharedPrefixKv, TrieSnapshot,
 };
 use cocktail_model::{
     BatchPrefill, DecodeSlot, DecodeStep, InferenceEngine, ModelProfile, PrefillSlot,
@@ -56,14 +57,29 @@ use cocktail_tensor::Matrix;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
+use std::path::{Path, PathBuf};
 use std::time::Instant;
 
 /// One serving request: a context, a query and a generation budget.
 ///
-/// By default the request is compressed with the engine's Cocktail policy;
-/// [`ServeRequest::with_policy`] substitutes any other
-/// [`CachePolicy`] (e.g. a baseline) for A/B comparisons under load.
-/// [`ServeRequest::with_stop_sequence`] adds early-stopping text triggers.
+/// Construct through [`ServeRequest::builder`], which gathers every knob —
+/// cache policy, stop sequences, prefix reuse — in one place:
+///
+/// ```
+/// use cocktail_core::ServeRequest;
+///
+/// let request = ServeRequest::builder()
+///     .context("the night ferry code is osprey.")
+///     .query("what is the code?")
+///     .max_new_tokens(8)
+///     .stop_sequence("osprey")
+///     .build();
+/// assert_eq!(request.max_new_tokens, 8);
+/// ```
+///
+/// [`ServeRequest::new`] remains the shorthand for a default-policy
+/// request; the scattered `with_*` constructors are deprecated in favor of
+/// the builder.
 pub struct ServeRequest {
     /// The long context to answer from.
     pub context: String,
@@ -73,6 +89,7 @@ pub struct ServeRequest {
     pub max_new_tokens: usize,
     policy: Option<Box<dyn CachePolicy>>,
     stop_sequences: Vec<String>,
+    prefix_reuse: bool,
 }
 
 impl ServeRequest {
@@ -89,11 +106,19 @@ impl ServeRequest {
             max_new_tokens,
             policy: None,
             stop_sequences: Vec::new(),
+            prefix_reuse: true,
         }
+    }
+
+    /// Starts a [`ServeRequestBuilder`] with an empty context/query and a
+    /// zero token budget.
+    pub fn builder() -> ServeRequestBuilder {
+        ServeRequestBuilder::default()
     }
 
     /// Returns a copy of this request served with an explicit cache policy
     /// instead of the engine default.
+    #[deprecated(since = "0.1.0", note = "use ServeRequest::builder().policy(..)")]
     pub fn with_policy(mut self, policy: Box<dyn CachePolicy>) -> Self {
         self.policy = Some(policy);
         self
@@ -104,32 +129,10 @@ impl ServeRequest {
     /// contains `stop`. The matched text is kept in the answer, so the
     /// streamed pieces still concatenate to the collected outcome
     /// byte-for-byte. Empty sequences are ignored.
-    ///
-    /// # Example
-    ///
-    /// ```
-    /// use cocktail_core::{CocktailConfig, FinishReason, ServeRequest, ServingEngine};
-    /// use cocktail_model::ModelProfile;
-    ///
-    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
-    /// let config = CocktailConfig::default().with_chunk_size(8)?;
-    /// let mut engine = ServingEngine::new(ModelProfile::tiny(), config)?;
-    /// let context = "the harbor log notes that the night ferry code is osprey.";
-    /// // Without a stop sequence the request would run its full 8-token
-    /// // budget; stopping on a word of the answer ends it early.
-    /// let id = engine.submit(
-    ///     ServeRequest::new(context, "what is the night ferry code?", 8)
-    ///         .with_stop_sequence("osprey"),
-    /// );
-    /// let outcome = engine.run_until_idle()?.pop().expect("one completed request");
-    /// assert_eq!(outcome.id, id);
-    /// if outcome.outcome.answer.contains("osprey") {
-    ///     assert!(outcome.outcome.answer.ends_with("osprey"));
-    ///     assert!(outcome.outcome.generated_tokens.len() < 8);
-    /// }
-    /// # Ok(())
-    /// # }
-    /// ```
+    #[deprecated(
+        since = "0.1.0",
+        note = "use ServeRequest::builder().stop_sequence(..)"
+    )]
     pub fn with_stop_sequence(mut self, stop: impl Into<String>) -> Self {
         let stop = stop.into();
         if !stop.is_empty() {
@@ -150,7 +153,144 @@ impl fmt::Debug for ServeRequest {
                 &self.policy.as_ref().map_or("engine default", |p| p.name()),
             )
             .field("stop_sequences", &self.stop_sequences)
+            .field("prefix_reuse", &self.prefix_reuse)
             .finish()
+    }
+}
+
+/// Builder for a [`ServeRequest`], consolidating the request knobs that
+/// used to live in scattered `with_*` constructors.
+///
+/// Defaults: engine-default (Cocktail) cache policy, no stop sequences,
+/// prefix reuse enabled.
+///
+/// # Example
+///
+/// ```
+/// use cocktail_core::{CocktailConfig, ServeRequest, ServingEngine};
+/// use cocktail_model::ModelProfile;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let config = CocktailConfig::default().with_chunk_size(8)?;
+/// let mut engine = ServingEngine::new(ModelProfile::tiny(), config)?;
+/// let context = "the harbor log notes that the night ferry code is osprey.";
+/// // Stopping on a word of the answer ends the request before its full
+/// // 8-token budget.
+/// let id = engine.submit(
+///     ServeRequest::builder()
+///         .context(context)
+///         .query("what is the night ferry code?")
+///         .max_new_tokens(8)
+///         .stop_sequence("osprey")
+///         .build(),
+/// );
+/// let outcome = engine.run_until_idle()?.pop().expect("one completed request");
+/// assert_eq!(outcome.id, id);
+/// if outcome.outcome.answer.contains("osprey") {
+///     assert!(outcome.outcome.answer.ends_with("osprey"));
+///     assert!(outcome.outcome.generated_tokens.len() < 8);
+/// }
+/// # Ok(())
+/// # }
+/// ```
+pub struct ServeRequestBuilder {
+    context: String,
+    query: String,
+    max_new_tokens: usize,
+    policy: Option<Box<dyn CachePolicy>>,
+    stop_sequences: Vec<String>,
+    prefix_reuse: bool,
+}
+
+impl Default for ServeRequestBuilder {
+    fn default() -> Self {
+        Self {
+            context: String::new(),
+            query: String::new(),
+            max_new_tokens: 0,
+            policy: None,
+            stop_sequences: Vec::new(),
+            prefix_reuse: true,
+        }
+    }
+}
+
+impl fmt::Debug for ServeRequestBuilder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ServeRequestBuilder")
+            .field("context_chars", &self.context.len())
+            .field("query", &self.query)
+            .field("max_new_tokens", &self.max_new_tokens)
+            .field(
+                "policy",
+                &self.policy.as_ref().map_or("engine default", |p| p.name()),
+            )
+            .field("stop_sequences", &self.stop_sequences)
+            .field("prefix_reuse", &self.prefix_reuse)
+            .finish()
+    }
+}
+
+impl ServeRequestBuilder {
+    /// Sets the long context to answer from.
+    pub fn context(mut self, context: impl Into<String>) -> Self {
+        self.context = context.into();
+        self
+    }
+
+    /// Sets the user query.
+    pub fn query(mut self, query: impl Into<String>) -> Self {
+        self.query = query.into();
+        self
+    }
+
+    /// Sets the generation budget.
+    pub fn max_new_tokens(mut self, max_new_tokens: usize) -> Self {
+        self.max_new_tokens = max_new_tokens;
+        self
+    }
+
+    /// Serves the request with an explicit cache policy instead of the
+    /// engine default.
+    pub fn policy(mut self, policy: Box<dyn CachePolicy>) -> Self {
+        self.policy = Some(policy);
+        self
+    }
+
+    /// Adds a stop sequence: generation ends (with [`FinishReason::Stop`])
+    /// as soon as the streamed answer text contains it. The matched text is
+    /// kept in the answer, so the streamed pieces still concatenate to the
+    /// collected outcome byte-for-byte. Empty sequences are ignored; call
+    /// repeatedly for several triggers.
+    pub fn stop_sequence(mut self, stop: impl Into<String>) -> Self {
+        let stop = stop.into();
+        if !stop.is_empty() {
+            self.stop_sequences.push(stop);
+        }
+        self
+    }
+
+    /// Whether this request may read from (and publish to) the engine's
+    /// shared prefix trie — including the snapshot-restored and cold-tier
+    /// paths. Defaults to `true`; turning it off forces a fully cold
+    /// prefill for this request and keeps its context out of snapshots,
+    /// which is the right call for contexts that must not persist across
+    /// restarts or leak into other tenants' warm hits.
+    pub fn prefix_reuse(mut self, enabled: bool) -> Self {
+        self.prefix_reuse = enabled;
+        self
+    }
+
+    /// Finalizes the request.
+    pub fn build(self) -> ServeRequest {
+        ServeRequest {
+            context: self.context,
+            query: self.query,
+            max_new_tokens: self.max_new_tokens,
+            policy: self.policy,
+            stop_sequences: self.stop_sequences,
+            prefix_reuse: self.prefix_reuse,
+        }
     }
 }
 
@@ -756,6 +896,7 @@ struct PrepCandidate {
     policy: Box<dyn CachePolicy>,
     max_new_tokens: usize,
     stop_sequences: Vec<String>,
+    prefix_reuse: bool,
     encoded: EncodedPrompt,
     prefix: Option<PrefixHit>,
 }
@@ -768,6 +909,44 @@ enum AdmitSweep {
     Deferred,
     /// The head has not been prefilled yet; another prepare pass is needed.
     NeedsPrepare,
+}
+
+/// What [`ServingEngine::snapshot_to`] wrote.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SnapshotReport {
+    /// Size of the snapshot file in bytes.
+    pub bytes: usize,
+    /// Trie nodes captured (0 when the prefix cache is disabled or empty).
+    pub nodes: usize,
+}
+
+/// How a [`ServingEngine::restore_from`] attempt ended.
+///
+/// Restoring never fails the engine: an unusable snapshot (truncated,
+/// corrupted, wrong config fingerprint, diverging tokenizer vocabulary)
+/// degrades to a clean cold start, reported through `restored == false`
+/// and a human-readable `reason`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RestoreReport {
+    /// Whether the snapshot was loaded into the prefix cache.
+    pub restored: bool,
+    /// Trie nodes resident after the restore (post budget eviction).
+    pub nodes: usize,
+    /// Prefix-cache bytes resident after the restore.
+    pub resident_bytes: usize,
+    /// Why the restore degraded to a cold start, when it did.
+    pub reason: Option<String>,
+}
+
+/// FNV-1a over `bytes` — the same hash the snapshot checksum uses, applied
+/// here to the engine's configuration descriptor.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in bytes {
+        hash ^= u64::from(*b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
 }
 
 impl ServingEngine {
@@ -845,9 +1024,154 @@ impl ServingEngine {
         self
     }
 
+    /// Enables the disk cold tier on the prefix cache (creating a
+    /// default-configured cache first if none was enabled): evicted leaves
+    /// are demoted to the spill file at `path` instead of dropped, and
+    /// later lookups that miss RAM but hit the cold index repromote the
+    /// branch under the existing KV budget. Records are stamped with this
+    /// engine's configuration fingerprint, so a spill file can never leak
+    /// KV across incompatible configurations.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CocktailError::Substrate`] if the spill file cannot be
+    /// created.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any request has already been submitted (like the
+    /// scheduler and prefix-cache builders).
+    pub fn with_cold_tier(mut self, path: impl Into<PathBuf>) -> Result<Self, CocktailError> {
+        assert!(
+            self.slots.is_empty() && self.scheduler.is_idle(),
+            "the cold tier must be configured before submitting requests"
+        );
+        let fingerprint = self.config_fingerprint();
+        let cache = self
+            .prefix_cache
+            .get_or_insert_with(|| PrefixCache::new(PrefixCacheConfig::default()));
+        cache
+            .enable_cold_tier(path, fingerprint)
+            .map_err(|e| CocktailError::Substrate(e.to_string()))?;
+        Ok(self)
+    }
+
     /// Counters and occupancy of the prefix cache; `None` when disabled.
     pub fn prefix_cache_stats(&self) -> Option<PrefixCacheStats> {
         self.prefix_cache.as_ref().map(PrefixCache::stats)
+    }
+
+    /// Serializes the prefix cache (and the tokenizer interning order it
+    /// depends on) into the flat snapshot format, stamped with this
+    /// engine's configuration fingerprint. With the cache disabled or
+    /// empty the snapshot is still valid — it restores to an empty trie.
+    pub fn snapshot_bytes(&self) -> Vec<u8> {
+        let fingerprint = self.config_fingerprint();
+        let vocab = self.engine.tokenizer().interned_vocab();
+        let snapshot = match self.prefix_cache.as_ref() {
+            Some(cache) => cache.to_snapshot(fingerprint, vocab),
+            None => TrieSnapshot {
+                fingerprint,
+                layers: 1,
+                kv_heads: 1,
+                vocab,
+                nodes: Vec::new(),
+            },
+        };
+        write_snapshot(&snapshot)
+    }
+
+    /// Writes [`ServingEngine::snapshot_bytes`] to `path` so a restarted
+    /// engine (or a fresh replica) can start warm via
+    /// [`ServingEngine::restore_from`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CocktailError::Substrate`] if the file cannot be written.
+    pub fn snapshot_to(&self, path: impl AsRef<Path>) -> Result<SnapshotReport, CocktailError> {
+        let bytes = self.snapshot_bytes();
+        std::fs::write(path, &bytes).map_err(|e| CocktailError::Substrate(e.to_string()))?;
+        Ok(SnapshotReport {
+            bytes: bytes.len(),
+            nodes: self.prefix_cache.as_ref().map_or(0, PrefixCache::len),
+        })
+    }
+
+    /// Loads a snapshot produced by [`ServingEngine::snapshot_bytes`] into
+    /// the prefix cache (creating a default-configured cache first if none
+    /// was enabled), replays the snapshot's tokenizer interning order, and
+    /// re-charges the restored bytes against the KV budget — evicting
+    /// leaf-first if the budget is tighter than it was at snapshot time.
+    ///
+    /// Restore is infallible by design: any unusable snapshot — truncated,
+    /// corrupted, produced under a different model/quantization/seed
+    /// configuration, or with a diverging tokenizer — leaves the engine
+    /// exactly as it was (a clean cold start) and reports why.
+    pub fn restore_from_bytes(&mut self, bytes: &[u8]) -> RestoreReport {
+        let fail = |reason: String| RestoreReport {
+            restored: false,
+            nodes: 0,
+            resident_bytes: 0,
+            reason: Some(reason),
+        };
+        let snapshot = match read_snapshot(bytes) {
+            Ok(snapshot) => snapshot,
+            Err(e) => return fail(e.to_string()),
+        };
+        if let Err(e) = snapshot.expect_fingerprint(self.config_fingerprint()) {
+            return fail(e.to_string());
+        }
+        if !self.engine.tokenizer().align_vocab(&snapshot.vocab) {
+            return fail("tokenizer vocabulary diverges from the snapshot".to_string());
+        }
+        let cache = self
+            .prefix_cache
+            .get_or_insert_with(|| PrefixCache::new(PrefixCacheConfig::default()));
+        if let Err(e) = cache.load_snapshot(snapshot) {
+            return fail(e.to_string());
+        }
+        self.sync_shared_bytes();
+        while !self.scheduler.would_fit_shared(0) {
+            if !self.evict_shared_for_budget() {
+                break;
+            }
+        }
+        let cache = self.prefix_cache.as_ref().expect("cache enabled above");
+        RestoreReport {
+            restored: true,
+            nodes: cache.len(),
+            resident_bytes: cache.total_bytes(),
+            reason: None,
+        }
+    }
+
+    /// Reads a snapshot file and feeds it to
+    /// [`ServingEngine::restore_from_bytes`]. A missing or unreadable file
+    /// degrades to a cold start like any other unusable snapshot.
+    pub fn restore_from(&mut self, path: impl AsRef<Path>) -> RestoreReport {
+        match std::fs::read(path) {
+            Ok(bytes) => self.restore_from_bytes(&bytes),
+            Err(e) => RestoreReport {
+                restored: false,
+                nodes: 0,
+                resident_bytes: 0,
+                reason: Some(format!("read snapshot: {e}")),
+            },
+        }
+    }
+
+    /// Fingerprint of everything that must match for KV bytes to be
+    /// portable: the Cocktail configuration, the model configuration, and
+    /// the weight seed (different seed ⇒ different weights ⇒ incompatible
+    /// KV). Stamped into snapshots and cold-tier records.
+    fn config_fingerprint(&self) -> u64 {
+        let descriptor = format!(
+            "{:?}|{:?}|{}",
+            self.config,
+            self.engine.config(),
+            self.engine.weight_seed()
+        );
+        fnv1a(descriptor.as_bytes())
     }
 
     /// The underlying inference engine.
@@ -1215,10 +1539,31 @@ impl ServingEngine {
                     policy,
                     max_new_tokens: request.max_new_tokens,
                     stop_sequences: request.stop_sequences,
+                    prefix_reuse: request.prefix_reuse,
                     encoded,
                     prefix: None,
                 }),
                 Err(err) => self.fail_request(id, now, err.to_string()),
+            }
+        }
+
+        // Cold-tier repromotion happens before classification: a candidate
+        // whose context misses the RAM trie but matches the cold index
+        // promotes the spilled branch back under the KV budget now, so it
+        // prefills as warm in this very step instead of going cold once
+        // and re-publishing what the disk already holds.
+        if self
+            .prefix_cache
+            .as_ref()
+            .is_some_and(PrefixCache::cold_tier_enabled)
+        {
+            let contexts: Vec<Vec<u32>> = candidates
+                .iter()
+                .filter(|cand| cand.prefix_reuse)
+                .map(|cand| cand.encoded.context_tokens.clone())
+                .collect();
+            for tokens in contexts {
+                self.try_repromote(&tokens);
             }
         }
 
@@ -1235,17 +1580,24 @@ impl ServingEngine {
         let mut warm: Vec<PrepCandidate> = Vec::new();
         for cand in candidates {
             match min_prefix {
+                // A request that opted out of prefix reuse always prefills
+                // cold and never reads the trie (no counted miss either —
+                // it never asked the cache for anything).
+                _ if !cand.prefix_reuse => cold.push(cand),
                 None => cold.push(cand),
                 Some(min) => {
                     let cached = self.prefix_cache.as_ref().map_or(0, |cache| {
                         cache.peek_prefix_len(&cand.encoded.context_tokens)
                     });
-                    let shares_cold_batchmate = cold.iter().any(|other| {
-                        common_prefix_len(
-                            &other.encoded.context_tokens,
-                            &cand.encoded.context_tokens,
-                        ) >= min
-                    });
+                    // Only reuse-enabled batchmates publish their contexts,
+                    // so only they can warm a same-prefix candidate.
+                    let shares_cold_batchmate =
+                        cold.iter().filter(|o| o.prefix_reuse).any(|other| {
+                            common_prefix_len(
+                                &other.encoded.context_tokens,
+                                &cand.encoded.context_tokens,
+                            ) >= min
+                        });
                     if cached >= min || shares_cold_batchmate {
                         warm.push(cand);
                     } else {
@@ -1314,7 +1666,8 @@ impl ServingEngine {
             let reused = cand.prefix.as_ref().map_or(0, PrefixHit::tokens);
             let want_blocks = match &self.prefix_cache {
                 Some(cache) => {
-                    cand.encoded.context_tokens.len() >= cache.config().min_prefix_tokens
+                    cand.prefix_reuse
+                        && cand.encoded.context_tokens.len() >= cache.config().min_prefix_tokens
                         && !cache.covers(&cand.encoded.context_tokens)
                 }
                 None => false,
@@ -1441,6 +1794,33 @@ impl ServingEngine {
             .as_ref()
             .map_or(0, PrefixCache::total_bytes);
         self.scheduler.set_shared_bytes(bytes);
+    }
+
+    /// Repromotes a cold-tier branch covering `tokens` back into RAM when
+    /// it would extend the resident match, evicting colder leaves first if
+    /// the KV budget demands it. Silent when the cold tier is disabled,
+    /// misses, or loses the budget fight — the request then prefills the
+    /// uncovered tail like any other partial hit.
+    fn try_repromote(&mut self, tokens: &[u32]) {
+        let Some(cache) = self.prefix_cache.as_ref() else {
+            return;
+        };
+        let resident = cache.peek_prefix_len(tokens);
+        let Some((cold_len, est_bytes)) = cache.cold_match(tokens) else {
+            return;
+        };
+        if cold_len <= resident {
+            return;
+        }
+        while !self.scheduler.would_fit_shared(est_bytes) {
+            if !self.evict_shared_for_budget() {
+                return;
+            }
+        }
+        if let Some(cache) = self.prefix_cache.as_mut() {
+            cache.repromote(tokens);
+        }
+        self.sync_shared_bytes();
     }
 
     /// One FIFO sweep over the queue head: admit prepared requests until
@@ -1810,7 +2190,12 @@ mod tests {
         let mut engine = ServingEngine::new(ModelProfile::tiny(), config()).unwrap();
         let (ctx, q) = &contexts()[2];
         let fp16 = engine.submit(
-            ServeRequest::new(ctx.clone(), q.clone(), 3).with_policy(Box::new(Fp16Policy::new())),
+            ServeRequest::builder()
+                .context(ctx.clone())
+                .query(q.clone())
+                .max_new_tokens(3)
+                .policy(Box::new(Fp16Policy::new()))
+                .build(),
         );
         let cocktail = engine.submit(ServeRequest::new(ctx.clone(), q.clone(), 3));
         let outcomes = engine.run_until_idle().unwrap();
@@ -2137,8 +2522,14 @@ mod tests {
         let stop = words[2].to_string();
 
         let mut engine = ServingEngine::new(ModelProfile::tiny(), config()).unwrap();
-        let id = engine
-            .submit(ServeRequest::new(ctx.clone(), q.clone(), 8).with_stop_sequence(stop.clone()));
+        let id = engine.submit(
+            ServeRequest::builder()
+                .context(ctx.clone())
+                .query(q.clone())
+                .max_new_tokens(8)
+                .stop_sequence(stop.clone())
+                .build(),
+        );
         let (pieces, finishes) = stream_until_idle(&mut engine);
         let outcome = engine.take_outcome(id).expect("stopped request completes");
 
@@ -2378,5 +2769,218 @@ mod tests {
                 }
             }
         }
+    }
+
+    /// A unique temp path per test invocation so parallel tests never share
+    /// snapshot or spill files.
+    fn temp_path(tag: &str) -> std::path::PathBuf {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        static COUNTER: AtomicUsize = AtomicUsize::new(0);
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!("cocktail_serving_{}_{tag}_{n}", std::process::id()))
+    }
+
+    #[test]
+    fn serve_request_builder_matches_the_legacy_constructors() {
+        let request = ServeRequest::builder()
+            .context("ctx")
+            .query("q")
+            .max_new_tokens(7)
+            .stop_sequence("done")
+            .prefix_reuse(false)
+            .build();
+        assert_eq!(request.context, "ctx");
+        assert_eq!(request.query, "q");
+        assert_eq!(request.max_new_tokens, 7);
+        assert_eq!(request.stop_sequences, vec!["done".to_string()]);
+        assert!(!request.prefix_reuse);
+
+        #[allow(deprecated)]
+        let legacy = ServeRequest::new("ctx", "q", 7).with_stop_sequence("done");
+        assert_eq!(legacy.context, request.context);
+        assert_eq!(legacy.stop_sequences, request.stop_sequences);
+        assert!(legacy.prefix_reuse, "legacy constructor defaults to reuse");
+    }
+
+    #[test]
+    fn warm_restart_serves_byte_identical_answers_from_a_snapshot() {
+        // Reference: a never-restarted engine serving the workload twice.
+        let serve_all = |engine: &mut ServingEngine| -> Vec<String> {
+            let reqs = contexts();
+            for (ctx, q) in &reqs {
+                engine.submit(ServeRequest::new(ctx.clone(), q.clone(), 6));
+            }
+            engine
+                .run_until_idle()
+                .unwrap()
+                .into_iter()
+                .map(|o| o.outcome.answer)
+                .collect()
+        };
+        let mut reference = ServingEngine::new(ModelProfile::tiny(), config())
+            .unwrap()
+            .with_prefix_cache(PrefixCacheConfig::default());
+        let first = serve_all(&mut reference);
+        let second = serve_all(&mut reference);
+
+        // "Restart": snapshot the warm engine, build a fresh one, restore.
+        let snapshot = reference.snapshot_bytes();
+        let mut restarted = ServingEngine::new(ModelProfile::tiny(), config())
+            .unwrap()
+            .with_prefix_cache(PrefixCacheConfig::default());
+        let report = restarted.restore_from_bytes(&snapshot);
+        assert!(report.restored, "restore failed: {:?}", report.reason);
+        assert!(report.nodes > 0);
+        assert!(report.resident_bytes > 0);
+
+        // The restored engine serves the workload warm: every request
+        // reuses cached prefix tokens and every answer is byte-identical
+        // to the uninterrupted engine's.
+        let stats_before = restarted.prefix_cache_stats().unwrap();
+        let restored_answers = serve_all(&mut restarted);
+        assert_eq!(restored_answers, second);
+        assert_eq!(first, second, "prefix reuse must be bit-exact");
+        let stats_after = restarted.prefix_cache_stats().unwrap();
+        assert!(
+            stats_after.hits > stats_before.hits,
+            "a restored engine must serve its first requests from the cache"
+        );
+    }
+
+    #[test]
+    fn unusable_snapshots_degrade_to_a_clean_cold_start() {
+        let mut warm = ServingEngine::new(ModelProfile::tiny(), config())
+            .unwrap()
+            .with_prefix_cache(PrefixCacheConfig::default());
+        let (ctx, q) = &contexts()[0];
+        warm.submit(ServeRequest::new(ctx.clone(), q.clone(), 6));
+        warm.run_until_idle().unwrap();
+        let snapshot = warm.snapshot_bytes();
+
+        // Wrong configuration fingerprint (different chunk size).
+        let other_config = CocktailConfig::default().with_chunk_size(16).unwrap();
+        let mut other = ServingEngine::new(ModelProfile::tiny(), other_config)
+            .unwrap()
+            .with_prefix_cache(PrefixCacheConfig::default());
+        let report = other.restore_from_bytes(&snapshot);
+        assert!(!report.restored);
+        assert!(report.reason.as_deref().unwrap().contains("fingerprint"));
+
+        // Corruption and truncation: rejected, no panic, engine still cold.
+        let mut fresh = ServingEngine::new(ModelProfile::tiny(), config())
+            .unwrap()
+            .with_prefix_cache(PrefixCacheConfig::default());
+        let mut corrupt = snapshot.clone();
+        let mid = corrupt.len() / 2;
+        corrupt[mid] ^= 0xFF;
+        assert!(!fresh.restore_from_bytes(&corrupt).restored);
+        assert!(!fresh.restore_from_bytes(&snapshot[..40]).restored);
+        assert_eq!(fresh.prefix_cache_stats().unwrap().nodes, 0);
+
+        // A degraded engine still serves, just cold.
+        fresh.submit(ServeRequest::new(ctx.clone(), q.clone(), 6));
+        let outcomes = fresh.run_until_idle().unwrap();
+        assert_eq!(outcomes.len(), 1);
+        assert!(!outcomes[0].outcome.answer.is_empty());
+    }
+
+    #[test]
+    fn snapshot_to_and_restore_from_round_trip_on_disk() {
+        let path = temp_path("roundtrip");
+        let mut warm = ServingEngine::new(ModelProfile::tiny(), config())
+            .unwrap()
+            .with_prefix_cache(PrefixCacheConfig::default());
+        let (ctx, q) = &contexts()[1];
+        warm.submit(ServeRequest::new(ctx.clone(), q.clone(), 6));
+        warm.run_until_idle().unwrap();
+
+        let report = warm.snapshot_to(&path).unwrap();
+        assert!(report.bytes > 0);
+        assert!(report.nodes > 0);
+
+        let mut restarted = ServingEngine::new(ModelProfile::tiny(), config()).unwrap();
+        let restore = restarted.restore_from(&path);
+        assert!(restore.restored, "restore failed: {:?}", restore.reason);
+        assert_eq!(restore.nodes, report.nodes);
+
+        // A missing file degrades instead of erroring.
+        std::fs::remove_file(&path).unwrap();
+        let missing = restarted.restore_from(&path);
+        assert!(!missing.restored);
+        assert!(missing.reason.as_deref().unwrap().contains("read snapshot"));
+    }
+
+    #[test]
+    fn prefix_reuse_opt_out_forces_cold_prefill_without_publishing() {
+        let (ctx, q) = &contexts()[2];
+        let mut engine = ServingEngine::new(ModelProfile::tiny(), config())
+            .unwrap()
+            .with_prefix_cache(PrefixCacheConfig::default());
+
+        let build = |reuse: bool| {
+            ServeRequest::builder()
+                .context(ctx.clone())
+                .query(q.clone())
+                .max_new_tokens(6)
+                .prefix_reuse(reuse)
+                .build()
+        };
+
+        // Opted-out requests neither publish to the cache ...
+        engine.submit(build(false));
+        let outcomes = engine.run_until_idle().unwrap();
+        assert_eq!(engine.prefix_cache_stats().unwrap().nodes, 0);
+        assert_eq!(outcomes[0].stats.prefix_reused_tokens, 0);
+
+        // ... nor read from it, even once a reusing request has warmed it.
+        engine.submit(build(true));
+        let outcomes = engine.run_until_idle().unwrap();
+        assert!(engine.prefix_cache_stats().unwrap().nodes > 0);
+        assert_eq!(outcomes[0].stats.prefix_reused_tokens, 0);
+
+        engine.submit(build(false));
+        engine.submit(build(true));
+        let outcomes = engine.run_until_idle().unwrap();
+        assert_eq!(outcomes[0].stats.prefix_reused_tokens, 0);
+        assert!(outcomes[1].stats.prefix_reused_tokens > 0);
+        // Opting out never changes bytes, only where they come from.
+        assert_eq!(outcomes[0].outcome.answer, outcomes[1].outcome.answer);
+    }
+
+    #[test]
+    fn cold_tier_repromotes_evicted_prefixes_during_serving() {
+        let path = temp_path("spill");
+        // A two-node cap: room for the contexts' shared preamble plus one
+        // branch tail, so caching a second context demotes the first
+        // branch and repromoting it demotes the second in turn.
+        let mut engine = ServingEngine::new(ModelProfile::tiny(), config())
+            .unwrap()
+            .with_prefix_cache(PrefixCacheConfig::default().with_max_entries(2))
+            .with_cold_tier(&path)
+            .unwrap();
+
+        let reqs = contexts();
+        let (ctx0, q0) = &reqs[0];
+        let (ctx1, q1) = &reqs[1];
+
+        engine.submit(ServeRequest::new(ctx0.clone(), q0.clone(), 6));
+        engine.run_until_idle().unwrap();
+        engine.submit(ServeRequest::new(ctx1.clone(), q1.clone(), 6));
+        engine.run_until_idle().unwrap();
+        let stats = engine.prefix_cache_stats().unwrap();
+        assert!(
+            stats.demotions > 0,
+            "cap of 1 must demote the first context"
+        );
+        assert!(stats.cold_resident_bytes > 0);
+
+        // Re-serving the demoted context repromotes it from disk: the
+        // request reuses prefix tokens it could not have found in RAM.
+        engine.submit(ServeRequest::new(ctx0.clone(), q0.clone(), 6));
+        let outcomes = engine.run_until_idle().unwrap();
+        let stats = engine.prefix_cache_stats().unwrap();
+        assert!(stats.repromotions > 0, "cold hit must repromote");
+        assert!(outcomes[0].stats.prefix_reused_tokens > 0);
+        std::fs::remove_file(&path).ok();
     }
 }

@@ -21,6 +21,9 @@
 //! * [`SharedPrefixKv`] — refcounted raw KV blocks of a prompt prefix, the
 //!   unit a serving-side prefix cache shares across requests so a common
 //!   context is prefilled once instead of per request.
+//! * [`TrieSnapshot`] / [`write_snapshot`] / [`read_snapshot`] — a flat,
+//!   versioned, checksummed binary format that persists a prefix trie (and
+//!   its shared KV blocks) across restarts and ships it to fresh replicas.
 //!
 //! # Example
 //!
@@ -54,6 +57,7 @@ mod error;
 mod permutation;
 mod segmentation;
 mod shared;
+mod snapshot;
 
 pub use arena::{LayoutRegion, LayoutStats, MemoryLayout};
 pub use cache::{ChunkedKvCache, ChunkedLayerCache, DecodeAttention};
@@ -62,3 +66,7 @@ pub use error::KvCacheError;
 pub use permutation::ChunkPermutation;
 pub use segmentation::ChunkSegmentation;
 pub use shared::{PrefixKvBlock, SharedPrefixKv};
+pub use snapshot::{
+    read_snapshot, write_snapshot, SnapshotError, SnapshotNode, TrieSnapshot, SNAPSHOT_BLOCK_ALIGN,
+    SNAPSHOT_FORMAT_VERSION, SNAPSHOT_HEADER_LEN, SNAPSHOT_MAGIC,
+};

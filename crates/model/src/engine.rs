@@ -481,6 +481,7 @@ impl PrefillSlotMeta {
 pub struct InferenceEngine {
     shared: Arc<EngineShared>,
     tokenizer: Tokenizer,
+    seed: u64,
     pool: OnceLock<WorkerPool>,
 }
 
@@ -509,6 +510,7 @@ impl InferenceEngine {
         Ok(Self {
             shared: Arc::new(EngineShared { config, weights }),
             tokenizer,
+            seed,
             pool: OnceLock::new(),
         })
     }
@@ -526,6 +528,14 @@ impl InferenceEngine {
     /// The engine's weights (read-only).
     pub fn weights(&self) -> &ModelWeights {
         &self.shared.weights
+    }
+
+    /// The seed the weights were generated from. Engines built from the
+    /// same configuration and seed have bit-identical weights, so KV rows
+    /// snapshotted under one are valid under the other — a snapshot
+    /// fingerprint must therefore include this value.
+    pub fn weight_seed(&self) -> u64 {
+        self.seed
     }
 
     /// The number of worker threads the engine would use for batched work:

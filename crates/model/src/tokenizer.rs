@@ -181,6 +181,47 @@ impl Tokenizer {
     pub fn decode_token(&self, id: u32) -> String {
         self.decode(&[id])
     }
+
+    /// The interned vocabulary in encounter order — the data a trie
+    /// snapshot must carry, because token ids are only meaningful under the
+    /// interning order that produced them.
+    pub fn interned_vocab(&self) -> Vec<String> {
+        self.state
+            .lock()
+            .expect("tokenizer lock")
+            .id_to_word
+            .clone()
+    }
+
+    /// Aligns this tokenizer's interning order with a snapshot's vocabulary.
+    ///
+    /// Returns `true` when the two orders are compatible: either the
+    /// current vocabulary is a prefix of `vocab` (the remainder is interned
+    /// so snapshot token ids resolve to the right words), or `vocab` is a
+    /// prefix of the current vocabulary (nothing to do). Returns `false` —
+    /// leaving the tokenizer untouched — when the orders diverge or the
+    /// snapshot vocabulary would overflow this tokenizer's capacity; the
+    /// caller should then discard the snapshot and start cold.
+    pub fn align_vocab(&self, vocab: &[String]) -> bool {
+        let mut state = self.state.lock().expect("tokenizer lock");
+        let interned = state.id_to_word.len();
+        if vocab.len() <= interned {
+            return state.id_to_word[..vocab.len()] == *vocab;
+        }
+        if state.id_to_word[..] != vocab[..interned] {
+            return false;
+        }
+        let capacity = self.vocab_size.saturating_sub(RESERVED as usize);
+        if vocab.len() > capacity {
+            return false;
+        }
+        for word in &vocab[interned..] {
+            let id = RESERVED + state.id_to_word.len() as u32;
+            state.word_to_id.insert(word.clone(), id);
+            state.id_to_word.push(word.clone());
+        }
+        true
+    }
 }
 
 impl Clone for Tokenizer {
@@ -268,6 +309,40 @@ mod tests {
     #[should_panic(expected = "larger than the reserved")]
     fn tiny_vocab_is_rejected() {
         Tokenizer::new(2);
+    }
+
+    #[test]
+    fn align_vocab_replays_a_snapshot_interning_order() {
+        let source = Tokenizer::new(64);
+        let ids = source.encode("alpha beta gamma delta");
+        let vocab = source.interned_vocab();
+        assert_eq!(vocab, vec!["alpha", "beta", "gamma", "delta"]);
+
+        // Fresh tokenizer: the whole order is replayed.
+        let fresh = Tokenizer::new(64);
+        assert!(fresh.align_vocab(&vocab));
+        assert_eq!(fresh.encode("alpha beta gamma delta"), ids);
+
+        // Compatible prefix already interned: the remainder is appended.
+        let partial = Tokenizer::new(64);
+        partial.encode("alpha beta");
+        assert!(partial.align_vocab(&vocab));
+        assert_eq!(partial.encode("gamma delta"), ids[2..].to_vec());
+
+        // Snapshot vocabulary a prefix of the current one: no-op success.
+        let ahead = Tokenizer::new(64);
+        ahead.encode("alpha beta gamma delta epsilon");
+        assert!(ahead.align_vocab(&vocab));
+
+        // Diverging order: refused, tokenizer untouched.
+        let diverged = Tokenizer::new(64);
+        diverged.encode("zeta alpha");
+        assert!(!diverged.align_vocab(&vocab));
+        assert_eq!(diverged.interned_vocab(), vec!["zeta", "alpha"]);
+
+        // Overflowing capacity: refused.
+        let tiny = Tokenizer::new(4); // 2 usable slots
+        assert!(!tiny.align_vocab(&vocab));
     }
 
     #[test]

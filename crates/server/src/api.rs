@@ -9,7 +9,7 @@
 use serde::Serialize;
 use serde_json::Value;
 
-/// A `/api/generate` request body.
+/// A `/api/v1/generate` request body.
 #[derive(Debug, Clone, Serialize)]
 pub struct GenerateRequest {
     /// The document/context to condition on.
@@ -105,7 +105,7 @@ impl GenerateRequest {
     }
 }
 
-/// The non-streaming `/api/generate` response body.
+/// The non-streaming `/api/v1/generate` response body.
 #[derive(Debug, Clone, Serialize)]
 pub struct GenerateResponse {
     /// The engine-assigned request id, e.g. `"req-3"`.
@@ -136,7 +136,7 @@ impl GenerateResponse {
     }
 }
 
-/// One Server-Sent-Events message on a streaming `/api/generate`
+/// One Server-Sent-Events message on a streaming `/api/v1/generate`
 /// response.
 ///
 /// Token events carry `piece` with `done: false`; the stream closes with
@@ -217,7 +217,7 @@ impl StreamEvent {
     }
 }
 
-/// One replica's slice of the `/api/stats` snapshot.
+/// One replica's slice of the `/api/v1/stats` snapshot.
 ///
 /// All the per-engine numbers of [`StatsResponse`], labelled with the
 /// replica index, so routing quality (where the KV bytes and prefix reuse
@@ -281,7 +281,7 @@ impl ReplicaStats {
     }
 }
 
-/// The `/api/stats` response body: a live snapshot of the engine fleet,
+/// The `/api/v1/stats` response body: a live snapshot of the engine fleet,
 /// used by tests to assert zero leaked bytes/pins after disconnect storms.
 ///
 /// The top-level counters aggregate across replicas; `replicas` breaks
@@ -354,6 +354,213 @@ impl StatsResponse {
             least_loaded_routed: optional_usize(fields, "least_loaded_routed")?,
             replicas,
         })
+    }
+}
+
+/// The `GET /api/v1/version` response body: what the server is and which
+/// wire formats it speaks.
+#[derive(Debug, Clone, Serialize)]
+pub struct VersionResponse {
+    /// The `cocktail_server` crate version.
+    pub crate_version: String,
+    /// The HTTP API version prefix, currently `"v1"`.
+    pub api_version: String,
+    /// The KV snapshot format version this server reads and writes
+    /// (`cocktail_kvcache::SNAPSHOT_FORMAT_VERSION`).
+    pub snapshot_format: usize,
+}
+
+impl VersionResponse {
+    /// The version report for this build.
+    pub fn current() -> Self {
+        Self {
+            crate_version: env!("CARGO_PKG_VERSION").to_string(),
+            api_version: "v1".to_string(),
+            snapshot_format: cocktail_core::SNAPSHOT_FORMAT_VERSION as usize,
+        }
+    }
+
+    /// Parses a version body (client side).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the body is not the documented shape.
+    pub fn from_json(body: &str) -> Result<Self, String> {
+        let value = serde_json::from_str(body).map_err(|e| format!("invalid JSON: {e}"))?;
+        let fields = as_object(&value, "version response")?;
+        Ok(Self {
+            crate_version: require_str(fields, "crate_version")?,
+            api_version: require_str(fields, "api_version")?,
+            snapshot_format: require_usize(fields, "snapshot_format")?,
+        })
+    }
+}
+
+/// A `POST /api/v1/admin/snapshot` or `/api/v1/admin/restore` request
+/// body: where on the server's filesystem the snapshot lives.
+#[derive(Debug, Clone, Serialize)]
+pub struct SnapshotRequest {
+    /// Server-side snapshot path. Fleet-wide operations (no `?replica=`
+    /// with several replicas) derive per-replica paths by appending
+    /// `.{replica}`.
+    pub path: String,
+}
+
+impl SnapshotRequest {
+    /// A request for the given server-side path.
+    pub fn new(path: impl Into<String>) -> Self {
+        Self { path: path.into() }
+    }
+
+    /// Serializes the request body.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("request serializes")
+    }
+
+    /// Parses and validates a request body.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message (the gateway answers 400 with it)
+    /// when the body is not a JSON object or `path` is missing or empty.
+    pub fn from_json(body: &str) -> Result<Self, String> {
+        let value = serde_json::from_str(body).map_err(|e| format!("invalid JSON body: {e}"))?;
+        let fields = as_object(&value, "request body")?;
+        let path = require_str(fields, "path")?;
+        if path.is_empty() {
+            return Err("field \"path\" must not be empty".to_string());
+        }
+        Ok(Self { path })
+    }
+}
+
+/// One replica's slice of an admin snapshot response.
+#[derive(Debug, Clone, Serialize)]
+pub struct ReplicaSnapshotResult {
+    /// Zero-based replica index.
+    pub replica: usize,
+    /// The server-side path this replica's snapshot was written to.
+    pub path: String,
+    /// Snapshot size in bytes (0 on error).
+    pub bytes: usize,
+    /// Trie nodes captured (0 on error).
+    pub nodes: usize,
+    /// Wall-clock milliseconds spent writing the snapshot.
+    pub duration_ms: usize,
+    /// Set when the snapshot failed (e.g. an unwritable path); the other
+    /// numeric fields are zero then.
+    pub error: Option<String>,
+}
+
+impl ReplicaSnapshotResult {
+    fn from_value(value: &Value) -> Result<Self, String> {
+        let fields = as_object(value, "snapshot result entry")?;
+        Ok(Self {
+            replica: require_usize(fields, "replica")?,
+            path: require_str(fields, "path")?,
+            bytes: require_usize(fields, "bytes")?,
+            nodes: require_usize(fields, "nodes")?,
+            duration_ms: require_usize(fields, "duration_ms")?,
+            error: optional_str(fields, "error"),
+        })
+    }
+}
+
+/// The `POST /api/v1/admin/snapshot` response body: one entry per replica
+/// the operation touched (one with `?replica=N`, all otherwise).
+#[derive(Debug, Clone, Serialize)]
+pub struct AdminSnapshotResponse {
+    /// Per-replica results, in replica order.
+    pub replicas: Vec<ReplicaSnapshotResult>,
+}
+
+impl AdminSnapshotResponse {
+    /// Parses a snapshot-response body (client side).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the body is not the documented shape.
+    pub fn from_json(body: &str) -> Result<Self, String> {
+        let value = serde_json::from_str(body).map_err(|e| format!("invalid JSON: {e}"))?;
+        let fields = as_object(&value, "admin snapshot response")?;
+        match field(fields, "replicas") {
+            Some(Value::Array(entries)) => Ok(Self {
+                replicas: entries
+                    .iter()
+                    .map(ReplicaSnapshotResult::from_value)
+                    .collect::<Result<Vec<_>, _>>()?,
+            }),
+            _ => Err("field \"replicas\" must be an array".to_string()),
+        }
+    }
+}
+
+/// One replica's slice of an admin restore response. Restores never fail
+/// the request: an unusable snapshot (missing file, corruption, config
+/// mismatch) or a busy replica reports `restored: false` with the reason
+/// and the replica keeps serving from whatever state it had.
+#[derive(Debug, Clone, Serialize)]
+pub struct ReplicaRestoreResult {
+    /// Zero-based replica index.
+    pub replica: usize,
+    /// The server-side path this replica restored from.
+    pub path: String,
+    /// `true` when the snapshot was loaded into the prefix cache.
+    pub restored: bool,
+    /// Trie nodes now resident (0 when not restored).
+    pub nodes: usize,
+    /// Bytes held by the restored prefix blocks.
+    pub resident_bytes: usize,
+    /// Wall-clock milliseconds spent restoring.
+    pub duration_ms: usize,
+    /// Why the restore was skipped, when `restored` is `false`.
+    pub reason: Option<String>,
+}
+
+impl ReplicaRestoreResult {
+    fn from_value(value: &Value) -> Result<Self, String> {
+        let fields = as_object(value, "restore result entry")?;
+        Ok(Self {
+            replica: require_usize(fields, "replica")?,
+            path: require_str(fields, "path")?,
+            restored: match field(fields, "restored") {
+                Some(Value::Bool(b)) => *b,
+                _ => return Err("field \"restored\" must be a boolean".to_string()),
+            },
+            nodes: require_usize(fields, "nodes")?,
+            resident_bytes: require_usize(fields, "resident_bytes")?,
+            duration_ms: require_usize(fields, "duration_ms")?,
+            reason: optional_str(fields, "reason"),
+        })
+    }
+}
+
+/// The `POST /api/v1/admin/restore` response body: one entry per replica
+/// the operation touched.
+#[derive(Debug, Clone, Serialize)]
+pub struct AdminRestoreResponse {
+    /// Per-replica results, in replica order.
+    pub replicas: Vec<ReplicaRestoreResult>,
+}
+
+impl AdminRestoreResponse {
+    /// Parses a restore-response body (client side).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the body is not the documented shape.
+    pub fn from_json(body: &str) -> Result<Self, String> {
+        let value = serde_json::from_str(body).map_err(|e| format!("invalid JSON: {e}"))?;
+        let fields = as_object(&value, "admin restore response")?;
+        match field(fields, "replicas") {
+            Some(Value::Array(entries)) => Ok(Self {
+                replicas: entries
+                    .iter()
+                    .map(ReplicaRestoreResult::from_value)
+                    .collect::<Result<Vec<_>, _>>()?,
+            }),
+            _ => Err("field \"replicas\" must be an array".to_string()),
+        }
     }
 }
 
@@ -545,6 +752,63 @@ mod tests {
         assert_eq!(parsed.prefix_reused_tokens, 0);
         assert_eq!(parsed.affinity_routed, 0);
         assert!(parsed.replicas.is_empty());
+    }
+
+    #[test]
+    fn version_response_round_trips() {
+        let version = VersionResponse::current();
+        let parsed = VersionResponse::from_json(&serde_json::to_string(&version).unwrap()).unwrap();
+        assert_eq!(parsed.api_version, "v1");
+        assert_eq!(parsed.crate_version, env!("CARGO_PKG_VERSION"));
+        assert_eq!(
+            parsed.snapshot_format,
+            cocktail_core::SNAPSHOT_FORMAT_VERSION as usize
+        );
+    }
+
+    #[test]
+    fn snapshot_request_requires_a_path() {
+        let req = SnapshotRequest::new("/tmp/x.snap");
+        let parsed = SnapshotRequest::from_json(&req.to_json()).unwrap();
+        assert_eq!(parsed.path, "/tmp/x.snap");
+        for bad in ["{}", "{\"path\":\"\"}", "{\"path\":7}", "[]", "not json"] {
+            assert!(SnapshotRequest::from_json(bad).is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn admin_responses_round_trip() {
+        let snap = AdminSnapshotResponse {
+            replicas: vec![ReplicaSnapshotResult {
+                replica: 0,
+                path: "/tmp/x.snap.0".into(),
+                bytes: 4096,
+                nodes: 3,
+                duration_ms: 2,
+                error: None,
+            }],
+        };
+        let parsed =
+            AdminSnapshotResponse::from_json(&serde_json::to_string(&snap).unwrap()).unwrap();
+        assert_eq!(parsed.replicas.len(), 1);
+        assert_eq!(parsed.replicas[0].bytes, 4096);
+        assert!(parsed.replicas[0].error.is_none());
+
+        let restore = AdminRestoreResponse {
+            replicas: vec![ReplicaRestoreResult {
+                replica: 1,
+                path: "/tmp/x.snap.1".into(),
+                restored: false,
+                nodes: 0,
+                resident_bytes: 0,
+                duration_ms: 0,
+                reason: Some("replica busy".into()),
+            }],
+        };
+        let parsed =
+            AdminRestoreResponse::from_json(&serde_json::to_string(&restore).unwrap()).unwrap();
+        assert!(!parsed.replicas[0].restored);
+        assert_eq!(parsed.replicas[0].reason.as_deref(), Some("replica busy"));
     }
 
     #[test]

@@ -11,7 +11,10 @@ use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::time::Duration;
 
-use crate::api::{ErrorResponse, GenerateRequest, GenerateResponse, StatsResponse, StreamEvent};
+use crate::api::{
+    AdminRestoreResponse, AdminSnapshotResponse, ErrorResponse, GenerateRequest, GenerateResponse,
+    SnapshotRequest, StatsResponse, StreamEvent, VersionResponse,
+};
 use crate::http::{parse_response_head, ChunkedDecoder, ResponseHead, SseParser};
 
 /// Why a client call failed.
@@ -108,9 +111,19 @@ impl GatewayClient {
     pub fn generate(&self, request: &GenerateRequest) -> Result<GenerateResponse, ClientError> {
         let mut request = request.clone();
         request.stream = false;
-        let (head, body) = self.post_json("/api/generate", &request.to_json())?;
+        let (head, body) = self.post_json("/api/v1/generate", &request.to_json())?;
         expect_ok(&head, &body)?;
         GenerateResponse::from_json(&body).map_err(ClientError::Protocol)
+    }
+
+    fn get_json(&self, path: &str) -> Result<(ResponseHead, String), ClientError> {
+        let mut stream = self.connect()?;
+        let raw = format!(
+            "GET {path} HTTP/1.1\r\nHost: {}\r\nConnection: close\r\n\r\n",
+            self.addr
+        );
+        stream.write_all(raw.as_bytes())?;
+        read_fixed_response(&mut stream)
     }
 
     /// GETs the engine snapshot.
@@ -119,15 +132,66 @@ impl GatewayClient {
     ///
     /// Same failure modes as [`GatewayClient::generate`].
     pub fn stats(&self) -> Result<StatsResponse, ClientError> {
-        let mut stream = self.connect()?;
-        let raw = format!(
-            "GET /api/stats HTTP/1.1\r\nHost: {}\r\nConnection: close\r\n\r\n",
-            self.addr
-        );
-        stream.write_all(raw.as_bytes())?;
-        let (head, body) = read_fixed_response(&mut stream)?;
+        let (head, body) = self.get_json("/api/v1/stats")?;
         expect_ok(&head, &body)?;
         StatsResponse::from_json(&body).map_err(ClientError::Protocol)
+    }
+
+    /// GETs `/api/v1/version`: crate, API, and snapshot-format versions.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`GatewayClient::generate`].
+    pub fn version(&self) -> Result<VersionResponse, ClientError> {
+        let (head, body) = self.get_json("/api/v1/version")?;
+        expect_ok(&head, &body)?;
+        VersionResponse::from_json(&body).map_err(ClientError::Protocol)
+    }
+
+    fn admin_path(endpoint: &str, replica: Option<usize>) -> String {
+        match replica {
+            Some(r) => format!("/api/v1/admin/{endpoint}?replica={r}"),
+            None => format!("/api/v1/admin/{endpoint}"),
+        }
+    }
+
+    /// POSTs `/api/v1/admin/snapshot`: writes the targeted replicas'
+    /// prefix-cache snapshots to `path` on the *server's* filesystem
+    /// (`None` targets the whole fleet).
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Status`] on 400 (bad selector/body) and 500 (a
+    /// replica failed to write); transport errors otherwise.
+    pub fn admin_snapshot(
+        &self,
+        path: &str,
+        replica: Option<usize>,
+    ) -> Result<AdminSnapshotResponse, ClientError> {
+        let target = Self::admin_path("snapshot", replica);
+        let (head, body) = self.post_json(&target, &SnapshotRequest::new(path).to_json())?;
+        expect_ok(&head, &body)?;
+        AdminSnapshotResponse::from_json(&body).map_err(ClientError::Protocol)
+    }
+
+    /// POSTs `/api/v1/admin/restore`: restores the targeted replicas'
+    /// prefix caches from `path` on the server's filesystem. Always 200 on
+    /// a well-formed request — per-replica failures (busy, missing file,
+    /// corrupt or mismatched snapshot) come back as `restored: false` rows
+    /// with a reason.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Status`] on 400, transport errors otherwise.
+    pub fn admin_restore(
+        &self,
+        path: &str,
+        replica: Option<usize>,
+    ) -> Result<AdminRestoreResponse, ClientError> {
+        let target = Self::admin_path("restore", replica);
+        let (head, body) = self.post_json(&target, &SnapshotRequest::new(path).to_json())?;
+        expect_ok(&head, &body)?;
+        AdminRestoreResponse::from_json(&body).map_err(ClientError::Protocol)
     }
 
     /// Opens an SSE stream for the request (forcing `stream: true`).
@@ -142,7 +206,7 @@ impl GatewayClient {
         let body = request.to_json();
         let mut stream = self.connect()?;
         let raw = format!(
-            "POST /api/generate HTTP/1.1\r\nHost: {}\r\nContent-Type: application/json\r\n\
+            "POST /api/v1/generate HTTP/1.1\r\nHost: {}\r\nContent-Type: application/json\r\n\
              Content-Length: {}\r\n\r\n{}",
             self.addr,
             body.len(),

@@ -14,8 +14,10 @@
 //! slot, and prefix-cache pins immediately.
 
 use std::collections::HashMap;
+use std::path::PathBuf;
 use std::sync::mpsc::{Receiver, Sender, TryRecvError};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 use cocktail_core::{
     CocktailConfig, FinishReason, PrefixCacheConfig, RequestId, SchedulerConfig, ServeRequest,
@@ -23,7 +25,7 @@ use cocktail_core::{
 };
 use cocktail_model::ModelProfile;
 
-use crate::api::ReplicaStats;
+use crate::api::{ReplicaRestoreResult, ReplicaSnapshotResult, ReplicaStats};
 
 /// Everything needed to construct the [`ServingEngine`] inside the driver
 /// thread. Plain data, so it crosses the thread boundary by value.
@@ -37,6 +39,10 @@ pub struct EngineSettings {
     pub scheduler: Option<SchedulerConfig>,
     /// Prefix-cache settings (`None` disables the cache).
     pub prefix_cache: Option<PrefixCacheConfig>,
+    /// Disk cold-tier spill path (`None` keeps eviction in-memory-only).
+    /// With several replicas the replica index is appended to keep spill
+    /// files distinct.
+    pub cold_tier: Option<PathBuf>,
 }
 
 impl EngineSettings {
@@ -48,6 +54,7 @@ impl EngineSettings {
             config,
             scheduler: None,
             prefix_cache: None,
+            cold_tier: None,
         }
     }
 
@@ -60,6 +67,14 @@ impl EngineSettings {
     /// Enables the shared-prefix cache.
     pub fn with_prefix_cache(mut self, cache: PrefixCacheConfig) -> Self {
         self.prefix_cache = Some(cache);
+        self
+    }
+
+    /// Enables the disk cold tier: evicted prefix branches spill to this
+    /// path instead of being dropped, and later matches repromote them.
+    /// Implies a default prefix cache when none is configured.
+    pub fn with_cold_tier(mut self, path: impl Into<PathBuf>) -> Self {
+        self.cold_tier = Some(path.into());
         self
     }
 }
@@ -118,6 +133,20 @@ pub(crate) enum EngineCommand {
     },
     Stats {
         reply: Sender<ReplicaStats>,
+    },
+    /// Write the replica's prefix-cache snapshot to `path`. Safe at any
+    /// time: the engine snapshots between decode steps.
+    Snapshot {
+        path: PathBuf,
+        reply: Sender<ReplicaSnapshotResult>,
+    },
+    /// Restore the replica's prefix cache from `path`. Only honoured when
+    /// the replica is idle — restoring under live traffic would swap the
+    /// trie out from under pinned requests — otherwise reports a
+    /// `replica busy` reason without touching the engine.
+    Restore {
+        path: PathBuf,
+        reply: Sender<ReplicaRestoreResult>,
     },
     Shutdown {
         reply: Sender<ReplicaStats>,
@@ -186,7 +215,7 @@ struct Driver {
     failed: usize,
 }
 
-fn build_engine(settings: EngineSettings) -> ServingEngine {
+fn build_engine(settings: EngineSettings, replica: usize) -> ServingEngine {
     let mut engine = ServingEngine::new(settings.profile, settings.config)
         .expect("engine settings must be valid");
     if let Some(scheduler) = settings.scheduler {
@@ -194,6 +223,15 @@ fn build_engine(settings: EngineSettings) -> ServingEngine {
     }
     if let Some(cache) = settings.prefix_cache {
         engine = engine.with_prefix_cache(cache);
+    }
+    if let Some(path) = settings.cold_tier {
+        // Each replica needs its own spill file; suffix the index so a
+        // shared EngineSettings stays valid for a whole fleet.
+        let mut spill = path.into_os_string();
+        spill.push(format!(".{replica}"));
+        engine = engine
+            .with_cold_tier(PathBuf::from(spill))
+            .expect("cold-tier spill path must be creatable");
     }
     engine
 }
@@ -205,7 +243,7 @@ fn drive(
     inbox: Receiver<EngineCommand>,
 ) {
     let mut driver = Driver {
-        engine: build_engine(settings),
+        engine: build_engine(settings, replica),
         queue_limit,
         replica,
         subs: HashMap::new(),
@@ -280,11 +318,14 @@ impl Driver {
                     });
                     return false;
                 }
-                let mut request = ServeRequest::new(spec.context, spec.query, spec.max_new_tokens);
+                let mut builder = ServeRequest::builder()
+                    .context(spec.context)
+                    .query(spec.query)
+                    .max_new_tokens(spec.max_new_tokens);
                 if let Some(stop) = spec.stop {
-                    request = request.with_stop_sequence(stop);
+                    builder = builder.stop_sequence(stop);
                 }
-                let id = self.engine.submit(request);
+                let id = self.engine.submit(builder.build());
                 self.subs.insert(id, Subscription { events });
                 let _ = reply.send(SubmitReply::Accepted {
                     id,
@@ -299,12 +340,77 @@ impl Driver {
             EngineCommand::Stats { reply } => {
                 let _ = reply.send(self.stats());
             }
+            EngineCommand::Snapshot { path, reply } => {
+                let _ = reply.send(self.snapshot(&path));
+            }
+            EngineCommand::Restore { path, reply } => {
+                let _ = reply.send(self.restore(&path));
+            }
             EngineCommand::Shutdown { reply } => {
                 let _ = reply.send(self.stats());
                 return true;
             }
         }
         false
+    }
+
+    /// Writes this replica's prefix-cache snapshot to `path`. Runs between
+    /// decode steps, so it is safe under live traffic.
+    fn snapshot(&self, path: &std::path::Path) -> ReplicaSnapshotResult {
+        let started = Instant::now();
+        let shown = path.display().to_string();
+        match self.engine.snapshot_to(path) {
+            Ok(report) => ReplicaSnapshotResult {
+                replica: self.replica,
+                path: shown,
+                bytes: report.bytes,
+                nodes: report.nodes,
+                duration_ms: started.elapsed().as_millis() as usize,
+                error: None,
+            },
+            Err(err) => ReplicaSnapshotResult {
+                replica: self.replica,
+                path: shown,
+                bytes: 0,
+                nodes: 0,
+                duration_ms: started.elapsed().as_millis() as usize,
+                error: Some(err.to_string()),
+            },
+        }
+    }
+
+    /// Restores this replica's prefix cache from `path`, but only when the
+    /// replica is idle: live requests hold pins into the current trie, so
+    /// swapping it out mid-flight is refused as `replica busy` rather than
+    /// risked.
+    fn restore(&mut self, path: &std::path::Path) -> ReplicaRestoreResult {
+        let started = Instant::now();
+        let shown = path.display().to_string();
+        if !self.engine.is_idle() || self.flush_needed {
+            let queued = self.engine.scheduler().queued_len();
+            let running = self.engine.scheduler().running_len();
+            return ReplicaRestoreResult {
+                replica: self.replica,
+                path: shown,
+                restored: false,
+                nodes: 0,
+                resident_bytes: 0,
+                duration_ms: started.elapsed().as_millis() as usize,
+                reason: Some(format!(
+                    "replica busy: {queued} queued, {running} running; retry when idle"
+                )),
+            };
+        }
+        let report = self.engine.restore_from(path);
+        ReplicaRestoreResult {
+            replica: self.replica,
+            path: shown,
+            restored: report.restored,
+            nodes: report.nodes,
+            resident_bytes: report.resident_bytes,
+            duration_ms: started.elapsed().as_millis() as usize,
+            reason: report.reason,
+        }
     }
 
     fn stats(&self) -> ReplicaStats {

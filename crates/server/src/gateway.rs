@@ -10,19 +10,37 @@
 //!
 //! With [`GatewayConfig::with_replicas`] the gateway runs N independent
 //! engines, each on its own driver thread with its own KV budget and
-//! prefix trie. Every `/api/generate` submit is routed by the
+//! prefix trie. Every `/api/v1/generate` submit is routed by the
 //! replica pool: prompts whose preamble fingerprints a
 //! replica has served before go back to that replica (fleet-wide prefix
 //! reuse), cold prompts go to the least-loaded replica, and a `429` is
 //! answered only when *every* replica's admission queue is full.
 //!
-//! Endpoints:
+//! Endpoints (the versioned `/api/v1/` surface):
 //!
-//! | Method | Path            | Behaviour                                   |
-//! |--------|-----------------|---------------------------------------------|
-//! | POST   | `/api/generate` | Generate; SSE stream when `"stream": true`  |
-//! | GET    | `/api/stats`    | Fleet snapshot with per-replica breakdown   |
-//! | GET    | `/healthz`      | Liveness probe                              |
+//! | Method | Path                      | Behaviour                                  |
+//! |--------|---------------------------|--------------------------------------------|
+//! | POST   | `/api/v1/generate`        | Generate; SSE stream when `"stream": true` |
+//! | GET    | `/api/v1/stats`           | Fleet snapshot with per-replica breakdown  |
+//! | GET    | `/api/v1/version`         | Crate + API + snapshot-format versions     |
+//! | POST   | `/api/v1/admin/snapshot`  | Write prefix-cache snapshot(s) to disk     |
+//! | POST   | `/api/v1/admin/restore`   | Restore prefix cache(s) from disk          |
+//! | GET    | `/healthz`                | Liveness probe (unversioned, stable)       |
+//!
+//! The admin endpoints take a JSON body `{"path": "..."}` naming a
+//! server-side file and an optional `?replica=N` query to target one
+//! replica; without it the whole fleet snapshots/restores (per-replica
+//! paths get a `.{replica}` suffix when there are several). Restores are
+//! only honoured on idle replicas and *degrade* — a busy replica, missing
+//! file, corrupt snapshot, or config mismatch reports
+//! `restored: false` with a reason while the replica keeps serving.
+//!
+//! The legacy unversioned paths still answer for one release, marked
+//! deprecated: `POST /api/generate` serves identically (plus
+//! `Deprecation` and `Link: </api/v1/generate>;
+//! rel="successor-version"` headers — a 308 would force clients to replay
+//! the body), and `GET /api/stats` answers `308 Permanent Redirect` to
+//! `/api/v1/stats`.
 //!
 //! Over-capacity submits answer `429` with the queue depth and an
 //! `X-Replica-Count` header; malformed HTTP answers the status from
@@ -38,7 +56,10 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use crate::api::{ErrorResponse, GenerateRequest, GenerateResponse, StatsResponse, StreamEvent};
+use crate::api::{
+    ErrorResponse, GenerateRequest, GenerateResponse, SnapshotRequest, StatsResponse, StreamEvent,
+    VersionResponse,
+};
 use crate::engine::{finish_str, EngineDriver, EngineSettings, GatewayEvent, SubmitSpec};
 use crate::http::{self, ParseError, Request, RequestParser};
 use crate::router::{PoolReply, ReplicaPool};
@@ -189,9 +210,28 @@ impl GatewayServer {
         self.addr
     }
 
-    /// A live fleet snapshot, the same data `/api/stats` serves.
+    /// A live fleet snapshot, the same data `/api/v1/stats` serves.
     pub fn stats(&self) -> StatsResponse {
         self.pool.stats()
+    }
+
+    /// Writes prefix-cache snapshots, the same operation
+    /// `POST /api/v1/admin/snapshot` performs: one replica with
+    /// `Some(index)`, the whole fleet with `None` (per-replica paths get a
+    /// `.{replica}` suffix when there are several).
+    pub fn snapshot(
+        &self,
+        replica: Option<usize>,
+        path: &str,
+    ) -> crate::api::AdminSnapshotResponse {
+        self.pool.snapshot(replica, path)
+    }
+
+    /// Restores prefix caches from disk, the same operation
+    /// `POST /api/v1/admin/restore` performs. Busy replicas and unusable
+    /// snapshots degrade to `restored: false` rows with a reason.
+    pub fn restore(&self, replica: Option<usize>, path: &str) -> crate::api::AdminRestoreResponse {
+        self.pool.restore(replica, path)
     }
 
     /// Stops accepting, waits for in-flight connections to finish, shuts
@@ -311,19 +351,69 @@ fn write_parse_error(stream: &mut TcpStream, err: &ParseError) -> std::io::Resul
 }
 
 fn write_json(stream: &mut TcpStream, status: u16, body: &str) -> std::io::Result<()> {
-    stream.write_all(&http::simple_response(
-        status,
-        "application/json",
-        body.as_bytes(),
-    ))
+    write_json_with(stream, status, body, &[])
+}
+
+/// Like [`write_json`] but with extra response headers (the legacy-alias
+/// deprecation headers).
+fn write_json_with(
+    stream: &mut TcpStream,
+    status: u16,
+    body: &str,
+    extra: &[(&str, &str)],
+) -> std::io::Result<()> {
+    let length = body.len().to_string();
+    let mut headers: Vec<(&str, &str)> = vec![
+        ("Content-Type", "application/json"),
+        ("Content-Length", &length),
+    ];
+    headers.extend_from_slice(extra);
+    stream.write_all(&http::response_head(status, &headers))?;
+    stream.write_all(body.as_bytes())
+}
+
+/// Headers stamped on every legacy `POST /api/generate` answer: the path
+/// still works for one release, but clients should move to the successor.
+const LEGACY_GENERATE_HEADERS: &[(&str, &str)] = &[
+    ("Deprecation", "true"),
+    ("Link", "</api/v1/generate>; rel=\"successor-version\""),
+];
+
+/// Every path the gateway serves (used to tell 405 from 404).
+const KNOWN_TARGETS: &[&str] = &[
+    "/api/v1/generate",
+    "/api/v1/stats",
+    "/api/v1/version",
+    "/api/v1/admin/snapshot",
+    "/api/v1/admin/restore",
+    "/api/generate",
+    "/api/stats",
+    "/healthz",
+];
+
+/// Which admin operation a request asked for.
+enum AdminOp {
+    Snapshot,
+    Restore,
 }
 
 /// Routes one parsed request. Returns `false` when the connection must
 /// close afterwards (streaming responses and errors of unknown framing).
 fn route(stream: &mut TcpStream, request: &Request, pool: &ReplicaPool) -> std::io::Result<bool> {
-    match (request.method.as_str(), request.target.as_str()) {
-        ("POST", "/api/generate") => handle_generate(stream, request, pool),
-        ("GET", "/api/stats") => {
+    // The admin endpoints take a query string; everything else ignores it.
+    let (path, query) = match request.target.split_once('?') {
+        Some((path, query)) => (path, Some(query)),
+        None => (request.target.as_str(), None),
+    };
+    match (request.method.as_str(), path) {
+        ("POST", "/api/v1/generate") => handle_generate(stream, request, pool, &[]),
+        // Legacy alias, deprecated: answers exactly like the v1 path (a
+        // 308 would force clients to replay the POST body) but flags the
+        // successor in its headers.
+        ("POST", "/api/generate") => {
+            handle_generate(stream, request, pool, LEGACY_GENERATE_HEADERS)
+        }
+        ("GET", "/api/v1/stats") => {
             let stats = pool.stats();
             write_json(
                 stream,
@@ -331,6 +421,34 @@ fn route(stream: &mut TcpStream, request: &Request, pool: &ReplicaPool) -> std::
                 &serde_json::to_string(&stats).expect("stats serialize"),
             )?;
             Ok(true)
+        }
+        // Legacy redirect, deprecated: GETs replay safely, so this one is
+        // a real 308.
+        ("GET", "/api/stats") => {
+            stream.write_all(&http::response_head(
+                308,
+                &[
+                    ("Location", "/api/v1/stats"),
+                    ("Deprecation", "true"),
+                    ("Link", "</api/v1/stats>; rel=\"successor-version\""),
+                    ("Content-Length", "0"),
+                ],
+            ))?;
+            Ok(true)
+        }
+        ("GET", "/api/v1/version") => {
+            write_json(
+                stream,
+                200,
+                &serde_json::to_string(&VersionResponse::current()).expect("version serialize"),
+            )?;
+            Ok(true)
+        }
+        ("POST", "/api/v1/admin/snapshot") => {
+            handle_admin(stream, request, pool, query, AdminOp::Snapshot)
+        }
+        ("POST", "/api/v1/admin/restore") => {
+            handle_admin(stream, request, pool, query, AdminOp::Restore)
         }
         ("GET", "/healthz") => {
             write_json(stream, 200, "{\"status\":\"ok\"}")?;
@@ -344,9 +462,7 @@ fn route(stream: &mut TcpStream, request: &Request, pool: &ReplicaPool) -> std::
             )?;
             Ok(true)
         }
-        (_, target)
-            if target == "/api/generate" || target == "/api/stats" || target == "/healthz" =>
-        {
+        (_, target) if KNOWN_TARGETS.contains(&target) => {
             write_json(
                 stream,
                 405,
@@ -369,11 +485,50 @@ fn route(stream: &mut TcpStream, request: &Request, pool: &ReplicaPool) -> std::
     }
 }
 
-fn handle_generate(
+/// Parses the admin `?replica=N` selector. `None` means the whole fleet;
+/// an unknown parameter, non-numeric index, or out-of-range replica is a
+/// 400.
+fn parse_replica(query: Option<&str>, replicas: usize) -> Result<Option<usize>, String> {
+    let Some(query) = query else {
+        return Ok(None);
+    };
+    let mut selected = None;
+    for pair in query.split('&').filter(|p| !p.is_empty()) {
+        let (key, value) = pair.split_once('=').unwrap_or((pair, ""));
+        if key != "replica" {
+            return Err(format!("unknown query parameter {key:?}"));
+        }
+        let index: usize = value.parse().map_err(|_| {
+            format!("query parameter \"replica\" must be an integer, got {value:?}")
+        })?;
+        if index >= replicas {
+            return Err(format!(
+                "replica {index} is out of range (the fleet has {replicas})"
+            ));
+        }
+        selected = Some(index);
+    }
+    Ok(selected)
+}
+
+/// `POST /api/v1/admin/{snapshot,restore}`: validate the replica selector
+/// and the `{"path": ...}` body, then fan out through the pool. Snapshot
+/// failures surface as a 500 with per-replica detail; restores always
+/// answer 200 because they degrade per replica by design.
+fn handle_admin(
     stream: &mut TcpStream,
     request: &Request,
     pool: &ReplicaPool,
+    query: Option<&str>,
+    op: AdminOp,
 ) -> std::io::Result<bool> {
+    let replica = match parse_replica(query, pool.replicas()) {
+        Ok(replica) => replica,
+        Err(message) => {
+            write_json(stream, 400, &ErrorResponse::new(message).to_json())?;
+            return Ok(true);
+        }
+    };
     let body = match std::str::from_utf8(&request.body) {
         Ok(body) => body,
         Err(_) => {
@@ -385,10 +540,61 @@ fn handle_generate(
             return Ok(true);
         }
     };
+    let snapshot_request = match SnapshotRequest::from_json(body) {
+        Ok(parsed) => parsed,
+        Err(message) => {
+            write_json(stream, 400, &ErrorResponse::new(message).to_json())?;
+            return Ok(true);
+        }
+    };
+    match op {
+        AdminOp::Snapshot => {
+            let response = pool.snapshot(replica, &snapshot_request.path);
+            let status = if response.replicas.iter().any(|r| r.error.is_some()) {
+                500
+            } else {
+                200
+            };
+            write_json(
+                stream,
+                status,
+                &serde_json::to_string(&response).expect("snapshot response serialize"),
+            )?;
+        }
+        AdminOp::Restore => {
+            let response = pool.restore(replica, &snapshot_request.path);
+            write_json(
+                stream,
+                200,
+                &serde_json::to_string(&response).expect("restore response serialize"),
+            )?;
+        }
+    }
+    Ok(true)
+}
+
+fn handle_generate(
+    stream: &mut TcpStream,
+    request: &Request,
+    pool: &ReplicaPool,
+    extra: &[(&str, &str)],
+) -> std::io::Result<bool> {
+    let body = match std::str::from_utf8(&request.body) {
+        Ok(body) => body,
+        Err(_) => {
+            write_json_with(
+                stream,
+                400,
+                &ErrorResponse::new("request body is not valid UTF-8").to_json(),
+                extra,
+            )?;
+            return Ok(true);
+        }
+    };
     let generate = match GenerateRequest::from_json(body) {
         Ok(generate) => generate,
         Err(message) => {
-            write_json(stream, 400, &ErrorResponse::new(message).to_json())?;
+            write_json_with(stream, 400, &ErrorResponse::new(message).to_json(), extra)?;
             return Ok(true);
         }
     };
@@ -408,10 +614,11 @@ fn handle_generate(
     drop(events_tx);
     let (replica, id, queue_position, wire_id) = match reply {
         PoolReply::Gone => {
-            write_json(
+            write_json_with(
                 stream,
                 500,
                 &ErrorResponse::new("engine driver is gone").to_json(),
+                extra,
             )?;
             return Ok(false);
         }
@@ -420,15 +627,16 @@ fn handle_generate(
             queue_limit,
         } => {
             let body = ErrorResponse::backpressure(queued, queue_limit).to_json();
-            stream.write_all(&http::response_head(
-                429,
-                &[
-                    ("Content-Type", "application/json"),
-                    ("Content-Length", &body.len().to_string()),
-                    ("Retry-After", "1"),
-                    ("X-Replica-Count", &pool.replicas().to_string()),
-                ],
-            ))?;
+            let length = body.len().to_string();
+            let replicas = pool.replicas().to_string();
+            let mut headers: Vec<(&str, &str)> = vec![
+                ("Content-Type", "application/json"),
+                ("Content-Length", &length),
+                ("Retry-After", "1"),
+                ("X-Replica-Count", &replicas),
+            ];
+            headers.extend_from_slice(extra);
+            stream.write_all(&http::response_head(429, &headers))?;
             stream.write_all(body.as_bytes())?;
             return Ok(true);
         }
@@ -444,12 +652,21 @@ fn handle_generate(
     // done with the request, however it ends.
     let _inflight = pool.inflight_guard(replica);
     if generate.stream {
-        stream_response(stream, wire_id, queue_position, events, pool, replica, id)?;
+        stream_response(
+            stream,
+            wire_id,
+            queue_position,
+            events,
+            pool,
+            replica,
+            id,
+            extra,
+        )?;
         // SSE streams are terminal for the connection: the client saw
         // `Connection: close` in the head.
         Ok(false)
     } else {
-        blocking_response(stream, wire_id, events)?;
+        blocking_response(stream, wire_id, events, extra)?;
         Ok(true)
     }
 }
@@ -460,6 +677,7 @@ fn blocking_response(
     stream: &mut TcpStream,
     id: String,
     events: Receiver<GatewayEvent>,
+    extra: &[(&str, &str)],
 ) -> std::io::Result<()> {
     loop {
         match events.recv() {
@@ -475,20 +693,22 @@ fn blocking_response(
                     generated_tokens,
                     finish: finish_str(finish).to_string(),
                 };
-                return write_json(
+                return write_json_with(
                     stream,
                     200,
                     &serde_json::to_string(&response).expect("response serialize"),
+                    extra,
                 );
             }
             Ok(GatewayEvent::Failed { message }) => {
-                return write_json(stream, 400, &ErrorResponse::new(message).to_json());
+                return write_json_with(stream, 400, &ErrorResponse::new(message).to_json(), extra);
             }
             Ok(GatewayEvent::Cancelled { .. }) | Err(_) => {
-                return write_json(
+                return write_json_with(
                     stream,
                     500,
                     &ErrorResponse::new("request was cancelled server-side").to_json(),
+                    extra,
                 );
             }
         }
@@ -497,6 +717,7 @@ fn blocking_response(
 
 /// Streaming generate: chunked SSE, one event per token, a probe for
 /// client disconnects between events, and a final `done` event.
+#[allow(clippy::too_many_arguments)]
 fn stream_response(
     stream: &mut TcpStream,
     id: String,
@@ -505,6 +726,7 @@ fn stream_response(
     pool: &ReplicaPool,
     replica: usize,
     request_id: cocktail_core::RequestId,
+    extra: &[(&str, &str)],
 ) -> std::io::Result<()> {
     // Clients see where they joined the admission queue before the first
     // token arrives (the streaming twin of the 429 body's queue depth).
@@ -518,6 +740,7 @@ fn stream_response(
     if let Some(position) = position.as_deref() {
         headers.push(("X-Queue-Position", position));
     }
+    headers.extend_from_slice(extra);
     stream.write_all(&http::response_head(200, &headers))?;
     let mut cancelled = false;
     loop {

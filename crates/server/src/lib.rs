@@ -8,9 +8,12 @@
 //! continuous-batching `step_events` loop out to connections over mpsc
 //! channels.
 //!
-//! What it serves:
+//! What it serves (the versioned `/api/v1/` surface; the legacy
+//! unversioned paths still answer for one release, marked deprecated —
+//! `POST /api/generate` aliases with `Deprecation`/`Link` headers,
+//! `GET /api/stats` answers a `308` to its successor):
 //!
-//! * `POST /api/generate` — JSON in, either one JSON answer or (with
+//! * `POST /api/v1/generate` — JSON in, either one JSON answer or (with
 //!   `"stream": true`) a chunked Server-Sent-Events stream delivering
 //!   every token the step it is committed.
 //! * A client closing its socket mid-stream is detected within a few
@@ -19,12 +22,18 @@
 //! * Over-capacity traffic backpressures through the engine's admission
 //!   queue; submits beyond the configured cap answer `429` with the queue
 //!   depth instead of buffering unboundedly.
-//! * `GET /api/stats` — live engine snapshot (KV bytes, queue depth,
+//! * `GET /api/v1/stats` — live engine snapshot (KV bytes, queue depth,
 //!   pinned prefix entries) so load tests can assert zero leaks.
+//! * `GET /api/v1/version` — crate version, API version, and the KV
+//!   snapshot format version this server reads and writes.
+//! * `POST /api/v1/admin/snapshot` / `POST /api/v1/admin/restore` —
+//!   persist and reload the prefix-cache trie (per replica with
+//!   `?replica=N`, fleet-wide without), so a restarted or freshly scaled
+//!   gateway serves its first warm request at warm TTFT.
 //! * [`GatewayConfig::with_replicas`] runs N independent engines behind
 //!   a prefix-affinity router: prompts return to the replica whose trie
 //!   already holds their preamble, cold prompts go least-loaded, `429`
-//!   only when every replica is saturated, and `/api/stats` gains a
+//!   only when every replica is saturated, and `/api/v1/stats` gains a
 //!   per-replica breakdown plus routing counters.
 //!
 //! Quickstart (see `examples/gateway.rs` for the runnable version):
@@ -36,7 +45,7 @@
 //!
 //! let settings = EngineSettings::new(ModelProfile::tiny(), CocktailConfig::default());
 //! let server = GatewayServer::start(settings, GatewayConfig::default())?;
-//! println!("curl -X POST http://{}/api/generate", server.addr());
+//! println!("curl -X POST http://{}/api/v1/generate", server.addr());
 //! # Ok::<(), std::io::Error>(())
 //! ```
 //!
@@ -54,8 +63,9 @@ pub mod http;
 mod router;
 
 pub use api::{
-    ErrorResponse, GenerateRequest, GenerateResponse, ReplicaStats, StatsResponse, StreamEvent,
-    MAX_NEW_TOKENS_LIMIT,
+    AdminRestoreResponse, AdminSnapshotResponse, ErrorResponse, GenerateRequest, GenerateResponse,
+    ReplicaRestoreResult, ReplicaSnapshotResult, ReplicaStats, SnapshotRequest, StatsResponse,
+    StreamEvent, VersionResponse, MAX_NEW_TOKENS_LIMIT,
 };
 pub use client::{ClientError, GatewayClient, RawResponse, StreamHandle, StreamOutcome};
 pub use engine::EngineSettings;

@@ -20,7 +20,10 @@ use std::sync::Mutex;
 
 use cocktail_core::{PrefixFingerprintIndex, RequestId, RouterConfig};
 
-use crate::api::{ReplicaStats, StatsResponse};
+use crate::api::{
+    AdminRestoreResponse, AdminSnapshotResponse, ReplicaRestoreResult, ReplicaSnapshotResult,
+    ReplicaStats, StatsResponse,
+};
 use crate::engine::{EngineCommand, GatewayEvent, SubmitReply, SubmitSpec};
 
 /// What the pool replied to a submit.
@@ -175,6 +178,81 @@ impl ReplicaPool {
     /// Cancels a request on its owning replica.
     pub fn cancel(&self, replica: usize, id: RequestId) {
         let _ = self.commands[replica].send(EngineCommand::Cancel { id });
+    }
+
+    /// Which replicas an admin operation targets, and the path each uses:
+    /// a specific replica gets the path verbatim, a fleet-wide operation
+    /// over several replicas appends `.{replica}` so the files stay
+    /// distinct (a single-replica fleet also uses the path verbatim, so
+    /// snapshots taken before scaling out keep restoring).
+    fn admin_targets(&self, replica: Option<usize>, path: &str) -> Vec<(usize, String)> {
+        match replica {
+            Some(r) => vec![(r, path.to_string())],
+            None if self.replicas() == 1 => vec![(0, path.to_string())],
+            None => (0..self.replicas())
+                .map(|r| (r, format!("{path}.{r}")))
+                .collect(),
+        }
+    }
+
+    /// Asks the targeted replicas (one with `Some(replica)`, the whole
+    /// fleet with `None`) to write their prefix-cache snapshots. A dead
+    /// driver contributes an error row instead of failing the fleet.
+    pub fn snapshot(&self, replica: Option<usize>, path: &str) -> AdminSnapshotResponse {
+        let replicas = self
+            .admin_targets(replica, path)
+            .into_iter()
+            .map(|(replica, path)| {
+                let (reply, rx) = std::sync::mpsc::channel();
+                self.commands[replica]
+                    .send(EngineCommand::Snapshot {
+                        path: path.clone().into(),
+                        reply,
+                    })
+                    .ok()
+                    .and_then(|()| rx.recv().ok())
+                    .unwrap_or_else(|| ReplicaSnapshotResult {
+                        replica,
+                        path,
+                        bytes: 0,
+                        nodes: 0,
+                        duration_ms: 0,
+                        error: Some("engine driver is gone".to_string()),
+                    })
+            })
+            .collect();
+        AdminSnapshotResponse { replicas }
+    }
+
+    /// Asks the targeted replicas to restore their prefix caches from
+    /// disk. Busy or dead replicas (and unusable snapshots) report
+    /// `restored: false` with a reason; the fleet call never fails as a
+    /// whole.
+    pub fn restore(&self, replica: Option<usize>, path: &str) -> AdminRestoreResponse {
+        let replicas = self
+            .admin_targets(replica, path)
+            .into_iter()
+            .map(|(replica, path)| {
+                let (reply, rx) = std::sync::mpsc::channel();
+                self.commands[replica]
+                    .send(EngineCommand::Restore {
+                        path: path.clone().into(),
+                        reply,
+                    })
+                    .ok()
+                    .and_then(|()| rx.recv().ok())
+                    .unwrap_or_else(|| ReplicaRestoreResult {
+                        replica,
+                        path,
+                        restored: false,
+                        nodes: 0,
+                        resident_bytes: 0,
+                        duration_ms: 0,
+                        reason: Some("engine driver is gone".to_string()),
+                    })
+            })
+            .collect();
+        AdminRestoreResponse { replicas }
     }
 
     /// Fans a stats query out to every driver and aggregates, keeping the

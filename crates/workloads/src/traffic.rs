@@ -68,6 +68,12 @@ pub struct TrafficConfig {
     /// Stop strings cycled across requests (request `i` gets entry
     /// `i % len`); empty disables early text stopping.
     pub stop_strings: Vec<String>,
+    /// When set, the request at this position of the arrival-sorted trace
+    /// carries [`TrafficRequest::restart_before`]: the serving harness
+    /// should snapshot the engine, tear it down, and restore a fresh one
+    /// before submitting that request (the warm-restart drill). `None`
+    /// disables the restart mode.
+    pub restart_after_requests: Option<usize>,
 }
 
 impl TrafficConfig {
@@ -85,6 +91,7 @@ impl TrafficConfig {
             tenant_skew_milli: 0,
             cancel_per_mille: 0,
             stop_strings: Vec::new(),
+            restart_after_requests: None,
         }
     }
 
@@ -153,6 +160,16 @@ impl TrafficConfig {
         self.stop_strings = stops;
         self
     }
+
+    /// Returns a copy with a serving-restart point: the request at
+    /// position `after_requests` of the arrival-sorted trace is marked
+    /// [`TrafficRequest::restart_before`], telling the harness to
+    /// snapshot, tear down, and restore the engine before submitting it.
+    /// Positions past the end of the trace mark nothing.
+    pub fn with_restart_point(mut self, after_requests: usize) -> Self {
+        self.restart_after_requests = Some(after_requests);
+        self
+    }
 }
 
 /// One request of a traffic trace.
@@ -177,6 +194,12 @@ pub struct TrafficRequest {
     /// The stop string this request asks the server to end generation on
     /// (`None` when the stop-string mode is disabled).
     pub stop_string: Option<String>,
+    /// `true` when the serving harness should snapshot the engine and
+    /// restore it into a fresh process *before* submitting this request —
+    /// the warm-restart drill of
+    /// [`TrafficConfig::with_restart_point`]. At most one request of a
+    /// trace carries the marker.
+    pub restart_before: bool,
     /// The task (context, query, reference answer). In shared-prefix mode
     /// the context opens with the group preamble.
     pub task: TaskInstance,
@@ -348,11 +371,19 @@ impl TrafficGenerator {
                     prefix_group,
                     cancel_after_tokens,
                     stop_string,
+                    restart_before: false,
                     task,
                 }
             })
             .collect();
         requests.sort_by_key(|r| (r.arrival_step, r.index));
+        // The restart point is positional in the *served* (arrival) order:
+        // "restart after N requests have been submitted".
+        if let Some(point) = self.config.restart_after_requests {
+            if let Some(request) = requests.get_mut(point) {
+                request.restart_before = true;
+            }
+        }
         requests
     }
 
@@ -659,6 +690,25 @@ mod tests {
         }
         let plain = TrafficGenerator::new(TrafficConfig::small(3), 7).generate();
         assert!(plain.iter().all(|r| r.stop_string.is_none()));
+    }
+
+    #[test]
+    fn restart_point_marks_exactly_one_request_in_arrival_order() {
+        let config = TrafficConfig::small(6).with_restart_point(3);
+        let trace = TrafficGenerator::new(config, 9).generate();
+        let marked: Vec<usize> = trace
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.restart_before)
+            .map(|(position, _)| position)
+            .collect();
+        assert_eq!(marked, vec![3], "the marker is positional in arrival order");
+        // Out-of-range restart points mark nothing.
+        let short = TrafficGenerator::new(TrafficConfig::small(3).with_restart_point(10), 9);
+        assert!(short.generate().iter().all(|r| !r.restart_before));
+        // Disabled by default.
+        let plain = TrafficGenerator::new(TrafficConfig::small(3), 9).generate();
+        assert!(plain.iter().all(|r| !r.restart_before));
     }
 
     #[test]

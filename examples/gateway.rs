@@ -36,10 +36,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let addr = server.addr();
     println!("gateway listening on http://{addr} ({replicas} replica(s))");
     println!("  curl http://{addr}/healthz");
-    println!("  curl http://{addr}/api/stats");
+    println!("  curl http://{addr}/api/v1/stats");
+    println!("  curl http://{addr}/api/v1/version");
     println!(
         "  curl -d '{{\"context\":\"...\",\"query\":\"...\",\"max_new_tokens\":8}}' \
-         http://{addr}/api/generate\n"
+         http://{addr}/api/v1/generate"
+    );
+    println!(
+        "  curl -d '{{\"path\":\"/tmp/cocktail.snap\"}}' \
+         http://{addr}/api/v1/admin/snapshot\n"
     );
     let client = GatewayClient::new(addr);
 

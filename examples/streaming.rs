@@ -39,15 +39,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // client that disconnects after 4 streamed tokens.
     let mut ids = Vec::new();
     for request in &traffic {
-        let mut serve = ServeRequest::new(
-            request.task.context.clone(),
-            request.task.query.clone(),
-            request.max_new_tokens,
-        );
+        let mut serve = ServeRequest::builder()
+            .context(request.task.context.clone())
+            .query(request.task.query.clone())
+            .max_new_tokens(request.max_new_tokens);
         if let Some(stop) = &request.stop_string {
-            serve = serve.with_stop_sequence(stop.clone());
+            serve = serve.stop_sequence(stop.clone());
         }
-        ids.push(engine.submit(serve));
+        ids.push(engine.submit(serve.build()));
     }
     // The trace is sorted by arrival step, so find the stopping request
     // (trace index 0 carries the non-empty stop string) and pick a

@@ -61,13 +61,14 @@ pub mod prelude {
         AdmitDecision, BatchScheduler, BitwidthPlan, ChunkQuantSearch, CocktailConfig,
         CocktailOutcome, CocktailPipeline, CocktailPolicy, FinishReason, PipelineTimings,
         PrefixCache, PrefixCacheConfig, PrefixCacheStats, RequestId, RequestOutcome, RequestState,
-        RoutePolicy, RoutedId, Router, RouterConfig, SchedulerConfig, ServeRequest, ServingEngine,
-        ServingStats, TokenEvent,
+        RestoreReport, RoutePolicy, RoutedId, Router, RouterConfig, SchedulerConfig, ServeRequest,
+        ServeRequestBuilder, ServingEngine, ServingStats, SnapshotReport, TokenEvent,
     };
     pub use cocktail_hwsim::{AcceleratorSpec, DeploymentModel, KvCacheProfile, RequestShape};
     pub use cocktail_kvcache::{
-        ChunkPermutation, ChunkSegmentation, ChunkedKvCache, ChunkedLayerCache, KvChunk,
-        PrefixKvBlock, SharedPrefixKv,
+        read_snapshot, write_snapshot, ChunkPermutation, ChunkSegmentation, ChunkedKvCache,
+        ChunkedLayerCache, KvChunk, PrefixKvBlock, SharedPrefixKv, SnapshotError, TrieSnapshot,
+        SNAPSHOT_FORMAT_VERSION,
     };
     pub use cocktail_model::{
         BatchPrefill, DecodeSlot, InferenceEngine, ModelConfig, ModelProfile, PrefillSlot,
@@ -76,8 +77,9 @@ pub mod prelude {
     pub use cocktail_quant::{Bitwidth, QuantAxis, QuantConfig, QuantizedMatrix};
     pub use cocktail_retrieval::{Bm25, ChunkScorer, ContrieverSim, EncoderKind};
     pub use cocktail_server::{
-        EngineSettings, GatewayClient, GatewayConfig, GatewayServer, GenerateRequest,
-        GenerateResponse, ReplicaStats, StatsResponse, StreamEvent,
+        AdminRestoreResponse, AdminSnapshotResponse, EngineSettings, GatewayClient, GatewayConfig,
+        GatewayServer, GenerateRequest, GenerateResponse, ReplicaStats, SnapshotRequest,
+        StatsResponse, StreamEvent, VersionResponse,
     };
     pub use cocktail_tensor::Matrix;
     pub use cocktail_workloads::eval::{EvalConfig, Evaluator};

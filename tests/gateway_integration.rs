@@ -76,11 +76,14 @@ fn first_request_answer(
         .with_chunk_size(16)
         .expect("valid chunk size");
     let mut engine = ServingEngine::new(ModelProfile::tiny(), config).expect("engine");
-    let mut request = ServeRequest::new(ctx, query, max_new_tokens);
+    let mut builder = ServeRequest::builder()
+        .context(ctx)
+        .query(query)
+        .max_new_tokens(max_new_tokens);
     if let Some(stop) = stop {
-        request = request.with_stop_sequence(stop);
+        builder = builder.stop_sequence(stop);
     }
-    let id = engine.submit(request);
+    let id = engine.submit(builder.build());
     let outcomes = engine.run_until_idle().expect("solo run");
     outcomes
         .into_iter()
@@ -282,7 +285,7 @@ fn malformed_requests_get_4xx_not_a_hung_connection() {
 #[test]
 fn pipelined_requests_answer_in_order() {
     let (server, client) = start_server(tiny_settings(), GatewayConfig::default());
-    let raw = b"GET /healthz HTTP/1.1\r\n\r\nGET /api/stats HTTP/1.1\r\n\r\nGET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n";
+    let raw = b"GET /healthz HTTP/1.1\r\n\r\nGET /api/v1/stats HTTP/1.1\r\n\r\nGET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n";
     let responses = client
         .send_raw_pipelined(raw, 3)
         .expect("three pipelined responses");
@@ -462,7 +465,7 @@ fn mid_stream_disconnect_leaves_survivors_byte_identical() {
 
 /// A two-replica fleet: streams carry replica-qualified wire ids
 /// (`"r1:req-3"`), every stream is byte-identical to a solo pipeline
-/// replaying its replica's arrival subsequence, and `/api/stats` reports
+/// replaying its replica's arrival subsequence, and `/api/v1/stats` reports
 /// a per-replica breakdown whose rows sum to the aggregate.
 #[test]
 fn fleet_gateway_streams_route_and_report_per_replica() {
@@ -625,6 +628,242 @@ fn fleet_429_only_when_all_replicas_are_saturated() {
             4,
         ))
         .expect("fleet serves again after the disconnects");
+    server.shutdown();
+}
+
+fn header(response: &cocktail::server::RawResponse, name: &str) -> Option<String> {
+    response
+        .headers
+        .iter()
+        .find(|(n, _)| n.eq_ignore_ascii_case(name))
+        .map(|(_, value)| value.clone())
+}
+
+fn temp_snapshot_path(tag: &str) -> String {
+    std::env::temp_dir()
+        .join(format!("cocktail_gw_{}_{tag}.snap", std::process::id()))
+        .display()
+        .to_string()
+}
+
+#[test]
+fn versioned_surface_answers_and_legacy_paths_stay_deprecated() {
+    let (server, client) = start_server(tiny_settings(), GatewayConfig::default());
+
+    // The version endpoint names the API and the snapshot wire format.
+    let version = client.version().expect("version endpoint");
+    assert_eq!(version.api_version, "v1");
+    assert_eq!(version.snapshot_format, SNAPSHOT_FORMAT_VERSION as usize);
+    assert!(!version.crate_version.is_empty());
+
+    // Legacy GET /api/stats answers a real 308 to its successor.
+    let response = client
+        .send_raw(b"GET /api/stats HTTP/1.1\r\nConnection: close\r\n\r\n")
+        .expect("server answers");
+    assert_eq!(response.status, 308, "{}", response.body_str());
+    assert_eq!(
+        header(&response, "location").as_deref(),
+        Some("/api/v1/stats")
+    );
+    assert_eq!(header(&response, "deprecation").as_deref(), Some("true"));
+
+    // Legacy POST /api/generate still serves identically (a 308 would
+    // force a body replay) but flags its successor in the headers.
+    let request = &traffic(1, 0xB007)[0];
+    let body =
+        GenerateRequest::new(request.task.context.clone(), request.task.query.clone(), 6).to_json();
+    let raw = format!(
+        "POST /api/generate HTTP/1.1\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    let response = client.send_raw(raw.as_bytes()).expect("server answers");
+    assert_eq!(response.status, 200, "{}", response.body_str());
+    assert_eq!(header(&response, "deprecation").as_deref(), Some("true"));
+    let link = header(&response, "link").expect("legacy answers carry a Link header");
+    assert!(link.contains("/api/v1/generate") && link.contains("successor-version"));
+    let legacy = GenerateResponse::from_json(&response.body_str()).expect("legacy body parses");
+
+    // The same request on the v1 path answers byte-identically: both
+    // paths feed the same deterministic engine, and with no prefix cache
+    // configured a repeat serve replays the same computation.
+    let v1 = client
+        .generate(&GenerateRequest::new(
+            request.task.context.clone(),
+            request.task.query.clone(),
+            6,
+        ))
+        .expect("v1 serve");
+    assert_eq!(v1.answer, legacy.answer);
+    server.shutdown();
+}
+
+#[test]
+fn admin_snapshot_and_restore_round_trip_over_the_wire() {
+    let settings = tiny_settings().with_prefix_cache(PrefixCacheConfig::default());
+    let (server_a, client_a) = start_server(settings.clone(), GatewayConfig::default());
+    let request = &traffic(1, 0xCAFE)[0];
+    let generate =
+        GenerateRequest::new(request.task.context.clone(), request.task.query.clone(), 8);
+    let cold = client_a.generate(&generate).expect("cold serve");
+    let warm = client_a.generate(&generate).expect("warm serve");
+    assert_eq!(cold.answer, warm.answer);
+
+    let path = temp_snapshot_path("roundtrip");
+    let snap = client_a
+        .admin_snapshot(&path, None)
+        .expect("admin snapshot");
+    assert_eq!(snap.replicas.len(), 1);
+    assert!(
+        snap.replicas[0].error.is_none(),
+        "{:?}",
+        snap.replicas[0].error
+    );
+    assert!(snap.replicas[0].bytes > 0);
+    assert!(snap.replicas[0].nodes > 0);
+    assert_eq!(
+        snap.replicas[0].path, path,
+        "single-replica fleets use the path verbatim"
+    );
+    server_a.shutdown();
+
+    // A fresh gateway restored from the snapshot serves its *first*
+    // request warm and byte-identical to the pre-restart answers.
+    let (server_b, client_b) = start_server(settings, GatewayConfig::default());
+    let restore = client_b.admin_restore(&path, None).expect("admin restore");
+    assert!(
+        restore.replicas[0].restored,
+        "restore refused: {:?}",
+        restore.replicas[0].reason
+    );
+    assert_eq!(restore.replicas[0].nodes, snap.replicas[0].nodes);
+    assert!(restore.replicas[0].resident_bytes > 0);
+    let restarted = client_b.generate(&generate).expect("post-restart serve");
+    assert_eq!(restarted.answer, warm.answer);
+    let stats = client_b.stats().expect("stats endpoint");
+    assert!(
+        stats.prefix_reused_tokens > 0,
+        "first post-restore request must hit the restored trie: {stats:?}"
+    );
+    let _ = std::fs::remove_file(&path);
+    server_b.shutdown();
+}
+
+#[test]
+fn fleet_admin_operations_target_replicas_individually_or_all() {
+    let settings = tiny_settings().with_prefix_cache(PrefixCacheConfig::default());
+    let gateway = GatewayConfig::default().with_replicas(2);
+    let (server, client) = start_server(settings, gateway);
+    for request in traffic(3, 0x5EED) {
+        client
+            .generate(&GenerateRequest::new(
+                request.task.context.clone(),
+                request.task.query.clone(),
+                4,
+            ))
+            .expect("serve");
+    }
+
+    // Fleet-wide snapshot: one row per replica, paths suffixed to stay
+    // distinct.
+    let base = temp_snapshot_path("fleet");
+    let snap = client.admin_snapshot(&base, None).expect("fleet snapshot");
+    assert_eq!(snap.replicas.len(), 2);
+    assert_eq!(snap.replicas[0].path, format!("{base}.0"));
+    assert_eq!(snap.replicas[1].path, format!("{base}.1"));
+    assert!(snap.replicas.iter().all(|r| r.error.is_none()));
+
+    // Targeted snapshot: exactly one row, path verbatim.
+    let one_path = temp_snapshot_path("replica1");
+    let one = client
+        .admin_snapshot(&one_path, Some(1))
+        .expect("targeted snapshot");
+    assert_eq!(one.replicas.len(), 1);
+    assert_eq!(one.replicas[0].replica, 1);
+    assert_eq!(one.replicas[0].path, one_path);
+
+    // Fleet-wide restore of the fleet snapshot succeeds on idle replicas.
+    let restore = client.admin_restore(&base, None).expect("fleet restore");
+    assert_eq!(restore.replicas.len(), 2);
+    for row in &restore.replicas {
+        assert!(
+            row.restored,
+            "replica {} refused: {:?}",
+            row.replica, row.reason
+        );
+    }
+
+    for path in [format!("{base}.0"), format!("{base}.1"), one_path] {
+        let _ = std::fs::remove_file(path);
+    }
+    server.shutdown();
+}
+
+#[test]
+fn admin_validation_and_degraded_restores_answer_cleanly() {
+    let (server, client) = start_server(tiny_settings(), GatewayConfig::default());
+
+    // Missing "path" in the body → 400.
+    let response = client
+        .send_raw(b"POST /api/v1/admin/snapshot HTTP/1.1\r\nContent-Length: 2\r\nConnection: close\r\n\r\n{}")
+        .expect("server answers");
+    assert_eq!(response.status, 400, "{}", response.body_str());
+
+    // Out-of-range and non-numeric replica selectors → 400.
+    let body = "{\"path\":\"/tmp/x.snap\"}";
+    for query in ["?replica=7", "?replica=abc", "?nonsense=1"] {
+        let raw = format!(
+            "POST /api/v1/admin/restore{query} HTTP/1.1\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+            body.len()
+        );
+        let response = client.send_raw(raw.as_bytes()).expect("server answers");
+        assert_eq!(response.status, 400, "{query}: {}", response.body_str());
+    }
+
+    // Restoring from a missing file degrades (200, restored: false,
+    // reason set) instead of failing the replica.
+    let restore = client
+        .admin_restore("/definitely/not/here.snap", None)
+        .expect("degraded restore still answers 200");
+    assert!(!restore.replicas[0].restored);
+    let reason = restore.replicas[0].reason.clone().expect("reason is set");
+    assert!(reason.contains("read snapshot"), "{reason}");
+
+    // The engine keeps serving after all of it.
+    let request = &traffic(1, 0xD06)[0];
+    client
+        .generate(&GenerateRequest::new(
+            request.task.context.clone(),
+            request.task.query.clone(),
+            4,
+        ))
+        .expect("engine still serves");
+    server.shutdown();
+}
+
+#[test]
+fn restore_is_refused_while_the_replica_is_busy() {
+    let settings = tiny_settings().with_scheduler(SchedulerConfig::default().with_max_batch(1));
+    let (server, client) = start_server(settings, GatewayConfig::default());
+    let long_context =
+        "a restore racing live decode traffic must be refused not risked ".repeat(40);
+    // A stream with a huge budget that is never read keeps the replica
+    // busy for the duration of the test.
+    let handle = client
+        .open_stream(&GenerateRequest::new(long_context, "still going", 4000))
+        .expect("stream admitted");
+    poll_stats_until(&client, "the stream to start running", |s| s.running > 0);
+
+    let restore = client
+        .admin_restore("/tmp/whatever.snap", None)
+        .expect("busy restore still answers 200");
+    assert!(!restore.replicas[0].restored);
+    let reason = restore.replicas[0].reason.clone().expect("reason is set");
+    assert!(reason.contains("replica busy"), "{reason}");
+
+    handle.abort();
+    poll_stats_until(&client, "the cancel to land", |s| {
+        s.running == 0 && s.queued == 0
+    });
     server.shutdown();
 }
 

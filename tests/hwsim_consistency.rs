@@ -123,15 +123,14 @@ fn measured_serving_capacity_mirrors_the_hwsim_batch_ordering() {
             engine = engine.with_scheduler_config(SchedulerConfig::default().with_budget(bytes));
         }
         for request in &traffic {
-            let mut serve_request = ServeRequest::new(
-                request.task.context.clone(),
-                request.task.query.clone(),
-                request.max_new_tokens,
-            );
+            let mut serve_request = ServeRequest::builder()
+                .context(request.task.context.clone())
+                .query(request.task.query.clone())
+                .max_new_tokens(request.max_new_tokens);
             if fp16 {
-                serve_request = serve_request.with_policy(Box::new(Fp16Policy::new()));
+                serve_request = serve_request.policy(Box::new(Fp16Policy::new()));
             }
-            engine.submit(serve_request);
+            engine.submit(serve_request.build());
         }
         let mut peak = 0;
         while !engine.is_idle() {

@@ -1,0 +1,129 @@
+//! Snapshot format compatibility guard.
+//!
+//! `tests/fixtures/trie_format_v1.snap` is a committed snapshot written by
+//! an earlier build of this code. Every future build must keep restoring
+//! it: the restore test below is what turns the snapshot format into a
+//! compatibility promise rather than an implementation detail.
+//!
+//! Bumping [`SNAPSHOT_FORMAT_VERSION`] is allowed, but it is a deliberate
+//! act: the same PR must regenerate the fixture (run the `#[ignore]`d
+//! `regenerate_golden_fixture` test below with `-- --ignored`), rename it
+//! to match the new version, and update the pinned constant in
+//! `snapshot_format_version_is_pinned` — so a reviewer sees the break and
+//! operators know their on-disk snapshots will cold-start once.
+
+use cocktail::prelude::*;
+use std::path::PathBuf;
+
+/// The committed fixture, resolved relative to the workspace root.
+fn fixture_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("fixtures")
+        .join("trie_format_v1.snap")
+}
+
+/// The engine configuration the fixture was generated under. Everything
+/// here feeds the config fingerprint, so changing any of it (profile,
+/// chunk size, prefix-cache settings) invalidates the fixture on purpose.
+fn fixture_engine() -> ServingEngine {
+    let config = CocktailConfig::default()
+        .with_chunk_size(16)
+        .expect("chunk size is valid");
+    ServingEngine::new(ModelProfile::tiny(), config)
+        .expect("serving config is valid")
+        .with_prefix_cache(PrefixCacheConfig::default())
+}
+
+/// The fixed request whose served context populates the fixture's trie.
+fn fixture_request() -> ServeRequest {
+    let context = "the archive hall keeps ledgers of the northern harvest \
+                   seasons with columns for grain weight barge counts and \
+                   the names of the families working each terrace plot \
+                   recorded twice yearly by the standing clerk of weights";
+    ServeRequest::builder()
+        .context(context.to_string())
+        .query("who records the ledgers ?".to_string())
+        .max_new_tokens(6)
+        .build()
+}
+
+#[test]
+fn snapshot_format_version_is_pinned() {
+    // If this assertion fails you bumped the snapshot format: regenerate
+    // the committed fixture in the same PR (see the module docs) and then
+    // update the pinned value here.
+    assert_eq!(
+        SNAPSHOT_FORMAT_VERSION, 1,
+        "snapshot format changed — regenerate tests/fixtures/ and re-pin"
+    );
+}
+
+#[test]
+fn committed_fixture_still_restores_and_serves_warm() {
+    let bytes = std::fs::read(fixture_path()).expect("the golden fixture is committed");
+
+    let mut restored = fixture_engine();
+    let report = restored.restore_from_bytes(&bytes);
+    assert!(
+        report.restored,
+        "the committed fixture no longer restores ({:?}) — the snapshot \
+         format changed without a version bump + fixture regeneration",
+        report.reason
+    );
+    assert!(report.nodes > 0);
+    assert!(report.resident_bytes > 0);
+
+    // The restored trie must actually serve: the fixture's request reuses
+    // its cached context and answers exactly what a cold engine answers.
+    let mut cold = fixture_engine();
+    cold.submit(fixture_request());
+    let cold_outcome = &cold.run_until_idle().expect("cold serve succeeds")[0];
+
+    restored.submit(fixture_request());
+    let warm_outcome = &restored.run_until_idle().expect("warm serve succeeds")[0];
+    assert!(
+        warm_outcome.stats.prefix_reused_tokens > 0,
+        "the restored trie was not reused"
+    );
+    assert_eq!(warm_outcome.outcome.answer, cold_outcome.outcome.answer);
+    assert_eq!(
+        warm_outcome.outcome.generated_tokens,
+        cold_outcome.outcome.generated_tokens
+    );
+}
+
+#[test]
+fn fixture_matches_a_fresh_snapshot_of_the_same_serve() {
+    // The generation procedure is deterministic, so a snapshot taken today
+    // must be byte-identical to the committed one. If this fails while the
+    // restore test passes, snapshot *writing* changed compatibly — decide
+    // whether that was intended, then regenerate the fixture.
+    let committed = std::fs::read(fixture_path()).expect("the golden fixture is committed");
+    let mut engine = fixture_engine();
+    engine.submit(fixture_request());
+    engine.run_until_idle().expect("fixture serve succeeds");
+    assert_eq!(
+        engine.snapshot_bytes(),
+        committed,
+        "snapshot bytes drifted from the committed fixture"
+    );
+}
+
+/// Regenerates the committed fixture. Run deliberately, never in CI:
+///
+/// ```bash
+/// cargo test --test snapshot_format -- --ignored
+/// ```
+#[test]
+#[ignore = "regenerates the committed golden fixture; run explicitly after a format change"]
+fn regenerate_golden_fixture() {
+    let mut engine = fixture_engine();
+    engine.submit(fixture_request());
+    engine.run_until_idle().expect("fixture serve succeeds");
+    let path = fixture_path();
+    std::fs::create_dir_all(path.parent().expect("fixture dir has a parent"))
+        .expect("create tests/fixtures");
+    std::fs::write(&path, engine.snapshot_bytes()).expect("write the golden fixture");
+    println!("wrote {}", path.display());
+}
