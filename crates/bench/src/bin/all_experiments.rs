@@ -22,5 +22,6 @@ fn main() {
     experiments::replica_affinity();
     experiments::kernel_scaling();
     experiments::snapshot_warm_restart();
+    experiments::chat_multiturn();
     println!("\nAll experiments complete; JSON records are under results/.");
 }

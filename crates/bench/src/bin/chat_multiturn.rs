@@ -1,0 +1,46 @@
+//! Runs the multi-turn chat experiment and *enforces* its acceptance
+//! criteria: every turn after the first must serve at least 90 % of its
+//! transcript tokens from the prefix trie, sampled conversations must
+//! replay bit-identically on a fresh engine restored from the first
+//! engine's snapshot, and greedy conversations must match the solo
+//! sequential pipeline byte for byte. Exits non-zero when any criterion
+//! fails, so CI catches chat-serving regressions.
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let report = cocktail_bench::experiments::chat_multiturn();
+    let mut ok = true;
+    if !report.reuse_ok {
+        eprintln!(
+            "FAIL: a turn >= 1 reused under 90% of its transcript from the prefix trie (min \
+             ratio {:.3})",
+            report.min_reuse_ratio
+        );
+        ok = false;
+    }
+    if !report.snapshot_restored {
+        eprintln!("FAIL: a snapshot did not restore onto the fresh engine");
+        ok = false;
+    }
+    if !report.sampled_replay_identical {
+        eprintln!(
+            "FAIL: a sampled conversation diverged when replayed on the snapshot-restored engine"
+        );
+        ok = false;
+    }
+    if !report.greedy_byte_identical {
+        eprintln!("FAIL: a greedy conversation diverged from the solo sequential pipeline");
+        ok = false;
+    }
+    if ok {
+        println!(
+            "OK: {} chat requests ({} conversations x {} turns, plain + tool-loop) served with \
+             min turn reuse ratio {:.3}, sampled replay bit-identical across a snapshot restart, \
+             greedy answers byte-identical to the solo pipeline",
+            report.requests, report.conversations, report.turns, report.min_reuse_ratio
+        );
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

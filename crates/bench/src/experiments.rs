@@ -10,7 +10,8 @@ use crate::{
 };
 use cocktail_core::{
     CocktailConfig, CocktailOutcome, CocktailPipeline, PrefixCacheConfig, PrefixCacheStats,
-    RequestId, RequestOutcome, SchedulerConfig, ServeRequest, ServingEngine, ServingStats,
+    RequestId, RequestOutcome, SamplingParams, SchedulerConfig, ServeRequest, ServingEngine,
+    ServingStats,
 };
 use cocktail_hwsim::{AcceleratorSpec, DeploymentModel, KvCacheProfile, RequestShape};
 use cocktail_model::{InferenceEngine, ModelConfig, ModelProfile};
@@ -763,6 +764,7 @@ pub fn serving_throughput_with(repetitions: usize, write: bool) -> ServingThroug
             cancel_per_mille: 0,
             stop_strings: Vec::new(),
             restart_after_requests: None,
+            chat: None,
         },
         0xC0C_7A11,
     )
@@ -993,6 +995,7 @@ pub fn ttft_prefix_reuse_with(repetitions: usize, write: bool) -> TtftPrefixReus
             cancel_per_mille: 0,
             stop_strings: Vec::new(),
             restart_after_requests: None,
+            chat: None,
         },
         0x77F7_0001,
     )
@@ -1236,6 +1239,7 @@ pub fn streaming_latency_with(repetitions: usize, write: bool) -> StreamingLaten
             cancel_per_mille: 400,
             stop_strings: Vec::new(),
             restart_after_requests: None,
+            chat: None,
         },
         0x573E_AA11,
     )
@@ -1558,6 +1562,7 @@ pub fn prefix_trie_dedup_with(write: bool) -> PrefixTrieDedupReport {
             cancel_per_mille: 0,
             stop_strings: Vec::new(),
             restart_after_requests: None,
+            chat: None,
         },
         0x7B1E_0005,
     )
@@ -1827,6 +1832,7 @@ pub fn gateway_saturation_with(repetitions: usize, write: bool) -> GatewaySatura
             cancel_per_mille: 0,
             stop_strings: Vec::new(),
             restart_after_requests: None,
+            chat: None,
         }
         .with_branching_prefix(2, 24, 8),
         0x6A7E_3A7E,
@@ -2269,6 +2275,7 @@ pub fn replica_affinity_with(repetitions: usize, write: bool) -> ReplicaAffinity
             cancel_per_mille: 0,
             stop_strings: Vec::new(),
             restart_after_requests: None,
+            chat: None,
         }
         .with_branching_prefix(groups, 24, 8)
         .with_tenant_skew(1200),
@@ -2959,6 +2966,7 @@ pub fn snapshot_warm_restart_with(repetitions: usize, write: bool) -> SnapshotWa
             cancel_per_mille: 0,
             stop_strings: Vec::new(),
             restart_after_requests: Some(3),
+            chat: None,
         },
         0x5AFE_0001,
     )
@@ -3215,9 +3223,297 @@ pub fn snapshot_warm_restart_with(repetitions: usize, write: bool) -> SnapshotWa
     report
 }
 
+// ---------------------------------------------------------------------------
+// Multi-turn chat — prefix reuse, sampled replay across restarts, greedy
+// byte-identity
+// ---------------------------------------------------------------------------
+
+/// Reuse measurement for one served chat turn.
+#[derive(Debug, Clone, Serialize)]
+pub struct ChatTurnRow {
+    /// Conversation index within its trace.
+    pub conversation: usize,
+    /// Zero-based turn within the conversation.
+    pub turn: usize,
+    /// Whether the conversation interleaves tool-result segments.
+    pub tool_loop: bool,
+    /// Tokens in this turn's transcript (the request context).
+    pub context_tokens: usize,
+    /// Prompt tokens served from the prefix trie instead of re-prefilled.
+    pub prefix_reused_tokens: usize,
+    /// `prefix_reused_tokens / context_tokens`.
+    pub reuse_ratio: f64,
+}
+
+/// Full payload of the multi-turn chat record.
+#[derive(Debug, Clone, Serialize)]
+pub struct ChatMultiturnReport {
+    /// Conversations per trace (one plain-chat trace, one tool-loop trace).
+    pub conversations: usize,
+    /// Turns per conversation.
+    pub turns: usize,
+    /// Total requests served per leg (both traces).
+    pub requests: usize,
+    /// Per-turn reuse rows (turns >= 1 only; turn 0 is a cold prefill).
+    pub turn_rows: Vec<ChatTurnRow>,
+    /// Smallest reuse ratio over every turn >= 1.
+    pub min_reuse_ratio: f64,
+    /// Every turn >= 1 reused at least 90 % of its transcript from the trie.
+    pub reuse_ok: bool,
+    /// Every snapshot restore loaded cleanly.
+    pub snapshot_restored: bool,
+    /// Sampled conversations replayed bit-identically (tokens and answers)
+    /// on a fresh engine restored from the original engine's snapshot.
+    pub sampled_replay_identical: bool,
+    /// Greedy serving answers matched the solo sequential pipeline byte for
+    /// byte, turn by turn.
+    pub greedy_byte_identical: bool,
+}
+
+/// Multi-turn chat with the default settings; record written to
+/// `results/chat_multiturn.json`.
+///
+/// # Panics
+///
+/// Panics if serving fails.
+pub fn chat_multiturn() -> ChatMultiturnReport {
+    chat_multiturn_with(true)
+}
+
+/// The serving story behind multi-turn chat: each turn's prompt is the
+/// whole prior transcript plus one new user message, so a conversation's
+/// turns should hit the prefix trie for nearly the entire prompt. Two
+/// traces run — plain chat and an agentic tool-call loop whose transcripts
+/// interleave fixed tool-result segments — and three properties are
+/// asserted per trace:
+///
+/// 1. **Prefix reuse** — every turn >= 1 serves at least 90 % of its
+///    transcript tokens from the trie (the prior turn published them).
+/// 2. **Sampled replay across restarts** — conversations decoded through
+///    per-request [`SamplingParams`] chains reproduce the exact same
+///    tokens on a fresh engine restored from the first engine's snapshot
+///    (the snapshot carries the tokenizer's interning order, so the
+///    logits — and the seeded draws over them — are bit-identical).
+/// 3. **Greedy byte-identity** — requests without sampling match a solo
+///    [`CocktailPipeline`] run of the same conversations byte for byte,
+///    exactly as the engine's continuous-batching contract promises.
+///
+/// The drill is timing-free, so every assertion also runs in the tier-1
+/// test suite.
+///
+/// # Panics
+///
+/// Panics if serving fails.
+pub fn chat_multiturn_with(write: bool) -> ChatMultiturnReport {
+    let conversations = 2;
+    let turns = 3;
+    let config = CocktailConfig::default()
+        .with_chunk_size(16)
+        .expect("chunk size is valid");
+    let profile = ModelProfile::llama2_7b_sim;
+    let traces: Vec<(bool, u64, Vec<TrafficRequest>)> = vec![
+        (false, 0xC4A7_0001, {
+            let config = TrafficConfig::small(conversations)
+                .with_chat_turns(turns, 12)
+                .with_max_new_tokens(4);
+            TrafficGenerator::new(config, 0xC4A7_0001).generate()
+        }),
+        (true, 0xC4A7_0002, {
+            let config = TrafficConfig::small(conversations)
+                .with_chat_tool_loop(turns, 8)
+                .with_max_new_tokens(4);
+            TrafficGenerator::new(config, 0xC4A7_0002).generate()
+        }),
+    ];
+
+    let fresh = || {
+        ServingEngine::new(profile(), config.clone())
+            .expect("serving config is valid")
+            .with_prefix_cache(PrefixCacheConfig::default())
+    };
+    // Submit one turn's worth of requests, drain the engine, return the
+    // outcomes. Turn t of a conversation is only submitted after turn t-1
+    // completed — the chat contract — and every leg below submits the
+    // whole trace in the same order, so each engine interns the vocabulary
+    // identically and stays byte-comparable.
+    let serve_turns = |engine: &mut ServingEngine,
+                       trace: &[TrafficRequest],
+                       sampling_seed: Option<u64>|
+     -> Vec<RequestOutcome> {
+        let mut outcomes = Vec::new();
+        for turn in 0..turns {
+            for request in trace
+                .iter()
+                .filter(|r| r.chat.expect("chat mode is on").turn == turn)
+            {
+                let mut builder = ServeRequest::builder()
+                    .context(request.task.context.clone())
+                    .query(request.task.query.clone())
+                    .max_new_tokens(request.max_new_tokens);
+                if let Some(base_seed) = sampling_seed {
+                    builder = builder.sampling(
+                        SamplingParams::for_request(base_seed, request.index as u64)
+                            .with_temperature(0.9)
+                            .with_top_k(12),
+                    );
+                }
+                engine.submit(builder.build());
+            }
+            outcomes.extend(engine.run_until_idle().expect("serving succeeds"));
+        }
+        outcomes
+    };
+
+    let mut turn_rows = Vec::new();
+    let mut requests = 0usize;
+    let mut snapshot_restored = true;
+    let mut sampled_replay_identical = true;
+    let mut greedy_byte_identical = true;
+    for (tool_loop, base_seed, trace) in &traces {
+        requests += trace.len();
+
+        // Greedy leg: turn-by-turn serving vs the solo sequential pipeline.
+        let pipeline =
+            CocktailPipeline::new(profile(), config.clone()).expect("pipeline config is valid");
+        let reference: Vec<CocktailOutcome> = trace
+            .iter()
+            .map(|r| {
+                pipeline
+                    .run(&r.task.context, &r.task.query, r.max_new_tokens)
+                    .expect("solo reference run succeeds")
+            })
+            .collect();
+        let mut greedy_engine = fresh();
+        let greedy = serve_turns(&mut greedy_engine, trace, None);
+        for (outcome, solo) in greedy.iter().zip(&reference) {
+            greedy_byte_identical &= outcome.outcome.answer == solo.answer
+                && outcome.outcome.generated_tokens == solo.generated_tokens;
+        }
+        for (outcome, request) in greedy.iter().zip(trace.iter()) {
+            let chat = request.chat.expect("chat mode is on");
+            if chat.turn == 0 {
+                continue;
+            }
+            let context_tokens = outcome.stats.context_tokens;
+            let reused = outcome.stats.prefix_reused_tokens;
+            turn_rows.push(ChatTurnRow {
+                conversation: chat.conversation,
+                turn: chat.turn,
+                tool_loop: *tool_loop,
+                context_tokens,
+                prefix_reused_tokens: reused,
+                reuse_ratio: reused as f64 / context_tokens.max(1) as f64,
+            });
+        }
+
+        // Sampled leg: serve with per-request sampler chains, snapshot the
+        // engine, restore onto a fresh one, and replay the whole trace.
+        let mut sampled_engine = fresh();
+        let first = serve_turns(&mut sampled_engine, trace, Some(*base_seed));
+        let snapshot = sampled_engine.snapshot_bytes();
+        drop(sampled_engine);
+        let mut restored_engine = fresh();
+        let restore = restored_engine.restore_from_bytes(&snapshot);
+        snapshot_restored &= restore.restored;
+        let replay = serve_turns(&mut restored_engine, trace, Some(*base_seed));
+        sampled_replay_identical &= first.len() == replay.len();
+        for (a, b) in first.iter().zip(&replay) {
+            sampled_replay_identical &= a.outcome.answer == b.outcome.answer
+                && a.outcome.generated_tokens == b.outcome.generated_tokens;
+        }
+    }
+    let min_reuse_ratio = turn_rows
+        .iter()
+        .map(|row| row.reuse_ratio)
+        .fold(f64::INFINITY, f64::min);
+    let reuse_ok = turn_rows
+        .iter()
+        .all(|row| row.prefix_reused_tokens as f64 >= 0.9 * row.context_tokens as f64);
+
+    let report = ChatMultiturnReport {
+        conversations,
+        turns,
+        requests,
+        turn_rows,
+        min_reuse_ratio,
+        reuse_ok,
+        snapshot_restored,
+        sampled_replay_identical,
+        greedy_byte_identical,
+    };
+    let table: Vec<Vec<String>> = report
+        .turn_rows
+        .iter()
+        .map(|row| {
+            vec![
+                if row.tool_loop { "tool-loop" } else { "chat" }.to_string(),
+                row.conversation.to_string(),
+                row.turn.to_string(),
+                row.context_tokens.to_string(),
+                row.prefix_reused_tokens.to_string(),
+                format!("{:.3}", row.reuse_ratio),
+            ]
+        })
+        .collect();
+    print_table(
+        "Multi-turn chat (Llama2-7B sim, 2 conversations x 3 turns, plain + tool-loop)",
+        &[
+            "Trace",
+            "Conversation",
+            "Turn",
+            "Context tokens",
+            "Reused tokens",
+            "Reuse ratio",
+        ],
+        &table,
+    );
+    println!(
+        "min reuse ratio {:.3}, sampled replay identical: {}, greedy byte-identical: {}",
+        report.min_reuse_ratio, report.sampled_replay_identical, report.greedy_byte_identical
+    );
+    if write {
+        let record = ExperimentRecord {
+            id: "chat_multiturn".to_string(),
+            title: "Multi-turn chat: prefix reuse, sampled replay across restarts, greedy \
+                    identity"
+                .to_string(),
+            note: "2 conversations x 3 turns per trace (plain chat and agentic tool-call loop) \
+                   on the Llama2-7B sim profile; every turn >= 1 must reuse >= 90 % of its \
+                   transcript from the prefix trie, sampled conversations must replay \
+                   bit-identically on a snapshot-restored engine, and greedy requests must \
+                   match the solo sequential pipeline byte for byte"
+                .to_string(),
+            rows: &report,
+        };
+        let path = write_record(&record);
+        println!("(written to {})", path.display());
+    }
+    report
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn chat_multiturn_holds_its_invariants() {
+        let report = chat_multiturn_with(false);
+        assert_eq!(report.requests, 2 * report.conversations * report.turns);
+        // One row per turn >= 1 per conversation per trace.
+        assert_eq!(
+            report.turn_rows.len(),
+            2 * report.conversations * (report.turns - 1)
+        );
+        assert!(
+            report.reuse_ok,
+            "a turn reused under 90% of its transcript (min ratio {:.3})",
+            report.min_reuse_ratio
+        );
+        assert!(report.min_reuse_ratio >= 0.9);
+        assert!(report.snapshot_restored);
+        assert!(report.sampled_replay_identical);
+        assert!(report.greedy_byte_identical);
+    }
 
     #[test]
     fn snapshot_warm_restart_holds_its_invariants() {

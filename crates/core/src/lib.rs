@@ -104,6 +104,10 @@ pub use serving::{
     ServingEngine, ServingStats, SnapshotReport, TokenEvent,
 };
 
+// Sampling types re-exported from the model crate, so serving users can
+// attach a sampler chain without depending on `cocktail_model` directly.
+pub use cocktail_model::{SamplerChain, SamplingParams};
+
 // Snapshot-format types re-exported from the KV substrate, so serving
 // users can speak the wire format without depending on `cocktail_kvcache`
 // directly.

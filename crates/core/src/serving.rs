@@ -50,7 +50,8 @@ use cocktail_kvcache::{
     PrefixKvBlock, SharedPrefixKv, TrieSnapshot,
 };
 use cocktail_model::{
-    BatchPrefill, DecodeSlot, DecodeStep, InferenceEngine, ModelProfile, PrefillSlot,
+    BatchPrefill, DecodeSlot, DecodeStep, InferenceEngine, ModelProfile, PrefillSlot, SamplerChain,
+    SamplingParams,
 };
 use cocktail_retrieval::chunking;
 use cocktail_tensor::Matrix;
@@ -90,6 +91,7 @@ pub struct ServeRequest {
     policy: Option<Box<dyn CachePolicy>>,
     stop_sequences: Vec<String>,
     prefix_reuse: bool,
+    sampling: Option<SamplingParams>,
 }
 
 impl ServeRequest {
@@ -107,6 +109,7 @@ impl ServeRequest {
             policy: None,
             stop_sequences: Vec::new(),
             prefix_reuse: true,
+            sampling: None,
         }
     }
 
@@ -154,6 +157,7 @@ impl fmt::Debug for ServeRequest {
             )
             .field("stop_sequences", &self.stop_sequences)
             .field("prefix_reuse", &self.prefix_reuse)
+            .field("sampling", &self.sampling)
             .finish()
     }
 }
@@ -162,12 +166,12 @@ impl fmt::Debug for ServeRequest {
 /// used to live in scattered `with_*` constructors.
 ///
 /// Defaults: engine-default (Cocktail) cache policy, no stop sequences,
-/// prefix reuse enabled.
+/// prefix reuse enabled, greedy decode (no sampling).
 ///
 /// # Example
 ///
 /// ```
-/// use cocktail_core::{CocktailConfig, ServeRequest, ServingEngine};
+/// use cocktail_core::{CocktailConfig, SamplingParams, ServeRequest, ServingEngine};
 /// use cocktail_model::ModelProfile;
 ///
 /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -190,6 +194,22 @@ impl fmt::Debug for ServeRequest {
 ///     assert!(outcome.outcome.answer.ends_with("osprey"));
 ///     assert!(outcome.outcome.generated_tokens.len() < 8);
 /// }
+///
+/// // Sampled decode: attach SamplingParams. Identical seeds replay
+/// // bit-identically, on this engine or any other with the same config.
+/// let sampled = || {
+///     ServeRequest::builder()
+///         .context(context)
+///         .query("what is the night ferry code?")
+///         .max_new_tokens(8)
+///         .sampling(SamplingParams::seeded(7).with_temperature(0.8).with_top_k(16))
+///         .build()
+/// };
+/// engine.submit(sampled());
+/// let first = engine.run_until_idle()?.pop().expect("sampled request");
+/// engine.submit(sampled());
+/// let replay = engine.run_until_idle()?.pop().expect("sampled replay");
+/// assert_eq!(first.outcome.answer, replay.outcome.answer);
 /// # Ok(())
 /// # }
 /// ```
@@ -200,6 +220,7 @@ pub struct ServeRequestBuilder {
     policy: Option<Box<dyn CachePolicy>>,
     stop_sequences: Vec<String>,
     prefix_reuse: bool,
+    sampling: Option<SamplingParams>,
 }
 
 impl Default for ServeRequestBuilder {
@@ -211,6 +232,7 @@ impl Default for ServeRequestBuilder {
             policy: None,
             stop_sequences: Vec::new(),
             prefix_reuse: true,
+            sampling: None,
         }
     }
 }
@@ -227,6 +249,7 @@ impl fmt::Debug for ServeRequestBuilder {
             )
             .field("stop_sequences", &self.stop_sequences)
             .field("prefix_reuse", &self.prefix_reuse)
+            .field("sampling", &self.sampling)
             .finish()
     }
 }
@@ -281,6 +304,18 @@ impl ServeRequestBuilder {
         self
     }
 
+    /// Decodes with the given sampling chain instead of greedy argmax.
+    /// The chain's seeded ChaCha stream is private to this request, so a
+    /// resubmission with identical params (including
+    /// [`SamplingParams::seed`]) replays bit-identically regardless of
+    /// batch composition, replica placement or engine restarts. Passing a
+    /// greedy-temperature chain (`temperature == 0.0`) is byte-identical
+    /// to omitting sampling entirely.
+    pub fn sampling(mut self, params: SamplingParams) -> Self {
+        self.sampling = Some(params);
+        self
+    }
+
     /// Finalizes the request.
     pub fn build(self) -> ServeRequest {
         ServeRequest {
@@ -290,6 +325,7 @@ impl ServeRequestBuilder {
             policy: self.policy,
             stop_sequences: self.stop_sequences,
             prefix_reuse: self.prefix_reuse,
+            sampling: self.sampling,
         }
     }
 }
@@ -451,6 +487,11 @@ pub(crate) struct RequestTask {
     /// `streamed`.
     stop_sequences: Vec<String>,
     next_token: u32,
+    /// The per-request sampling chain, when the request asked for one.
+    /// `None` decodes greedily (the engine's argmax). The chain's ChaCha
+    /// stream is seeded from the request's own [`SamplingParams::seed`],
+    /// never from engine state, so replays are placement-independent.
+    sampler: Option<SamplerChain>,
     /// The lease of the prefix-cache hit this request resumed from, held
     /// for the task's lifetime: it pins every trie node along the matched
     /// path, so LRU eviction prefers nodes no in-flight request is using.
@@ -533,6 +574,7 @@ impl RequestTask {
             policy,
             max_new_tokens,
             Vec::new(),
+            None,
             &encoded,
             None,
             &prefill,
@@ -557,6 +599,7 @@ impl RequestTask {
         policy: &dyn CachePolicy,
         max_new_tokens: usize,
         stop_sequences: Vec<String>,
+        sampling: Option<SamplingParams>,
         encoded: &EncodedPrompt,
         prefix: Option<&PrefixHit>,
         prefill: &BatchPrefill,
@@ -591,6 +634,14 @@ impl RequestTask {
             None
         };
 
+        // The sampler sees the same logits the greedy path argmaxes over;
+        // it replaces the *selection* only, so attaching a chain perturbs
+        // no logits arithmetic and the greedy path stays byte-identical.
+        let mut sampler = sampling.map(SamplerChain::new);
+        let first_token = match sampler.as_mut() {
+            Some(chain) => chain.sample(&prefill.last_logits, &[]),
+            None => prefill.next_token(),
+        };
         let task = Self {
             prompt_len: encoded.prompt.len(),
             context_tokens: encoded.context_tokens.len(),
@@ -604,7 +655,8 @@ impl RequestTask {
                 .into_iter()
                 .filter(|s| !s.is_empty())
                 .collect(),
-            next_token: prefill.next_token(),
+            next_token: first_token,
+            sampler,
             prefix: prefix.map(PrefixHit::lease),
             report,
             plan,
@@ -681,9 +733,14 @@ impl RequestTask {
         }
     }
 
-    /// Stores the decode result of this round.
+    /// Stores the decode result of this round: the engine's greedy pick,
+    /// or — when the request carries a sampler — a fresh draw over the
+    /// same logits, with the tokens generated so far as penalty history.
     fn finish_round(&mut self, step: DecodeStep) {
-        self.next_token = step.next_token;
+        self.next_token = match self.sampler.as_mut() {
+            Some(chain) => chain.sample(&step.logits, &self.generated),
+            None => step.next_token,
+        };
     }
 
     /// Drops the shared-prefix pin (if any); returns whether one was held.
@@ -897,6 +954,7 @@ struct PrepCandidate {
     max_new_tokens: usize,
     stop_sequences: Vec<String>,
     prefix_reuse: bool,
+    sampling: Option<SamplingParams>,
     encoded: EncodedPrompt,
     prefix: Option<PrefixHit>,
 }
@@ -1540,6 +1598,7 @@ impl ServingEngine {
                     max_new_tokens: request.max_new_tokens,
                     stop_sequences: request.stop_sequences,
                     prefix_reuse: request.prefix_reuse,
+                    sampling: request.sampling,
                     encoded,
                     prefix: None,
                 }),
@@ -1680,6 +1739,7 @@ impl ServingEngine {
                 cand.policy.as_ref(),
                 cand.max_new_tokens,
                 cand.stop_sequences,
+                cand.sampling,
                 &cand.encoded,
                 cand.prefix.as_ref(),
                 &output,
@@ -2766,6 +2826,129 @@ mod tests {
                         "survivor diverged from its solo sequential run"
                     );
                     prop_assert_eq!(&outcome.outcome.generated_tokens, &solo[i].generated_tokens);
+                }
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(6))]
+
+        /// Random mixes of sampled and greedy requests with random
+        /// mid-flight cancellations: greedy requests stay byte-identical
+        /// to their solo sequential pipeline runs, sampled requests
+        /// replay identically given the same seed even though the
+        /// cancellations give the two runs different batch compositions,
+        /// and the KV budget holds every step.
+        #[test]
+        fn sampled_and_greedy_mixes_stay_deterministic_under_cancellation(
+            sampled_mask in 1u32..15,
+            base_seed in 0u64..500,
+            cancel_seed in 0u64..500,
+            cancel_count in 1usize..3,
+        ) {
+            let requests = shared_prefix_contexts(4);
+            let max_new = 6usize;
+            let build = |i: usize, (ctx, q): &(String, String)| {
+                let mut builder = ServeRequest::builder()
+                    .context(ctx.clone())
+                    .query(q.clone())
+                    .max_new_tokens(max_new);
+                if sampled_mask & (1 << i) != 0 {
+                    builder = builder.sampling(
+                        SamplingParams::for_request(base_seed, i as u64)
+                            .with_temperature(0.9)
+                            .with_top_k(12),
+                    );
+                }
+                builder.build()
+            };
+
+            // Solo greedy references, interned in submission order (the
+            // batched engines below encode the same word sequence).
+            let pipeline = CocktailPipeline::new(ModelProfile::tiny(), config()).unwrap();
+            let solo: Vec<CocktailOutcome> = requests
+                .iter()
+                .map(|(ctx, q)| pipeline.run(ctx, q, max_new).unwrap())
+                .collect();
+
+            // A budget generous enough to admit everything in the first
+            // step (so every prompt is encoded before any cancellation
+            // fires), still asserted every step below.
+            let tail = (max_new - 1) * pipeline.engine().config().kv_bytes_per_token_fp16();
+            let budget: usize = solo.iter().map(|o| o.cache_bytes + tail).sum();
+
+            let run = |with_cancels: bool| -> (Vec<RequestId>, Vec<RequestId>, ServingEngine) {
+                let mut engine = ServingEngine::new(ModelProfile::tiny(), config())
+                    .unwrap()
+                    .with_scheduler_config(SchedulerConfig::default().with_budget(budget))
+                    .with_prefix_cache(PrefixCacheConfig::default().with_min_prefix_tokens(4));
+                let ids: Vec<RequestId> = requests
+                    .iter()
+                    .enumerate()
+                    .map(|(i, r)| engine.submit(build(i, r)))
+                    .collect();
+                // Cancellations start at step 1, after the first admission
+                // sweep has encoded every prompt.
+                let schedule: Vec<(usize, RequestId)> = (0..cancel_count)
+                    .map(|i| {
+                        let mix = cancel_seed
+                            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                            .wrapping_add(i as u64);
+                        ((mix % 5) as usize + 1, ids[(mix >> 8) as usize % ids.len()])
+                    })
+                    .collect();
+                let mut cancelled: Vec<RequestId> = Vec::new();
+                let mut guard = 0;
+                while !engine.is_idle() {
+                    guard += 1;
+                    assert!(guard < 10_000, "serving failed to quiesce");
+                    let step = engine.clock();
+                    if with_cancels {
+                        for (at, id) in &schedule {
+                            if *at <= step && !cancelled.contains(id) && engine.cancel(*id) {
+                                cancelled.push(*id);
+                            }
+                        }
+                    }
+                    engine.step_events().unwrap();
+                    assert!(
+                        engine.kv_bytes_in_use() <= budget,
+                        "budget invariant violated: {} > {budget}",
+                        engine.kv_bytes_in_use()
+                    );
+                }
+                (ids, cancelled, engine)
+            };
+
+            let (ids, cancelled, mut engine) = run(true);
+            let (replay_ids, _, mut replay) = run(false);
+
+            for (i, id) in ids.iter().enumerate() {
+                if cancelled.contains(id) {
+                    continue;
+                }
+                let outcome = engine.take_outcome(*id).expect("survivor completed");
+                let rerun = replay
+                    .take_outcome(replay_ids[i])
+                    .expect("replay completed");
+                if sampled_mask & (1 << i) != 0 {
+                    // A sampled request replays bit-identically from its
+                    // seed, no matter which batchmates got cancelled.
+                    prop_assert_eq!(
+                        &outcome.outcome.generated_tokens, &rerun.outcome.generated_tokens,
+                        "sampled request drew different tokens on replay"
+                    );
+                    prop_assert_eq!(&outcome.outcome.answer, &rerun.outcome.answer);
+                } else {
+                    // A greedy request is byte-identical to its solo
+                    // sequential pipeline run and to its replay.
+                    prop_assert_eq!(
+                        &outcome.outcome.answer, &solo[i].answer,
+                        "greedy request diverged from its solo run"
+                    );
+                    prop_assert_eq!(&outcome.outcome.generated_tokens, &solo[i].generated_tokens);
+                    prop_assert_eq!(&outcome.outcome.answer, &rerun.outcome.answer);
                 }
             }
         }

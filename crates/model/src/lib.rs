@@ -39,6 +39,7 @@ mod engine;
 mod error;
 mod pool;
 mod profile;
+pub mod sample;
 mod tokenizer;
 mod weights;
 
@@ -49,5 +50,6 @@ pub use engine::{
 pub use error::ModelError;
 pub use pool::WorkerPool;
 pub use profile::ModelProfile;
+pub use sample::{SamplerChain, SamplingParams};
 pub use tokenizer::{Tokenizer, BOS_TOKEN, UNK_TOKEN};
 pub use weights::{LayerWeights, ModelWeights};

@@ -1,0 +1,331 @@
+//! Conformance suite for the sampler chain: golden vectors pin every
+//! deterministic stage against hand-computed distributions, and property
+//! tests pin the chain's structural guarantees — draws land in the
+//! filtered support, temperature zero degenerates to argmax, `top_k = 1`
+//! is greedy, and the same seed replays the same tokens no matter how the
+//! surrounding batch is shaped or which thread runs the chain.
+
+use cocktail_model::sample::{
+    apply_penalties, apply_temperature, argmax, filtered_distribution, softmax, sort_candidates,
+    top_p_filter,
+};
+use cocktail_model::{SamplerChain, SamplingParams};
+use proptest::prelude::*;
+
+/// Comparison tolerance for the hand-computed vectors: the golden logits
+/// are `f32` logarithms, so the exponentiated ratios carry ~1e-7 of
+/// single-precision rounding.
+fn close(a: f64, b: f64) -> bool {
+    (a - b).abs() < 1e-5
+}
+
+// ---------------------------------------------------------------------------
+// Golden vectors, one stage at a time
+// ---------------------------------------------------------------------------
+
+#[test]
+fn golden_softmax_matches_hand_computed_ratios() {
+    // logits [ln 1, ln 2, ln 5] => probabilities exactly [1/8, 2/8, 5/8].
+    let logits = [0.0_f32, 2.0_f32.ln(), 5.0_f32.ln()];
+    let probs = softmax(&logits);
+    assert!(close(probs[0], 1.0 / 8.0));
+    assert!(close(probs[1], 2.0 / 8.0));
+    assert!(close(probs[2], 5.0 / 8.0));
+}
+
+#[test]
+fn golden_temperature_halves_and_doubles_the_logit_scale() {
+    // Dividing [ln 4, 0] by temperature 2 gives [ln 2, 0]: the 4:1 odds
+    // soften to exactly 2:1.
+    let mut logits = [4.0_f32.ln(), 0.0];
+    apply_temperature(&mut logits, 2.0);
+    let probs = softmax(&logits);
+    assert!(close(probs[0] / probs[1], 2.0));
+    // Temperature 0.5 sharpens the original 4:1 odds to 16:1.
+    let mut logits = [4.0_f32.ln(), 0.0];
+    apply_temperature(&mut logits, 0.5);
+    let probs = softmax(&logits);
+    assert!(close(probs[0] / probs[1], 16.0));
+    // Temperature 1.0 is exactly a no-op (bit-identical logits).
+    let mut logits = [1.25_f32, -3.5, 0.0];
+    apply_temperature(&mut logits, 1.0);
+    assert_eq!(logits, [1.25, -3.5, 0.0]);
+}
+
+#[test]
+fn golden_repetition_penalty_divides_positive_and_multiplies_negative() {
+    // CTRL-style: +2 becomes +1 under penalty 2, -1 becomes -2.
+    let mut logits = [2.0_f32, -1.0, 0.5];
+    apply_penalties(&mut logits, &[0, 1], 2.0, 0.0);
+    assert_eq!(logits, [1.0, -2.0, 0.5]);
+}
+
+#[test]
+fn golden_presence_penalty_subtracts_a_flat_amount_once() {
+    // Token 0 appears three times in the history but is penalised once:
+    // the presence penalty is about *whether* a token appeared, not how
+    // often, and the repetition division must not compound either.
+    let mut logits = [2.0_f32, 1.0];
+    apply_penalties(&mut logits, &[0, 0, 0], 2.0, 0.25);
+    assert_eq!(logits, [2.0 / 2.0 - 0.25, 1.0]);
+}
+
+#[test]
+fn golden_penalties_ignore_tokens_beyond_the_horizon() {
+    // A history token beyond the logits row (a later vocab-horizon draw)
+    // must not index out of bounds or disturb anything.
+    let mut logits = [1.0_f32, 2.0];
+    apply_penalties(&mut logits, &[7], 2.0, 0.5);
+    assert_eq!(logits, [1.0, 2.0]);
+}
+
+#[test]
+fn golden_draw_order_sorts_by_logit_then_token_id() {
+    let mut candidates = vec![(0u32, 1.0f32), (1, 3.0), (2, 3.0), (3, -1.0)];
+    sort_candidates(&mut candidates);
+    let order: Vec<u32> = candidates.iter().map(|&(t, _)| t).collect();
+    // Ties (tokens 1 and 2 at logit 3.0) break by ascending id.
+    assert_eq!(order, vec![1, 2, 0, 3]);
+}
+
+#[test]
+fn golden_top_k_keeps_the_k_highest_logits() {
+    // logits [ln 1, ln 2, ln 5, ln 8]: top-2 keeps tokens 3 and 2 and
+    // renormalises to 8/13 and 5/13.
+    let logits = [0.0_f32, 2.0_f32.ln(), 5.0_f32.ln(), 8.0_f32.ln()];
+    let params = SamplingParams::seeded(0).with_top_k(2);
+    let support = filtered_distribution(&logits, &params, &[]);
+    assert_eq!(support.len(), 2);
+    assert_eq!(support[0].0, 3);
+    assert_eq!(support[1].0, 2);
+    assert!(close(support[0].1, 8.0 / 13.0));
+    assert!(close(support[1].1, 5.0 / 13.0));
+}
+
+#[test]
+fn golden_top_p_keeps_the_smallest_covering_prefix() {
+    // Sorted probabilities [0.5, 0.3, 0.2]: p = 0.7 keeps the first two
+    // (0.5 alone misses 0.7, 0.8 covers it) renormalised to 5/8 and 3/8.
+    let mut probs = vec![(2u32, 0.5f64), (0, 0.3), (1, 0.2)];
+    top_p_filter(&mut probs, 0.7);
+    assert_eq!(probs.len(), 2);
+    assert_eq!(probs[0].0, 2);
+    assert_eq!(probs[1].0, 0);
+    assert!(close(probs[0].1, 0.5 / 0.8));
+    assert!(close(probs[1].1, 0.3 / 0.8));
+    // p = 1.0 keeps everything; the filter never empties the support.
+    let mut all = vec![(0u32, 0.6f64), (1, 0.4)];
+    top_p_filter(&mut all, 1.0);
+    assert_eq!(all.len(), 2);
+    let mut tiny = vec![(5u32, 1.0f64)];
+    top_p_filter(&mut tiny, 0.01);
+    assert_eq!(tiny, vec![(5, 1.0)]);
+}
+
+#[test]
+fn golden_full_chain_composes_the_stages_in_order() {
+    // Penalties first (token 3's ln 8 halves to ln 8 / 2 ~ 1.0397, pushing
+    // it below token 2's ln 5), then temperature, then top-k, then top-p.
+    let logits = [0.0_f32, 2.0_f32.ln(), 5.0_f32.ln(), 8.0_f32.ln()];
+    let params = SamplingParams::seeded(0)
+        .with_repetition_penalty(2.0)
+        .with_top_k(2)
+        .with_top_p(0.99);
+    let support = filtered_distribution(&logits, &params, &[3]);
+    // Draw order is token 2 (ln 5 ~ 1.609) then token 3 (ln 8 / 2).
+    assert_eq!(support[0].0, 2);
+    assert_eq!(support[1].0, 3);
+    let e2 = 5.0f64;
+    let e3 = f64::from(8.0_f32.ln() / 2.0).exp();
+    assert!(close(support[0].1, e2 / (e2 + e3)));
+    assert!(close(support[1].1, e3 / (e2 + e3)));
+}
+
+#[test]
+fn golden_identity_chain_is_the_plain_softmax() {
+    let logits = [0.0_f32, 2.0_f32.ln(), 5.0_f32.ln()];
+    let support = filtered_distribution(&logits, &SamplingParams::seeded(9), &[]);
+    // Draw order: highest probability first.
+    assert_eq!(
+        support.iter().map(|&(t, _)| t).collect::<Vec<_>>(),
+        [2, 1, 0]
+    );
+    assert!(close(support[0].1, 5.0 / 8.0));
+    assert!(close(support[1].1, 2.0 / 8.0));
+    assert!(close(support[2].1, 1.0 / 8.0));
+}
+
+// ---------------------------------------------------------------------------
+// Property tests
+// ---------------------------------------------------------------------------
+
+/// Builds valid [`SamplingParams`] from plain drawn numbers: `top_k_raw`
+/// and `top_p_raw` at zero mean "absent" (the shimmed proptest has no
+/// `option::of`, so optionality is encoded in the range).
+fn params_from(
+    seed: u64,
+    temperature: f32,
+    top_k_raw: usize,
+    top_p_raw: f32,
+    repetition_penalty: f32,
+    presence_penalty: f32,
+) -> SamplingParams {
+    let mut params = SamplingParams::seeded(seed)
+        .with_temperature(temperature)
+        .with_repetition_penalty(repetition_penalty)
+        .with_presence_penalty(presence_penalty);
+    if top_k_raw > 0 {
+        params = params.with_top_k(top_k_raw);
+    }
+    if top_p_raw > 0.0 {
+        params = params.with_top_p(top_p_raw.clamp(0.05, 1.0));
+    }
+    params
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every draw is a member of the filtered support — never a truncated
+    /// token, never out of the vocab horizon — and the filtered support
+    /// itself is a valid distribution.
+    #[test]
+    fn draws_stay_inside_the_filtered_support(
+        logits in proptest::collection::vec(-8.0f32..8.0, 1..24),
+        seed in 0u64..u64::MAX,
+        temperature in 0.05f32..3.0,
+        top_k_raw in 0usize..16,
+        top_p_raw in 0.0f32..1.0,
+        rp in 0.5f32..3.0,
+        pp in 0.0f32..2.0,
+        history in proptest::collection::vec(0u32..24, 0..8),
+    ) {
+        let params = params_from(seed, temperature, top_k_raw, top_p_raw, rp, pp);
+        prop_assert!(params.validate().is_ok());
+        let support = filtered_distribution(&logits, &params, &history);
+        prop_assert!(!support.is_empty());
+        let total: f64 = support.iter().map(|&(_, p)| p).sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+        if let Some(k) = params.top_k {
+            prop_assert!(support.len() <= k);
+        }
+        let mut chain = SamplerChain::new(params);
+        for _ in 0..8 {
+            let token = chain.sample(&logits, &history);
+            prop_assert!((token as usize) < logits.len());
+            prop_assert!(
+                support.iter().any(|&(t, _)| t == token),
+                "draw {} outside the filtered support",
+                token
+            );
+        }
+    }
+
+    /// Temperature zero is exactly greedy argmax (over penalised logits),
+    /// for any seed — the RNG never gets a say.
+    #[test]
+    fn temperature_zero_is_argmax(
+        logits in proptest::collection::vec(-8.0f32..8.0, 1..24),
+        seed in 0u64..u64::MAX,
+        history in proptest::collection::vec(0u32..24, 0..8),
+    ) {
+        let params = SamplingParams::seeded(seed).with_temperature(0.0);
+        prop_assert!(params.is_greedy());
+        let mut chain = SamplerChain::new(params);
+        for _ in 0..4 {
+            prop_assert_eq!(chain.sample(&logits, &history), argmax(&logits));
+        }
+    }
+
+    /// `top_k = 1` collapses the support to the argmax token, so the draw
+    /// equals greedy decode regardless of seed or temperature.
+    #[test]
+    fn top_k_one_is_greedy(
+        logits in proptest::collection::vec(-8.0f32..8.0, 1..24),
+        seed in 0u64..u64::MAX,
+        temperature in 0.05f32..3.0,
+    ) {
+        let params = SamplingParams::seeded(seed)
+            .with_temperature(temperature)
+            .with_top_k(1);
+        let support = filtered_distribution(&logits, &params, &[]);
+        prop_assert_eq!(support.len(), 1);
+        let mut chain = SamplerChain::new(params);
+        prop_assert_eq!(chain.sample(&logits, &[]), argmax(&logits));
+    }
+
+    /// The same seed draws the same token stream no matter how many other
+    /// chains run around it — the in-process analogue of batch
+    /// invariance. One chain runs alone; its twin runs interleaved with a
+    /// crowd of differently-seeded chains sharing the loop.
+    #[test]
+    fn identical_seeds_draw_identically_across_batch_shapes(
+        logits in proptest::collection::vec(-8.0f32..8.0, 1..24),
+        seed in 0u64..u64::MAX,
+        temperature in 0.05f32..3.0,
+        top_k_raw in 0usize..16,
+        top_p_raw in 0.0f32..1.0,
+        crowd in 1usize..6,
+    ) {
+        let params = params_from(seed, temperature, top_k_raw, top_p_raw, 1.3, 0.2);
+        let mut solo = SamplerChain::new(params.clone());
+        let mut batched = SamplerChain::new(params.clone());
+        let mut bystanders: Vec<SamplerChain> = (0..crowd)
+            .map(|i| {
+                SamplerChain::new(
+                    params.clone().with_seed(params.seed.wrapping_add(1 + i as u64)),
+                )
+            })
+            .collect();
+        let mut history = Vec::new();
+        for _ in 0..12 {
+            let expected = solo.sample(&logits, &history);
+            // The bystanders interleave their own draws; private streams
+            // mean they cannot perturb the twin.
+            for bystander in bystanders.iter_mut() {
+                bystander.sample(&logits, &history);
+            }
+            let got = batched.sample(&logits, &history);
+            prop_assert_eq!(expected, got);
+            history.push(expected);
+        }
+    }
+
+    /// The same seed draws the same token stream on any thread: chains
+    /// hold no global state, so a multi-threaded decode loop replays a
+    /// single-threaded one exactly.
+    #[test]
+    fn identical_seeds_draw_identically_across_threads(
+        logits in proptest::collection::vec(-8.0f32..8.0, 1..24),
+        seed in 0u64..u64::MAX,
+        temperature in 0.05f32..3.0,
+        top_k_raw in 0usize..16,
+        top_p_raw in 0.0f32..1.0,
+        threads in 2usize..5,
+    ) {
+        let params = params_from(seed, temperature, top_k_raw, top_p_raw, 1.3, 0.2);
+        let mut reference = SamplerChain::new(params.clone());
+        let mut history = Vec::new();
+        for _ in 0..8 {
+            history.push(reference.sample(&logits, &history));
+        }
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let logits = logits.clone();
+                let params = params.clone();
+                std::thread::spawn(move || {
+                    let mut chain = SamplerChain::new(params);
+                    let mut drawn = Vec::new();
+                    for _ in 0..8 {
+                        drawn.push(chain.sample(&logits, &drawn));
+                    }
+                    drawn
+                })
+            })
+            .collect();
+        for handle in handles {
+            let drawn = handle.join().expect("sampler thread panicked");
+            prop_assert_eq!(&drawn, &history);
+        }
+    }
+}

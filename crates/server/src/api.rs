@@ -6,10 +6,17 @@
 //! `#[derive(Deserialize)]` is a no-op, so parsing is explicit — which
 //! also makes the validation-to-400 mapping obvious).
 
+use cocktail_core::SamplingParams;
 use serde::Serialize;
 use serde_json::Value;
 
 /// A `/api/v1/generate` request body.
+///
+/// The sampling fields (`temperature` … `seed`) are optional post-v1
+/// additions: bodies that omit all of them decode greedily, exactly as
+/// before, so old clients keep their byte-identical answers. Any present
+/// sampling field switches the request to the seeded sampler chain, with
+/// defaults for the rest (see [`GenerateRequest::sampling_params`]).
 #[derive(Debug, Clone, Serialize)]
 pub struct GenerateRequest {
     /// The document/context to condition on.
@@ -23,6 +30,23 @@ pub struct GenerateRequest {
     /// Optional stop sequence: generation ends early once the streamed
     /// answer contains it.
     pub stop: Option<String>,
+    /// Softmax temperature; `0` is greedy. Absent defaults to `1.0` once
+    /// any other sampling field is present.
+    pub temperature: Option<f32>,
+    /// Keep only the `k` highest-logit tokens before the draw.
+    pub top_k: Option<usize>,
+    /// Nucleus truncation: keep the smallest prefix of the sorted
+    /// distribution with cumulative probability `>= top_p`.
+    pub top_p: Option<f32>,
+    /// CTRL-style repetition penalty over this request's generated
+    /// tokens; `1.0` disables.
+    pub repetition_penalty: Option<f32>,
+    /// Flat logit subtraction for tokens already generated; `0.0`
+    /// disables.
+    pub presence_penalty: Option<f32>,
+    /// Seed of the per-request draw stream. Resubmitting the same body
+    /// (same seed included) replays the sampled answer bit-identically.
+    pub seed: Option<u64>,
 }
 
 /// Hard cap on `max_new_tokens`; larger asks are rejected with a 400
@@ -42,6 +66,12 @@ impl GenerateRequest {
             max_new_tokens,
             stream: false,
             stop: None,
+            temperature: None,
+            top_k: None,
+            top_p: None,
+            repetition_penalty: None,
+            presence_penalty: None,
+            seed: None,
         }
     }
 
@@ -55,6 +85,57 @@ impl GenerateRequest {
     pub fn with_stop(mut self, stop: impl Into<String>) -> Self {
         self.stop = Some(stop.into());
         self
+    }
+
+    /// Copies a [`SamplingParams`] into the wire fields, switching the
+    /// request to seeded sampled decode.
+    pub fn with_sampling(mut self, params: &SamplingParams) -> Self {
+        self.temperature = Some(params.temperature);
+        self.top_k = params.top_k;
+        self.top_p = params.top_p;
+        self.repetition_penalty = Some(params.repetition_penalty);
+        self.presence_penalty = Some(params.presence_penalty);
+        self.seed = Some(params.seed);
+        self
+    }
+
+    /// Assembles the request's sampling configuration: `None` when every
+    /// sampling field is absent (greedy decode), otherwise a validated
+    /// [`SamplingParams`] with defaults for the omitted fields
+    /// (temperature 1, no truncation, no penalties, seed 0).
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`SamplingParams::validate`] message when a present
+    /// field is out of range (the gateway answers 400 with it).
+    pub fn sampling_params(&self) -> Result<Option<SamplingParams>, String> {
+        let any = self.temperature.is_some()
+            || self.top_k.is_some()
+            || self.top_p.is_some()
+            || self.repetition_penalty.is_some()
+            || self.presence_penalty.is_some()
+            || self.seed.is_some();
+        if !any {
+            return Ok(None);
+        }
+        let mut params = SamplingParams::seeded(self.seed.unwrap_or(0));
+        if let Some(t) = self.temperature {
+            params = params.with_temperature(t);
+        }
+        if let Some(k) = self.top_k {
+            params = params.with_top_k(k);
+        }
+        if let Some(p) = self.top_p {
+            params = params.with_top_p(p);
+        }
+        if let Some(r) = self.repetition_penalty {
+            params = params.with_repetition_penalty(r);
+        }
+        if let Some(p) = self.presence_penalty {
+            params = params.with_presence_penalty(p);
+        }
+        params.validate()?;
+        Ok(Some(params))
     }
 
     /// Serializes the request body.
@@ -95,13 +176,24 @@ impl GenerateRequest {
             Some(Value::String(s)) => Some(s.clone()),
             Some(_) => return Err("field \"stop\" must be a string".to_string()),
         };
-        Ok(Self {
+        let request = Self {
             context,
             query,
             max_new_tokens,
             stream,
             stop,
-        })
+            temperature: optional_f32(fields, "temperature")?,
+            top_k: optional_field_usize(fields, "top_k")?,
+            top_p: optional_f32(fields, "top_p")?,
+            repetition_penalty: optional_f32(fields, "repetition_penalty")?,
+            presence_penalty: optional_f32(fields, "presence_penalty")?,
+            seed: optional_u64(fields, "seed")?,
+        };
+        // Out-of-range sampling values (negative temperature, top_p > 1,
+        // …) are a parse failure too, so the gateway rejects them with
+        // 400 before the request touches the engine.
+        request.sampling_params()?;
+        Ok(request)
     }
 }
 
@@ -664,6 +756,35 @@ fn optional_usize(fields: &[(String, Value)], name: &str) -> Result<usize, Strin
     }
 }
 
+/// An optional numeric field that stays `None` when absent (post-v1
+/// sampling fields, where absence means "greedy", not "zero").
+fn optional_field_usize(fields: &[(String, Value)], name: &str) -> Result<Option<usize>, String> {
+    match field(fields, name) {
+        None | Some(Value::Null) => Ok(None),
+        _ => require_usize(fields, name).map(Some),
+    }
+}
+
+/// An optional float field; integers are accepted too (`"temperature": 1`
+/// is valid JSON for `1.0`).
+fn optional_f32(fields: &[(String, Value)], name: &str) -> Result<Option<f32>, String> {
+    match field(fields, name) {
+        None | Some(Value::Null) => Ok(None),
+        Some(Value::Int(i)) => Ok(Some(*i as f32)),
+        Some(Value::Float(f)) => Ok(Some(*f as f32)),
+        Some(_) => Err(format!("field {name:?} must be a number")),
+    }
+}
+
+/// An optional unsigned 64-bit field (draw seeds).
+fn optional_u64(fields: &[(String, Value)], name: &str) -> Result<Option<u64>, String> {
+    match field(fields, name) {
+        None | Some(Value::Null) => Ok(None),
+        Some(Value::Int(i)) if *i >= 0 => Ok(Some(*i as u64)),
+        Some(_) => Err(format!("field {name:?} must be a non-negative integer")),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -693,6 +814,63 @@ mod tests {
             "{\"context\":\"c\",\"query\":\"q\",\"max_new_tokens\":-2}",
             "{\"context\":\"c\",\"query\":\"q\",\"max_new_tokens\":4,\"stream\":\"yes\"}",
             "{\"context\":\"c\",\"query\":\"q\",\"max_new_tokens\":4,\"stop\":7}",
+        ] {
+            assert!(GenerateRequest::from_json(bad).is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn sampling_fields_round_trip_through_the_json_shim() {
+        let params = SamplingParams::seeded(42)
+            .with_temperature(0.75)
+            .with_top_k(20)
+            .with_top_p(0.9)
+            .with_repetition_penalty(1.2)
+            .with_presence_penalty(0.5);
+        let req = GenerateRequest::new("ctx", "q", 8).with_sampling(&params);
+        let parsed = GenerateRequest::from_json(&req.to_json()).unwrap();
+        assert_eq!(parsed.temperature, Some(0.75));
+        assert_eq!(parsed.top_k, Some(20));
+        assert_eq!(parsed.top_p, Some(0.9));
+        assert_eq!(parsed.repetition_penalty, Some(1.2));
+        assert_eq!(parsed.presence_penalty, Some(0.5));
+        assert_eq!(parsed.seed, Some(42));
+        let rebuilt = parsed.sampling_params().unwrap().expect("sampled");
+        assert_eq!(rebuilt, params);
+    }
+
+    #[test]
+    fn absent_sampling_fields_mean_greedy_and_unknown_fields_are_ignored() {
+        // A pre-sampling v1 body parses as a greedy request.
+        let v1 = "{\"context\":\"c\",\"query\":\"q\",\"max_new_tokens\":4}";
+        let parsed = GenerateRequest::from_json(v1).unwrap();
+        assert_eq!(parsed.sampling_params().unwrap(), None);
+        // Unknown fields from a newer client are ignored, not rejected.
+        let newer = "{\"context\":\"c\",\"query\":\"q\",\"max_new_tokens\":4,\
+                     \"future_knob\":true,\"seed\":7}";
+        let parsed = GenerateRequest::from_json(newer).unwrap();
+        let params = parsed.sampling_params().unwrap().expect("seed present");
+        assert_eq!(params.seed, 7);
+        assert_eq!(params.temperature, 1.0);
+        // A bare integer temperature is accepted as a float.
+        let int_temp = "{\"context\":\"c\",\"query\":\"q\",\"max_new_tokens\":4,\
+                        \"temperature\":1}";
+        let parsed = GenerateRequest::from_json(int_temp).unwrap();
+        assert_eq!(parsed.temperature, Some(1.0));
+    }
+
+    #[test]
+    fn invalid_sampling_params_fail_parsing() {
+        for bad in [
+            "{\"context\":\"c\",\"query\":\"q\",\"max_new_tokens\":4,\"temperature\":-0.5}",
+            "{\"context\":\"c\",\"query\":\"q\",\"max_new_tokens\":4,\"top_p\":1.5}",
+            "{\"context\":\"c\",\"query\":\"q\",\"max_new_tokens\":4,\"top_p\":0}",
+            "{\"context\":\"c\",\"query\":\"q\",\"max_new_tokens\":4,\"top_k\":0}",
+            "{\"context\":\"c\",\"query\":\"q\",\"max_new_tokens\":4,\"top_k\":-3}",
+            "{\"context\":\"c\",\"query\":\"q\",\"max_new_tokens\":4,\"repetition_penalty\":0}",
+            "{\"context\":\"c\",\"query\":\"q\",\"max_new_tokens\":4,\"presence_penalty\":-1}",
+            "{\"context\":\"c\",\"query\":\"q\",\"max_new_tokens\":4,\"seed\":-1}",
+            "{\"context\":\"c\",\"query\":\"q\",\"max_new_tokens\":4,\"temperature\":\"hot\"}",
         ] {
             assert!(GenerateRequest::from_json(bad).is_err(), "{bad}");
         }

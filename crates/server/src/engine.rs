@@ -88,6 +88,9 @@ pub(crate) struct SubmitSpec {
     pub query: String,
     pub max_new_tokens: usize,
     pub stop: Option<String>,
+    /// `Some` switches the request to the seeded sampler chain; `None`
+    /// decodes greedily (the pre-sampling wire behaviour).
+    pub sampling: Option<cocktail_core::SamplingParams>,
 }
 
 /// What the driver replied to a submit.
@@ -324,6 +327,9 @@ impl Driver {
                     .max_new_tokens(spec.max_new_tokens);
                 if let Some(stop) = spec.stop {
                     builder = builder.stop_sequence(stop);
+                }
+                if let Some(sampling) = spec.sampling {
+                    builder = builder.sampling(sampling);
                 }
                 let id = self.engine.submit(builder.build());
                 self.subs.insert(id, Subscription { events });

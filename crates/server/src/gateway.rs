@@ -606,6 +606,9 @@ fn handle_generate(
             query: generate.query.clone(),
             max_new_tokens: generate.max_new_tokens,
             stop: generate.stop.clone(),
+            // from_json already validated the sampling fields, so this
+            // cannot fail here.
+            sampling: generate.sampling_params().unwrap_or_default(),
         },
         &events_tx,
     );

@@ -41,4 +41,4 @@ mod traffic;
 
 pub use generators::{TaskGenerator, WorkloadConfig};
 pub use task::{Metric, TaskInstance, TaskKind};
-pub use traffic::{TrafficConfig, TrafficGenerator, TrafficRequest};
+pub use traffic::{ChatSpec, ChatTurn, TrafficConfig, TrafficGenerator, TrafficRequest};

@@ -74,6 +74,55 @@ pub struct TrafficConfig {
     /// before submitting that request (the warm-restart drill). `None`
     /// disables the restart mode.
     pub restart_after_requests: Option<usize>,
+    /// Multi-turn chat mode; `None` keeps the single-shot trace. When
+    /// set, the trace becomes `requests` *conversations* of
+    /// [`ChatSpec::turns`] turns each: every turn is its own
+    /// [`TrafficRequest`] whose context is the conversation transcript so
+    /// far (preamble + every earlier user message and canned assistant
+    /// reply), so each turn strictly *extends* the previous turn's
+    /// context — the trie-extension traffic a prefix cache was built for.
+    /// Overrides the shared-prefix/branching modes.
+    pub chat: Option<ChatSpec>,
+}
+
+/// Shape of the multi-turn chat mode (see [`TrafficConfig::chat`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChatSpec {
+    /// Turns per conversation; each turn is one request.
+    pub turns: usize,
+    /// Words in each user message, canned assistant reply, and (in the
+    /// tool-loop variant) tool-result segment.
+    pub words_per_turn: usize,
+    /// Words in the per-conversation preamble (system prompt / pasted
+    /// document). The builders default this to 12x the per-turn
+    /// transcript increment, so from the second turn on the reusable
+    /// prior transcript is at least 12/13 ≈ 92% of the context.
+    pub preamble_words: usize,
+    /// Agentic tool-call-loop variant: each completed turn appends a
+    /// fixed tool-result segment between the user message and the
+    /// assistant reply, as an agent interleaving tool output would.
+    pub tool_loop: bool,
+}
+
+impl ChatSpec {
+    /// Words a completed turn appends to the transcript: the user
+    /// message, the tool-result segment (tool-loop only), and the canned
+    /// assistant reply.
+    pub fn turn_increment_words(&self) -> usize {
+        let segments = if self.tool_loop { 3 } else { 2 };
+        segments * self.words_per_turn
+    }
+}
+
+/// Chat-turn coordinates of one request (see [`TrafficConfig::chat`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChatTurn {
+    /// Which conversation this turn belongs to.
+    pub conversation: usize,
+    /// Zero-based turn within the conversation.
+    pub turn: usize,
+    /// Total turns of the conversation.
+    pub turns: usize,
 }
 
 impl TrafficConfig {
@@ -92,6 +141,7 @@ impl TrafficConfig {
             cancel_per_mille: 0,
             stop_strings: Vec::new(),
             restart_after_requests: None,
+            chat: None,
         }
     }
 
@@ -170,6 +220,55 @@ impl TrafficConfig {
         self.restart_after_requests = Some(after_requests);
         self
     }
+
+    /// Returns a copy in multi-turn chat mode: `requests` conversations
+    /// of `turns` turns, each turn a request whose context is the
+    /// transcript of every earlier turn (and whose query is that turn's
+    /// user message of `words_per_turn` words). The per-conversation
+    /// preamble defaults to 12x the per-turn transcript increment, so
+    /// turns ≥ 2 can reuse ≥ 92% of their context from the trie; override
+    /// with [`TrafficConfig::with_chat_preamble`].
+    pub fn with_chat_turns(mut self, turns: usize, words_per_turn: usize) -> Self {
+        let spec = ChatSpec {
+            turns,
+            words_per_turn,
+            preamble_words: 0,
+            tool_loop: false,
+        };
+        self.chat = Some(ChatSpec {
+            preamble_words: 12 * spec.turn_increment_words(),
+            ..spec
+        });
+        self
+    }
+
+    /// Returns a copy in the agentic tool-call-loop chat variant: as
+    /// [`TrafficConfig::with_chat_turns`], but each completed turn also
+    /// appends a fixed `words_per_turn`-word tool-result segment to the
+    /// transcript between the user message and the assistant reply.
+    pub fn with_chat_tool_loop(mut self, turns: usize, words_per_turn: usize) -> Self {
+        let spec = ChatSpec {
+            turns,
+            words_per_turn,
+            preamble_words: 0,
+            tool_loop: true,
+        };
+        self.chat = Some(ChatSpec {
+            preamble_words: 12 * spec.turn_increment_words(),
+            ..spec
+        });
+        self
+    }
+
+    /// Overrides the chat preamble length (words). Only meaningful after
+    /// [`TrafficConfig::with_chat_turns`] or
+    /// [`TrafficConfig::with_chat_tool_loop`].
+    pub fn with_chat_preamble(mut self, words: usize) -> Self {
+        if let Some(spec) = self.chat.as_mut() {
+            spec.preamble_words = words;
+        }
+        self
+    }
 }
 
 /// One request of a traffic trace.
@@ -200,6 +299,9 @@ pub struct TrafficRequest {
     /// [`TrafficConfig::with_restart_point`]. At most one request of a
     /// trace carries the marker.
     pub restart_before: bool,
+    /// Chat-turn coordinates (`None` outside chat mode). Turn `t > 0` of
+    /// a conversation must be submitted after turn `t - 1` completed.
+    pub chat: Option<ChatTurn>,
     /// The task (context, query, reference answer). In shared-prefix mode
     /// the context opens with the group preamble.
     pub task: TaskInstance,
@@ -319,9 +421,187 @@ impl TrafficGenerator {
         Some(collected.join(" "))
     }
 
+    /// A fixed-length word run for one chat segment: the distinguishing
+    /// tag words first, then filler drawn from `seed`.
+    fn chat_words(seed: u64, tags: Vec<String>, words: usize) -> String {
+        let mut rng = text::text_rng(seed);
+        let mut collected = tags;
+        while collected.len() < words {
+            let sentence = text::filler_sentence(&mut rng);
+            collected.extend(sentence.split_whitespace().map(str::to_string));
+        }
+        collected.truncate(words);
+        collected.join(" ")
+    }
+
+    /// Per-(conversation, turn, role) seed for chat text, independent of
+    /// the trace length and turn count.
+    fn chat_seed(&self, conversation: usize, turn: usize, salt: u64) -> u64 {
+        let mut z = self.base_seed
+            ^ (conversation as u64).wrapping_mul(0xA076_1D64_78BD_642F)
+            ^ (turn as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            ^ salt;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// The per-conversation chat preamble (system prompt / pasted
+    /// document): fixed words drawn from the base seed and the
+    /// conversation index only, so every turn of the conversation opens
+    /// with identical tokens. Empty outside chat mode.
+    pub fn chat_preamble(&self, conversation: usize) -> String {
+        let Some(spec) = &self.config.chat else {
+            return String::new();
+        };
+        if spec.preamble_words == 0 {
+            return String::new();
+        }
+        Self::chat_words(
+            self.chat_seed(conversation, 0, 0xC0A7),
+            vec![format!("chat{conversation}"), "session".to_string()],
+            spec.preamble_words,
+        )
+    }
+
+    /// Turn `turn`'s user message (the request's query; earlier turns'
+    /// messages are part of the transcript). Empty outside chat mode.
+    pub fn chat_user_message(&self, conversation: usize, turn: usize) -> String {
+        let Some(spec) = &self.config.chat else {
+            return String::new();
+        };
+        Self::chat_words(
+            self.chat_seed(conversation, turn, 0x05E7),
+            vec![format!("turn{turn}"), "question".to_string()],
+            spec.words_per_turn,
+        )
+    }
+
+    /// The canned assistant reply appended to the transcript once turn
+    /// `turn` completes. A deterministic stand-in for the served answer,
+    /// so greedy and sampled runs of the same trace share their
+    /// transcripts token-for-token. Empty outside chat mode.
+    pub fn chat_assistant_segment(&self, conversation: usize, turn: usize) -> String {
+        let Some(spec) = &self.config.chat else {
+            return String::new();
+        };
+        Self::chat_words(
+            self.chat_seed(conversation, turn, 0xA551),
+            vec![format!("reply{turn}"), "answer".to_string()],
+            spec.words_per_turn,
+        )
+    }
+
+    /// The fixed tool-result segment the tool-loop variant interleaves
+    /// between turn `turn`'s user message and assistant reply. `None`
+    /// outside the tool-loop chat mode.
+    pub fn chat_tool_segment(&self, conversation: usize, turn: usize) -> Option<String> {
+        let spec = self.config.chat.as_ref()?;
+        if !spec.tool_loop {
+            return None;
+        }
+        Some(Self::chat_words(
+            self.chat_seed(conversation, turn, 0x7001),
+            vec![format!("toolresult{turn}"), "output".to_string()],
+            spec.words_per_turn,
+        ))
+    }
+
+    /// The conversation transcript turn `turn` conditions on: the
+    /// preamble plus every earlier turn's user message, tool result
+    /// (tool-loop only), and assistant reply. Turn `t`'s transcript is a
+    /// strict word-level extension of turn `t - 1`'s, so each turn hits
+    /// the prefix trie on its entire prior transcript.
+    pub fn chat_transcript(&self, conversation: usize, turn: usize) -> String {
+        let mut parts = vec![self.chat_preamble(conversation)];
+        for earlier in 0..turn {
+            parts.push(self.chat_user_message(conversation, earlier));
+            if let Some(tool) = self.chat_tool_segment(conversation, earlier) {
+                parts.push(tool);
+            }
+            parts.push(self.chat_assistant_segment(conversation, earlier));
+        }
+        parts.retain(|p| !p.is_empty());
+        parts.join(" ")
+    }
+
+    /// The chat-mode trace: one request per (conversation, turn), indexed
+    /// `conversation * turns + turn` so conversations keep their identity
+    /// when more are appended. Arrivals are turn-major (turn `t` arrives
+    /// at step `t`): same-turn requests of different conversations batch
+    /// together, and a turn never arrives before its predecessor.
+    fn chat_requests(&self, spec: &ChatSpec) -> Vec<TrafficRequest> {
+        let kinds = if self.config.kinds.is_empty() {
+            vec![TaskKind::Qasper]
+        } else {
+            self.config.kinds.clone()
+        };
+        let turns = spec.turns.max(1);
+        let mut requests = Vec::with_capacity(self.config.requests * turns);
+        for conversation in 0..self.config.requests {
+            for turn in 0..turns {
+                let index = conversation * turns + turn;
+                let seed = self.request_seed(index);
+                let task = TaskInstance {
+                    kind: kinds[conversation % kinds.len()],
+                    context: self.chat_transcript(conversation, turn),
+                    query: self.chat_user_message(conversation, turn),
+                    reference: String::new(),
+                    needles: Vec::new(),
+                    seed,
+                };
+                requests.push(TrafficRequest {
+                    index,
+                    arrival_step: turn,
+                    seed,
+                    max_new_tokens: self.config.max_new_tokens,
+                    prefix_group: None,
+                    cancel_after_tokens: self.cancel_draw(seed),
+                    stop_string: self.stop_string_for(index),
+                    restart_before: false,
+                    chat: Some(ChatTurn {
+                        conversation,
+                        turn,
+                        turns,
+                    }),
+                    task,
+                });
+            }
+        }
+        requests
+    }
+
+    /// The client-side cancellation draw of one request (see
+    /// [`TrafficConfig::with_cancellations`]).
+    fn cancel_draw(&self, seed: u64) -> Option<usize> {
+        if self.config.cancel_per_mille > 0 && self.config.max_new_tokens > 1 {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xCA9C_E11E);
+            (rng.gen_range(0..1000) < self.config.cancel_per_mille)
+                .then(|| rng.gen_range(1..self.config.max_new_tokens))
+        } else {
+            None
+        }
+    }
+
+    /// The stop string cycled onto one request, if the mode is enabled.
+    fn stop_string_for(&self, index: usize) -> Option<String> {
+        (!self.config.stop_strings.is_empty())
+            .then(|| self.config.stop_strings[index % self.config.stop_strings.len()].clone())
+    }
+
     /// Generates the trace, sorted by arrival step (ties keep submission
     /// order by index).
     pub fn generate(&self) -> Vec<TrafficRequest> {
+        if let Some(spec) = self.config.chat {
+            let mut requests = self.chat_requests(&spec);
+            requests.sort_by_key(|r| (r.arrival_step, r.index));
+            if let Some(point) = self.config.restart_after_requests {
+                if let Some(request) = requests.get_mut(point) {
+                    request.restart_before = true;
+                }
+            }
+            return requests;
+        }
         let kinds = if self.config.kinds.is_empty() {
             vec![TaskKind::Qasper]
         } else {
@@ -352,26 +632,16 @@ impl TrafficGenerator {
                 } else {
                     None
                 };
-                let cancel_after_tokens =
-                    if self.config.cancel_per_mille > 0 && self.config.max_new_tokens > 1 {
-                        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xCA9C_E11E);
-                        (rng.gen_range(0..1000) < self.config.cancel_per_mille)
-                            .then(|| rng.gen_range(1..self.config.max_new_tokens))
-                    } else {
-                        None
-                    };
-                let stop_string = (!self.config.stop_strings.is_empty()).then(|| {
-                    self.config.stop_strings[index % self.config.stop_strings.len()].clone()
-                });
                 TrafficRequest {
                     index,
                     arrival_step,
                     seed,
                     max_new_tokens: self.config.max_new_tokens,
                     prefix_group,
-                    cancel_after_tokens,
-                    stop_string,
+                    cancel_after_tokens: self.cancel_draw(seed),
+                    stop_string: self.stop_string_for(index),
                     restart_before: false,
+                    chat: None,
                     task,
                 }
             })
@@ -709,6 +979,135 @@ mod tests {
         // Disabled by default.
         let plain = TrafficGenerator::new(TrafficConfig::small(3), 9).generate();
         assert!(plain.iter().all(|r| !r.restart_before));
+    }
+
+    #[test]
+    fn chat_turns_extend_the_prior_transcript_word_for_word() {
+        let config = TrafficConfig::small(2).with_chat_turns(3, 8);
+        let generator = TrafficGenerator::new(config, 37);
+        let trace = generator.generate();
+        assert_eq!(trace.len(), 2 * 3, "one request per (conversation, turn)");
+        for request in &trace {
+            let chat = request.chat.expect("chat mode is on");
+            assert_eq!(request.index, chat.conversation * 3 + chat.turn);
+            assert_eq!(request.arrival_step, chat.turn);
+            // The query is this turn's user message; the context opens
+            // with the conversation preamble.
+            assert_eq!(
+                request.task.query,
+                generator.chat_user_message(chat.conversation, chat.turn)
+            );
+            assert!(request
+                .task
+                .context
+                .starts_with(&generator.chat_preamble(chat.conversation)));
+            // Turn t's context is a strict extension of turn t-1's.
+            if chat.turn > 0 {
+                let prior = generator.chat_transcript(chat.conversation, chat.turn - 1);
+                assert!(
+                    request.task.context.starts_with(&prior),
+                    "turn {} does not extend turn {}'s transcript",
+                    chat.turn,
+                    chat.turn - 1
+                );
+                assert!(request.task.context.len() > prior.len());
+                // The extension is exactly one turn increment.
+                let spec = generator.config().chat.unwrap();
+                let grown = request.task.context.split_whitespace().count()
+                    - prior.split_whitespace().count();
+                assert_eq!(grown, spec.turn_increment_words());
+            }
+        }
+        // Distinct conversations have distinct preambles.
+        assert_ne!(generator.chat_preamble(0), generator.chat_preamble(1));
+    }
+
+    #[test]
+    fn chat_preamble_dominates_the_transcript_from_the_second_turn() {
+        let generator = TrafficGenerator::new(TrafficConfig::small(1).with_chat_turns(3, 8), 5);
+        for turn in 1..3 {
+            let prior = generator
+                .chat_transcript(0, turn - 1)
+                .split_whitespace()
+                .count();
+            let now = generator
+                .chat_transcript(0, turn)
+                .split_whitespace()
+                .count();
+            assert!(
+                (prior as f64) / (now as f64) >= 0.9,
+                "turn {turn}: reusable prior transcript {prior}/{now} below 90%"
+            );
+        }
+    }
+
+    #[test]
+    fn chat_tool_loop_interleaves_fixed_tool_results() {
+        let config = TrafficConfig::small(1).with_chat_tool_loop(3, 6);
+        let generator = TrafficGenerator::new(config, 53);
+        let trace = generator.generate();
+        // Turn 1's transcript holds turn 0's user message, tool result,
+        // and assistant reply, in that order.
+        let second = trace.iter().find(|r| r.chat.unwrap().turn == 1).unwrap();
+        let user = generator.chat_user_message(0, 0);
+        let tool = generator.chat_tool_segment(0, 0).expect("tool loop is on");
+        let reply = generator.chat_assistant_segment(0, 0);
+        assert!(tool.starts_with("toolresult0"));
+        let context = &second.task.context;
+        let user_at = context.find(&user).expect("user message in transcript");
+        let tool_at = context.find(&tool).expect("tool result in transcript");
+        let reply_at = context.find(&reply).expect("assistant reply in transcript");
+        assert!(user_at < tool_at && tool_at < reply_at);
+        // The plain chat mode has no tool segments.
+        let plain = TrafficGenerator::new(TrafficConfig::small(1).with_chat_turns(2, 6), 53);
+        assert!(plain.chat_tool_segment(0, 0).is_none());
+        assert!(!plain.chat_transcript(0, 1).contains("toolresult"));
+    }
+
+    #[test]
+    fn chat_traces_are_deterministic_and_stable_under_conversation_growth() {
+        let config = |n| TrafficConfig::small(n).with_chat_turns(3, 8);
+        let short = TrafficGenerator::new(config(2), 61).generate();
+        let again = TrafficGenerator::new(config(2), 61).generate();
+        let long = TrafficGenerator::new(config(5), 61).generate();
+        assert_eq!(short, again);
+        for request in &short {
+            let twin = long
+                .iter()
+                .find(|r| r.index == request.index)
+                .expect("request present in longer trace");
+            assert_eq!(request, twin, "chat request changed as the trace grew");
+        }
+        // Different seeds draw different transcripts.
+        let other = TrafficGenerator::new(config(2), 62).generate();
+        assert_ne!(short, other);
+    }
+
+    #[test]
+    fn chat_mode_composes_with_cancellations_stops_and_restart_points() {
+        let config = TrafficConfig::small(4)
+            .with_chat_turns(2, 6)
+            .with_max_new_tokens(10)
+            .with_cancellations(500)
+            .with_stop_strings(vec!["alpha".into()])
+            .with_restart_point(3);
+        let trace = TrafficGenerator::new(config, 71).generate();
+        assert_eq!(trace.len(), 8);
+        assert!(trace.iter().any(|r| r.cancel_after_tokens.is_some()));
+        assert!(trace
+            .iter()
+            .all(|r| r.stop_string.as_deref() == Some("alpha")));
+        let marked: Vec<usize> = trace
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.restart_before)
+            .map(|(position, _)| position)
+            .collect();
+        assert_eq!(marked, vec![3]);
+        for request in trace.iter().filter(|r| r.cancel_after_tokens.is_some()) {
+            let after = request.cancel_after_tokens.unwrap();
+            assert!((1..request.max_new_tokens).contains(&after));
+        }
     }
 
     #[test]

@@ -43,6 +43,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
          http://{addr}/api/v1/generate"
     );
     println!(
+        "  curl -d '{{\"context\":\"...\",\"query\":\"...\",\"max_new_tokens\":8,\
+         \"temperature\":0.8,\"top_k\":8,\"seed\":7}}' http://{addr}/api/v1/generate"
+    );
+    println!(
         "  curl -d '{{\"path\":\"/tmp/cocktail.snap\"}}' \
          http://{addr}/api/v1/admin/snapshot\n"
     );
@@ -94,7 +98,35 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "the final event repeats exactly what was streamed"
     );
 
-    // 3. A client that hangs up mid-stream: the engine cancels the
+    // 3. A sampled generate over the wire: the optional sampling fields
+    // ride in the same JSON body, and resubmitting the identical request
+    // (same seed) replays the identical answer.
+    let request = &traffic[0];
+    let sampled = GenerateRequest::new(
+        request.task.context.clone(),
+        request.task.query.clone(),
+        request.max_new_tokens,
+    )
+    .with_sampling(
+        &SamplingParams::for_request(0x6A7E, 0)
+            .with_temperature(0.8)
+            .with_top_k(8),
+    );
+    let first = client.generate(&sampled)?;
+    let replay = client.generate(&sampled)?;
+    println!(
+        "[sampled]   {} -> {:?} (seeded; replay {} returned the same bytes: {})",
+        first.id,
+        first.answer,
+        replay.id,
+        first.answer == replay.answer
+    );
+    assert_eq!(
+        first.answer, replay.answer,
+        "the same seed over the same prompt must replay the same answer"
+    );
+
+    // 4. A client that hangs up mid-stream: the engine cancels the
     // request and the budget comes back (watch the stats).
     let request = &traffic[2];
     let mut stream = client.open_stream(&GenerateRequest::new(
@@ -130,7 +162,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         final_stats.failed,
         final_stats.pinned_prefix_entries
     );
-    assert_eq!(final_stats.completed, 2);
+    assert_eq!(final_stats.completed, 4);
     assert_eq!(final_stats.cancelled, 1);
     assert_eq!(final_stats.pinned_prefix_entries, 0);
     Ok(())

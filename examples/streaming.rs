@@ -1,8 +1,10 @@
-//! Streaming token delivery with early stopping and client cancellation:
-//! requests flow through [`ServingEngine::step_events`], every committed
-//! token arrives as a [`TokenEvent`] the step it is generated, one request
-//! stops early on a stop sequence, and one client disconnects mid-decode —
-//! upon which [`ServingEngine::cancel`] frees its KV budget immediately.
+//! Streaming token delivery with early stopping, client cancellation and
+//! seeded sampling: requests flow through [`ServingEngine::step_events`],
+//! every committed token arrives as a [`TokenEvent`] the step it is
+//! generated, one request stops early on a stop sequence, one client
+//! disconnects mid-decode — upon which [`ServingEngine::cancel`] frees its
+//! KV budget immediately — and one request decodes through a seeded
+//! [`SamplingParams`] chain, then replays bit-identically on resubmission.
 //!
 //! ```bash
 //! cargo run --release --example streaming
@@ -34,6 +36,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut engine = ServingEngine::new(ModelProfile::tiny(), config)?
         .with_prefix_cache(PrefixCacheConfig::default());
 
+    // Request 1 decodes through a seeded sampler chain instead of greedy
+    // argmax; the seed is derived from the trace seed and the request
+    // index, so any replica (or a later replay) rebuilds the same stream.
+    let sampling = SamplingParams::for_request(0x0057_AEA3, 1)
+        .with_temperature(0.8)
+        .with_top_k(8);
+
     // Submit everything up front, wiring each trace request's stop string
     // straight into its serve request; request 2 additionally plays a
     // client that disconnects after 4 streamed tokens.
@@ -45,6 +54,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .max_new_tokens(request.max_new_tokens);
         if let Some(stop) = &request.stop_string {
             serve = serve.stop_sequence(stop.clone());
+        }
+        if request.index == 1 {
+            serve = serve.sampling(sampling.clone());
         }
         ids.push(engine.submit(serve.build()));
     }
@@ -128,5 +140,34 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             );
         }
     }
+
+    // Same seed, same prompt => same sampled tokens: resubmitting the
+    // sampled request replays its answer bit for bit.
+    let sampled = traffic
+        .iter()
+        .find(|r| r.index == 1)
+        .expect("request 1 is in the trace");
+    let replay_id = engine.submit(
+        ServeRequest::builder()
+            .context(sampled.task.context.clone())
+            .query(sampled.task.query.clone())
+            .max_new_tokens(sampled.max_new_tokens)
+            .sampling(sampling)
+            .build(),
+    );
+    let replay = engine
+        .run_until_idle()?
+        .into_iter()
+        .find(|outcome| outcome.id == replay_id)
+        .expect("the replay completed");
+    let first_pos = traffic.iter().position(|r| r.index == 1).unwrap();
+    assert_eq!(
+        replay.outcome.answer, answers[&ids[first_pos]],
+        "a seeded replay must reproduce the sampled answer exactly"
+    );
+    println!(
+        "\nSeeded replay of {} reproduced the sampled answer bit for bit.",
+        ids[first_pos]
+    );
     Ok(())
 }

@@ -17,7 +17,7 @@
 use std::time::{Duration, Instant};
 
 use cocktail::prelude::*;
-use cocktail::server::{ClientError, EngineSettings, StreamOutcome};
+use cocktail::server::{ClientError, EngineSettings, ErrorResponse, StreamOutcome};
 
 fn tiny_settings() -> EngineSettings {
     let config = CocktailConfig::default()
@@ -589,10 +589,21 @@ fn fleet_429_only_when_all_replicas_are_saturated() {
     // one running and one queued request (a saturated hot replica spills
     // to the other instead of refusing). No stream is read from — a
     // queued stream's first token only arrives once the decode slot in
-    // front of it drains, long after this test is done.
-    let occupying: Vec<_> = (0..replicas * 2)
-        .map(|_| client.open_stream(&slow).expect("stream admitted"))
-        .collect();
+    // front of it drains, long after this test is done. Each request must
+    // land on its replica before the next is routed: a just-submitted
+    // request counts as queued until its driver steps it, and two
+    // un-stepped requests sitting on the two replicas would make the
+    // whole fleet look transiently full.
+    let mut occupying = Vec::new();
+    for i in 0..replicas * 2 {
+        occupying.push(client.open_stream(&slow).expect("stream admitted"));
+        // Affinity routes each stream to the hot replica until it is
+        // full, so the fleet fills running/queued/running/queued.
+        let expect_running = i / 2 + 1;
+        poll_stats_until(&client, "occupying request to land", |s| {
+            s.running == expect_running && s.running + s.queued == i + 1
+        });
+    }
     poll_stats_until(&client, "fleet saturation", |s| {
         s.running + s.queued == replicas * 2
     });
@@ -910,4 +921,98 @@ fn shutdown_from_idle_reports_zero_bytes_and_zero_pins() {
         stats.pinned_prefix_entries, 0,
         "prefix pins must be released at idle"
     );
+}
+
+#[test]
+fn sampled_sse_streams_replay_identically_on_resubmission() {
+    let settings = tiny_settings().with_prefix_cache(PrefixCacheConfig::default());
+    let (server, client) = start_server(settings, GatewayConfig::default());
+    let request = &traffic(1, 0x5A3D)[0];
+    let generate = GenerateRequest::new(
+        request.task.context.clone(),
+        request.task.query.clone(),
+        request.max_new_tokens,
+    )
+    .with_sampling(
+        &SamplingParams::for_request(0x5A3D, request.index as u64)
+            .with_temperature(0.85)
+            .with_top_k(10)
+            .with_top_p(0.95),
+    );
+    let first = client
+        .open_stream(&generate)
+        .expect("sampled stream opens")
+        .finish()
+        .expect("sampled stream finishes");
+    assert_eq!(first.finish, "length");
+    assert_eq!(
+        first.answer.as_deref(),
+        Some(first.streamed.as_str()),
+        "the final event repeats exactly what was streamed"
+    );
+    // Resubmitting the identical body — same prompt, same seed — must
+    // stream the identical bytes: the sampler chain is keyed on the
+    // request's own seed, never on engine state or wall clock.
+    for round in 0..2 {
+        let replay = client
+            .open_stream(&generate)
+            .expect("replay stream opens")
+            .finish()
+            .expect("replay stream finishes");
+        assert_eq!(
+            replay.streamed, first.streamed,
+            "replay {round} diverged from the first sampled stream"
+        );
+        assert_eq!(replay.token_events, first.token_events);
+        assert_eq!(replay.finish, first.finish);
+    }
+    // The blocking endpoint replays the stream's answer too: transport
+    // must not affect the draw.
+    let blocking = client.generate(&generate).expect("blocking replay");
+    assert_eq!(blocking.answer, first.streamed);
+    server.shutdown();
+}
+
+#[test]
+fn invalid_sampling_params_get_a_400_typed_error() {
+    let (server, client) = start_server(tiny_settings(), GatewayConfig::default());
+    let cases: Vec<(&str, &str)> = vec![
+        ("negative temperature", r#"{"temperature":-0.5}"#),
+        (
+            "NaN-free contract: non-numeric temperature",
+            r#"{"temperature":"hot"}"#,
+        ),
+        ("zero top_k", r#"{"top_k":0}"#),
+        ("negative top_k", r#"{"top_k":-3}"#),
+        ("top_p above one", r#"{"top_p":1.5}"#),
+        ("zero top_p", r#"{"top_p":0}"#),
+        ("zero repetition_penalty", r#"{"repetition_penalty":0}"#),
+        ("negative presence_penalty", r#"{"presence_penalty":-1}"#),
+        ("negative seed", r#"{"seed":-1}"#),
+    ];
+    for (what, extra) in cases {
+        let body = format!(
+            "{{\"context\":\"some words here\",\"query\":\"q\",\"max_new_tokens\":4,{}}}",
+            extra.trim_start_matches('{').trim_end_matches('}')
+        );
+        let raw = format!(
+            "POST /api/v1/generate HTTP/1.1\r\nContent-Length: {}\r\n\r\n{}",
+            body.len(),
+            body
+        );
+        let response = client.send_raw(raw.as_bytes()).expect("server answers");
+        assert_eq!(response.status, 400, "{what}: {}", response.body_str());
+        let error = ErrorResponse::from_json(&response.body_str());
+        assert!(!error.error.is_empty(), "{what}: the 400 carries a reason");
+    }
+    // Valid sampling fields on the same connection still serve.
+    let request = &traffic(1, 0x0C)[0];
+    let response = client
+        .generate(
+            &GenerateRequest::new(request.task.context.clone(), request.task.query.clone(), 4)
+                .with_sampling(&SamplingParams::seeded(11).with_temperature(0.7)),
+        )
+        .expect("engine still serves after rejected bodies");
+    assert!(response.generated_tokens > 0);
+    server.shutdown();
 }
